@@ -1,0 +1,225 @@
+"""A1 -- Ablations of the optimizer's design choices.
+
+These are not paper claims but validations of the machinery DESIGN.md
+calls out, in the spirit of the R* optimizer validation studies [40]
+the paper cites:
+
+* (a) access-path crossover: the optimizer's scan-vs-index decision
+  flips at the selectivity the observed costs say it should;
+* (b) buffer-aware index-nested-loop costing: the measured benefit of a
+  pool-resident inner table, which the cost model's warm-pool discount
+  is meant to track;
+* (c) Cascades branch-and-bound: pruning changes search effort, never
+  the chosen plan's cost.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.cascades import CascadesConfig, CascadesOptimizer
+from repro.core.systemr import SystemRJoinEnumerator
+from repro.cost import CostParameters
+from repro.datagen import (
+    build_chain_tables,
+    chain_query_graph,
+    graph_stats,
+)
+from repro.engine import ExecContext, execute
+from repro.expr import Comparison, ComparisonOp, col, lit
+from repro.logical.querygraph import QueryGraph
+from repro.physical import IndexScanP, SeqScanP, walk_physical
+from repro.stats import analyze_table
+
+from benchmarks.harness import report
+
+
+# ----------------------------------------------------------------------
+# (a) Access-path crossover
+# ----------------------------------------------------------------------
+def _single_table(rows=20_000):
+    catalog = Catalog()
+    rng = random.Random(181)
+    table = catalog.create_table(
+        "T",
+        [Column("v", ColumnType.INT), Column("pay", ColumnType.STR)],
+    )
+    for _ in range(rows):
+        table.insert((rng.randint(1, 10_000), "x" * 16))
+    catalog.create_index("idx_t_v", "T", ["v"])  # unclustered
+    analyze_table(catalog, "T")
+    return catalog
+
+
+def run_crossover():
+    catalog = _single_table()
+    params = CostParameters(buffer_pool_pages=16)
+    rows = []
+    for bound in (10, 100, 1000, 4000, 9000):
+        graph = QueryGraph()
+        graph.add_relation("T", "T")
+        graph.add_predicate(
+            Comparison(ComparisonOp.LT, col("T", "v"), lit(bound))
+        )
+        stats = graph_stats(catalog, graph)
+        from repro.core.systemr.access import generate_access_paths
+        from repro.stats import CardinalityEstimator
+
+        estimator = CardinalityEstimator(stats)
+        paths = generate_access_paths("T", graph, catalog, estimator, params)
+        estimated = {}
+        observed = {}
+        for path in paths:
+            label = "index" if isinstance(path, IndexScanP) else "scan"
+            estimated[label] = path.est_cost.total
+            context = ExecContext(params)
+            execute(path, catalog, context)
+            observed[label] = context.counters.observed_cost(params)
+        chosen = min(estimated, key=estimated.get)
+        observed_winner = min(observed, key=observed.get)
+        rows.append(
+            (
+                bound,
+                chosen,
+                observed_winner,
+                round(observed["scan"], 1),
+                round(observed["index"], 1),
+                "yes" if chosen == observed_winner else "NO",
+            )
+        )
+    return rows
+
+
+def test_a01a_access_path_crossover(benchmark):
+    rows = run_crossover()
+    report(
+        "A01a",
+        "Scan-vs-index decision vs observed execution cost",
+        ["v <", "optimizer_choice", "observed_winner", "scan_obs",
+         "index_obs", "agree"],
+        rows,
+        notes="the estimated crossover should match the observed one "
+        "(the [40]-style validation); small disagreements near the "
+        "crossover point are expected.",
+    )
+    choices = [row[1] for row in rows]
+    assert choices[0] == "index" and choices[-1] == "scan", "must cross over"
+    agreement = sum(1 for row in rows if row[5] == "yes") / len(rows)
+    assert agreement >= 0.6
+
+    catalog = _single_table(5_000)
+    graph = QueryGraph()
+    graph.add_relation("T", "T")
+    graph.add_predicate(Comparison(ComparisonOp.LT, col("T", "v"), lit(100)))
+    stats = graph_stats(catalog, graph)
+    benchmark(lambda: SystemRJoinEnumerator(catalog, graph, stats).run())
+
+
+# ----------------------------------------------------------------------
+# (b) Buffer-pool locality
+# ----------------------------------------------------------------------
+def run_buffer_sweep():
+    catalog = Catalog()
+    rng = random.Random(182)
+    inner = catalog.create_table(
+        "I", [Column("k", ColumnType.INT), Column("pay", ColumnType.STR)]
+    )
+    for k in range(2_000):
+        inner.insert((k, "i" * 16))
+    catalog.create_index("idx_i_k", "I", ["k"])
+    outer = catalog.create_table("O", [Column("k", ColumnType.INT)])
+    for _ in range(6_000):
+        outer.insert((rng.randint(0, 1_999),))
+    analyze_table(catalog, "I")
+    analyze_table(catalog, "O")
+    from repro.logical import JoinKind
+    from repro.physical import INLJoinP
+
+    rows = []
+    inner_pages = catalog.table("I").page_count
+    for pool in (4, 16, 64, 256, 1024):
+        plan = INLJoinP(
+            SeqScanP("O", "O", ["k"]),
+            "I",
+            "I",
+            ["k", "pay"],
+            "idx_i_k",
+            [col("O", "k")],
+            JoinKind.INNER,
+        )
+        params = CostParameters(buffer_pool_pages=pool)
+        context = ExecContext(params)
+        execute(plan, catalog, context)
+        rows.append(
+            (
+                pool,
+                inner_pages,
+                context.counters.random_page_reads,
+                f"{context.buffer_pool.hit_ratio:.0%}",
+            )
+        )
+    return rows
+
+
+def test_a01b_buffer_locality(benchmark):
+    rows = run_buffer_sweep()
+    report(
+        "A01b",
+        "Index-NL join: random reads vs buffer-pool size (inner pages fixed)",
+        ["pool_pages", "inner_pages", "random_reads", "hit_ratio"],
+        rows,
+        notes="once the pool holds the inner table (+index), repeated "
+        "probes stop doing I/O -- the locality adjustment of [40, 17] "
+        "that the cost model's warm-pool discount encodes.",
+    )
+    reads = [row[2] for row in rows]
+    assert reads == sorted(reads, reverse=True)
+    assert reads[-1] < reads[0] / 5
+
+    benchmark(lambda: run_buffer_sweep())
+
+
+# ----------------------------------------------------------------------
+# (c) Branch-and-bound ablation
+# ----------------------------------------------------------------------
+def run_pruning_ablation():
+    catalog = Catalog()
+    names = build_chain_tables(catalog, 6, rows_per_relation=60)
+    graph = chain_query_graph(names)
+    stats = graph_stats(catalog, graph)
+    rows = []
+    for label, config in (
+        ("pruning on", CascadesConfig(use_pruning=True)),
+        ("pruning off", CascadesConfig(use_pruning=False)),
+    ):
+        optimizer = CascadesOptimizer(catalog, graph, stats, config=config)
+        _plan, cost = optimizer.best_plan()
+        rows.append(
+            (
+                label,
+                optimizer.stats.implementation_rules_fired,
+                optimizer.stats.pruned_by_bound,
+                round(cost.total, 1),
+            )
+        )
+    return rows
+
+
+def test_a01c_pruning_ablation(benchmark):
+    rows = run_pruning_ablation()
+    report(
+        "A01c",
+        "Cascades branch-and-bound ablation (6-relation chain)",
+        ["config", "impl_rules_fired", "pruned", "best_cost"],
+        rows,
+        notes="pruning discards work, never quality: identical best cost.",
+    )
+    assert rows[0][3] == rows[1][3]
+    assert rows[0][2] > 0 and rows[1][2] == 0
+
+    catalog = Catalog()
+    names = build_chain_tables(catalog, 5, rows_per_relation=50)
+    graph = chain_query_graph(names)
+    stats = graph_stats(catalog, graph)
+    benchmark(lambda: CascadesOptimizer(catalog, graph, stats).best_plan())

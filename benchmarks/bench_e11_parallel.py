@@ -1,0 +1,117 @@
+"""E11 -- Parallel query optimization (paper Section 7.1).
+
+Claims: (a) parallel execution reduces *response time* while typically
+increasing *total work* (footnote 5); (b) communication costs matter:
+the two-phase (XPRS) approach that ignores them during join ordering
+loses to Hasan's approach that treats the partitioning of a stream as a
+physical property.
+"""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.parallel import (
+    CommAwareOptimizer,
+    ParallelMachine,
+    TwoPhaseOptimizer,
+)
+from repro.datagen import build_star_schema, graph_stats, sales_star_query_graph
+
+from benchmarks.harness import report
+
+
+def _setup():
+    catalog = Catalog()
+    build_star_schema(
+        catalog, fact_rows=30_000, dimension_count=3, dimension_rows=50
+    )
+    graph = sales_star_query_graph(3)
+    return catalog, graph, graph_stats(catalog, graph)
+
+
+def run_scaling_experiment(catalog, graph, stats):
+    rows = []
+    for processors in (1, 2, 4, 8, 16):
+        machine = ParallelMachine(
+            processors=processors,
+            comm_cost_per_page=0.2,
+            startup_cost_per_processor=0.02,
+        )
+        _plan, schedule = TwoPhaseOptimizer(
+            catalog, graph, stats, machine
+        ).optimize()
+        rows.append(
+            (
+                processors,
+                round(schedule.response_time, 1),
+                round(schedule.total_work, 1),
+                round(schedule.comm_cost, 1),
+                schedule.exchanges,
+            )
+        )
+    return rows
+
+
+def run_comm_experiment(catalog, graph, stats):
+    rows = []
+    for comm in (0.05, 0.5, 5.0, 50.0):
+        machine = ParallelMachine(processors=8, comm_cost_per_page=comm)
+        _plan, two_phase = TwoPhaseOptimizer(
+            catalog, graph, stats, machine
+        ).optimize()
+        aware = CommAwareOptimizer(catalog, graph, stats, machine).optimize()
+        rows.append(
+            (
+                comm,
+                round(two_phase.response_time, 1),
+                round(aware.response_time, 1),
+                f"{two_phase.response_time / max(aware.response_time, 1e-9):.2f}x",
+                "->".join(aware.join_order),
+            )
+        )
+    return rows
+
+
+def test_e11a_speedup_vs_work(benchmark):
+    catalog, graph, stats = _setup()
+    rows = run_scaling_experiment(catalog, graph, stats)
+    report(
+        "E11a",
+        "Two-phase parallel scheduling: response time vs total work",
+        ["processors", "response_time", "total_work", "comm", "exchanges"],
+        rows,
+        notes="response time falls with processors while total work "
+        "rises (startup + communication) -- the paper's footnote 5.",
+    )
+    times = [row[1] for row in rows]
+    works = [row[2] for row in rows]
+    assert times[0] > times[-1], "parallelism must cut response time"
+    assert works[-1] > works[0], "parallelism increases total work"
+
+    machine = ParallelMachine(processors=8, comm_cost_per_page=0.2)
+    benchmark(
+        lambda: TwoPhaseOptimizer(catalog, graph, stats, machine).optimize()
+    )
+
+
+def test_e11b_communication_aware(benchmark):
+    catalog, graph, stats = _setup()
+    rows = run_comm_experiment(catalog, graph, stats)
+    report(
+        "E11b",
+        "Two-phase (comm-blind) vs partitioning-as-physical-property",
+        ["comm_cost/page", "two_phase_resp", "comm_aware_resp", "gain",
+         "aware_join_order"],
+        rows,
+        notes="as communication grows, reusing an existing partitioning "
+        "(Hasan [28]) matters more; the comm-blind two-phase plan keeps "
+        "repartitioning streams it just built.",
+    )
+    gains = [float(row[3].rstrip("x")) for row in rows]
+    assert all(g >= 0.95 for g in gains)
+    assert gains[-1] > gains[0], "benefit must grow with comm cost"
+
+    machine = ParallelMachine(processors=8, comm_cost_per_page=5.0)
+    benchmark(
+        lambda: CommAwareOptimizer(catalog, graph, stats, machine).optimize()
+    )

@@ -1,0 +1,92 @@
+"""E15 -- Distributed joins: semijoin programs vs shipping relations
+(paper Section 7.1, first paragraph).
+
+Claims: early distributed optimizers minimized communication with
+semijoin reducers [1, 3]; System R* showed local processing dominates
+when communication is not the bottleneck [39].  We sweep the network's
+cost-per-page and the semijoin's reduction power, reporting which
+strategy the cost-based choice picks and by how much it wins.
+"""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.distributed import TwoSiteJoin
+from repro.cost import CostParameters
+
+from benchmarks.harness import report
+
+
+def _setup(s_domain):
+    """R (small, at the query site) joining S (large, remote).
+
+    ``s_domain`` controls the semijoin's reduction power: S keys drawn
+    from a large domain rarely match R's 50 keys (strong reduction);
+    keys drawn from R's own domain nearly all match (weak reduction --
+    the reducer ships almost everything).
+    """
+    catalog = Catalog()
+    rng = random.Random(171)
+    r = catalog.create_table(
+        "R", [Column("k", ColumnType.INT), Column("pay", ColumnType.STR)]
+    )
+    for _ in range(300):
+        r.insert((rng.randint(1, 50), "r" * 8))
+    s = catalog.create_table(
+        "S", [Column("k", ColumnType.INT), Column("pay", ColumnType.STR)]
+    )
+    for _ in range(10_000):
+        s.insert((rng.randint(1, s_domain), "s" * 8))
+    return catalog
+
+
+def run_experiment():
+    rows = []
+    for comm in (0.05, 1.0, 20.0):
+        for s_domain, reduction in ((10_000, "strong"), (40, "weak")):
+            catalog = _setup(s_domain)
+            join = TwoSiteJoin(
+                catalog, "R", "S", "k", "k",
+                params=CostParameters(comm_cost_per_page=comm),
+            )
+            ship, semi = join.compare()
+            winner = join.best().strategy
+            rows.append(
+                (
+                    comm,
+                    reduction,
+                    round(ship.total, 1),
+                    round(semi.total, 1),
+                    round(ship.comm_pages, 1),
+                    round(semi.comm_pages, 1),
+                    winner,
+                )
+            )
+    return rows
+
+
+def test_e15_distributed_semijoin(benchmark):
+    rows = run_experiment()
+    report(
+        "E15",
+        "Two-site join: ship-whole vs semijoin program",
+        ["comm/page", "reduction", "ship_total", "semi_total",
+         "ship_pages", "semi_pages", "winner"],
+        rows,
+        notes="semijoin wins only with an expensive network AND a strong "
+        "reduction; with cheap communication local processing dominates "
+        "and shipping the relation wins -- the R* finding [39].",
+    )
+    by_key = {(row[0], row[1]): row[6] for row in rows}
+    assert by_key[(20.0, "strong")] == "semijoin"
+    assert by_key[(0.05, "strong")] == "ship-whole"
+    assert by_key[(20.0, "weak")] == "ship-whole"
+
+    catalog = _setup(50)
+    join = TwoSiteJoin(
+        catalog, "R", "S", "k", "k",
+        params=CostParameters(comm_cost_per_page=20.0),
+    )
+    benchmark(join.compare)

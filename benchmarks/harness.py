@@ -1,0 +1,87 @@
+"""Shared reporting helpers for the benchmark suite.
+
+Every experiment prints a formatted table (the series the paper's claim
+is about) and saves it under ``benchmarks/results/`` so EXPERIMENTS.md
+can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def rows_match(got, want, tolerance: float = 1e-6) -> bool:
+    """Order-insensitive multiset comparison, NULL-safe and float-tolerant."""
+
+    def key(row):
+        return tuple(
+            (v is None, type(v).__name__, v if v is not None else 0) for v in row
+        )
+
+    got_sorted = sorted((tuple(r) for r in got), key=key)
+    want_sorted = sorted((tuple(r) for r in want), key=key)
+    if len(got_sorted) != len(want_sorted):
+        return False
+    for left, right in zip(got_sorted, want_sorted):
+        if len(left) != len(right):
+            return False
+        for a, b in zip(left, right):
+            if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+                if abs(a - b) > tolerance * max(1.0, abs(a), abs(b)):
+                    return False
+            elif a != b:
+                return False
+    return True
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as a fixed-width text table."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def report(
+    experiment_id: str,
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    notes: Optional[str] = None,
+) -> str:
+    """Print and persist one experiment's table; returns the text."""
+    table = format_table(headers, rows)
+    parts = [f"=== {experiment_id}: {title} ===", table]
+    if notes:
+        parts.append(f"note: {notes}")
+    text = "\n".join(parts) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id.lower()}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print("\n" + text, flush=True)
+    return text

@@ -1,0 +1,77 @@
+"""The paper's Section 4.2 / 4.3 nested queries, rewritten step by step.
+
+Shows the QGM block structure, the naive (tuple-iteration) logical
+tree, the decorrelated tree the rewrite engine produces, and the work
+each form performs.
+
+Run:  python examples/nested_query_rewrites.py
+"""
+
+from repro import Database
+from repro.core.rewrite import RewriteContext, default_rule_engine
+from repro.datagen import build_emp_dept
+from repro.engine import InterpreterStats, interpret
+from repro.logical.lower import lower_block
+from repro.sql import Binder
+
+QUERIES = {
+    "correlated IN (Kim/Dayal flattening)": (
+        "SELECT Emp.name FROM Emp WHERE Emp.dept_no IN "
+        "(SELECT Dept.dept_no FROM Dept WHERE Dept.loc = 'Denver' "
+        "AND Emp.emp_no = Dept.mgr)"
+    ),
+    "correlated COUNT (outerjoin + group-by)": (
+        "SELECT D.name FROM Dept D WHERE D.num_machines >= "
+        "(SELECT COUNT(*) FROM Emp E WHERE D.dept_no = E.dept_no)"
+    ),
+    "uncorrelated scalar (evaluate once)": (
+        "SELECT name FROM Emp WHERE sal > (SELECT AVG(sal) FROM Emp)"
+    ),
+}
+
+
+def main() -> None:
+    db = Database()
+    build_emp_dept(db.catalog, emp_rows=500, dept_rows=50)
+    db.analyze()
+    binder = Binder(db.catalog)
+
+    for title, sql in QUERIES.items():
+        print("=" * 72)
+        print(f"-- {title}")
+        print(f"   {sql}")
+
+        block = binder.bind_sql(sql)
+        print(f"\n   QGM: {block.count_blocks()} blocks")
+        for subquery in block.subqueries:
+            print(f"   subquery predicate: {subquery.describe()}")
+
+        naive_tree = lower_block(block, db.catalog)
+        naive_stats = InterpreterStats()
+        _schema, naive_rows = interpret(naive_tree, db.catalog, naive_stats)
+
+        context = RewriteContext(catalog=db.catalog)
+        rewritten = default_rule_engine().rewrite(naive_tree, context)
+        rewritten_stats = InterpreterStats()
+        _schema, rewritten_rows = interpret(
+            rewritten, db.catalog, rewritten_stats
+        )
+
+        print(f"\n   rewrites fired: {context.trace}")
+        print("\n   rewritten logical tree:")
+        for line in rewritten.explain(indent=2).splitlines()[:8]:
+            print(f"  {line}")
+        print(
+            f"\n   tuple iteration: {naive_stats.inner_evaluations} inner "
+            f"evaluations, {naive_stats.rows_produced} rows of work"
+        )
+        print(
+            f"   after rewriting: {rewritten_stats.inner_evaluations} inner "
+            f"evaluations, {rewritten_stats.rows_produced} rows of work"
+        )
+        assert sorted(naive_rows) == sorted(rewritten_rows)
+        print(f"   identical results: {len(naive_rows)} rows\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro: a relational query optimizer framework.
+
+A from-scratch reproduction of the system described in Surajit
+Chaudhuri's PODS 1998 survey, "An Overview of Query Optimization in
+Relational Systems": a SQL front end, statistics with histograms, a
+cost model, a Volcano-style execution engine, and three optimizer
+architectures (System-R dynamic programming, Starburst-style rewrite
+rules, and a Cascades-style memo search).
+
+Quickstart::
+
+    from repro import Database
+    from repro.datagen import build_emp_dept
+
+    db = Database()
+    build_emp_dept(db.catalog, emp_rows=1000, dept_rows=50)
+    result = db.sql("SELECT E.name, D.name FROM Emp E, Dept D "
+                    "WHERE E.dept_no = D.dept_no AND E.sal > 100000")
+    print(result.plan.explain())
+"""
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.optimizer import Database, OptimizedQuery, Optimizer, QueryResult
+from repro.core.systemr.enumerator import EnumeratorConfig
+from repro.cost.parameters import CostParameters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "CostParameters",
+    "Database",
+    "EnumeratorConfig",
+    "OptimizedQuery",
+    "Optimizer",
+    "QueryResult",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro`` starts the interactive SQL shell."""
+
+import sys
+
+from repro.shell import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Catalog subsystem: schemas, tables, indexes, views, and statistics registry."""
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, IndexDef, TableSchema
+
+__all__ = ["Catalog", "Column", "ColumnType", "IndexDef", "TableSchema"]

@@ -1,0 +1,213 @@
+"""Schema objects: column types, column definitions, and table schemas.
+
+The type system is deliberately small -- the survey's optimization
+techniques do not depend on a rich type lattice, only on being able to
+compare, hash, and order values.  ``INT``, ``FLOAT``, and ``STR`` cover
+every workload in the paper (keys, measures, and names/locations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CatalogError
+
+
+class ColumnType(enum.Enum):
+    """Value domain of a column."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+
+    @property
+    def python_type(self) -> type:
+        """The Python type used to store values of this column type."""
+        return {ColumnType.INT: int, ColumnType.FLOAT: float, ColumnType.STR: str}[self]
+
+    def coerce(self, value: Any) -> Any:
+        """Convert ``value`` to this column's Python type (``None`` passes through).
+
+        Raises:
+            CatalogError: if the value cannot be represented in this type.
+        """
+        if value is None:
+            return None
+        try:
+            if self is ColumnType.INT:
+                if isinstance(value, float) and not value.is_integer():
+                    raise ValueError(value)
+                return int(value)
+            if self is ColumnType.FLOAT:
+                return float(value)
+            return str(value)
+        except (TypeError, ValueError) as exc:
+            raise CatalogError(f"cannot coerce {value!r} to {self.value}") from exc
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition inside a table schema.
+
+    Attributes:
+        name: column name, unique within its table.
+        col_type: the value domain.
+        nullable: whether NULL (Python ``None``) values are permitted.
+        width_bytes: modelled storage width, used by the page model and the
+            cost model to size data streams.  Defaults depend on the type.
+    """
+
+    name: str
+    col_type: ColumnType
+    nullable: bool = True
+    width_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+        if self.width_bytes <= 0:
+            default = {ColumnType.INT: 8, ColumnType.FLOAT: 8, ColumnType.STR: 24}
+            object.__setattr__(self, "width_bytes", default[self.col_type])
+
+
+class TableSchema:
+    """An ordered collection of columns with optional key metadata.
+
+    Args:
+        name: table name.
+        columns: ordered column definitions.
+        primary_key: names of the primary-key columns, if any.  Keys matter
+            to the optimizer: a join on a key is a foreign-key join, which
+            enables the group-by pushdown of Section 4.1.3.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ) -> None:
+        if not name:
+            raise CatalogError("table name must be non-empty")
+        if not columns:
+            raise CatalogError(f"table {name!r} must have at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._by_name: Dict[str, int] = {}
+        for position, column in enumerate(self.columns):
+            if column.name in self._by_name:
+                raise CatalogError(
+                    f"duplicate column {column.name!r} in table {name!r}"
+                )
+            self._by_name[column.name] = position
+        self.primary_key: Tuple[str, ...] = tuple(primary_key or ())
+        for key_col in self.primary_key:
+            if key_col not in self._by_name:
+                raise CatalogError(
+                    f"primary key column {key_col!r} not in table {name!r}"
+                )
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [column.name for column in self.columns]
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    @property
+    def row_width_bytes(self) -> int:
+        """Modelled width of one stored row in bytes."""
+        return sum(column.width_bytes for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with this name exists."""
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        """Look up a column definition by name.
+
+        Raises:
+            CatalogError: if no such column exists.
+        """
+        try:
+            return self.columns[self._by_name[name]]
+        except KeyError as exc:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from exc
+
+    def column_index(self, name: str) -> int:
+        """Position of a column within the row layout.
+
+        Raises:
+            CatalogError: if no such column exists.
+        """
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise CatalogError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from exc
+
+    def is_key(self, column_names: Sequence[str]) -> bool:
+        """Whether the given columns contain the primary key (hence are unique)."""
+        if not self.primary_key:
+            return False
+        return set(self.primary_key).issubset(set(column_names))
+
+    def validate_row(self, row: Sequence[Any]) -> Tuple[Any, ...]:
+        """Coerce and validate one row against this schema.
+
+        Returns the row as a tuple with values coerced to column types.
+
+        Raises:
+            CatalogError: on arity mismatch, type mismatch, or NULL in a
+                non-nullable column.
+        """
+        if len(row) != self.arity:
+            raise CatalogError(
+                f"row arity {len(row)} does not match table {self.name!r} "
+                f"arity {self.arity}"
+            )
+        coerced = []
+        for column, value in zip(self.columns, row):
+            if value is None and not column.nullable:
+                raise CatalogError(
+                    f"NULL in non-nullable column {self.name}.{column.name}"
+                )
+            coerced.append(column.col_type.coerce(value))
+        return tuple(coerced)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.col_type.value}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+
+@dataclass(frozen=True)
+class IndexDef:
+    """Metadata describing an index over a table.
+
+    Attributes:
+        name: index name, unique within the catalog.
+        table: indexed table name.
+        columns: indexed column names, in key order.
+        clustered: whether the base table rows are stored in index order.
+            A clustered index scan reads each data page once; an unclustered
+            one may touch one page per matching row (Section 5.2).
+        unique: whether key values are unique (e.g. a primary-key index).
+    """
+
+    name: str
+    table: str
+    columns: Tuple[str, ...]
+    clustered: bool = False
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise CatalogError(f"index {self.name!r} must cover at least one column")

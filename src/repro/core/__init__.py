@@ -1,0 +1,18 @@
+"""The optimizer core: the paper's primary contribution.
+
+Subpackages:
+
+* ``systemr`` -- bottom-up DP join enumeration with interesting orders.
+* ``rewrite`` -- the Starburst-style rewrite rule engine and rules.
+* ``cascades`` -- top-down memoized search.
+* ``parallel`` / ``distributed`` -- Section 7.1.
+* ``udf`` -- expensive predicate placement (Section 7.2).
+* ``matviews`` -- materialized views (Section 7.3).
+* ``parametric`` / ``cube`` -- Section 7.4.
+* ``optimizer`` -- the Database/Optimizer facade.
+* ``physicalize`` -- logical-to-physical lowering.
+"""
+
+from repro.core.optimizer import Database, OptimizedQuery, Optimizer, QueryResult
+
+__all__ = ["Database", "OptimizedQuery", "Optimizer", "QueryResult"]

@@ -1,0 +1,18 @@
+"""Volcano/Cascades-style top-down memoized optimization."""
+
+from repro.core.cascades.memo import Group, Memo, MExpr, Winner
+from repro.core.cascades.optimizer import (
+    CascadesConfig,
+    CascadesOptimizer,
+    CascadesStats,
+)
+
+__all__ = [
+    "CascadesConfig",
+    "CascadesOptimizer",
+    "CascadesStats",
+    "Group",
+    "MExpr",
+    "Memo",
+    "Winner",
+]

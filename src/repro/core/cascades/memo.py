@@ -1,0 +1,108 @@
+"""The memo: groups of logically equivalent expressions (Section 6.2).
+
+Volcano/Cascades keeps a table of optimization results keyed by the
+expression's *logical* properties and the *physical* properties required
+of it ("memoization").  For join optimization the logical property that
+identifies a group is the set of relations joined -- every way of
+joining the same set produces the same logical result, so all such
+multi-expressions share one group.
+
+A group records:
+
+* its logical multi-expressions (leaf access or a join of two groups),
+* its winners: the best physical plan found per required-property key,
+* exploration state (transformation rules are fired once per group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.cost.model import Cost
+from repro.physical.plans import PhysicalOp
+from repro.physical.properties import SortOrder
+
+
+@dataclass(frozen=True)
+class MExpr:
+    """A logical multi-expression: a leaf or a join of two groups.
+
+    Attributes:
+        kind: ``"get"`` or ``"join"``.
+        alias: the relation alias (leaf only).
+        left / right: child group keys (join only).
+    """
+
+    kind: str
+    alias: Optional[str] = None
+    left: Optional[FrozenSet[str]] = None
+    right: Optional[FrozenSet[str]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "get":
+            assert self.alias is not None
+        else:
+            assert self.left is not None and self.right is not None
+
+
+@dataclass
+class Winner:
+    """The best plan found for (group, required physical properties)."""
+
+    plan: PhysicalOp
+    cost: Cost
+
+
+@dataclass
+class Group:
+    """One equivalence class of the memo."""
+
+    aliases: FrozenSet[str]
+    mexprs: List[MExpr] = field(default_factory=list)
+    mexpr_set: Set[MExpr] = field(default_factory=set)
+    winners: Dict[Optional[SortOrder], Optional[Winner]] = field(
+        default_factory=dict
+    )
+    explored: bool = False
+
+    def add(self, mexpr: MExpr) -> bool:
+        """Add a multi-expression; returns False if already present."""
+        if mexpr in self.mexpr_set:
+            return False
+        self.mexpr_set.add(mexpr)
+        self.mexprs.append(mexpr)
+        return True
+
+
+class Memo:
+    """The table of groups, keyed by relation set."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[FrozenSet[str], Group] = {}
+
+    def group(self, aliases: FrozenSet[str]) -> Group:
+        """The group for a relation set, created on demand."""
+        existing = self._groups.get(aliases)
+        if existing is None:
+            existing = Group(aliases=aliases)
+            self._groups[aliases] = existing
+        return existing
+
+    def has_group(self, aliases: FrozenSet[str]) -> bool:
+        """Whether a group already exists for the relation set."""
+        return aliases in self._groups
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups materialized."""
+        return len(self._groups)
+
+    @property
+    def mexpr_count(self) -> int:
+        """Total logical multi-expressions across groups."""
+        return sum(len(group.mexprs) for group in self._groups.values())
+
+    def groups(self) -> List[Group]:
+        """All groups (no particular order)."""
+        return list(self._groups.values())

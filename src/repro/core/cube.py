@@ -1,0 +1,249 @@
+"""The CUBE operator (paper Section 7.4, [24]).
+
+The paper closes with decision-support SQL extensions whose purpose is
+to give the *optimizer* something to work with; CUBE generalizes
+GROUP BY to all 2^d combinations of d grouping columns (cross-tabs and
+sub-totals in one result, with ``ALL`` marking the rolled-up columns).
+
+Two computation strategies are implemented, because the interesting
+systems question is the same one as everywhere else in the paper --
+how much work does a smarter plan save:
+
+* **naive**: run one independent GROUP BY per grouping set over the
+  base table (2^d scans/aggregations);
+* **rollup-from-finest**: aggregate the base table once at the finest
+  granularity, then compute every coarser grouping set from its parent
+  cuboid -- valid for decomposable aggregates, and the standard
+  practical optimization.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanError
+from repro.expr.aggregates import AggFunc, AggregateCall
+
+# The marker for a rolled-up dimension in cube output rows.
+ALL = "*ALL*"
+
+_COMBINE = {
+    AggFunc.COUNT: lambda a, b: a + b,
+    AggFunc.SUM: lambda a, b: a + b,
+    AggFunc.MIN: min,
+    AggFunc.MAX: max,
+}
+
+
+@dataclass
+class CubeResult:
+    """The materialized cube.
+
+    Attributes:
+        dimensions: grouping column names, in order.
+        aggregate_names: output aggregate column names.
+        rows: tuples of (d1, ..., dk, agg1, ..., aggm) with ``ALL``
+            in rolled-up dimension positions.
+        work_rows: rows processed while computing (the strategy metric).
+    """
+
+    dimensions: List[str]
+    aggregate_names: List[str]
+    rows: List[Tuple[Any, ...]]
+    work_rows: int
+
+    def slice(self, **bindings: Any) -> List[Tuple[Any, ...]]:
+        """Rows of one cuboid: named dimensions bound, the rest ALL.
+
+        ``cube.slice(d1=3)`` returns the (d1) cuboid's row for value 3.
+        """
+        positions = {name: i for i, name in enumerate(self.dimensions)}
+        for name in bindings:
+            if name not in positions:
+                raise PlanError(f"unknown cube dimension {name!r}")
+        wanted = []
+        for row in self.rows:
+            ok = True
+            for i, name in enumerate(self.dimensions):
+                expected = bindings.get(name, ALL)
+                if expected is ALL:
+                    if row[i] != ALL:
+                        ok = False
+                        break
+                elif row[i] != expected:
+                    ok = False
+                    break
+            if ok:
+                wanted.append(row)
+        return wanted
+
+
+def _validate(aggregates: Sequence[AggregateCall]) -> None:
+    for call in aggregates:
+        if call.distinct:
+            raise PlanError("CUBE does not support DISTINCT aggregates")
+        if call.func is AggFunc.AVG:
+            raise PlanError(
+                "decompose AVG into SUM and COUNT before cubing"
+            )
+
+
+def _group(
+    rows: List[Tuple[Any, ...]],
+    key_positions: Sequence[int],
+    value_positions: Sequence[int],
+    aggregates: Sequence[AggregateCall],
+) -> Dict[Tuple[Any, ...], List[Any]]:
+    """Base-table aggregation: COUNT counts rows (non-null for COUNT(col)),
+    SUM/MIN/MAX fold values."""
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    for row in rows:
+        key = tuple(row[p] for p in key_positions)
+        state = groups.get(key)
+        if state is None:
+            state = [None] * len(aggregates)
+            groups[key] = state
+        for index, call in enumerate(aggregates):
+            if call.func is AggFunc.COUNT:
+                if call.is_star or row[value_positions[index]] is not None:
+                    state[index] = (state[index] or 0) + 1
+                continue
+            value = row[value_positions[index]]
+            if value is None:
+                continue
+            if state[index] is None:
+                state[index] = value
+            else:
+                state[index] = _COMBINE[call.func](state[index], value)
+    return groups
+
+
+def compute_cube_naive(
+    catalog: Catalog,
+    table: str,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateCall],
+) -> CubeResult:
+    """One independent aggregation pass per grouping set (2^d passes)."""
+    _validate(aggregates)
+    heap = catalog.table(table)
+    schema = heap.schema
+    dim_positions = [schema.column_index(name) for name in dimensions]
+    agg_positions = [
+        schema.column_index(next(iter(call.arg.columns())).column)
+        if call.arg is not None
+        else -1
+        for call in aggregates
+    ]
+    base = [tuple(row) for row in heap.rows()]
+    out: List[Tuple[Any, ...]] = []
+    work = 0
+    for mask in range(2 ** len(dimensions)):
+        kept = [i for i in range(len(dimensions)) if mask & (1 << i)]
+        groups = _group(
+            base,
+            [dim_positions[i] for i in kept],
+            agg_positions,
+            aggregates,
+        )
+        work += len(base)
+        for key, state in groups.items():
+            full_key: List[Any] = [ALL] * len(dimensions)
+            for position, i in enumerate(kept):
+                full_key[i] = key[position]
+            out.append(tuple(full_key) + tuple(state))
+    return CubeResult(
+        dimensions=list(dimensions),
+        aggregate_names=[call.alias for call in aggregates],
+        rows=out,
+        work_rows=work,
+    )
+
+
+def compute_cube_rollup(
+    catalog: Catalog,
+    table: str,
+    dimensions: Sequence[str],
+    aggregates: Sequence[AggregateCall],
+) -> CubeResult:
+    """Aggregate once at the finest granularity, then roll up.
+
+    Each coarser cuboid is computed from a parent cuboid with one more
+    dimension, never from the base table -- the data-reduction effect
+    of early aggregation once more (compare Section 4.1.3).
+    """
+    _validate(aggregates)
+    heap = catalog.table(table)
+    schema = heap.schema
+    dim_positions = [schema.column_index(name) for name in dimensions]
+    agg_positions = [
+        schema.column_index(next(iter(call.arg.columns())).column)
+        if call.arg is not None
+        else -1
+        for call in aggregates
+    ]
+    base = [tuple(row) for row in heap.rows()]
+    d = len(dimensions)
+    work = len(base)
+
+    # Finest cuboid from the base table.
+    finest = _group(base, dim_positions, agg_positions, aggregates)
+    cuboids: Dict[int, Dict[Tuple[Any, ...], List[Any]]] = {
+        (2 ** d - 1): finest
+    }
+
+    # Every coarser cuboid from a parent with exactly one more bit set.
+    for mask in sorted(range(2 ** d - 1), key=lambda m: -bin(m).count("1")):
+        parent_mask = None
+        for bit in range(d):
+            candidate = mask | (1 << bit)
+            if candidate != mask and candidate in cuboids:
+                parent_mask = candidate
+                dropped_bit = bit
+                break
+        assert parent_mask is not None
+        parent = cuboids[parent_mask]
+        parent_bits = [i for i in range(d) if parent_mask & (1 << i)]
+        kept_positions = [
+            position
+            for position, i in enumerate(parent_bits)
+            if i != dropped_bit
+        ]
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        for key, state in parent.items():
+            work += 1
+            new_key = tuple(key[p] for p in kept_positions)
+            existing = groups.get(new_key)
+            if existing is None:
+                groups[new_key] = list(state)
+            else:
+                for index, call in enumerate(aggregates):
+                    if state[index] is None:
+                        continue
+                    if existing[index] is None:
+                        existing[index] = state[index]
+                    else:
+                        # COUNT partials merge by addition, which is what
+                        # _COMBINE maps COUNT to.
+                        existing[index] = _COMBINE[call.func](
+                            existing[index], state[index]
+                        )
+        cuboids[mask] = groups
+
+    out: List[Tuple[Any, ...]] = []
+    for mask, groups in cuboids.items():
+        kept = [i for i in range(d) if mask & (1 << i)]
+        for key, state in groups.items():
+            full_key: List[Any] = [ALL] * d
+            for position, i in enumerate(kept):
+                full_key[i] = key[position]
+            out.append(tuple(full_key) + tuple(state))
+    return CubeResult(
+        dimensions=list(dimensions),
+        aggregate_names=[call.alias for call in aggregates],
+        rows=out,
+        work_rows=work,
+    )

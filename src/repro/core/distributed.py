@@ -1,0 +1,176 @@
+"""Distributed join strategies (paper Section 7.1, first paragraph).
+
+Early distributed optimizers (SDD-1 [3], Apers/Hevner/Yao [1]) focused
+almost exclusively on *communication*, using semijoin programs: ship
+the join column of R to S's site, reduce S to the matching rows, and
+ship only those back.  System R* later showed that *local processing*
+costs dominate in practice [39], so shipping the whole relation (and
+doing one efficient local join) often wins once networks are not the
+bottleneck.
+
+Both strategies are implemented over real stored tables; costs combine
+measured communication volume (rows shipped x row width, in pages) with
+the local-processing work of each step, priced by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import pages_for_rows
+from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.errors import OptimizerError
+
+
+@dataclass
+class DistributedPlanReport:
+    """Cost breakdown of one distributed strategy.
+
+    Attributes:
+        strategy: "ship-whole" or "semijoin".
+        comm_pages: pages moved between sites.
+        comm_cost: priced communication.
+        local_cost: priced local processing at both sites.
+        result_rows: rows of the final join.
+    """
+
+    strategy: str
+    comm_pages: float
+    comm_cost: float
+    local_cost: float
+    result_rows: int
+
+    @property
+    def total(self) -> float:
+        """Combined objective."""
+        return self.comm_cost + self.local_cost
+
+
+class TwoSiteJoin:
+    """A join between R (at the query site) and S (at a remote site).
+
+    Args:
+        catalog: holds both tables.
+        left / right: table names (R local, S remote).
+        left_key / right_key: equijoin columns.
+        params: cost parameters; ``comm_cost_per_page`` prices shipping.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        left: str,
+        right: str,
+        left_key: str,
+        right_key: str,
+        params: CostParameters = DEFAULT_PARAMETERS,
+    ) -> None:
+        self.catalog = catalog
+        self.left = catalog.table(left)
+        self.right = catalog.table(right)
+        self.left_key = self.left.schema.column_index(left_key)
+        self.right_key = self.right.schema.column_index(right_key)
+        self.params = params
+
+    # ------------------------------------------------------------------
+    def _join_rows(self, right_rows: Sequence[Tuple]) -> int:
+        build: Dict = {}
+        for row in right_rows:
+            key = row[self.right_key]
+            if key is None:
+                continue
+            build[key] = build.get(key, 0) + 1
+        total = 0
+        for row in self.left.rows():
+            key = row[self.left_key]
+            if key is not None:
+                total += build.get(key, 0)
+        return total
+
+    def _hash_join_cpu(self, build_rows: float, probe_rows: float,
+                       output_rows: float) -> float:
+        p = self.params
+        return (
+            build_rows * p.cpu_hash_cost
+            + probe_rows * p.cpu_hash_cost
+            + output_rows * p.cpu_tuple_cost
+        )
+
+    # ------------------------------------------------------------------
+    def ship_whole(self) -> DistributedPlanReport:
+        """Ship S entirely to the query site, then join locally."""
+        right_rows = self.right.rows()
+        right_width = self.right.schema.row_width_bytes
+        comm_pages = pages_for_rows(len(right_rows), right_width, self.params)
+        result_rows = self._join_rows(right_rows)
+        local = (
+            float(self.right.page_count) * self.params.seq_page_cost  # read S
+            + float(self.left.page_count) * self.params.seq_page_cost  # read R
+            + self._hash_join_cpu(len(right_rows), self.left.row_count,
+                                  result_rows)
+        )
+        return DistributedPlanReport(
+            strategy="ship-whole",
+            comm_pages=comm_pages,
+            comm_cost=comm_pages * self.params.comm_cost_per_page,
+            local_cost=local,
+            result_rows=result_rows,
+        )
+
+    def semijoin(self) -> DistributedPlanReport:
+        """The semijoin program: ship keys(R) -> reduce S -> ship back.
+
+        Pays extra local processing (projecting/deduplicating R's keys,
+        the reduction probe at S's site, and a second join at home) in
+        exchange for shipping only matching S rows.
+        """
+        p = self.params
+        # Step 1: distinct join-column values of R, shipped to S's site.
+        keys = {
+            row[self.left_key]
+            for row in self.left.rows()
+            if row[self.left_key] is not None
+        }
+        key_width = self.left.schema.columns[self.left_key].width_bytes
+        key_pages = pages_for_rows(len(keys), key_width, p)
+        local = (
+            float(self.left.page_count) * p.seq_page_cost  # scan R for keys
+            + self.left.row_count * p.cpu_hash_cost  # dedup
+        )
+        # Step 2: reduce S at its site.
+        reduced = [
+            row for row in self.right.rows() if row[self.right_key] in keys
+        ]
+        local += (
+            float(self.right.page_count) * p.seq_page_cost
+            + self.right.row_count * p.cpu_hash_cost
+        )
+        # Step 3: ship the reduction home and join.
+        right_width = self.right.schema.row_width_bytes
+        reduced_pages = pages_for_rows(len(reduced), right_width, p)
+        result_rows = self._join_rows(reduced)
+        local += (
+            float(self.left.page_count) * p.seq_page_cost  # scan R again
+            + self._hash_join_cpu(len(reduced), self.left.row_count,
+                                  result_rows)
+        )
+        comm_pages = key_pages + reduced_pages
+        return DistributedPlanReport(
+            strategy="semijoin",
+            comm_pages=comm_pages,
+            comm_cost=comm_pages * p.comm_cost_per_page,
+            local_cost=local,
+            result_rows=result_rows,
+        )
+
+    def best(self) -> DistributedPlanReport:
+        """The cost-based choice between the two strategies."""
+        ship = self.ship_whole()
+        semi = self.semijoin()
+        return ship if ship.total <= semi.total else semi
+
+    def compare(self) -> Tuple[DistributedPlanReport, DistributedPlanReport]:
+        """(ship_whole, semijoin) reports for side-by-side analysis."""
+        return self.ship_whole(), self.semijoin()

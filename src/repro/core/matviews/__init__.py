@@ -1,0 +1,11 @@
+"""Materialized views: matching, rewriting, and cost-based use (Sec 7.3)."""
+
+from repro.core.matviews.manager import create_materialized_view, optimize_with_views
+from repro.core.matviews.rewriter import MaterializedView, MatViewRewriter
+
+__all__ = [
+    "MatViewRewriter",
+    "MaterializedView",
+    "create_materialized_view",
+    "optimize_with_views",
+]

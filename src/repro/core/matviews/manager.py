@@ -1,0 +1,84 @@
+"""Materialized-view lifecycle: creation, storage, cost-based use."""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType
+from repro.engine.interpreter import interpret
+from repro.errors import OptimizerError
+from repro.logical.lower import lower_block
+from repro.sql.binder import Binder
+from repro.stats.summaries import analyze_table
+from repro.core.matviews.rewriter import MaterializedView, MatViewRewriter
+
+
+def _infer_type(values: Sequence[Any]) -> ColumnType:
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return ColumnType.INT
+        if isinstance(value, int):
+            return ColumnType.INT
+        if isinstance(value, float):
+            return ColumnType.FLOAT
+        return ColumnType.STR
+    return ColumnType.FLOAT
+
+
+def create_materialized_view(
+    catalog: Catalog,
+    name: str,
+    sql: str,
+    binder: Optional[Binder] = None,
+) -> MaterializedView:
+    """Evaluate a defining query and store its result as a table.
+
+    The backing table is named after the view; its columns carry the
+    select-list names.  Statistics are collected immediately so the
+    optimizer can cost plans that scan the view.
+
+    Raises:
+        OptimizerError: if the defining query is not single-block.
+    """
+    if binder is None:
+        binder = Binder(catalog)
+    block = binder.bind_sql(sql)
+    logical = lower_block(block, catalog)
+    schema, rows = interpret(logical, catalog)
+    names = [slot_name for _alias, slot_name in schema.slots]
+    columns = []
+    for index, column_name in enumerate(names):
+        column_values = [row[index] for row in rows]
+        columns.append(Column(column_name, _infer_type(column_values)))
+    table = catalog.create_table(name, columns)
+    for row in rows:
+        table.insert(row)
+    analyze_table(catalog, name)
+    view = MaterializedView(name=name, block=block, table=name)
+    catalog.register_materialized_view(name, view)
+    return view
+
+
+def optimize_with_views(optimizer, sql: str):
+    """Optimize a query considering materialized-view reformulations.
+
+    Runs the optimizer on the original block and on every matching
+    view-based reformulation, then returns
+    ``(best OptimizedQuery, MaterializedView or None)`` by estimated
+    cost -- the cost-based integration the paper calls for in [9].
+    """
+    block = optimizer.binder.bind_sql(sql)
+    rewriter = MatViewRewriter(optimizer.catalog)
+    candidates = [(None, optimizer.optimize_block(block))]
+    for view, rewritten_block in rewriter.rewrites(block):
+        try:
+            candidates.append((view, optimizer.optimize_block(rewritten_block)))
+        except Exception:
+            continue  # an infeasible reformulation never beats the original
+    best_view, best = min(
+        candidates, key=lambda pair: pair[1].physical.est_cost.total
+    )
+    return best, best_view

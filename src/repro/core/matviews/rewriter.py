@@ -1,0 +1,359 @@
+"""Answering queries using materialized views (Section 7.3).
+
+A materialized view is a stored query result the optimizer may use
+transparently.  The general reformulation problem is undecidable; as the
+paper notes, practical systems handle *single-block* queries, which is
+what this module does:
+
+* **SPJ views**: when a view's relations, predicates, and output columns
+  cover a sub-join of the query, the mapped quantifiers are replaced by
+  a scan of the view and the covered predicates are dropped.
+* **Aggregate views**: when the view groups the same join at the same or
+  finer granularity and carries the needed aggregates, the query is
+  answered by (re-)aggregating the view -- SUM from SUM, COUNT by
+  summing partial counts, MIN/MAX from themselves.
+
+Whether to *use* a matching view is decided cost-based by the caller
+(compare the optimized costs of both forms), approximating the
+integration of view matching with enumeration described in [9].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.expr.aggregates import AggFunc, AggregateCall
+from repro.expr.expressions import ColumnRef, Expr, rename_tables
+from repro.logical.operators import ProjectItem
+from repro.logical.qgm import QueryBlock, Quantifier, fresh_block_label
+
+_REAGG = {
+    AggFunc.SUM: AggFunc.SUM,
+    AggFunc.COUNT: AggFunc.SUM,  # partial counts are summed
+    AggFunc.MIN: AggFunc.MIN,
+    AggFunc.MAX: AggFunc.MAX,
+}
+
+
+@dataclass
+class MaterializedView:
+    """A registered materialized view.
+
+    Attributes:
+        name: view (and backing table) name.
+        block: the bound defining query (single-block).
+        table: backing table name holding the materialized rows.
+    """
+
+    name: str
+    block: QueryBlock
+    table: str
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether the view computes GROUP BY aggregates."""
+        return self.block.has_grouping
+
+
+class MatViewRewriter:
+    """Attempts to reformulate a query block over materialized views."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.views: List[MaterializedView] = [
+            descriptor
+            for descriptor in catalog.materialized_views().values()
+            if isinstance(descriptor, MaterializedView)
+        ]
+
+    # ------------------------------------------------------------------
+    def rewrites(self, block: QueryBlock) -> List[Tuple[MaterializedView, QueryBlock]]:
+        """All view-based reformulations of a single-block query."""
+        if not block.is_single_block:
+            return []
+        results = []
+        for view in self.views:
+            rewritten = self.try_rewrite(block, view)
+            if rewritten is not None:
+                results.append((view, rewritten))
+        return results
+
+    def try_rewrite(
+        self, block: QueryBlock, view: MaterializedView
+    ) -> Optional[QueryBlock]:
+        """Reformulate ``block`` over one view, or None if it does not match."""
+        if not block.is_single_block or not view.block.is_single_block:
+            return None
+        if view.is_aggregate:
+            return self._rewrite_aggregate(block, view)
+        return self._rewrite_spj(block, view)
+
+    # ------------------------------------------------------------------
+    # Quantifier mapping search
+    # ------------------------------------------------------------------
+    def _mappings(
+        self, block: QueryBlock, view: MaterializedView
+    ) -> List[Dict[str, str]]:
+        """Injective maps from view aliases to query aliases over the same
+        base tables."""
+        view_quantifiers = view.block.quantifiers
+        candidates: List[List[str]] = []
+        for quantifier in view_quantifiers:
+            matches = [
+                q.alias
+                for q in block.quantifiers
+                if not q.over_block and q.table == quantifier.table
+            ]
+            if not matches:
+                return []
+            candidates.append(matches)
+        mappings = []
+        for combo in itertools.product(*candidates):
+            if len(set(combo)) != len(combo):
+                continue
+            mappings.append(
+                {
+                    quantifier.alias: alias
+                    for quantifier, alias in zip(view_quantifiers, combo)
+                }
+            )
+        return mappings
+
+    def _predicates_covered(
+        self, block: QueryBlock, view: MaterializedView, mapping: Dict[str, str]
+    ) -> Optional[List[Expr]]:
+        """Query predicates left over after removing the view's own
+        predicates (syntactic containment check); None if some view
+        predicate has no counterpart (the view is more restrictive)."""
+        mapped_view_preds = [
+            rename_tables(predicate, mapping) for predicate in view.block.predicates
+        ]
+        remaining = list(block.predicates)
+        for predicate in mapped_view_preds:
+            if predicate in remaining:
+                remaining.remove(predicate)
+            else:
+                return None
+        return remaining
+
+    def _output_map(
+        self, view: MaterializedView, mapping: Dict[str, str], view_alias: str
+    ) -> Dict[ColumnRef, ColumnRef]:
+        """Map from query-side column refs to view output columns."""
+        result: Dict[ColumnRef, ColumnRef] = {}
+        for item in view.block.select_items:
+            if isinstance(item.expr, ColumnRef):
+                mapped = rename_tables(item.expr, mapping)
+                result[mapped] = ColumnRef(view_alias, item.name)
+        return result
+
+    # ------------------------------------------------------------------
+    # SPJ views
+    # ------------------------------------------------------------------
+    def _rewrite_spj(
+        self, block: QueryBlock, view: MaterializedView
+    ) -> Optional[QueryBlock]:
+        for mapping in self._mappings(block, view):
+            remaining = self._predicates_covered(block, view, mapping)
+            if remaining is None:
+                continue
+            view_alias = f"mv_{view.name}"
+            out_map = self._output_map(view, mapping, view_alias)
+            mapped_aliases = set(mapping.values())
+
+            def translate(expr: Expr) -> Optional[Expr]:
+                from repro.expr.expressions import substitute_columns
+
+                needed = [
+                    ref for ref in expr.columns() if ref.table in mapped_aliases
+                ]
+                if any(ref not in out_map for ref in needed):
+                    return None
+                return substitute_columns(expr, out_map)
+
+            new_predicates = []
+            feasible = True
+            for predicate in remaining:
+                translated = translate(predicate)
+                if translated is None:
+                    feasible = False
+                    break
+                new_predicates.append(translated)
+            if not feasible:
+                continue
+            new_items = []
+            for item in block.select_items:
+                translated = translate(item.expr)
+                if translated is None:
+                    feasible = False
+                    break
+                new_items.append(ProjectItem(translated, item.name, item.alias))
+            if not feasible:
+                continue
+            new_keys = []
+            for key in block.group_keys:
+                translated = translate(key)
+                if translated is None or not isinstance(translated, ColumnRef):
+                    feasible = False
+                    break
+                new_keys.append(translated)
+            if not feasible:
+                continue
+            new_aggs = []
+            for call in block.aggregates:
+                if call.arg is None:
+                    new_aggs.append(call)
+                    continue
+                translated = translate(call.arg)
+                if translated is None:
+                    feasible = False
+                    break
+                new_aggs.append(
+                    AggregateCall(call.func, translated, call.distinct, call.alias)
+                )
+            if not feasible:
+                continue
+            having = None
+            if block.having is not None:
+                having = translate(block.having)
+                if having is None:
+                    continue
+            new_block = QueryBlock(label=block.label)
+            new_block.quantifiers = [
+                Quantifier(alias=view_alias, table=view.table)
+            ] + [
+                quantifier
+                for quantifier in block.quantifiers
+                if quantifier.alias not in mapped_aliases
+            ]
+            new_block.predicates = new_predicates
+            new_block.select_items = new_items
+            new_block.group_keys = new_keys
+            new_block.aggregates = new_aggs
+            new_block.having = having
+            new_block.distinct = block.distinct
+            new_block.order_by = list(block.order_by)
+            return new_block
+        return None
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def _rewrite_aggregate(
+        self, block: QueryBlock, view: MaterializedView
+    ) -> Optional[QueryBlock]:
+        if not block.has_grouping:
+            return None
+        # The view must cover the query's entire FROM clause.
+        if len(view.block.quantifiers) != len(block.quantifiers):
+            return None
+        for mapping in self._mappings(block, view):
+            if len(mapping) != len(block.quantifiers):
+                continue
+            remaining = self._predicates_covered(block, view, mapping)
+            if remaining is None:
+                continue
+            view_alias = f"mv_{view.name}"
+            mapped_keys: Dict[ColumnRef, str] = {}
+            agg_out_names: Dict[str, str] = {}
+            view_key_set = set(view.block.group_keys)
+            for item in view.block.select_items:
+                if isinstance(item.expr, ColumnRef):
+                    if item.expr in view_key_set:
+                        mapped_keys[rename_tables(item.expr, mapping)] = item.name
+                    elif item.expr.table == view.block.label:
+                        agg_out_names[item.expr.column] = item.name
+            # Query keys must be among the view's (finer) grouping keys.
+            new_keys: List[ColumnRef] = []
+            feasible = True
+            for key in block.group_keys:
+                if key not in mapped_keys:
+                    feasible = False
+                    break
+                new_keys.append(ColumnRef(view_alias, mapped_keys[key]))
+            if not feasible:
+                continue
+            # Leftover predicates may only touch the view's group keys.
+            new_predicates = []
+            for predicate in remaining:
+                refs = predicate.columns()
+                if not all(ref in mapped_keys for ref in refs):
+                    feasible = False
+                    break
+                new_predicates.append(
+                    _substitute_keys(predicate, mapped_keys, view_alias)
+                )
+            if not feasible:
+                continue
+            # Aggregates must be derivable from the view's aggregates.
+            view_agg_by_signature = {
+                (call.func, rename_tables(call.arg, mapping) if call.arg else None,
+                 call.distinct): call.alias
+                for call in view.block.aggregates
+            }
+            new_aggs: List[AggregateCall] = []
+            for call in block.aggregates:
+                signature = (call.func, call.arg, call.distinct)
+                if call.distinct or call.func not in _REAGG:
+                    feasible = False
+                    break
+                alias = view_agg_by_signature.get(signature)
+                if alias is None:
+                    feasible = False
+                    break
+                column = agg_out_names.get(alias, alias)
+                new_aggs.append(
+                    AggregateCall(
+                        _REAGG[call.func],
+                        ColumnRef(view_alias, column),
+                        alias=call.alias,
+                    )
+                )
+            if not feasible:
+                continue
+            new_block = QueryBlock(label=block.label)
+            new_block.quantifiers = [Quantifier(alias=view_alias, table=view.table)]
+            new_block.predicates = new_predicates
+            new_block.group_keys = new_keys
+            new_block.aggregates = new_aggs
+            # Select items: group keys and aggregate outputs, renamed.
+            new_items = []
+            for item in block.select_items:
+                expr = item.expr
+                if isinstance(expr, ColumnRef) and expr.table == block.label:
+                    # aggregate output reference: keep (alias unchanged)
+                    new_items.append(item)
+                elif isinstance(expr, ColumnRef) and expr in mapped_keys:
+                    new_items.append(
+                        ProjectItem(
+                            ColumnRef(view_alias, mapped_keys[expr]),
+                            item.name,
+                            item.alias,
+                        )
+                    )
+                else:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            new_block.select_items = new_items
+            new_block.having = block.having
+            new_block.distinct = block.distinct
+            new_block.order_by = list(block.order_by)
+            return new_block
+        return None
+
+
+def _substitute_keys(
+    predicate: Expr, mapped_keys: Dict[ColumnRef, str], view_alias: str
+) -> Expr:
+    from repro.expr.expressions import substitute_columns
+
+    mapping = {
+        ref: ColumnRef(view_alias, name) for ref, name in mapped_keys.items()
+    }
+    return substitute_columns(predicate, mapping)

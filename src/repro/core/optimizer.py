@@ -1,0 +1,264 @@
+"""The optimizer facade and the user-facing Database API.
+
+``Optimizer`` wires the pipeline together the way Section 2 describes
+the two components of query evaluation: SQL text -> parse -> bind (QGM)
+-> lower -> rewrite (Starburst-style rules) -> plan (System-R DP over
+SPJ regions, operator mapping elsewhere) -> physical plan; the execution
+engine then runs the plan.
+
+``Database`` bundles a catalog with an optimizer and executor so the
+examples read like using an embedded database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column
+from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.engine.context import ExecContext
+from repro.engine.executor import execute
+from repro.engine.interpreter import InterpreterStats, interpret
+from repro.expr.schema import StreamSchema
+from repro.logical.lower import lower_block
+from repro.logical.operators import Get, LogicalOp
+from repro.logical.qgm import QueryBlock
+from repro.physical.plans import PhysicalOp
+from repro.sql.binder import Binder, UdfRegistration
+from repro.core.physicalize import Physicalizer
+from repro.core.rewrite import RewriteContext, RuleEngine, default_rule_engine
+from repro.core.systemr.enumerator import EnumeratorConfig
+from repro.stats.propagation import CardinalityEstimator
+from repro.stats.summaries import TableStats, analyze_all, analyze_table
+
+
+@dataclass
+class OptimizedQuery:
+    """The artifacts of optimizing one query."""
+
+    block: QueryBlock
+    logical: LogicalOp
+    rewritten: LogicalOp
+    physical: PhysicalOp
+    rewrite_trace: List[str] = field(default_factory=list)
+
+    def explain(self) -> str:
+        """The physical plan rendering."""
+        return self.physical.explain()
+
+
+class Optimizer:
+    """End-to-end query optimizer.
+
+    Args:
+        catalog: schema, data, statistics.
+        params: cost-model parameters.
+        config: join-enumerator knobs.
+        udfs: registered user-defined functions.
+        use_rewrites: run the Starburst-style rewrite phase (disable to
+            measure its benefit, e.g. benchmark E6).
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        params: CostParameters = DEFAULT_PARAMETERS,
+        config: EnumeratorConfig = EnumeratorConfig(),
+        udfs: Optional[Dict[str, UdfRegistration]] = None,
+        use_rewrites: bool = True,
+        rule_engine: Optional[RuleEngine] = None,
+        use_materialized_views: bool = True,
+    ) -> None:
+        self.catalog = catalog
+        self.params = params
+        self.config = config
+        self.binder = Binder(catalog, udfs)
+        self.use_rewrites = use_rewrites
+        self.rule_engine = rule_engine or default_rule_engine()
+        self.physicalizer = Physicalizer(catalog, params, config)
+        self.use_materialized_views = use_materialized_views
+
+    # ------------------------------------------------------------------
+    def optimize(self, sql: str) -> OptimizedQuery:
+        """Optimize SQL text into a physical plan.
+
+        When materialized views are registered (and enabled), every
+        matching reformulation competes with the original plan on
+        estimated cost -- the transparent use of Section 7.3.
+        """
+        block = self.binder.bind_sql(sql)
+        best = self.optimize_block(block)
+        if self.use_materialized_views and self.catalog.materialized_views():
+            from repro.core.matviews.rewriter import MatViewRewriter
+
+            rewriter = MatViewRewriter(self.catalog)
+            for view, rewritten_block in rewriter.rewrites(block):
+                try:
+                    candidate = self.optimize_block(rewritten_block)
+                except Exception:
+                    continue
+                if (
+                    candidate.physical.est_cost.total
+                    < best.physical.est_cost.total
+                ):
+                    candidate.rewrite_trace.append(
+                        f"materialized-view:{view.name}"
+                    )
+                    best = candidate
+        return best
+
+    def optimize_block(self, block: QueryBlock) -> OptimizedQuery:
+        """Optimize an already-bound query block."""
+        logical = lower_block(block, self.catalog)
+        context = RewriteContext(
+            catalog=self.catalog, estimator=self._estimator(logical)
+        )
+        rewritten = logical
+        if self.use_rewrites:
+            rewritten = self.rule_engine.rewrite(logical, context)
+        physical = self.physicalizer.physicalize(rewritten)
+        return OptimizedQuery(
+            block=block,
+            logical=logical,
+            rewritten=rewritten,
+            physical=physical,
+            rewrite_trace=context.trace,
+        )
+
+    def _estimator(self, logical: LogicalOp) -> CardinalityEstimator:
+        stats: Dict[str, TableStats] = {}
+        stack = [logical]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, Get):
+                existing = self.catalog.stats(node.table)
+                if existing is None:
+                    existing = analyze_table(
+                        self.catalog, node.table, histogram_kind=None
+                    )
+                stats[node.alias] = existing
+            stack.extend(node.children())
+        return CardinalityEstimator(stats)
+
+
+@dataclass
+class QueryResult:
+    """Rows plus the plan and the measured execution work."""
+
+    schema: StreamSchema
+    rows: List[Tuple[Any, ...]]
+    plan: PhysicalOp
+    context: ExecContext
+    rewrite_trace: List[str] = field(default_factory=list)
+
+    @property
+    def column_names(self) -> List[str]:
+        """Output column names."""
+        return [name for _alias, name in self.schema.slots]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """An embedded database: catalog + optimizer + executor.
+
+    Example:
+        >>> db = Database()
+        >>> from repro.datagen import build_emp_dept
+        >>> _ = build_emp_dept(db.catalog, emp_rows=100, dept_rows=10)
+        >>> result = db.sql("SELECT name FROM Emp WHERE sal > 100000")
+    """
+
+    def __init__(
+        self,
+        params: CostParameters = DEFAULT_PARAMETERS,
+        config: EnumeratorConfig = EnumeratorConfig(),
+        use_rewrites: bool = True,
+    ) -> None:
+        self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
+        self.params = params
+        self.config = config
+        self.use_rewrites = use_rewrites
+        self.udfs: Dict[str, UdfRegistration] = {}
+
+    # ------------------------------------------------------------------
+    # Schema management
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        primary_key: Optional[Sequence[str]] = None,
+    ):
+        """Create a table (see :meth:`Catalog.create_table`)."""
+        return self.catalog.create_table(name, columns, primary_key)
+
+    def create_index(self, name: str, table: str, columns: Sequence[str], **kw):
+        """Create an ordered index."""
+        return self.catalog.create_index(name, table, columns, **kw)
+
+    def create_view(self, name: str, sql: str) -> None:
+        """Register a virtual view by its defining SQL."""
+        self.catalog.create_view(name, sql)
+
+    def register_udf(
+        self,
+        name: str,
+        fn,
+        per_tuple_cost: float = 100.0,
+        selectivity: float = 0.5,
+    ) -> None:
+        """Register a user-defined function usable in WHERE clauses."""
+        self.udfs[name.lower()] = UdfRegistration(fn, per_tuple_cost, selectivity)
+
+    def analyze(self, histogram_kind: Optional[str] = "equi-depth") -> None:
+        """Collect statistics for every table."""
+        analyze_all(self.catalog, histogram_kind=histogram_kind)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def optimizer(self) -> Optimizer:
+        """A fresh optimizer bound to this database's catalog."""
+        return Optimizer(
+            self.catalog,
+            self.params,
+            self.config,
+            udfs=self.udfs,
+            use_rewrites=self.use_rewrites,
+        )
+
+    def optimize(self, sql: str) -> OptimizedQuery:
+        """Optimize without executing."""
+        return self.optimizer().optimize(sql)
+
+    def sql(self, text: str) -> QueryResult:
+        """Optimize and execute a query."""
+        optimized = self.optimize(text)
+        context = ExecContext(self.params)
+        schema, rows = execute(optimized.physical, self.catalog, context)
+        return QueryResult(
+            schema=schema,
+            rows=rows,
+            plan=optimized.physical,
+            context=context,
+            rewrite_trace=optimized.rewrite_trace,
+        )
+
+    def explain(self, text: str) -> str:
+        """The chosen physical plan for a query, as text."""
+        return self.optimize(text).explain()
+
+    def naive(self, text: str) -> Tuple[StreamSchema, List[Tuple[Any, ...]], InterpreterStats]:
+        """Execute via the reference interpreter (no optimization).
+
+        Used as the correctness oracle and the unoptimized baseline.
+        """
+        block = Binder(self.catalog, self.udfs).bind_sql(text)
+        logical = lower_block(block, self.catalog)
+        stats = InterpreterStats()
+        schema, rows = interpret(logical, self.catalog, stats)
+        return schema, rows, stats

@@ -1,0 +1,17 @@
+"""Parallel and distributed query optimization (Section 7.1)."""
+
+from repro.core.parallel.machine import ParallelMachine
+from repro.core.parallel.twophase import (
+    CommAwareOptimizer,
+    ParallelSchedule,
+    TwoPhaseOptimizer,
+    schedule_plan,
+)
+
+__all__ = [
+    "CommAwareOptimizer",
+    "ParallelMachine",
+    "ParallelSchedule",
+    "TwoPhaseOptimizer",
+    "schedule_plan",
+]

@@ -1,0 +1,102 @@
+"""Starburst-style query rewrite: rule engine and the paper's rules."""
+
+from repro.core.rewrite.engine import (
+    RewriteContext,
+    RewriteRule,
+    RuleClass,
+    RuleEngine,
+    transform_bottom_up,
+)
+from repro.core.rewrite.groupby import (
+    DEFAULT_GROUPBY_RULES,
+    GroupByPushdownRule,
+    StagedAggregationRule,
+)
+from repro.core.rewrite.moving import PredicateMoveAroundRule, infer_transitive
+from repro.core.rewrite.normalize import (
+    DEFAULT_NORMALIZE_RULES,
+    ComposeProjectsRule,
+    MergeFiltersRule,
+    PullUpSimpleProjectRule,
+    PushFilterIntoJoinRule,
+    PushFilterThroughGroupByRule,
+    PushFilterThroughProjectRule,
+    SimplifyOuterJoinRule,
+    is_null_rejecting,
+)
+from repro.core.rewrite.outerjoin import (
+    DEFAULT_OUTERJOIN_RULES,
+    JoinOuterJoinAssociationRule,
+)
+from repro.core.rewrite.unnesting import (
+    DEFAULT_UNNESTING_RULES,
+    DecorrelateScalarAggApplyRule,
+    DecorrelateSemiApplyRule,
+    UncorrelatedScalarApplyRule,
+    magic_decorrelate_scalar,
+    own_aliases,
+    preserves_row_uniqueness,
+    strip_correlated,
+)
+
+
+def default_rule_engine(
+    use_groupby_pushdown: bool = True,
+    use_predicate_moving: bool = True,
+) -> RuleEngine:
+    """The standard rewrite pipeline, in Starburst rule-class order:
+
+    1. unnesting/decorrelation (removes Apply operators),
+    2. predicate move-around (transitive constant inference, [36]),
+    3. normalization (filter merging/pushdown, outerjoin simplification),
+    4. join/outerjoin association,
+    5. cost-based group-by placement.
+    """
+    classes = [RuleClass("unnesting", DEFAULT_UNNESTING_RULES)]
+    if use_predicate_moving:
+        classes.append(
+            RuleClass("moving", (PredicateMoveAroundRule(),), max_passes=2)
+        )
+    classes.extend(
+        [
+            RuleClass("normalize", DEFAULT_NORMALIZE_RULES),
+            RuleClass("outerjoin", DEFAULT_OUTERJOIN_RULES),
+        ]
+    )
+    if use_groupby_pushdown:
+        classes.append(RuleClass("groupby", DEFAULT_GROUPBY_RULES, max_passes=1))
+    return RuleEngine(classes)
+
+
+__all__ = [
+    "DEFAULT_GROUPBY_RULES",
+    "PredicateMoveAroundRule",
+    "infer_transitive",
+    "DEFAULT_NORMALIZE_RULES",
+    "DEFAULT_OUTERJOIN_RULES",
+    "DEFAULT_UNNESTING_RULES",
+    "DecorrelateScalarAggApplyRule",
+    "DecorrelateSemiApplyRule",
+    "GroupByPushdownRule",
+    "JoinOuterJoinAssociationRule",
+    "ComposeProjectsRule",
+    "MergeFiltersRule",
+    "PullUpSimpleProjectRule",
+    "PushFilterIntoJoinRule",
+    "PushFilterThroughGroupByRule",
+    "PushFilterThroughProjectRule",
+    "RewriteContext",
+    "RewriteRule",
+    "RuleClass",
+    "RuleEngine",
+    "SimplifyOuterJoinRule",
+    "StagedAggregationRule",
+    "UncorrelatedScalarApplyRule",
+    "default_rule_engine",
+    "is_null_rejecting",
+    "magic_decorrelate_scalar",
+    "own_aliases",
+    "preserves_row_uniqueness",
+    "strip_correlated",
+    "transform_bottom_up",
+]

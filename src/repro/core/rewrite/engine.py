@@ -1,0 +1,110 @@
+"""A Starburst-style rewrite rule engine (Section 6.1).
+
+Rules are modelled exactly as the paper describes Starburst's: *pairs of
+functions* -- a condition check and a transformation -- governed by a
+forward-chaining engine.  Rules are grouped into rule classes whose
+evaluation order can be tuned, and every rule application yields a valid
+operator tree, so any sequence of applications preserves equivalence
+(assuming the rules themselves are valid).
+
+Because the query-rewrite phase runs without cost information (as the
+paper notes), rules here are either always-beneficial heuristics or
+carry their own cost check via the optional estimator in the context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.logical.operators import LogicalOp
+from repro.stats.propagation import CardinalityEstimator
+
+
+@dataclass
+class RewriteContext:
+    """Shared services available to rewrite rules.
+
+    Attributes:
+        catalog: schema and key metadata (e.g. foreign-key checks).
+        estimator: cardinality estimator for rules that are cost-based
+            (group-by pushdown); None disables those checks (rules then
+            apply heuristically).
+        trace: names of rules applied, in order.
+    """
+
+    catalog: Catalog
+    estimator: Optional[CardinalityEstimator] = None
+    trace: List[str] = field(default_factory=list)
+
+
+class RewriteRule:
+    """One transformation: a condition and an action on a single operator.
+
+    Subclasses implement :meth:`apply`, returning a replacement operator
+    or ``None`` when the rule does not fire at this node.
+    """
+
+    name = "rewrite-rule"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        """Try the rule at one node; None means no change."""
+        raise NotImplementedError
+
+
+def transform_bottom_up(
+    op: LogicalOp, fn: Callable[[LogicalOp], Optional[LogicalOp]]
+) -> LogicalOp:
+    """Rebuild a tree bottom-up, replacing nodes where ``fn`` returns one."""
+    children = op.children()
+    if children:
+        new_children = [transform_bottom_up(child, fn) for child in children]
+        if any(new is not old for new, old in zip(new_children, children)):
+            op = op.with_children(new_children)
+    replacement = fn(op)
+    return replacement if replacement is not None else op
+
+
+class RuleClass:
+    """An ordered group of rules applied to fixpoint (bounded)."""
+
+    def __init__(
+        self, name: str, rules: Sequence[RewriteRule], max_passes: int = 10
+    ) -> None:
+        self.name = name
+        self.rules = list(rules)
+        self.max_passes = max_passes
+
+    def run(self, op: LogicalOp, context: RewriteContext) -> LogicalOp:
+        """Forward-chain the class's rules until no rule fires."""
+        for _pass in range(self.max_passes):
+            changed = False
+
+            def try_rules(node: LogicalOp) -> Optional[LogicalOp]:
+                nonlocal changed
+                for rule in self.rules:
+                    replacement = rule.apply(node, context)
+                    if replacement is not None:
+                        context.trace.append(rule.name)
+                        changed = True
+                        return replacement
+                return None
+
+            op = transform_bottom_up(op, try_rules)
+            if not changed:
+                break
+        return op
+
+
+class RuleEngine:
+    """The full rewrite phase: rule classes evaluated in order."""
+
+    def __init__(self, rule_classes: Sequence[RuleClass]) -> None:
+        self.rule_classes = list(rule_classes)
+
+    def rewrite(self, op: LogicalOp, context: RewriteContext) -> LogicalOp:
+        """Run every rule class in order; returns the transformed tree."""
+        for rule_class in self.rule_classes:
+            op = rule_class.run(op, context)
+        return op

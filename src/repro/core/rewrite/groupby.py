@@ -1,0 +1,241 @@
+"""Group-by / join commutation (Section 4.1.3).
+
+Two transformations from the paper's Figure 4:
+
+* **Invariant pushdown** (Fig. 4b): when the join is a foreign-key join
+  into a relation whose key the group-by columns cover, and the
+  aggregated columns come from the group-by side, the entire group-by
+  moves below the join -- the join can only eliminate whole partitions,
+  never change them.
+* **Staged aggregation** (Fig. 4c): otherwise, when every aggregate is
+  decomposable, an *introduced* partial group-by runs below the join and
+  the original group-by above it combines the partials (e.g. total sales
+  per product below, summed per division above).
+
+Both are applied cost-based when an estimator is available, as the paper
+insists transformations must be.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.expr.aggregates import AggFunc, AggregateCall
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    conjuncts,
+)
+from repro.logical.operators import (
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    ProjectItem,
+)
+from repro.core.rewrite.engine import RewriteContext, RewriteRule
+
+
+def _base_get(op: LogicalOp) -> Optional[Get]:
+    """The single base-table access under an optional filter chain."""
+    while isinstance(op, Filter):
+        op = op.child
+    return op if isinstance(op, Get) else None
+
+
+def _equi_pairs(
+    join: Join, left_aliases: Set[str], right_aliases: Set[str]
+) -> Optional[List[Tuple[ColumnRef, ColumnRef]]]:
+    """(left_col, right_col) pairs when the predicate is purely equijoin."""
+    pairs: List[Tuple[ColumnRef, ColumnRef]] = []
+    for conjunct in conjuncts(join.predicate):
+        if not (
+            isinstance(conjunct, Comparison)
+            and conjunct.op is ComparisonOp.EQ
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            return None
+        l, r = conjunct.left, conjunct.right
+        if l.table in left_aliases and r.table in right_aliases:
+            pairs.append((l, r))
+        elif r.table in left_aliases and l.table in right_aliases:
+            pairs.append((r, l))
+        else:
+            return None
+    return pairs if pairs else None
+
+
+class GroupByPushdownRule(RewriteRule):
+    """Push a GroupBy below an inner join when provably invariant (Fig 4b).
+
+    Args:
+        require_benefit: when True (default) and an estimator is present,
+            fire only if grouping below the join reduces the stream; set
+            False to always fire when legal (used by ablation benches).
+    """
+
+    name = "groupby-pushdown"
+
+    def __init__(self, require_benefit: bool = True) -> None:
+        self.require_benefit = require_benefit
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not (isinstance(op, GroupBy) and isinstance(op.child, Join)):
+            return None
+        join = op.child
+        if join.kind is not JoinKind.INNER:
+            return None
+        for left, right in ((join.left, join.right), (join.right, join.left)):
+            rewritten = self._try_side(op, join, left, right, context)
+            if rewritten is not None:
+                return rewritten
+        return None
+
+    def _try_side(
+        self,
+        group: GroupBy,
+        join: Join,
+        left: LogicalOp,
+        right: LogicalOp,
+        context: RewriteContext,
+    ) -> Optional[LogicalOp]:
+        left_aliases = set(left.tables())
+        right_aliases = set(right.tables())
+        pairs = _equi_pairs(join, left_aliases, right_aliases)
+        if pairs is None:
+            return None
+        # (a) The join must be a foreign-key join: the right side is a base
+        # relation and the join columns cover its primary key.
+        base = _base_get(right)
+        if base is None or not context.catalog.has_table(base.table):
+            return None
+        right_cols = [r.column for _l, r in pairs]
+        if not context.catalog.schema(base.table).is_key(right_cols):
+            return None
+        # (b) Aggregated columns come from the left side only.
+        for call in group.aggregates:
+            if call.tables() and not call.tables() <= left_aliases:
+                return None
+        # (c) Group keys are left-side columns covering the foreign key.
+        key_set = set(group.keys)
+        if not all(key.table in left_aliases for key in group.keys):
+            return None
+        if not {l for l, _r in pairs} <= key_set:
+            return None
+        if self.require_benefit and context.estimator is not None:
+            input_rows = context.estimator.estimate(left)
+            groups = context.estimator.group_count(group.keys, input_rows)
+            if groups >= input_rows:
+                return None
+        pushed = GroupBy(left, group.keys, group.aggregates, group.output_alias)
+        new_join = Join(pushed, right, join.predicate, JoinKind.INNER)
+        # Keep the original output schema: keys then aggregate columns.
+        items = [
+            ProjectItem(key, key.column, alias=key.table) for key in group.keys
+        ]
+        items.extend(
+            ProjectItem(
+                ColumnRef(group.output_alias, call.alias),
+                call.alias,
+                alias=group.output_alias,
+            )
+            for call in group.aggregates
+        )
+        return Project(new_join, items)
+
+
+_STAGEABLE = {AggFunc.COUNT, AggFunc.SUM, AggFunc.MIN, AggFunc.MAX}
+
+_COMBINER = {
+    AggFunc.COUNT: AggFunc.SUM,
+    AggFunc.SUM: AggFunc.SUM,
+    AggFunc.MIN: AggFunc.MIN,
+    AggFunc.MAX: AggFunc.MAX,
+}
+
+
+class StagedAggregationRule(RewriteRule):
+    """Introduce a partial GroupBy below a join, recombined above (Fig 4c).
+
+    Fires on GroupBy(Join) when every aggregate is COUNT/SUM/MIN/MAX
+    without DISTINCT and aggregates only one join side.  The lower
+    group-by keys are the original keys on that side plus the side's
+    join columns, so the join and the final combination stay correct.
+    """
+
+    name = "staged-aggregation"
+
+    def __init__(self, require_benefit: bool = True) -> None:
+        self.require_benefit = require_benefit
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not (isinstance(op, GroupBy) and isinstance(op.child, Join)):
+            return None
+        join = op.child
+        if join.kind is not JoinKind.INNER:
+            return None
+        if not op.aggregates or any(
+            call.func not in _STAGEABLE or call.distinct or call.is_star
+            for call in op.aggregates
+        ):
+            return None
+        left_aliases = set(join.left.tables())
+        right_aliases = set(join.right.tables())
+        pairs = _equi_pairs(join, left_aliases, right_aliases)
+        if pairs is None:
+            return None
+        agg_tables: Set[str] = set()
+        for call in op.aggregates:
+            agg_tables |= set(call.tables())
+        if agg_tables <= left_aliases:
+            side, other = join.left, join.right
+            side_aliases = left_aliases
+            side_join_cols = [l for l, _r in pairs]
+        elif agg_tables <= right_aliases:
+            side, other = join.right, join.left
+            side_aliases = right_aliases
+            side_join_cols = [r for _l, r in pairs]
+        else:
+            return None
+        lower_keys: List[ColumnRef] = []
+        for key in op.keys:
+            if key.table in side_aliases and key not in lower_keys:
+                lower_keys.append(key)
+        for ref in side_join_cols:
+            if ref not in lower_keys:
+                lower_keys.append(ref)
+        if not lower_keys:
+            return None
+        if self.require_benefit and context.estimator is not None:
+            input_rows = context.estimator.estimate(side)
+            groups = context.estimator.group_count(lower_keys, input_rows)
+            if groups >= input_rows * 0.5:
+                return None
+        partial_alias = f"{op.output_alias}_p"
+        partial_calls = [
+            AggregateCall(call.func, call.arg, alias=f"p_{i}")
+            for i, call in enumerate(op.aggregates)
+        ]
+        lower = GroupBy(side, lower_keys, partial_calls, output_alias=partial_alias)
+        if side is join.left:
+            new_join = Join(lower, other, join.predicate, JoinKind.INNER)
+        else:
+            new_join = Join(other, lower, join.predicate, JoinKind.INNER)
+        final_calls = [
+            AggregateCall(
+                _COMBINER[call.func],
+                ColumnRef(partial_alias, f"p_{i}"),
+                alias=call.alias,
+            )
+            for i, call in enumerate(op.aggregates)
+        ]
+        return GroupBy(new_join, op.keys, final_calls, output_alias=op.output_alias)
+
+
+DEFAULT_GROUPBY_RULES = (GroupByPushdownRule(), StagedAggregationRule())

@@ -1,0 +1,141 @@
+"""Predicate move-around ([36], mentioned in Section 4.3).
+
+The degenerate-but-useful cousin of magic sets: instead of shipping
+*results* between query blocks, ship *predicates*.  Within one block
+this takes the form of transitive inference -- from ``R.x = S.x`` and
+``R.x < 10`` derive ``S.x < 10`` -- which gives the other relation a
+local predicate the optimizer can push into its scan.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    conjoin,
+    conjuncts,
+)
+from repro.logical.operators import Filter, Join, JoinKind, LogicalOp
+from repro.core.rewrite.engine import RewriteContext, RewriteRule
+
+_RANGE_OPS = (
+    ComparisonOp.EQ,
+    ComparisonOp.LT,
+    ComparisonOp.LE,
+    ComparisonOp.GT,
+    ComparisonOp.GE,
+)
+
+
+def _equalities(parts: List[Expr]) -> List[Tuple[ColumnRef, ColumnRef]]:
+    pairs = []
+    for conjunct in parts:
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op is ComparisonOp.EQ
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            pairs.append((conjunct.left, conjunct.right))
+    return pairs
+
+
+def _constant_bounds(parts: List[Expr]) -> List[Tuple[ColumnRef, ComparisonOp, Literal]]:
+    bounds = []
+    for conjunct in parts:
+        if not isinstance(conjunct, Comparison):
+            continue
+        left, right, op = conjunct.left, conjunct.right, conjunct.op
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right, op = right, left, op.flip()
+        if (
+            isinstance(left, ColumnRef)
+            and isinstance(right, Literal)
+            and op in _RANGE_OPS
+            and right.value is not None
+        ):
+            bounds.append((left, op, right))
+    return bounds
+
+
+def infer_transitive(parts: List[Expr]) -> List[Expr]:
+    """Conjuncts implied by equality + constant-bound conjuncts, minus
+    the ones already present."""
+    equalities = _equalities(parts)
+    bounds = _constant_bounds(parts)
+    existing = set(parts)
+    derived: List[Expr] = []
+    # Union-find over equated columns.
+    parent = {}
+
+    def find(ref):
+        parent.setdefault(ref, ref)
+        while parent[ref] != ref:
+            parent[ref] = parent[parent[ref]]
+            ref = parent[ref]
+        return ref
+
+    for left, right in equalities:
+        root_left, root_right = find(left), find(right)
+        if root_left != root_right:
+            parent[root_left] = root_right
+    groups: dict = {}
+    for ref in parent:
+        groups.setdefault(find(ref), set()).add(ref)
+    for column, op, literal in bounds:
+        if column not in parent:
+            continue
+        for peer in groups[find(column)]:
+            if peer == column:
+                continue
+            candidate = Comparison(op, peer, literal)
+            if candidate not in existing and candidate not in derived:
+                derived.append(candidate)
+    return derived
+
+
+class PredicateMoveAroundRule(RewriteRule):
+    """Add transitively implied constant predicates at Filter nodes over
+    inner-join trees, enabling pushdown to the other relations."""
+
+    name = "predicate-move-around"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not isinstance(op, Filter):
+            return None
+        # Only sound over inner joins: an implied predicate on the
+        # NULL-padded side of an outer join would change padding.
+        if _has_outer_join_below(op.child):
+            return None
+        parts = list(conjuncts(op.predicate))
+        # Include equalities sitting in inner-join predicates below.
+        join_parts = _inner_join_conjuncts(op.child)
+        derived = infer_transitive(parts + join_parts)
+        # Keep only genuinely new conjuncts w.r.t. everything visible.
+        visible = set(parts) | set(join_parts)
+        derived = [conjunct for conjunct in derived if conjunct not in visible]
+        if not derived:
+            return None
+        return Filter(op.child, conjoin(parts + derived))
+
+
+def _has_outer_join_below(op: LogicalOp) -> bool:
+    if isinstance(op, Join) and op.kind is JoinKind.LEFT_OUTER:
+        return True
+    return any(_has_outer_join_below(child) for child in op.children())
+
+
+def _inner_join_conjuncts(op: LogicalOp) -> List[Expr]:
+    parts: List[Expr] = []
+    if isinstance(op, Join) and op.kind is JoinKind.INNER and op.predicate is not None:
+        parts.extend(conjuncts(op.predicate))
+    for child in op.children():
+        if isinstance(op, Join) and op.kind not in (JoinKind.INNER, JoinKind.CROSS):
+            break
+        parts.extend(_inner_join_conjuncts(child))
+    return parts

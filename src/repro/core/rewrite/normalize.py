@@ -1,0 +1,295 @@
+"""Normalization rules: filter merging, predicate pushdown, cross-to-join.
+
+These are the always-beneficial "evaluate predicates as early as
+possible" transformations of Section 3, expressed as rewrite rules so
+they run in the Starburst-style rewrite phase.  They also simplify
+outerjoins to joins when a null-rejecting predicate above makes the
+padding unobservable -- the enabling step for the reordering identities
+of Section 4.1.2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.expr.expressions import (
+    BoolExpr,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    NotExpr,
+    UdfCall,
+    conjoin,
+    conjuncts,
+    substitute_columns,
+)
+from repro.logical.operators import (
+    Filter,
+    GroupBy,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+)
+from repro.core.rewrite.engine import RewriteContext, RewriteRule
+
+
+class MergeFiltersRule(RewriteRule):
+    """Filter(Filter(x, p), q) -> Filter(x, p AND q)."""
+
+    name = "merge-filters"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if isinstance(op, Filter) and isinstance(op.child, Filter):
+            combined = conjoin([op.child.predicate, op.predicate])
+            return Filter(op.child.child, combined)
+        return None
+
+
+def is_null_rejecting(predicate: Expr, aliases: frozenset) -> bool:
+    """Whether the predicate cannot be True when every column from
+    ``aliases`` is NULL -- the condition allowing outerjoin simplification.
+
+    Conservative: comparisons, IN lists, and UDFs touching the aliases
+    reject NULLs (they evaluate to UNKNOWN); IS NULL does not; anything
+    unrecognized is assumed not null-rejecting.
+    """
+    touched = predicate.tables() & aliases
+    if not touched:
+        return False
+    if isinstance(predicate, (Comparison, InList, UdfCall)):
+        return True
+    if isinstance(predicate, IsNull):
+        return predicate.negated
+    if isinstance(predicate, BoolExpr):
+        from repro.expr.expressions import BoolOp
+
+        if predicate.op is BoolOp.AND:
+            return any(is_null_rejecting(arg, aliases) for arg in predicate.args)
+        return all(is_null_rejecting(arg, aliases) for arg in predicate.args)
+    if isinstance(predicate, NotExpr):
+        # NOT(UNKNOWN) is UNKNOWN, so NOT over a null-rejecting comparison
+        # is still null-rejecting.
+        return is_null_rejecting(predicate.arg, aliases)
+    return False
+
+
+class SimplifyOuterJoinRule(RewriteRule):
+    """Filter with a null-rejecting predicate on the outer join's inner
+    side turns LEFT OUTER JOIN into INNER JOIN."""
+
+    name = "outerjoin-to-join"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not (isinstance(op, Filter) and isinstance(op.child, Join)):
+            return None
+        join = op.child
+        if join.kind is not JoinKind.LEFT_OUTER:
+            return None
+        right_aliases = frozenset(join.right.tables())
+        if any(
+            is_null_rejecting(conjunct, right_aliases)
+            for conjunct in conjuncts(op.predicate)
+        ):
+            inner = Join(join.left, join.right, join.predicate, JoinKind.INNER)
+            return Filter(inner, op.predicate)
+        return None
+
+
+class PushFilterIntoJoinRule(RewriteRule):
+    """Distribute filter conjuncts to the join sides that cover them.
+
+    For INNER/CROSS joins both sides receive their single-side conjuncts
+    and two-sided conjuncts strengthen the join predicate.  For LEFT
+    OUTER joins only left-side conjuncts may move (pushing right-side
+    ones would change the padding).  SEMI/ANTI joins behave like outer
+    for their right side (it is not visible above anyway).
+    """
+
+    name = "push-filter-into-join"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not (isinstance(op, Filter) and isinstance(op.child, Join)):
+            return None
+        join = op.child
+        left_aliases = frozenset(join.left.tables())
+        right_aliases = frozenset(join.right.tables())
+        to_left: List[Expr] = []
+        to_right: List[Expr] = []
+        to_join: List[Expr] = []
+        remaining: List[Expr] = []
+        pushable_right = join.kind in (JoinKind.INNER, JoinKind.CROSS)
+        for conjunct in conjuncts(op.predicate):
+            tables = conjunct.tables()
+            if tables and tables <= left_aliases:
+                to_left.append(conjunct)
+            elif tables and tables <= right_aliases and pushable_right:
+                to_right.append(conjunct)
+            elif (
+                tables <= (left_aliases | right_aliases)
+                and join.kind in (JoinKind.INNER, JoinKind.CROSS)
+                and tables & left_aliases
+                and tables & right_aliases
+            ):
+                to_join.append(conjunct)
+            else:
+                remaining.append(conjunct)
+        if not (to_left or to_right or to_join):
+            return None
+        left = Filter(join.left, conjoin(to_left)) if to_left else join.left
+        right = Filter(join.right, conjoin(to_right)) if to_right else join.right
+        kind = join.kind
+        predicate = join.predicate
+        if to_join:
+            predicate = conjoin([predicate] + to_join)
+            if kind is JoinKind.CROSS:
+                kind = JoinKind.INNER
+        new_join = Join(left, right, predicate, kind)
+        if remaining:
+            return Filter(new_join, conjoin(remaining))
+        return new_join
+
+
+class PushFilterThroughProjectRule(RewriteRule):
+    """Filter(Project(x), p) -> Project(Filter(x, p')) by substituting
+    the projection's defining expressions into the predicate."""
+
+    name = "push-filter-through-project"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not (isinstance(op, Filter) and isinstance(op.child, Project)):
+            return None
+        project = op.child
+        mapping = {item.ref(): item.expr for item in project.items}
+        # Also map unqualified matches: predicate may address columns via
+        # the item name under a different alias when unambiguous.
+        refs = op.predicate.columns()
+        for ref in refs:
+            if ref in mapping:
+                continue
+            candidates = [item for item in project.items if item.name == ref.column]
+            if len(candidates) == 1:
+                mapping[ref] = candidates[0].expr
+            else:
+                return None
+        substituted = substitute_columns(op.predicate, mapping)
+        return Project(Filter(project.child, substituted), project.items)
+
+
+class PushFilterThroughGroupByRule(RewriteRule):
+    """Move HAVING-style conjuncts that reference only group keys below
+    the group-by (a classic, always-safe pushdown)."""
+
+    name = "push-filter-through-groupby"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not (isinstance(op, Filter) and isinstance(op.child, GroupBy)):
+            return None
+        group = op.child
+        key_refs = set(group.keys)
+        pushable: List[Expr] = []
+        remaining: List[Expr] = []
+        for conjunct in conjuncts(op.predicate):
+            if conjunct.columns() and conjunct.columns() <= key_refs:
+                pushable.append(conjunct)
+            else:
+                remaining.append(conjunct)
+        if not pushable:
+            return None
+        pushed = GroupBy(
+            Filter(group.child, conjoin(pushable)),
+            group.keys,
+            group.aggregates,
+            group.output_alias,
+        )
+        if remaining:
+            return Filter(pushed, conjoin(remaining))
+        return pushed
+
+
+class PullUpSimpleProjectRule(RewriteRule):
+    """Float a pure-renaming projection above a join (view merging, 4.2.1).
+
+    A merged view leaves ``Project`` nodes (the view's output renaming)
+    between the query's joins and the view's base tables; those nodes
+    stop the enumerator from reordering joins across the view boundary.
+    When the projection computes nothing (bare column references only),
+    it commutes with the join: the join predicate is rewritten through
+    the renaming and the projection moves on top, re-exposing a pure
+    SPJ region -- the "unfolded views may be freely reordered" claim.
+    """
+
+    name = "pullup-simple-project"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        from repro.logical.operators import Project, ProjectItem
+
+        if not isinstance(op, Join):
+            return None
+        if op.kind not in (JoinKind.INNER, JoinKind.CROSS, JoinKind.LEFT_OUTER):
+            return None
+        for side in ("left", "right"):
+            child = getattr(op, side)
+            if not (isinstance(child, Project) and child.is_simple()):
+                continue
+            other = op.right if side == "left" else op.left
+            mapping = {item.ref(): item.expr for item in child.items}
+            new_predicate = (
+                substitute_columns(op.predicate, mapping)
+                if op.predicate is not None
+                else None
+            )
+            # Pass-through items for the other side, preserving the output
+            # column order (left slots then right slots).
+            other_items = [
+                ProjectItem(ColumnRef(alias, name), name, alias)
+                for alias, name in other.output_schema().slots
+            ]
+            if side == "left":
+                new_join = Join(child.child, other, new_predicate, op.kind)
+                items = list(child.items) + other_items
+            else:
+                new_join = Join(other, child.child, new_predicate, op.kind)
+                items = other_items + list(child.items)
+            return Project(new_join, items)
+        return None
+
+
+class ComposeProjectsRule(RewriteRule):
+    """Project over a pure-renaming Project collapses to one Project."""
+
+    name = "compose-projects"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        from repro.logical.operators import Project, ProjectItem
+
+        if not (isinstance(op, Project) and isinstance(op.child, Project)):
+            return None
+        inner = op.child
+        if not inner.is_simple():
+            return None
+        mapping = {item.ref(): item.expr for item in inner.items}
+        new_items = []
+        for item in op.items:
+            refs = item.expr.columns()
+            if not all(ref in mapping for ref in refs):
+                return None
+            new_items.append(
+                ProjectItem(
+                    substitute_columns(item.expr, mapping), item.name, item.alias
+                )
+            )
+        return Project(inner.child, new_items)
+
+
+DEFAULT_NORMALIZE_RULES = (
+    MergeFiltersRule(),
+    SimplifyOuterJoinRule(),
+    PullUpSimpleProjectRule(),
+    ComposeProjectsRule(),
+    PushFilterIntoJoinRule(),
+    PushFilterThroughProjectRule(),
+    PushFilterThroughGroupByRule(),
+)

@@ -1,0 +1,446 @@
+"""Subquery unnesting / decorrelation (Sections 4.2.2 and 4.3).
+
+The lowering pass leaves nested subqueries as
+:class:`~repro.logical.operators.Apply` operators with tuple-iteration
+semantics.  The rules here remove them:
+
+* ``DecorrelateSemiApplyRule`` -- Kim/Dayal flattening of IN / EXISTS
+  (and their negations) into semi/anti joins, by pulling the correlated
+  predicates up as join predicates.
+* ``DecorrelateScalarAggApplyRule`` -- the aggregate case: the subquery
+  becomes a LEFT OUTER JOIN followed by a GROUP BY above it, exactly the
+  paper's Dept/COUNT example, preserving empty-group and NULL semantics.
+* ``UncorrelatedScalarApplyRule`` -- a scalar subquery with no outer
+  references is evaluated once and cross-joined.
+* :func:`magic_decorrelate_scalar` -- the magic-sets/semijoin variant of
+  Section 4.3 that restricts the subquery's computation to the bindings
+  the outer block actually produces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import RewriteError
+from repro.expr.aggregates import AggFunc, AggregateCall
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    conjoin,
+    conjuncts,
+)
+from repro.logical.operators import (
+    Apply,
+    Distinct,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    ProjectItem,
+    Sort,
+    Union,
+    walk,
+)
+from repro.core.rewrite.engine import RewriteContext, RewriteRule
+
+
+# ----------------------------------------------------------------------
+# Scope analysis helpers
+# ----------------------------------------------------------------------
+def own_aliases(op: LogicalOp) -> Set[str]:
+    """Aliases a subtree itself produces (tables, projections, group outputs)."""
+    result: Set[str] = set()
+    for node in walk(op):
+        if isinstance(node, Get):
+            result.add(node.alias)
+        elif isinstance(node, Project):
+            result.update(item.alias for item in node.items)
+        elif isinstance(node, GroupBy):
+            result.add(node.output_alias)
+        elif isinstance(node, Apply):
+            result.add(node.scalar_alias)
+    return result
+
+
+def _node_expressions(node: LogicalOp) -> List[Expr]:
+    if isinstance(node, Filter):
+        return [node.predicate]
+    if isinstance(node, Join) and node.predicate is not None:
+        return [node.predicate]
+    if isinstance(node, Project):
+        return [item.expr for item in node.items]
+    if isinstance(node, GroupBy):
+        exprs: List[Expr] = list(node.keys)
+        exprs.extend(call.arg for call in node.aggregates if call.arg is not None)
+        return exprs
+    if isinstance(node, Sort):
+        return [ref for ref, _asc in node.keys]
+    return []
+
+
+def has_outer_refs(op: LogicalOp, own: Set[str]) -> bool:
+    """Whether any expression in the subtree references an alias not
+    produced inside it."""
+    for node in walk(op):
+        for expr in _node_expressions(node):
+            if any(ref.table not in own for ref in expr.columns()):
+                return True
+    return False
+
+
+def strip_correlated(
+    op: LogicalOp, own: Set[str], can_strip: bool = True
+) -> Tuple[LogicalOp, List[Expr]]:
+    """Remove correlated conjuncts from strippable Filter nodes.
+
+    Stripping stops below grouping/distinct/apply boundaries, where
+    removing a predicate would change group contents (the hard aggregate
+    case handled by the dedicated rules instead).
+
+    Returns the rebuilt subtree and the extracted conjuncts.
+    """
+    extracted: List[Expr] = []
+    if isinstance(op, Filter) and can_strip:
+        child, below = strip_correlated(op.child, own, can_strip)
+        extracted.extend(below)
+        keep: List[Expr] = []
+        for conjunct in conjuncts(op.predicate):
+            if any(ref.table not in own for ref in conjunct.columns()):
+                extracted.append(conjunct)
+            else:
+                keep.append(conjunct)
+        remaining = conjoin(keep)
+        if remaining is None:
+            return child, extracted
+        return Filter(child, remaining), extracted
+    blocking = isinstance(op, (GroupBy, Distinct, Apply, Union))
+    children = op.children()
+    if not children:
+        return op, extracted
+    new_children = []
+    changed = False
+    for child in children:
+        new_child, below = strip_correlated(
+            child, own, can_strip and not blocking
+        )
+        extracted.extend(below)
+        changed = changed or (new_child is not child)
+        new_children.append(new_child)
+    if changed:
+        return op.with_children(new_children), extracted
+    return op, extracted
+
+
+def preserves_row_uniqueness(op: LogicalOp, catalog: Catalog) -> bool:
+    """Whether the subtree's output rows are guaranteed duplicate-free.
+
+    True for trees of scans whose tables all have primary keys, combined
+    by filters and joins that keep every column (so the concatenated
+    keys remain in the output).  Grouping and DISTINCT outputs are also
+    unique.  Projection may drop key columns, so it is rejected.
+    """
+    if isinstance(op, Get):
+        if not catalog.has_table(op.table):
+            return False
+        return bool(catalog.schema(op.table).primary_key)
+    if isinstance(op, (GroupBy, Distinct)):
+        return True
+    if isinstance(op, Filter):
+        return preserves_row_uniqueness(op.child, catalog)
+    if isinstance(op, Join):
+        if op.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            return preserves_row_uniqueness(op.left, catalog)
+        return preserves_row_uniqueness(
+            op.left, catalog
+        ) and preserves_row_uniqueness(op.right, catalog)
+    if isinstance(op, Apply):
+        return preserves_row_uniqueness(op.left, catalog)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+def widen_for_refs(op: LogicalOp, refs: List[ColumnRef]) -> Optional[LogicalOp]:
+    """Ensure a subtree's output exposes the given columns, widening
+    projections when needed.
+
+    Decorrelation pulls predicates above the subquery's projection; any
+    inner column those predicates mention must survive to the join.  For
+    semi/anti joins this is always safe (the right side is invisible
+    above).  Returns the (possibly rebuilt) subtree, or None when the
+    columns cannot be exposed (e.g. hidden below a GroupBy).
+    """
+    schema = op.output_schema()
+    slot_set = set(schema.slots)
+    missing = [ref for ref in refs if (ref.table, ref.column) not in slot_set]
+    if not missing:
+        return op
+    if isinstance(op, Project):
+        child = widen_for_refs(op.child, missing)
+        if child is None:
+            return None
+        extra = [
+            ProjectItem(ref, ref.column, alias=ref.table)
+            for ref in missing
+        ]
+        return Project(child, tuple(op.items) + tuple(extra))
+    if isinstance(op, Filter):
+        child = widen_for_refs(op.child, missing)
+        if child is None:
+            return None
+        return Filter(child, op.predicate) if child is not op.child else op
+    return None
+
+
+class DecorrelateSemiApplyRule(RewriteRule):
+    """Apply[semi|anti] -> Join[SEMI|ANTI] when the correlation lives in
+    strippable filters (the Kim [35] / Dayal [13] flattening)."""
+
+    name = "decorrelate-semi-apply"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not isinstance(op, Apply) or op.kind not in ("semi", "anti"):
+            return None
+        own = own_aliases(op.right)
+        stripped, extracted = strip_correlated(op.right, own)
+        if has_outer_refs(stripped, own):
+            return None
+        left_schema = op.left.output_schema()
+        needed_own: List[ColumnRef] = []
+        for conjunct in extracted:
+            for ref in conjunct.columns():
+                if ref.table in own:
+                    if ref not in needed_own:
+                        needed_own.append(ref)
+                elif not left_schema.has(ref):
+                    return None  # references an even-more-outer block
+        widened = widen_for_refs(stripped, needed_own)
+        if widened is None:
+            return None
+        kind = JoinKind.SEMI if op.kind == "semi" else JoinKind.ANTI
+        return Join(op.left, widened, conjoin(extracted), kind)
+
+
+def _parse_scalar_agg(
+    right: LogicalOp,
+) -> Optional[Tuple[LogicalOp, AggregateCall, str]]:
+    """Recognize ``[Project] -> GroupBy(no keys, one aggregate) -> core``.
+
+    Returns (core, aggregate, group_output_alias) or None.
+    """
+    node = right
+    if isinstance(node, Project):
+        if len(node.items) != 1 or not isinstance(node.items[0].expr, ColumnRef):
+            return None
+        node = node.child
+    if not isinstance(node, GroupBy):
+        return None
+    if node.keys or len(node.aggregates) != 1:
+        return None
+    return node.child, node.aggregates[0], node.output_alias
+
+
+class DecorrelateScalarAggApplyRule(RewriteRule):
+    """Apply[scalar] over a correlated single-aggregate block becomes
+    LEFT OUTER JOIN + GROUP BY (Section 4.2.2's aggregate case).
+
+    Conditions checked:
+      * every correlated conjunct is ``outer_expr = inner_column``;
+      * the outer side's rows are provably duplicate-free (so grouping
+        on them is faithful);
+      * COUNT(*) is re-targeted to a correlation column, which is
+        non-NULL exactly on joined (non-padded) rows.
+    """
+
+    name = "decorrelate-scalar-agg-apply"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not isinstance(op, Apply) or op.kind != "scalar":
+            return None
+        parsed = _parse_scalar_agg(op.right)
+        if parsed is None:
+            return None
+        core, aggregate, _group_alias = parsed
+        own = own_aliases(core)
+        stripped, extracted = strip_correlated(core, own)
+        if not extracted or has_outer_refs(stripped, own):
+            return None
+        left_schema = op.left.output_schema()
+        pairs: List[Tuple[Expr, ColumnRef]] = []
+        for conjunct in extracted:
+            pair = _as_corr_equality(conjunct, own, left_schema)
+            if pair is None:
+                return None
+            pairs.append(pair)
+        if not preserves_row_uniqueness(op.left, context.catalog):
+            return None
+        new_agg = aggregate
+        if aggregate.is_star:
+            new_agg = AggregateCall(
+                AggFunc.COUNT, pairs[0][1], alias=op.scalar_name
+            )
+        else:
+            new_agg = AggregateCall(
+                aggregate.func,
+                aggregate.arg,
+                distinct=aggregate.distinct,
+                alias=op.scalar_name,
+            )
+        join_predicate = conjoin(
+            Comparison(ComparisonOp.EQ, outer, inner) for outer, inner in pairs
+        )
+        outer_join = Join(op.left, stripped, join_predicate, JoinKind.LEFT_OUTER)
+        keys = [ColumnRef(alias, column) for alias, column in left_schema.slots]
+        return GroupBy(outer_join, keys, [new_agg], output_alias=op.scalar_alias)
+
+
+def _as_corr_equality(
+    conjunct: Expr, own: Set[str], left_schema
+) -> Optional[Tuple[Expr, ColumnRef]]:
+    if not (isinstance(conjunct, Comparison) and conjunct.op is ComparisonOp.EQ):
+        return None
+    left, right = conjunct.left, conjunct.right
+    for outer, inner in ((left, right), (right, left)):
+        if (
+            isinstance(inner, ColumnRef)
+            and inner.table in own
+            and outer.columns()
+            and all(
+                ref.table not in own and left_schema.has(ref)
+                for ref in outer.columns()
+            )
+        ):
+            return outer, inner
+    return None
+
+
+class UncorrelatedScalarApplyRule(RewriteRule):
+    """A scalar subquery with no outer references runs once and is
+    cross-joined (the "obvious optimization" of Section 4.2.2)."""
+
+    name = "uncorrelated-scalar-apply"
+
+    def apply(self, op: LogicalOp, context: RewriteContext) -> Optional[LogicalOp]:
+        if not isinstance(op, Apply) or op.kind != "scalar":
+            return None
+        own = own_aliases(op.right)
+        if has_outer_refs(op.right, own):
+            return None
+        parsed = _parse_scalar_agg(op.right)
+        if parsed is None:
+            return None  # single-row guarantee comes from the no-keys GroupBy
+        slot_alias, slot_name = op.right.output_schema().slots[0]
+        renamed = Project(
+            op.right,
+            [
+                ProjectItem(
+                    ColumnRef(slot_alias, slot_name),
+                    op.scalar_name,
+                    op.scalar_alias,
+                )
+            ],
+        )
+        return Join(op.left, renamed, None, JoinKind.CROSS)
+
+
+DEFAULT_UNNESTING_RULES = (
+    UncorrelatedScalarApplyRule(),
+    DecorrelateSemiApplyRule(),
+    DecorrelateScalarAggApplyRule(),
+)
+
+
+# ----------------------------------------------------------------------
+# Magic / semijoin restriction (Section 4.3)
+# ----------------------------------------------------------------------
+def magic_decorrelate_scalar(
+    op: Apply, catalog: Catalog, magic_alias: str = "_magic"
+) -> LogicalOp:
+    """The magic-sets variant of scalar-aggregate decorrelation.
+
+    Instead of computing the subquery over the whole inner relation and
+    outer-joining (the plain decorrelation), the outer block's relevant
+    bindings are collected first (``Distinct(Project(L, corr))``), the
+    inner aggregation is computed only for those bindings, and the result
+    joins back to the outer block -- the paper's DepAvgSal rewrite.
+
+    Restrictions: the aggregate must not be COUNT (an empty group yields
+    NULL here but 0 under tuple iteration), and the same correlated
+    equality shape as the plain rule is required.
+
+    Raises:
+        RewriteError: when the pattern does not apply.
+    """
+    if not isinstance(op, Apply) or op.kind != "scalar":
+        raise RewriteError("magic decorrelation expects a scalar Apply")
+    parsed = _parse_scalar_agg(op.right)
+    if parsed is None:
+        raise RewriteError("inner block is not a single-aggregate query")
+    core, aggregate, _group_alias = parsed
+    if aggregate.func is AggFunc.COUNT:
+        raise RewriteError("magic decorrelation does not preserve COUNT semantics")
+    own = own_aliases(core)
+    stripped, extracted = strip_correlated(core, own)
+    if not extracted or has_outer_refs(stripped, own):
+        raise RewriteError("inner block is not cleanly correlated")
+    left_schema = op.left.output_schema()
+    pairs: List[Tuple[Expr, ColumnRef]] = []
+    for conjunct in extracted:
+        pair = _as_corr_equality(conjunct, own, left_schema)
+        if pair is None:
+            raise RewriteError(f"unsupported correlated predicate {conjunct.to_sql()}")
+        pairs.append(pair)
+
+    # 1. The magic (filter) set: distinct relevant bindings from the outer.
+    magic_items = [
+        ProjectItem(outer, f"m{i}", magic_alias) for i, (outer, _inner) in enumerate(pairs)
+    ]
+    magic = Distinct(Project(op.left, magic_items))
+
+    # 2. Restrict the inner computation to those bindings and aggregate
+    #    per binding.
+    restrict_pred = conjoin(
+        Comparison(ComparisonOp.EQ, ColumnRef(magic_alias, f"m{i}"), inner)
+        for i, (_outer, inner) in enumerate(pairs)
+    )
+    restricted = Join(magic, stripped, restrict_pred, JoinKind.INNER)
+    new_agg = AggregateCall(
+        aggregate.func,
+        aggregate.arg,
+        distinct=aggregate.distinct,
+        alias=op.scalar_name,
+    )
+    grouped = GroupBy(
+        restricted,
+        [ColumnRef(magic_alias, f"m{i}") for i in range(len(pairs))],
+        [new_agg],
+        output_alias=op.scalar_alias,
+    )
+
+    # 3. Join the aggregated view back to the outer block (LEFT OUTER to
+    #    preserve outer rows whose group is empty -> NULL scalar).
+    back_pred = conjoin(
+        Comparison(ComparisonOp.EQ, outer, ColumnRef(magic_alias, f"m{i}"))
+        for i, (outer, _inner) in enumerate(pairs)
+    )
+    joined = Join(op.left, grouped, back_pred, JoinKind.LEFT_OUTER)
+    # Project away the magic key columns, keeping left slots + the scalar.
+    items = [
+        ProjectItem(ColumnRef(alias, column), column, alias)
+        for alias, column in left_schema.slots
+    ]
+    items.append(
+        ProjectItem(
+            ColumnRef(op.scalar_alias, op.scalar_name),
+            op.scalar_name,
+            op.scalar_alias,
+        )
+    )
+    return Project(joined, items)

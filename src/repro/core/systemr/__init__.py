@@ -1,0 +1,29 @@
+"""System-R style optimization: DP join enumeration with interesting orders."""
+
+from repro.core.systemr.access import generate_access_paths
+from repro.core.systemr.enumerator import (
+    EnumeratorConfig,
+    EnumeratorStats,
+    PlanEntry,
+    SystemRJoinEnumerator,
+)
+from repro.core.systemr.naive import NaiveExhaustiveEnumerator
+from repro.core.systemr.orders import (
+    equijoin_column_pairs,
+    equivalence_classes,
+    interesting_orders,
+    satisfied_orders,
+)
+
+__all__ = [
+    "EnumeratorConfig",
+    "EnumeratorStats",
+    "NaiveExhaustiveEnumerator",
+    "PlanEntry",
+    "SystemRJoinEnumerator",
+    "equijoin_column_pairs",
+    "equivalence_classes",
+    "generate_access_paths",
+    "interesting_orders",
+    "satisfied_orders",
+]

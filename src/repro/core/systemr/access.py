@@ -1,0 +1,190 @@
+"""Access-path generation: every way to scan one base relation (Section 3).
+
+For each relation the enumerator considers a sequential scan and every
+ordered index -- as a full ordered scan (which delivers an interesting
+order for free) and, when a local predicate matches the index's leading
+column, as a seek.  Each path is costed and annotated with the order it
+delivers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import Cost, cost_index_scan, cost_seq_scan
+from repro.cost.parameters import CostParameters
+from repro.expr.expressions import (
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    Literal,
+    conjoin,
+    conjuncts,
+)
+from repro.logical.querygraph import QueryGraph
+from repro.physical.plans import IndexScanP, PhysicalOp, SeqScanP
+from repro.physical.properties import SortOrder
+from repro.stats.propagation import CardinalityEstimator
+
+
+def generate_access_paths(
+    alias: str,
+    graph: QueryGraph,
+    catalog: Catalog,
+    estimator: CardinalityEstimator,
+    params: CostParameters,
+) -> List[PhysicalOp]:
+    """All costed scan alternatives for one relation of the query.
+
+    Every returned plan has ``est_rows``, ``est_cost``, and ``order``
+    filled in.  The local predicate is pushed into each scan.
+    """
+    node = graph.node(alias)
+    table = catalog.table(node.table)
+    schema = table.schema
+    predicate = node.local_predicate()
+    out_rows = estimator.scan_rows(alias, graph)
+    paths: List[PhysicalOp] = []
+
+    seq = SeqScanP(node.table, alias, schema.column_names, predicate)
+    seq.est_rows = out_rows
+    seq.est_cost = cost_seq_scan(
+        float(table.row_count),
+        float(table.page_count),
+        len(conjuncts(predicate)),
+        params,
+    )
+    seq.order = None
+    paths.append(seq)
+
+    for index in catalog.indexes_on(node.table):
+        leading = index.definition.columns[0]
+        seek_eq, seek_low, seek_high, residual = _split_for_index(
+            predicate, alias, leading
+        )
+        order: SortOrder = tuple(
+            (ColumnRef(alias, column), True) for column in index.definition.columns
+        )
+        if seek_eq is not None:
+            matching = float(table.row_count) * estimator.selectivity.selectivity(
+                Comparison(
+                    ComparisonOp.EQ, ColumnRef(alias, leading), Literal(seek_eq)
+                )
+            )
+            scan = IndexScanP(
+                node.table,
+                alias,
+                schema.column_names,
+                index.definition.name,
+                eq_value=(seek_eq,),
+                predicate=residual,
+            )
+        elif seek_low is not None or seek_high is not None:
+            fraction = _range_fraction(
+                estimator, alias, leading, seek_low, seek_high
+            )
+            matching = float(table.row_count) * fraction
+            scan = IndexScanP(
+                node.table,
+                alias,
+                schema.column_names,
+                index.definition.name,
+                low=seek_low,
+                high=seek_high,
+                predicate=residual,
+            )
+        else:
+            # Full ordered scan: pays for touching everything but delivers
+            # the index order -- the quintessential interesting-order path.
+            matching = float(table.row_count)
+            scan = IndexScanP(
+                node.table,
+                alias,
+                schema.column_names,
+                index.definition.name,
+                predicate=predicate,
+            )
+        scan.est_rows = out_rows
+        scan.est_cost = cost_index_scan(
+            matching,
+            float(table.row_count),
+            float(table.page_count),
+            index.height,
+            index.definition.clustered,
+            params,
+        )
+        scan.order = order
+        paths.append(scan)
+    return paths
+
+
+def _split_for_index(
+    predicate: Optional[Expr], alias: str, leading_column: str
+) -> Tuple[Optional[Any], Optional[Any], Optional[Any], Optional[Expr]]:
+    """Split a local predicate into (eq, low, high, residual) for an index.
+
+    Only simple ``col op literal`` conjuncts on the leading index column
+    become seek bounds; everything else stays residual.
+    """
+    eq_value: Optional[Any] = None
+    low: Optional[Any] = None
+    high: Optional[Any] = None
+    residual: List[Expr] = []
+    for conjunct in conjuncts(predicate):
+        bound = _literal_bound(conjunct, alias, leading_column)
+        if bound is None:
+            residual.append(conjunct)
+            continue
+        op, value = bound
+        if op is ComparisonOp.EQ and eq_value is None:
+            eq_value = value
+        elif op in (ComparisonOp.GT, ComparisonOp.GE):
+            low = value if low is None else max(low, value)
+        elif op in (ComparisonOp.LT, ComparisonOp.LE):
+            high = value if high is None else min(high, value)
+        else:
+            residual.append(conjunct)
+    if eq_value is not None:
+        low = high = None
+    return eq_value, low, high, conjoin(residual)
+
+
+def _literal_bound(
+    conjunct: Expr, alias: str, column: str
+) -> Optional[Tuple[ComparisonOp, Any]]:
+    if not isinstance(conjunct, Comparison):
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(right, ColumnRef) and isinstance(left, Literal):
+        left, right, op = right, left, op.flip()
+    if (
+        isinstance(left, ColumnRef)
+        and isinstance(right, Literal)
+        and left.table == alias
+        and left.column == column
+        and right.value is not None
+    ):
+        return op, right.value
+    return None
+
+
+def _range_fraction(
+    estimator: CardinalityEstimator,
+    alias: str,
+    column: str,
+    low: Optional[Any],
+    high: Optional[Any],
+) -> float:
+    ref = ColumnRef(alias, column)
+    fraction = 1.0
+    if low is not None:
+        fraction *= estimator.selectivity.selectivity(
+            Comparison(ComparisonOp.GE, ref, Literal(low))
+        )
+    if high is not None:
+        fraction *= estimator.selectivity.selectivity(
+            Comparison(ComparisonOp.LE, ref, Literal(high))
+        )
+    return fraction

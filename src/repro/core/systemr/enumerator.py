@@ -1,0 +1,515 @@
+"""The System-R style bottom-up dynamic-programming join enumerator (Section 3).
+
+The enumerator views an SPJ query as a set of relations to join.  At
+step j it holds optimal plans for every connected subset of size j and
+extends them: linear mode joins a subset with one new relation (the
+System R space), bushy mode considers every 2-partition (Section 4.1.1).
+Plans for the same subset are comparable only when they satisfy the same
+set of *interesting orders*; dominance pruning keeps, per subset, the
+Pareto frontier over (cost, satisfied orders).
+
+Knobs mirror the paper's discussion: ``bushy`` expands the search space,
+``allow_cartesian`` permits early Cartesian products (profitable on star
+queries), and ``use_interesting_orders=False`` reproduces the
+sub-optimality System R's mechanism exists to avoid (benchmark E2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import (
+    Cost,
+    cost_hash_join,
+    cost_index_nested_loop_join,
+    cost_materialize,
+    cost_merge_join,
+    cost_nested_loop_join,
+    cost_seq_scan,
+    cost_sort,
+    pages_for_rows,
+)
+from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.errors import OptimizerError
+from repro.expr.expressions import ColumnRef, Comparison, ComparisonOp, Expr, conjoin, conjuncts
+from repro.logical.operators import JoinKind
+from repro.logical.querygraph import QueryGraph
+from repro.physical.plans import (
+    HashJoinP,
+    INLJoinP,
+    MaterializeP,
+    MergeJoinP,
+    NLJoinP,
+    PhysicalOp,
+    SortP,
+)
+from repro.physical.properties import SortOrder, order_satisfies
+from repro.core.systemr.access import generate_access_paths
+from repro.core.systemr.orders import (
+    equivalence_classes,
+    interesting_orders,
+    satisfied_orders,
+)
+from repro.stats.propagation import CardinalityEstimator
+from repro.stats.summaries import TableStats
+
+
+@dataclass(frozen=True)
+class EnumeratorConfig:
+    """Search-space knobs of the enumerator.
+
+    Attributes:
+        bushy: consider all 2-partitions (bushy trees) instead of only
+            extending by a single relation (linear/left-deep trees).
+        allow_cartesian: permit joining disconnected subsets early;
+            otherwise Cartesian products are deferred as in System R.
+        use_interesting_orders: compare plans per interesting-order class;
+            disabling this reproduces naive pruning (E2).
+        join_algorithms: subset of {"nl", "inl", "merge", "hash"}.
+    """
+
+    bushy: bool = False
+    allow_cartesian: bool = False
+    use_interesting_orders: bool = True
+    join_algorithms: Tuple[str, ...] = ("nl", "inl", "merge", "hash")
+
+
+@dataclass
+class EnumeratorStats:
+    """Work counters: the quantities benchmark E1/E3/E10 report."""
+
+    plans_considered: int = 0
+    entries_retained: int = 0
+    subsets_examined: int = 0
+
+
+@dataclass
+class PlanEntry:
+    """One retained plan for a relation subset."""
+
+    plan: PhysicalOp
+    cost: Cost
+    rows: float
+    order: Optional[SortOrder]
+    satisfied: FrozenSet[SortOrder]
+
+
+class SystemRJoinEnumerator:
+    """Bottom-up DP enumeration over one SPJ query graph.
+
+    Args:
+        catalog: table/index metadata and data.
+        graph: the query graph (relations + predicates).
+        stats_by_alias: statistics per relation alias.
+        params: cost-model parameters.
+        config: search-space knobs.
+        extra_orders: additional interesting orders from GROUP BY /
+            ORDER BY above the join.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        graph: QueryGraph,
+        stats_by_alias: Dict[str, TableStats],
+        params: CostParameters = DEFAULT_PARAMETERS,
+        config: EnumeratorConfig = EnumeratorConfig(),
+        extra_orders: Sequence[SortOrder] = (),
+    ) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.params = params
+        self.config = config
+        self.estimator = CardinalityEstimator(stats_by_alias)
+        self.equivalences = equivalence_classes(graph)
+        self.orders = interesting_orders(graph, extra_orders)
+        self.stats = EnumeratorStats()
+        self._table: Dict[FrozenSet[str], List[PlanEntry]] = {}
+        self._width_cache: Dict[FrozenSet[str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self) -> List[PlanEntry]:
+        """Enumerate and return the retained entries for the full query."""
+        aliases = self.graph.aliases
+        if not aliases:
+            raise OptimizerError("query graph has no relations")
+        for alias in aliases:
+            self._seed_relation(alias)
+        full = frozenset(aliases)
+        for size in range(2, len(aliases) + 1):
+            for subset_tuple in itertools.combinations(aliases, size):
+                subset = frozenset(subset_tuple)
+                self._build_subset(subset)
+        entries = self._table.get(full, [])
+        if not entries:
+            raise OptimizerError("enumeration produced no plan for the full query")
+        return entries
+
+    def best_plan(
+        self, required_order: Optional[SortOrder] = None
+    ) -> Tuple[PhysicalOp, Cost]:
+        """The cheapest full plan, adding a final sort if an order is required."""
+        entries = self._table.get(frozenset(self.graph.aliases)) or self.run()
+        best: Optional[Tuple[PhysicalOp, Cost]] = None
+        for entry in entries:
+            plan, cost = entry.plan, entry.cost
+            if required_order and not order_satisfies(
+                entry.order, required_order, self.equivalences
+            ):
+                sort = SortP(plan, required_order)
+                sort.est_rows = entry.rows
+                extra = cost_sort(
+                    entry.rows, self._pages(frozenset(self.graph.aliases), entry.rows),
+                    self.params,
+                )
+                sort.est_cost = cost + extra
+                sort.order = required_order
+                plan, cost = sort, sort.est_cost
+            if best is None or cost.total < best[1].total:
+                best = (plan, cost)
+        assert best is not None
+        return best
+
+    # ------------------------------------------------------------------
+    # Seeding: access paths
+    # ------------------------------------------------------------------
+    def _seed_relation(self, alias: str) -> None:
+        entries: List[PlanEntry] = []
+        for path in generate_access_paths(
+            alias, self.graph, self.catalog, self.estimator, self.params
+        ):
+            self.stats.plans_considered += 1
+            entry = PlanEntry(
+                plan=path,
+                cost=path.est_cost,
+                rows=path.est_rows,
+                order=path.order,
+                satisfied=self._satisfied(path.order),
+            )
+            self._insert(entries, entry)
+        self._table[frozenset((alias,))] = entries
+        self.stats.entries_retained += len(entries)
+
+    # ------------------------------------------------------------------
+    # DP step
+    # ------------------------------------------------------------------
+    def _build_subset(self, subset: FrozenSet[str]) -> None:
+        self.stats.subsets_examined += 1
+        entries: List[PlanEntry] = []
+        partitions = list(self._partitions(subset))
+        connected = [
+            pair for pair in partitions if self.graph.connected(pair[0], pair[1])
+        ]
+        if self.config.allow_cartesian:
+            usable = partitions
+        elif connected:
+            usable = connected
+        else:
+            # Cartesian products are deferred (Section 3): a disconnected
+            # subset is built only when unavoidable -- the full query, or
+            # a subset with no join edge to the outside (a union of whole
+            # components, which must eventually be crossed anyway).
+            full = frozenset(self.graph.aliases)
+            has_outside_edge = bool(self.graph.neighbours(subset))
+            if subset == full or not has_outside_edge:
+                usable = partitions
+            else:
+                return
+        rows = self.estimator.relation_set_cardinality(subset, self.graph)
+        for left_set, right_set in usable:
+            left_entries = self._table.get(left_set, [])
+            right_entries = self._table.get(right_set, [])
+            if not left_entries or not right_entries:
+                continue
+            for candidate in self._join_candidates(
+                left_set, right_set, left_entries, right_entries, rows
+            ):
+                self._insert(entries, candidate)
+        if entries:
+            self._table[subset] = entries
+            self.stats.entries_retained += len(entries)
+
+    def _partitions(self, subset: FrozenSet[str]):
+        if self.config.bushy:
+            items = sorted(subset)
+            for mask in range(1, 2 ** len(items) - 1):
+                left = frozenset(
+                    items[i] for i in range(len(items)) if mask & (1 << i)
+                )
+                yield left, subset - left
+        else:
+            for alias in sorted(subset):
+                rest = subset - {alias}
+                if rest:
+                    yield rest, frozenset((alias,))
+
+    # ------------------------------------------------------------------
+    # Join methods
+    # ------------------------------------------------------------------
+    def _join_candidates(
+        self,
+        left_set: FrozenSet[str],
+        right_set: FrozenSet[str],
+        left_entries: List[PlanEntry],
+        right_entries: List[PlanEntry],
+        rows: float,
+    ):
+        predicate = self.graph.connecting_predicate(left_set, right_set)
+        equi_pairs, residual = self._split_equi(predicate, left_set, right_set)
+        algorithms = self.config.join_algorithms
+        for left in left_entries:
+            if "nl" in algorithms:
+                for right in right_entries:
+                    yield self._nested_loop(left, right, right_set, predicate, rows)
+            if "inl" in algorithms and len(right_set) == 1 and equi_pairs:
+                yield from self._index_nested_loop(
+                    left, next(iter(right_set)), equi_pairs, residual, rows
+                )
+            if "merge" in algorithms and equi_pairs:
+                for right in right_entries:
+                    yield self._merge(
+                        left, right, left_set, right_set, equi_pairs, residual, rows
+                    )
+            if "hash" in algorithms and equi_pairs:
+                for right in right_entries:
+                    yield self._hash(
+                        left, right, right_set, equi_pairs, residual, rows
+                    )
+
+    def _split_equi(
+        self,
+        predicate: Optional[Expr],
+        left_set: FrozenSet[str],
+        right_set: FrozenSet[str],
+    ) -> Tuple[List[Tuple[ColumnRef, ColumnRef]], Optional[Expr]]:
+        pairs: List[Tuple[ColumnRef, ColumnRef]] = []
+        residual: List[Expr] = []
+        for conjunct in conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op is ComparisonOp.EQ
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                l, r = conjunct.left, conjunct.right
+                if l.table in left_set and r.table in right_set:
+                    pairs.append((l, r))
+                    continue
+                if r.table in left_set and l.table in right_set:
+                    pairs.append((r, l))
+                    continue
+            residual.append(conjunct)
+        return pairs, conjoin(residual)
+
+    def _nested_loop(
+        self,
+        left: PlanEntry,
+        right: PlanEntry,
+        right_set: FrozenSet[str],
+        predicate: Optional[Expr],
+        rows: float,
+    ) -> PlanEntry:
+        self.stats.plans_considered += 1
+        inner = MaterializeP(right.plan)
+        inner_pages = self._pages(right_set, right.rows)
+        inner.est_rows = right.rows
+        inner.est_cost = right.cost + cost_materialize(
+            right.rows, inner_pages, self.params
+        )
+        inner.order = right.order
+        rescan = Cost(cpu=right.rows * self.params.cpu_tuple_cost)
+        join_cost = cost_nested_loop_join(
+            left.rows, rescan, right.rows, len(conjuncts(predicate)), self.params
+        )
+        plan = NLJoinP(left.plan, inner, predicate, JoinKind.INNER)
+        plan.est_rows = rows
+        plan.est_cost = left.cost + inner.est_cost + join_cost
+        plan.order = left.order  # NL preserves the outer order
+        return self._entry(plan)
+
+    def _index_nested_loop(
+        self,
+        left: PlanEntry,
+        inner_alias: str,
+        equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
+        residual: Optional[Expr],
+        rows: float,
+    ):
+        node = self.graph.node(inner_alias)
+        table = self.catalog.table(node.table)
+        for index in self.catalog.indexes_on(node.table):
+            matched: List[Tuple[ColumnRef, ColumnRef]] = []
+            for column in index.definition.columns:
+                pair = next(
+                    (p for p in equi_pairs if p[1].column == column), None
+                )
+                if pair is None:
+                    break
+                matched.append(pair)
+            if not matched:
+                continue
+            self.stats.plans_considered += 1
+            unmatched = [p for p in equi_pairs if p not in matched]
+            residual_parts = list(conjuncts(residual))
+            residual_parts.extend(
+                Comparison(ComparisonOp.EQ, l, r) for l, r in unmatched
+            )
+            local = node.local_predicate()
+            if local is not None:
+                residual_parts.append(local)
+            selectivity = 1.0
+            for _l, r in matched:
+                distinct = self.estimator.selectivity.distinct_count(r)
+                selectivity *= 1.0 / distinct if distinct else 0.1
+            matches_per_outer = max(table.row_count * selectivity, 0.0)
+            join_cost = cost_index_nested_loop_join(
+                left.rows,
+                matches_per_outer,
+                float(table.row_count),
+                float(table.page_count),
+                index.height,
+                index.definition.clustered,
+                self.params,
+            )
+            plan = INLJoinP(
+                left.plan,
+                node.table,
+                inner_alias,
+                table.schema.column_names,
+                index.definition.name,
+                [l for l, _r in matched],
+                JoinKind.INNER,
+                conjoin(residual_parts),
+            )
+            plan.est_rows = rows
+            plan.est_cost = left.cost + join_cost
+            plan.order = left.order
+            yield self._entry(plan)
+
+    def _merge(
+        self,
+        left: PlanEntry,
+        right: PlanEntry,
+        left_set: FrozenSet[str],
+        right_set: FrozenSet[str],
+        equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
+        residual: Optional[Expr],
+        rows: float,
+    ) -> PlanEntry:
+        self.stats.plans_considered += 1
+        left_keys = [l for l, _r in equi_pairs]
+        right_keys = [r for _l, r in equi_pairs]
+        left_order: SortOrder = tuple((ref, True) for ref in left_keys)
+        right_order: SortOrder = tuple((ref, True) for ref in right_keys)
+        left_plan, left_cost = self._ensure_order(
+            left.plan, left.cost, left.rows, left.order, left_order, left_set
+        )
+        right_plan, right_cost = self._ensure_order(
+            right.plan, right.cost, right.rows, right.order, right_order, right_set
+        )
+        merge_cost = cost_merge_join(left.rows, right.rows, rows, self.params)
+        plan = MergeJoinP(
+            left_plan, right_plan, left_keys, right_keys, JoinKind.INNER, residual
+        )
+        plan.est_rows = rows
+        plan.est_cost = left_cost + right_cost + merge_cost
+        plan.order = left_order  # merge output is ordered on the join keys
+        return self._entry(plan)
+
+    def _hash(
+        self,
+        left: PlanEntry,
+        right: PlanEntry,
+        right_set: FrozenSet[str],
+        equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
+        residual: Optional[Expr],
+        rows: float,
+    ) -> PlanEntry:
+        self.stats.plans_considered += 1
+        left_keys = [l for l, _r in equi_pairs]
+        right_keys = [r for _l, r in equi_pairs]
+        build_pages = self._pages(right_set, right.rows)
+        probe_pages = pages_for_rows(left.rows, 16.0, self.params)
+        join_cost = cost_hash_join(
+            right.rows, build_pages, left.rows, probe_pages, rows, self.params
+        )
+        plan = HashJoinP(
+            left.plan, right.plan, left_keys, right_keys, JoinKind.INNER, residual
+        )
+        plan.est_rows = rows
+        plan.est_cost = left.cost + right.cost + join_cost
+        plan.order = None  # hashing destroys order
+        return self._entry(plan)
+
+    def _ensure_order(
+        self,
+        plan: PhysicalOp,
+        cost: Cost,
+        rows: float,
+        delivered: Optional[SortOrder],
+        required: SortOrder,
+        aliases: FrozenSet[str],
+    ) -> Tuple[PhysicalOp, Cost]:
+        if order_satisfies(delivered, required, self.equivalences):
+            return plan, cost
+        sort = SortP(plan, required)
+        sort.est_rows = rows
+        extra = cost_sort(rows, self._pages(aliases, rows), self.params)
+        sort.est_cost = cost + extra
+        sort.order = required
+        return sort, sort.est_cost
+
+    # ------------------------------------------------------------------
+    # Entry management
+    # ------------------------------------------------------------------
+    def _entry(self, plan: PhysicalOp) -> PlanEntry:
+        return PlanEntry(
+            plan=plan,
+            cost=plan.est_cost,
+            rows=plan.est_rows,
+            order=plan.order,
+            satisfied=self._satisfied(plan.order),
+        )
+
+    def _satisfied(self, order: Optional[SortOrder]) -> FrozenSet[SortOrder]:
+        if not self.config.use_interesting_orders:
+            return frozenset()
+        return satisfied_orders(order, self.orders, self.equivalences)
+
+    def _insert(self, entries: List[PlanEntry], candidate: PlanEntry) -> None:
+        """Dominance pruning: keep the Pareto frontier over (cost, orders)."""
+        for existing in entries:
+            if (
+                existing.cost.total <= candidate.cost.total
+                and existing.satisfied >= candidate.satisfied
+            ):
+                return
+        entries[:] = [
+            existing
+            for existing in entries
+            if not (
+                candidate.cost.total <= existing.cost.total
+                and candidate.satisfied >= existing.satisfied
+            )
+        ]
+        entries.append(candidate)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _width(self, aliases: FrozenSet[str]) -> float:
+        if aliases not in self._width_cache:
+            width = 0.0
+            for alias in aliases:
+                table = self.graph.node(alias).table
+                width += self.catalog.schema(table).row_width_bytes
+            self._width_cache[aliases] = width
+        return self._width_cache[aliases]
+
+    def _pages(self, aliases: FrozenSet[str], rows: float) -> float:
+        return pages_for_rows(rows, self._width(aliases), self.params)

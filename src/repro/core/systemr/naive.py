@@ -1,0 +1,138 @@
+"""Naive exhaustive join enumeration -- the O(n!) baseline of Section 3.
+
+The dynamic-programming enumerator considers O(n * 2^n) plans; the naive
+alternative walks every join *order* (n! permutations for linear trees,
+and every binary tree shape for bushy ones) and costs each, re-deriving
+plans for identical subexpressions over and over.  Benchmark E1 plots
+both counters against n.
+
+The naive enumerator reuses the DP enumerator's access paths, join
+costing, and per-order pruning *within* one permutation, so the two
+searches return the same optimal cost; only the amount of work differs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.errors import OptimizerError
+from repro.logical.querygraph import QueryGraph
+from repro.physical.plans import PhysicalOp
+from repro.core.systemr.enumerator import (
+    EnumeratorConfig,
+    EnumeratorStats,
+    PlanEntry,
+    SystemRJoinEnumerator,
+)
+from repro.stats.summaries import TableStats
+
+
+class NaiveExhaustiveEnumerator:
+    """Enumerate every join order without memoization.
+
+    Args:
+        bushy: enumerate all binary-tree shapes instead of only
+            left-deep permutations.
+        Other arguments as in :class:`SystemRJoinEnumerator`.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        graph: QueryGraph,
+        stats_by_alias: Dict[str, TableStats],
+        params: CostParameters = DEFAULT_PARAMETERS,
+        bushy: bool = False,
+        allow_cartesian: bool = True,
+    ) -> None:
+        config = EnumeratorConfig(bushy=bushy, allow_cartesian=allow_cartesian)
+        self._dp = SystemRJoinEnumerator(
+            catalog, graph, stats_by_alias, params, config
+        )
+        self.graph = graph
+        self.bushy = bushy
+        self.allow_cartesian = allow_cartesian
+
+    @property
+    def stats(self) -> EnumeratorStats:
+        """Work counters (``plans_considered`` is the headline number)."""
+        return self._dp.stats
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[PlanEntry]:
+        """Enumerate every order; returns the surviving full-query entries."""
+        aliases = self.graph.aliases
+        if not aliases:
+            raise OptimizerError("query graph has no relations")
+        for alias in aliases:
+            self._dp._seed_relation(alias)
+        best: List[PlanEntry] = []
+        if self.bushy:
+            for entry in self._all_trees(frozenset(aliases)):
+                self._dp._insert(best, entry)
+        else:
+            for permutation in itertools.permutations(aliases):
+                for entry in self._linear_chain(permutation):
+                    self._dp._insert(best, entry)
+        if not best:
+            raise OptimizerError("naive enumeration found no plan")
+        return best
+
+    def best_cost(self) -> float:
+        """Total cost of the best plan found."""
+        return min(entry.cost.total for entry in self.run())
+
+    # ------------------------------------------------------------------
+    def _single(self, alias: str) -> List[PlanEntry]:
+        return self._dp._table[frozenset((alias,))]
+
+    def _linear_chain(self, permutation: Sequence[str]) -> List[PlanEntry]:
+        """All pruned plans for one left-deep permutation."""
+        current_set = frozenset((permutation[0],))
+        entries = list(self._single(permutation[0]))
+        for alias in permutation[1:]:
+            right_set = frozenset((alias,))
+            if not self.allow_cartesian and not self.graph.connected(
+                current_set, right_set
+            ):
+                return []
+            union = current_set | right_set
+            rows = self._dp.estimator.relation_set_cardinality(union, self.graph)
+            next_entries: List[PlanEntry] = []
+            for candidate in self._dp._join_candidates(
+                current_set, right_set, entries, self._single(alias), rows
+            ):
+                self._dp._insert(next_entries, candidate)
+            if not next_entries:
+                return []
+            entries = next_entries
+            current_set = union
+        return entries
+
+    def _all_trees(self, subset: FrozenSet[str]) -> List[PlanEntry]:
+        """All pruned plans for every binary tree over ``subset`` --
+        the un-memoized recursion whose cost DP avoids."""
+        if len(subset) == 1:
+            return list(self._single(next(iter(subset))))
+        items = sorted(subset)
+        rows = self._dp.estimator.relation_set_cardinality(subset, self.graph)
+        entries: List[PlanEntry] = []
+        for mask in range(1, 2 ** len(items) - 1):
+            left_set = frozenset(items[i] for i in range(len(items)) if mask & (1 << i))
+            right_set = subset - left_set
+            if not self.allow_cartesian and not self.graph.connected(
+                left_set, right_set
+            ):
+                continue
+            left_entries = self._all_trees(left_set)
+            right_entries = self._all_trees(right_set)
+            if not left_entries or not right_entries:
+                continue
+            for candidate in self._dp._join_candidates(
+                left_set, right_set, left_entries, right_entries, rows
+            ):
+                self._dp._insert(entries, candidate)
+        return entries

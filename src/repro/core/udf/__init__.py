@@ -1,0 +1,21 @@
+"""Optimization of queries with expensive user-defined predicates (Sec 7.2)."""
+
+from repro.core.udf.placement import (
+    ExpensivePredicate,
+    PipelineProblem,
+    compare_strategies,
+    evaluate,
+    optimal_placement,
+    pushdown_placement,
+    rank_placement,
+)
+
+__all__ = [
+    "ExpensivePredicate",
+    "PipelineProblem",
+    "compare_strategies",
+    "evaluate",
+    "optimal_placement",
+    "pushdown_placement",
+    "rank_placement",
+]

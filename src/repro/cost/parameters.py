@@ -1,0 +1,52 @@
+"""Tunable constants of the cost model.
+
+One instance of :class:`CostParameters` parameterizes every cost formula
+so experiments can sweep, e.g., the random-I/O penalty or communication
+cost and watch plan choices flip (benchmarks E3, E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Weights and capacities used by the cost formulas.
+
+    Attributes:
+        seq_page_cost: cost of one sequentially read page (the unit).
+        random_page_cost: cost of one randomly read page.
+        cpu_tuple_cost: CPU cost of producing one tuple.
+        cpu_operator_cost: CPU cost of one predicate/expression evaluation.
+        cpu_hash_cost: CPU cost of one hash-table insert or probe.
+        sort_memory_pages: in-memory workspace for sorts; larger inputs
+            spill and pay extra merge passes.
+        hash_memory_pages: workspace for hash joins/aggregation; larger
+            builds pay a partitioning pass.
+        buffer_pool_pages: simulated buffer-pool capacity used for the
+            index-nested-loop locality adjustment ([40], Section 5.2).
+        page_size_bytes: bytes per page, to size intermediate streams.
+        comm_cost_per_page: cost of shipping one page between processors
+            (parallel/distributed plans, Section 7.1).
+        startup_cost_per_operator: fixed overhead per physical operator.
+    """
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_operator_cost: float = 0.0025
+    cpu_hash_cost: float = 0.02
+    sort_memory_pages: int = 64
+    hash_memory_pages: int = 64
+    buffer_pool_pages: int = 256
+    page_size_bytes: int = 8192
+    comm_cost_per_page: float = 2.0
+    startup_cost_per_operator: float = 0.1
+
+    def with_overrides(self, **overrides) -> "CostParameters":
+        """A copy with some parameters replaced."""
+        return replace(self, **overrides)
+
+
+DEFAULT_PARAMETERS = CostParameters()

@@ -1,0 +1,41 @@
+"""Synthetic data and workload generators."""
+
+from repro.datagen.distributions import (
+    correlated_pairs,
+    distinct_words,
+    normal_floats,
+    pick_from,
+    uniform_floats,
+    uniform_ints,
+    zipf_values,
+)
+from repro.datagen.generators import (
+    build_chain_tables,
+    build_emp_dept,
+    build_star_schema,
+    chain_query_graph,
+    clique_query_graph,
+    graph_stats,
+    sales_star_query_graph,
+    star_query_graph,
+    stats_by_alias,
+)
+
+__all__ = [
+    "build_chain_tables",
+    "build_emp_dept",
+    "build_star_schema",
+    "chain_query_graph",
+    "clique_query_graph",
+    "correlated_pairs",
+    "distinct_words",
+    "graph_stats",
+    "normal_floats",
+    "pick_from",
+    "sales_star_query_graph",
+    "star_query_graph",
+    "stats_by_alias",
+    "uniform_floats",
+    "uniform_ints",
+    "zipf_values",
+]

@@ -1,0 +1,134 @@
+"""Random value distributions for synthetic workloads.
+
+Zipfian skew is the workhorse: the histogram experiments (E8) sweep the
+skew parameter ``z`` from 0 (uniform) to 2 (heavily skewed), matching
+the setup of the histogram papers the survey cites ([52]).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.errors import StatisticsError
+
+
+def zipf_values(
+    count: int,
+    domain_size: int,
+    skew: float,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """Draw ``count`` values from a Zipf(z=skew) distribution over
+    ``1..domain_size``.
+
+    ``skew=0`` is uniform; larger values concentrate mass on low ranks.
+
+    Raises:
+        StatisticsError: on non-positive count/domain or negative skew.
+    """
+    if count < 0 or domain_size <= 0:
+        raise StatisticsError("count and domain size must be positive")
+    if skew < 0:
+        raise StatisticsError("skew must be non-negative")
+    if rng is None:
+        rng = random.Random(42)
+    weights = [1.0 / (rank ** skew) for rank in range(1, domain_size + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for weight in weights:
+        acc += weight / total
+        cumulative.append(acc)
+    values = []
+    for _ in range(count):
+        needle = rng.random()
+        lo, hi = 0, domain_size - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < needle:
+                lo = mid + 1
+            else:
+                hi = mid
+        values.append(lo + 1)
+    return values
+
+
+def uniform_ints(
+    count: int,
+    low: int,
+    high: int,
+    rng: Optional[random.Random] = None,
+) -> List[int]:
+    """``count`` uniform integers in [low, high]."""
+    if rng is None:
+        rng = random.Random(43)
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+def uniform_floats(
+    count: int,
+    low: float,
+    high: float,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """``count`` uniform floats in [low, high]."""
+    if rng is None:
+        rng = random.Random(44)
+    return [rng.uniform(low, high) for _ in range(count)]
+
+
+def normal_floats(
+    count: int,
+    mean: float,
+    stddev: float,
+    rng: Optional[random.Random] = None,
+) -> List[float]:
+    """``count`` normally distributed floats."""
+    if rng is None:
+        rng = random.Random(45)
+    return [rng.gauss(mean, stddev) for _ in range(count)]
+
+
+def correlated_pairs(
+    count: int,
+    domain_size: int,
+    correlation: float,
+    rng: Optional[random.Random] = None,
+) -> List[tuple]:
+    """(x, y) integer pairs where y == x with probability ``correlation``.
+
+    Used to demonstrate the independence-assumption error (E9): at
+    correlation 1.0 the joint selectivity of ``x = c AND y = c`` equals
+    the single-column selectivity, not its square.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise StatisticsError("correlation must be in [0, 1]")
+    if rng is None:
+        rng = random.Random(46)
+    pairs = []
+    for _ in range(count):
+        x = rng.randint(1, domain_size)
+        if rng.random() < correlation:
+            y = x
+        else:
+            y = rng.randint(1, domain_size)
+        pairs.append((x, y))
+    return pairs
+
+
+def distinct_words(count: int, prefix: str = "v") -> List[str]:
+    """Deterministic distinct string values (for name-like columns)."""
+    width = len(str(max(count - 1, 1)))
+    return [f"{prefix}{str(index).zfill(width)}" for index in range(count)]
+
+
+def pick_from(
+    choices: Sequence,
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> List:
+    """``count`` draws (with replacement) from a fixed choice list."""
+    if rng is None:
+        rng = random.Random(47)
+    return [rng.choice(list(choices)) for _ in range(count)]

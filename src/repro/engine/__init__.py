@@ -1,0 +1,14 @@
+"""Execution engine: physical-plan executor, reference interpreter, buffer pool."""
+
+from repro.engine.context import BufferPool, ExecContext, ExecCounters
+from repro.engine.executor import execute
+from repro.engine.interpreter import InterpreterStats, interpret
+
+__all__ = [
+    "BufferPool",
+    "ExecContext",
+    "ExecCounters",
+    "InterpreterStats",
+    "execute",
+    "interpret",
+]

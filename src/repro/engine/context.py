@@ -1,0 +1,111 @@
+"""Execution context: simulated buffer pool and work counters.
+
+The paper's cost discussion (Section 5.2, [40]) stresses that buffer
+utilization -- hit ratios that depend on access locality -- is key to
+accurate costing.  The executor therefore routes every page access
+through a small LRU buffer-pool simulation, so measured I/O shows the
+same locality effects the cost model predicts (e.g. a warm inner table
+making index nested-loop joins cheap).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+
+PageId = Tuple[str, int]
+
+
+class BufferPool:
+    """A fixed-capacity LRU cache of (table, page) identifiers."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        self.capacity = max(1, capacity_pages)
+        self._pages: "OrderedDict[PageId, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: PageId) -> bool:
+        """Touch a page; returns True on a buffer hit (no I/O)."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return False
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of accesses served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Empty the pool and reset counters."""
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+@dataclass
+class ExecCounters:
+    """Observed work during one execution."""
+
+    seq_page_reads: int = 0
+    random_page_reads: int = 0
+    rows_produced: int = 0
+    rows_compared: int = 0
+    sort_spill_pages: int = 0
+    udf_invocations: int = 0
+    exchange_pages: int = 0
+    inner_evaluations: int = 0
+
+    @property
+    def total_page_reads(self) -> int:
+        """All physical page reads (buffer misses)."""
+        return self.seq_page_reads + self.random_page_reads
+
+    def observed_cost(self, params: CostParameters) -> float:
+        """Collapse the counters into the cost model's metric.
+
+        Lets benchmarks compare *measured* cost against the optimizer's
+        estimates in the same units.
+        """
+        return (
+            self.seq_page_reads * params.seq_page_cost
+            + self.random_page_reads * params.random_page_cost
+            + self.rows_produced * params.cpu_tuple_cost
+            + self.rows_compared * params.cpu_operator_cost
+            + self.sort_spill_pages * params.seq_page_cost
+            + self.exchange_pages * params.comm_cost_per_page
+        )
+
+
+class ExecContext:
+    """Everything an execution needs: parameters, buffer pool, counters."""
+
+    def __init__(self, params: Optional[CostParameters] = None) -> None:
+        self.params = params or DEFAULT_PARAMETERS
+        self.buffer_pool = BufferPool(self.params.buffer_pool_pages)
+        self.counters = ExecCounters()
+
+    def read_page(self, table: str, page_no: int, sequential: bool) -> None:
+        """Record one page access through the buffer pool."""
+        hit = self.buffer_pool.access((table, page_no))
+        if hit:
+            return
+        if sequential:
+            self.counters.seq_page_reads += 1
+        else:
+            self.counters.random_page_reads += 1
+
+    def reset(self) -> None:
+        """Clear the buffer pool and counters for a fresh measurement."""
+        self.buffer_pool.clear()
+        self.counters = ExecCounters()

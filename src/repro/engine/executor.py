@@ -1,0 +1,524 @@
+"""The physical-plan executor.
+
+Executes physical operator trees against catalog data, materializing
+intermediate results operator by operator, and records the work done
+(page reads through the simulated buffer pool, comparisons, UDF calls)
+in the :class:`~repro.engine.context.ExecContext`.  Benchmarks use these
+counters as the *measured* cost to validate optimizer estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.cost.model import pages_for_rows
+from repro.engine.context import ExecContext
+from repro.engine.interpreter import InterpreterStats, interpret, sort_rows
+from repro.errors import ExecutionError
+from repro.expr.evaluator import evaluate, predicate_holds
+from repro.expr.expressions import ColumnRef, Expr
+from repro.expr.schema import StreamSchema
+from repro.logical.operators import JoinKind
+from repro.physical.plans import (
+    ApplyP,
+    DistinctP,
+    ExchangeP,
+    FilterP,
+    HashAggP,
+    HashJoinP,
+    INLJoinP,
+    IndexScanP,
+    MaterializeP,
+    MergeJoinP,
+    NLJoinP,
+    PhysicalOp,
+    ProjectP,
+    SeqScanP,
+    SortP,
+    StreamAggP,
+    UdfFilterP,
+    UnionAllP,
+)
+
+Row = Tuple[Any, ...]
+
+_ROW_WIDTH_GUESS_BYTES = 16.0
+
+
+def execute(
+    plan: PhysicalOp, catalog: Catalog, context: Optional[ExecContext] = None
+) -> Tuple[StreamSchema, List[Row]]:
+    """Run a physical plan; returns ``(schema, rows)``.
+
+    Raises:
+        ExecutionError: on malformed plans or runtime failures.
+    """
+    if context is None:
+        context = ExecContext()
+    rows = _run(plan, catalog, context)
+    return plan.output_schema(), rows
+
+
+def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    handler = _HANDLERS.get(type(op))
+    if handler is None:
+        for op_type, candidate in _HANDLERS.items():
+            if isinstance(op, op_type):
+                handler = candidate
+                break
+    if handler is None:
+        raise ExecutionError(f"no executor for {type(op).__name__}")
+    return handler(op, catalog, ctx)
+
+
+# ----------------------------------------------------------------------
+# Scans
+# ----------------------------------------------------------------------
+def _run_seq_scan(op: SeqScanP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    table = catalog.table(op.table)
+    schema = op.output_schema()
+    out: List[Row] = []
+    for page_no in range(table.page_count):
+        ctx.read_page(op.table, page_no, sequential=True)
+    for _row_id, row in table.scan():
+        if op.predicate is not None:
+            ctx.counters.rows_compared += 1
+            if not predicate_holds(op.predicate, row, schema):
+                continue
+        out.append(tuple(row))
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_index_scan(op: IndexScanP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    table = catalog.table(op.table)
+    index = catalog.index(op.index_name)
+    schema = op.output_schema()
+    # Traverse the index: height pages randomly, through the buffer pool.
+    for level in range(index.height):
+        ctx.read_page(f"idx:{op.index_name}", -(level + 1), sequential=False)
+    if op.eq_value is not None:
+        row_ids = index.seek_prefix(op.eq_value)
+    elif op.low is not None or op.high is not None:
+        row_ids = index.range(op.low, op.high)
+    else:
+        row_ids = index.ordered_row_ids()
+    # Leaf pages covered by the scan.
+    if index.page_count:
+        covered = max(1, round(index.page_count * len(row_ids) / max(index.entry_count, 1)))
+        for leaf in range(covered):
+            ctx.read_page(f"idx:{op.index_name}", leaf, sequential=True)
+    clustered = index.definition.clustered
+    out: List[Row] = []
+    for row_id in row_ids:
+        ctx.read_page(op.table, table.page_of(row_id), sequential=clustered)
+        row = table.fetch(row_id)
+        if op.predicate is not None:
+            ctx.counters.rows_compared += 1
+            if not predicate_holds(op.predicate, row, schema):
+                continue
+        out.append(tuple(row))
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Stream operators
+# ----------------------------------------------------------------------
+def _run_filter(op: FilterP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    schema = op.child.output_schema()
+    out = []
+    for row in rows:
+        ctx.counters.rows_compared += 1
+        if predicate_holds(op.predicate, row, schema):
+            out.append(row)
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_udf_filter(op: UdfFilterP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    schema = op.child.output_schema()
+    out = []
+    for row in rows:
+        ctx.counters.udf_invocations += 1
+        ctx.counters.rows_compared += max(1, int(op.udf.per_tuple_cost))
+        if evaluate(op.udf, row, schema) is True:
+            out.append(row)
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_project(op: ProjectP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    schema = op.child.output_schema()
+    out = [
+        tuple(evaluate(item.expr, row, schema) for item in op.items) for row in rows
+    ]
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_sort(op: SortP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    schema = op.child.output_schema()
+    pages = pages_for_rows(len(rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    if pages > ctx.params.sort_memory_pages:
+        ctx.counters.sort_spill_pages += int(2 * pages)
+    out = sort_rows(rows, schema, op.sort_order)
+    ctx.counters.rows_compared += int(len(rows) * max(1, len(rows)).bit_length())
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_materialize(op: MaterializeP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    pages = pages_for_rows(len(rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    if pages > ctx.params.sort_memory_pages:
+        ctx.counters.sort_spill_pages += int(2 * pages)
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+def _run_nl_join(op: NLJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    left_rows = _run(op.left, catalog, ctx)
+    right_rows = _run(op.right, catalog, ctx)
+    left_schema = op.left.output_schema()
+    right_schema = op.right.output_schema()
+    combined = left_schema.concat(right_schema)
+    out: List[Row] = []
+
+    def matches(lrow: Row, rrow: Row) -> bool:
+        ctx.counters.rows_compared += 1
+        if op.predicate is None:
+            return True
+        return predicate_holds(op.predicate, lrow + rrow, combined)
+
+    if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+        for lrow in left_rows:
+            for rrow in right_rows:
+                if matches(lrow, rrow):
+                    out.append(lrow + rrow)
+    elif op.kind is JoinKind.LEFT_OUTER:
+        pad = (None,) * right_schema.arity
+        for lrow in left_rows:
+            matched = False
+            for rrow in right_rows:
+                if matches(lrow, rrow):
+                    matched = True
+                    out.append(lrow + rrow)
+            if not matched:
+                out.append(lrow + pad)
+    elif op.kind is JoinKind.SEMI:
+        for lrow in left_rows:
+            if any(matches(lrow, rrow) for rrow in right_rows):
+                out.append(lrow)
+    elif op.kind is JoinKind.ANTI:
+        for lrow in left_rows:
+            if not any(matches(lrow, rrow) for rrow in right_rows):
+                out.append(lrow)
+    else:
+        raise ExecutionError(f"nested loop join cannot run kind {op.kind}")
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_inl_join(op: INLJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    outer_rows = _run(op.outer, catalog, ctx)
+    outer_schema = op.outer.output_schema()
+    table = catalog.table(op.table)
+    ordered = {index.definition.name: index for index in catalog.indexes_on(op.table)}
+    hashed = {
+        index.definition.name: index for index in catalog.hash_indexes_on(op.table)
+    }
+    index = ordered.get(op.index_name) or hashed.get(op.index_name)
+    if index is None:
+        raise ExecutionError(f"unknown index {op.index_name!r} on {op.table!r}")
+    inner_schema = StreamSchema.for_table(op.alias, op.columns)
+    combined = outer_schema.concat(inner_schema)
+    height = getattr(index, "height", 1)
+    out: List[Row] = []
+    for orow in outer_rows:
+        key = tuple(evaluate(expr, orow, outer_schema) for expr in op.outer_keys)
+        if any(part is None for part in key):
+            matched_ids: List[int] = []
+        else:
+            for level in range(height):
+                ctx.read_page(f"idx:{op.index_name}", -(level + 1), sequential=False)
+            matched_ids = (
+                index.seek_prefix(key)
+                if hasattr(index, "seek_prefix")
+                else index.seek(key)
+            )
+        matched_rows: List[Row] = []
+        for row_id in matched_ids:
+            ctx.read_page(op.table, table.page_of(row_id), sequential=False)
+            irow = table.fetch(row_id)
+            if op.residual is not None:
+                ctx.counters.rows_compared += 1
+                if not predicate_holds(op.residual, orow + irow, combined):
+                    continue
+            matched_rows.append(tuple(irow))
+        if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+            out.extend(orow + irow for irow in matched_rows)
+        elif op.kind is JoinKind.LEFT_OUTER:
+            if matched_rows:
+                out.extend(orow + irow for irow in matched_rows)
+            else:
+                out.append(orow + (None,) * inner_schema.arity)
+        elif op.kind is JoinKind.SEMI:
+            if matched_rows:
+                out.append(orow)
+        elif op.kind is JoinKind.ANTI:
+            if not matched_rows:
+                out.append(orow)
+        else:
+            raise ExecutionError(f"index NL join cannot run kind {op.kind}")
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _key_getter(
+    schema: StreamSchema, keys: Sequence[ColumnRef]
+) -> Callable[[Row], Tuple[Any, ...]]:
+    positions = [schema.position(ref) for ref in keys]
+    return lambda row: tuple(row[p] for p in positions)
+
+
+def _run_merge_join(op: MergeJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    left_rows = _run(op.left, catalog, ctx)
+    right_rows = _run(op.right, catalog, ctx)
+    left_schema = op.left.output_schema()
+    right_schema = op.right.output_schema()
+    combined = left_schema.concat(right_schema)
+    left_key = _key_getter(left_schema, op.left_keys)
+    right_key = _key_getter(right_schema, op.right_keys)
+    out: List[Row] = []
+    pad = (None,) * right_schema.arity
+    i = j = 0
+    n, m = len(left_rows), len(right_rows)
+    while i < n:
+        lkey = left_key(left_rows[i])
+        if any(part is None for part in lkey):
+            # NULL join keys never match.
+            if op.kind is JoinKind.LEFT_OUTER:
+                out.append(left_rows[i] + pad)
+            elif op.kind is JoinKind.ANTI:
+                out.append(left_rows[i])
+            i += 1
+            continue
+        while j < m:
+            rkey = right_key(right_rows[j])
+            ctx.counters.rows_compared += 1
+            if any(part is None for part in rkey) or rkey < lkey:
+                j += 1
+            else:
+                break
+        # Collect the right group equal to lkey.
+        group_start = j
+        k = j
+        while k < m and right_key(right_rows[k]) == lkey:
+            k += 1
+        group = right_rows[group_start:k]
+        # Emit for every left row sharing lkey.
+        while i < n and left_key(left_rows[i]) == lkey:
+            lrow = left_rows[i]
+            matched = []
+            for rrow in group:
+                if op.residual is not None:
+                    ctx.counters.rows_compared += 1
+                    if not predicate_holds(op.residual, lrow + rrow, combined):
+                        continue
+                matched.append(rrow)
+            if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+                out.extend(lrow + rrow for rrow in matched)
+            elif op.kind is JoinKind.LEFT_OUTER:
+                if matched:
+                    out.extend(lrow + rrow for rrow in matched)
+                else:
+                    out.append(lrow + pad)
+            elif op.kind is JoinKind.SEMI:
+                if matched:
+                    out.append(lrow)
+            elif op.kind is JoinKind.ANTI:
+                if not matched:
+                    out.append(lrow)
+            else:
+                raise ExecutionError(f"merge join cannot run kind {op.kind}")
+            i += 1
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_hash_join(op: HashJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    left_rows = _run(op.left, catalog, ctx)
+    right_rows = _run(op.right, catalog, ctx)
+    left_schema = op.left.output_schema()
+    right_schema = op.right.output_schema()
+    combined = left_schema.concat(right_schema)
+    left_key = _key_getter(left_schema, op.left_keys)
+    right_key = _key_getter(right_schema, op.right_keys)
+    build: Dict[Tuple[Any, ...], List[Row]] = {}
+    for rrow in right_rows:
+        key = right_key(rrow)
+        ctx.counters.rows_compared += 1
+        if any(part is None for part in key):
+            continue
+        build.setdefault(key, []).append(rrow)
+    build_pages = pages_for_rows(len(right_rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    if build_pages > ctx.params.hash_memory_pages:
+        probe_pages = pages_for_rows(
+            len(left_rows), _ROW_WIDTH_GUESS_BYTES, ctx.params
+        )
+        ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
+    out: List[Row] = []
+    pad = (None,) * right_schema.arity
+    for lrow in left_rows:
+        key = left_key(lrow)
+        ctx.counters.rows_compared += 1
+        candidates = (
+            build.get(key, []) if not any(part is None for part in key) else []
+        )
+        matched = []
+        for rrow in candidates:
+            if op.residual is not None:
+                ctx.counters.rows_compared += 1
+                if not predicate_holds(op.residual, lrow + rrow, combined):
+                    continue
+            matched.append(rrow)
+        if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+            out.extend(lrow + rrow for rrow in matched)
+        elif op.kind is JoinKind.LEFT_OUTER:
+            if matched:
+                out.extend(lrow + rrow for rrow in matched)
+            else:
+                out.append(lrow + pad)
+        elif op.kind is JoinKind.SEMI:
+            if matched:
+                out.append(lrow)
+        elif op.kind is JoinKind.ANTI:
+            if not matched:
+                out.append(lrow)
+        else:
+            raise ExecutionError(f"hash join cannot run kind {op.kind}")
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Aggregation, distinct, union, apply, exchange
+# ----------------------------------------------------------------------
+def _aggregate_groups(
+    op: HashAggP, rows: List[Row], schema: StreamSchema, ctx: ExecContext
+) -> List[Row]:
+    key_of = _key_getter(schema, op.keys) if op.keys else (lambda _row: ())
+    groups: Dict[Tuple[Any, ...], list] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in rows:
+        key = key_of(row)
+        ctx.counters.rows_compared += 1
+        if key not in groups:
+            groups[key] = [call.new_accumulator() for call in op.aggregates]
+            order.append(key)
+        for call, accumulator in zip(op.aggregates, groups[key]):
+            if call.is_star:
+                accumulator.add(1)
+            else:
+                accumulator.add_value(evaluate(call.arg, row, schema))
+    if not groups and not op.keys:
+        groups[()] = [call.new_accumulator() for call in op.aggregates]
+        order.append(())
+    out = [key + tuple(acc.result() for acc in groups[key]) for key in order]
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_hash_agg(op: HashAggP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    return _aggregate_groups(op, rows, op.child.output_schema(), ctx)
+
+
+def _run_stream_agg(op: StreamAggP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    # The input is sorted on the keys, so groups are contiguous; the hash
+    # path produces identical results and the ordering keeps them grouped.
+    rows = _run(op.child, catalog, ctx)
+    return _aggregate_groups(op, rows, op.child.output_schema(), ctx)
+
+
+def _run_distinct(op: DistinctP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    seen = set()
+    out = []
+    for row in rows:
+        ctx.counters.rows_compared += 1
+        if row not in seen:
+            seen.add(row)
+            out.append(row)
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_union_all(op: UnionAllP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.left, catalog, ctx) + _run(op.right, catalog, ctx)
+    ctx.counters.rows_produced += len(rows)
+    return rows
+
+
+def _run_apply(op: ApplyP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    left_rows = _run(op.left, catalog, ctx)
+    left_schema = op.left.output_schema()
+    out: List[Row] = []
+    inner_stats = InterpreterStats()
+    from repro.engine.interpreter import _eval_op  # reference evaluator
+
+    for lrow in left_rows:
+        ctx.counters.inner_evaluations += 1
+        _schema, inner_rows = _eval_op(
+            op.inner, catalog, left_schema, lrow, inner_stats
+        )
+        if op.kind == "semi":
+            if inner_rows:
+                out.append(lrow)
+        elif op.kind == "anti":
+            if not inner_rows:
+                out.append(lrow)
+        else:
+            if len(inner_rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            value = inner_rows[0][0] if inner_rows else None
+            out.append(lrow + (value,))
+    ctx.counters.rows_compared += inner_stats.rows_produced
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _run_exchange(op: ExchangeP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    pages = pages_for_rows(len(rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    ctx.counters.exchange_pages += int(pages)
+    return rows
+
+
+_HANDLERS = {
+    SeqScanP: _run_seq_scan,
+    IndexScanP: _run_index_scan,
+    FilterP: _run_filter,
+    UdfFilterP: _run_udf_filter,
+    ProjectP: _run_project,
+    SortP: _run_sort,
+    MaterializeP: _run_materialize,
+    NLJoinP: _run_nl_join,
+    INLJoinP: _run_inl_join,
+    MergeJoinP: _run_merge_join,
+    HashJoinP: _run_hash_join,
+    StreamAggP: _run_stream_agg,
+    HashAggP: _run_hash_agg,
+    DistinctP: _run_distinct,
+    UnionAllP: _run_union_all,
+    ApplyP: _run_apply,
+    ExchangeP: _run_exchange,
+}

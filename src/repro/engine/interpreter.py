@@ -1,0 +1,340 @@
+"""A naive reference interpreter for logical operator trees.
+
+This evaluator executes a logical tree directly, with no optimization and
+no physical algorithm choices: joins are nested loops, grouping is a hash
+table, and every :class:`~repro.logical.operators.Apply` re-evaluates its
+inner block per outer row -- the literal *tuple iteration semantics* of
+Section 4.2.2.
+
+It serves two purposes:
+
+* the **correctness oracle**: every optimized physical plan is checked
+  against the interpreter's result in tests;
+* the **unoptimized baseline** in benchmarks that measure the benefit of
+  rewrites (E6 unnesting, E7 magic sets).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.expr.aggregates import AggregateCall
+from repro.expr.evaluator import evaluate, predicate_holds
+from repro.expr.expressions import ColumnRef, Expr
+from repro.expr.schema import StreamSchema
+from repro.logical.operators import (
+    Apply,
+    Distinct,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    Sort,
+    Union,
+)
+
+Row = Tuple[Any, ...]
+
+
+class InterpreterStats:
+    """Counters describing the work the interpreter performed.
+
+    ``rows_produced`` counts every row emitted by every operator --
+    the interpreter's proxy for total work, used by baseline benchmarks.
+    ``inner_evaluations`` counts how many times an Apply re-ran its inner
+    block (the cost that unnesting eliminates).
+    """
+
+    def __init__(self) -> None:
+        self.rows_produced = 0
+        self.inner_evaluations = 0
+        self.rows_scanned = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"InterpreterStats(rows_produced={self.rows_produced}, "
+            f"inner_evaluations={self.inner_evaluations}, "
+            f"rows_scanned={self.rows_scanned})"
+        )
+
+
+def interpret(
+    plan: LogicalOp,
+    catalog: Catalog,
+    stats: Optional[InterpreterStats] = None,
+) -> Tuple[StreamSchema, List[Row]]:
+    """Evaluate a logical tree; returns ``(schema, rows)``.
+
+    Raises:
+        ExecutionError: on runtime errors (bad scalar subqueries, etc.).
+    """
+    if stats is None:
+        stats = InterpreterStats()
+    return _eval_op(plan, catalog, None, None, stats)
+
+
+def _extend(
+    schema: StreamSchema,
+    outer_schema: Optional[StreamSchema],
+) -> StreamSchema:
+    """Schema visible inside a correlated context: inner slots shadow outer."""
+    if outer_schema is None:
+        return schema
+    inner_slots = set(schema.slots)
+    extra = tuple(slot for slot in outer_schema.slots if slot not in inner_slots)
+    if not extra:
+        return schema
+    return StreamSchema(schema.slots + extra)
+
+
+def _extend_row(
+    schema: StreamSchema,
+    row: Row,
+    outer_schema: Optional[StreamSchema],
+    outer_row: Optional[Row],
+) -> Row:
+    if outer_schema is None:
+        return row
+    inner_slots = set(schema.slots)
+    extra = tuple(
+        value
+        for slot, value in zip(outer_schema.slots, outer_row)
+        if slot not in inner_slots
+    )
+    return tuple(row) + extra
+
+
+def _eval_op(
+    op: LogicalOp,
+    catalog: Catalog,
+    outer_schema: Optional[StreamSchema],
+    outer_row: Optional[Row],
+    stats: InterpreterStats,
+) -> Tuple[StreamSchema, List[Row]]:
+    if isinstance(op, Get):
+        schema = op.output_schema()
+        rows = [tuple(row) for row in catalog.table(op.table).rows()]
+        stats.rows_scanned += len(rows)
+        stats.rows_produced += len(rows)
+        return schema, rows
+    if isinstance(op, Filter):
+        child_schema, child_rows = _eval_op(
+            op.child, catalog, outer_schema, outer_row, stats
+        )
+        env_schema = _extend(child_schema, outer_schema)
+        kept = [
+            row
+            for row in child_rows
+            if predicate_holds(
+                op.predicate,
+                _extend_row(child_schema, row, outer_schema, outer_row),
+                env_schema,
+            )
+        ]
+        stats.rows_produced += len(kept)
+        return child_schema, kept
+    if isinstance(op, Project):
+        child_schema, child_rows = _eval_op(
+            op.child, catalog, outer_schema, outer_row, stats
+        )
+        env_schema = _extend(child_schema, outer_schema)
+        out_schema = op.output_schema()
+        out_rows = []
+        for row in child_rows:
+            env_row = _extend_row(child_schema, row, outer_schema, outer_row)
+            out_rows.append(
+                tuple(evaluate(item.expr, env_row, env_schema) for item in op.items)
+            )
+        stats.rows_produced += len(out_rows)
+        return out_schema, out_rows
+    if isinstance(op, Join):
+        return _eval_join(op, catalog, outer_schema, outer_row, stats)
+    if isinstance(op, GroupBy):
+        return _eval_groupby(op, catalog, outer_schema, outer_row, stats)
+    if isinstance(op, Distinct):
+        child_schema, child_rows = _eval_op(
+            op.child, catalog, outer_schema, outer_row, stats
+        )
+        seen = set()
+        out_rows = []
+        for row in child_rows:
+            if row not in seen:
+                seen.add(row)
+                out_rows.append(row)
+        stats.rows_produced += len(out_rows)
+        return child_schema, out_rows
+    if isinstance(op, Union):
+        left_schema, left_rows = _eval_op(
+            op.left, catalog, outer_schema, outer_row, stats
+        )
+        _right_schema, right_rows = _eval_op(
+            op.right, catalog, outer_schema, outer_row, stats
+        )
+        rows = left_rows + right_rows
+        if not op.all_rows:
+            seen = set()
+            deduped = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            rows = deduped
+        stats.rows_produced += len(rows)
+        return left_schema, rows
+    if isinstance(op, Sort):
+        child_schema, child_rows = _eval_op(
+            op.child, catalog, outer_schema, outer_row, stats
+        )
+        rows = sort_rows(child_rows, child_schema, op.keys)
+        stats.rows_produced += len(rows)
+        return child_schema, rows
+    if isinstance(op, Apply):
+        return _eval_apply(op, catalog, outer_schema, outer_row, stats)
+    raise ExecutionError(f"interpreter cannot evaluate {type(op).__name__}")
+
+
+def sort_rows(
+    rows: List[Row],
+    schema: StreamSchema,
+    keys: Sequence[Tuple[ColumnRef, bool]],
+) -> List[Row]:
+    """Stable multi-key sort with SQL NULLS FIRST on ascending keys."""
+    result = list(rows)
+    for ref, ascending in reversed(keys):
+        position = schema.position(ref)
+        result.sort(
+            key=lambda row, p=position: (row[p] is not None, row[p]),
+            reverse=not ascending,
+        )
+    return result
+
+
+def _eval_join(
+    op: Join,
+    catalog: Catalog,
+    outer_schema: Optional[StreamSchema],
+    outer_row: Optional[Row],
+    stats: InterpreterStats,
+) -> Tuple[StreamSchema, List[Row]]:
+    left_schema, left_rows = _eval_op(op.left, catalog, outer_schema, outer_row, stats)
+    right_schema, right_rows = _eval_op(
+        op.right, catalog, outer_schema, outer_row, stats
+    )
+    out_schema = op.output_schema()
+    combined = left_schema.concat(right_schema)
+    env_schema = _extend(combined, outer_schema)
+    out_rows: List[Row] = []
+
+    def matches(left_row: Row, right_row: Row) -> bool:
+        if op.predicate is None:
+            return True
+        env_row = _extend_row(
+            combined, tuple(left_row) + tuple(right_row), outer_schema, outer_row
+        )
+        return predicate_holds(op.predicate, env_row, env_schema)
+
+    if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+        for left_row in left_rows:
+            for right_row in right_rows:
+                if matches(left_row, right_row):
+                    out_rows.append(tuple(left_row) + tuple(right_row))
+    elif op.kind is JoinKind.LEFT_OUTER:
+        null_pad = (None,) * right_schema.arity
+        for left_row in left_rows:
+            matched = False
+            for right_row in right_rows:
+                if matches(left_row, right_row):
+                    matched = True
+                    out_rows.append(tuple(left_row) + tuple(right_row))
+            if not matched:
+                out_rows.append(tuple(left_row) + null_pad)
+    elif op.kind is JoinKind.SEMI:
+        for left_row in left_rows:
+            if any(matches(left_row, right_row) for right_row in right_rows):
+                out_rows.append(tuple(left_row))
+    elif op.kind is JoinKind.ANTI:
+        for left_row in left_rows:
+            if not any(matches(left_row, right_row) for right_row in right_rows):
+                out_rows.append(tuple(left_row))
+    else:
+        raise ExecutionError(f"interpreter does not support join kind {op.kind}")
+    stats.rows_produced += len(out_rows)
+    return out_schema, out_rows
+
+
+def _group_key(
+    keys: Sequence[ColumnRef], schema: StreamSchema, row: Row
+) -> Tuple[Any, ...]:
+    return tuple(row[schema.position(ref)] for ref in keys)
+
+
+def _eval_groupby(
+    op: GroupBy,
+    catalog: Catalog,
+    outer_schema: Optional[StreamSchema],
+    outer_row: Optional[Row],
+    stats: InterpreterStats,
+) -> Tuple[StreamSchema, List[Row]]:
+    child_schema, child_rows = _eval_op(
+        op.child, catalog, outer_schema, outer_row, stats
+    )
+    env_schema = _extend(child_schema, outer_schema)
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in child_rows:
+        key = _group_key(op.keys, child_schema, row)
+        if key not in groups:
+            groups[key] = [call.new_accumulator() for call in op.aggregates]
+            order.append(key)
+        env_row = _extend_row(child_schema, row, outer_schema, outer_row)
+        for call, accumulator in zip(op.aggregates, groups[key]):
+            if call.is_star:
+                accumulator.add(1)
+            else:
+                accumulator.add_value(evaluate(call.arg, env_row, env_schema))
+    if not groups and not op.keys:
+        # Aggregate over empty input with no grouping: one all-empty group.
+        groups[()] = [call.new_accumulator() for call in op.aggregates]
+        order.append(())
+    out_rows = [
+        key + tuple(acc.result() for acc in groups[key]) for key in order
+    ]
+    stats.rows_produced += len(out_rows)
+    return op.output_schema(), out_rows
+
+
+def _eval_apply(
+    op: Apply,
+    catalog: Catalog,
+    outer_schema: Optional[StreamSchema],
+    outer_row: Optional[Row],
+    stats: InterpreterStats,
+) -> Tuple[StreamSchema, List[Row]]:
+    left_schema, left_rows = _eval_op(op.left, catalog, outer_schema, outer_row, stats)
+    env_schema = _extend(left_schema, outer_schema)
+    out_schema = op.output_schema()
+    out_rows: List[Row] = []
+    for left_row in left_rows:
+        env_row = _extend_row(left_schema, left_row, outer_schema, outer_row)
+        stats.inner_evaluations += 1
+        _inner_schema, inner_rows = _eval_op(
+            op.right, catalog, env_schema, env_row, stats
+        )
+        if op.kind == "semi":
+            if inner_rows:
+                out_rows.append(tuple(left_row))
+        elif op.kind == "anti":
+            if not inner_rows:
+                out_rows.append(tuple(left_row))
+        else:  # scalar
+            if len(inner_rows) > 1:
+                raise ExecutionError("scalar subquery returned more than one row")
+            value = inner_rows[0][0] if inner_rows else None
+            out_rows.append(tuple(left_row) + (value,))
+    stats.rows_produced += len(out_rows)
+    return out_schema, out_rows

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro query engine.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the major
+subsystems (catalog, SQL front end, optimizer, executor).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class CatalogError(ReproError):
+    """A schema or catalog operation failed (duplicate table, unknown column...)."""
+
+
+class StorageError(ReproError):
+    """A storage-engine operation failed (bad index key, row arity mismatch...)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class LexerError(SqlError):
+    """The SQL text could not be tokenized."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(SqlError):
+    """The token stream does not form a valid statement."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class BindError(SqlError):
+    """Name resolution against the catalog failed."""
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed or cannot be produced."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for the query."""
+
+
+class RewriteError(OptimizerError):
+    """A rewrite rule was applied to an expression it cannot handle."""
+
+
+class ExecutionError(ReproError):
+    """A runtime failure inside the execution engine."""
+
+
+class StatisticsError(ReproError):
+    """Invalid statistics construction or use (empty histogram, bad bucket...)."""

@@ -1,0 +1,228 @@
+"""Aggregate functions and their algebraic properties.
+
+Section 4.1.3 of the paper distinguishes aggregate functions by whether
+``Agg(S U S')`` can be computed from ``Agg(S)`` and ``Agg(S')`` -- the
+*decomposability* property that makes staged aggregation (early partial
+group-by below a join, final group-by above it) correct.  Each function
+here records that property along with its partial/final computation, so
+the group-by pushdown rule can check legality mechanically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.expr.expressions import ColumnRef, Expr
+
+
+class AggFunc(enum.Enum):
+    """Supported aggregate functions."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+    @property
+    def decomposable(self) -> bool:
+        """Whether Agg(S U S') is computable from Agg(S), Agg(S').
+
+        All five are decomposable: AVG decomposes through (SUM, COUNT).
+        DISTINCT variants are not (handled on :class:`AggregateCall`).
+        """
+        return True
+
+
+class Accumulator:
+    """Mutable running state for one aggregate over one group."""
+
+    __slots__ = ("func", "_count", "_sum", "_min", "_max", "_distinct_seen")
+
+    def __init__(self, func: AggFunc, distinct: bool = False) -> None:
+        self.func = func
+        self._count = 0
+        self._sum: float = 0.0
+        self._min: Any = None
+        self._max: Any = None
+        self._distinct_seen: Any = set() if distinct else None
+
+    def add_value(self, value: Any) -> None:
+        """Fold one value, honouring DISTINCT when enabled."""
+        if self._distinct_seen is not None:
+            if value is None or value in self._distinct_seen:
+                return
+            self._distinct_seen.add(value)
+        self.add(value)
+
+    def add(self, value: Any) -> None:
+        """Fold one input value into the running state.
+
+        SQL semantics: NULL inputs are ignored by every aggregate, except
+        that COUNT(*) is handled by the caller passing a non-NULL marker.
+        """
+        if value is None:
+            return
+        self._count += 1
+        if self.func in (AggFunc.SUM, AggFunc.AVG):
+            self._sum += value
+        elif self.func is AggFunc.MIN:
+            if self._min is None or value < self._min:
+                self._min = value
+        elif self.func is AggFunc.MAX:
+            if self._max is None or value > self._max:
+                self._max = value
+
+    def merge(self, other: "Accumulator") -> None:
+        """Combine another accumulator's state (staged aggregation)."""
+        if other.func is not self.func:
+            raise ValueError("cannot merge accumulators of different functions")
+        self._count += other._count
+        self._sum += other._sum
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+
+    def add_partial(self, partial_value: Any, partial_count: int) -> None:
+        """Fold a *partial aggregate* produced by a pushed-down group-by.
+
+        For SUM and COUNT the partial value is summed; MIN/MAX take the
+        extreme; AVG is invalid here (it must be decomposed into SUM and
+        COUNT by the rewrite that introduced the staging).
+        """
+        if partial_value is None:
+            return
+        if self.func is AggFunc.COUNT:
+            self._count += int(partial_value)
+        elif self.func is AggFunc.SUM:
+            self._sum += partial_value
+            self._count += partial_count
+        elif self.func is AggFunc.MIN:
+            if self._min is None or partial_value < self._min:
+                self._min = partial_value
+            self._count += partial_count
+        elif self.func is AggFunc.MAX:
+            if self._max is None or partial_value > self._max:
+                self._max = partial_value
+            self._count += partial_count
+        else:
+            raise ValueError("AVG cannot consume partial aggregates directly")
+
+    def result(self) -> Any:
+        """Final value of the aggregate (SQL NULL for empty non-COUNT groups)."""
+        if self.func is AggFunc.COUNT:
+            return self._count
+        if self._count == 0:
+            return None
+        if self.func is AggFunc.SUM:
+            return self._sum
+        if self.func is AggFunc.AVG:
+            return self._sum / self._count
+        if self.func is AggFunc.MIN:
+            return self._min
+        return self._max
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """One aggregate invocation in a SELECT list or HAVING clause.
+
+    Attributes:
+        func: the aggregate function.
+        arg: argument expression, or None for ``COUNT(*)``.
+        distinct: whether DISTINCT was specified (blocks staging).
+        alias: output column name for the aggregate value.
+    """
+
+    func: AggFunc
+    arg: Optional[Expr]
+    distinct: bool = False
+    alias: str = ""
+
+    def __post_init__(self) -> None:
+        if self.func is not AggFunc.COUNT and self.arg is None:
+            raise ValueError(f"{self.func.value} requires an argument")
+        if not self.alias:
+            arg_sql = "*" if self.arg is None else self.arg.to_sql()
+            name = f"{self.func.value.lower()}_{arg_sql}".replace(".", "_")
+            object.__setattr__(self, "alias", name)
+
+    @property
+    def is_star(self) -> bool:
+        """True for ``COUNT(*)``."""
+        return self.arg is None
+
+    @property
+    def stageable(self) -> bool:
+        """Whether this call permits staged (partial + final) computation."""
+        return self.func.decomposable and not self.distinct
+
+    def columns(self) -> FrozenSet[ColumnRef]:
+        """Column footprint of the argument."""
+        if self.arg is None:
+            return frozenset()
+        return self.arg.columns()
+
+    def tables(self) -> FrozenSet[str]:
+        """Table aliases referenced by the argument."""
+        return frozenset(ref.table for ref in self.columns())
+
+    def new_accumulator(self) -> Accumulator:
+        """Fresh running state for one group."""
+        return Accumulator(self.func, distinct=self.distinct)
+
+    def to_sql(self) -> str:
+        """SQL-like rendering."""
+        arg_sql = "*" if self.arg is None else self.arg.to_sql()
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"{self.func.value}({distinct}{arg_sql})"
+
+    def __repr__(self) -> str:
+        return self.to_sql()
+
+
+def decompose_for_staging(
+    calls: Sequence[AggregateCall],
+) -> Tuple[List[AggregateCall], List[Tuple[AggregateCall, str]]]:
+    """Plan a staged computation for a list of aggregate calls.
+
+    Returns ``(partial_calls, final_plan)`` where ``partial_calls`` are the
+    aggregates the *lower* (pushed-down) group-by computes, and
+    ``final_plan`` maps each original call to the partial output column(s)
+    the *upper* group-by combines.  AVG(x) is decomposed into SUM(x) and
+    COUNT(x); SUM/MIN/MAX re-aggregate their own partials; COUNT(x) of the
+    original becomes SUM over partial counts.
+
+    Raises:
+        ValueError: if any call is not stageable (e.g. DISTINCT).
+    """
+    partial_calls: List[AggregateCall] = []
+    final_plan: List[Tuple[AggregateCall, str]] = []
+    seen: dict = {}
+
+    def ensure_partial(func: AggFunc, arg: Optional[Expr], tag: str) -> str:
+        key = (func, arg)
+        if key in seen:
+            return seen[key]
+        call = AggregateCall(func, arg, alias=f"_p{len(partial_calls)}_{tag}")
+        partial_calls.append(call)
+        seen[key] = call.alias
+        return call.alias
+
+    for call in calls:
+        if not call.stageable:
+            raise ValueError(f"aggregate {call.to_sql()} is not stageable")
+        if call.func is AggFunc.AVG:
+            sum_alias = ensure_partial(AggFunc.SUM, call.arg, "sum")
+            count_alias = ensure_partial(AggFunc.COUNT, call.arg, "cnt")
+            final_plan.append((call, f"{sum_alias}/{count_alias}"))
+        elif call.func is AggFunc.COUNT:
+            partial_alias = ensure_partial(AggFunc.COUNT, call.arg, "cnt")
+            final_plan.append((call, partial_alias))
+        else:
+            partial_alias = ensure_partial(call.func, call.arg, call.func.value.lower())
+            final_plan.append((call, partial_alias))
+    return partial_calls, final_plan

@@ -1,0 +1,168 @@
+"""Row-at-a-time expression evaluation with SQL three-valued logic.
+
+Predicates evaluate to ``True``, ``False``, or ``None`` (UNKNOWN); a
+filter keeps a row only when the predicate is exactly ``True``.  Getting
+NULL semantics right matters for the paper's outerjoin and unnesting
+rewrites (Section 4.2.2 dwells on precisely this subtlety).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.expr.expressions import (
+    Arithmetic,
+    ArithOp,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    NotExpr,
+    UdfCall,
+)
+from repro.expr.schema import StreamSchema
+
+Row = Sequence[Any]
+
+
+def evaluate(expr: Expr, row: Row, schema: StreamSchema) -> Any:
+    """Evaluate a scalar expression against one row.
+
+    Returns a value, or ``None`` to represent SQL NULL / UNKNOWN.
+
+    Raises:
+        ExecutionError: on unsupported expression types or bad UDFs.
+    """
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return row[schema.position(expr)]
+    if isinstance(expr, Comparison):
+        return _compare(
+            expr.op,
+            evaluate(expr.left, row, schema),
+            evaluate(expr.right, row, schema),
+        )
+    if isinstance(expr, BoolExpr):
+        return _bool_connect(expr, row, schema)
+    if isinstance(expr, NotExpr):
+        value = evaluate(expr.arg, row, schema)
+        if value is None:
+            return None
+        return not value
+    if isinstance(expr, Arithmetic):
+        return _arith(
+            expr.op,
+            evaluate(expr.left, row, schema),
+            evaluate(expr.right, row, schema),
+        )
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.arg, row, schema)
+        is_null = value is None
+        return not is_null if expr.negated else is_null
+    if isinstance(expr, InList):
+        return _in_list(expr, row, schema)
+    if isinstance(expr, UdfCall):
+        return _udf(expr, row, schema)
+    raise ExecutionError(f"cannot evaluate expression type {type(expr).__name__}")
+
+
+def _compare(op: ComparisonOp, left: Any, right: Any) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if op is ComparisonOp.EQ:
+            return left == right
+        if op is ComparisonOp.NE:
+            return left != right
+        if op is ComparisonOp.LT:
+            return left < right
+        if op is ComparisonOp.LE:
+            return left <= right
+        if op is ComparisonOp.GT:
+            return left > right
+        return left >= right
+    except TypeError as exc:
+        raise ExecutionError(
+            f"incomparable values {left!r} and {right!r}"
+        ) from exc
+
+
+def _bool_connect(expr: BoolExpr, row: Row, schema: StreamSchema) -> Optional[bool]:
+    # Three-valued AND: False dominates, then UNKNOWN, then True.
+    # Three-valued OR:  True dominates, then UNKNOWN, then False.
+    saw_unknown = False
+    if expr.op is BoolOp.AND:
+        for arg in expr.args:
+            value = evaluate(arg, row, schema)
+            if value is None:
+                saw_unknown = True
+            elif not value:
+                return False
+        return None if saw_unknown else True
+    for arg in expr.args:
+        value = evaluate(arg, row, schema)
+        if value is None:
+            saw_unknown = True
+        elif value:
+            return True
+    return None if saw_unknown else False
+
+
+def _arith(op: ArithOp, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op is ArithOp.ADD:
+            return left + right
+        if op is ArithOp.SUB:
+            return left - right
+        if op is ArithOp.MUL:
+            return left * right
+        if right == 0:
+            raise ExecutionError("division by zero")
+        return left / right
+    except TypeError as exc:
+        raise ExecutionError(
+            f"bad arithmetic operands {left!r}, {right!r}"
+        ) from exc
+
+
+def _in_list(expr: InList, row: Row, schema: StreamSchema) -> Optional[bool]:
+    needle = evaluate(expr.arg, row, schema)
+    if needle is None:
+        return None
+    saw_null = False
+    for candidate in expr.values:
+        value = evaluate(candidate, row, schema)
+        if value is None:
+            saw_null = True
+        elif value == needle:
+            return True
+    return None if saw_null else False
+
+
+def _udf(expr: UdfCall, row: Row, schema: StreamSchema) -> Any:
+    if expr.fn is None:
+        raise ExecutionError(f"UDF {expr.name!r} has no bound implementation")
+    args = [evaluate(arg, row, schema) for arg in expr.args]
+    try:
+        return expr.fn(*args)
+    except Exception as exc:  # surface UDF bugs as execution errors
+        raise ExecutionError(f"UDF {expr.name!r} raised: {exc}") from exc
+
+
+def predicate_holds(expr: Optional[Expr], row: Row, schema: StreamSchema) -> bool:
+    """SQL filter semantics: keep the row only when the predicate is True.
+
+    A missing predicate (``None``) keeps every row.
+    """
+    if expr is None:
+        return True
+    return evaluate(expr, row, schema) is True

@@ -1,0 +1,98 @@
+"""Stream schemas: the column layout of intermediate data streams.
+
+Every operator in a plan produces a *data stream* (the paper's term); a
+:class:`StreamSchema` describes the layout of one row of that stream as an
+ordered list of qualified columns, and provides the positional lookup the
+row-at-a-time evaluator needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.expr.expressions import ColumnRef
+
+
+class StreamSchema:
+    """Ordered layout of the columns in a data stream.
+
+    Each slot is a ``(table_alias, column_name)`` pair.  Derived columns
+    (aggregate outputs, computed projections) use a synthetic alias such
+    as ``""`` or a block label; lookup by bare column name is supported
+    when unambiguous.
+    """
+
+    __slots__ = ("slots", "_positions", "_by_column")
+
+    def __init__(self, slots: Sequence[Tuple[str, str]]) -> None:
+        self.slots: Tuple[Tuple[str, str], ...] = tuple(slots)
+        self._positions: Dict[Tuple[str, str], int] = {}
+        self._by_column: Dict[str, List[int]] = {}
+        for position, (alias, column) in enumerate(self.slots):
+            key = (alias, column)
+            if key in self._positions:
+                raise PlanError(f"duplicate column {alias}.{column} in stream schema")
+            self._positions[key] = position
+            self._by_column.setdefault(column, []).append(position)
+
+    @classmethod
+    def for_table(cls, alias: str, column_names: Iterable[str]) -> "StreamSchema":
+        """Schema of a base-table scan under an alias."""
+        return cls([(alias, name) for name in column_names])
+
+    @property
+    def arity(self) -> int:
+        """Number of columns in the stream."""
+        return len(self.slots)
+
+    def position(self, ref: ColumnRef) -> int:
+        """Slot position of a column reference.
+
+        Falls back to an unambiguous bare-column match when the qualified
+        name is absent (supports post-projection lookups).
+
+        Raises:
+            PlanError: if the column is missing or ambiguous.
+        """
+        key = (ref.table, ref.column)
+        if key in self._positions:
+            return self._positions[key]
+        candidates = self._by_column.get(ref.column, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise PlanError(f"column {ref.to_sql()} not in stream {self.slots}")
+        raise PlanError(f"column {ref.to_sql()} is ambiguous in stream {self.slots}")
+
+    def has(self, ref: ColumnRef) -> bool:
+        """Whether the reference resolves in this schema."""
+        if (ref.table, ref.column) in self._positions:
+            return True
+        return len(self._by_column.get(ref.column, [])) == 1
+
+    def concat(self, other: "StreamSchema") -> "StreamSchema":
+        """Schema of the concatenation of two streams (join output)."""
+        return StreamSchema(self.slots + other.slots)
+
+    def project(self, refs: Sequence[ColumnRef]) -> "StreamSchema":
+        """Schema after projecting to the given columns."""
+        return StreamSchema([(ref.table, ref.column) for ref in refs])
+
+    def aliases(self) -> List[str]:
+        """Distinct table aliases appearing in the stream, in slot order."""
+        seen: List[str] = []
+        for alias, _column in self.slots:
+            if alias not in seen:
+                seen.append(alias)
+        return seen
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StreamSchema) and self.slots == other.slots
+
+    def __hash__(self) -> int:
+        return hash(self.slots)
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{alias}.{column}" for alias, column in self.slots)
+        return f"StreamSchema({rendered})"

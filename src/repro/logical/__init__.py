@@ -1,0 +1,53 @@
+"""Logical algebra: operator trees, query graphs, and the QGM block model."""
+
+from repro.logical.lower import lower_block
+from repro.logical.operators import (
+    Apply,
+    Distinct,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    ProjectItem,
+    Sort,
+    Union,
+    count_nodes,
+    walk,
+)
+from repro.logical.qgm import (
+    QueryBlock,
+    Quantifier,
+    SubqueryKind,
+    SubqueryPredicate,
+    fresh_block_label,
+)
+from repro.logical.querygraph import QueryGraph, QueryGraphEdge, QueryGraphNode
+
+__all__ = [
+    "Apply",
+    "Distinct",
+    "Filter",
+    "Get",
+    "GroupBy",
+    "Join",
+    "JoinKind",
+    "LogicalOp",
+    "Project",
+    "ProjectItem",
+    "QueryBlock",
+    "QueryGraph",
+    "QueryGraphEdge",
+    "QueryGraphNode",
+    "Quantifier",
+    "Sort",
+    "SubqueryKind",
+    "SubqueryPredicate",
+    "Union",
+    "count_nodes",
+    "fresh_block_label",
+    "lower_block",
+    "walk",
+]

@@ -1,0 +1,185 @@
+"""Lowering a QGM block tree into a logical operator tree.
+
+The lowering is deliberately *naive*: quantifiers are combined left-deep
+with cross joins, all ordinary predicates sit in one Filter above them,
+and every remaining subquery predicate becomes an
+:class:`~repro.logical.operators.Apply` (tuple-iteration semantics,
+Section 4.2.2).  It is the optimizer's job -- rewrite rules plus join
+enumeration -- to turn this canonical form into something efficient; the
+naive form doubles as the trusted reference for correctness testing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanError
+from repro.expr.expressions import (
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    IsNull,
+    conjoin,
+)
+from repro.logical.operators import (
+    Apply,
+    Distinct,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    LogicalOp,
+    Project,
+    ProjectItem,
+    Sort,
+)
+from repro.logical.qgm import QueryBlock, Quantifier, SubqueryKind, SubqueryPredicate
+
+
+def lower_block(block: QueryBlock, catalog: Catalog) -> LogicalOp:
+    """Translate a query block (and its nested blocks) to logical operators.
+
+    Raises:
+        PlanError: on an empty FROM clause or unresolvable tables.
+    """
+    if not block.quantifiers:
+        raise PlanError(f"block {block.label!r} has no quantifiers")
+
+    chain = block.join_chain or [("cross", None)] * len(block.quantifiers)
+    plan = _lower_quantifier(block.quantifiers[0], catalog)
+    for quantifier, (kind, on_predicate) in zip(block.quantifiers[1:], chain[1:]):
+        right = _lower_quantifier(quantifier, catalog)
+        if kind == "left":
+            plan = Join(plan, right, on_predicate, JoinKind.LEFT_OUTER)
+        elif kind == "inner" and on_predicate is not None:
+            plan = Join(plan, right, on_predicate, JoinKind.INNER)
+        else:
+            plan = Join(plan, right, None, JoinKind.CROSS)
+
+    predicate = conjoin(block.predicates)
+    if predicate is not None:
+        plan = Filter(plan, predicate)
+
+    for subquery in block.subqueries:
+        plan = _lower_subquery(plan, subquery, catalog)
+
+    if block.has_grouping:
+        plan = GroupBy(
+            plan, block.group_keys, block.aggregates, output_alias=block.label
+        )
+        if block.having is not None:
+            plan = Filter(plan, block.having)
+
+    if block.select_items:
+        items = [
+            ProjectItem(item.expr, item.name, alias=block.label)
+            for item in block.select_items
+        ]
+        plan = Project(plan, items)
+
+    if block.distinct:
+        plan = Distinct(plan)
+
+    if block.order_by:
+        keys = [
+            (ColumnRef(block.label, ref.column) if _is_output_name(block, ref) else ref,
+             ascending)
+            for ref, ascending in block.order_by
+        ]
+        plan = Sort(plan, keys)
+    return plan
+
+
+def _is_output_name(block: QueryBlock, ref: ColumnRef) -> bool:
+    return any(item.name == ref.column for item in block.select_items) and (
+        ref.table in ("", block.label)
+    )
+
+
+def _lower_quantifier(quantifier: Quantifier, catalog: Catalog) -> LogicalOp:
+    if not quantifier.over_block:
+        schema = catalog.schema(quantifier.table)
+        return Get(quantifier.table, quantifier.alias, schema.column_names)
+    inner = lower_block(quantifier.block, catalog)
+    # Re-scope the nested block's output columns under the quantifier alias.
+    items = [
+        ProjectItem(ColumnRef(slot_alias, slot_name), slot_name, quantifier.alias)
+        for slot_alias, slot_name in inner.output_schema().slots
+    ]
+    return Project(inner, items)
+
+
+def _lower_subquery(
+    plan: LogicalOp, subquery: SubqueryPredicate, catalog: Catalog
+) -> LogicalOp:
+    inner = lower_block(subquery.block, catalog)
+    if subquery.kind in (SubqueryKind.IN, SubqueryKind.NOT_IN):
+        if inner.output_schema().arity != 1:
+            raise PlanError("IN subquery must produce exactly one column")
+        slot_alias, slot_name = inner.output_schema().slots[0]
+        inner_ref = ColumnRef(slot_alias, slot_name)
+        membership = Comparison(ComparisonOp.EQ, subquery.outer_expr, inner_ref)
+        if subquery.kind is SubqueryKind.IN:
+            # x IN S keeps the row iff some (x = r) is TRUE.
+            return Apply(
+                plan,
+                Filter(inner, membership),
+                "semi",
+                parameters=_outer_parameters(subquery, plan),
+            )
+        # x NOT IN S drops the row iff some (x = r) is TRUE *or UNKNOWN*
+        # (a NULL on either side).  Matching rows therefore include the
+        # unknown cases, which the anti-apply then treats as blockers --
+        # the NULL subtlety Section 4.2.2 warns about.
+        true_or_unknown = BoolExpr(
+            BoolOp.OR,
+            [
+                membership,
+                IsNull(subquery.outer_expr),
+                IsNull(inner_ref),
+            ],
+        )
+        return Apply(
+            plan,
+            Filter(inner, true_or_unknown),
+            "anti",
+            parameters=_outer_parameters(subquery, plan),
+        )
+    if subquery.kind in (SubqueryKind.EXISTS, SubqueryKind.NOT_EXISTS):
+        kind = "semi" if subquery.kind is SubqueryKind.EXISTS else "anti"
+        return Apply(plan, inner, kind, parameters=_outer_parameters(subquery, plan))
+    # SCALAR: append the single-value result, then filter on the comparison.
+    if inner.output_schema().arity != 1:
+        raise PlanError("scalar subquery must produce exactly one column")
+    scalar_name = "_scalar"
+    applied = Apply(
+        plan,
+        inner,
+        "scalar",
+        parameters=_outer_parameters(subquery, plan),
+        scalar_name=scalar_name,
+        scalar_alias=subquery.block.label,
+    )
+    comparison = Comparison(
+        subquery.comparison,
+        subquery.outer_expr,
+        ColumnRef(subquery.block.label, scalar_name),
+    )
+    return Filter(applied, comparison)
+
+
+def _outer_parameters(
+    subquery: SubqueryPredicate, plan: LogicalOp
+) -> List[ColumnRef]:
+    parameters = list(subquery.correlations)
+    if subquery.outer_expr is not None:
+        for ref in subquery.outer_expr.columns():
+            if ref not in parameters:
+                parameters.append(ref)
+    schema = plan.output_schema()
+    return [ref for ref in parameters if schema.has(ref)]

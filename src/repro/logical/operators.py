@@ -1,0 +1,416 @@
+"""Logical operator trees (the paper's *query trees*, Section 4).
+
+A logical tree captures an algebraic expression independent of physical
+algorithms: it says *what* to join/filter/aggregate, not *how*.  The
+rewrite engine transforms these trees; the plan enumerators translate
+them into physical operator trees.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import PlanError
+from repro.expr.aggregates import AggregateCall
+from repro.expr.expressions import ColumnRef, Expr, conjuncts
+from repro.expr.schema import StreamSchema
+
+
+class LogicalOp:
+    """Base class of all logical operators."""
+
+    def children(self) -> Tuple["LogicalOp", ...]:
+        """Input operators."""
+        return ()
+
+    def with_children(self, children: Sequence["LogicalOp"]) -> "LogicalOp":
+        """Rebuild this operator with new inputs (same arity)."""
+        if children:
+            raise PlanError(f"{type(self).__name__} takes no children")
+        return self
+
+    def output_schema(self) -> StreamSchema:
+        """Layout of the operator's output data stream."""
+        raise NotImplementedError
+
+    def tables(self) -> FrozenSet[str]:
+        """Aliases of all base relations below this operator."""
+        result: FrozenSet[str] = frozenset()
+        for child in self.children():
+            result |= child.tables()
+        return result
+
+    def explain(self, indent: int = 0) -> str:
+        """Readable multi-line rendering of the subtree."""
+        lines = ["  " * indent + self._label()]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self._label()
+
+
+class Get(LogicalOp):
+    """Access to a stored base table under an alias.
+
+    Args:
+        table: base table name in the catalog.
+        alias: the correlation variable naming this use of the table.
+        columns: column names of the table, in storage order.
+    """
+
+    def __init__(self, table: str, alias: str, columns: Sequence[str]) -> None:
+        self.table = table
+        self.alias = alias
+        self.columns = tuple(columns)
+
+    def output_schema(self) -> StreamSchema:
+        return StreamSchema.for_table(self.alias, self.columns)
+
+    def tables(self) -> FrozenSet[str]:
+        return frozenset((self.alias,))
+
+    def _label(self) -> str:
+        if self.table == self.alias:
+            return f"Get({self.table})"
+        return f"Get({self.table} AS {self.alias})"
+
+
+class Filter(LogicalOp):
+    """Row selection by a predicate."""
+
+    def __init__(self, child: LogicalOp, predicate: Expr) -> None:
+        if predicate is None:
+            raise PlanError("Filter requires a predicate")
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Filter":
+        (child,) = children
+        return Filter(child, self.predicate)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def conjuncts(self) -> Tuple[Expr, ...]:
+        """The predicate split into top-level AND conjuncts."""
+        return conjuncts(self.predicate)
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+@dataclass(frozen=True)
+class ProjectItem:
+    """One output column of a projection: an expression and its name.
+
+    The output column is addressed as ``alias.name`` downstream; the
+    binder sets ``alias`` to the query block or view label so derived
+    columns are scoped like real ones.
+    """
+
+    expr: Expr
+    name: str
+    alias: str = "_q"
+
+    def ref(self) -> ColumnRef:
+        """Column reference addressing this output column."""
+        return ColumnRef(self.alias, self.name)
+
+
+class Project(LogicalOp):
+    """Projection (and scalar computation) onto named output columns."""
+
+    def __init__(self, child: LogicalOp, items: Sequence[ProjectItem]) -> None:
+        if not items:
+            raise PlanError("Project requires at least one item")
+        self.child = child
+        self.items = tuple(items)
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Project":
+        (child,) = children
+        return Project(child, self.items)
+
+    def output_schema(self) -> StreamSchema:
+        return StreamSchema([(item.alias, item.name) for item in self.items])
+
+    def is_simple(self) -> bool:
+        """True when every item is a bare column reference (no computation)."""
+        return all(isinstance(item.expr, ColumnRef) for item in self.items)
+
+    def _label(self) -> str:
+        rendered = ", ".join(
+            f"{item.expr.to_sql()} AS {item.name}" for item in self.items
+        )
+        return f"Project({rendered})"
+
+
+class JoinKind(enum.Enum):
+    """Join flavours used across the paper's transformations."""
+
+    INNER = "INNER"
+    LEFT_OUTER = "LEFT OUTER"
+    SEMI = "SEMI"
+    ANTI = "ANTI"
+    CROSS = "CROSS"
+
+    @property
+    def is_outer(self) -> bool:
+        """Whether the join preserves unmatched rows of an operand."""
+        return self is JoinKind.LEFT_OUTER
+
+    @property
+    def commutative(self) -> bool:
+        """Whether operands may be exchanged freely (Section 4.1.2)."""
+        return self in (JoinKind.INNER, JoinKind.CROSS)
+
+
+class Join(LogicalOp):
+    """A binary join of any :class:`JoinKind`.
+
+    For SEMI and ANTI joins the output schema is the left input's schema
+    (they only filter the left side) -- this models Dayal's semijoin view
+    of uncorrelated IN subqueries (Section 4.2.2).
+    """
+
+    def __init__(
+        self,
+        left: LogicalOp,
+        right: LogicalOp,
+        predicate: Optional[Expr],
+        kind: JoinKind = JoinKind.INNER,
+    ) -> None:
+        if kind is JoinKind.CROSS and predicate is not None:
+            raise PlanError("CROSS join takes no predicate")
+        if kind is not JoinKind.CROSS and predicate is None:
+            kind = JoinKind.CROSS if kind is JoinKind.INNER else kind
+        self.left = left
+        self.right = right
+        self.predicate = predicate
+        self.kind = kind
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Join":
+        left, right = children
+        return Join(left, right, self.predicate, self.kind)
+
+    def output_schema(self) -> StreamSchema:
+        if self.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            return self.left.output_schema()
+        return self.left.output_schema().concat(self.right.output_schema())
+
+    def conjuncts(self) -> Tuple[Expr, ...]:
+        """Join predicate split into AND conjuncts (empty for CROSS)."""
+        return conjuncts(self.predicate)
+
+    def _label(self) -> str:
+        pred = self.predicate.to_sql() if self.predicate is not None else "true"
+        return f"Join[{self.kind.value}]({pred})"
+
+
+class GroupBy(LogicalOp):
+    """Grouping and aggregation (also models SELECT DISTINCT when
+    ``aggregates`` is empty and the keys are the whole row).
+
+    Args:
+        child: input operator.
+        keys: grouping expressions (column refs in all paper examples).
+        aggregates: aggregate calls computed per group.
+        output_alias: alias under which aggregate outputs are addressed.
+    """
+
+    def __init__(
+        self,
+        child: LogicalOp,
+        keys: Sequence[ColumnRef],
+        aggregates: Sequence[AggregateCall],
+        output_alias: str = "_g",
+    ) -> None:
+        self.child = child
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+        self.output_alias = output_alias
+        if not self.keys and not self.aggregates:
+            raise PlanError("GroupBy requires keys or aggregates")
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "GroupBy":
+        (child,) = children
+        return GroupBy(child, self.keys, self.aggregates, self.output_alias)
+
+    def output_schema(self) -> StreamSchema:
+        slots: List[Tuple[str, str]] = [(key.table, key.column) for key in self.keys]
+        slots.extend((self.output_alias, call.alias) for call in self.aggregates)
+        return StreamSchema(slots)
+
+    def stageable(self) -> bool:
+        """Whether every aggregate permits staged computation (Sec 4.1.3)."""
+        return all(call.stageable for call in self.aggregates)
+
+    def _label(self) -> str:
+        keys = ", ".join(key.to_sql() for key in self.keys)
+        aggs = ", ".join(call.to_sql() for call in self.aggregates)
+        return f"GroupBy(keys=[{keys}], aggs=[{aggs}])"
+
+
+class Distinct(LogicalOp):
+    """Duplicate elimination over the whole row."""
+
+    def __init__(self, child: LogicalOp) -> None:
+        self.child = child
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return "Distinct"
+
+
+class Union(LogicalOp):
+    """UNION [ALL] of two schema-compatible inputs."""
+
+    def __init__(self, left: LogicalOp, right: LogicalOp, all_rows: bool = False) -> None:
+        if left.output_schema().arity != right.output_schema().arity:
+            raise PlanError("UNION inputs must have equal arity")
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Union":
+        left, right = children
+        return Union(left, right, self.all_rows)
+
+    def output_schema(self) -> StreamSchema:
+        return self.left.output_schema()
+
+    def _label(self) -> str:
+        return "UnionAll" if self.all_rows else "Union"
+
+
+class Sort(LogicalOp):
+    """Logical ORDER BY: sort keys with per-key direction."""
+
+    def __init__(
+        self, child: LogicalOp, keys: Sequence[Tuple[ColumnRef, bool]]
+    ) -> None:
+        if not keys:
+            raise PlanError("Sort requires at least one key")
+        self.child = child
+        self.keys = tuple(keys)  # (column, ascending)
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        rendered = ", ".join(
+            f"{ref.to_sql()} {'ASC' if asc else 'DESC'}" for ref, asc in self.keys
+        )
+        return f"Sort({rendered})"
+
+
+class Apply(LogicalOp):
+    """Correlated nested-loop application of a parameterized subquery.
+
+    ``Apply`` is the algebraic form of *tuple iteration semantics*
+    (Section 4.2.2): for each row of ``left``, evaluate ``right`` with the
+    row's values bound to the correlated parameters.  The decorrelation
+    rewrites exist precisely to remove this operator.
+
+    Attributes:
+        kind: how the subquery result is consumed --
+            ``'semi'`` (EXISTS / IN keeps left rows with matches),
+            ``'anti'`` (NOT EXISTS / NOT IN),
+            ``'scalar'`` (a single aggregate value appended to the row).
+        parameters: the outer-row columns visible inside ``right``.
+        scalar_name: output column name when ``kind == 'scalar'``.
+    """
+
+    def __init__(
+        self,
+        left: LogicalOp,
+        right: LogicalOp,
+        kind: str,
+        parameters: Sequence[ColumnRef],
+        scalar_name: str = "_scalar",
+        scalar_alias: str = "_apply",
+    ) -> None:
+        if kind not in ("semi", "anti", "scalar"):
+            raise PlanError(f"unknown Apply kind {kind!r}")
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.parameters = tuple(parameters)
+        self.scalar_name = scalar_name
+        self.scalar_alias = scalar_alias
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Apply":
+        left, right = children
+        return Apply(
+            left, right, self.kind, self.parameters, self.scalar_name,
+            self.scalar_alias,
+        )
+
+    def output_schema(self) -> StreamSchema:
+        if self.kind == "scalar":
+            return StreamSchema(
+                self.left.output_schema().slots
+                + ((self.scalar_alias, self.scalar_name),)
+            )
+        return self.left.output_schema()
+
+    def tables(self) -> FrozenSet[str]:
+        # Only the left side's tables are visible above an Apply; the right
+        # side is a parameterized computation, not a joinable relation.
+        return self.left.tables()
+
+    def _label(self) -> str:
+        params = ", ".join(ref.to_sql() for ref in self.parameters)
+        return f"Apply[{self.kind}](params=[{params}])"
+
+
+def walk(op: LogicalOp):
+    """Pre-order traversal of a logical tree."""
+    yield op
+    for child in op.children():
+        yield from walk(child)
+
+
+def count_nodes(op: LogicalOp) -> int:
+    """Number of operators in the tree."""
+    return sum(1 for _ in walk(op))

@@ -1,0 +1,212 @@
+"""A Query Graph Model (QGM) in the style of Starburst (Section 6.1).
+
+A :class:`QueryBlock` is the paper's "box": one single-block SQL query
+with quantifiers (ranging over base tables, views, or nested blocks),
+predicates, optional grouping, and a select list.  Multi-block queries
+form a tree of boxes connected by (a) FROM-clause nesting (table
+expressions / views) and (b) subquery predicates (IN / EXISTS / scalar
+comparisons), which may be *correlated* -- referencing quantifiers of an
+enclosing block (Section 4.2.2).
+
+The rewrite engine (repro.core.rewrite) transforms QGM instances; the
+lowering pass (repro.logical.lower) turns a QGM into a logical operator
+tree, using :class:`~repro.logical.operators.Apply` for whatever
+subqueries remain un-unnested.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PlanError
+from repro.expr.aggregates import AggregateCall
+from repro.expr.expressions import ColumnRef, ComparisonOp, Expr
+from repro.logical.operators import ProjectItem
+
+_block_counter = itertools.count(1)
+
+
+def fresh_block_label(prefix: str = "Q") -> str:
+    """A unique label for a generated query block."""
+    return f"{prefix}{next(_block_counter)}"
+
+
+class SubqueryKind(enum.Enum):
+    """How a nested block is consumed by a predicate of the outer block."""
+
+    IN = "IN"
+    NOT_IN = "NOT IN"
+    EXISTS = "EXISTS"
+    NOT_EXISTS = "NOT EXISTS"
+    SCALAR = "SCALAR"  # comparison against a single-row/column result
+
+
+@dataclass
+class SubqueryPredicate:
+    """A predicate of the outer block that references a nested block.
+
+    Attributes:
+        kind: membership, existence, or scalar comparison.
+        block: the nested query block.
+        outer_expr: the outer-side expression (for IN / NOT IN / SCALAR).
+        comparison: the operator for SCALAR kinds (e.g. ``>=``).
+        correlations: column references inside ``block`` that resolve to
+            quantifiers of the *outer* block; empty means uncorrelated.
+    """
+
+    kind: SubqueryKind
+    block: "QueryBlock"
+    outer_expr: Optional[Expr] = None
+    comparison: Optional[ComparisonOp] = None
+    correlations: Tuple[ColumnRef, ...] = ()
+
+    @property
+    def correlated(self) -> bool:
+        """Whether the nested block references outer quantifiers."""
+        return bool(self.correlations)
+
+    def describe(self) -> str:
+        """Short human-readable form."""
+        outer = self.outer_expr.to_sql() if self.outer_expr is not None else ""
+        corr = "correlated" if self.correlated else "uncorrelated"
+        return f"{outer} {self.kind.value} <{self.block.label}> ({corr})"
+
+
+@dataclass
+class Quantifier:
+    """One FROM-clause entry: a range variable over a table, view, or block.
+
+    Attributes:
+        alias: the correlation variable.
+        table: base-table name when ranging over a stored table.
+        block: nested block when ranging over a view/table expression.
+    """
+
+    alias: str
+    table: Optional[str] = None
+    block: Optional["QueryBlock"] = None
+
+    def __post_init__(self) -> None:
+        if (self.table is None) == (self.block is None):
+            raise PlanError("quantifier must range over exactly one of table/block")
+
+    @property
+    def over_block(self) -> bool:
+        """True when ranging over a nested block (view or table expression)."""
+        return self.block is not None
+
+
+@dataclass
+class QueryBlock:
+    """One single-block query: the QGM box.
+
+    Attributes:
+        label: unique block name (used to scope derived columns).
+        quantifiers: FROM-clause entries.
+        predicates: WHERE conjuncts that are ordinary scalar predicates.
+        subqueries: WHERE conjuncts that reference nested blocks.
+        select_items: output columns (empty only transiently during build).
+        distinct: SELECT DISTINCT flag.
+        group_keys: GROUP BY columns.
+        aggregates: aggregate calls in the select list / HAVING.
+        having: HAVING predicate over group keys and aggregate outputs.
+        order_by: ORDER BY keys as (column, ascending) pairs.
+        join_chain: one entry per quantifier describing how it joins the
+            previous ones: ``("cross"|"inner"|"left", on_predicate)``.
+            Only "left" entries force structure; inner/cross ON
+            predicates are folded into ``predicates`` by the binder.
+    """
+
+    label: str
+    quantifiers: List[Quantifier] = field(default_factory=list)
+    join_chain: List[Tuple[str, Optional[Expr]]] = field(default_factory=list)
+    predicates: List[Expr] = field(default_factory=list)
+    subqueries: List[SubqueryPredicate] = field(default_factory=list)
+    select_items: List[ProjectItem] = field(default_factory=list)
+    distinct: bool = False
+    group_keys: List[ColumnRef] = field(default_factory=list)
+    aggregates: List[AggregateCall] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[Tuple[ColumnRef, bool]] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Classification helpers used by rewrite-rule applicability checks
+    # ------------------------------------------------------------------
+    @property
+    def has_grouping(self) -> bool:
+        """Whether the block computes GROUP BY or aggregates."""
+        return bool(self.group_keys) or bool(self.aggregates)
+
+    @property
+    def is_spj(self) -> bool:
+        """Select-project-join block: no grouping, no DISTINCT, no subqueries."""
+        return (
+            not self.has_grouping
+            and not self.distinct
+            and not self.subqueries
+            and self.having is None
+        )
+
+    @property
+    def is_single_block(self) -> bool:
+        """No nested blocks anywhere (all quantifiers over base tables,
+        no subquery predicates)."""
+        return not self.subqueries and all(
+            not quantifier.over_block for quantifier in self.quantifiers
+        )
+
+    def quantifier(self, alias: str) -> Quantifier:
+        """Look up a quantifier by alias.
+
+        Raises:
+            PlanError: if absent.
+        """
+        for quantifier in self.quantifiers:
+            if quantifier.alias == alias:
+                return quantifier
+        raise PlanError(f"block {self.label!r} has no quantifier {alias!r}")
+
+    def local_aliases(self) -> List[str]:
+        """Aliases of this block's own quantifiers."""
+        return [quantifier.alias for quantifier in self.quantifiers]
+
+    def describe(self, indent: int = 0) -> str:
+        """Readable multi-line rendering of the block tree."""
+        pad = "  " * indent
+        lines = [f"{pad}Block {self.label}:"]
+        for quantifier in self.quantifiers:
+            if quantifier.over_block:
+                lines.append(f"{pad}  FROM {quantifier.alias} = block:")
+                lines.append(quantifier.block.describe(indent + 2))
+            else:
+                lines.append(f"{pad}  FROM {quantifier.table} AS {quantifier.alias}")
+        for predicate in self.predicates:
+            lines.append(f"{pad}  WHERE {predicate.to_sql()}")
+        for subquery in self.subqueries:
+            lines.append(f"{pad}  WHERE {subquery.describe()}")
+            lines.append(subquery.block.describe(indent + 2))
+        if self.group_keys or self.aggregates:
+            keys = ", ".join(key.to_sql() for key in self.group_keys)
+            aggs = ", ".join(call.to_sql() for call in self.aggregates)
+            lines.append(f"{pad}  GROUP BY [{keys}] AGG [{aggs}]")
+        if self.having is not None:
+            lines.append(f"{pad}  HAVING {self.having.to_sql()}")
+        items = ", ".join(
+            f"{item.expr.to_sql()} AS {item.name}" for item in self.select_items
+        )
+        prefix = "SELECT DISTINCT" if self.distinct else "SELECT"
+        lines.append(f"{pad}  {prefix} {items}")
+        return "\n".join(lines)
+
+    def count_blocks(self) -> int:
+        """Total number of blocks in this subtree (self included)."""
+        total = 1
+        for quantifier in self.quantifiers:
+            if quantifier.over_block:
+                total += quantifier.block.count_blocks()
+        for subquery in self.subqueries:
+            total += subquery.block.count_blocks()
+        return total

@@ -1,0 +1,209 @@
+"""The query graph representation of an SPJ block (paper Figure 3).
+
+Nodes are relations (correlation variables); labeled edges are join
+predicates between them; each node additionally carries its local
+(single-table) predicates.  The System-R style enumerator consumes this
+structure, and the workload generators produce chain / star / clique
+shaped graphs for the enumeration experiments (E1, E3, E10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import PlanError
+from repro.expr.expressions import Expr, conjoin, conjuncts
+
+
+@dataclass
+class QueryGraphNode:
+    """One relation in the query graph.
+
+    Attributes:
+        alias: correlation variable.
+        table: underlying base table name.
+        local_predicates: single-table predicates applying to this node.
+    """
+
+    alias: str
+    table: str
+    local_predicates: List[Expr] = field(default_factory=list)
+
+    def local_predicate(self) -> Optional[Expr]:
+        """All local predicates conjoined, or None."""
+        return conjoin(self.local_predicates)
+
+
+@dataclass
+class QueryGraphEdge:
+    """A join predicate connecting two or more nodes.
+
+    Most edges are binary (two aliases); predicates touching three or more
+    relations are kept as hyper-edges and applied once all their relations
+    are joined.
+    """
+
+    aliases: FrozenSet[str]
+    predicate: Expr
+
+
+class QueryGraph:
+    """Relations plus join predicates of one conjunctive query block."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, QueryGraphNode] = {}
+        self._edges: List[QueryGraphEdge] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_relation(self, alias: str, table: str) -> QueryGraphNode:
+        """Add a relation node.
+
+        Raises:
+            PlanError: on a duplicate alias.
+        """
+        if alias in self._nodes:
+            raise PlanError(f"duplicate relation alias {alias!r} in query graph")
+        node = QueryGraphNode(alias=alias, table=table)
+        self._nodes[alias] = node
+        return node
+
+    def add_predicate(self, predicate: Expr) -> None:
+        """Route a predicate to the right node or edge.
+
+        Single-table conjuncts become local predicates; multi-table ones
+        become (hyper-)edges.  A conjunctive predicate is first split into
+        its conjuncts so each piece lands in the most specific place --
+        this is what lets the optimizer "evaluate predicates as early as
+        possible" (Section 3).
+        """
+        for conjunct in conjuncts(predicate):
+            aliases = conjunct.tables()
+            unknown = aliases - set(self._nodes)
+            if unknown:
+                raise PlanError(
+                    f"predicate {conjunct.to_sql()} references unknown "
+                    f"relations {sorted(unknown)}"
+                )
+            if len(aliases) <= 1:
+                target = next(iter(aliases), None)
+                if target is None:
+                    # Constant predicate: attach to an arbitrary node is
+                    # wrong; keep it on every plan by treating it as a
+                    # pseudo-edge over the full relation set.
+                    self._edges.append(
+                        QueryGraphEdge(frozenset(self._nodes), conjunct)
+                    )
+                else:
+                    self._nodes[target].local_predicates.append(conjunct)
+            else:
+                self._edges.append(QueryGraphEdge(frozenset(aliases), conjunct))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> List[str]:
+        """All relation aliases (sorted for determinism)."""
+        return sorted(self._nodes)
+
+    def node(self, alias: str) -> QueryGraphNode:
+        """Node for an alias.
+
+        Raises:
+            PlanError: if unknown.
+        """
+        try:
+            return self._nodes[alias]
+        except KeyError as exc:
+            raise PlanError(f"unknown relation alias {alias!r}") from exc
+
+    @property
+    def edges(self) -> List[QueryGraphEdge]:
+        """All join (hyper-)edges."""
+        return list(self._edges)
+
+    def edges_between(
+        self, left: Iterable[str], right: Iterable[str]
+    ) -> List[QueryGraphEdge]:
+        """Edges fully covered by ``left | right`` that span both sides."""
+        left_set, right_set = set(left), set(right)
+        both = left_set | right_set
+        result = []
+        for edge in self._edges:
+            if (
+                edge.aliases <= both
+                and edge.aliases & left_set
+                and edge.aliases & right_set
+            ):
+                result.append(edge)
+        return result
+
+    def connecting_predicate(
+        self, left: Iterable[str], right: Iterable[str]
+    ) -> Optional[Expr]:
+        """Conjunction of all predicates connecting two alias sets."""
+        return conjoin(edge.predicate for edge in self.edges_between(left, right))
+
+    def connected(self, left: Iterable[str], right: Iterable[str]) -> bool:
+        """Whether joining the two sets avoids a Cartesian product."""
+        return bool(self.edges_between(left, right))
+
+    def neighbours(self, aliases: Iterable[str]) -> Set[str]:
+        """Aliases joined by some edge to the given set (excluding it)."""
+        alias_set = set(aliases)
+        result: Set[str] = set()
+        for edge in self._edges:
+            if edge.aliases & alias_set:
+                result |= edge.aliases - alias_set
+        return result
+
+    def is_connected(self) -> bool:
+        """Whether the whole graph is connected (no forced Cartesian product)."""
+        if not self._nodes:
+            return True
+        seen = {next(iter(self.aliases))}
+        frontier = set(seen)
+        while frontier:
+            frontier = self.neighbours(seen) - seen
+            seen |= frontier
+        return seen == set(self._nodes)
+
+    def shape(self) -> str:
+        """Classify the graph as 'chain', 'star', 'clique', or 'other'.
+
+        Used by benchmarks to label workloads the way the paper does
+        (star-shaped decision-support queries, chains, etc.).
+        """
+        n = len(self._nodes)
+        if n <= 2:
+            return "chain"
+        degree: Dict[str, int] = {alias: 0 for alias in self._nodes}
+        binary_edges = set()
+        for edge in self._edges:
+            if len(edge.aliases) == 2:
+                pair = tuple(sorted(edge.aliases))
+                if pair not in binary_edges:
+                    binary_edges.add(pair)
+                    for alias in pair:
+                        degree[alias] += 1
+        degrees = sorted(degree.values())
+        edge_count = len(binary_edges)
+        if edge_count == n - 1 and degrees == [1, 1] + [2] * (n - 2):
+            return "chain"
+        if edge_count == n - 1 and degrees == [1] * (n - 1) + [n - 1]:
+            return "star"
+        if edge_count == n * (n - 1) // 2:
+            return "clique"
+        return "other"
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryGraph(relations={self.aliases}, "
+            f"edges={len(self._edges)}, shape={self.shape()})"
+        )

@@ -1,0 +1,535 @@
+"""Physical operator trees -- the paper's *execution plans* (Figure 1).
+
+Each node names an algorithm, not just an algebraic operation.  Nodes
+carry three annotations the optimizer fills in bottom-up, exactly as the
+paper describes the System-R cost model doing: estimated output rows,
+cumulative estimated cost, and the delivered sort order (a physical
+property).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.cost.model import Cost, ZERO_COST
+from repro.errors import PlanError
+from repro.expr.aggregates import AggregateCall
+from repro.expr.expressions import ColumnRef, Expr, UdfCall
+from repro.expr.schema import StreamSchema
+from repro.logical.operators import LogicalOp, ProjectItem
+from repro.physical.properties import Partitioning, SortOrder, describe_order
+
+
+class PhysicalOp:
+    """Base class for physical operators.
+
+    Attributes:
+        est_rows: estimated output cardinality (logical property).
+        est_cost: cumulative estimated cost of the subtree.
+        order: delivered sort order, if any (physical property).
+        partitioning: delivered partitioning, if any (parallel plans).
+    """
+
+    def __init__(self) -> None:
+        self.est_rows: float = 0.0
+        self.est_cost: Cost = ZERO_COST
+        self.order: Optional[SortOrder] = None
+        self.partitioning: Optional[Partitioning] = None
+
+    def children(self) -> Tuple["PhysicalOp", ...]:
+        """Input operators."""
+        return ()
+
+    def output_schema(self) -> StreamSchema:
+        """Layout of the output data stream."""
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> str:
+        """Readable multi-line plan rendering with cost annotations."""
+        pad = "  " * indent
+        annotation = f"  [rows={self.est_rows:.0f} cost={self.est_cost.total:.1f}"
+        if self.order:
+            annotation += f" order={describe_order(self.order)}"
+        annotation += "]"
+        lines = [pad + self._label() + annotation]
+        for child in self.children():
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self._label()
+
+
+# ----------------------------------------------------------------------
+# Scans
+# ----------------------------------------------------------------------
+class SeqScanP(PhysicalOp):
+    """Sequential (table) scan with an optional pushed-down filter."""
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        columns: Sequence[str],
+        predicate: Optional[Expr] = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self.columns = tuple(columns)
+        self.predicate = predicate
+
+    def output_schema(self) -> StreamSchema:
+        return StreamSchema.for_table(self.alias, self.columns)
+
+    def _label(self) -> str:
+        suffix = f" filter={self.predicate.to_sql()}" if self.predicate else ""
+        return f"SeqScan({self.table} AS {self.alias}{suffix})"
+
+
+class IndexScanP(PhysicalOp):
+    """Index scan: a seek range / equality on the index key, then fetch.
+
+    With no bounds this is an *ordered full scan* -- the access path that
+    delivers an interesting order for free.
+
+    Attributes:
+        index_name: the ordered index used.
+        eq_value: full-key equality seek value (tuple), or None.
+        low / high: range bounds on the leading key column, or None.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        alias: str,
+        columns: Sequence[str],
+        index_name: str,
+        eq_value: Optional[Tuple[Any, ...]] = None,
+        low: Optional[Any] = None,
+        high: Optional[Any] = None,
+        predicate: Optional[Expr] = None,
+    ) -> None:
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self.columns = tuple(columns)
+        self.index_name = index_name
+        self.eq_value = eq_value
+        self.low = low
+        self.high = high
+        self.predicate = predicate
+
+    def output_schema(self) -> StreamSchema:
+        return StreamSchema.for_table(self.alias, self.columns)
+
+    def _label(self) -> str:
+        parts = [f"IndexScan({self.table} AS {self.alias} via {self.index_name}"]
+        if self.eq_value is not None:
+            parts.append(f" eq={self.eq_value}")
+        if self.low is not None or self.high is not None:
+            parts.append(f" range=[{self.low}, {self.high}]")
+        if self.predicate is not None:
+            parts.append(f" filter={self.predicate.to_sql()}")
+        return "".join(parts) + ")"
+
+
+# ----------------------------------------------------------------------
+# Row-stream operators
+# ----------------------------------------------------------------------
+class FilterP(PhysicalOp):
+    """Filter a stream by a predicate."""
+
+    def __init__(self, child: PhysicalOp, predicate: Expr) -> None:
+        super().__init__()
+        if predicate is None:
+            raise PlanError("FilterP requires a predicate")
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate.to_sql()})"
+
+
+class UdfFilterP(PhysicalOp):
+    """A filter applying one expensive user-defined predicate (Section 7.2).
+
+    Kept distinct from FilterP so plans expose *where* each expensive
+    predicate was placed -- the decision benchmark E12 studies.
+    """
+
+    def __init__(self, child: PhysicalOp, udf: UdfCall) -> None:
+        super().__init__()
+        self.child = child
+        self.udf = udf
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return (
+            f"UdfFilter({self.udf.to_sql()} cost={self.udf.per_tuple_cost:.0f} "
+            f"sel={self.udf.selectivity:.2f})"
+        )
+
+
+class ProjectP(PhysicalOp):
+    """Projection / scalar computation."""
+
+    def __init__(self, child: PhysicalOp, items: Sequence[ProjectItem]) -> None:
+        super().__init__()
+        if not items:
+            raise PlanError("ProjectP requires at least one item")
+        self.child = child
+        self.items = tuple(items)
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return StreamSchema([(item.alias, item.name) for item in self.items])
+
+    def _label(self) -> str:
+        rendered = ", ".join(
+            f"{item.expr.to_sql()} AS {item.name}" for item in self.items
+        )
+        return f"Project({rendered})"
+
+
+class SortP(PhysicalOp):
+    """External sort enforcing a sort order (the classic enforcer)."""
+
+    def __init__(self, child: PhysicalOp, sort_order: SortOrder) -> None:
+        super().__init__()
+        if not sort_order:
+            raise PlanError("SortP requires at least one key")
+        self.child = child
+        self.sort_order = tuple(sort_order)
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return f"Sort({describe_order(self.sort_order)})"
+
+
+class MaterializeP(PhysicalOp):
+    """Materialize an intermediate stream (bushy-join glue, rescan support)."""
+
+    def __init__(self, child: PhysicalOp) -> None:
+        super().__init__()
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return "Materialize"
+
+
+# ----------------------------------------------------------------------
+# Joins
+# ----------------------------------------------------------------------
+class JoinPhysicalOp(PhysicalOp):
+    """Shared base for binary join algorithms."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        kind,
+    ) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.kind = kind
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self) -> StreamSchema:
+        from repro.logical.operators import JoinKind
+
+        if self.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            return self.left.output_schema()
+        return self.left.output_schema().concat(self.right.output_schema())
+
+
+class NLJoinP(JoinPhysicalOp):
+    """Nested-loop join with a materialized inner."""
+
+    def __init__(self, left, right, predicate: Optional[Expr], kind) -> None:
+        super().__init__(left, right, kind)
+        self.predicate = predicate
+
+    def _label(self) -> str:
+        pred = self.predicate.to_sql() if self.predicate else "true"
+        return f"NestedLoopJoin[{self.kind.value}]({pred})"
+
+
+class INLJoinP(PhysicalOp):
+    """Index nested-loop join: probe an inner table's index per outer row.
+
+    Attributes:
+        outer: the outer input.
+        table / alias / columns: the inner base table.
+        index_name: ordered or hash index on the inner join columns.
+        outer_keys: expressions on the outer row producing the probe key.
+        residual: extra predicate checked after the index match.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOp,
+        table: str,
+        alias: str,
+        columns: Sequence[str],
+        index_name: str,
+        outer_keys: Sequence[Expr],
+        kind,
+        residual: Optional[Expr] = None,
+    ) -> None:
+        super().__init__()
+        self.outer = outer
+        self.table = table
+        self.alias = alias
+        self.columns = tuple(columns)
+        self.index_name = index_name
+        self.outer_keys = tuple(outer_keys)
+        self.kind = kind
+        self.residual = residual
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.outer,)
+
+    def output_schema(self) -> StreamSchema:
+        from repro.logical.operators import JoinKind
+
+        inner = StreamSchema.for_table(self.alias, self.columns)
+        if self.kind in (JoinKind.SEMI, JoinKind.ANTI):
+            return self.outer.output_schema()
+        return self.outer.output_schema().concat(inner)
+
+    def _label(self) -> str:
+        keys = ", ".join(expr.to_sql() for expr in self.outer_keys)
+        return (
+            f"IndexNLJoin[{self.kind.value}]({self.table} AS {self.alias} "
+            f"via {self.index_name} on ({keys}))"
+        )
+
+
+class MergeJoinP(JoinPhysicalOp):
+    """Sort-merge join; inputs must already be sorted on the join keys."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_keys: Sequence[ColumnRef],
+        right_keys: Sequence[ColumnRef],
+        kind,
+        residual: Optional[Expr] = None,
+    ) -> None:
+        super().__init__(left, right, kind)
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("merge join needs matching, non-empty key lists")
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.residual = residual
+
+    def _label(self) -> str:
+        pairs = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"MergeJoin[{self.kind.value}]({pairs})"
+
+
+class HashJoinP(JoinPhysicalOp):
+    """Hash join: build on the right input, probe with the left."""
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        right: PhysicalOp,
+        left_keys: Sequence[ColumnRef],
+        right_keys: Sequence[ColumnRef],
+        kind,
+        residual: Optional[Expr] = None,
+    ) -> None:
+        super().__init__(left, right, kind)
+        if len(left_keys) != len(right_keys) or not left_keys:
+            raise PlanError("hash join needs matching, non-empty key lists")
+        self.left_keys = tuple(left_keys)
+        self.right_keys = tuple(right_keys)
+        self.residual = residual
+
+    def _label(self) -> str:
+        pairs = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        return f"HashJoin[{self.kind.value}]({pairs})"
+
+
+# ----------------------------------------------------------------------
+# Aggregation and set operations
+# ----------------------------------------------------------------------
+class HashAggP(PhysicalOp):
+    """Hash-based grouping and aggregation."""
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        keys: Sequence[ColumnRef],
+        aggregates: Sequence[AggregateCall],
+        output_alias: str = "_g",
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.keys = tuple(keys)
+        self.aggregates = tuple(aggregates)
+        self.output_alias = output_alias
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        slots = [(key.table, key.column) for key in self.keys]
+        slots.extend((self.output_alias, call.alias) for call in self.aggregates)
+        return StreamSchema(slots)
+
+    def _label(self) -> str:
+        keys = ", ".join(key.to_sql() for key in self.keys)
+        aggs = ", ".join(call.to_sql() for call in self.aggregates)
+        return f"HashAgg(keys=[{keys}], aggs=[{aggs}])"
+
+
+class StreamAggP(HashAggP):
+    """Grouping over an input sorted on the keys (order-exploiting)."""
+
+    def _label(self) -> str:
+        keys = ", ".join(key.to_sql() for key in self.keys)
+        aggs = ", ".join(call.to_sql() for call in self.aggregates)
+        return f"StreamAgg(keys=[{keys}], aggs=[{aggs}])"
+
+
+class DistinctP(PhysicalOp):
+    """Hash-based duplicate elimination."""
+
+    def __init__(self, child: PhysicalOp) -> None:
+        super().__init__()
+        self.child = child
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return "HashDistinct"
+
+
+class UnionAllP(PhysicalOp):
+    """Concatenation of two schema-compatible streams."""
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp) -> None:
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left, self.right)
+
+    def output_schema(self) -> StreamSchema:
+        return self.left.output_schema()
+
+    def _label(self) -> str:
+        return "UnionAll"
+
+
+class ApplyP(PhysicalOp):
+    """Tuple-iteration execution of a (possibly correlated) subquery.
+
+    The inner side is a *logical* tree interpreted once per outer row --
+    the execution strategy that remains when unnesting does not apply.
+    """
+
+    def __init__(
+        self,
+        left: PhysicalOp,
+        inner: LogicalOp,
+        kind: str,
+        scalar_name: str = "_scalar",
+        scalar_alias: str = "_apply",
+    ) -> None:
+        super().__init__()
+        if kind not in ("semi", "anti", "scalar"):
+            raise PlanError(f"unknown ApplyP kind {kind!r}")
+        self.left = left
+        self.inner = inner
+        self.kind = kind
+        self.scalar_name = scalar_name
+        self.scalar_alias = scalar_alias
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.left,)
+
+    def output_schema(self) -> StreamSchema:
+        if self.kind == "scalar":
+            return StreamSchema(
+                self.left.output_schema().slots
+                + ((self.scalar_alias, self.scalar_name),)
+            )
+        return self.left.output_schema()
+
+    def _label(self) -> str:
+        return f"Apply[{self.kind}]"
+
+
+class ExchangeP(PhysicalOp):
+    """Repartition/ship a stream between processors (Section 7.1).
+
+    In the single-node executor this is a pass-through that accounts for
+    communication; the parallel cost model prices it.
+    """
+
+    def __init__(self, child: PhysicalOp, partitioning: Partitioning) -> None:
+        super().__init__()
+        self.child = child
+        self.target = partitioning
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        return f"Exchange({self.target.scheme.value} x{self.target.degree})"
+
+
+def walk_physical(op: PhysicalOp):
+    """Pre-order traversal of a physical tree."""
+    yield op
+    for child in op.children():
+        yield from walk_physical(child)

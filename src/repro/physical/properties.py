@@ -1,0 +1,139 @@
+"""Physical properties of data streams (Sections 3 and 6).
+
+A physical property is "any characteristic of a plan that is not shared
+by all plans for the same logical expression, but can impact the cost of
+subsequent operations".  Two are modelled:
+
+* **sort order** -- the original *interesting order* of System R;
+* **partitioning** -- Hasan's treatment of parallel data placement as a
+  physical property (Section 7.1).
+
+The helpers here decide whether a delivered property satisfies a
+required one, which is the question enforcers and property-aware pruning
+keep asking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from repro.expr.expressions import ColumnRef
+
+# A sort order: columns with per-column ascending flags, major first.
+SortOrder = Tuple[Tuple[ColumnRef, bool], ...]
+
+
+def make_order(
+    columns: Sequence[ColumnRef], ascending: bool = True
+) -> SortOrder:
+    """Build a sort order with a uniform direction."""
+    return tuple((ref, ascending) for ref in columns)
+
+
+def order_satisfies(
+    delivered: Optional[SortOrder],
+    required: Optional[SortOrder],
+    equivalences: Optional[Sequence[FrozenSet[ColumnRef]]] = None,
+) -> bool:
+    """Whether a delivered order satisfies a required one.
+
+    Satisfaction is prefix-based: a stream sorted on (a, b) satisfies a
+    requirement of (a).  Column equivalence classes (derived from
+    equijoin predicates, as in [58]) let ``R.x`` order satisfy an ``S.x``
+    requirement after the join on ``R.x = S.x``.
+    """
+    if required is None or not required:
+        return True
+    if delivered is None or len(delivered) < len(required):
+        return False
+    for (have_col, have_asc), (need_col, need_asc) in zip(delivered, required):
+        if have_asc != need_asc:
+            return False
+        if have_col == need_col:
+            continue
+        if not _equivalent(have_col, need_col, equivalences):
+            return False
+    return True
+
+
+def _equivalent(
+    left: ColumnRef,
+    right: ColumnRef,
+    equivalences: Optional[Sequence[FrozenSet[ColumnRef]]],
+) -> bool:
+    if equivalences is None:
+        return False
+    return any(left in group and right in group for group in equivalences)
+
+
+class PartitionScheme(enum.Enum):
+    """How a stream is distributed over processors (Section 7.1)."""
+
+    SINGLETON = "singleton"  # all rows at one site
+    HASH = "hash"  # hash-partitioned on columns
+    BROADCAST = "broadcast"  # replicated to every site
+    ROUND_ROBIN = "round-robin"  # balanced, no column meaning
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """A partitioning property: scheme plus (for HASH) the key columns."""
+
+    scheme: PartitionScheme
+    columns: Tuple[ColumnRef, ...] = ()
+    degree: int = 1
+
+    def satisfies(self, required: "Partitioning") -> bool:
+        """Whether this placement can serve a required one without exchange.
+
+        Broadcast satisfies any per-site requirement; hash satisfies a
+        hash requirement on the same columns and degree; singleton
+        satisfies singleton.
+        """
+        if required.scheme is PartitionScheme.SINGLETON:
+            return self.scheme is PartitionScheme.SINGLETON
+        if self.scheme is PartitionScheme.BROADCAST:
+            return True
+        if required.scheme is PartitionScheme.HASH:
+            return (
+                self.scheme is PartitionScheme.HASH
+                and self.columns == required.columns
+                and self.degree == required.degree
+            )
+        return self.scheme is required.scheme and self.degree == required.degree
+
+
+@dataclass(frozen=True)
+class PhysicalProps:
+    """The full physical property vector of a data stream."""
+
+    order: Optional[SortOrder] = None
+    partitioning: Optional[Partitioning] = None
+
+    def satisfies(
+        self,
+        required: "PhysicalProps",
+        equivalences: Optional[Sequence[FrozenSet[ColumnRef]]] = None,
+    ) -> bool:
+        """Whether the delivered vector covers the required vector."""
+        if not order_satisfies(self.order, required.order, equivalences):
+            return False
+        if required.partitioning is not None:
+            if self.partitioning is None:
+                return False
+            return self.partitioning.satisfies(required.partitioning)
+        return True
+
+
+ANY_PROPS = PhysicalProps()
+
+
+def describe_order(order: Optional[SortOrder]) -> str:
+    """Readable form of a sort order."""
+    if not order:
+        return "(none)"
+    return ", ".join(
+        f"{ref.to_sql()} {'ASC' if ascending else 'DESC'}" for ref, ascending in order
+    )

@@ -1,0 +1,164 @@
+"""An interactive SQL shell over a repro Database.
+
+Run ``python -m repro`` for an empty database, or
+``python -m repro --demo`` to start with the Emp/Dept demo data loaded.
+
+Meta-commands (backslash-prefixed):
+
+    \\help               this message
+    \\tables             list tables with row/page counts
+    \\schema <table>     column definitions
+    \\explain <sql>      show the optimized physical plan (no execution)
+    \\trace <sql>        run and show the rewrite-rule trace
+    \\naive <sql>        run through the reference interpreter
+    \\analyze            recollect statistics for every table
+    \\quit               exit
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.core.optimizer import Database
+from repro.errors import ReproError
+
+_HELP = __doc__
+
+
+class Shell:
+    """A line-oriented REPL; parsing stops at a trailing semicolon or
+    a meta-command."""
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db or Database()
+
+    # ------------------------------------------------------------------
+    def run_command(self, text: str) -> str:
+        """Execute one command; returns the printable response."""
+        text = text.strip().rstrip(";").strip()
+        if not text:
+            return ""
+        if text.startswith("\\"):
+            return self._meta(text)
+        return self._query(text)
+
+    def _meta(self, text: str) -> str:
+        parts = text.split(None, 1)
+        command = parts[0].lstrip("\\").lower()
+        argument = parts[1] if len(parts) > 1 else ""
+        if command in ("help", "h", "?"):
+            return _HELP
+        if command in ("quit", "q", "exit"):
+            raise EOFError
+        if command == "tables":
+            lines = []
+            for name in self.db.catalog.table_names():
+                table = self.db.catalog.table(name)
+                lines.append(
+                    f"  {name:24s} {table.row_count:8d} rows "
+                    f"{table.page_count:6d} pages"
+                )
+            return "\n".join(lines) if lines else "(no tables)"
+        if command == "schema":
+            if not argument:
+                return "usage: \\schema <table>"
+            schema = self.db.catalog.schema(argument)
+            lines = [
+                f"  {column.name:20s} {column.col_type.value:8s}"
+                f"{'' if column.nullable else '  NOT NULL'}"
+                for column in schema.columns
+            ]
+            if schema.primary_key:
+                lines.append(f"  PRIMARY KEY ({', '.join(schema.primary_key)})")
+            return "\n".join(lines)
+        if command == "explain":
+            if not argument:
+                return "usage: \\explain <sql>"
+            return self.db.explain(argument)
+        if command == "trace":
+            result = self.db.sql(argument)
+            return (
+                f"rewrites: {result.rewrite_trace}\n"
+                + self._format_rows(result.column_names, result.rows)
+            )
+        if command == "naive":
+            schema, rows, stats = self.db.naive(argument)
+            names = [name for _alias, name in schema.slots]
+            return (
+                self._format_rows(names, rows)
+                + f"\n({stats.inner_evaluations} inner evaluations, "
+                f"{stats.rows_produced} rows of interpreter work)"
+            )
+        if command == "analyze":
+            self.db.analyze()
+            return "statistics collected"
+        return f"unknown command \\{command} (try \\help)"
+
+    def _query(self, sql: str) -> str:
+        result = self.db.sql(sql)
+        body = self._format_rows(result.column_names, result.rows)
+        counters = result.context.counters
+        footer = (
+            f"({len(result.rows)} rows; {counters.total_page_reads} page "
+            f"reads, {result.context.buffer_pool.hit_ratio:.0%} buffer hits)"
+        )
+        return f"{body}\n{footer}"
+
+    @staticmethod
+    def _format_rows(names: List[str], rows, limit: int = 25) -> str:
+        header = " | ".join(names)
+        lines = [header, "-" * len(header)]
+        for row in rows[:limit]:
+            lines.append(
+                " | ".join("NULL" if v is None else str(v) for v in row)
+            )
+        if len(rows) > limit:
+            lines.append(f"... ({len(rows) - limit} more rows)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def repl(self) -> None:
+        """Read-eval-print until EOF."""
+        print("repro SQL shell -- \\help for commands, \\quit to exit")
+        buffer: List[str] = []
+        while True:
+            prompt = "repro> " if not buffer else "  ...> "
+            try:
+                line = input(prompt)
+            except EOFError:
+                print()
+                return
+            if line.strip().startswith("\\"):
+                buffer = []
+                try:
+                    print(self.run_command(line))
+                except EOFError:
+                    return
+                except ReproError as error:
+                    print(f"error: {error}")
+                continue
+            buffer.append(line)
+            if line.rstrip().endswith(";"):
+                statement = "\n".join(buffer)
+                buffer = []
+                try:
+                    print(self.run_command(statement))
+                except ReproError as error:
+                    print(f"error: {error}")
+                except Exception as error:  # stay alive on bugs
+                    print(f"internal error: {error!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    db = Database()
+    if "--demo" in argv:
+        from repro.datagen import build_emp_dept
+
+        build_emp_dept(db.catalog, emp_rows=2_000, dept_rows=100)
+        db.analyze()
+        print("demo data loaded: Emp (2000 rows), Dept (100 rows)")
+    Shell(db).repl()
+    return 0

@@ -1,0 +1,16 @@
+"""SQL front end: lexer, parser, and binder."""
+
+from repro.sql.ast import SelectStmt
+from repro.sql.binder import Binder, UdfRegistration
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse
+
+__all__ = [
+    "Binder",
+    "SelectStmt",
+    "Token",
+    "TokenType",
+    "UdfRegistration",
+    "parse",
+    "tokenize",
+]

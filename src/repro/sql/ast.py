@@ -1,0 +1,202 @@
+"""Abstract syntax trees produced by the SQL parser.
+
+The AST is name-based (unresolved); the binder resolves identifiers
+against the catalog and scope chain and produces QGM query blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple, Union
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions (unresolved)
+# ----------------------------------------------------------------------
+class AstExpr:
+    """Base class of unresolved scalar expressions."""
+
+
+@dataclass(frozen=True)
+class AstColumn(AstExpr):
+    """A possibly qualified column name: ``[qualifier.]name``."""
+
+    qualifier: Optional[str]
+    name: str
+
+
+@dataclass(frozen=True)
+class AstLiteral(AstExpr):
+    """A constant (int, float, str, bool, or None)."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class AstComparison(AstExpr):
+    """Binary comparison ``left op right`` (op as SQL text)."""
+
+    op: str
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class AstBool(AstExpr):
+    """AND/OR over arguments."""
+
+    op: str
+    args: Tuple[AstExpr, ...]
+
+
+@dataclass(frozen=True)
+class AstNot(AstExpr):
+    """Logical negation."""
+
+    arg: AstExpr
+
+
+@dataclass(frozen=True)
+class AstArith(AstExpr):
+    """Binary arithmetic."""
+
+    op: str
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class AstIsNull(AstExpr):
+    """``expr IS [NOT] NULL``."""
+
+    arg: AstExpr
+    negated: bool
+
+
+@dataclass(frozen=True)
+class AstInList(AstExpr):
+    """``expr [NOT] IN (literal, ...)``."""
+
+    arg: AstExpr
+    values: Tuple[AstExpr, ...]
+    negated: bool
+
+
+@dataclass(frozen=True)
+class AstBetween(AstExpr):
+    """``expr BETWEEN low AND high``."""
+
+    arg: AstExpr
+    low: AstExpr
+    high: AstExpr
+
+
+@dataclass(frozen=True)
+class AstAggregate(AstExpr):
+    """Aggregate call: func, argument (None for ``COUNT(*)``), DISTINCT."""
+
+    func: str
+    arg: Optional[AstExpr]
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class AstFuncCall(AstExpr):
+    """A non-aggregate (user-defined) function call."""
+
+    name: str
+    args: Tuple[AstExpr, ...]
+
+
+@dataclass(frozen=True)
+class AstInSubquery(AstExpr):
+    """``expr [NOT] IN (SELECT ...)``."""
+
+    arg: AstExpr
+    subquery: "SelectStmt"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class AstExists(AstExpr):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "SelectStmt"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class AstScalarSubquery(AstExpr):
+    """A parenthesized SELECT used as a scalar value."""
+
+    subquery: "SelectStmt"
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+class JoinType(enum.Enum):
+    """FROM-clause join flavours."""
+
+    INNER = "INNER"
+    LEFT_OUTER = "LEFT OUTER"
+    CROSS = "CROSS"
+
+
+@dataclass
+class TableRef:
+    """One FROM entry: a table/view name or a derived table (subquery)."""
+
+    name: Optional[str] = None
+    subquery: Optional["SelectStmt"] = None
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        """The alias used to address this entry's columns."""
+        if self.alias:
+            return self.alias
+        if self.name:
+            return self.name
+        raise ValueError("derived table requires an alias")
+
+
+@dataclass
+class FromItem:
+    """A FROM-clause element with how it joins the elements before it."""
+
+    table: TableRef
+    join_type: JoinType = JoinType.CROSS
+    on: Optional[AstExpr] = None
+
+
+@dataclass
+class SelectItem:
+    """One SELECT-list entry: expression with optional alias, or a star."""
+
+    expr: Optional[AstExpr] = None
+    alias: Optional[str] = None
+    star: bool = False
+    star_qualifier: Optional[str] = None
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: AstExpr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    """A (possibly nested) SELECT statement."""
+
+    select_items: List[SelectItem] = field(default_factory=list)
+    distinct: bool = False
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[AstExpr] = None
+    group_by: List[AstExpr] = field(default_factory=list)
+    having: Optional[AstExpr] = None
+    order_by: List[OrderItem] = field(default_factory=list)

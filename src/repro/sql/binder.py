@@ -1,0 +1,531 @@
+"""Name resolution: AST -> QGM query blocks.
+
+The binder resolves identifiers against the catalog and the scope chain
+(for correlated subqueries), expands views (by parsing their defining
+SQL into nested blocks), extracts aggregate calls, and classifies WHERE
+conjuncts into ordinary predicates and subquery predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.catalog.catalog import Catalog
+from repro.errors import BindError
+from repro.expr.aggregates import AggFunc, AggregateCall
+from repro.expr.expressions import (
+    Arithmetic,
+    ArithOp,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    NotExpr,
+    UdfCall,
+)
+from repro.logical.operators import ProjectItem
+from repro.logical.qgm import (
+    QueryBlock,
+    Quantifier,
+    SubqueryKind,
+    SubqueryPredicate,
+    fresh_block_label,
+)
+from repro.sql.ast import (
+    AstAggregate,
+    AstArith,
+    AstBetween,
+    AstBool,
+    AstColumn,
+    AstComparison,
+    AstExists,
+    AstExpr,
+    AstFuncCall,
+    AstInList,
+    AstInSubquery,
+    AstIsNull,
+    AstLiteral,
+    AstNot,
+    AstScalarSubquery,
+    JoinType,
+    SelectStmt,
+)
+from repro.sql.parser import parse
+
+_COMPARISON_OPS = {
+    "=": ComparisonOp.EQ,
+    "<>": ComparisonOp.NE,
+    "<": ComparisonOp.LT,
+    "<=": ComparisonOp.LE,
+    ">": ComparisonOp.GT,
+    ">=": ComparisonOp.GE,
+}
+
+_ARITH_OPS = {
+    "+": ArithOp.ADD,
+    "-": ArithOp.SUB,
+    "*": ArithOp.MUL,
+    "/": ArithOp.DIV,
+}
+
+
+@dataclass(frozen=True)
+class UdfRegistration:
+    """A registered user-defined function (Section 7.2).
+
+    Attributes:
+        fn: the Python callable.
+        per_tuple_cost: modelled evaluation cost per invocation.
+        selectivity: expected pass fraction when used as a predicate.
+    """
+
+    fn: Callable
+    per_tuple_cost: float = 100.0
+    selectivity: float = 0.5
+
+
+def _and_conjuncts(expr: AstExpr) -> List[AstExpr]:
+    """Top-level AND conjuncts of an unresolved predicate."""
+    if isinstance(expr, AstBool) and expr.op == "AND":
+        result: List[AstExpr] = []
+        for arg in expr.args:
+            result.extend(_and_conjuncts(arg))
+        return result
+    return [expr]
+
+
+class _Scope:
+    """One name-resolution scope: the quantifiers of a block being bound."""
+
+    def __init__(self, catalog: Catalog, block: QueryBlock) -> None:
+        self.catalog = catalog
+        self.block = block
+        # alias -> list of addressable column names
+        self.columns: Dict[str, List[str]] = {}
+
+    def add_quantifier(self, quantifier: Quantifier) -> None:
+        if quantifier.alias in self.columns:
+            raise BindError(f"duplicate alias {quantifier.alias!r}")
+        if quantifier.over_block:
+            names = [item.name for item in quantifier.block.select_items]
+        else:
+            names = self.catalog.schema(quantifier.table).column_names
+        self.columns[quantifier.alias] = names
+
+    def resolve(self, qualifier: Optional[str], name: str) -> Optional[ColumnRef]:
+        if qualifier is not None:
+            names = self.columns.get(qualifier)
+            if names is None:
+                return None
+            if name not in names:
+                raise BindError(f"no column {name!r} in {qualifier!r}")
+            return ColumnRef(qualifier, name)
+        matches = [
+            alias for alias, names in self.columns.items() if name in names
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {name!r} (in {sorted(matches)})")
+        return ColumnRef(matches[0], name)
+
+
+class Binder:
+    """Binds parsed statements into QGM query blocks.
+
+    Args:
+        catalog: tables and views.
+        udfs: registered user-defined functions by (lowercased) name.
+    """
+
+    def __init__(
+        self, catalog: Catalog, udfs: Optional[Dict[str, UdfRegistration]] = None
+    ) -> None:
+        self.catalog = catalog
+        self.udfs = {name.lower(): reg for name, reg in (udfs or {}).items()}
+        self._collectors: List[_CorrelationCollector] = []
+
+    # ------------------------------------------------------------------
+    def bind(self, stmt: SelectStmt) -> QueryBlock:
+        """Bind a statement tree into a query block tree."""
+        return self._bind_select(stmt, outer_scopes=[])
+
+    def bind_sql(self, sql: str) -> QueryBlock:
+        """Parse and bind SQL text."""
+        return self.bind(parse(sql))
+
+    # ------------------------------------------------------------------
+    def _bind_select(
+        self, stmt: SelectStmt, outer_scopes: List[_Scope]
+    ) -> QueryBlock:
+        block = QueryBlock(label=fresh_block_label())
+        scope = _Scope(self.catalog, block)
+
+        # FROM clause: quantifiers + join chain.
+        for item in stmt.from_items:
+            quantifier = self._bind_table_ref(item, outer_scopes)
+            block.quantifiers.append(quantifier)
+            scope.add_quantifier(quantifier)
+            kind = {
+                JoinType.CROSS: "cross",
+                JoinType.INNER: "inner",
+                JoinType.LEFT_OUTER: "left",
+            }[item.join_type]
+            block.join_chain.append((kind, None))
+
+        scopes = outer_scopes + [scope]
+
+        # ON predicates (bound after all quantifiers so ON can reference
+        # earlier tables; SQL visibility is stricter but this is a superset).
+        for index, item in enumerate(stmt.from_items):
+            if item.on is not None:
+                predicate = self._bind_scalar(item.on, scopes, block)
+                kind = block.join_chain[index][0]
+                if kind == "left":
+                    block.join_chain[index] = (kind, predicate)
+                else:
+                    block.predicates.append(predicate)
+
+        # WHERE clause: split into plain and subquery conjuncts.
+        if stmt.where is not None:
+            self._bind_where(stmt.where, scopes, block)
+
+        # GROUP BY.
+        for expr in stmt.group_by:
+            bound = self._bind_scalar(expr, scopes, block)
+            if not isinstance(bound, ColumnRef):
+                raise BindError("GROUP BY supports plain columns only")
+            block.group_keys.append(bound)
+
+        # SELECT list (aggregates are extracted into block.aggregates).
+        self._bind_select_items(stmt, scopes, block, scope)
+
+        # HAVING.
+        if stmt.having is not None:
+            block.having = self._bind_scalar(
+                stmt.having, scopes, block, allow_aggregates=True
+            )
+
+        # ORDER BY.
+        for order in stmt.order_by:
+            bound = self._bind_order_key(order.expr, scopes, block)
+            block.order_by.append((bound, order.ascending))
+
+        block.distinct = stmt.distinct
+        self._validate_grouping(block)
+        return block
+
+    # ------------------------------------------------------------------
+    def _bind_table_ref(self, item, outer_scopes: List[_Scope]) -> Quantifier:
+        ref = item.table
+        if ref.subquery is not None:
+            inner = self._bind_select(ref.subquery, outer_scopes)
+            return Quantifier(alias=ref.effective_alias, block=inner)
+        name = ref.name
+        if self.catalog.has_table(name):
+            return Quantifier(alias=ref.effective_alias, table=name)
+        if self.catalog.has_view(name):
+            view_stmt = parse(self.catalog.view_sql(name))
+            inner = self._bind_select(view_stmt, outer_scopes)
+            return Quantifier(alias=ref.effective_alias, block=inner)
+        raise BindError(f"unknown table or view {name!r}")
+
+    # ------------------------------------------------------------------
+    def _bind_where(
+        self, where: AstExpr, scopes: List[_Scope], block: QueryBlock
+    ) -> None:
+        for conjunct in _and_conjuncts(where):
+            subquery = self._try_bind_subquery_conjunct(conjunct, scopes, block)
+            if subquery is not None:
+                block.subqueries.append(subquery)
+            else:
+                block.predicates.append(self._bind_scalar(conjunct, scopes, block))
+
+    def _try_bind_subquery_conjunct(
+        self, conjunct: AstExpr, scopes: List[_Scope], block: QueryBlock
+    ) -> Optional[SubqueryPredicate]:
+        if isinstance(conjunct, AstInSubquery):
+            outer = self._bind_scalar(conjunct.arg, scopes, block)
+            inner, correlations = self._bind_subquery(conjunct.subquery, scopes)
+            kind = SubqueryKind.NOT_IN if conjunct.negated else SubqueryKind.IN
+            return SubqueryPredicate(
+                kind, inner, outer_expr=outer, correlations=correlations
+            )
+        if isinstance(conjunct, AstExists):
+            inner, correlations = self._bind_subquery(conjunct.subquery, scopes)
+            kind = (
+                SubqueryKind.NOT_EXISTS if conjunct.negated else SubqueryKind.EXISTS
+            )
+            return SubqueryPredicate(kind, inner, correlations=correlations)
+        if isinstance(conjunct, AstNot) and isinstance(conjunct.arg, AstExists):
+            inner, correlations = self._bind_subquery(conjunct.arg.subquery, scopes)
+            kind = (
+                SubqueryKind.EXISTS
+                if conjunct.arg.negated
+                else SubqueryKind.NOT_EXISTS
+            )
+            return SubqueryPredicate(kind, inner, correlations=correlations)
+        if isinstance(conjunct, AstComparison):
+            left_sub = isinstance(conjunct.left, AstScalarSubquery)
+            right_sub = isinstance(conjunct.right, AstScalarSubquery)
+            if left_sub and right_sub:
+                raise BindError("comparison of two subqueries is unsupported")
+            if left_sub or right_sub:
+                op = _COMPARISON_OPS[conjunct.op]
+                if left_sub:
+                    op = op.flip()
+                    outer_ast, sub_ast = conjunct.right, conjunct.left
+                else:
+                    outer_ast, sub_ast = conjunct.left, conjunct.right
+                outer = self._bind_scalar(outer_ast, scopes, block)
+                inner, correlations = self._bind_subquery(
+                    sub_ast.subquery, scopes
+                )
+                return SubqueryPredicate(
+                    SubqueryKind.SCALAR,
+                    inner,
+                    outer_expr=outer,
+                    comparison=op,
+                    correlations=correlations,
+                )
+        return None
+
+    def _bind_subquery(
+        self, stmt: SelectStmt, scopes: List[_Scope]
+    ) -> Tuple[QueryBlock, Tuple[ColumnRef, ...]]:
+        marker = _CorrelationCollector()
+        inner = self._bind_select_with_collector(stmt, scopes, marker)
+        return inner, tuple(marker.refs)
+
+    def _bind_select_with_collector(
+        self, stmt: SelectStmt, scopes: List[_Scope], marker: "_CorrelationCollector"
+    ) -> QueryBlock:
+        self._collectors.append(marker)
+        try:
+            return self._bind_select(stmt, scopes)
+        finally:
+            self._collectors.pop()
+
+    # ------------------------------------------------------------------
+    def _bind_select_items(
+        self,
+        stmt: SelectStmt,
+        scopes: List[_Scope],
+        block: QueryBlock,
+        scope: _Scope,
+    ) -> None:
+        used_names: Dict[str, int] = {}
+
+        def unique_name(base: str) -> str:
+            if base not in used_names:
+                used_names[base] = 1
+                return base
+            used_names[base] += 1
+            return f"{base}_{used_names[base]}"
+
+        for item in stmt.select_items:
+            if item.star:
+                aliases = (
+                    [item.star_qualifier]
+                    if item.star_qualifier
+                    else list(scope.columns)
+                )
+                for alias in aliases:
+                    if alias not in scope.columns:
+                        raise BindError(f"unknown alias {alias!r} in star")
+                    for column in scope.columns[alias]:
+                        block.select_items.append(
+                            ProjectItem(
+                                ColumnRef(alias, column),
+                                unique_name(column),
+                                alias=block.label,
+                            )
+                        )
+                continue
+            bound = self._bind_scalar(
+                item.expr, scopes, block, allow_aggregates=True
+            )
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expr, AstColumn):
+                name = item.expr.name
+            elif isinstance(item.expr, AstAggregate) and isinstance(
+                bound, ColumnRef
+            ):
+                name = bound.column
+            else:
+                name = f"col{len(block.select_items) + 1}"
+            block.select_items.append(
+                ProjectItem(bound, unique_name(name), alias=block.label)
+            )
+
+    def _bind_order_key(
+        self, expr: AstExpr, scopes: List[_Scope], block: QueryBlock
+    ) -> ColumnRef:
+        if isinstance(expr, AstColumn) and expr.qualifier is None:
+            for item in block.select_items:
+                if item.name == expr.name:
+                    return ColumnRef(block.label, item.name)
+        bound = self._bind_scalar(expr, scopes, block, allow_aggregates=True)
+        if isinstance(bound, ColumnRef):
+            # Order keys must survive the projection: prefer the output slot.
+            for item in block.select_items:
+                if item.expr == bound:
+                    return ColumnRef(block.label, item.name)
+            return bound
+        raise BindError("ORDER BY supports plain columns only")
+
+    # ------------------------------------------------------------------
+    def _bind_scalar(
+        self,
+        expr: AstExpr,
+        scopes: List[_Scope],
+        block: QueryBlock,
+        allow_aggregates: bool = False,
+    ) -> Expr:
+        if isinstance(expr, AstLiteral):
+            return Literal(expr.value)
+        if isinstance(expr, AstColumn):
+            return self._resolve_column(expr, scopes)
+        if isinstance(expr, AstComparison):
+            if isinstance(expr.left, AstScalarSubquery) or isinstance(
+                expr.right, AstScalarSubquery
+            ):
+                raise BindError(
+                    "scalar subqueries are only supported as top-level "
+                    "WHERE conjuncts"
+                )
+            return Comparison(
+                _COMPARISON_OPS[expr.op],
+                self._bind_scalar(expr.left, scopes, block, allow_aggregates),
+                self._bind_scalar(expr.right, scopes, block, allow_aggregates),
+            )
+        if isinstance(expr, AstBool):
+            op = BoolOp.AND if expr.op == "AND" else BoolOp.OR
+            return BoolExpr(
+                op,
+                [
+                    self._bind_scalar(arg, scopes, block, allow_aggregates)
+                    for arg in expr.args
+                ],
+            )
+        if isinstance(expr, AstNot):
+            return NotExpr(
+                self._bind_scalar(expr.arg, scopes, block, allow_aggregates)
+            )
+        if isinstance(expr, AstArith):
+            return Arithmetic(
+                _ARITH_OPS[expr.op],
+                self._bind_scalar(expr.left, scopes, block, allow_aggregates),
+                self._bind_scalar(expr.right, scopes, block, allow_aggregates),
+            )
+        if isinstance(expr, AstIsNull):
+            return IsNull(
+                self._bind_scalar(expr.arg, scopes, block, allow_aggregates),
+                expr.negated,
+            )
+        if isinstance(expr, AstBetween):
+            arg = self._bind_scalar(expr.arg, scopes, block, allow_aggregates)
+            low = self._bind_scalar(expr.low, scopes, block, allow_aggregates)
+            high = self._bind_scalar(expr.high, scopes, block, allow_aggregates)
+            return BoolExpr(
+                BoolOp.AND,
+                [
+                    Comparison(ComparisonOp.GE, arg, low),
+                    Comparison(ComparisonOp.LE, arg, high),
+                ],
+            )
+        if isinstance(expr, AstInList):
+            arg = self._bind_scalar(expr.arg, scopes, block, allow_aggregates)
+            values = [
+                self._bind_scalar(value, scopes, block, allow_aggregates)
+                for value in expr.values
+            ]
+            in_list = InList(arg, values)
+            return NotExpr(in_list) if expr.negated else in_list
+        if isinstance(expr, AstAggregate):
+            if not allow_aggregates:
+                raise BindError("aggregate not allowed in this clause")
+            return self._bind_aggregate(expr, scopes, block)
+        if isinstance(expr, AstFuncCall):
+            registration = self.udfs.get(expr.name.lower())
+            if registration is None:
+                raise BindError(f"unknown function {expr.name!r}")
+            args = [
+                self._bind_scalar(arg, scopes, block, allow_aggregates)
+                for arg in expr.args
+            ]
+            return UdfCall(
+                expr.name,
+                args,
+                per_tuple_cost=registration.per_tuple_cost,
+                selectivity=registration.selectivity,
+                fn=registration.fn,
+            )
+        raise BindError(f"unsupported expression {type(expr).__name__}")
+
+    def _bind_aggregate(
+        self, expr: AstAggregate, scopes: List[_Scope], block: QueryBlock
+    ) -> ColumnRef:
+        arg = (
+            self._bind_scalar(expr.arg, scopes, block)
+            if expr.arg is not None
+            else None
+        )
+        call = AggregateCall(AggFunc[expr.func], arg, distinct=expr.distinct)
+        for existing in block.aggregates:
+            if (
+                existing.func is call.func
+                and existing.arg == call.arg
+                and existing.distinct == call.distinct
+            ):
+                return ColumnRef(block.label, existing.alias)
+        block.aggregates.append(call)
+        return ColumnRef(block.label, call.alias)
+
+    def _resolve_column(
+        self, expr: AstColumn, scopes: List[_Scope]
+    ) -> ColumnRef:
+        local = scopes[-1]
+        resolved = local.resolve(expr.qualifier, expr.name)
+        if resolved is not None:
+            return resolved
+        # Correlated reference: search enclosing scopes outermost-last.
+        for depth, scope in enumerate(reversed(scopes[:-1])):
+            resolved = scope.resolve(expr.qualifier, expr.name)
+            if resolved is not None:
+                if self._collectors:
+                    self._collectors[-1].refs.append(resolved)
+                return resolved
+        rendered = (
+            f"{expr.qualifier}.{expr.name}" if expr.qualifier else expr.name
+        )
+        raise BindError(f"cannot resolve column {rendered!r}")
+
+    # ------------------------------------------------------------------
+    def _validate_grouping(self, block: QueryBlock) -> None:
+        if not block.has_grouping:
+            return
+        key_set = set(block.group_keys)
+        for item in block.select_items:
+            for ref in item.expr.columns():
+                if ref.table == block.label:
+                    continue  # aggregate output
+                if ref not in key_set:
+                    raise BindError(
+                        f"column {ref.to_sql()} must appear in GROUP BY or "
+                        "inside an aggregate"
+                    )
+
+
+class _CorrelationCollector:
+    """Accumulates the outer-scope references found while binding a block."""
+
+    def __init__(self) -> None:
+        self.refs: List[ColumnRef] = []

@@ -1,0 +1,128 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import LexerError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "AND", "OR", "NOT", "IN", "EXISTS", "IS", "NULL", "AS",
+    "JOIN", "LEFT", "OUTER", "INNER", "CROSS", "ON", "UNION", "ALL",
+    "BETWEEN", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE",
+    "CREATE", "VIEW",
+}
+
+
+class TokenType(enum.Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in words
+
+
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize SQL text.
+
+    Raises:
+        LexerError: on unterminated strings or unexpected characters.
+    """
+    tokens: List[Token] = []
+    i = 0
+    length = len(sql)
+    while i < length:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < length and sql[i + 1] == "-":
+            while i < length and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            end = i + 1
+            parts = []
+            while True:
+                if end >= length:
+                    raise LexerError("unterminated string literal", i)
+                if sql[end] == "'":
+                    if end + 1 < length and sql[end + 1] == "'":
+                        parts.append("'")
+                        end += 2
+                        continue
+                    break
+                parts.append(sql[end])
+                end += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts), i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < length and sql[i + 1].isdigit()
+        ):
+            end = i
+            seen_dot = False
+            while end < length and (
+                sql[end].isdigit() or (sql[end] == "." and not seen_dot)
+            ):
+                if sql[end] == ".":
+                    # A dot followed by a non-digit is punctuation (t.col).
+                    if end + 1 >= length or not sql[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            tokens.append(Token(TokenType.NUMBER, sql[i:end], i))
+            i = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = i
+            while end < length and (sql[end].isalnum() or sql[end] in "_#"):
+                end += 1
+            word = sql[i:end]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, i))
+            i = end
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if sql.startswith(operator, i):
+                tokens.append(Token(TokenType.OPERATOR, operator, i))
+                i += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise LexerError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

@@ -1,0 +1,422 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informal):
+
+    select    := SELECT [DISTINCT] items FROM from_list [WHERE pred]
+                 [GROUP BY cols] [HAVING pred] [ORDER BY keys]
+    from_list := from_item { (',' | [LEFT [OUTER] | INNER | CROSS] JOIN)
+                 from_item [ON pred] }
+    pred      := or_expr with AND/OR/NOT, comparisons, IN, EXISTS,
+                 BETWEEN, IS [NOT] NULL, scalar subqueries
+    expr      := additive arithmetic over primaries; aggregates and
+                 function calls as primaries
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AstAggregate,
+    AstArith,
+    AstBetween,
+    AstBool,
+    AstColumn,
+    AstComparison,
+    AstExists,
+    AstExpr,
+    AstFuncCall,
+    AstInList,
+    AstInSubquery,
+    AstIsNull,
+    AstLiteral,
+    AstNot,
+    AstScalarSubquery,
+    FromItem,
+    JoinType,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    TableRef,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> SelectStmt:
+    """Parse one SELECT statement.
+
+    Raises:
+        ParseError: on syntax errors.
+        LexerError: on bad tokens.
+    """
+    parser = _Parser(tokenize(sql))
+    stmt = parser.parse_select()
+    parser.expect_eof()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token plumbing
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._pos + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _accept_keyword(self, *words: str) -> Optional[Token]:
+        if self._peek().is_keyword(*words):
+            return self._next()
+        return None
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._next()
+        if not token.is_keyword(word):
+            raise ParseError(f"expected {word}, got {token.value!r}", token.position)
+        return token
+
+    def _accept_punct(self, value: str) -> Optional[Token]:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == value:
+            return self._next()
+        return None
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._next()
+        if token.type is not TokenType.PUNCT or token.value != value:
+            raise ParseError(
+                f"expected {value!r}, got {token.value!r}", token.position
+            )
+        return token
+
+    def _expect_ident(self) -> str:
+        token = self._next()
+        if token.type is not TokenType.IDENT:
+            raise ParseError(
+                f"expected identifier, got {token.value!r}", token.position
+            )
+        return token.value
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise ParseError(
+                f"unexpected trailing input {token.value!r}", token.position
+            )
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def parse_select(self) -> SelectStmt:
+        self._expect_keyword("SELECT")
+        stmt = SelectStmt()
+        if self._accept_keyword("DISTINCT"):
+            stmt.distinct = True
+        stmt.select_items.append(self._parse_select_item())
+        while self._accept_punct(","):
+            stmt.select_items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        stmt.from_items = self._parse_from_list()
+        if self._accept_keyword("WHERE"):
+            stmt.where = self._parse_predicate()
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            stmt.group_by.append(self._parse_expr())
+            while self._accept_punct(","):
+                stmt.group_by.append(self._parse_expr())
+        if self._accept_keyword("HAVING"):
+            stmt.having = self._parse_predicate()
+        if self._accept_keyword("ORDER"):
+            self._expect_keyword("BY")
+            stmt.order_by.append(self._parse_order_item())
+            while self._accept_punct(","):
+                stmt.order_by.append(self._parse_order_item())
+        return stmt
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._next()
+            return SelectItem(star=True)
+        if (
+            token.type is TokenType.IDENT
+            and self._peek(1).type is TokenType.PUNCT
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            qualifier = self._expect_ident()
+            self._expect_punct(".")
+            self._next()  # *
+            return SelectItem(star=True, star_qualifier=qualifier)
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self._parse_expr()
+        ascending = True
+        if self._accept_keyword("DESC"):
+            ascending = False
+        else:
+            self._accept_keyword("ASC")
+        return OrderItem(expr=expr, ascending=ascending)
+
+    # ------------------------------------------------------------------
+    # FROM
+    # ------------------------------------------------------------------
+    def _parse_from_list(self) -> List[FromItem]:
+        items = [FromItem(self._parse_table_ref(), JoinType.CROSS, None)]
+        while True:
+            if self._accept_punct(","):
+                items.append(FromItem(self._parse_table_ref(), JoinType.CROSS, None))
+                continue
+            join_type = self._parse_join_type()
+            if join_type is None:
+                break
+            table = self._parse_table_ref()
+            on = None
+            if join_type is not JoinType.CROSS:
+                self._expect_keyword("ON")
+                on = self._parse_predicate()
+            items.append(FromItem(table, join_type, on))
+        return items
+
+    def _parse_join_type(self) -> Optional[JoinType]:
+        if self._accept_keyword("JOIN"):
+            return JoinType.INNER
+        if self._peek().is_keyword("INNER"):
+            self._next()
+            self._expect_keyword("JOIN")
+            return JoinType.INNER
+        if self._peek().is_keyword("LEFT"):
+            self._next()
+            self._accept_keyword("OUTER")
+            self._expect_keyword("JOIN")
+            return JoinType.LEFT_OUTER
+        if self._peek().is_keyword("CROSS"):
+            self._next()
+            self._expect_keyword("JOIN")
+            return JoinType.CROSS
+        return None
+
+    def _parse_table_ref(self) -> TableRef:
+        if self._accept_punct("("):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            self._accept_keyword("AS")
+            alias = self._expect_ident()
+            return TableRef(subquery=subquery, alias=alias)
+        name = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._expect_ident()
+        return TableRef(name=name, alias=alias)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _parse_predicate(self) -> AstExpr:
+        return self._parse_or()
+
+    def _parse_or(self) -> AstExpr:
+        left = self._parse_and()
+        args = [left]
+        while self._accept_keyword("OR"):
+            args.append(self._parse_and())
+        if len(args) == 1:
+            return left
+        return AstBool("OR", tuple(args))
+
+    def _parse_and(self) -> AstExpr:
+        left = self._parse_not()
+        args = [left]
+        while self._accept_keyword("AND"):
+            args.append(self._parse_not())
+        if len(args) == 1:
+            return left
+        return AstBool("AND", tuple(args))
+
+    def _parse_not(self) -> AstExpr:
+        if self._accept_keyword("NOT"):
+            return AstNot(self._parse_not())
+        return self._parse_condition()
+
+    def _parse_condition(self) -> AstExpr:
+        if self._peek().is_keyword("EXISTS"):
+            self._next()
+            self._expect_punct("(")
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return AstExists(subquery, negated=False)
+        left = self._parse_expr()
+        token = self._peek()
+        negated = False
+        if token.is_keyword("NOT"):
+            self._next()
+            token = self._peek()
+            negated = True
+        if token.is_keyword("IN"):
+            self._next()
+            return self._parse_in_rhs(left, negated)
+        if token.is_keyword("BETWEEN"):
+            self._next()
+            low = self._parse_expr()
+            self._expect_keyword("AND")
+            high = self._parse_expr()
+            between = AstBetween(left, low, high)
+            return AstNot(between) if negated else between
+        if negated:
+            raise ParseError("expected IN or BETWEEN after NOT", token.position)
+        if token.is_keyword("IS"):
+            self._next()
+            is_negated = bool(self._accept_keyword("NOT"))
+            self._expect_keyword("NULL")
+            return AstIsNull(left, is_negated)
+        if token.type is TokenType.OPERATOR and token.value in _COMPARISONS:
+            op = self._next().value
+            if op == "!=":
+                op = "<>"
+            right = self._parse_expr()
+            return AstComparison(op, left, right)
+        return left
+
+    def _parse_in_rhs(self, left: AstExpr, negated: bool) -> AstExpr:
+        self._expect_punct("(")
+        if self._peek().is_keyword("SELECT"):
+            subquery = self.parse_select()
+            self._expect_punct(")")
+            return AstInSubquery(left, subquery, negated)
+        values = [self._parse_expr()]
+        while self._accept_punct(","):
+            values.append(self._parse_expr())
+        self._expect_punct(")")
+        return AstInList(left, tuple(values), negated)
+
+    # ------------------------------------------------------------------
+    # Scalar expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> AstExpr:
+        left = self._parse_term()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("+", "-"):
+                op = self._next().value
+                right = self._parse_term()
+                left = AstArith(op, left, right)
+            else:
+                return left
+
+    def _parse_term(self) -> AstExpr:
+        left = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.OPERATOR and token.value in ("*", "/"):
+                op = self._next().value
+                right = self._parse_primary()
+                left = AstArith(op, left, right)
+            else:
+                return left
+
+    def _parse_primary(self) -> AstExpr:
+        token = self._peek()
+        if token.type is TokenType.NUMBER:
+            self._next()
+            if "." in token.value:
+                return AstLiteral(float(token.value))
+            return AstLiteral(int(token.value))
+        if token.type is TokenType.STRING:
+            self._next()
+            return AstLiteral(token.value)
+        if token.is_keyword("NULL"):
+            self._next()
+            return AstLiteral(None)
+        if token.is_keyword("TRUE"):
+            self._next()
+            return AstLiteral(True)
+        if token.is_keyword("FALSE"):
+            self._next()
+            return AstLiteral(False)
+        if token.type is TokenType.OPERATOR and token.value == "-":
+            self._next()
+            inner = self._parse_primary()
+            if isinstance(inner, AstLiteral) and isinstance(
+                inner.value, (int, float)
+            ):
+                return AstLiteral(-inner.value)
+            return AstArith("-", AstLiteral(0), inner)
+        if token.type is TokenType.KEYWORD and token.value in _AGGREGATES:
+            return self._parse_aggregate()
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._next()
+            if self._peek().is_keyword("SELECT"):
+                subquery = self.parse_select()
+                self._expect_punct(")")
+                return AstScalarSubquery(subquery)
+            inner = self._parse_predicate()
+            self._expect_punct(")")
+            return inner
+        if token.type is TokenType.IDENT:
+            return self._parse_identifier_expr()
+        raise ParseError(f"unexpected token {token.value!r}", token.position)
+
+    def _parse_aggregate(self) -> AstExpr:
+        func = self._next().value
+        self._expect_punct("(")
+        distinct = bool(self._accept_keyword("DISTINCT"))
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            self._next()
+            self._expect_punct(")")
+            return AstAggregate(func, None, distinct)
+        # COUNT(Emp.*) is treated as COUNT(*) scoped to the relation.
+        if (
+            token.type is TokenType.IDENT
+            and self._peek(1).value == "."
+            and self._peek(2).type is TokenType.OPERATOR
+            and self._peek(2).value == "*"
+        ):
+            self._next()
+            self._next()
+            self._next()
+            self._expect_punct(")")
+            return AstAggregate(func, None, distinct)
+        arg = self._parse_expr()
+        self._expect_punct(")")
+        return AstAggregate(func, arg, distinct)
+
+    def _parse_identifier_expr(self) -> AstExpr:
+        name = self._expect_ident()
+        if self._accept_punct("."):
+            column = self._expect_ident()
+            return AstColumn(name, column)
+        if self._peek().type is TokenType.PUNCT and self._peek().value == "(":
+            self._next()
+            args: List[AstExpr] = []
+            if not (
+                self._peek().type is TokenType.PUNCT and self._peek().value == ")"
+            ):
+                args.append(self._parse_expr())
+                while self._accept_punct(","):
+                    args.append(self._parse_expr())
+            self._expect_punct(")")
+            return AstFuncCall(name, tuple(args))
+        return AstColumn(None, name)

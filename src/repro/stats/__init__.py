@@ -1,0 +1,62 @@
+"""Statistics: summaries, histograms, sampling, selectivity, propagation."""
+
+from repro.stats.distinct import (
+    ESTIMATORS,
+    estimate_chao,
+    estimate_gee,
+    estimate_goodman_d,
+    estimate_naive_scale,
+    ratio_error,
+)
+from repro.stats.histogram import (
+    Bucket,
+    CompressedHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    Histogram,
+    MaxDiffHistogram,
+    TwoDimHistogram,
+)
+from repro.stats.propagation import CardinalityEstimator, join_histograms
+from repro.stats.sampling import (
+    average_point_error,
+    average_range_error,
+    histogram_from_sample,
+    sample_values,
+)
+from repro.stats.selectivity import SelectivityEstimator
+from repro.stats.summaries import (
+    ColumnStats,
+    TableStats,
+    analyze_all,
+    analyze_table,
+    compute_column_stats,
+)
+
+__all__ = [
+    "ESTIMATORS",
+    "Bucket",
+    "CardinalityEstimator",
+    "ColumnStats",
+    "CompressedHistogram",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "Histogram",
+    "MaxDiffHistogram",
+    "SelectivityEstimator",
+    "TableStats",
+    "TwoDimHistogram",
+    "analyze_all",
+    "analyze_table",
+    "average_point_error",
+    "average_range_error",
+    "compute_column_stats",
+    "estimate_chao",
+    "estimate_gee",
+    "estimate_goodman_d",
+    "estimate_naive_scale",
+    "histogram_from_sample",
+    "join_histograms",
+    "ratio_error",
+    "sample_values",
+]

@@ -1,0 +1,543 @@
+"""Histograms for column-value distributions (Section 5.1.1).
+
+Three single-column histogram classes from the paper and its citations:
+
+* **equi-width**: buckets span equal value ranges;
+* **equi-depth** (equi-height): buckets hold equal row counts -- the
+  common choice in commercial systems;
+* **compressed**: frequent values get singleton buckets, the rest go in
+  equi-depth buckets; shown in [52] to be effective for both high- and
+  low-skew data.
+
+All selectivity math uses the *uniform spread* assumption inside a
+bucket, which the paper identifies as a source of estimation error.
+A small 2-D histogram models joint distributions (Section 5.1.1's
+discussion of column correlations).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import StatisticsError
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One histogram bucket over the closed value range [low, high].
+
+    Attributes:
+        low: smallest value covered.
+        high: largest value covered.
+        row_count: number of rows whose value falls in the range.
+        distinct_count: number of distinct values in the range.
+    """
+
+    low: float
+    high: float
+    row_count: float
+    distinct_count: float
+
+    @property
+    def width(self) -> float:
+        """Value-range width (0 for singleton buckets)."""
+        return self.high - self.low
+
+
+class Histogram:
+    """Base class: an ordered list of non-overlapping buckets."""
+
+    kind = "base"
+
+    def __init__(self, buckets: Sequence[Bucket], null_count: float = 0.0) -> None:
+        self.buckets: Tuple[Bucket, ...] = tuple(buckets)
+        self.null_count = float(null_count)
+        for left, right in zip(self.buckets, self.buckets[1:]):
+            if left.high > right.low:
+                raise StatisticsError("histogram buckets overlap")
+        self._lows = [bucket.low for bucket in self.buckets]
+
+    # ------------------------------------------------------------------
+    # Totals
+    # ------------------------------------------------------------------
+    @property
+    def total_rows(self) -> float:
+        """Non-null rows represented."""
+        return sum(bucket.row_count for bucket in self.buckets)
+
+    @property
+    def total_distinct(self) -> float:
+        """Estimated distinct values represented."""
+        return sum(bucket.distinct_count for bucket in self.buckets)
+
+    @property
+    def min_value(self) -> Optional[float]:
+        """Smallest represented value."""
+        return self.buckets[0].low if self.buckets else None
+
+    @property
+    def max_value(self) -> Optional[float]:
+        """Largest represented value."""
+        return self.buckets[-1].high if self.buckets else None
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation
+    # ------------------------------------------------------------------
+    def estimate_eq(self, value: Any) -> float:
+        """Estimated fraction of (non-null) rows with column = value."""
+        total = self.total_rows
+        if total <= 0:
+            return 0.0
+        for bucket in self._buckets_containing(value):
+            if bucket.distinct_count <= 0:
+                continue
+            # Uniform-frequency assumption inside the bucket.
+            return min(1.0, (bucket.row_count / bucket.distinct_count) / total)
+        return 0.0
+
+    def estimate_range(
+        self,
+        low: Optional[float] = None,
+        high: Optional[float] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> float:
+        """Estimated fraction of rows with value in the given range."""
+        total = self.total_rows
+        if total <= 0:
+            return 0.0
+        covered = 0.0
+        for bucket in self.buckets:
+            covered += self._bucket_overlap(bucket, low, high)
+        return max(0.0, min(1.0, covered / total))
+
+    def _bucket_overlap(
+        self, bucket: Bucket, low: Optional[float], high: Optional[float]
+    ) -> float:
+        lo = bucket.low if low is None else max(bucket.low, low)
+        hi = bucket.high if high is None else min(bucket.high, high)
+        if lo > hi:
+            return 0.0
+        if bucket.width == 0:
+            return bucket.row_count
+        # Uniform-spread assumption: fraction of the bucket's width covered.
+        fraction = (hi - lo) / bucket.width
+        return bucket.row_count * fraction
+
+    def _buckets_containing(self, value: Any) -> List[Bucket]:
+        try:
+            numeric = float(value)
+        except (TypeError, ValueError):
+            return []
+        position = bisect.bisect_right(self._lows, numeric) - 1
+        result = []
+        if 0 <= position < len(self.buckets):
+            bucket = self.buckets[position]
+            if bucket.low <= numeric <= bucket.high:
+                result.append(bucket)
+        return result
+
+    # ------------------------------------------------------------------
+    # Transformation (statistics propagation, Section 5.1.3)
+    # ------------------------------------------------------------------
+    def restrict_range(
+        self, low: Optional[float], high: Optional[float]
+    ) -> "Histogram":
+        """The histogram after applying a range predicate on this column."""
+        new_buckets: List[Bucket] = []
+        for bucket in self.buckets:
+            lo = bucket.low if low is None else max(bucket.low, low)
+            hi = bucket.high if high is None else min(bucket.high, high)
+            if lo > hi:
+                continue
+            rows = self._bucket_overlap(bucket, low, high)
+            if rows <= 0:
+                continue
+            if bucket.width == 0:
+                distinct = bucket.distinct_count
+            else:
+                distinct = max(
+                    1.0, bucket.distinct_count * (hi - lo) / bucket.width
+                )
+            new_buckets.append(Bucket(lo, hi, rows, min(distinct, rows)))
+        restricted = Histogram(new_buckets, null_count=0.0)
+        restricted.kind = self.kind
+        return restricted
+
+    def scale_rows(self, factor: float) -> "Histogram":
+        """Uniformly scale row counts (applying an independent predicate)."""
+        scaled = Histogram(
+            [
+                Bucket(
+                    b.low,
+                    b.high,
+                    b.row_count * factor,
+                    min(b.distinct_count, b.row_count * factor),
+                )
+                for b in self.buckets
+            ],
+            null_count=self.null_count * factor,
+        )
+        scaled.kind = self.kind
+        return scaled
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(buckets={len(self.buckets)}, "
+            f"rows={self.total_rows:.0f}, distinct={self.total_distinct:.0f})"
+        )
+
+
+def _numeric_values(values: Sequence[Any]) -> List[float]:
+    numeric = []
+    for value in values:
+        if value is None:
+            continue
+        numeric.append(float(value))
+    return numeric
+
+
+class EquiWidthHistogram(Histogram):
+    """Buckets of equal value-range width."""
+
+    kind = "equi-width"
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[Any], bucket_count: int = 10
+    ) -> "EquiWidthHistogram":
+        """Build from raw column values (NULLs excluded, counted separately).
+
+        Raises:
+            StatisticsError: for a non-positive bucket count.
+        """
+        if bucket_count <= 0:
+            raise StatisticsError("bucket count must be positive")
+        null_count = sum(1 for value in values if value is None)
+        numeric = _numeric_values(values)
+        if not numeric:
+            return cls([], null_count=null_count)
+        lo, hi = min(numeric), max(numeric)
+        if lo == hi:
+            distinct = len(set(numeric))
+            return cls([Bucket(lo, hi, len(numeric), distinct)], null_count)
+        width = (hi - lo) / bucket_count
+        counters: List[Counter] = [Counter() for _ in range(bucket_count)]
+        for value in numeric:
+            index = min(int((value - lo) / width), bucket_count - 1)
+            counters[index][value] += 1
+        buckets = []
+        for index, counter in enumerate(counters):
+            if not counter:
+                continue
+            b_low = lo + index * width
+            b_high = lo + (index + 1) * width if index < bucket_count - 1 else hi
+            rows = sum(counter.values())
+            buckets.append(Bucket(b_low, b_high, rows, len(counter)))
+        return cls(buckets, null_count)
+
+
+class EquiDepthHistogram(Histogram):
+    """Buckets holding (approximately) equal row counts."""
+
+    kind = "equi-depth"
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[Any], bucket_count: int = 10
+    ) -> "EquiDepthHistogram":
+        """Build from raw column values.
+
+        Bucket boundaries land on value changes so buckets never overlap;
+        heavily duplicated values may make some buckets deeper than n/k,
+        matching real systems.
+        """
+        if bucket_count <= 0:
+            raise StatisticsError("bucket count must be positive")
+        null_count = sum(1 for value in values if value is None)
+        numeric = sorted(_numeric_values(values))
+        if not numeric:
+            return cls([], null_count=null_count)
+        total = len(numeric)
+        depth = max(1, total // bucket_count)
+        buckets: List[Bucket] = []
+        start = 0
+        while start < total:
+            end = min(start + depth, total)
+            # Extend to include all duplicates of the boundary value.
+            while end < total and numeric[end] == numeric[end - 1]:
+                end += 1
+            chunk = numeric[start:end]
+            buckets.append(
+                Bucket(chunk[0], chunk[-1], len(chunk), len(set(chunk)))
+            )
+            start = end
+        return cls(buckets, null_count)
+
+
+class CompressedHistogram(Histogram):
+    """Singleton buckets for frequent values + equi-depth for the rest ([52])."""
+
+    kind = "compressed"
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[Any],
+        bucket_count: int = 10,
+        singleton_count: Optional[int] = None,
+    ) -> "CompressedHistogram":
+        """Build with up to ``singleton_count`` singleton buckets.
+
+        A value earns a singleton bucket when its frequency exceeds the
+        average depth a plain equi-depth histogram would give it -- the
+        standard "high-biased" criterion.
+        """
+        if bucket_count <= 0:
+            raise StatisticsError("bucket count must be positive")
+        if singleton_count is None:
+            singleton_count = max(1, bucket_count // 2)
+        null_count = sum(1 for value in values if value is None)
+        numeric = _numeric_values(values)
+        if not numeric:
+            return cls([], null_count=null_count)
+        frequency = Counter(numeric)
+        threshold = len(numeric) / bucket_count
+        frequent = [
+            (value, count)
+            for value, count in frequency.most_common(singleton_count)
+            if count > threshold
+        ]
+        frequent_values = {value for value, _count in frequent}
+        remainder = [value for value in numeric if value not in frequent_values]
+        singleton_buckets = [
+            Bucket(value, value, count, 1) for value, count in frequent
+        ]
+        regular_count = max(1, bucket_count - len(singleton_buckets))
+        if remainder:
+            base = EquiDepthHistogram.from_values(remainder, regular_count)
+            regular_buckets = list(base.buckets)
+        else:
+            regular_buckets = []
+        merged = sorted(
+            singleton_buckets + regular_buckets, key=lambda bucket: bucket.low
+        )
+        # Singleton buckets may fall inside a regular bucket's range; split
+        # the regular buckets around them to keep ranges disjoint.
+        merged = _make_disjoint(merged)
+        return cls(merged, null_count)
+
+
+def _make_disjoint(buckets: List[Bucket]) -> List[Bucket]:
+    """Resolve overlaps by trimming wider buckets around singleton ones."""
+    result: List[Bucket] = []
+    for bucket in buckets:
+        if not result:
+            result.append(bucket)
+            continue
+        previous = result[-1]
+        if bucket.low > previous.high:
+            result.append(bucket)
+            continue
+        # Overlap.  Prefer the singleton; split the wide one around it so
+        # no row mass is lost.
+        if bucket.width == 0 and previous.width > 0:
+            trimmed_high = math.nextafter(bucket.low, -math.inf)
+            lower_fraction = (
+                (trimmed_high - previous.low) / previous.width
+                if trimmed_high >= previous.low
+                else 0.0
+            )
+            lower_fraction = max(0.0, min(1.0, lower_fraction))
+            result[-1] = Bucket(
+                previous.low,
+                max(previous.low, trimmed_high),
+                previous.row_count * lower_fraction,
+                max(1.0, previous.distinct_count * lower_fraction),
+            )
+            result.append(bucket)
+            upper_low = math.nextafter(bucket.high, math.inf)
+            if upper_low <= previous.high:
+                upper_fraction = max(0.0, 1.0 - lower_fraction)
+                upper_rows = previous.row_count * upper_fraction
+                if upper_rows > 0:
+                    result.append(
+                        Bucket(
+                            upper_low,
+                            previous.high,
+                            upper_rows,
+                            max(1.0, previous.distinct_count * upper_fraction),
+                        )
+                    )
+        elif previous.width == 0 and bucket.width > 0:
+            new_low = math.nextafter(previous.high, math.inf)
+            if new_low > bucket.high:
+                continue
+            fraction = (bucket.high - new_low) / bucket.width
+            result.append(
+                Bucket(
+                    new_low,
+                    bucket.high,
+                    bucket.row_count * fraction,
+                    max(1.0, bucket.distinct_count * fraction),
+                )
+            )
+        else:
+            # Two ranged buckets overlapping: merge them.
+            result[-1] = Bucket(
+                previous.low,
+                max(previous.high, bucket.high),
+                previous.row_count + bucket.row_count,
+                previous.distinct_count + bucket.distinct_count,
+            )
+    return result
+
+
+class MaxDiffHistogram(Histogram):
+    """MaxDiff(V, F) histogram from the taxonomy of [52].
+
+    Bucket boundaries are placed at the k-1 largest differences between
+    adjacent values' frequencies, so buckets group values with similar
+    frequency -- the property that makes the uniform-frequency
+    assumption inside a bucket nearly true.
+    """
+
+    kind = "maxdiff"
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[Any], bucket_count: int = 10
+    ) -> "MaxDiffHistogram":
+        """Build from raw values.
+
+        Raises:
+            StatisticsError: for a non-positive bucket count.
+        """
+        if bucket_count <= 0:
+            raise StatisticsError("bucket count must be positive")
+        null_count = sum(1 for value in values if value is None)
+        numeric = _numeric_values(values)
+        if not numeric:
+            return cls([], null_count=null_count)
+        frequency = Counter(numeric)
+        ordered = sorted(frequency.items())
+        if len(ordered) <= bucket_count:
+            buckets = [
+                Bucket(value, value, count, 1) for value, count in ordered
+            ]
+            return cls(buckets, null_count)
+        # Differences between adjacent frequencies; cut at the largest.
+        diffs = [
+            (abs(ordered[i + 1][1] - ordered[i][1]), i)
+            for i in range(len(ordered) - 1)
+        ]
+        cut_positions = sorted(
+            index for _diff, index in sorted(diffs, reverse=True)[: bucket_count - 1]
+        )
+        buckets: List[Bucket] = []
+        start = 0
+        for cut in cut_positions + [len(ordered) - 1]:
+            chunk = ordered[start : cut + 1]
+            if chunk:
+                buckets.append(
+                    Bucket(
+                        chunk[0][0],
+                        chunk[-1][0],
+                        sum(count for _value, count in chunk),
+                        len(chunk),
+                    )
+                )
+            start = cut + 1
+        return cls(buckets, null_count)
+
+
+class TwoDimHistogram:
+    """A joint (2-D) histogram over two numeric columns ([45, 51]).
+
+    A coarse grid of cells, each counting rows whose value pair falls in
+    the cell.  Captures the column correlation that the independence
+    assumption misses (Section 5.1.3).
+    """
+
+    def __init__(
+        self,
+        x_bounds: Sequence[float],
+        y_bounds: Sequence[float],
+        cells: Dict[Tuple[int, int], float],
+        total: float,
+    ) -> None:
+        self.x_bounds = list(x_bounds)
+        self.y_bounds = list(y_bounds)
+        self.cells = dict(cells)
+        self.total = float(total)
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[Tuple[Any, Any]], grid: int = 8
+    ) -> "TwoDimHistogram":
+        """Build a ``grid x grid`` histogram from (x, y) pairs."""
+        clean = [
+            (float(x), float(y)) for x, y in pairs if x is not None and y is not None
+        ]
+        if not clean:
+            return cls([0.0, 1.0], [0.0, 1.0], {}, 0.0)
+        xs = sorted({x for x, _y in clean})
+        ys = sorted({y for _x, y in clean})
+        x_bounds = _grid_bounds(xs, grid)
+        y_bounds = _grid_bounds(ys, grid)
+        cells: Dict[Tuple[int, int], float] = {}
+        for x, y in clean:
+            i = _cell_of(x, x_bounds)
+            j = _cell_of(y, y_bounds)
+            cells[(i, j)] = cells.get((i, j), 0.0) + 1.0
+        return cls(x_bounds, y_bounds, cells, len(clean))
+
+    def estimate_conjunction(
+        self,
+        x_low: Optional[float],
+        x_high: Optional[float],
+        y_low: Optional[float],
+        y_high: Optional[float],
+    ) -> float:
+        """Joint selectivity of ``x in [x_low,x_high] AND y in [y_low,y_high]``."""
+        if self.total <= 0:
+            return 0.0
+        covered = 0.0
+        for (i, j), count in self.cells.items():
+            x_fraction = _overlap_fraction(self.x_bounds, i, x_low, x_high)
+            y_fraction = _overlap_fraction(self.y_bounds, j, y_low, y_high)
+            covered += count * x_fraction * y_fraction
+        return max(0.0, min(1.0, covered / self.total))
+
+
+def _grid_bounds(sorted_values: List[float], grid: int) -> List[float]:
+    lo, hi = sorted_values[0], sorted_values[-1]
+    if lo == hi:
+        return [lo, hi]
+    step = (hi - lo) / grid
+    return [lo + k * step for k in range(grid)] + [hi]
+
+
+def _cell_of(value: float, bounds: List[float]) -> int:
+    if len(bounds) < 2:
+        return 0
+    index = bisect.bisect_right(bounds, value) - 1
+    return max(0, min(index, len(bounds) - 2))
+
+
+def _overlap_fraction(
+    bounds: List[float], index: int, low: Optional[float], high: Optional[float]
+) -> float:
+    cell_low = bounds[index]
+    cell_high = bounds[min(index + 1, len(bounds) - 1)]
+    lo = cell_low if low is None else max(cell_low, low)
+    hi = cell_high if high is None else min(cell_high, high)
+    if lo > hi:
+        return 0.0
+    if cell_high == cell_low:
+        return 1.0
+    return min(1.0, (hi - lo) / (cell_high - cell_low))

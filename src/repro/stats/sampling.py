@@ -1,0 +1,145 @@
+"""Sampling-based statistics construction (Section 5.1.2).
+
+[48] showed a small sample suffices to build a histogram accurate *for a
+given query*; [11] studies how much is needed for accuracy over a whole
+query class.  These helpers build histograms from row samples and
+measure their estimation error against the full data, so benchmark E8
+can plot error versus sample fraction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import StatisticsError
+from repro.stats.histogram import (
+    CompressedHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    Histogram,
+    MaxDiffHistogram,
+)
+
+_BUILDERS = {
+    "equi-width": EquiWidthHistogram.from_values,
+    "equi-depth": EquiDepthHistogram.from_values,
+    "compressed": CompressedHistogram.from_values,
+    "maxdiff": MaxDiffHistogram.from_values,
+}
+
+
+def sample_values(
+    values: Sequence[Any],
+    fraction: float,
+    rng: Optional[random.Random] = None,
+) -> List[Any]:
+    """Uniform random sample (without replacement) of a value sequence.
+
+    Raises:
+        StatisticsError: for a fraction outside (0, 1].
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise StatisticsError("sample fraction must be in (0, 1]")
+    if rng is None:
+        rng = random.Random(0)
+    size = max(1, int(len(values) * fraction))
+    if size >= len(values):
+        return list(values)
+    return rng.sample(list(values), size)
+
+
+def histogram_from_sample(
+    values: Sequence[Any],
+    fraction: float,
+    kind: str = "equi-depth",
+    bucket_count: int = 20,
+    rng: Optional[random.Random] = None,
+) -> Histogram:
+    """Build a histogram from a sample, scaled up to the full cardinality.
+
+    Bucket row counts are multiplied by 1/fraction so selectivity
+    estimates are directly comparable to a full-data histogram.
+
+    Raises:
+        StatisticsError: on unknown kind or bad fraction.
+    """
+    try:
+        builder = _BUILDERS[kind]
+    except KeyError as exc:
+        raise StatisticsError(f"unknown histogram kind {kind!r}") from exc
+    sample = sample_values(values, fraction, rng=rng)
+    histogram = builder(sample, bucket_count)
+    scale = len([v for v in values if v is not None]) / max(
+        1, len([v for v in sample if v is not None])
+    )
+    return histogram.scale_rows(scale)
+
+
+def range_query_error(
+    histogram: Histogram,
+    values: Sequence[Any],
+    low: float,
+    high: float,
+) -> float:
+    """Absolute selectivity error of the histogram on one range query."""
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return 0.0
+    truth = sum(1 for v in non_null if low <= v <= high) / len(non_null)
+    estimate = histogram.estimate_range(low, high)
+    return abs(estimate - truth)
+
+
+def average_range_error(
+    histogram: Histogram,
+    values: Sequence[Any],
+    query_count: int = 100,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Mean absolute selectivity error over random range queries.
+
+    The query workload draws endpoints uniformly from the value domain,
+    approximating the "large class of queries" of [11].
+    """
+    if rng is None:
+        rng = random.Random(1)
+    non_null = sorted(v for v in values if v is not None)
+    if not non_null:
+        return 0.0
+    lo, hi = float(non_null[0]), float(non_null[-1])
+    if lo == hi:
+        return range_query_error(histogram, values, lo, hi)
+    total = 0.0
+    for _ in range(query_count):
+        a, b = rng.uniform(lo, hi), rng.uniform(lo, hi)
+        total += range_query_error(histogram, values, min(a, b), max(a, b))
+    return total / query_count
+
+
+def average_point_error(
+    histogram: Histogram,
+    values: Sequence[Any],
+    query_count: int = 100,
+    rng: Optional[random.Random] = None,
+) -> float:
+    """Mean absolute selectivity error over random equality queries.
+
+    Query points are drawn from the *data* (value-weighted), matching how
+    point queries arrive in practice and stressing skewed distributions.
+    """
+    if rng is None:
+        rng = random.Random(2)
+    non_null = [v for v in values if v is not None]
+    if not non_null:
+        return 0.0
+    total = 0.0
+    from collections import Counter
+
+    frequency = Counter(non_null)
+    n = len(non_null)
+    for _ in range(query_count):
+        point = rng.choice(non_null)
+        truth = frequency[point] / n
+        total += abs(histogram.estimate_eq(point) - truth)
+    return total / query_count

@@ -1,0 +1,230 @@
+"""Selectivity estimation for predicates (Sections 5.1.3 and 5.2).
+
+Estimates the fraction of rows satisfying a predicate, using column
+statistics and histograms when available and falling back to the
+System-R "ad hoc constants" of [55] when not.  Conjunctions multiply
+selectivities under the independence assumption -- the error source the
+paper calls out -- with an optional DB2-style mode that uses only the
+most selective conjunct ([17]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.expr.expressions import (
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    NotExpr,
+    UdfCall,
+)
+from repro.stats.summaries import ColumnStats, TableStats
+
+# The System-R fallback constants [55].
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_JOIN_SELECTIVITY = 0.1
+DEFAULT_GENERIC_SELECTIVITY = 0.25
+
+
+class SelectivityEstimator:
+    """Predicate selectivity estimation over a set of aliased tables.
+
+    Args:
+        stats_by_alias: table statistics keyed by the alias used in the
+            query (several aliases may share one underlying table).
+        independence: if True (default), AND multiplies conjunct
+            selectivities; if False, only the most selective conjunct is
+            used (the conservative mode of [17]).
+    """
+
+    def __init__(
+        self,
+        stats_by_alias: Dict[str, TableStats],
+        independence: bool = True,
+    ) -> None:
+        self._stats = dict(stats_by_alias)
+        self.independence = independence
+
+    # ------------------------------------------------------------------
+    # Column statistics lookup
+    # ------------------------------------------------------------------
+    def column_stats(self, ref: ColumnRef) -> Optional[ColumnStats]:
+        """Stats for an aliased column, or None when not collected."""
+        table_stats = self._stats.get(ref.table)
+        if table_stats is None:
+            return None
+        return table_stats.column(ref.column)
+
+    def distinct_count(self, ref: ColumnRef) -> Optional[float]:
+        """Distinct-value count for a column when known."""
+        stats = self.column_stats(ref)
+        if stats is None or stats.distinct_count <= 0:
+            return None
+        return stats.distinct_count
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def selectivity(self, predicate: Optional[Expr]) -> float:
+        """Estimated fraction of rows satisfying the predicate (in [0, 1])."""
+        if predicate is None:
+            return 1.0
+        result = self._estimate(predicate)
+        return max(0.0, min(1.0, result))
+
+    def _estimate(self, predicate: Expr) -> float:
+        if isinstance(predicate, Comparison):
+            return self._comparison(predicate)
+        if isinstance(predicate, BoolExpr):
+            if predicate.op is BoolOp.AND:
+                parts = [self._estimate(arg) for arg in predicate.args]
+                if self.independence:
+                    product = 1.0
+                    for part in parts:
+                        product *= part
+                    return product
+                return min(parts)
+            # OR via inclusion-exclusion, pairwise-independent approximation.
+            result = 0.0
+            for part in (self._estimate(arg) for arg in predicate.args):
+                result = result + part - result * part
+            return result
+        if isinstance(predicate, NotExpr):
+            return 1.0 - self._estimate(predicate.arg)
+        if isinstance(predicate, IsNull):
+            return self._is_null(predicate)
+        if isinstance(predicate, InList):
+            return self._in_list(predicate)
+        if isinstance(predicate, UdfCall):
+            return predicate.selectivity
+        if isinstance(predicate, Literal):
+            if predicate.value is True:
+                return 1.0
+            return 0.0
+        return DEFAULT_GENERIC_SELECTIVITY
+
+    # ------------------------------------------------------------------
+    # Comparison predicates
+    # ------------------------------------------------------------------
+    def _comparison(self, predicate: Comparison) -> float:
+        left, right, op = predicate.left, predicate.right, predicate.op
+        # Normalize to column-on-the-left.
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right, op = right, left, op.flip()
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return self._column_vs_literal(left, op, right.value)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            if left.table == right.table:
+                return DEFAULT_GENERIC_SELECTIVITY
+            return self.join_selectivity(left, right, op)
+        return DEFAULT_GENERIC_SELECTIVITY
+
+    def _column_vs_literal(
+        self, ref: ColumnRef, op: ComparisonOp, value: object
+    ) -> float:
+        stats = self.column_stats(ref)
+        if op is ComparisonOp.EQ:
+            if stats is not None and stats.histogram is not None:
+                estimate = stats.histogram.estimate_eq(value)
+                return estimate * (1.0 - stats.null_fraction)
+            if stats is not None and stats.distinct_count > 0:
+                return (1.0 - stats.null_fraction) / stats.distinct_count
+            return DEFAULT_EQ_SELECTIVITY
+        if op is ComparisonOp.NE:
+            return 1.0 - self._column_vs_literal(ref, ComparisonOp.EQ, value)
+        # Range comparison.  Strict bounds subtract the boundary value's
+        # own frequency so that sel(<= c) + sel(> c) ~= 1.
+        if stats is not None and stats.histogram is not None:
+            numeric = _as_float(value)
+            if numeric is not None:
+                if op in (ComparisonOp.LT, ComparisonOp.LE):
+                    estimate = stats.histogram.estimate_range(None, numeric)
+                    if op is ComparisonOp.LT:
+                        estimate -= stats.histogram.estimate_eq(numeric)
+                else:
+                    estimate = stats.histogram.estimate_range(numeric, None)
+                    if op is ComparisonOp.GT:
+                        estimate -= stats.histogram.estimate_eq(numeric)
+                estimate = max(0.0, min(1.0, estimate))
+                return estimate * (1.0 - stats.null_fraction)
+        if stats is not None:
+            interpolated = _interpolate(stats, op, value)
+            if interpolated is not None:
+                return interpolated * (1.0 - stats.null_fraction)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def join_selectivity(
+        self, left: ColumnRef, right: ColumnRef, op: ComparisonOp = ComparisonOp.EQ
+    ) -> float:
+        """Selectivity of a join predicate between two relations.
+
+        The classical 1 / max(d_left, d_right) containment estimate for
+        equijoins; range joins fall back to the System-R constant.
+        """
+        if op is not ComparisonOp.EQ:
+            return DEFAULT_RANGE_SELECTIVITY
+        d_left = self.distinct_count(left)
+        d_right = self.distinct_count(right)
+        if d_left is None and d_right is None:
+            return DEFAULT_JOIN_SELECTIVITY
+        if d_left is None:
+            return 1.0 / d_right
+        if d_right is None:
+            return 1.0 / d_left
+        return 1.0 / max(d_left, d_right)
+
+    # ------------------------------------------------------------------
+    # Other predicate shapes
+    # ------------------------------------------------------------------
+    def _is_null(self, predicate: IsNull) -> float:
+        if isinstance(predicate.arg, ColumnRef):
+            stats = self.column_stats(predicate.arg)
+            if stats is not None:
+                fraction = stats.null_fraction
+                return 1.0 - fraction if predicate.negated else fraction
+        return 0.05 if not predicate.negated else 0.95
+
+    def _in_list(self, predicate: InList) -> float:
+        if not isinstance(predicate.arg, ColumnRef):
+            return DEFAULT_GENERIC_SELECTIVITY
+        total = 0.0
+        for value in predicate.values:
+            if isinstance(value, Literal):
+                total += self._column_vs_literal(
+                    predicate.arg, ComparisonOp.EQ, value.value
+                )
+        return min(1.0, total)
+
+
+def _as_float(value: object) -> Optional[float]:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+def _interpolate(
+    stats: ColumnStats, op: ComparisonOp, value: object
+) -> Optional[float]:
+    """Min/max linear interpolation using the robust extremes."""
+    numeric = _as_float(value)
+    lo = _as_float(stats.robust_min())
+    hi = _as_float(stats.robust_max())
+    if numeric is None or lo is None or hi is None:
+        return None
+    if hi <= lo:
+        return DEFAULT_RANGE_SELECTIVITY
+    fraction = (numeric - lo) / (hi - lo)
+    fraction = max(0.0, min(1.0, fraction))
+    if op in (ComparisonOp.LT, ComparisonOp.LE):
+        return fraction
+    return 1.0 - fraction

@@ -1,0 +1,6 @@
+"""Storage engine: page-modelled heap tables and index structures."""
+
+from repro.storage.index import HashIndex, OrderedIndex
+from repro.storage.table import DEFAULT_PAGE_SIZE_BYTES, HeapTable
+
+__all__ = ["HashIndex", "OrderedIndex", "HeapTable", "DEFAULT_PAGE_SIZE_BYTES"]

@@ -1,0 +1,237 @@
+"""Secondary index structures: ordered (B-tree-like) and hash indexes.
+
+The ordered index stores ``(key, row_id)`` pairs in sorted order and
+supports point lookups, range scans, and full ordered scans -- the three
+access patterns the optimizer cares about.  A real B-tree's node structure
+is irrelevant to optimization decisions; what matters is the *page count*
+of the index and whether it is clustered, both of which are modelled.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import IndexDef
+from repro.errors import StorageError
+from repro.storage.table import HeapTable
+
+Key = Tuple[Any, ...]
+
+# Modelled size of one index entry: key bytes are approximated by the
+# indexed columns' widths plus an 8-byte row pointer.
+_ROW_POINTER_BYTES = 8
+
+
+class OrderedIndex:
+    """A sorted ``(key, row_id)`` index supporting point and range access.
+
+    Keys with ``None`` components are excluded, matching SQL semantics where
+    NULL never satisfies an index-seek predicate.
+
+    Args:
+        definition: index metadata (columns, clustered/unique flags).
+        table: the indexed heap table.
+    """
+
+    def __init__(self, definition: IndexDef, table: HeapTable) -> None:
+        self.definition = definition
+        self.table = table
+        self._column_positions = [
+            table.schema.column_index(name) for name in definition.columns
+        ]
+        key_width = sum(
+            table.schema.column(name).width_bytes for name in definition.columns
+        )
+        self._entry_width = key_width + _ROW_POINTER_BYTES
+        self._keys: List[Key] = []
+        self._row_ids: List[int] = []
+        self.build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """(Re)build the index from the current table contents."""
+        entries: List[Tuple[Key, int]] = []
+        for row_id, row in self.table.scan():
+            key = tuple(row[position] for position in self._column_positions)
+            if any(part is None for part in key):
+                continue
+            entries.append((key, row_id))
+        entries.sort(key=lambda entry: entry[0])
+        if self.definition.unique:
+            for left, right in zip(entries, entries[1:]):
+                if left[0] == right[0]:
+                    raise StorageError(
+                        f"duplicate key {left[0]!r} in unique index "
+                        f"{self.definition.name!r}"
+                    )
+        self._keys = [entry[0] for entry in entries]
+        self._row_ids = [entry[1] for entry in entries]
+
+    # ------------------------------------------------------------------
+    # Modelled size
+    # ------------------------------------------------------------------
+    @property
+    def entry_count(self) -> int:
+        """Number of index entries."""
+        return len(self._keys)
+
+    @property
+    def page_count(self) -> int:
+        """Modelled leaf-page count of the index."""
+        if not self._keys:
+            return 0
+        per_page = max(1, self.table.page_size_bytes // self._entry_width)
+        return (len(self._keys) + per_page - 1) // per_page
+
+    @property
+    def height(self) -> int:
+        """Modelled B-tree height (root-to-leaf), used for seek cost."""
+        pages = self.page_count
+        height = 1
+        fanout = max(2, self.table.page_size_bytes // self._entry_width)
+        while pages > 1:
+            pages = (pages + fanout - 1) // fanout
+            height += 1
+        return height
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def _as_key(self, value: Any) -> Key:
+        if isinstance(value, tuple):
+            return value
+        return (value,)
+
+    def seek(self, key: Any) -> List[int]:
+        """Row ids whose full key equals ``key`` (point lookup).
+
+        NULL key components never match (SQL seek semantics).
+        """
+        key = self._as_key(key)
+        if any(part is None for part in key):
+            return []
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        return self._row_ids[left:right]
+
+    def seek_prefix(self, prefix: Any) -> List[int]:
+        """Row ids whose key starts with ``prefix`` (leading-column lookup).
+
+        NULL prefix components never match.
+        """
+        prefix = self._as_key(prefix)
+        if any(part is None for part in prefix):
+            return []
+        left = bisect.bisect_left(self._keys, prefix)
+        row_ids: List[int] = []
+        for position in range(left, len(self._keys)):
+            if self._keys[position][: len(prefix)] != prefix:
+                break
+            row_ids.append(self._row_ids[position])
+        return row_ids
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[int]:
+        """Row ids with keys in ``[low, high]`` (bounds optional/inclusive)."""
+        if low is None:
+            left = 0
+        else:
+            low_key = self._as_key(low)
+            left = (
+                bisect.bisect_left(self._keys, low_key)
+                if include_low
+                else bisect.bisect_right(self._keys, low_key)
+            )
+        if high is None:
+            right = len(self._keys)
+        else:
+            high_key = self._as_key(high)
+            right = (
+                bisect.bisect_right(self._keys, high_key)
+                if include_high
+                else bisect.bisect_left(self._keys, high_key)
+            )
+        return self._row_ids[left:right]
+
+    def ordered_row_ids(self, descending: bool = False) -> List[int]:
+        """All row ids in key order -- an ordered index scan."""
+        if descending:
+            return list(reversed(self._row_ids))
+        return list(self._row_ids)
+
+    def ordered_entries(self) -> Iterator[Tuple[Key, int]]:
+        """Yield ``(key, row_id)`` in ascending key order."""
+        return zip(iter(self._keys), iter(self._row_ids))
+
+    def __repr__(self) -> str:
+        kind = "clustered" if self.definition.clustered else "unclustered"
+        return (
+            f"OrderedIndex({self.definition.name} on "
+            f"{self.definition.table}({', '.join(self.definition.columns)}), "
+            f"{kind}, entries={self.entry_count})"
+        )
+
+
+class HashIndex:
+    """An equality-only index mapping keys to row-id lists.
+
+    Useful to model hash-based access paths; has no order, so it never
+    contributes an interesting order to the optimizer.
+    """
+
+    def __init__(self, definition: IndexDef, table: HeapTable) -> None:
+        self.definition = definition
+        self.table = table
+        self._column_positions = [
+            table.schema.column_index(name) for name in definition.columns
+        ]
+        self._buckets: Dict[Key, List[int]] = {}
+        self.build()
+
+    def build(self) -> None:
+        """(Re)build the hash buckets from the current table contents."""
+        buckets: Dict[Key, List[int]] = {}
+        for row_id, row in self.table.scan():
+            key = tuple(row[position] for position in self._column_positions)
+            if any(part is None for part in key):
+                continue
+            buckets.setdefault(key, []).append(row_id)
+        if self.definition.unique:
+            for key, ids in buckets.items():
+                if len(ids) > 1:
+                    raise StorageError(
+                        f"duplicate key {key!r} in unique index "
+                        f"{self.definition.name!r}"
+                    )
+        self._buckets = buckets
+
+    @property
+    def entry_count(self) -> int:
+        """Number of indexed rows."""
+        return sum(len(ids) for ids in self._buckets.values())
+
+    @property
+    def distinct_keys(self) -> int:
+        """Number of distinct key values."""
+        return len(self._buckets)
+
+    def seek(self, key: Any) -> List[int]:
+        """Row ids whose key equals ``key``."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        return list(self._buckets.get(key, ()))
+
+    def __repr__(self) -> str:
+        return (
+            f"HashIndex({self.definition.name} on "
+            f"{self.definition.table}({', '.join(self.definition.columns)}), "
+            f"keys={self.distinct_keys})"
+        )

@@ -1,0 +1,117 @@
+"""In-memory heap tables with a simulated page model.
+
+The survey's cost discussion (Section 5) is phrased in terms of *pages*:
+the number of data pages in a relation, pages in an index, and buffer-pool
+behaviour.  We therefore store rows in memory but expose a faithful page
+abstraction -- each table reports how many pages it occupies and the
+executor counts page reads, so that measured I/O matches the analytic cost
+model's vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.catalog.schema import TableSchema
+from repro.errors import StorageError
+
+DEFAULT_PAGE_SIZE_BYTES = 8192
+
+Row = Tuple[Any, ...]
+
+
+class HeapTable:
+    """A heap of rows honouring a :class:`TableSchema`, organised into pages.
+
+    Rows are stored in insertion order.  ``rows_per_page`` is derived from
+    the schema's modelled row width and the page size, mimicking how a disk
+    based system packs fixed-width rows into slotted pages.
+
+    Args:
+        schema: the table schema.
+        page_size_bytes: modelled page capacity (default 8 KiB).
+    """
+
+    def __init__(
+        self, schema: TableSchema, page_size_bytes: int = DEFAULT_PAGE_SIZE_BYTES
+    ) -> None:
+        if page_size_bytes <= 0:
+            raise StorageError("page size must be positive")
+        self.schema = schema
+        self.page_size_bytes = page_size_bytes
+        self.rows_per_page = max(1, page_size_bytes // schema.row_width_bytes)
+        self._rows: List[Row] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any]) -> int:
+        """Validate and append one row; returns its row id (position)."""
+        validated = self.schema.validate_row(row)
+        self._rows.append(validated)
+        return len(self._rows) - 1
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def truncate(self) -> None:
+        """Remove all rows."""
+        self._rows.clear()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        """Number of stored rows (the paper's cardinality statistic)."""
+        return len(self._rows)
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages the table occupies (the paper's pages statistic)."""
+        if not self._rows:
+            return 0
+        return (len(self._rows) + self.rows_per_page - 1) // self.rows_per_page
+
+    def fetch(self, row_id: int) -> Row:
+        """Fetch one row by id.
+
+        Raises:
+            StorageError: if the id is out of range.
+        """
+        if not 0 <= row_id < len(self._rows):
+            raise StorageError(
+                f"row id {row_id} out of range for table {self.schema.name!r}"
+            )
+        return self._rows[row_id]
+
+    def page_of(self, row_id: int) -> int:
+        """The page number holding a given row id."""
+        return row_id // self.rows_per_page
+
+    def scan(self) -> Iterator[Tuple[int, Row]]:
+        """Yield ``(row_id, row)`` pairs in heap order."""
+        return enumerate(iter(self._rows))
+
+    def rows(self) -> List[Row]:
+        """All rows as a list (copy-free view; callers must not mutate)."""
+        return self._rows
+
+    def column_values(self, column: str) -> List[Any]:
+        """All values of one column, in heap order."""
+        index = self.schema.column_index(column)
+        return [row[index] for row in self._rows]
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"HeapTable({self.schema.name}, rows={self.row_count}, "
+            f"pages={self.page_count})"
+        )

@@ -1,0 +1,111 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro import Database
+from repro.catalog import Catalog, Column, ColumnType
+from repro.datagen import build_chain_tables, build_emp_dept, build_star_schema
+
+
+@pytest.fixture
+def empty_catalog() -> Catalog:
+    """A fresh, empty catalog."""
+    return Catalog()
+
+
+@pytest.fixture
+def emp_dept_db() -> Database:
+    """A database with a small, analyzed Emp/Dept workload."""
+    db = Database()
+    build_emp_dept(db.catalog, emp_rows=200, dept_rows=20, rng=random.Random(3))
+    db.analyze()
+    return db
+
+
+@pytest.fixture
+def star_db() -> Database:
+    """A database with a small star schema."""
+    db = Database()
+    build_star_schema(
+        db.catalog,
+        fact_rows=500,
+        dimension_count=3,
+        dimension_rows=25,
+        rng=random.Random(5),
+    )
+    db.analyze()
+    return db
+
+
+@pytest.fixture
+def chain_catalog() -> Tuple[Catalog, List[str]]:
+    """A catalog with four small chain-joinable relations."""
+    catalog = Catalog()
+    names = build_chain_tables(
+        catalog, 4, rows_per_relation=50, rng=random.Random(9)
+    )
+    return catalog, names
+
+
+def _row_sort_key(row):
+    return tuple(
+        (value is None, type(value).__name__, value if value is not None else 0)
+        for value in row
+    )
+
+
+def _rows_equal(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, float) and isinstance(b, (int, float)):
+            if abs(a - b) > 1e-6 * max(1.0, abs(a), abs(b)):
+                return False
+        elif isinstance(b, float) and isinstance(a, (int, float)):
+            if abs(a - b) > 1e-6 * max(1.0, abs(a), abs(b)):
+                return False
+        elif a != b:
+            return False
+    return True
+
+
+def assert_same_rows(got, want, msg: str = "") -> None:
+    """Order-insensitive multiset comparison of row lists.
+
+    NULL-safe and float-tolerant: optimized plans may sum floats in a
+    different order than the reference evaluator.
+    """
+    normalized_got = sorted((tuple(row) for row in got), key=_row_sort_key)
+    normalized_want = sorted((tuple(row) for row in want), key=_row_sort_key)
+    equal = len(normalized_got) == len(normalized_want) and all(
+        _rows_equal(g, w) for g, w in zip(normalized_got, normalized_want)
+    )
+    assert equal, (
+        f"{msg} row mismatch: got {len(normalized_got)} rows, "
+        f"want {len(normalized_want)}; first diff: "
+        f"{_first_diff(normalized_got, normalized_want)}"
+    )
+
+
+def _first_diff(got, want):
+    for g, w in zip(got, want):
+        if g != w:
+            return (g, w)
+    if len(got) != len(want):
+        longer = got if len(got) > len(want) else want
+        return longer[min(len(got), len(want))]
+    return None
+
+
+def run_both(db: Database, sql: str):
+    """Run a query through the optimizer and the reference interpreter;
+    assert equal results and return the optimized result."""
+    result = db.sql(sql)
+    _schema, reference_rows, _stats = db.naive(sql)
+    assert_same_rows(result.rows, reference_rows, msg=sql)
+    return result

@@ -1,0 +1,106 @@
+"""Unit tests for aggregate functions, accumulators, and staging."""
+
+import pytest
+
+from repro.expr import AggFunc, AggregateCall, col, decompose_for_staging
+
+
+class TestAccumulator:
+    def test_count(self):
+        acc = AggregateCall(AggFunc.COUNT, col("T", "a")).new_accumulator()
+        for value in (1, None, 2):
+            acc.add(value)
+        assert acc.result() == 2  # NULLs ignored
+
+    def test_sum_and_avg(self):
+        sum_acc = AggregateCall(AggFunc.SUM, col("T", "a")).new_accumulator()
+        avg_acc = AggregateCall(AggFunc.AVG, col("T", "a")).new_accumulator()
+        for value in (1, 2, 3):
+            sum_acc.add(value)
+            avg_acc.add(value)
+        assert sum_acc.result() == 6
+        assert avg_acc.result() == 2
+
+    def test_min_max(self):
+        min_acc = AggregateCall(AggFunc.MIN, col("T", "a")).new_accumulator()
+        max_acc = AggregateCall(AggFunc.MAX, col("T", "a")).new_accumulator()
+        for value in (3, 1, 2):
+            min_acc.add(value)
+            max_acc.add(value)
+        assert min_acc.result() == 1
+        assert max_acc.result() == 3
+
+    def test_empty_group_semantics(self):
+        assert AggregateCall(AggFunc.COUNT, col("T", "a")).new_accumulator().result() == 0
+        assert AggregateCall(AggFunc.SUM, col("T", "a")).new_accumulator().result() is None
+        assert AggregateCall(AggFunc.MIN, col("T", "a")).new_accumulator().result() is None
+
+    def test_merge(self):
+        call = AggregateCall(AggFunc.SUM, col("T", "a"))
+        left, right = call.new_accumulator(), call.new_accumulator()
+        left.add(1)
+        right.add(2)
+        left.merge(right)
+        assert left.result() == 3
+
+    def test_merge_mismatched(self):
+        a = AggregateCall(AggFunc.SUM, col("T", "a")).new_accumulator()
+        b = AggregateCall(AggFunc.MIN, col("T", "a")).new_accumulator()
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_add_partial_count(self):
+        acc = AggregateCall(AggFunc.COUNT, col("T", "a")).new_accumulator()
+        acc.add_partial(5, 5)
+        acc.add_partial(3, 3)
+        assert acc.result() == 8
+
+    def test_add_partial_avg_rejected(self):
+        acc = AggregateCall(AggFunc.AVG, col("T", "a")).new_accumulator()
+        with pytest.raises(ValueError):
+            acc.add_partial(5, 2)
+
+
+class TestAggregateCall:
+    def test_count_star(self):
+        call = AggregateCall(AggFunc.COUNT, None)
+        assert call.is_star
+        assert call.columns() == frozenset()
+
+    def test_non_count_requires_arg(self):
+        with pytest.raises(ValueError):
+            AggregateCall(AggFunc.SUM, None)
+
+    def test_default_alias(self):
+        call = AggregateCall(AggFunc.SUM, col("T", "sal"))
+        assert call.alias == "sum_T_sal"
+
+    def test_stageable(self):
+        assert AggregateCall(AggFunc.SUM, col("T", "a")).stageable
+        assert not AggregateCall(AggFunc.SUM, col("T", "a"), distinct=True).stageable
+
+    def test_tables(self):
+        assert AggregateCall(AggFunc.SUM, col("T", "a")).tables() == {"T"}
+
+
+class TestStaging:
+    def test_avg_decomposes_to_sum_count(self):
+        calls = [AggregateCall(AggFunc.AVG, col("T", "a"))]
+        partials, plan = decompose_for_staging(calls)
+        funcs = sorted(partial.func.value for partial in partials)
+        assert funcs == ["COUNT", "SUM"]
+        assert "/" in plan[0][1]
+
+    def test_shared_partials(self):
+        calls = [
+            AggregateCall(AggFunc.AVG, col("T", "a")),
+            AggregateCall(AggFunc.SUM, col("T", "a")),
+        ]
+        partials, _plan = decompose_for_staging(calls)
+        # SUM partial is shared between AVG and SUM.
+        assert len(partials) == 2
+
+    def test_distinct_not_stageable(self):
+        calls = [AggregateCall(AggFunc.SUM, col("T", "a"), distinct=True)]
+        with pytest.raises(ValueError):
+            decompose_for_staging(calls)

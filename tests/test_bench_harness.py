@@ -1,0 +1,60 @@
+"""Tests for the benchmark reporting helpers."""
+
+import os
+
+import pytest
+
+from benchmarks.harness import RESULTS_DIR, format_table, report, rows_match
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "n"], [("alpha", 1), ("b", 22)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert all(len(line) >= len("alpha") for line in lines[2:])
+
+    def test_float_formatting(self):
+        table = format_table(["v"], [(0.123456,), (123456.0,), (0.0001,)])
+        assert "0.123" in table
+        assert "1.23e+05" in table
+        assert "0.0001" in table
+
+    def test_zero(self):
+        assert "0" in format_table(["v"], [(0.0,)])
+
+
+class TestRowsMatch:
+    def test_order_insensitive(self):
+        assert rows_match([(1, 2), (3, 4)], [(3, 4), (1, 2)])
+
+    def test_float_tolerance(self):
+        assert rows_match([(1.0000001,)], [(1.0,)])
+        assert not rows_match([(1.1,)], [(1.0,)])
+
+    def test_null_handling(self):
+        assert rows_match([(None, 1)], [(None, 1)])
+        assert not rows_match([(None,)], [(1,)])
+
+    def test_length_mismatch(self):
+        assert not rows_match([(1,)], [(1,), (2,)])
+
+    def test_mixed_types(self):
+        assert rows_match([("a", 1)], [("a", 1)])
+        assert not rows_match([("a",)], [("b",)])
+
+    def test_int_float_equality(self):
+        assert rows_match([(3,)], [(3.0,)])
+
+
+class TestReport:
+    def test_writes_result_file(self, capsys):
+        report("TST", "unit-test table", ["a"], [(1,)], notes="hello")
+        path = os.path.join(RESULTS_DIR, "tst.txt")
+        assert os.path.exists(path)
+        with open(path) as handle:
+            content = handle.read()
+        assert "unit-test table" in content
+        assert "hello" in content
+        os.remove(path)

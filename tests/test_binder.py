@@ -1,0 +1,207 @@
+"""Unit tests for name resolution and QGM construction."""
+
+import pytest
+
+from repro.errors import BindError
+from repro.expr import ColumnRef
+from repro.logical.qgm import SubqueryKind
+from repro.sql import Binder, UdfRegistration
+
+
+@pytest.fixture
+def binder(emp_dept_db):
+    return Binder(emp_dept_db.catalog)
+
+
+class TestResolution:
+    def test_qualified(self, binder):
+        block = binder.bind_sql("SELECT E.name FROM Emp E")
+        assert block.select_items[0].expr == ColumnRef("E", "name")
+
+    def test_bare_unique(self, binder):
+        block = binder.bind_sql("SELECT sal FROM Emp")
+        assert block.select_items[0].expr == ColumnRef("Emp", "sal")
+
+    def test_bare_ambiguous(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT name FROM Emp, Dept")
+
+    def test_unknown_column(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT wages FROM Emp")
+
+    def test_unknown_table(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT x FROM Nope")
+
+    def test_duplicate_alias(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT E.name FROM Emp E, Dept E")
+
+    def test_self_join_aliases(self, binder):
+        block = binder.bind_sql(
+            "SELECT a.name FROM Emp a, Emp b WHERE a.emp_no = b.emp_no"
+        )
+        assert len(block.quantifiers) == 2
+
+
+class TestStars:
+    def test_star_expands_all(self, binder):
+        block = binder.bind_sql("SELECT * FROM Emp")
+        assert len(block.select_items) == 5
+
+    def test_qualified_star(self, binder):
+        block = binder.bind_sql("SELECT D.* FROM Emp E, Dept D")
+        assert len(block.select_items) == 6
+
+    def test_star_name_dedup(self, binder):
+        block = binder.bind_sql("SELECT * FROM Emp E, Dept D")
+        names = [item.name for item in block.select_items]
+        assert len(names) == len(set(names))
+
+
+class TestAggregates:
+    def test_aggregate_extraction(self, binder):
+        block = binder.bind_sql(
+            "SELECT dept_no, COUNT(*), AVG(sal) FROM Emp GROUP BY dept_no"
+        )
+        assert len(block.aggregates) == 2
+        assert block.select_items[1].expr.table == block.label
+
+    def test_duplicate_aggregates_shared(self, binder):
+        block = binder.bind_sql(
+            "SELECT COUNT(*), COUNT(*) FROM Emp GROUP BY dept_no"
+        )
+        assert len(block.aggregates) == 1
+
+    def test_having_aggregate(self, binder):
+        block = binder.bind_sql(
+            "SELECT dept_no FROM Emp GROUP BY dept_no HAVING SUM(sal) > 10"
+        )
+        assert len(block.aggregates) == 1
+        assert block.having is not None
+
+    def test_aggregate_in_where_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT name FROM Emp WHERE SUM(sal) > 10")
+
+    def test_ungrouped_column_rejected(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT name, COUNT(*) FROM Emp GROUP BY dept_no")
+
+
+class TestSubqueries:
+    def test_uncorrelated_in(self, binder):
+        block = binder.bind_sql(
+            "SELECT name FROM Emp WHERE dept_no IN "
+            "(SELECT dept_no FROM Dept WHERE loc = 'Denver')"
+        )
+        assert len(block.subqueries) == 1
+        subquery = block.subqueries[0]
+        assert subquery.kind is SubqueryKind.IN
+        assert not subquery.correlated
+
+    def test_correlated_detection(self, binder):
+        block = binder.bind_sql(
+            "SELECT E.name FROM Emp E WHERE E.dept_no IN "
+            "(SELECT D.dept_no FROM Dept D WHERE D.mgr = E.emp_no)"
+        )
+        subquery = block.subqueries[0]
+        assert subquery.correlated
+        assert ColumnRef("E", "emp_no") in subquery.correlations
+
+    def test_exists(self, binder):
+        block = binder.bind_sql(
+            "SELECT E.name FROM Emp E WHERE EXISTS "
+            "(SELECT D.dept_no FROM Dept D WHERE D.mgr = E.emp_no)"
+        )
+        assert block.subqueries[0].kind is SubqueryKind.EXISTS
+
+    def test_not_exists_via_not(self, binder):
+        block = binder.bind_sql(
+            "SELECT E.name FROM Emp E WHERE NOT EXISTS "
+            "(SELECT D.dept_no FROM Dept D WHERE D.mgr = E.emp_no)"
+        )
+        assert block.subqueries[0].kind is SubqueryKind.NOT_EXISTS
+
+    def test_scalar_comparison(self, binder):
+        block = binder.bind_sql(
+            "SELECT name FROM Emp WHERE sal > (SELECT AVG(sal) FROM Emp)"
+        )
+        subquery = block.subqueries[0]
+        assert subquery.kind is SubqueryKind.SCALAR
+        assert subquery.comparison is not None
+
+    def test_scalar_subquery_on_left_flips(self, binder):
+        block = binder.bind_sql(
+            "SELECT name FROM Emp WHERE (SELECT AVG(sal) FROM Emp) < sal"
+        )
+        from repro.expr import ComparisonOp
+
+        assert block.subqueries[0].comparison is ComparisonOp.GT
+
+    def test_block_counting(self, binder):
+        block = binder.bind_sql(
+            "SELECT name FROM Emp WHERE sal > (SELECT AVG(sal) FROM Emp)"
+        )
+        assert block.count_blocks() == 2
+
+
+class TestViewsAndDerivedTables:
+    def test_view_expansion(self, emp_dept_db):
+        emp_dept_db.catalog.create_view(
+            "Rich", "SELECT name, sal FROM Emp WHERE sal > 100000"
+        )
+        binder = Binder(emp_dept_db.catalog)
+        block = binder.bind_sql("SELECT R.name FROM Rich R")
+        assert block.quantifiers[0].over_block
+
+    def test_derived_table(self, binder):
+        block = binder.bind_sql(
+            "SELECT d.total FROM (SELECT SUM(sal) AS total FROM Emp) AS d"
+        )
+        assert block.quantifiers[0].over_block
+
+    def test_derived_table_columns_visible(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql(
+                "SELECT d.nope FROM (SELECT SUM(sal) AS total FROM Emp) AS d"
+            )
+
+
+class TestJoinsAndUdfs:
+    def test_left_join_chain(self, binder):
+        block = binder.bind_sql(
+            "SELECT E.name FROM Emp E LEFT OUTER JOIN Dept D "
+            "ON E.dept_no = D.dept_no"
+        )
+        kinds = [kind for kind, _pred in block.join_chain]
+        assert kinds == ["cross", "left"]
+        assert block.join_chain[1][1] is not None
+
+    def test_inner_on_goes_to_predicates(self, binder):
+        block = binder.bind_sql(
+            "SELECT E.name FROM Emp E JOIN Dept D ON E.dept_no = D.dept_no"
+        )
+        assert len(block.predicates) == 1
+
+    def test_udf_binding(self, emp_dept_db):
+        binder = Binder(
+            emp_dept_db.catalog,
+            {"expensive": UdfRegistration(lambda v: v > 0, 500.0, 0.3)},
+        )
+        block = binder.bind_sql("SELECT name FROM Emp WHERE expensive(sal)")
+        from repro.expr import UdfCall
+
+        assert isinstance(block.predicates[0], UdfCall)
+        assert block.predicates[0].per_tuple_cost == 500.0
+
+    def test_unknown_udf(self, binder):
+        with pytest.raises(BindError):
+            binder.bind_sql("SELECT name FROM Emp WHERE mystery(sal)")
+
+    def test_order_by_resolves_output_alias(self, binder):
+        block = binder.bind_sql("SELECT sal AS pay FROM Emp ORDER BY pay")
+        ref, ascending = block.order_by[0]
+        assert ref.table == block.label
+        assert ref.column == "pay"

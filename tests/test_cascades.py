@@ -1,0 +1,127 @@
+"""Tests for the Cascades-style optimizer (Section 6.2)."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datagen import (
+    build_chain_tables,
+    chain_query_graph,
+    graph_stats,
+    star_query_graph,
+)
+from repro.core.cascades import CascadesConfig, CascadesOptimizer
+from repro.core.systemr import EnumeratorConfig, SystemRJoinEnumerator
+from repro.engine import execute
+from repro.expr import col
+from repro.physical.properties import order_satisfies
+
+
+@pytest.fixture(scope="module")
+def chain5():
+    catalog = Catalog()
+    names = build_chain_tables(catalog, 5, rows_per_relation=60)
+    graph = chain_query_graph(names)
+    return catalog, graph, graph_stats(catalog, graph)
+
+
+class TestEquivalenceWithDP:
+    def test_same_optimal_cost_as_bushy_dp(self, chain5):
+        catalog, graph, stats = chain5
+        dp = SystemRJoinEnumerator(
+            catalog, graph, stats, config=EnumeratorConfig(bushy=True)
+        )
+        _dp_plan, dp_cost = dp.best_plan()
+        cascades = CascadesOptimizer(catalog, graph, stats)
+        _c_plan, c_cost = cascades.best_plan()
+        assert c_cost.total == pytest.approx(dp_cost.total)
+
+    def test_same_rows_executed(self, chain5):
+        catalog, graph, stats = chain5
+        dp_plan, _ = SystemRJoinEnumerator(
+            catalog, graph, stats, config=EnumeratorConfig(bushy=True)
+        ).best_plan()
+        c_plan, _ = CascadesOptimizer(catalog, graph, stats).best_plan()
+        dp_schema, dp_rows = execute(dp_plan, catalog)
+        c_schema, c_rows = execute(c_plan, catalog)
+        positions = [dp_schema.slots.index(slot) for slot in c_schema.slots]
+        remapped = [tuple(row[p] for p in positions) for row in dp_rows]
+        assert sorted(remapped) == sorted(c_rows)
+
+
+class TestMemoization:
+    def test_memo_hits_recorded(self, chain5):
+        catalog, graph, stats = chain5
+        cascades = CascadesOptimizer(catalog, graph, stats)
+        cascades.best_plan()
+        assert cascades.stats.memo_hits > 0
+
+    def test_group_count_bounded(self, chain5):
+        catalog, graph, stats = chain5
+        cascades = CascadesOptimizer(catalog, graph, stats)
+        cascades.best_plan()
+        # Connected chain subsets only: far fewer than 2^5 - 1 = 31.
+        assert cascades.stats.groups <= 31
+        assert cascades.stats.groups >= 5
+
+    def test_transformations_fired(self, chain5):
+        catalog, graph, stats = chain5
+        cascades = CascadesOptimizer(catalog, graph, stats)
+        cascades.best_plan()
+        assert cascades.stats.transformation_rules_fired > 0
+        assert cascades.stats.implementation_rules_fired > 0
+
+
+class TestRequiredProperties:
+    def test_required_order_satisfied(self, chain5):
+        catalog, graph, stats = chain5
+        required = ((col("R2", "b"), True),)
+        cascades = CascadesOptimizer(catalog, graph, stats)
+        plan, _cost = cascades.best_plan(required)
+        assert order_satisfies(plan.order, required, cascades.equivalences)
+
+    def test_required_order_costs_no_less(self, chain5):
+        catalog, graph, stats = chain5
+        free = CascadesOptimizer(catalog, graph, stats)
+        _p1, cost_free = free.best_plan()
+        ordered = CascadesOptimizer(catalog, graph, stats)
+        _p2, cost_ordered = ordered.best_plan(((col("R2", "b"), True),))
+        assert cost_ordered.total >= cost_free.total - 1e-9
+
+
+class TestPruning:
+    def test_pruning_preserves_optimum(self, chain5):
+        catalog, graph, stats = chain5
+        pruned = CascadesOptimizer(
+            catalog, graph, stats, config=CascadesConfig(use_pruning=True)
+        )
+        _p1, cost_pruned = pruned.best_plan()
+        unpruned = CascadesOptimizer(
+            catalog, graph, stats, config=CascadesConfig(use_pruning=False)
+        )
+        _p2, cost_unpruned = unpruned.best_plan()
+        assert cost_pruned.total == pytest.approx(cost_unpruned.total)
+
+    def test_promise_order_is_cosmetic_for_optimum(self, chain5):
+        catalog, graph, stats = chain5
+        default = CascadesOptimizer(catalog, graph, stats)
+        _p1, cost_default = default.best_plan()
+        reversed_promise = CascadesOptimizer(
+            catalog,
+            graph,
+            stats,
+            config=CascadesConfig(promise=("nl", "inl", "merge", "hash")),
+        )
+        _p2, cost_reversed = reversed_promise.best_plan()
+        assert cost_default.total == pytest.approx(cost_reversed.total)
+
+
+class TestStarQueries:
+    def test_star_query(self):
+        catalog = Catalog()
+        names = build_chain_tables(catalog, 4, rows_per_relation=50)
+        graph = star_query_graph(names[0], names[1:])
+        stats = graph_stats(catalog, graph)
+        cascades = CascadesOptimizer(catalog, graph, stats)
+        plan, cost = cascades.best_plan()
+        assert cost.total > 0
+        execute(plan, catalog)

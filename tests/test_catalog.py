@@ -1,0 +1,190 @@
+"""Unit tests for schemas and the catalog registry."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType, IndexDef, TableSchema
+from repro.errors import CatalogError
+
+
+def make_schema() -> TableSchema:
+    return TableSchema(
+        "T",
+        [
+            Column("id", ColumnType.INT, nullable=False),
+            Column("name", ColumnType.STR),
+            Column("score", ColumnType.FLOAT),
+        ],
+        primary_key=["id"],
+    )
+
+
+class TestColumnType:
+    def test_coerce_int(self):
+        assert ColumnType.INT.coerce("5") == 5
+        assert ColumnType.INT.coerce(5.0) == 5
+
+    def test_coerce_int_rejects_fraction(self):
+        with pytest.raises(CatalogError):
+            ColumnType.INT.coerce(5.5)
+
+    def test_coerce_float(self):
+        assert ColumnType.FLOAT.coerce(3) == 3.0
+        assert isinstance(ColumnType.FLOAT.coerce(3), float)
+
+    def test_coerce_str(self):
+        assert ColumnType.STR.coerce(12) == "12"
+
+    def test_coerce_none_passthrough(self):
+        for col_type in ColumnType:
+            assert col_type.coerce(None) is None
+
+    def test_coerce_bad_int(self):
+        with pytest.raises(CatalogError):
+            ColumnType.INT.coerce("abc")
+
+
+class TestColumn:
+    def test_default_widths(self):
+        assert Column("a", ColumnType.INT).width_bytes == 8
+        assert Column("s", ColumnType.STR).width_bytes == 24
+
+    def test_explicit_width(self):
+        assert Column("a", ColumnType.INT, width_bytes=4).width_bytes == 4
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("", ColumnType.INT)
+
+
+class TestTableSchema:
+    def test_basic_lookup(self):
+        schema = make_schema()
+        assert schema.arity == 3
+        assert schema.column_names == ["id", "name", "score"]
+        assert schema.column_index("score") == 2
+        assert schema.column("name").col_type is ColumnType.STR
+
+    def test_unknown_column(self):
+        with pytest.raises(CatalogError):
+            make_schema().column("missing")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("T", [Column("a", ColumnType.INT)] * 2)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("T", [])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(CatalogError):
+            TableSchema("T", [Column("a", ColumnType.INT)], primary_key=["b"])
+
+    def test_is_key(self):
+        schema = make_schema()
+        assert schema.is_key(["id"])
+        assert schema.is_key(["id", "name"])
+        assert not schema.is_key(["name"])
+
+    def test_is_key_without_pk(self):
+        schema = TableSchema("T", [Column("a", ColumnType.INT)])
+        assert not schema.is_key(["a"])
+
+    def test_validate_row_coerces(self):
+        schema = make_schema()
+        row = schema.validate_row(("7", "x", 1))
+        assert row == (7, "x", 1.0)
+
+    def test_validate_row_arity(self):
+        with pytest.raises(CatalogError):
+            make_schema().validate_row((1, "x"))
+
+    def test_validate_row_null_in_non_nullable(self):
+        with pytest.raises(CatalogError):
+            make_schema().validate_row((None, "x", 1.0))
+
+    def test_row_width(self):
+        assert make_schema().row_width_bytes == 8 + 24 + 8
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, empty_catalog):
+        empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+        assert empty_catalog.has_table("T")
+        assert empty_catalog.schema("T").name == "T"
+        assert empty_catalog.table_names() == ["T"]
+
+    def test_duplicate_table(self, empty_catalog):
+        empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+        with pytest.raises(CatalogError):
+            empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+
+    def test_unknown_table(self, empty_catalog):
+        with pytest.raises(CatalogError):
+            empty_catalog.table("nope")
+
+    def test_drop_table_removes_indexes_and_stats(self, empty_catalog):
+        table = empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+        table.insert((1,))
+        empty_catalog.create_index("idx_a", "T", ["a"])
+        empty_catalog.set_stats("T", object())
+        empty_catalog.drop_table("T")
+        assert not empty_catalog.has_table("T")
+        with pytest.raises(CatalogError):
+            empty_catalog.index("idx_a")
+
+    def test_index_on_unknown_column(self, empty_catalog):
+        empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+        with pytest.raises(CatalogError):
+            empty_catalog.create_index("i", "T", ["b"])
+
+    def test_duplicate_index_name(self, empty_catalog):
+        empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+        empty_catalog.create_index("i", "T", ["a"])
+        with pytest.raises(CatalogError):
+            empty_catalog.create_index("i", "T", ["a"])
+
+    def test_second_clustered_index_rejected(self, empty_catalog):
+        empty_catalog.create_table(
+            "T", [Column("a", ColumnType.INT), Column("b", ColumnType.INT)]
+        )
+        empty_catalog.create_index("i1", "T", ["a"], clustered=True)
+        with pytest.raises(CatalogError):
+            empty_catalog.create_index("i2", "T", ["b"], clustered=True)
+
+    def test_indexes_on(self, empty_catalog):
+        empty_catalog.create_table(
+            "T", [Column("a", ColumnType.INT), Column("b", ColumnType.INT)]
+        )
+        empty_catalog.create_index("i1", "T", ["a"])
+        empty_catalog.create_hash_index("h1", "T", ["b"])
+        assert len(empty_catalog.indexes_on("T")) == 1
+        assert len(empty_catalog.hash_indexes_on("T")) == 1
+
+    def test_views(self, empty_catalog):
+        empty_catalog.create_view("V", "SELECT 1")
+        assert empty_catalog.has_view("V")
+        assert empty_catalog.view_sql("V") == "SELECT 1"
+        assert empty_catalog.view_names() == ["V"]
+        empty_catalog.drop_view("V")
+        assert not empty_catalog.has_view("V")
+
+    def test_view_table_name_collision(self, empty_catalog):
+        empty_catalog.create_view("V", "SELECT 1")
+        with pytest.raises(CatalogError):
+            empty_catalog.create_table("V", [Column("a", ColumnType.INT)])
+
+    def test_stats_roundtrip(self, empty_catalog):
+        empty_catalog.create_table("T", [Column("a", ColumnType.INT)])
+        marker = object()
+        empty_catalog.set_stats("T", marker)
+        assert empty_catalog.stats("T") is marker
+        assert empty_catalog.stats("T2" if False else "T") is marker
+
+    def test_stats_unknown_table(self, empty_catalog):
+        with pytest.raises(CatalogError):
+            empty_catalog.set_stats("nope", object())
+
+    def test_index_def_requires_columns(self):
+        with pytest.raises(CatalogError):
+            IndexDef(name="i", table="T", columns=())

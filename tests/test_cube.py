@@ -1,0 +1,141 @@
+"""Tests for the CUBE operator (Section 7.4, [24])."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.cube import (
+    ALL,
+    CubeResult,
+    compute_cube_naive,
+    compute_cube_rollup,
+)
+from repro.errors import PlanError
+from repro.expr import AggFunc, AggregateCall, col
+
+
+@pytest.fixture
+def sales_catalog():
+    catalog = Catalog()
+    table = catalog.create_table(
+        "Sales",
+        [
+            Column("region", ColumnType.INT),
+            Column("product", ColumnType.INT),
+            Column("amount", ColumnType.INT),
+        ],
+    )
+    rng = random.Random(191)
+    for _ in range(400):
+        table.insert((rng.randint(1, 4), rng.randint(1, 10), rng.randint(1, 100)))
+    return catalog
+
+
+AGGS = [
+    AggregateCall(AggFunc.SUM, col("Sales", "amount"), alias="total"),
+    AggregateCall(AggFunc.COUNT, None, alias="n"),
+]
+
+
+def row_map(result: CubeResult):
+    return {row[: len(result.dimensions)]: row[len(result.dimensions):]
+            for row in result.rows}
+
+
+class TestCorrectness:
+    def test_strategies_agree(self, sales_catalog):
+        naive = compute_cube_naive(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        rollup = compute_cube_rollup(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        assert row_map(naive) == row_map(rollup)
+
+    def test_grand_total(self, sales_catalog):
+        cube = compute_cube_rollup(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        grand = row_map(cube)[(ALL, ALL)]
+        values = sales_catalog.table("Sales").column_values("amount")
+        assert grand == (sum(values), 400)
+
+    def test_subtotals_sum_to_grand_total(self, sales_catalog):
+        cube = compute_cube_rollup(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        by_region = cube.slice()  # the (ALL, ALL) row
+        region_rows = [
+            row for row in cube.rows
+            if row[0] != ALL and row[1] == ALL
+        ]
+        total_from_regions = sum(row[2] for row in region_rows)
+        grand = row_map(cube)[(ALL, ALL)][0]
+        assert total_from_regions == grand
+
+    def test_cuboid_count(self, sales_catalog):
+        cube = compute_cube_rollup(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        # 2^2 cuboids: (r,p), (r), (p), ().
+        masks = {
+            tuple(v == ALL for v in row[:2]) for row in cube.rows
+        }
+        assert len(masks) == 4
+
+    def test_slice(self, sales_catalog):
+        cube = compute_cube_rollup(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        region_one = cube.slice(region=1)
+        assert len(region_one) == 1
+        assert region_one[0][0] == 1 and region_one[0][1] == ALL
+
+    def test_slice_unknown_dimension(self, sales_catalog):
+        cube = compute_cube_rollup(
+            sales_catalog, "Sales", ["region"], AGGS
+        )
+        with pytest.raises(PlanError):
+            cube.slice(color=1)
+
+    def test_min_max(self, sales_catalog):
+        aggs = [
+            AggregateCall(AggFunc.MIN, col("Sales", "amount"), alias="lo"),
+            AggregateCall(AggFunc.MAX, col("Sales", "amount"), alias="hi"),
+        ]
+        naive = compute_cube_naive(sales_catalog, "Sales", ["region"], aggs)
+        rollup = compute_cube_rollup(sales_catalog, "Sales", ["region"], aggs)
+        assert row_map(naive) == row_map(rollup)
+
+    def test_count_column_ignores_nulls(self):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "T", [Column("d", ColumnType.INT), Column("v", ColumnType.INT)]
+        )
+        table.insert_many([(1, 5), (1, None), (2, 7)])
+        aggs = [AggregateCall(AggFunc.COUNT, col("T", "v"), alias="n")]
+        cube = compute_cube_rollup(catalog, "T", ["d"], aggs)
+        assert row_map(cube)[(ALL,)] == (2,)
+
+
+class TestValidationAndWork:
+    def test_distinct_rejected(self, sales_catalog):
+        aggs = [AggregateCall(AggFunc.SUM, col("Sales", "amount"),
+                              distinct=True, alias="t")]
+        with pytest.raises(PlanError):
+            compute_cube_naive(sales_catalog, "Sales", ["region"], aggs)
+
+    def test_avg_rejected(self, sales_catalog):
+        aggs = [AggregateCall(AggFunc.AVG, col("Sales", "amount"), alias="a")]
+        with pytest.raises(PlanError):
+            compute_cube_rollup(sales_catalog, "Sales", ["region"], aggs)
+
+    def test_rollup_does_less_work(self, sales_catalog):
+        naive = compute_cube_naive(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        rollup = compute_cube_rollup(
+            sales_catalog, "Sales", ["region", "product"], AGGS
+        )
+        assert rollup.work_rows < naive.work_rows

@@ -1,0 +1,120 @@
+"""Unit tests for the workload and distribution generators."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datagen import (
+    build_chain_tables,
+    build_emp_dept,
+    build_star_schema,
+    chain_query_graph,
+    clique_query_graph,
+    correlated_pairs,
+    distinct_words,
+    graph_stats,
+    sales_star_query_graph,
+    star_query_graph,
+    zipf_values,
+)
+from repro.errors import StatisticsError
+
+
+class TestDistributions:
+    def test_zipf_zero_is_uniformish(self):
+        values = zipf_values(20_000, 10, 0.0, rng=random.Random(1))
+        counts = Counter(values)
+        assert max(counts.values()) < min(counts.values()) * 1.3
+
+    def test_zipf_high_skew_concentrates(self):
+        values = zipf_values(20_000, 100, 2.0, rng=random.Random(2))
+        counts = Counter(values)
+        assert counts[1] > len(values) * 0.4
+
+    def test_zipf_domain_respected(self):
+        values = zipf_values(1_000, 7, 1.0, rng=random.Random(3))
+        assert set(values) <= set(range(1, 8))
+
+    def test_zipf_validation(self):
+        with pytest.raises(StatisticsError):
+            zipf_values(10, 0, 1.0)
+        with pytest.raises(StatisticsError):
+            zipf_values(10, 5, -1.0)
+
+    def test_correlated_pairs_extremes(self):
+        perfect = correlated_pairs(500, 20, 1.0, rng=random.Random(4))
+        assert all(x == y for x, y in perfect)
+        loose = correlated_pairs(2_000, 20, 0.0, rng=random.Random(5))
+        matches = sum(1 for x, y in loose if x == y)
+        assert matches < 300  # ~1/20 by chance
+
+    def test_correlation_validation(self):
+        with pytest.raises(StatisticsError):
+            correlated_pairs(10, 5, 1.5)
+
+    def test_distinct_words(self):
+        words = distinct_words(12, prefix="w")
+        assert len(set(words)) == 12
+        assert all(word.startswith("w") for word in words)
+
+
+class TestSchemas:
+    def test_emp_dept_shape(self):
+        catalog = Catalog()
+        emp_stats, dept_stats = build_emp_dept(
+            catalog, emp_rows=100, dept_rows=10
+        )
+        assert emp_stats.row_count == 100
+        assert dept_stats.row_count == 10
+        # Foreign keys land in the dimension's domain.
+        depts = set(catalog.table("Emp").column_values("dept_no"))
+        assert depts <= set(range(1, 11))
+        assert catalog.indexes_on("Emp")
+
+    def test_star_schema_shape(self):
+        catalog = Catalog()
+        stats = build_star_schema(
+            catalog, fact_rows=200, dimension_count=2, dimension_rows=10
+        )
+        assert stats["Sales"].row_count == 200
+        assert catalog.schema("Sales").has_column("d2_id")
+        assert not catalog.schema("Sales").has_column("d3_id")
+
+    def test_chain_tables(self):
+        catalog = Catalog()
+        names = build_chain_tables(catalog, 3, rows_per_relation=50)
+        assert names == ["R1", "R2", "R3"]
+        for name in names:
+            assert catalog.table(name).row_count == 50
+            assert catalog.stats(name) is not None
+
+
+class TestQueryGraphBuilders:
+    def test_shapes(self):
+        assert chain_query_graph(["A", "B", "C"]).shape() == "chain"
+        assert star_query_graph("H", ["A", "B", "C"]).shape() == "star"
+        assert clique_query_graph(["A", "B", "C", "D"]).shape() == "clique"
+
+    def test_two_relations_is_chain(self):
+        assert chain_query_graph(["A", "B"]).shape() == "chain"
+
+    def test_sales_star_graph(self):
+        graph = sales_star_query_graph(3)
+        assert graph.shape() == "star"
+        assert set(graph.aliases) == {"S", "D1", "D2", "D3"}
+
+    def test_graph_stats_resolves_aliases(self):
+        catalog = Catalog()
+        build_chain_tables(catalog, 2, rows_per_relation=10)
+        graph = chain_query_graph(["R1", "R2"])
+        stats = graph_stats(catalog, graph)
+        assert stats["R1"].row_count == 10
+
+    def test_connectivity(self):
+        graph = chain_query_graph(["A", "B", "C"])
+        assert graph.is_connected()
+        assert graph.connected({"A"}, {"B"})
+        assert not graph.connected({"A"}, {"C"})
+        assert graph.neighbours({"A"}) == {"B"}

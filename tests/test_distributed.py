@@ -1,0 +1,83 @@
+"""Tests for the two-site distributed join strategies (Section 7.1)."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.distributed import TwoSiteJoin
+from repro.cost import CostParameters
+
+
+def build(catalog, name, rows, key_domain, rng, extra_width=0):
+    columns = [Column("k", ColumnType.INT), Column("pay", ColumnType.STR)]
+    table = catalog.create_table(name, columns)
+    for _ in range(rows):
+        table.insert((rng.randint(1, key_domain), "x" * 8))
+    return table
+
+
+@pytest.fixture
+def catalogs():
+    catalog = Catalog()
+    rng = random.Random(161)
+    build(catalog, "R", rows=200, key_domain=50, rng=rng)
+    build(catalog, "S", rows=5000, key_domain=5000, rng=rng)
+    return catalog
+
+
+class TestStrategies:
+    def test_result_rows_agree(self, catalogs):
+        join = TwoSiteJoin(catalogs, "R", "S", "k", "k")
+        ship, semi = join.compare()
+        assert ship.result_rows == semi.result_rows
+
+    def test_semijoin_ships_less_when_selective(self, catalogs):
+        # R has 50 distinct keys; S has 5000 -> the reduction is tiny.
+        join = TwoSiteJoin(catalogs, "R", "S", "k", "k")
+        ship, semi = join.compare()
+        assert semi.comm_pages < ship.comm_pages
+
+    def test_semijoin_pays_more_local_processing(self, catalogs):
+        join = TwoSiteJoin(catalogs, "R", "S", "k", "k")
+        ship, semi = join.compare()
+        assert semi.local_cost > ship.local_cost
+
+    def test_crossover_with_comm_cost(self, catalogs):
+        """Expensive network -> semijoin; cheap network -> ship-whole
+        (the R* observation [39])."""
+        slow_net = TwoSiteJoin(
+            catalogs, "R", "S", "k", "k",
+            params=CostParameters(comm_cost_per_page=100.0),
+        )
+        assert slow_net.best().strategy == "semijoin"
+        fast_net = TwoSiteJoin(
+            catalogs, "R", "S", "k", "k",
+            params=CostParameters(comm_cost_per_page=0.01),
+        )
+        assert fast_net.best().strategy == "ship-whole"
+
+    def test_unselective_semijoin_never_wins(self):
+        """When every S row matches, the reduction ships everything and
+        the semijoin program is pure overhead."""
+        catalog = Catalog()
+        rng = random.Random(162)
+        build(catalog, "R", rows=500, key_domain=5, rng=rng)
+        build(catalog, "S", rows=500, key_domain=5, rng=rng)
+        join = TwoSiteJoin(
+            catalog, "R", "S", "k", "k",
+            params=CostParameters(comm_cost_per_page=100.0),
+        )
+        ship, semi = join.compare()
+        assert semi.comm_pages >= ship.comm_pages
+        assert join.best().strategy == "ship-whole"
+
+    def test_null_keys_never_join(self):
+        catalog = Catalog()
+        r = catalog.create_table("R", [Column("k", ColumnType.INT)])
+        s = catalog.create_table("S", [Column("k", ColumnType.INT)])
+        r.insert_many([(None,), (1,)])
+        s.insert_many([(None,), (1,)])
+        join = TwoSiteJoin(catalog, "R", "S", "k", "k")
+        ship, semi = join.compare()
+        assert ship.result_rows == semi.result_rows == 1

@@ -1,0 +1,83 @@
+"""Unit tests for the buffer pool, counters, and observed-cost pricing."""
+
+import pytest
+
+from repro.cost import DEFAULT_PARAMETERS, CostParameters
+from repro.engine import BufferPool, ExecContext
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self):
+        pool = BufferPool(4)
+        assert not pool.access(("T", 0))
+        assert pool.access(("T", 0))
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction(self):
+        pool = BufferPool(2)
+        pool.access(("T", 0))
+        pool.access(("T", 1))
+        pool.access(("T", 2))  # evicts page 0
+        assert not pool.access(("T", 0))
+
+    def test_access_refreshes_recency(self):
+        pool = BufferPool(2)
+        pool.access(("T", 0))
+        pool.access(("T", 1))
+        pool.access(("T", 0))  # page 0 becomes most recent
+        pool.access(("T", 2))  # evicts page 1, not 0
+        assert pool.access(("T", 0))
+
+    def test_hit_ratio(self):
+        pool = BufferPool(10)
+        pool.access(("T", 0))
+        pool.access(("T", 0))
+        pool.access(("T", 0))
+        assert pool.hit_ratio == pytest.approx(2 / 3)
+
+    def test_clear(self):
+        pool = BufferPool(2)
+        pool.access(("T", 0))
+        pool.clear()
+        assert pool.hits == 0 and pool.misses == 0
+        assert not pool.access(("T", 0))
+
+    def test_minimum_capacity(self):
+        pool = BufferPool(0)
+        assert pool.capacity == 1
+
+
+class TestExecContext:
+    def test_read_page_routing(self):
+        context = ExecContext()
+        context.read_page("T", 0, sequential=True)
+        context.read_page("T", 1, sequential=False)
+        context.read_page("T", 0, sequential=True)  # buffer hit: no I/O
+        assert context.counters.seq_page_reads == 1
+        assert context.counters.random_page_reads == 1
+        assert context.counters.total_page_reads == 2
+
+    def test_observed_cost_pricing(self):
+        params = CostParameters()
+        context = ExecContext(params)
+        context.counters.seq_page_reads = 10
+        context.counters.random_page_reads = 5
+        context.counters.rows_produced = 100
+        expected = (
+            10 * params.seq_page_cost
+            + 5 * params.random_page_cost
+            + 100 * params.cpu_tuple_cost
+        )
+        assert context.counters.observed_cost(params) == pytest.approx(expected)
+
+    def test_reset(self):
+        context = ExecContext()
+        context.read_page("T", 0, sequential=True)
+        context.counters.rows_produced = 5
+        context.reset()
+        assert context.counters.total_page_reads == 0
+        assert context.counters.rows_produced == 0
+
+    def test_pool_sized_from_params(self):
+        context = ExecContext(CostParameters(buffer_pool_pages=7))
+        assert context.buffer_pool.capacity == 7

@@ -1,0 +1,151 @@
+"""Unit tests for row-level expression evaluation (three-valued logic)."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.expr import (
+    Arithmetic,
+    ArithOp,
+    BoolExpr,
+    BoolOp,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    NotExpr,
+    StreamSchema,
+    UdfCall,
+    col,
+    eq,
+    evaluate,
+    lit,
+    predicate_holds,
+)
+
+SCHEMA = StreamSchema([("T", "a"), ("T", "b"), ("T", "s")])
+
+
+def ev(expr, row=(1, None, "x")):
+    return evaluate(expr, row, SCHEMA)
+
+
+class TestBasics:
+    def test_literal(self):
+        assert ev(lit(42)) == 42
+
+    def test_column(self):
+        assert ev(col("T", "a")) == 1
+        assert ev(col("T", "b")) is None
+
+    def test_bare_column_lookup(self):
+        assert ev(col("X", "s")) == "x"  # unambiguous bare-name fallback
+
+
+class TestComparisons:
+    def test_true_false(self):
+        assert ev(eq(col("T", "a"), lit(1))) is True
+        assert ev(eq(col("T", "a"), lit(2))) is False
+
+    def test_null_is_unknown(self):
+        assert ev(eq(col("T", "b"), lit(1))) is None
+        assert ev(eq(lit(None), lit(None))) is None
+
+    def test_orderings(self):
+        assert ev(Comparison(ComparisonOp.LT, lit(1), lit(2))) is True
+        assert ev(Comparison(ComparisonOp.GE, lit(2), lit(2))) is True
+        assert ev(Comparison(ComparisonOp.NE, lit(1), lit(2))) is True
+
+    def test_incomparable_types(self):
+        with pytest.raises(ExecutionError):
+            ev(Comparison(ComparisonOp.LT, lit(1), lit("x")))
+
+
+class TestThreeValuedLogic:
+    def test_and_false_dominates_unknown(self):
+        unknown = eq(col("T", "b"), lit(1))
+        assert ev(BoolExpr(BoolOp.AND, [lit(False), unknown])) is False
+
+    def test_and_unknown(self):
+        unknown = eq(col("T", "b"), lit(1))
+        assert ev(BoolExpr(BoolOp.AND, [lit(True), unknown])) is None
+
+    def test_or_true_dominates_unknown(self):
+        unknown = eq(col("T", "b"), lit(1))
+        assert ev(BoolExpr(BoolOp.OR, [lit(True), unknown])) is True
+
+    def test_or_unknown(self):
+        unknown = eq(col("T", "b"), lit(1))
+        assert ev(BoolExpr(BoolOp.OR, [lit(False), unknown])) is None
+
+    def test_not_unknown_is_unknown(self):
+        unknown = eq(col("T", "b"), lit(1))
+        assert ev(NotExpr(unknown)) is None
+
+    def test_not_true(self):
+        assert ev(NotExpr(lit(True))) is False
+
+
+class TestIsNullAndInList:
+    def test_is_null(self):
+        assert ev(IsNull(col("T", "b"))) is True
+        assert ev(IsNull(col("T", "a"))) is False
+        assert ev(IsNull(col("T", "a"), negated=True)) is True
+
+    def test_in_list_hit(self):
+        assert ev(InList(col("T", "a"), [lit(0), lit(1)])) is True
+
+    def test_in_list_miss(self):
+        assert ev(InList(col("T", "a"), [lit(5), lit(6)])) is False
+
+    def test_in_list_null_needle(self):
+        assert ev(InList(col("T", "b"), [lit(1)])) is None
+
+    def test_in_list_null_member_miss_is_unknown(self):
+        assert ev(InList(col("T", "a"), [lit(5), lit(None)])) is None
+
+    def test_in_list_null_member_hit_is_true(self):
+        assert ev(InList(col("T", "a"), [lit(1), lit(None)])) is True
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert ev(Arithmetic(ArithOp.ADD, lit(2), lit(3))) == 5
+        assert ev(Arithmetic(ArithOp.SUB, lit(2), lit(3))) == -1
+        assert ev(Arithmetic(ArithOp.MUL, lit(2), lit(3))) == 6
+        assert ev(Arithmetic(ArithOp.DIV, lit(6), lit(3))) == 2
+
+    def test_null_propagates(self):
+        assert ev(Arithmetic(ArithOp.ADD, col("T", "b"), lit(1))) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            ev(Arithmetic(ArithOp.DIV, lit(1), lit(0)))
+
+
+class TestUdf:
+    def test_bound_udf(self):
+        call = UdfCall("is_even", [col("T", "a")], fn=lambda v: v % 2 == 0)
+        assert ev(call, row=(2, None, "x")) is True
+        assert ev(call, row=(3, None, "x")) is False
+
+    def test_unbound_udf(self):
+        call = UdfCall("mystery", [col("T", "a")])
+        with pytest.raises(ExecutionError):
+            ev(call)
+
+    def test_udf_exception_wrapped(self):
+        call = UdfCall("boom", [col("T", "a")], fn=lambda v: 1 / 0)
+        with pytest.raises(ExecutionError):
+            ev(call)
+
+
+class TestPredicateHolds:
+    def test_none_predicate_keeps_row(self):
+        assert predicate_holds(None, (1, None, "x"), SCHEMA)
+
+    def test_unknown_drops_row(self):
+        unknown = eq(col("T", "b"), lit(1))
+        assert not predicate_holds(unknown, (1, None, "x"), SCHEMA)
+
+    def test_true_keeps_row(self):
+        assert predicate_holds(eq(col("T", "a"), lit(1)), (1, None, "x"), SCHEMA)

@@ -1,0 +1,333 @@
+"""Unit tests for the physical executor: every operator, every join
+algorithm, measured against the reference interpreter."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.engine import ExecContext, execute, interpret
+from repro.expr import (
+    AggFunc,
+    AggregateCall,
+    Comparison,
+    ComparisonOp,
+    col,
+    eq,
+    lit,
+)
+from repro.logical import Filter, Get, Join, JoinKind
+from repro.logical.operators import ProjectItem
+from repro.physical import (
+    ApplyP,
+    DistinctP,
+    FilterP,
+    HashAggP,
+    HashJoinP,
+    INLJoinP,
+    IndexScanP,
+    MergeJoinP,
+    NLJoinP,
+    ProjectP,
+    SeqScanP,
+    SortP,
+    StreamAggP,
+    UdfFilterP,
+    UnionAllP,
+)
+
+from tests.conftest import assert_same_rows
+
+
+@pytest.fixture
+def two_tables():
+    """R(a, v) and S(a, w) with overlapping join keys and NULLs."""
+    catalog = Catalog()
+    r = catalog.create_table(
+        "R", [Column("a", ColumnType.INT), Column("v", ColumnType.INT)]
+    )
+    s = catalog.create_table(
+        "S", [Column("a", ColumnType.INT), Column("w", ColumnType.INT)]
+    )
+    r.insert_many([(1, 10), (2, 20), (2, 21), (3, 30), (None, 99)])
+    s.insert_many([(2, 200), (3, 300), (3, 301), (4, 400), (None, 999)])
+    catalog.create_index("idx_s_a", "S", ["a"])
+    return catalog
+
+
+def scan(catalog, name, alias=None):
+    return SeqScanP(name, alias or name, catalog.schema(name).column_names)
+
+
+def reference_join(catalog, kind, predicate=None):
+    if predicate is None:
+        predicate = eq(col("R", "a"), col("S", "a"))
+    logical = Join(
+        Get("R", "R", ["a", "v"]),
+        Get("S", "S", ["a", "w"]),
+        predicate,
+        kind,
+    )
+    _schema, rows = interpret(logical, catalog)
+    return rows
+
+
+ALL_KINDS = [JoinKind.INNER, JoinKind.LEFT_OUTER, JoinKind.SEMI, JoinKind.ANTI]
+
+
+class TestJoinAlgorithms:
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_nested_loop(self, two_tables, kind):
+        plan = NLJoinP(
+            scan(two_tables, "R"),
+            scan(two_tables, "S"),
+            eq(col("R", "a"), col("S", "a")),
+            kind,
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert_same_rows(rows, reference_join(two_tables, kind), str(kind))
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_hash_join(self, two_tables, kind):
+        plan = HashJoinP(
+            scan(two_tables, "R"),
+            scan(two_tables, "S"),
+            [col("R", "a")],
+            [col("S", "a")],
+            kind,
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert_same_rows(rows, reference_join(two_tables, kind), str(kind))
+
+    @pytest.mark.parametrize("kind", ALL_KINDS)
+    def test_merge_join(self, two_tables, kind):
+        left = SortP(scan(two_tables, "R"), ((col("R", "a"), True),))
+        right = SortP(scan(two_tables, "S"), ((col("S", "a"), True),))
+        plan = MergeJoinP(left, right, [col("R", "a")], [col("S", "a")], kind)
+        _schema, rows = execute(plan, two_tables)
+        assert_same_rows(rows, reference_join(two_tables, kind), str(kind))
+
+    @pytest.mark.parametrize(
+        "kind", [JoinKind.INNER, JoinKind.LEFT_OUTER, JoinKind.SEMI, JoinKind.ANTI]
+    )
+    def test_index_nested_loop(self, two_tables, kind):
+        plan = INLJoinP(
+            scan(two_tables, "R"),
+            "S",
+            "S",
+            ["a", "w"],
+            "idx_s_a",
+            [col("R", "a")],
+            kind,
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert_same_rows(rows, reference_join(two_tables, kind), str(kind))
+
+    def test_residual_predicate(self, two_tables):
+        residual = Comparison(ComparisonOp.GT, col("S", "w"), lit(300))
+        plan = HashJoinP(
+            scan(two_tables, "R"),
+            scan(two_tables, "S"),
+            [col("R", "a")],
+            [col("S", "a")],
+            JoinKind.INNER,
+            residual,
+        )
+        _schema, rows = execute(plan, two_tables)
+        predicate = eq(col("R", "a"), col("S", "a"))
+        from repro.expr import BoolExpr, BoolOp
+
+        want = reference_join(
+            two_tables, JoinKind.INNER, BoolExpr(BoolOp.AND, [predicate, residual])
+        )
+        assert_same_rows(rows, want)
+
+    def test_all_algorithms_agree(self, two_tables):
+        nl = NLJoinP(
+            scan(two_tables, "R"),
+            scan(two_tables, "S"),
+            eq(col("R", "a"), col("S", "a")),
+            JoinKind.INNER,
+        )
+        hash_join = HashJoinP(
+            scan(two_tables, "R"),
+            scan(two_tables, "S"),
+            [col("R", "a")],
+            [col("S", "a")],
+            JoinKind.INNER,
+        )
+        _s1, rows_nl = execute(nl, two_tables)
+        _s2, rows_hash = execute(hash_join, two_tables)
+        assert_same_rows(rows_nl, rows_hash)
+
+
+class TestScans:
+    def test_seq_scan_filter(self, two_tables):
+        plan = SeqScanP(
+            "R", "R", ["a", "v"], Comparison(ComparisonOp.GT, col("R", "v"), lit(15))
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert_same_rows(rows, [(2, 20), (2, 21), (3, 30), (None, 99)])
+
+    def test_seq_scan_counts_pages(self, two_tables):
+        context = ExecContext()
+        execute(scan(two_tables, "R"), two_tables, context)
+        assert context.counters.seq_page_reads >= 1
+
+    def test_index_scan_eq(self, two_tables):
+        plan = IndexScanP("S", "S", ["a", "w"], "idx_s_a", eq_value=(3,))
+        _schema, rows = execute(plan, two_tables)
+        assert sorted(rows) == [(3, 300), (3, 301)]
+
+    def test_index_scan_range(self, two_tables):
+        plan = IndexScanP("S", "S", ["a", "w"], "idx_s_a", low=3, high=4)
+        _schema, rows = execute(plan, two_tables)
+        assert sorted(rows) == [(3, 300), (3, 301), (4, 400)]
+
+    def test_index_scan_full_ordered(self, two_tables):
+        plan = IndexScanP("S", "S", ["a", "w"], "idx_s_a")
+        _schema, rows = execute(plan, two_tables)
+        keys = [row[0] for row in rows]
+        assert keys == sorted(keys)
+        assert len(rows) == 4  # NULL key excluded from the index
+
+
+class TestUnaryOperators:
+    def test_filter_and_project(self, two_tables):
+        plan = ProjectP(
+            FilterP(
+                scan(two_tables, "R"),
+                Comparison(ComparisonOp.GE, col("R", "v"), lit(20)),
+            ),
+            [ProjectItem(col("R", "v"), "v2")],
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert sorted(rows) == [(20,), (21,), (30,), (99,)]
+
+    def test_sort_nulls_first(self, two_tables):
+        plan = SortP(scan(two_tables, "R"), ((col("R", "a"), True),))
+        _schema, rows = execute(plan, two_tables)
+        assert rows[0][0] is None
+        assert [r[0] for r in rows[1:]] == [1, 2, 2, 3]
+
+    def test_sort_descending(self, two_tables):
+        plan = SortP(scan(two_tables, "R"), ((col("R", "v"), False),))
+        _schema, rows = execute(plan, two_tables)
+        assert [r[1] for r in rows] == [99, 30, 21, 20, 10]
+
+    def test_distinct(self, two_tables):
+        plan = DistinctP(
+            ProjectP(scan(two_tables, "R"), [ProjectItem(col("R", "a"), "a")])
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert len(rows) == 4  # 1, 2, 3, NULL
+
+    def test_union_all(self, two_tables):
+        plan = UnionAllP(
+            ProjectP(scan(two_tables, "R"), [ProjectItem(col("R", "a"), "a")]),
+            ProjectP(scan(two_tables, "S"), [ProjectItem(col("S", "a"), "a")]),
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert len(rows) == 10
+
+    def test_udf_filter_counts_invocations(self, two_tables):
+        from repro.expr import UdfCall
+
+        call = UdfCall("big", [col("R", "v")], fn=lambda v: v is not None and v > 15)
+        plan = UdfFilterP(scan(two_tables, "R"), call)
+        context = ExecContext()
+        _schema, rows = execute(plan, two_tables, context)
+        assert context.counters.udf_invocations == 5
+        assert len(rows) == 4
+
+
+class TestAggregation:
+    def test_hash_agg(self, two_tables):
+        plan = HashAggP(
+            scan(two_tables, "R"),
+            [col("R", "a")],
+            [
+                AggregateCall(AggFunc.COUNT, None, alias="n"),
+                AggregateCall(AggFunc.SUM, col("R", "v"), alias="s"),
+            ],
+        )
+        _schema, rows = execute(plan, two_tables)
+        by_key = {row[0]: (row[1], row[2]) for row in rows}
+        assert by_key[2] == (2, 41)
+        assert by_key[None] == (1, 99)
+
+    def test_stream_agg_equals_hash_agg(self, two_tables):
+        keys = [col("R", "a")]
+        aggs = [AggregateCall(AggFunc.MAX, col("R", "v"), alias="m")]
+        hash_plan = HashAggP(scan(two_tables, "R"), keys, aggs)
+        stream_plan = StreamAggP(
+            SortP(scan(two_tables, "R"), ((col("R", "a"), True),)), keys, aggs
+        )
+        _s1, rows_hash = execute(hash_plan, two_tables)
+        _s2, rows_stream = execute(stream_plan, two_tables)
+        assert_same_rows(rows_hash, rows_stream)
+
+    def test_global_agg_on_empty_input(self, two_tables):
+        empty = FilterP(scan(two_tables, "R"), lit(False))
+        plan = HashAggP(
+            empty,
+            [],
+            [
+                AggregateCall(AggFunc.COUNT, None, alias="n"),
+                AggregateCall(AggFunc.SUM, col("R", "v"), alias="s"),
+            ],
+        )
+        _schema, rows = execute(plan, two_tables)
+        assert rows == [(0, None)]
+
+
+class TestApply:
+    def test_scalar_apply(self, two_tables):
+        inner = Get("S", "S", ["a", "w"])
+        from repro.logical import GroupBy
+
+        grouped = GroupBy(
+            Filter(inner, eq(col("S", "a"), col("R", "a"))),
+            [],
+            [AggregateCall(AggFunc.COUNT, None, alias="n")],
+            output_alias="sub",
+        )
+        from repro.logical.operators import Project as LProject
+
+        projected = LProject(
+            grouped, [ProjectItem(col("sub", "n"), "n", "sub")]
+        )
+        plan = ApplyP(scan(two_tables, "R"), projected, "scalar")
+        context = ExecContext()
+        _schema, rows = execute(plan, two_tables, context)
+        counts = {row[:2]: row[2] for row in rows}
+        assert counts[(2, 20)] == 1
+        assert counts[(3, 30)] == 2
+        assert counts[(1, 10)] == 0
+        assert context.counters.inner_evaluations == 5
+
+
+class TestBufferPool:
+    def test_locality_discount(self):
+        """Repeated index probes of a pool-resident table hit the buffer."""
+        catalog = Catalog()
+        inner = catalog.create_table(
+            "I", [Column("k", ColumnType.INT), Column("p", ColumnType.INT)]
+        )
+        for key in range(50):
+            inner.insert((key, key))
+        catalog.create_index("idx_i", "I", ["k"])
+        outer = catalog.create_table("O", [Column("k", ColumnType.INT)])
+        for _repeat in range(10):
+            for key in range(50):
+                outer.insert((key,))
+        plan = INLJoinP(
+            SeqScanP("O", "O", ["k"]),
+            "I",
+            "I",
+            ["k", "p"],
+            "idx_i",
+            [col("O", "k")],
+            JoinKind.INNER,
+        )
+        context = ExecContext()
+        execute(plan, catalog, context)
+        assert context.buffer_pool.hit_ratio > 0.9

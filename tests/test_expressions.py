@@ -1,0 +1,181 @@
+"""Unit tests for scalar expression trees."""
+
+import pytest
+
+from repro.expr import (
+    Arithmetic,
+    ArithOp,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    Literal,
+    NotExpr,
+    UdfCall,
+    col,
+    conjoin,
+    conjuncts,
+    eq,
+    lit,
+    rename_tables,
+    substitute_columns,
+)
+
+
+class TestValueSemantics:
+    def test_columnref_equality_and_hash(self):
+        assert col("T", "a") == col("T", "a")
+        assert col("T", "a") != col("T", "b")
+        assert hash(col("T", "a")) == hash(col("T", "a"))
+        assert len({col("T", "a"), col("T", "a"), col("S", "a")}) == 2
+
+    def test_literal_type_sensitive_equality(self):
+        assert lit(1) != lit(1.0)
+        assert lit("1") != lit(1)
+        assert lit(None) == lit(None)
+
+    def test_comparison_equality(self):
+        assert eq(col("T", "a"), lit(1)) == eq(col("T", "a"), lit(1))
+        assert eq(col("T", "a"), lit(1)) != eq(col("T", "a"), lit(2))
+
+    def test_immutability(self):
+        ref = col("T", "a")
+        with pytest.raises(AttributeError):
+            ref.table = "S"
+
+    def test_bool_flattening(self):
+        inner = BoolExpr(BoolOp.AND, [lit(True), lit(False)])
+        outer = BoolExpr(BoolOp.AND, [inner, lit(True)])
+        assert len(outer.args) == 3
+
+    def test_bool_no_flatten_across_ops(self):
+        inner = BoolExpr(BoolOp.OR, [lit(True), lit(False)])
+        outer = BoolExpr(BoolOp.AND, [inner, lit(True)])
+        assert len(outer.args) == 2
+
+    def test_bool_requires_two_args(self):
+        with pytest.raises(ValueError):
+            BoolExpr(BoolOp.AND, [lit(True)])
+
+
+class TestFootprints:
+    def test_columns_and_tables(self):
+        expr = BoolExpr(
+            BoolOp.AND,
+            [eq(col("A", "x"), col("B", "y")), eq(col("A", "z"), lit(1))],
+        )
+        assert expr.columns() == {col("A", "x"), col("B", "y"), col("A", "z")}
+        assert expr.tables() == {"A", "B"}
+
+    def test_literal_has_no_columns(self):
+        assert lit(5).columns() == frozenset()
+
+    def test_equijoin_detection(self):
+        assert eq(col("A", "x"), col("B", "x")).is_equijoin_predicate()
+        assert not eq(col("A", "x"), col("A", "y")).is_equijoin_predicate()
+        assert not eq(col("A", "x"), lit(3)).is_equijoin_predicate()
+        lt = Comparison(ComparisonOp.LT, col("A", "x"), col("B", "x"))
+        assert not lt.is_equijoin_predicate()
+
+
+class TestOperatorAlgebra:
+    def test_flip(self):
+        assert ComparisonOp.LT.flip() is ComparisonOp.GT
+        assert ComparisonOp.EQ.flip() is ComparisonOp.EQ
+        assert ComparisonOp.GE.flip() is ComparisonOp.LE
+
+    def test_negate(self):
+        assert ComparisonOp.EQ.negate() is ComparisonOp.NE
+        assert ComparisonOp.LT.negate() is ComparisonOp.GE
+
+
+class TestConjunctHelpers:
+    def test_conjuncts_of_none(self):
+        assert conjuncts(None) == ()
+
+    def test_conjuncts_of_simple(self):
+        predicate = eq(col("T", "a"), lit(1))
+        assert conjuncts(predicate) == (predicate,)
+
+    def test_conjuncts_of_and(self):
+        a, b = eq(col("T", "a"), lit(1)), eq(col("T", "b"), lit(2))
+        assert conjuncts(BoolExpr(BoolOp.AND, [a, b])) == (a, b)
+
+    def test_or_is_single_conjunct(self):
+        a, b = eq(col("T", "a"), lit(1)), eq(col("T", "b"), lit(2))
+        predicate = BoolExpr(BoolOp.OR, [a, b])
+        assert conjuncts(predicate) == (predicate,)
+
+    def test_conjoin_roundtrip(self):
+        a, b = eq(col("T", "a"), lit(1)), eq(col("T", "b"), lit(2))
+        assert conjoin([]) is None
+        assert conjoin([a]) is a
+        assert conjuncts(conjoin([a, b])) == (a, b)
+
+
+class TestSubstitution:
+    def test_substitute_columns(self):
+        expr = eq(col("V", "x"), lit(1))
+        mapping = {col("V", "x"): col("T", "y")}
+        assert substitute_columns(expr, mapping) == eq(col("T", "y"), lit(1))
+
+    def test_substitute_no_match_returns_same(self):
+        expr = eq(col("V", "x"), lit(1))
+        assert substitute_columns(expr, {col("Z", "q"): lit(0)}) is expr
+
+    def test_rename_tables(self):
+        expr = eq(col("A", "x"), col("B", "y"))
+        renamed = rename_tables(expr, {"A": "A2"})
+        assert renamed == eq(col("A2", "x"), col("B", "y"))
+
+    def test_substitute_nested(self):
+        expr = BoolExpr(
+            BoolOp.AND,
+            [
+                eq(col("V", "x"), lit(1)),
+                NotExpr(IsNull(col("V", "x"))),
+            ],
+        )
+        result = substitute_columns(expr, {col("V", "x"): col("T", "y")})
+        assert col("T", "y") in result.columns()
+        assert col("V", "x") not in result.columns()
+
+
+class TestRendering:
+    def test_to_sql_shapes(self):
+        assert col("T", "a").to_sql() == "T.a"
+        assert lit("o'neil").to_sql() == "'o''neil'"
+        assert lit(None).to_sql() == "NULL"
+        assert eq(col("T", "a"), lit(1)).to_sql() == "T.a = 1"
+        assert IsNull(col("T", "a")).to_sql() == "T.a IS NULL"
+        assert IsNull(col("T", "a"), negated=True).to_sql() == "T.a IS NOT NULL"
+
+    def test_arithmetic_sql(self):
+        expr = Arithmetic(ArithOp.ADD, col("T", "a"), lit(2))
+        assert expr.to_sql() == "(T.a + 2)"
+
+    def test_inlist_sql(self):
+        expr = InList(col("T", "a"), [lit(1), lit(2)])
+        assert expr.to_sql() == "T.a IN (1, 2)"
+
+
+class TestUdfCall:
+    def test_rank(self):
+        cheap_selective = UdfCall("f", [col("T", "a")], 10.0, 0.1)
+        pricey_loose = UdfCall("g", [col("T", "a")], 1000.0, 0.9)
+        assert cheap_selective.rank < pricey_loose.rank
+
+    def test_equality_ignores_cost(self):
+        a = UdfCall("f", [col("T", "a")], 10.0, 0.1)
+        b = UdfCall("f", [col("T", "a")], 99.0, 0.9)
+        assert a == b
+
+    def test_replace_children_keeps_metadata(self):
+        call = UdfCall("f", [col("T", "a")], 10.0, 0.1, fn=abs)
+        replaced = call.replace_children([col("T", "b")])
+        assert replaced.per_tuple_cost == 10.0
+        assert replaced.fn is abs
+        assert replaced.args == (col("T", "b"),)

@@ -1,0 +1,192 @@
+"""Unit tests for histograms (Section 5.1.1)."""
+
+import random
+
+import pytest
+
+from repro.datagen import zipf_values
+from repro.errors import StatisticsError
+from repro.stats import (
+    Bucket,
+    CompressedHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    Histogram,
+    MaxDiffHistogram,
+    TwoDimHistogram,
+)
+
+UNIFORM = list(range(1, 101)) * 3  # 300 values, 100 distinct
+
+
+def true_range_fraction(values, low, high):
+    clean = [v for v in values if v is not None]
+    return sum(1 for v in clean if low <= v <= high) / len(clean)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "cls",
+        [EquiWidthHistogram, EquiDepthHistogram, CompressedHistogram,
+         MaxDiffHistogram],
+    )
+    def test_row_counts_sum_to_total(self, cls):
+        histogram = cls.from_values(UNIFORM, 10)
+        assert histogram.total_rows == pytest.approx(len(UNIFORM), rel=0.01)
+
+    @pytest.mark.parametrize(
+        "cls",
+        [EquiWidthHistogram, EquiDepthHistogram, CompressedHistogram,
+         MaxDiffHistogram],
+    )
+    def test_buckets_disjoint_and_sorted(self, cls):
+        values = zipf_values(500, 50, 1.0, rng=random.Random(1))
+        histogram = cls.from_values(values, 8)
+        for left, right in zip(histogram.buckets, histogram.buckets[1:]):
+            assert left.high <= right.low
+
+    @pytest.mark.parametrize(
+        "cls",
+        [EquiWidthHistogram, EquiDepthHistogram, CompressedHistogram,
+         MaxDiffHistogram],
+    )
+    def test_bounds(self, cls):
+        histogram = cls.from_values(UNIFORM, 10)
+        assert histogram.min_value == 1
+        assert histogram.max_value == 100
+
+    def test_null_counting(self):
+        histogram = EquiDepthHistogram.from_values([1, None, 2, None], 2)
+        assert histogram.null_count == 2
+        assert histogram.total_rows == 2
+
+    def test_empty_values(self):
+        histogram = EquiDepthHistogram.from_values([], 5)
+        assert histogram.buckets == ()
+        assert histogram.estimate_eq(5) == 0.0
+        assert histogram.estimate_range(0, 10) == 0.0
+
+    def test_single_value(self):
+        histogram = EquiWidthHistogram.from_values([7] * 10, 5)
+        assert len(histogram.buckets) == 1
+        assert histogram.estimate_eq(7) == pytest.approx(1.0)
+
+    def test_bad_bucket_count(self):
+        with pytest.raises(StatisticsError):
+            EquiDepthHistogram.from_values([1, 2], 0)
+
+    def test_overlapping_buckets_rejected(self):
+        with pytest.raises(StatisticsError):
+            Histogram([Bucket(0, 5, 10, 5), Bucket(3, 8, 10, 5)])
+
+
+class TestEstimates:
+    def test_range_estimate_uniform(self):
+        histogram = EquiDepthHistogram.from_values(UNIFORM, 10)
+        estimate = histogram.estimate_range(1, 50)
+        assert estimate == pytest.approx(0.5, abs=0.1)
+
+    def test_point_estimate_uniform(self):
+        histogram = EquiDepthHistogram.from_values(UNIFORM, 10)
+        assert histogram.estimate_eq(50) == pytest.approx(0.01, abs=0.01)
+
+    def test_estimates_bounded(self):
+        values = zipf_values(400, 40, 1.5, rng=random.Random(2))
+        for cls in (EquiWidthHistogram, EquiDepthHistogram, CompressedHistogram):
+            histogram = cls.from_values(values, 8)
+            for point in (1, 5, 40, 100):
+                assert 0.0 <= histogram.estimate_eq(point) <= 1.0
+            assert 0.0 <= histogram.estimate_range(3, 17) <= 1.0
+
+    def test_out_of_domain(self):
+        histogram = EquiDepthHistogram.from_values(UNIFORM, 10)
+        assert histogram.estimate_eq(1000) == 0.0
+        assert histogram.estimate_range(200, 300) == 0.0
+
+    def test_compressed_exact_on_heavy_hitters(self):
+        # One value dominating: the compressed histogram nails it.
+        values = [1] * 500 + list(range(2, 102))
+        histogram = CompressedHistogram.from_values(values, 10)
+        truth = 500 / len(values)
+        assert histogram.estimate_eq(1) == pytest.approx(truth, rel=0.05)
+
+    def test_compressed_beats_equidepth_under_skew(self):
+        values = zipf_values(2000, 100, 1.5, rng=random.Random(3))
+        depth = EquiDepthHistogram.from_values(values, 10)
+        compressed = CompressedHistogram.from_values(values, 10)
+        truth = values.count(1) / len(values)
+        depth_error = abs(depth.estimate_eq(1) - truth)
+        compressed_error = abs(compressed.estimate_eq(1) - truth)
+        assert compressed_error <= depth_error
+
+
+class TestTransformations:
+    def test_restrict_range(self):
+        histogram = EquiDepthHistogram.from_values(UNIFORM, 10)
+        restricted = histogram.restrict_range(1, 50)
+        assert restricted.total_rows == pytest.approx(
+            len(UNIFORM) * 0.5, rel=0.15
+        )
+        assert restricted.max_value <= 50
+
+    def test_restrict_to_nothing(self):
+        histogram = EquiDepthHistogram.from_values(UNIFORM, 10)
+        assert histogram.restrict_range(500, 600).total_rows == 0
+
+    def test_scale_rows(self):
+        histogram = EquiDepthHistogram.from_values(UNIFORM, 10)
+        scaled = histogram.scale_rows(0.5)
+        assert scaled.total_rows == pytest.approx(histogram.total_rows * 0.5)
+        # Selectivity estimates are scale-invariant.
+        assert scaled.estimate_range(1, 50) == pytest.approx(
+            histogram.estimate_range(1, 50)
+        )
+
+
+class TestTwoDim:
+    def test_correlated_columns(self):
+        pairs = [(v, v) for v in range(1, 101)]
+        joint = TwoDimHistogram.from_pairs(pairs, grid=10)
+        # x<=10 AND y<=10 has true selectivity 0.1; independence would say 0.01.
+        estimate = joint.estimate_conjunction(None, 10, None, 10)
+        assert estimate == pytest.approx(0.1, abs=0.05)
+
+    def test_independent_columns(self):
+        rng = random.Random(4)
+        pairs = [(rng.randint(1, 100), rng.randint(1, 100)) for _ in range(2000)]
+        joint = TwoDimHistogram.from_pairs(pairs, grid=10)
+        estimate = joint.estimate_conjunction(None, 50, None, 50)
+        assert estimate == pytest.approx(0.25, abs=0.08)
+
+    def test_empty(self):
+        joint = TwoDimHistogram.from_pairs([], grid=4)
+        assert joint.estimate_conjunction(0, 1, 0, 1) == 0.0
+
+    def test_nulls_dropped(self):
+        joint = TwoDimHistogram.from_pairs([(1, 1), (None, 2), (2, None)])
+        assert joint.total == 1
+
+
+class TestMaxDiff:
+    def test_exact_when_few_distinct(self):
+        values = [1] * 10 + [2] * 30 + [3] * 5
+        histogram = MaxDiffHistogram.from_values(values, 8)
+        assert histogram.estimate_eq(2) == pytest.approx(30 / 45)
+        assert histogram.estimate_eq(3) == pytest.approx(5 / 45)
+
+    def test_boundary_at_frequency_jump(self):
+        # 1..50 with value 25 appearing 100x: the jump isolates it.
+        values = list(range(1, 51)) + [25] * 100
+        histogram = MaxDiffHistogram.from_values(values, 10)
+        estimate = histogram.estimate_eq(25)
+        truth = 101 / len(values)
+        assert estimate == pytest.approx(truth, rel=0.3)
+
+    def test_groups_similar_frequencies(self):
+        import random as _r
+        from repro.datagen import zipf_values
+
+        values = zipf_values(3000, 100, 1.5, rng=_r.Random(10))
+        histogram = MaxDiffHistogram.from_values(values, 12)
+        truth = values.count(1) / len(values)
+        assert histogram.estimate_eq(1) == pytest.approx(truth, rel=0.5)

@@ -1,0 +1,182 @@
+"""Unit tests for the reference interpreter's operator semantics."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.engine import InterpreterStats, interpret
+from repro.errors import ExecutionError
+from repro.expr import (
+    AggFunc,
+    AggregateCall,
+    Comparison,
+    ComparisonOp,
+    col,
+    eq,
+    lit,
+)
+from repro.logical import (
+    Apply,
+    Distinct,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Sort,
+    Union,
+)
+from repro.logical.operators import ProjectItem
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    t = catalog.create_table(
+        "T", [Column("a", ColumnType.INT), Column("b", ColumnType.INT)]
+    )
+    t.insert_many([(1, 10), (2, 20), (2, 21), (None, 30)])
+    u = catalog.create_table("U", [Column("a", ColumnType.INT)])
+    u.insert_many([(2,), (3,)])
+    return catalog
+
+
+def get_t():
+    return Get("T", "T", ["a", "b"])
+
+
+def get_u():
+    return Get("U", "U", ["a"])
+
+
+class TestBasicOperators:
+    def test_get(self, catalog):
+        schema, rows = interpret(get_t(), catalog)
+        assert len(rows) == 4
+        assert schema.slots == (("T", "a"), ("T", "b"))
+
+    def test_filter_drops_unknown(self, catalog):
+        tree = Filter(get_t(), Comparison(ComparisonOp.GT, col("T", "a"), lit(1)))
+        _schema, rows = interpret(tree, catalog)
+        assert len(rows) == 2  # NULL row is dropped, not kept
+
+    def test_project_computes(self, catalog):
+        from repro.expr import Arithmetic, ArithOp
+
+        tree = Project(
+            get_t(),
+            [ProjectItem(Arithmetic(ArithOp.MUL, col("T", "b"), lit(2)), "d")],
+        )
+        _schema, rows = interpret(tree, catalog)
+        assert sorted(row[0] for row in rows) == [20, 40, 42, 60]
+
+    def test_distinct_preserves_first_occurrence(self, catalog):
+        tree = Distinct(Project(get_t(), [ProjectItem(col("T", "a"), "a")]))
+        _schema, rows = interpret(tree, catalog)
+        assert len(rows) == 3
+
+    def test_union_all_and_distinct(self, catalog):
+        left = Project(get_t(), [ProjectItem(col("T", "a"), "a")])
+        right = Project(get_u(), [ProjectItem(col("U", "a"), "a")])
+        _s1, all_rows = interpret(Union(left, right, all_rows=True), catalog)
+        assert len(all_rows) == 6
+        _s2, distinct_rows = interpret(Union(left, right, all_rows=False), catalog)
+        assert len(distinct_rows) == 4  # 1, 2, NULL, 3
+
+    def test_sort_directions(self, catalog):
+        tree = Sort(get_t(), [(col("T", "b"), False)])
+        _schema, rows = interpret(tree, catalog)
+        assert [row[1] for row in rows] == [30, 21, 20, 10]
+
+
+class TestJoins:
+    def test_inner_join_null_never_matches(self, catalog):
+        tree = Join(get_t(), get_u(), eq(col("T", "a"), col("U", "a")),
+                    JoinKind.INNER)
+        _schema, rows = interpret(tree, catalog)
+        assert len(rows) == 2  # the two a=2 rows
+
+    def test_left_outer_pads(self, catalog):
+        tree = Join(get_t(), get_u(), eq(col("T", "a"), col("U", "a")),
+                    JoinKind.LEFT_OUTER)
+        _schema, rows = interpret(tree, catalog)
+        padded = [row for row in rows if row[2] is None]
+        assert len(padded) == 2  # a=1 and a=NULL rows
+
+    def test_semi_no_duplicates_from_right(self, catalog):
+        u = catalog.table("U")
+        u.insert((2,))  # duplicate match candidate
+        tree = Join(get_t(), get_u(), eq(col("T", "a"), col("U", "a")),
+                    JoinKind.SEMI)
+        _schema, rows = interpret(tree, catalog)
+        assert len(rows) == 2  # each T row at most once
+
+    def test_anti(self, catalog):
+        tree = Join(get_t(), get_u(), eq(col("T", "a"), col("U", "a")),
+                    JoinKind.ANTI)
+        _schema, rows = interpret(tree, catalog)
+        assert len(rows) == 2  # a=1 and a=NULL
+
+
+class TestGroupBy:
+    def test_nulls_form_a_group(self, catalog):
+        tree = GroupBy(
+            get_t(), [col("T", "a")],
+            [AggregateCall(AggFunc.COUNT, None, alias="n")],
+        )
+        _schema, rows = interpret(tree, catalog)
+        by_key = {row[0]: row[1] for row in rows}
+        assert by_key[None] == 1
+        assert by_key[2] == 2
+
+    def test_global_group_on_empty(self, catalog):
+        empty = Filter(get_t(), lit(False))
+        tree = GroupBy(
+            empty, [],
+            [AggregateCall(AggFunc.COUNT, None, alias="n"),
+             AggregateCall(AggFunc.MAX, col("T", "b"), alias="m")],
+        )
+        _schema, rows = interpret(tree, catalog)
+        assert rows == [(0, None)]
+
+    def test_keyed_group_on_empty_is_empty(self, catalog):
+        empty = Filter(get_t(), lit(False))
+        tree = GroupBy(
+            empty, [col("T", "a")],
+            [AggregateCall(AggFunc.COUNT, None, alias="n")],
+        )
+        _schema, rows = interpret(tree, catalog)
+        assert rows == []
+
+
+class TestApply:
+    def test_scalar_multi_row_error(self, catalog):
+        # Inner returns 2 rows for a=2: scalar apply must raise.
+        inner = Filter(get_u(), lit(True))
+        inner = Project(
+            Join(get_u(), get_u().with_children([]) if False else Get("U", "U2", ["a"]),
+                 None, JoinKind.CROSS),
+            [ProjectItem(col("U", "a"), "a", "sub")],
+        )
+        tree = Apply(get_t(), inner, "scalar", parameters=[])
+        with pytest.raises(ExecutionError):
+            interpret(tree, catalog)
+
+    def test_semi_counts_inner_evaluations(self, catalog):
+        inner = Filter(get_u(), eq(col("U", "a"), col("T", "a")))
+        tree = Apply(get_t(), inner, "semi", parameters=[col("T", "a")])
+        stats = InterpreterStats()
+        _schema, rows = interpret(tree, catalog, stats)
+        assert stats.inner_evaluations == 4
+        assert len(rows) == 2
+
+    def test_alias_shadowing(self, catalog):
+        # Inner uses the SAME alias T: inner binding shadows the outer.
+        inner = Filter(
+            Get("T", "T", ["a", "b"]),
+            Comparison(ComparisonOp.GT, col("T", "b"), lit(25)),
+        )
+        tree = Apply(get_t(), inner, "semi", parameters=[])
+        _schema, rows = interpret(tree, catalog)
+        # Inner is non-empty regardless of the outer row -> all rows kept.
+        assert len(rows) == 4

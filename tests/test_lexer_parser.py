@@ -1,0 +1,228 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import LexerError, ParseError
+from repro.sql import parse, tokenize
+from repro.sql.ast import (
+    AstAggregate,
+    AstBetween,
+    AstBool,
+    AstColumn,
+    AstComparison,
+    AstExists,
+    AstInList,
+    AstInSubquery,
+    AstIsNull,
+    AstLiteral,
+    AstScalarSubquery,
+    JoinType,
+)
+from repro.sql.lexer import TokenType
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("Emp dept_no")
+        assert tokens[0].value == "Emp"
+        assert tokens[1].value == "dept_no"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 100")
+        assert [t.value for t in tokens[:3]] == ["1", "2.5", "100"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:3])
+
+    def test_qualified_name_not_a_float(self):
+        tokens = tokenize("t.col")
+        values = [(t.type, t.value) for t in tokens[:3]]
+        assert values == [
+            (TokenType.IDENT, "t"),
+            (TokenType.PUNCT, "."),
+            (TokenType.IDENT, "col"),
+        ]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'o''neil'")
+        assert tokens[0].value == "o'neil"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_line_comment(self):
+        tokens = tokenize("SELECT -- comment\n 1")
+        assert tokens[1].type is TokenType.NUMBER
+
+    def test_operators(self):
+        tokens = tokenize("<= >= <> = < >")
+        assert [t.value for t in tokens[:6]] == ["<=", ">=", "<>", "=", "<", ">"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("SELECT @")
+
+    def test_hash_in_identifier(self):
+        tokens = tokenize("Dept#")
+        assert tokens[0].value == "Dept#"
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        stmt = parse("SELECT a FROM T")
+        assert len(stmt.select_items) == 1
+        assert stmt.from_items[0].table.name == "T"
+
+    def test_star(self):
+        stmt = parse("SELECT * FROM T")
+        assert stmt.select_items[0].star
+
+    def test_qualified_star(self):
+        stmt = parse("SELECT T.* FROM T")
+        assert stmt.select_items[0].star_qualifier == "T"
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM T").distinct
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM T AS t1, S s2")
+        assert stmt.select_items[0].alias == "x"
+        assert stmt.select_items[1].alias == "y"
+        assert stmt.from_items[0].table.alias == "t1"
+        assert stmt.from_items[1].table.alias == "s2"
+
+    def test_where_and_or_precedence(self):
+        stmt = parse("SELECT a FROM T WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, AstBool)
+        assert stmt.where.op == "OR"
+        assert isinstance(stmt.where.args[1], AstBool)
+        assert stmt.where.args[1].op == "AND"
+
+    def test_group_by_having(self):
+        stmt = parse(
+            "SELECT a, COUNT(*) FROM T GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_by(self):
+        stmt = parse("SELECT a FROM T ORDER BY a DESC, b ASC, c")
+        directions = [item.ascending for item in stmt.order_by]
+        assert directions == [False, True, True]
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM T t1 trailing words")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+
+class TestParserJoins:
+    def test_comma_joins(self):
+        stmt = parse("SELECT a FROM T, S, U")
+        assert len(stmt.from_items) == 3
+        assert all(item.join_type is JoinType.CROSS for item in stmt.from_items)
+
+    def test_inner_join_on(self):
+        stmt = parse("SELECT a FROM T JOIN S ON T.x = S.x")
+        assert stmt.from_items[1].join_type is JoinType.INNER
+        assert isinstance(stmt.from_items[1].on, AstComparison)
+
+    def test_left_outer_join(self):
+        stmt = parse("SELECT a FROM T LEFT OUTER JOIN S ON T.x = S.x")
+        assert stmt.from_items[1].join_type is JoinType.LEFT_OUTER
+
+    def test_left_join_shorthand(self):
+        stmt = parse("SELECT a FROM T LEFT JOIN S ON T.x = S.x")
+        assert stmt.from_items[1].join_type is JoinType.LEFT_OUTER
+
+    def test_derived_table(self):
+        stmt = parse("SELECT a FROM (SELECT b FROM S) AS d")
+        assert stmt.from_items[0].table.subquery is not None
+        assert stmt.from_items[0].table.alias == "d"
+
+    def test_join_requires_on(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM T JOIN S")
+
+
+class TestParserPredicates:
+    def test_between(self):
+        stmt = parse("SELECT a FROM T WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, AstBetween)
+
+    def test_in_list(self):
+        stmt = parse("SELECT a FROM T WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, AstInList)
+        assert len(stmt.where.values) == 3
+
+    def test_not_in_list(self):
+        stmt = parse("SELECT a FROM T WHERE a NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_in_subquery(self):
+        stmt = parse("SELECT a FROM T WHERE a IN (SELECT b FROM S)")
+        assert isinstance(stmt.where, AstInSubquery)
+
+    def test_exists(self):
+        stmt = parse("SELECT a FROM T WHERE EXISTS (SELECT b FROM S)")
+        assert isinstance(stmt.where, AstExists)
+
+    def test_is_null(self):
+        stmt = parse("SELECT a FROM T WHERE a IS NULL")
+        assert isinstance(stmt.where, AstIsNull)
+        assert not stmt.where.negated
+
+    def test_is_not_null(self):
+        stmt = parse("SELECT a FROM T WHERE a IS NOT NULL")
+        assert stmt.where.negated
+
+    def test_scalar_subquery_comparison(self):
+        stmt = parse("SELECT a FROM T WHERE a > (SELECT MAX(b) FROM S)")
+        assert isinstance(stmt.where.right, AstScalarSubquery)
+
+
+class TestParserExpressions:
+    def test_arithmetic_precedence(self):
+        stmt = parse("SELECT a + b * 2 FROM T")
+        expr = stmt.select_items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parenthesized(self):
+        stmt = parse("SELECT (a + b) * 2 FROM T")
+        assert stmt.select_items[0].expr.op == "*"
+
+    def test_negative_literal(self):
+        stmt = parse("SELECT a FROM T WHERE a > -5")
+        assert stmt.where.right == AstLiteral(-5)
+
+    def test_count_star(self):
+        stmt = parse("SELECT COUNT(*) FROM T")
+        agg = stmt.select_items[0].expr
+        assert isinstance(agg, AstAggregate)
+        assert agg.arg is None
+
+    def test_count_relation_star(self):
+        stmt = parse("SELECT COUNT(Emp.*) FROM Emp")
+        assert stmt.select_items[0].expr.arg is None
+
+    def test_count_distinct(self):
+        stmt = parse("SELECT COUNT(DISTINCT a) FROM T")
+        assert stmt.select_items[0].expr.distinct
+
+    def test_function_call(self):
+        stmt = parse("SELECT a FROM T WHERE match(a, 5)")
+        from repro.sql.ast import AstFuncCall
+
+        assert isinstance(stmt.where, AstFuncCall)
+        assert len(stmt.where.args) == 2
+
+    def test_string_literal(self):
+        stmt = parse("SELECT a FROM T WHERE b = 'Denver'")
+        assert stmt.where.right == AstLiteral("Denver")

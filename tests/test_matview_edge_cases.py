@@ -1,0 +1,144 @@
+"""Edge-case tests for materialized-view matching and rewriting."""
+
+import pytest
+
+from repro import Database
+from repro.core.matviews import (
+    MatViewRewriter,
+    create_materialized_view,
+    optimize_with_views,
+)
+from repro.datagen import build_emp_dept, build_star_schema
+from repro.engine import execute
+
+from tests.conftest import assert_same_rows
+
+
+@pytest.fixture
+def star_db():
+    db = Database()
+    build_star_schema(
+        db.catalog, fact_rows=800, dimension_count=2, dimension_rows=12
+    )
+    db.analyze()
+    return db
+
+
+def check(db, sql):
+    result = db.sql(sql)
+    _s, want, _stats = db.naive(sql)
+    assert_same_rows(result.rows, want, msg=sql)
+    return result
+
+
+class TestAggregateViews:
+    def test_count_star_derived_by_summing(self, star_db):
+        create_materialized_view(
+            star_db.catalog,
+            "fine",
+            "SELECT S.d1_id AS d1, S.d2_id AS d2, COUNT(*) AS cnt "
+            "FROM Sales S GROUP BY S.d1_id, S.d2_id",
+        )
+        result = check(
+            star_db,
+            "SELECT S.d1_id, COUNT(*) FROM Sales S GROUP BY S.d1_id",
+        )
+        assert any(
+            t.startswith("materialized-view:") for t in result.rewrite_trace
+        )
+
+    def test_min_max_reaggregation(self, star_db):
+        create_materialized_view(
+            star_db.catalog,
+            "extremes",
+            "SELECT S.d1_id AS d1, MIN(S.amount) AS lo, MAX(S.amount) AS hi "
+            "FROM Sales S GROUP BY S.d1_id",
+        )
+        check(
+            star_db,
+            "SELECT S.d1_id, MIN(S.amount), MAX(S.amount) "
+            "FROM Sales S GROUP BY S.d1_id",
+        )
+
+    def test_avg_not_derivable(self, star_db):
+        """AVG cannot be re-aggregated from partial AVGs; the rewriter
+        must decline rather than produce wrong numbers."""
+        create_materialized_view(
+            star_db.catalog,
+            "avgs",
+            "SELECT S.d1_id AS d1, S.d2_id AS d2, AVG(S.amount) AS a "
+            "FROM Sales S GROUP BY S.d1_id, S.d2_id",
+        )
+        rewriter = MatViewRewriter(star_db.catalog)
+        block = star_db.optimizer().binder.bind_sql(
+            "SELECT S.d1_id, AVG(S.amount) FROM Sales S GROUP BY S.d1_id"
+        )
+        assert all(
+            view.name != "avgs" for view, _b in rewriter.rewrites(block)
+        )
+        # End to end the query is still answered correctly from base data.
+        check(
+            star_db,
+            "SELECT S.d1_id, AVG(S.amount) FROM Sales S GROUP BY S.d1_id",
+        )
+
+    def test_query_with_non_key_filter_not_matched(self, star_db):
+        create_materialized_view(
+            star_db.catalog,
+            "totals",
+            "SELECT S.d1_id AS d1, SUM(S.amount) AS t "
+            "FROM Sales S GROUP BY S.d1_id",
+        )
+        # The filter is on a column the view aggregated away.
+        check(
+            star_db,
+            "SELECT S.d1_id, SUM(S.amount) FROM Sales S "
+            "WHERE S.quantity > 10 GROUP BY S.d1_id",
+        )
+
+
+class TestSpjViewEdgeCases:
+    def test_self_join_mapping(self, emp_dept_db):
+        """A view over Emp must map to the right quantifier in a query
+        that mentions Emp twice."""
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "emp_keys",
+            "SELECT E.emp_no AS eno, E.dept_no AS dno FROM Emp E "
+            "WHERE E.age > 30",
+        )
+        check(
+            emp_dept_db,
+            "SELECT A.name FROM Emp A, Emp B "
+            "WHERE A.emp_no = B.emp_no AND A.age > 30 AND B.sal > 50000",
+        )
+
+    def test_view_over_missing_predicate_declines(self, emp_dept_db):
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "denver",
+            "SELECT E.emp_no AS eno FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no AND D.loc = 'Denver'",
+        )
+        rewriter = MatViewRewriter(emp_dept_db.catalog)
+        block = emp_dept_db.optimizer().binder.bind_sql(
+            "SELECT E.emp_no FROM Emp E, Dept D WHERE E.dept_no = D.dept_no"
+        )
+        # The view is MORE restrictive than the query: no match.
+        assert all(
+            view.name != "denver" for view, _b in rewriter.rewrites(block)
+        )
+
+    def test_optimize_with_views_returns_original_when_no_match(
+        self, emp_dept_db
+    ):
+        optimizer = emp_dept_db.optimizer()
+        best, used = optimize_with_views(
+            optimizer, "SELECT name FROM Emp WHERE age > 60"
+        )
+        assert used is None
+        _schema, rows = execute(best.physical, emp_dept_db.catalog)
+        _s, want, _stats = emp_dept_db.naive(
+            "SELECT name FROM Emp WHERE age > 60"
+        )
+        assert_same_rows(rows, want)

@@ -1,0 +1,269 @@
+"""Tests for the Section 7 subsystems: materialized views, parallel
+optimization, and expensive-predicate placement."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.matviews import (
+    MatViewRewriter,
+    create_materialized_view,
+    optimize_with_views,
+)
+from repro.core.parallel import (
+    CommAwareOptimizer,
+    ParallelMachine,
+    TwoPhaseOptimizer,
+    schedule_plan,
+)
+from repro.core.udf import (
+    ExpensivePredicate,
+    PipelineProblem,
+    compare_strategies,
+    evaluate,
+    optimal_placement,
+    pushdown_placement,
+    rank_placement,
+)
+from repro.datagen import (
+    build_star_schema,
+    graph_stats,
+    sales_star_query_graph,
+)
+from repro.engine import execute
+
+from tests.conftest import assert_same_rows
+
+
+class TestMaterializedViews:
+    def test_create_materializes_rows(self, emp_dept_db):
+        view = create_materialized_view(
+            emp_dept_db.catalog,
+            "emp_by_dept",
+            "SELECT dept_no, COUNT(*) AS n, SUM(sal) AS total "
+            "FROM Emp GROUP BY dept_no",
+        )
+        table = emp_dept_db.catalog.table("emp_by_dept")
+        assert table.row_count == 20
+        assert view.is_aggregate
+
+    def test_aggregate_rewrite_same_grain(self, emp_dept_db):
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "emp_by_dept",
+            "SELECT dept_no, COUNT(*) AS n, SUM(sal) AS total "
+            "FROM Emp GROUP BY dept_no",
+        )
+        optimizer = emp_dept_db.optimizer()
+        sql = "SELECT dept_no, SUM(sal) FROM Emp GROUP BY dept_no"
+        best, used = optimize_with_views(optimizer, sql)
+        assert used is not None and used.name == "emp_by_dept"
+        _schema, rows = execute(best.physical, emp_dept_db.catalog)
+        _s2, want, _st = emp_dept_db.naive(sql)
+        assert_same_rows(rows, want)
+
+    def test_rewrite_with_key_filter(self, emp_dept_db):
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "emp_by_dept2",
+            "SELECT dept_no, COUNT(*) AS n FROM Emp GROUP BY dept_no",
+        )
+        optimizer = emp_dept_db.optimizer()
+        sql = (
+            "SELECT dept_no, COUNT(*) FROM Emp WHERE dept_no = 3 "
+            "GROUP BY dept_no"
+        )
+        best, used = optimize_with_views(optimizer, sql)
+        _schema, rows = execute(best.physical, emp_dept_db.catalog)
+        _s2, want, _st = emp_dept_db.naive(sql)
+        assert_same_rows(rows, want)
+
+    def test_view_cheaper_than_base(self, emp_dept_db):
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "emp_by_dept3",
+            "SELECT dept_no, SUM(sal) AS total FROM Emp GROUP BY dept_no",
+        )
+        optimizer = emp_dept_db.optimizer()
+        sql = "SELECT dept_no, SUM(sal) FROM Emp GROUP BY dept_no"
+        best, used = optimize_with_views(optimizer, sql)
+        base = optimizer.optimize(sql)
+        assert best.physical.est_cost.total <= base.physical.est_cost.total
+
+    def test_spj_view_rewrite(self, emp_dept_db):
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "denver_emps",
+            "SELECT E.emp_no AS eno, E.name AS ename, E.sal AS esal "
+            "FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no AND D.loc = 'Denver'",
+        )
+        rewriter = MatViewRewriter(emp_dept_db.catalog)
+        optimizer = emp_dept_db.optimizer()
+        sql = (
+            "SELECT E.name FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no AND D.loc = 'Denver' "
+            "AND E.sal > 100000"
+        )
+        block = optimizer.binder.bind_sql(sql)
+        rewrites = rewriter.rewrites(block)
+        assert rewrites, "SPJ view should match"
+        _view, new_block = rewrites[0]
+        optimized = optimizer.optimize_block(new_block)
+        _schema, rows = execute(optimized.physical, emp_dept_db.catalog)
+        _s2, want, _st = emp_dept_db.naive(sql)
+        assert_same_rows(rows, want)
+
+    def test_mismatched_view_not_used(self, emp_dept_db):
+        create_materialized_view(
+            emp_dept_db.catalog,
+            "old_emps",
+            "SELECT name AS n FROM Emp WHERE age > 60",
+        )
+        rewriter = MatViewRewriter(emp_dept_db.catalog)
+        block = emp_dept_db.optimizer().binder.bind_sql(
+            "SELECT name FROM Emp WHERE age > 30"
+        )
+        # The view's predicate (age > 60) is not implied syntactically.
+        assert all(
+            view.name != "old_emps" for view, _b in rewriter.rewrites(block)
+        )
+
+
+@pytest.fixture(scope="module")
+def star_setup():
+    catalog = Catalog()
+    build_star_schema(catalog, fact_rows=2000, dimension_count=3, dimension_rows=40)
+    graph = sales_star_query_graph(3)
+    return catalog, graph, graph_stats(catalog, graph)
+
+
+class TestParallel:
+    def test_response_time_drops_with_processors(self, star_setup):
+        catalog, graph, stats = star_setup
+        times = []
+        for processors in (1, 4, 16):
+            machine = ParallelMachine(
+                processors=processors,
+                comm_cost_per_page=0.05,
+                startup_cost_per_processor=0.01,
+            )
+            _plan, schedule = TwoPhaseOptimizer(
+                catalog, graph, stats, machine
+            ).optimize()
+            times.append(schedule.response_time)
+        assert times[0] > times[1] > times[2]
+
+    def test_total_work_grows_with_processors(self, star_setup):
+        """Footnote 5: parallelism reduces response time but often
+        increases total work."""
+        catalog, graph, stats = star_setup
+        machine1 = ParallelMachine(processors=1, comm_cost_per_page=0.5)
+        machine8 = ParallelMachine(processors=8, comm_cost_per_page=0.5)
+        _p1, serial = TwoPhaseOptimizer(catalog, graph, stats, machine1).optimize()
+        _p8, parallel = TwoPhaseOptimizer(catalog, graph, stats, machine8).optimize()
+        assert parallel.total_work > serial.total_work
+
+    def test_comm_aware_beats_two_phase_when_comm_expensive(self, star_setup):
+        catalog, graph, stats = star_setup
+        machine = ParallelMachine(processors=8, comm_cost_per_page=20.0)
+        _plan, two_phase = TwoPhaseOptimizer(
+            catalog, graph, stats, machine
+        ).optimize()
+        comm_aware = CommAwareOptimizer(catalog, graph, stats, machine).optimize()
+        assert comm_aware.response_time <= two_phase.response_time
+
+    def test_single_processor_no_comm(self, star_setup):
+        catalog, graph, stats = star_setup
+        machine = ParallelMachine(processors=1, comm_cost_per_page=10.0)
+        schedule = CommAwareOptimizer(catalog, graph, stats, machine).optimize()
+        assert schedule.comm_cost == 0.0
+
+    def test_machine_validation(self):
+        with pytest.raises(ValueError):
+            ParallelMachine(processors=0)
+
+    def test_broadcast_scales_with_processors(self):
+        small = ParallelMachine(processors=2).broadcast_cost(10)
+        large = ParallelMachine(processors=8).broadcast_cost(10)
+        assert large > small
+
+
+class TestExpensivePredicates:
+    def shrinking_pipeline(self):
+        """Joins shrink the stream, so delaying the expensive predicate wins."""
+        return PipelineProblem(
+            base_rows=[100_000.0, 100.0, 10.0],
+            join_selectivities=[0.0001, 0.001],
+            predicates=[
+                ExpensivePredicate("classify", 0, per_tuple_cost=100.0,
+                                   selectivity=0.5)
+            ],
+        )
+
+    def growing_pipeline(self):
+        """Joins blow up the stream, so pushdown is right."""
+        return PipelineProblem(
+            base_rows=[1_000.0, 1_000.0],
+            join_selectivities=[0.1],
+            predicates=[
+                ExpensivePredicate("classify", 0, per_tuple_cost=100.0,
+                                   selectivity=0.5)
+            ],
+        )
+
+    def test_pushdown_suboptimal_when_joins_shrink(self):
+        problem = self.shrinking_pipeline()
+        costs = compare_strategies(problem)
+        assert costs["optimal"] < costs["pushdown"]
+
+    def test_pushdown_fine_when_joins_grow(self):
+        problem = self.growing_pipeline()
+        costs = compare_strategies(problem)
+        assert costs["pushdown"] == pytest.approx(costs["optimal"])
+
+    def test_optimal_never_worse(self):
+        for problem in (self.shrinking_pipeline(), self.growing_pipeline()):
+            costs = compare_strategies(problem)
+            assert costs["optimal"] <= costs["pushdown"] + 1e-9
+            assert costs["optimal"] <= costs["rank"] + 1e-9
+
+    def test_rank_optimal_without_joins(self):
+        """[29, 30]: rank ordering is optimal for a single relation."""
+        problem = PipelineProblem(
+            base_rows=[10_000.0],
+            join_selectivities=[],
+            predicates=[
+                ExpensivePredicate("a", 0, 10.0, 0.9),
+                ExpensivePredicate("b", 0, 100.0, 0.1),
+                ExpensivePredicate("c", 0, 1.0, 0.5),
+            ],
+        )
+        costs = compare_strategies(problem)
+        assert costs["rank"] == pytest.approx(costs["optimal"])
+
+    def test_rank_can_lose_with_joins(self):
+        """The paper: extending ranks to join queries may be suboptimal."""
+        problem = PipelineProblem(
+            base_rows=[50_000.0, 10.0],
+            join_selectivities=[0.0001],
+            predicates=[
+                # Rank suggests running this early (cheap-ish, selective),
+                # but the join shrinks the stream by 1000x first.
+                ExpensivePredicate("p", 0, per_tuple_cost=50.0, selectivity=0.2),
+            ],
+        )
+        costs = compare_strategies(problem)
+        assert costs["optimal"] < costs["rank"]
+
+    def test_bad_placement_rejected(self):
+        problem = self.growing_pipeline()
+        from repro.errors import OptimizerError
+
+        with pytest.raises(OptimizerError):
+            evaluate(problem, {"classify": 5})
+
+    def test_placement_validation(self):
+        from repro.errors import OptimizerError
+
+        with pytest.raises(OptimizerError):
+            PipelineProblem(base_rows=[10.0, 10.0], join_selectivities=[])

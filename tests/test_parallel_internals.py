@@ -1,0 +1,116 @@
+"""Unit tests for the parallel machine model and scheduling internals."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.cascades import Memo, MExpr
+from repro.core.parallel import ParallelMachine, schedule_plan
+from repro.core.parallel.twophase import _canonical
+from repro.cost import DEFAULT_PARAMETERS
+from repro.datagen import build_chain_tables, chain_query_graph, graph_stats
+from repro.core.systemr import SystemRJoinEnumerator
+from repro.expr import col
+from repro.physical.properties import (
+    Partitioning,
+    PartitionScheme,
+    PhysicalProps,
+    order_satisfies,
+)
+
+
+class TestMachineModel:
+    def test_partitioned_time_shrinks(self):
+        fast = ParallelMachine(processors=8, startup_cost_per_processor=0.0)
+        slow = ParallelMachine(processors=1)
+        assert fast.partitioned_time(800) < slow.partitioned_time(800)
+
+    def test_startup_counterweight(self):
+        machine = ParallelMachine(processors=16, startup_cost_per_processor=5.0)
+        # Tiny work: parallelizing is not worth the startup.
+        assert machine.partitioned_time(1.0) > 1.0
+
+    def test_repartition_fraction(self):
+        machine = ParallelMachine(processors=4, comm_cost_per_page=1.0)
+        # 3/4 of pages move on average.
+        assert machine.repartition_cost(100) == pytest.approx(75.0)
+
+    def test_single_node_no_comm(self):
+        machine = ParallelMachine(processors=1, comm_cost_per_page=10.0)
+        assert machine.repartition_cost(100) == 0.0
+        assert machine.broadcast_cost(100) == 0.0
+
+
+class TestSchedulePlan:
+    def test_exchanges_counted(self):
+        catalog = Catalog()
+        names = build_chain_tables(catalog, 3, rows_per_relation=100)
+        graph = chain_query_graph(names)
+        stats = graph_stats(catalog, graph)
+        plan, _cost = SystemRJoinEnumerator(catalog, graph, stats).best_plan()
+        machine = ParallelMachine(processors=4, comm_cost_per_page=1.0)
+        schedule = schedule_plan(plan, machine, DEFAULT_PARAMETERS)
+        assert schedule.exchanges >= 1
+        assert schedule.comm_cost > 0
+        assert schedule.response_time > 0
+
+    def test_canonical_order_insensitive(self):
+        a = _canonical([col("R", "x"), col("S", "y")])
+        b = _canonical([col("S", "y"), col("R", "x")])
+        assert a == b
+
+
+class TestPartitioningProperty:
+    def test_broadcast_satisfies_hash(self):
+        broadcast = Partitioning(PartitionScheme.BROADCAST, degree=4)
+        hashed = Partitioning(
+            PartitionScheme.HASH, (col("R", "x"),), degree=4
+        )
+        assert broadcast.satisfies(hashed)
+        assert not hashed.satisfies(
+            Partitioning(PartitionScheme.SINGLETON)
+        )
+
+    def test_hash_needs_same_columns(self):
+        on_x = Partitioning(PartitionScheme.HASH, (col("R", "x"),), 4)
+        on_y = Partitioning(PartitionScheme.HASH, (col("R", "y"),), 4)
+        assert on_x.satisfies(on_x)
+        assert not on_x.satisfies(on_y)
+
+    def test_physical_props_vector(self):
+        props = PhysicalProps(
+            order=((col("R", "x"), True),),
+            partitioning=Partitioning(PartitionScheme.HASH, (col("R", "x"),), 4),
+        )
+        need_order_only = PhysicalProps(order=((col("R", "x"), True),))
+        assert props.satisfies(need_order_only)
+        need_more = PhysicalProps(
+            partitioning=Partitioning(PartitionScheme.HASH, (col("R", "y"),), 4)
+        )
+        assert not props.satisfies(need_more)
+
+
+class TestMemoUnit:
+    def test_group_created_on_demand(self):
+        memo = Memo()
+        aliases = frozenset({"A", "B"})
+        assert not memo.has_group(aliases)
+        group = memo.group(aliases)
+        assert memo.has_group(aliases)
+        assert memo.group(aliases) is group
+
+    def test_mexpr_dedup(self):
+        memo = Memo()
+        group = memo.group(frozenset({"A", "B"}))
+        expr = MExpr("join", left=frozenset({"A"}), right=frozenset({"B"}))
+        assert group.add(expr)
+        assert not group.add(
+            MExpr("join", left=frozenset({"A"}), right=frozenset({"B"}))
+        )
+        assert memo.mexpr_count == 1
+
+    def test_counts(self):
+        memo = Memo()
+        memo.group(frozenset({"A"})).add(MExpr("get", alias="A"))
+        memo.group(frozenset({"B"})).add(MExpr("get", alias="B"))
+        assert memo.group_count == 2
+        assert memo.mexpr_count == 2

@@ -1,0 +1,110 @@
+"""Tests for parametric / dynamic plan optimization (Section 7.4)."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.parametric import (
+    ChoosePlan,
+    ParameterMarker,
+    ParametricOptimizer,
+)
+from repro.datagen import graph_stats
+from repro.errors import OptimizerError
+from repro.expr import Comparison, ComparisonOp, col, lit
+from repro.logical.querygraph import QueryGraph
+from repro.stats import analyze_table
+
+
+@pytest.fixture(scope="module")
+def setup():
+    """Fact(k, v) joined with Small(k, w); the parameter filters Fact.v.
+
+    At tiny selectivity an index path wins; at large selectivity a scan
+    + hash join wins, so the plan diagram has at least two regions.
+    """
+    catalog = Catalog()
+    rng = random.Random(141)
+    fact = catalog.create_table(
+        "Fact",
+        [Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+    )
+    for _ in range(8000):
+        fact.insert((rng.randint(1, 50), rng.randint(1, 10_000)))
+    # Unclustered index: a selective seek wins, an unselective one pays a
+    # random page read per row and loses to the scan -- the plan flips.
+    catalog.create_index("idx_fact_v", "Fact", ["v"])
+    small = catalog.create_table(
+        "Small", [Column("k", ColumnType.INT), Column("w", ColumnType.INT)]
+    )
+    for k in range(1, 51):
+        small.insert((k, k * 10))
+    analyze_table(catalog, "Fact")
+    analyze_table(catalog, "Small")
+
+    def build_graph(value: float) -> QueryGraph:
+        graph = QueryGraph()
+        graph.add_relation("F", "Fact")
+        graph.add_relation("S", "Small")
+        graph.add_predicate(
+            Comparison(ComparisonOp.EQ, col("F", "k"), col("S", "k"))
+        )
+        graph.add_predicate(
+            Comparison(ComparisonOp.LT, col("F", "v"), lit(value))
+        )
+        return graph
+
+    marker = ParameterMarker(col("F", "v"), ComparisonOp.LT)
+    optimizer = ParametricOptimizer(
+        catalog, build_graph, graph_stats(catalog, build_graph(100)), marker
+    )
+    return optimizer
+
+
+class TestPlanDiagram:
+    def test_regions_cover_samples(self, setup):
+        samples = [10, 100, 1000, 5000, 9900]
+        diagram = setup.plan_diagram(samples)
+        assert diagram.regions
+        for value in samples:
+            assert diagram.choose(value) is not None
+
+    def test_multiple_plans_across_range(self, setup):
+        samples = [10, 50, 200, 1000, 4000, 9900]
+        diagram = setup.plan_diagram(samples)
+        assert diagram.distinct_plans >= 2, (
+            "selectivity sweep should flip the access path"
+        )
+
+    def test_adjacent_same_plans_merged(self, setup):
+        diagram = setup.plan_diagram([9000, 9300, 9600, 9900])
+        # High selectivity end: one region expected (scan-based plan).
+        assert len(diagram.regions) <= 2
+
+    def test_choose_outside_range_clamps(self, setup):
+        diagram = setup.plan_diagram([100, 5000])
+        assert diagram.choose(-5) is diagram.regions[0].plan
+        assert diagram.choose(10**6) is diagram.regions[-1].plan
+
+    def test_empty_samples_rejected(self, setup):
+        with pytest.raises(OptimizerError):
+            setup.plan_diagram([])
+
+
+class TestStaticRegret:
+    def test_static_plan_never_beats_optimal(self, setup):
+        regrets = setup.static_regret(50, [10, 1000, 9000])
+        for _value, static_cost, optimal in regrets:
+            assert static_cost >= optimal - 1e-6
+
+    def test_static_optimal_at_its_own_value(self, setup):
+        regrets = setup.static_regret(1000, [1000])
+        (_value, static_cost, optimal), = regrets
+        assert static_cost == pytest.approx(optimal)
+
+    def test_regret_grows_away_from_anchor(self, setup):
+        regrets = setup.static_regret(10, [10, 9900])
+        near = regrets[0][1] / max(regrets[0][2], 1e-9)
+        far = regrets[1][1] / max(regrets[1][2], 1e-9)
+        assert far >= near

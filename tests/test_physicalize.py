@@ -1,0 +1,204 @@
+"""Unit tests for the logical-to-physical lowering (SPJ regions to the
+DP enumerator, everything else mapped operator by operator)."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.physicalize import Physicalizer
+from repro.engine import execute, interpret
+from repro.expr import (
+    AggFunc,
+    AggregateCall,
+    Comparison,
+    ComparisonOp,
+    UdfCall,
+    col,
+    eq,
+    lit,
+)
+from repro.logical import (
+    Distinct,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Sort,
+    Union,
+)
+from repro.logical.operators import ProjectItem
+from repro.physical import (
+    DistinctP,
+    HashAggP,
+    HashJoinP,
+    NLJoinP,
+    SortP,
+    StreamAggP,
+    UdfFilterP,
+    walk_physical,
+)
+
+from tests.conftest import assert_same_rows
+
+
+@pytest.fixture
+def setup():
+    catalog = Catalog()
+    r = catalog.create_table(
+        "R", [Column("a", ColumnType.INT), Column("v", ColumnType.INT)]
+    )
+    s = catalog.create_table(
+        "S", [Column("a", ColumnType.INT), Column("w", ColumnType.INT)]
+    )
+    for i in range(60):
+        r.insert((i % 12, i))
+        s.insert((i % 12, i + 100))
+    from repro.stats import analyze_all
+
+    analyze_all(catalog)
+    return catalog, Physicalizer(catalog)
+
+
+def check_equivalent(catalog, logical, physical):
+    ref_schema, want = interpret(logical, catalog)
+    schema, got = execute(physical, catalog)
+    positions = [ref_schema.slots.index(slot) for slot in schema.slots]
+    remapped = [tuple(row[p] for p in positions) for row in want]
+    assert_same_rows(got, remapped)
+
+
+class TestSpjRegions:
+    def test_join_region_uses_enumerator(self, setup):
+        catalog, physicalizer = setup
+        tree = Filter(
+            Join(
+                Get("R", "R", ["a", "v"]),
+                Get("S", "S", ["a", "w"]),
+                eq(col("R", "a"), col("S", "a")),
+                JoinKind.INNER,
+            ),
+            Comparison(ComparisonOp.GT, col("R", "v"), lit(30)),
+        )
+        plan = physicalizer.physicalize(tree)
+        # The enumerator produces a real join algorithm, not Apply/NL-on-cross.
+        joins = [n for n in walk_physical(plan)
+                 if "Join" in type(n).__name__]
+        assert joins
+        check_equivalent(catalog, tree, plan)
+
+    def test_region_cost_annotated(self, setup):
+        _catalog, physicalizer = setup
+        tree = Get("R", "R", ["a", "v"])
+        plan = physicalizer.physicalize(tree)
+        assert plan.est_rows == 60
+        assert plan.est_cost.total > 0
+
+    def test_udf_breaks_region(self, setup):
+        catalog, physicalizer = setup
+        udf = UdfCall("f", [col("R", "v")], 50.0, 0.5,
+                      fn=lambda v: v is not None and v % 2 == 0)
+        tree = Filter(Get("R", "R", ["a", "v"]), udf)
+        plan = physicalizer.physicalize(tree)
+        assert any(isinstance(n, UdfFilterP) for n in walk_physical(plan))
+        check_equivalent(catalog, tree, plan)
+
+
+class TestOperatorMapping:
+    def test_semi_join_maps_to_hash(self, setup):
+        catalog, physicalizer = setup
+        tree = Join(
+            Get("R", "R", ["a", "v"]),
+            Get("S", "S", ["a", "w"]),
+            eq(col("R", "a"), col("S", "a")),
+            JoinKind.SEMI,
+        )
+        plan = physicalizer.physicalize(tree)
+        assert isinstance(plan, HashJoinP)
+        assert plan.kind is JoinKind.SEMI
+        check_equivalent(catalog, tree, plan)
+
+    def test_non_equi_outer_join_maps_to_nl(self, setup):
+        catalog, physicalizer = setup
+        tree = Join(
+            Get("R", "R", ["a", "v"]),
+            Get("S", "S", ["a", "w"]),
+            Comparison(ComparisonOp.LT, col("R", "v"), col("S", "w")),
+            JoinKind.LEFT_OUTER,
+        )
+        plan = physicalizer.physicalize(tree)
+        assert isinstance(plan, NLJoinP)
+        check_equivalent(catalog, tree, plan)
+
+    def test_groupby_maps_to_hash_agg(self, setup):
+        catalog, physicalizer = setup
+        tree = GroupBy(
+            Get("R", "R", ["a", "v"]),
+            [col("R", "a")],
+            [AggregateCall(AggFunc.SUM, col("R", "v"), alias="s")],
+        )
+        plan = physicalizer.physicalize(tree)
+        assert isinstance(plan, HashAggP)
+        check_equivalent(catalog, tree, plan)
+
+    def test_distinct_and_union(self, setup):
+        catalog, physicalizer = setup
+        left = Project(Get("R", "R", ["a", "v"]), [ProjectItem(col("R", "a"), "a")])
+        right = Project(Get("S", "S", ["a", "w"]), [ProjectItem(col("S", "a"), "a")])
+        tree = Union(left, right, all_rows=False)
+        plan = physicalizer.physicalize(tree)
+        assert isinstance(plan, DistinctP)
+        check_equivalent(catalog, tree, plan)
+
+    def test_sort_skipped_when_order_delivered(self, setup):
+        catalog, physicalizer = setup
+        inner = Sort(Get("R", "R", ["a", "v"]), [(col("R", "a"), True)])
+        tree = Sort(inner, [(col("R", "a"), True)])
+        plan = physicalizer.physicalize(tree)
+        sorts = [n for n in walk_physical(plan) if isinstance(n, SortP)]
+        assert len(sorts) == 1  # the redundant second sort is elided
+
+    def test_udf_chain_ordered_by_rank(self, setup):
+        catalog, physicalizer = setup
+        cheap = UdfCall("cheap", [col("R", "v")], 5.0, 0.1,
+                        fn=lambda v: True)
+        pricey = UdfCall("pricey", [col("R", "v")], 500.0, 0.9,
+                         fn=lambda v: True)
+        from repro.expr import BoolExpr, BoolOp
+
+        tree = Filter(Get("R", "R", ["a", "v"]),
+                      BoolExpr(BoolOp.AND, [pricey, cheap]))
+        plan = physicalizer.physicalize(tree)
+        udfs = [n.udf.name for n in walk_physical(plan)
+                if isinstance(n, UdfFilterP)]
+        # walk is top-down: the pricey one is applied last (outermost).
+        assert udfs == ["pricey", "cheap"]
+
+
+class TestOrderPropagation:
+    def test_order_by_satisfied_by_index_through_projection(self):
+        """ORDER BY on an indexed column flows through the projection to
+        the enumerator; no explicit sort remains in the plan."""
+        from repro import Database
+        from repro.datagen import build_emp_dept
+
+        db = Database()
+        build_emp_dept(db.catalog, emp_rows=300, dept_rows=20)
+        db.analyze()
+        result = db.sql("SELECT emp_no, name FROM Emp ORDER BY emp_no")
+        assert not any(
+            isinstance(node, SortP) for node in walk_physical(result.plan)
+        ), result.plan.explain()
+        values = [row[0] for row in result.rows]
+        assert values == sorted(values)
+
+    def test_order_by_without_index_still_sorted(self):
+        from repro import Database
+        from repro.datagen import build_emp_dept
+
+        db = Database()
+        build_emp_dept(db.catalog, emp_rows=300, dept_rows=20)
+        db.analyze()
+        result = db.sql("SELECT name, sal FROM Emp ORDER BY sal")
+        values = [row[1] for row in result.rows]
+        assert values == sorted(values)

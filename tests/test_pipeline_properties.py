@@ -1,0 +1,122 @@
+"""End-to-end property tests: arbitrary queries through the full
+optimizer pipeline must match the reference interpreter."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database
+from repro.catalog import Catalog, Column, ColumnType
+
+from tests.conftest import assert_same_rows
+
+
+def build_db(t_rows, u_rows):
+    db = Database()
+    t = db.create_table(
+        "T",
+        [Column("id", ColumnType.INT, nullable=False),
+         Column("k", ColumnType.INT), Column("v", ColumnType.INT)],
+        primary_key=["id"],
+    )
+    for i, (k, v) in enumerate(t_rows):
+        t.insert((i, k, v))
+    u = db.create_table(
+        "U",
+        [Column("id", ColumnType.INT, nullable=False),
+         Column("k", ColumnType.INT), Column("w", ColumnType.INT)],
+        primary_key=["id"],
+    )
+    for i, (k, w) in enumerate(u_rows):
+        u.insert((i, k, w))
+    db.analyze()
+    return db
+
+
+pairs = st.lists(
+    st.tuples(
+        st.one_of(st.integers(0, 4), st.none()),
+        st.integers(0, 20),
+    ),
+    min_size=0,
+    max_size=10,
+)
+
+
+class TestPipelineEquivalence:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(t_rows=pairs, u_rows=pairs, bound=st.integers(0, 20),
+           op=st.sampled_from(["<", "<=", "=", ">", ">="]))
+    def test_filtered_join(self, t_rows, u_rows, bound, op):
+        db = build_db(t_rows, u_rows)
+        sql = (
+            "SELECT T.id, U.id FROM T, U "
+            f"WHERE T.k = U.k AND T.v {op} {bound}"
+        )
+        result = db.sql(sql)
+        _s, want, _stats = db.naive(sql)
+        assert_same_rows(result.rows, want, msg=sql)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(t_rows=pairs, u_rows=pairs, negate=st.booleans())
+    def test_membership_subquery(self, t_rows, u_rows, negate):
+        db = build_db(t_rows, u_rows)
+        keyword = "NOT IN" if negate else "IN"
+        sql = f"SELECT id FROM T WHERE k {keyword} (SELECT k FROM U)"
+        result = db.sql(sql)
+        _s, want, _stats = db.naive(sql)
+        assert_same_rows(result.rows, want, msg=sql)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(t_rows=pairs)
+    def test_group_by_aggregates(self, t_rows):
+        db = build_db(t_rows, [])
+        sql = (
+            "SELECT k, COUNT(*), SUM(v), MIN(v), MAX(v) FROM T GROUP BY k"
+        )
+        result = db.sql(sql)
+        _s, want, _stats = db.naive(sql)
+        assert_same_rows(result.rows, want, msg=sql)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(t_rows=pairs, u_rows=pairs)
+    def test_left_outer_join(self, t_rows, u_rows):
+        db = build_db(t_rows, u_rows)
+        sql = (
+            "SELECT T.id, U.id FROM T LEFT OUTER JOIN U ON T.k = U.k"
+        )
+        result = db.sql(sql)
+        _s, want, _stats = db.naive(sql)
+        assert_same_rows(result.rows, want, msg=sql)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(t_rows=pairs, u_rows=pairs)
+    def test_correlated_count(self, t_rows, u_rows):
+        db = build_db(t_rows, u_rows)
+        sql = (
+            "SELECT T.id FROM T WHERE T.v >= "
+            "(SELECT COUNT(*) FROM U WHERE U.k = T.k)"
+        )
+        result = db.sql(sql)
+        _s, want, _stats = db.naive(sql)
+        assert_same_rows(result.rows, want, msg=sql)

@@ -1,0 +1,298 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the correctness spine of the system: join algorithms agree
+with the reference semantics on arbitrary data (including NULLs and
+duplicates), histograms respect their accounting invariants, estimation
+stays within bounds, and decorrelation preserves query results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.rewrite import RewriteContext, default_rule_engine
+from repro.core.systemr import EnumeratorConfig, SystemRJoinEnumerator
+from repro.cost import cardenas_yao_pages
+from repro.datagen import graph_stats
+from repro.engine import execute, interpret
+from repro.expr import (
+    BoolExpr,
+    BoolOp,
+    Comparison,
+    ComparisonOp,
+    col,
+    conjoin,
+    conjuncts,
+    eq,
+    lit,
+)
+from repro.logical import Filter, Get, Join, JoinKind
+from repro.logical.lower import lower_block
+from repro.logical.querygraph import QueryGraph
+from repro.physical import HashJoinP, MergeJoinP, NLJoinP, SeqScanP, SortP
+from repro.physical.properties import make_order, order_satisfies
+from repro.sql import Binder
+from repro.stats import (
+    CompressedHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    SelectivityEstimator,
+    analyze_table,
+)
+
+from tests.conftest import assert_same_rows
+
+# Small-integer columns with NULLs and duplicates.
+nullable_ints = st.lists(
+    st.one_of(st.integers(min_value=0, max_value=5), st.none()),
+    min_size=0,
+    max_size=12,
+)
+values_lists = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=0, max_size=200
+)
+
+
+def build_rs(r_keys, s_keys):
+    catalog = Catalog()
+    r = catalog.create_table(
+        "R", [Column("a", ColumnType.INT), Column("rid", ColumnType.INT)]
+    )
+    s = catalog.create_table(
+        "S", [Column("a", ColumnType.INT), Column("sid", ColumnType.INT)]
+    )
+    for i, key in enumerate(r_keys):
+        r.insert((key, i))
+    for i, key in enumerate(s_keys):
+        s.insert((key, i + 1000))
+    return catalog
+
+
+def scan(catalog, name):
+    return SeqScanP(name, name, catalog.schema(name).column_names)
+
+
+class TestJoinAlgorithmEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(r_keys=nullable_ints, s_keys=nullable_ints, kind_index=st.integers(0, 3))
+    def test_all_join_algorithms_agree(self, r_keys, s_keys, kind_index):
+        kind = [JoinKind.INNER, JoinKind.LEFT_OUTER, JoinKind.SEMI, JoinKind.ANTI][
+            kind_index
+        ]
+        catalog = build_rs(r_keys, s_keys)
+        reference = Join(
+            Get("R", "R", ["a", "rid"]),
+            Get("S", "S", ["a", "sid"]),
+            eq(col("R", "a"), col("S", "a")),
+            kind,
+        )
+        _rschema, want = interpret(reference, catalog)
+        nl = NLJoinP(
+            scan(catalog, "R"), scan(catalog, "S"),
+            eq(col("R", "a"), col("S", "a")), kind,
+        )
+        hash_join = HashJoinP(
+            scan(catalog, "R"), scan(catalog, "S"),
+            [col("R", "a")], [col("S", "a")], kind,
+        )
+        merge = MergeJoinP(
+            SortP(scan(catalog, "R"), make_order([col("R", "a")])),
+            SortP(scan(catalog, "S"), make_order([col("S", "a")])),
+            [col("R", "a")], [col("S", "a")], kind,
+        )
+        for plan in (nl, hash_join, merge):
+            _schema, got = execute(plan, catalog)
+            assert_same_rows(got, want, msg=f"{type(plan).__name__}[{kind}]")
+
+
+class TestHistogramProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_lists, buckets=st.integers(1, 12))
+    def test_row_accounting(self, values, buckets):
+        for cls in (EquiWidthHistogram, EquiDepthHistogram, CompressedHistogram):
+            histogram = cls.from_values(values, buckets)
+            assert histogram.total_rows == pytest.approx(len(values), rel=0.02)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=values_lists,
+        buckets=st.integers(1, 10),
+        low=st.integers(-60, 60),
+        width=st.integers(0, 60),
+    )
+    def test_estimates_bounded_and_restriction_shrinks(
+        self, values, buckets, low, width
+    ):
+        histogram = EquiDepthHistogram.from_values(values, buckets)
+        estimate = histogram.estimate_range(low, low + width)
+        assert 0.0 <= estimate <= 1.0
+        restricted = histogram.restrict_range(low, low + width)
+        assert restricted.total_rows <= histogram.total_rows + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=values_lists, point=st.integers(-60, 60))
+    def test_point_estimate_bounded(self, values, point):
+        histogram = CompressedHistogram.from_values(values, 8)
+        assert 0.0 <= histogram.estimate_eq(point) <= 1.0
+
+
+class TestSelectivityProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 30), min_size=1, max_size=150),
+        bound=st.integers(-5, 35),
+    )
+    def test_range_and_negation_consistency(self, values, bound):
+        catalog = Catalog()
+        table = catalog.create_table("T", [Column("x", ColumnType.INT)])
+        for value in values:
+            table.insert((value,))
+        stats = analyze_table(catalog, "T")
+        estimator = SelectivityEstimator({"T": stats})
+        less = estimator.selectivity(
+            Comparison(ComparisonOp.LE, col("T", "x"), lit(bound))
+        )
+        greater = estimator.selectivity(
+            Comparison(ComparisonOp.GT, col("T", "x"), lit(bound))
+        )
+        assert 0.0 <= less <= 1.0
+        assert 0.0 <= greater <= 1.0
+        assert less + greater == pytest.approx(1.0, abs=0.2)
+
+
+class TestEnumeratorProperties:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        sizes=st.lists(st.integers(2, 25), min_size=2, max_size=4),
+        seed=st.integers(0, 1000),
+    )
+    def test_any_config_produces_correct_rows(self, sizes, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        catalog = Catalog()
+        graph = QueryGraph()
+        previous = None
+        for index, size in enumerate(sizes, start=1):
+            name = f"T{index}"
+            table = catalog.create_table(
+                name, [Column("a", ColumnType.INT), Column("b", ColumnType.INT)]
+            )
+            for _ in range(size):
+                table.insert((rng.randint(1, 4), rng.randint(1, 4)))
+            analyze_table(catalog, name)
+            graph.add_relation(name, name)
+            if previous is not None:
+                graph.add_predicate(
+                    Comparison(ComparisonOp.EQ, col(previous, "b"), col(name, "a"))
+                )
+            previous = name
+        stats = graph_stats(catalog, graph)
+        reference = None
+        for name in graph.aliases:
+            get = Get(name, name, ["a", "b"])
+            if reference is None:
+                reference = get
+            else:
+                predicate = graph.connecting_predicate(
+                    reference.tables(), {name}
+                )
+                reference = Join(reference, get, predicate, JoinKind.INNER)
+        ref_schema, want = interpret(reference, catalog)
+        for config in (
+            EnumeratorConfig(),
+            EnumeratorConfig(bushy=True),
+            EnumeratorConfig(use_interesting_orders=False),
+        ):
+            enumerator = SystemRJoinEnumerator(
+                catalog, graph, stats, config=config
+            )
+            plan, _cost = enumerator.best_plan()
+            schema, got = execute(plan, catalog)
+            positions = [ref_schema.slots.index(slot) for slot in schema.slots]
+            remapped = [tuple(row[p] for p in positions) for row in want]
+            assert_same_rows(got, remapped)
+
+
+class TestDecorrelationProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        emp_depts=st.lists(
+            st.one_of(st.integers(1, 4), st.none()), min_size=0, max_size=10
+        ),
+        dept_ids=st.lists(st.integers(1, 5), min_size=0, max_size=5, unique=True),
+        negate=st.booleans(),
+    )
+    def test_in_subquery_rewrites_preserve_rows(self, emp_depts, dept_ids, negate):
+        catalog = Catalog()
+        emp = catalog.create_table(
+            "E",
+            [Column("eid", ColumnType.INT, nullable=False),
+             Column("d", ColumnType.INT)],
+            primary_key=["eid"],
+        )
+        dept = catalog.create_table(
+            "D",
+            [Column("did", ColumnType.INT, nullable=False)],
+            primary_key=["did"],
+        )
+        for i, d in enumerate(emp_depts):
+            emp.insert((i, d))
+        for did in dept_ids:
+            dept.insert((did,))
+        keyword = "NOT IN" if negate else "IN"
+        sql = f"SELECT eid FROM E WHERE d {keyword} (SELECT did FROM D)"
+        block = Binder(catalog).bind_sql(sql)
+        tree = lower_block(block, catalog)
+        _s1, want = interpret(tree, catalog)
+        context = RewriteContext(catalog=catalog)
+        rewritten = default_rule_engine().rewrite(tree, context)
+        _s2, got = interpret(rewritten, catalog)
+        assert_same_rows(got, want, msg=sql)
+
+
+class TestMiscProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        fetched=st.integers(0, 100_000),
+        rows=st.integers(1, 100_000),
+        pages=st.integers(1, 5_000),
+    )
+    def test_cardenas_yao_bounds(self, fetched, rows, pages):
+        touched = cardenas_yao_pages(float(fetched), float(rows), float(pages))
+        assert 0.0 <= touched <= pages + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        columns=st.lists(
+            st.tuples(st.sampled_from("abcd"), st.booleans()),
+            min_size=0,
+            max_size=4,
+        ),
+        prefix_len=st.integers(0, 4),
+    )
+    def test_order_prefix_satisfaction(self, columns, prefix_len):
+        delivered = tuple((col("T", name), asc) for name, asc in columns)
+        required = delivered[: min(prefix_len, len(delivered))]
+        assert order_satisfies(delivered, required)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        parts=st.lists(
+            st.integers(0, 10).map(lambda v: eq(col("T", "x"), lit(v))),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    def test_conjoin_conjuncts_roundtrip(self, parts):
+        predicate = conjoin(parts)
+        if not parts:
+            assert predicate is None
+            assert conjuncts(predicate) == ()
+        else:
+            assert list(conjuncts(predicate)) == list(parts)

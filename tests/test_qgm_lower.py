@@ -1,0 +1,187 @@
+"""Unit tests for the QGM block model and the lowering pass."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.engine import interpret
+from repro.errors import PlanError
+from repro.expr import ColumnRef, col, eq, lit
+from repro.logical import (
+    Apply,
+    Filter,
+    Get,
+    GroupBy,
+    Join,
+    JoinKind,
+    Project,
+    Quantifier,
+    QueryBlock,
+    Sort,
+    SubqueryKind,
+    SubqueryPredicate,
+    fresh_block_label,
+    lower_block,
+    walk,
+)
+from repro.logical.operators import ProjectItem
+from repro.sql import Binder
+
+
+@pytest.fixture
+def catalog(emp_dept_db):
+    return emp_dept_db.catalog
+
+
+class TestQueryBlock:
+    def test_fresh_labels_unique(self):
+        assert fresh_block_label() != fresh_block_label()
+
+    def test_quantifier_requires_exactly_one_target(self):
+        with pytest.raises(PlanError):
+            Quantifier(alias="q")
+        with pytest.raises(PlanError):
+            Quantifier(alias="q", table="T",
+                       block=QueryBlock(label="B"))
+
+    def test_classification_flags(self, catalog):
+        binder = Binder(catalog)
+        spj = binder.bind_sql("SELECT name FROM Emp WHERE sal > 5")
+        assert spj.is_spj and spj.is_single_block
+        grouped = binder.bind_sql(
+            "SELECT dept_no, COUNT(*) FROM Emp GROUP BY dept_no"
+        )
+        assert grouped.has_grouping and not grouped.is_spj
+        nested = binder.bind_sql(
+            "SELECT name FROM Emp WHERE dept_no IN (SELECT dept_no FROM Dept)"
+        )
+        assert not nested.is_single_block
+
+    def test_describe_renders(self, catalog):
+        binder = Binder(catalog)
+        block = binder.bind_sql(
+            "SELECT name FROM Emp WHERE dept_no IN "
+            "(SELECT dept_no FROM Dept WHERE loc = 'Denver') "
+        )
+        text = block.describe()
+        assert "FROM Emp" in text
+        assert "IN" in text
+
+    def test_quantifier_lookup(self, catalog):
+        binder = Binder(catalog)
+        block = binder.bind_sql("SELECT E.name FROM Emp E")
+        assert block.quantifier("E").table == "Emp"
+        with pytest.raises(PlanError):
+            block.quantifier("Z")
+
+
+class TestLowering:
+    def lower(self, catalog, sql):
+        return lower_block(Binder(catalog).bind_sql(sql), catalog)
+
+    def test_spj_shape(self, catalog):
+        tree = self.lower(
+            catalog,
+            "SELECT E.name FROM Emp E, Dept D WHERE E.dept_no = D.dept_no",
+        )
+        kinds = [type(node).__name__ for node in walk(tree)]
+        assert kinds[0] == "Project"
+        assert "Join" in kinds and "Filter" in kinds
+
+    def test_left_join_chain_structure(self, catalog):
+        tree = self.lower(
+            catalog,
+            "SELECT E.name FROM Emp E LEFT OUTER JOIN Dept D "
+            "ON E.dept_no = D.dept_no",
+        )
+        joins = [node for node in walk(tree) if isinstance(node, Join)]
+        assert joins[0].kind is JoinKind.LEFT_OUTER
+        assert joins[0].predicate is not None
+
+    def test_subquery_becomes_apply(self, catalog):
+        tree = self.lower(
+            catalog,
+            "SELECT name FROM Emp WHERE dept_no IN (SELECT dept_no FROM Dept)",
+        )
+        applies = [node for node in walk(tree) if isinstance(node, Apply)]
+        assert len(applies) == 1
+        assert applies[0].kind == "semi"
+
+    def test_scalar_apply_adds_column_then_filters(self, catalog):
+        tree = self.lower(
+            catalog,
+            "SELECT name FROM Emp WHERE sal > (SELECT AVG(sal) FROM Emp)",
+        )
+        applies = [node for node in walk(tree) if isinstance(node, Apply)]
+        assert applies[0].kind == "scalar"
+        # The comparison sits in a Filter above the Apply.
+        filters = [node for node in walk(tree) if isinstance(node, Filter)]
+        assert any(
+            any(ref.column == "_scalar" for ref in f.predicate.columns())
+            for f in filters
+        )
+
+    def test_order_by_after_projection(self, catalog):
+        tree = self.lower(catalog, "SELECT sal AS pay FROM Emp ORDER BY pay")
+        assert isinstance(tree, Sort)
+        assert isinstance(tree.child, Project)
+
+    def test_derived_table_rescoped(self, catalog):
+        tree = self.lower(
+            catalog,
+            "SELECT d.t FROM (SELECT SUM(sal) AS t FROM Emp) AS d",
+        )
+        schema = tree.output_schema()
+        assert schema.arity == 1
+        _s, rows = interpret(tree, catalog)
+        assert len(rows) == 1
+
+    def test_group_by_having(self, catalog):
+        tree = self.lower(
+            catalog,
+            "SELECT dept_no, COUNT(*) FROM Emp GROUP BY dept_no "
+            "HAVING COUNT(*) > 5",
+        )
+        groups = [node for node in walk(tree) if isinstance(node, GroupBy)]
+        assert len(groups) == 1
+        # HAVING lands as a Filter above the GroupBy.
+        assert isinstance(tree, Project)
+        assert isinstance(tree.child, Filter)
+
+    def test_empty_from_rejected(self, catalog):
+        block = QueryBlock(label="B")
+        block.select_items = [ProjectItem(lit(1), "one")]
+        with pytest.raises(PlanError):
+            lower_block(block, catalog)
+
+
+class TestOutputSchemas:
+    def test_semi_join_schema_is_left(self):
+        left = Get("T", "T", ["a"])
+        right = Get("U", "U", ["b"])
+        join = Join(left, right, eq(col("T", "a"), col("U", "b")), JoinKind.SEMI)
+        assert join.output_schema().slots == (("T", "a"),)
+
+    def test_apply_scalar_schema(self):
+        left = Get("T", "T", ["a"])
+        right = Get("U", "U", ["b"])
+        apply_node = Apply(left, right, "scalar", parameters=[],
+                           scalar_name="v", scalar_alias="sub")
+        assert apply_node.output_schema().slots == (("T", "a"), ("sub", "v"))
+
+    def test_groupby_schema(self):
+        from repro.expr import AggFunc, AggregateCall
+
+        tree = GroupBy(
+            Get("T", "T", ["a", "b"]),
+            [col("T", "a")],
+            [AggregateCall(AggFunc.COUNT, None, alias="n")],
+            output_alias="G",
+        )
+        assert tree.output_schema().slots == (("T", "a"), ("G", "n"))
+
+    def test_union_arity_mismatch_rejected(self):
+        left = Get("T", "T", ["a"])
+        right = Get("U", "U", ["a", "b"])
+        with pytest.raises(PlanError):
+            Union_ = __import__("repro.logical", fromlist=["Union"]).Union
+            Union_(left, right)

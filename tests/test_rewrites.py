@@ -1,0 +1,493 @@
+"""Tests for the Starburst-style rewrite rules (Sections 4.1-4.3, 6.1).
+
+Every semantic rule is checked by executing the original and rewritten
+trees through the reference interpreter and comparing rows.
+"""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.rewrite import (
+    GroupByPushdownRule,
+    JoinOuterJoinAssociationRule,
+    MergeFiltersRule,
+    PushFilterIntoJoinRule,
+    PushFilterThroughGroupByRule,
+    PushFilterThroughProjectRule,
+    RewriteContext,
+    RuleClass,
+    RuleEngine,
+    SimplifyOuterJoinRule,
+    StagedAggregationRule,
+    default_rule_engine,
+    is_null_rejecting,
+    magic_decorrelate_scalar,
+)
+from repro.engine import interpret
+from repro.expr import (
+    AggFunc,
+    AggregateCall,
+    BoolExpr,
+    BoolOp,
+    Comparison,
+    ComparisonOp,
+    IsNull,
+    col,
+    eq,
+    lit,
+)
+from repro.logical import Filter, Get, GroupBy, Join, JoinKind
+from repro.logical.lower import lower_block
+from repro.logical.operators import Apply, Project, ProjectItem
+from repro.sql import Binder
+
+from tests.conftest import assert_same_rows
+
+
+def rewrite_once(rule, tree, catalog):
+    context = RewriteContext(catalog=catalog)
+    engine = RuleEngine([RuleClass("solo", [rule], max_passes=1)])
+    return engine.rewrite(tree, context), context
+
+
+def assert_equivalent(catalog, before, after):
+    schema_before, rows_before = interpret(before, catalog)
+    schema_after, rows_after = interpret(after, catalog)
+    if schema_before.slots == schema_after.slots:
+        assert_same_rows(rows_after, rows_before)
+    else:
+        positions = [schema_before.slots.index(s) for s in schema_after.slots]
+        remapped = [tuple(row[p] for p in positions) for row in rows_before]
+        assert_same_rows(rows_after, remapped)
+
+
+@pytest.fixture
+def rs_catalog():
+    catalog = Catalog()
+    r = catalog.create_table(
+        "R",
+        [Column("id", ColumnType.INT, nullable=False), Column("a", ColumnType.INT)],
+        primary_key=["id"],
+    )
+    s = catalog.create_table(
+        "S",
+        [Column("id", ColumnType.INT, nullable=False), Column("a", ColumnType.INT),
+         Column("v", ColumnType.INT)],
+        primary_key=["id"],
+    )
+    r.insert_many([(1, 1), (2, 2), (3, 2), (4, None), (5, 9)])
+    s.insert_many(
+        [(1, 1, 10), (2, 2, 20), (3, 2, 21), (4, 3, 30), (5, None, 40)]
+    )
+    return catalog
+
+
+def get_r():
+    return Get("R", "R", ["id", "a"])
+
+
+def get_s():
+    return Get("S", "S", ["id", "a", "v"])
+
+
+class TestNormalizationRules:
+    def test_merge_filters(self, rs_catalog):
+        tree = Filter(Filter(get_r(), eq(col("R", "a"), lit(2))),
+                      Comparison(ComparisonOp.GT, col("R", "id"), lit(1)))
+        rewritten, context = rewrite_once(MergeFiltersRule(), tree, rs_catalog)
+        assert isinstance(rewritten, Filter)
+        assert not isinstance(rewritten.child, Filter)
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_push_filter_into_inner_join(self, rs_catalog):
+        join = Join(get_r(), get_s(), eq(col("R", "a"), col("S", "a")),
+                    JoinKind.INNER)
+        tree = Filter(join, BoolExpr(BoolOp.AND, [
+            Comparison(ComparisonOp.GT, col("R", "id"), lit(1)),
+            Comparison(ComparisonOp.GT, col("S", "v"), lit(15)),
+        ]))
+        rewritten, context = rewrite_once(
+            PushFilterIntoJoinRule(), tree, rs_catalog
+        )
+        assert "push-filter-into-join" in context.trace
+        assert isinstance(rewritten, Join)  # filter fully dissolved
+        assert isinstance(rewritten.left, Filter)
+        assert isinstance(rewritten.right, Filter)
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_cross_becomes_inner(self, rs_catalog):
+        cross = Join(get_r(), get_s(), None, JoinKind.CROSS)
+        tree = Filter(cross, eq(col("R", "a"), col("S", "a")))
+        rewritten, _ = rewrite_once(PushFilterIntoJoinRule(), tree, rs_catalog)
+        assert isinstance(rewritten, Join)
+        assert rewritten.kind is JoinKind.INNER
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_left_outer_right_conjunct_not_pushed(self, rs_catalog):
+        outer = Join(get_r(), get_s(), eq(col("R", "a"), col("S", "a")),
+                     JoinKind.LEFT_OUTER)
+        tree = Filter(outer, IsNull(col("S", "v")))
+        rewritten, _ = rewrite_once(PushFilterIntoJoinRule(), tree, rs_catalog)
+        # IS NULL on the padded side must stay above the outer join.
+        assert isinstance(rewritten, Filter)
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_outerjoin_simplified_by_null_rejecting_filter(self, rs_catalog):
+        outer = Join(get_r(), get_s(), eq(col("R", "a"), col("S", "a")),
+                     JoinKind.LEFT_OUTER)
+        tree = Filter(outer, Comparison(ComparisonOp.GT, col("S", "v"), lit(15)))
+        rewritten, context = rewrite_once(
+            SimplifyOuterJoinRule(), tree, rs_catalog
+        )
+        assert "outerjoin-to-join" in context.trace
+        inner_join = rewritten.child if isinstance(rewritten, Filter) else rewritten
+        assert inner_join.kind is JoinKind.INNER
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_is_null_does_not_simplify_outerjoin(self, rs_catalog):
+        outer = Join(get_r(), get_s(), eq(col("R", "a"), col("S", "a")),
+                     JoinKind.LEFT_OUTER)
+        tree = Filter(outer, IsNull(col("S", "v")))
+        rewritten, context = rewrite_once(
+            SimplifyOuterJoinRule(), tree, rs_catalog
+        )
+        assert "outerjoin-to-join" not in context.trace
+
+    def test_null_rejecting_classifier(self):
+        aliases = frozenset({"S"})
+        assert is_null_rejecting(eq(col("S", "a"), lit(1)), aliases)
+        assert not is_null_rejecting(IsNull(col("S", "a")), aliases)
+        assert is_null_rejecting(IsNull(col("S", "a"), negated=True), aliases)
+        assert not is_null_rejecting(eq(col("R", "a"), lit(1)), aliases)
+
+    def test_push_filter_through_project(self, rs_catalog):
+        project = Project(
+            get_s(), [ProjectItem(col("S", "v"), "value", "P")]
+        )
+        tree = Filter(project, Comparison(
+            ComparisonOp.GT, col("P", "value"), lit(15)))
+        rewritten, context = rewrite_once(
+            PushFilterThroughProjectRule(), tree, rs_catalog
+        )
+        assert isinstance(rewritten, Project)
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_push_filter_through_groupby(self, rs_catalog):
+        grouped = GroupBy(
+            get_s(),
+            [col("S", "a")],
+            [AggregateCall(AggFunc.COUNT, None, alias="n")],
+            output_alias="G",
+        )
+        tree = Filter(grouped, eq(col("S", "a"), lit(2)))
+        rewritten, context = rewrite_once(
+            PushFilterThroughGroupByRule(), tree, rs_catalog
+        )
+        assert isinstance(rewritten, GroupBy)
+        assert isinstance(rewritten.child, Filter)
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_having_on_aggregate_stays(self, rs_catalog):
+        grouped = GroupBy(
+            get_s(),
+            [col("S", "a")],
+            [AggregateCall(AggFunc.COUNT, None, alias="n")],
+            output_alias="G",
+        )
+        tree = Filter(grouped, Comparison(
+            ComparisonOp.GT, col("G", "n"), lit(1)))
+        rewritten, context = rewrite_once(
+            PushFilterThroughGroupByRule(), tree, rs_catalog
+        )
+        assert "push-filter-through-groupby" not in context.trace
+
+
+class TestOuterJoinAssociation:
+    def test_association_identity(self, rs_catalog):
+        # R join (S LOJ T): build T as a copy of R.
+        catalog = rs_catalog
+        t = catalog.create_table(
+            "T", [Column("id", ColumnType.INT), Column("a", ColumnType.INT)]
+        )
+        t.insert_many([(1, 2), (2, 3)])
+        s_loj_t = Join(
+            get_s(),
+            Get("T", "T", ["id", "a"]),
+            eq(col("S", "a"), col("T", "a")),
+            JoinKind.LEFT_OUTER,
+        )
+        tree = Join(get_r(), s_loj_t, eq(col("R", "a"), col("S", "a")),
+                    JoinKind.INNER)
+        rewritten, context = rewrite_once(
+            JoinOuterJoinAssociationRule(), tree, rs_catalog
+        )
+        assert "join-outerjoin-association" in context.trace
+        assert rewritten.kind is JoinKind.LEFT_OUTER
+        assert rewritten.left.kind is JoinKind.INNER
+        assert_equivalent(rs_catalog, tree, rewritten)
+
+    def test_no_fire_when_predicate_touches_t(self, rs_catalog):
+        catalog = rs_catalog
+        t = catalog.create_table(
+            "T", [Column("id", ColumnType.INT), Column("a", ColumnType.INT)]
+        )
+        t.insert_many([(1, 2)])
+        s_loj_t = Join(
+            get_s(),
+            Get("T", "T", ["id", "a"]),
+            eq(col("S", "a"), col("T", "a")),
+            JoinKind.LEFT_OUTER,
+        )
+        tree = Join(get_r(), s_loj_t, eq(col("R", "a"), col("T", "a")),
+                    JoinKind.INNER)
+        _rewritten, context = rewrite_once(
+            JoinOuterJoinAssociationRule(), tree, rs_catalog
+        )
+        assert "join-outerjoin-association" not in context.trace
+
+
+class TestGroupByPushdown:
+    @pytest.fixture
+    def fk_catalog(self):
+        """Fact(fk, m) with many rows per fk; Dim(pk, attr) keyed."""
+        catalog = Catalog()
+        fact = catalog.create_table(
+            "Fact", [Column("fk", ColumnType.INT), Column("m", ColumnType.INT)]
+        )
+        dim = catalog.create_table(
+            "Dim",
+            [Column("pk", ColumnType.INT, nullable=False),
+             Column("attr", ColumnType.INT)],
+            primary_key=["pk"],
+        )
+        for fk in range(1, 6):
+            for m in range(10):
+                fact.insert((fk, m))
+        for pk in range(1, 6):
+            dim.insert((pk, pk * 100))
+        from repro.stats import analyze_all
+
+        analyze_all(catalog)
+        return catalog
+
+    def make_tree(self):
+        join = Join(
+            Get("Fact", "F", ["fk", "m"]),
+            Get("Dim", "D", ["pk", "attr"]),
+            eq(col("F", "fk"), col("D", "pk")),
+            JoinKind.INNER,
+        )
+        return GroupBy(
+            join,
+            [col("F", "fk")],
+            [AggregateCall(AggFunc.SUM, col("F", "m"), alias="total"),
+             AggregateCall(AggFunc.COUNT, None, alias="n")],
+            output_alias="G",
+        )
+
+    def test_invariant_pushdown_fires_and_preserves(self, fk_catalog):
+        tree = self.make_tree()
+        rewritten, context = rewrite_once(
+            GroupByPushdownRule(require_benefit=False), tree, fk_catalog
+        )
+        assert "groupby-pushdown" in context.trace
+        assert_equivalent(fk_catalog, tree, rewritten)
+
+    def test_pushdown_blocked_when_agg_from_dim(self, fk_catalog):
+        join = Join(
+            Get("Fact", "F", ["fk", "m"]),
+            Get("Dim", "D", ["pk", "attr"]),
+            eq(col("F", "fk"), col("D", "pk")),
+            JoinKind.INNER,
+        )
+        tree = GroupBy(
+            join,
+            [col("F", "fk")],
+            [AggregateCall(AggFunc.SUM, col("D", "attr"), alias="t")],
+            output_alias="G",
+        )
+        _rewritten, context = rewrite_once(
+            GroupByPushdownRule(require_benefit=False), tree, fk_catalog
+        )
+        # The aggregate reads the Dim side, which joins at most once per
+        # Fact row -- but our conservative condition (b) blocks it only
+        # when the aggregated columns are NOT on the group-by side.
+        assert "groupby-pushdown" not in context.trace
+
+    def test_pushdown_blocked_without_key_join(self, fk_catalog):
+        join = Join(
+            Get("Fact", "F", ["fk", "m"]),
+            Get("Dim", "D", ["pk", "attr"]),
+            eq(col("F", "fk"), col("D", "attr")),  # attr is not a key
+            JoinKind.INNER,
+        )
+        tree = GroupBy(
+            join,
+            [col("F", "fk")],
+            [AggregateCall(AggFunc.SUM, col("F", "m"), alias="t")],
+            output_alias="G",
+        )
+        _rewritten, context = rewrite_once(
+            GroupByPushdownRule(require_benefit=False), tree, fk_catalog
+        )
+        assert "groupby-pushdown" not in context.trace
+
+    def test_staged_aggregation_preserves(self, fk_catalog):
+        """Fig 4(c): group keys include a Dim column so full pushdown is
+        illegal, but staged partial aggregation below the join works."""
+        join = Join(
+            Get("Fact", "F", ["fk", "m"]),
+            Get("Dim", "D", ["pk", "attr"]),
+            eq(col("F", "fk"), col("D", "pk")),
+            JoinKind.INNER,
+        )
+        tree = GroupBy(
+            join,
+            [col("D", "attr")],
+            [AggregateCall(AggFunc.SUM, col("F", "m"), alias="total"),
+             AggregateCall(AggFunc.COUNT, col("F", "m"), alias="n")],
+            output_alias="G",
+        )
+        rewritten, context = rewrite_once(
+            StagedAggregationRule(require_benefit=False), tree, fk_catalog
+        )
+        assert "staged-aggregation" in context.trace
+        assert_equivalent(fk_catalog, tree, rewritten)
+
+    def test_staged_rejects_distinct(self, fk_catalog):
+        join = Join(
+            Get("Fact", "F", ["fk", "m"]),
+            Get("Dim", "D", ["pk", "attr"]),
+            eq(col("F", "fk"), col("D", "pk")),
+            JoinKind.INNER,
+        )
+        tree = GroupBy(
+            join,
+            [col("D", "attr")],
+            [AggregateCall(AggFunc.SUM, col("F", "m"), distinct=True, alias="t")],
+            output_alias="G",
+        )
+        _rewritten, context = rewrite_once(
+            StagedAggregationRule(require_benefit=False), tree, fk_catalog
+        )
+        assert "staged-aggregation" not in context.trace
+
+
+class TestDecorrelation:
+    @pytest.fixture
+    def db(self, emp_dept_db):
+        return emp_dept_db
+
+    def bound_logical(self, db, sql):
+        block = Binder(db.catalog).bind_sql(sql)
+        return lower_block(block, db.catalog)
+
+    def run_engine(self, db, tree):
+        context = RewriteContext(catalog=db.catalog)
+        rewritten = default_rule_engine().rewrite(tree, context)
+        return rewritten, context
+
+    def count_applies(self, tree):
+        from repro.logical import walk
+
+        return sum(1 for node in walk(tree) if isinstance(node, Apply))
+
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT E.name FROM Emp E WHERE E.dept_no IN "
+            "(SELECT D.dept_no FROM Dept D WHERE D.loc = 'Denver')",
+            "SELECT E.name FROM Emp E WHERE E.dept_no NOT IN "
+            "(SELECT D.dept_no FROM Dept D WHERE D.loc = 'Denver')",
+            "SELECT E.name FROM Emp E WHERE EXISTS "
+            "(SELECT D.dept_no FROM Dept D WHERE D.mgr = E.emp_no)",
+            "SELECT E.name FROM Emp E WHERE NOT EXISTS "
+            "(SELECT D.dept_no FROM Dept D WHERE D.mgr = E.emp_no)",
+            "SELECT E.name FROM Emp E WHERE E.sal > "
+            "(SELECT AVG(E2.sal) FROM Emp E2 WHERE E2.dept_no = E.dept_no)",
+            "SELECT D.name FROM Dept D WHERE D.num_machines >= "
+            "(SELECT COUNT(*) FROM Emp E WHERE E.dept_no = D.dept_no)",
+        ],
+    )
+    def test_apply_removed_and_equivalent(self, db, sql):
+        tree = self.bound_logical(db, sql)
+        assert self.count_applies(tree) == 1
+        rewritten, _context = self.run_engine(db, tree)
+        assert self.count_applies(rewritten) == 0
+        assert_equivalent(db.catalog, tree, rewritten)
+
+    def test_uncorrelated_scalar(self, db):
+        sql = "SELECT name FROM Emp WHERE sal > (SELECT AVG(sal) FROM Emp)"
+        tree = self.bound_logical(db, sql)
+        rewritten, context = self.run_engine(db, tree)
+        assert "uncorrelated-scalar-apply" in context.trace
+        assert self.count_applies(rewritten) == 0
+        assert_equivalent(db.catalog, tree, rewritten)
+
+    def test_count_empty_group_yields_zero(self, db):
+        """The paper's subtlety: departments with no employees must still
+        appear (COUNT = 0 satisfies num_machines >= 0)."""
+        # Add a department guaranteed to have no employees.
+        dept = db.catalog.table("Dept")
+        dept.insert((999, "ghost_dept", "Nowhere", 1.0, 1, 0))
+        db.catalog.rebuild_indexes("Dept")
+        sql = (
+            "SELECT D.name FROM Dept D WHERE D.num_machines >= "
+            "(SELECT COUNT(*) FROM Emp E WHERE E.dept_no = D.dept_no)"
+        )
+        tree = self.bound_logical(db, sql)
+        rewritten, context = self.run_engine(db, tree)
+        assert "decorrelate-scalar-agg-apply" in context.trace
+        _schema, rows = interpret(rewritten, db.catalog)
+        assert ("ghost_dept",) in rows
+        assert_equivalent(db.catalog, tree, rewritten)
+
+    def test_not_in_with_inner_nulls(self):
+        """NOT IN over a subquery producing NULLs filters everything --
+        the classic trap the anti-join encoding must preserve."""
+        catalog = Catalog()
+        t = catalog.create_table("T", [Column("x", ColumnType.INT)])
+        u = catalog.create_table("U", [Column("y", ColumnType.INT)])
+        t.insert_many([(1,), (2,)])
+        u.insert_many([(1,), (None,)])
+        binder = Binder(catalog)
+        block = binder.bind_sql(
+            "SELECT x FROM T WHERE x NOT IN (SELECT y FROM U)"
+        )
+        tree = lower_block(block, catalog)
+        context = RewriteContext(catalog=catalog)
+        rewritten = default_rule_engine().rewrite(tree, context)
+        _schema, rows = interpret(rewritten, catalog)
+        assert rows == []  # NULL in the inner poisons every NOT IN
+        assert_equivalent(catalog, tree, rewritten)
+
+    def test_magic_decorrelation_equivalent(self, db):
+        sql = (
+            "SELECT E.name FROM Emp E WHERE E.sal > "
+            "(SELECT AVG(E2.sal) FROM Emp E2 WHERE E2.dept_no = E.dept_no)"
+        )
+        tree = self.bound_logical(db, sql)
+        from repro.logical import walk
+
+        apply_node = next(
+            node for node in walk(tree) if isinstance(node, Apply)
+        )
+        magic = magic_decorrelate_scalar(apply_node, db.catalog)
+        _schema_a, rows_apply = interpret(apply_node, db.catalog)
+        _schema_m, rows_magic = interpret(magic, db.catalog)
+        assert_same_rows(rows_magic, rows_apply)
+
+    def test_magic_rejects_count(self, db):
+        from repro.errors import RewriteError
+        from repro.logical import walk
+
+        sql = (
+            "SELECT D.name FROM Dept D WHERE D.num_machines >= "
+            "(SELECT COUNT(*) FROM Emp E WHERE E.dept_no = D.dept_no)"
+        )
+        tree = self.bound_logical(db, sql)
+        apply_node = next(
+            node for node in walk(tree) if isinstance(node, Apply)
+        )
+        with pytest.raises(RewriteError):
+            magic_decorrelate_scalar(apply_node, db.catalog)

@@ -1,0 +1,110 @@
+"""Tests for memory-spill accounting and index-nested-loop selection."""
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.core.cascades import CascadesOptimizer
+from repro.core.systemr import SystemRJoinEnumerator
+from repro.cost import CostParameters
+from repro.datagen import graph_stats
+from repro.engine import ExecContext, execute
+from repro.expr import Comparison, ComparisonOp, col
+from repro.logical import JoinKind
+from repro.logical.querygraph import QueryGraph
+from repro.physical import (
+    HashJoinP,
+    INLJoinP,
+    SeqScanP,
+    SortP,
+    walk_physical,
+)
+from repro.physical.properties import make_order
+from repro.stats import analyze_table
+
+
+class TestSpillAccounting:
+    def _big_table(self, rows=50_000):
+        catalog = Catalog()
+        table = catalog.create_table(
+            "T", [Column("a", ColumnType.INT), Column("b", ColumnType.INT)]
+        )
+        for i in range(rows):
+            table.insert((i % 997, i))
+        return catalog
+
+    def test_sort_spills_beyond_workspace(self):
+        catalog = self._big_table()
+        params = CostParameters(sort_memory_pages=4)
+        plan = SortP(SeqScanP("T", "T", ["a", "b"]), make_order([col("T", "a")]))
+        context = ExecContext(params)
+        execute(plan, catalog, context)
+        assert context.counters.sort_spill_pages > 0
+
+    def test_sort_fits_in_large_workspace(self):
+        catalog = self._big_table(rows=500)
+        params = CostParameters(sort_memory_pages=1_000)
+        plan = SortP(SeqScanP("T", "T", ["a", "b"]), make_order([col("T", "a")]))
+        context = ExecContext(params)
+        execute(plan, catalog, context)
+        assert context.counters.sort_spill_pages == 0
+
+    def test_hash_join_spill_counted(self):
+        catalog = self._big_table()
+        small = catalog.create_table("S", [Column("a", ColumnType.INT)])
+        for i in range(100):
+            small.insert((i,))
+        params = CostParameters(hash_memory_pages=4)
+        plan = HashJoinP(
+            SeqScanP("S", "S", ["a"]),
+            SeqScanP("T", "T", ["a", "b"]),
+            [col("S", "a")],
+            [col("T", "a")],
+            JoinKind.INNER,
+        )
+        context = ExecContext(params)
+        execute(plan, catalog, context)
+        assert context.counters.sort_spill_pages > 0
+
+
+class TestIndexNestedLoopSelection:
+    def _setup(self):
+        """Tiny outer, huge indexed inner: the INL sweet spot."""
+        catalog = Catalog()
+        outer = catalog.create_table("O", [Column("k", ColumnType.INT)])
+        for k in range(5):
+            outer.insert((k * 100,))
+        inner = catalog.create_table(
+            "I",
+            [Column("k", ColumnType.INT), Column("pay", ColumnType.STR)],
+        )
+        for k in range(60_000):
+            inner.insert((k, "x" * 24))
+        catalog.create_index("idx_i_k", "I", ["k"], clustered=True, unique=True)
+        analyze_table(catalog, "O")
+        analyze_table(catalog, "I")
+        graph = QueryGraph()
+        graph.add_relation("O", "O")
+        graph.add_relation("I", "I")
+        graph.add_predicate(
+            Comparison(ComparisonOp.EQ, col("O", "k"), col("I", "k"))
+        )
+        return catalog, graph, graph_stats(catalog, graph)
+
+    def test_systemr_picks_inl(self):
+        catalog, graph, stats = self._setup()
+        plan, _cost = SystemRJoinEnumerator(catalog, graph, stats).best_plan()
+        assert any(isinstance(n, INLJoinP) for n in walk_physical(plan))
+
+    def test_cascades_picks_inl(self):
+        catalog, graph, stats = self._setup()
+        plan, _cost = CascadesOptimizer(catalog, graph, stats).best_plan()
+        assert any(isinstance(n, INLJoinP) for n in walk_physical(plan))
+
+    def test_inl_plan_touches_few_pages(self):
+        catalog, graph, stats = self._setup()
+        plan, _cost = SystemRJoinEnumerator(catalog, graph, stats).best_plan()
+        context = ExecContext()
+        _schema, rows = execute(plan, catalog, context)
+        assert len(rows) == 5
+        inner_pages = catalog.table("I").page_count
+        assert context.counters.total_page_reads < inner_pages / 10

@@ -1,0 +1,323 @@
+"""Integration tests: SQL through the full optimizer pipeline, checked
+against the reference interpreter on every query."""
+
+import pytest
+
+from repro import Database, EnumeratorConfig
+
+from tests.conftest import run_both
+
+
+class TestSelectProjectJoin:
+    def test_simple_scan(self, emp_dept_db):
+        result = run_both(emp_dept_db, "SELECT name, sal FROM Emp")
+        assert len(result) == 200
+        assert result.column_names == ["name", "sal"]
+
+    def test_filter(self, emp_dept_db):
+        run_both(emp_dept_db, "SELECT name FROM Emp WHERE sal > 100000")
+
+    def test_conjunctive_filter(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT name FROM Emp WHERE sal > 50000 AND age < 40 AND dept_no = 3",
+        )
+
+    def test_disjunction(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT name FROM Emp WHERE dept_no = 1 OR dept_no = 2",
+        )
+
+    def test_two_way_join(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT E.name, D.name FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no",
+        )
+
+    def test_three_way_join_with_self_join(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT E.name, M.name FROM Emp E, Dept D, Emp M "
+            "WHERE E.dept_no = D.dept_no AND D.mgr = M.emp_no",
+        )
+
+    def test_explicit_join_syntax(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT E.name FROM Emp E JOIN Dept D ON E.dept_no = D.dept_no "
+            "WHERE D.loc = 'Denver'",
+        )
+
+    def test_projection_arithmetic(self, emp_dept_db):
+        run_both(emp_dept_db, "SELECT name, sal * 2 AS double_sal FROM Emp")
+
+    def test_between(self, emp_dept_db):
+        run_both(emp_dept_db, "SELECT name FROM Emp WHERE age BETWEEN 30 AND 35")
+
+    def test_in_list(self, emp_dept_db):
+        run_both(
+            emp_dept_db, "SELECT name FROM Emp WHERE dept_no IN (1, 2, 3)"
+        )
+
+    def test_cross_join(self, emp_dept_db):
+        result = run_both(
+            emp_dept_db,
+            "SELECT D1.name, D2.name FROM Dept D1, Dept D2 "
+            "WHERE D1.dept_no = 1 AND D2.dept_no = 2",
+        )
+        assert len(result) == 1
+
+
+class TestOrderingAndDistinct:
+    def test_order_by(self, emp_dept_db):
+        result = emp_dept_db.sql("SELECT name, sal FROM Emp ORDER BY sal DESC")
+        values = [row[1] for row in result.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_order_by_preserved_rows(self, emp_dept_db):
+        run_both(emp_dept_db, "SELECT name FROM Emp ORDER BY name")
+
+    def test_distinct(self, emp_dept_db):
+        result = run_both(emp_dept_db, "SELECT DISTINCT dept_no FROM Emp")
+        assert len(result) <= 20
+
+    def test_distinct_multi_column(self, emp_dept_db):
+        run_both(emp_dept_db, "SELECT DISTINCT dept_no, age FROM Emp")
+
+
+class TestAggregation:
+    def test_global_aggregates(self, emp_dept_db):
+        result = run_both(
+            emp_dept_db,
+            "SELECT COUNT(*), SUM(sal), MIN(age), MAX(age), AVG(sal) FROM Emp",
+        )
+        assert result.rows[0][0] == 200
+
+    def test_group_by(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT dept_no, COUNT(*), AVG(sal) FROM Emp GROUP BY dept_no",
+        )
+
+    def test_group_by_having(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT dept_no, COUNT(*) FROM Emp GROUP BY dept_no "
+            "HAVING COUNT(*) > 10",
+        )
+
+    def test_group_by_join(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT D.loc, SUM(E.sal) FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no GROUP BY D.loc",
+        )
+
+    def test_count_distinct(self, emp_dept_db):
+        result = run_both(
+            emp_dept_db, "SELECT COUNT(DISTINCT dept_no) FROM Emp"
+        )
+        assert result.rows[0][0] <= 20
+
+    def test_aggregate_of_expression(self, emp_dept_db):
+        run_both(emp_dept_db, "SELECT SUM(sal / 1000) FROM Emp")
+
+
+class TestOuterJoins:
+    def test_left_outer_join(self, emp_dept_db):
+        # Give Emp a row with no matching department.
+        emp_dept_db.catalog.table("Emp").insert((9999, "orphan", None, 1.0, 30))
+        emp_dept_db.catalog.rebuild_indexes("Emp")
+        result = run_both(
+            emp_dept_db,
+            "SELECT E.name, D.name FROM Emp E LEFT OUTER JOIN Dept D "
+            "ON E.dept_no = D.dept_no",
+        )
+        padded = [row for row in result.rows if row[1] is None]
+        assert padded
+
+    def test_left_outer_with_where_on_left(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT E.name, D.name FROM Emp E LEFT OUTER JOIN Dept D "
+            "ON E.dept_no = D.dept_no WHERE E.age > 40",
+        )
+
+    def test_left_outer_is_null_probe(self, emp_dept_db):
+        emp_dept_db.catalog.table("Emp").insert((9998, "lost", None, 1.0, 30))
+        emp_dept_db.catalog.rebuild_indexes("Emp")
+        run_both(
+            emp_dept_db,
+            "SELECT E.name FROM Emp E LEFT OUTER JOIN Dept D "
+            "ON E.dept_no = D.dept_no WHERE D.dept_no IS NULL",
+        )
+
+
+class TestSubqueries:
+    def test_uncorrelated_in(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT name FROM Emp WHERE dept_no IN "
+            "(SELECT dept_no FROM Dept WHERE loc = 'Denver')",
+        )
+
+    def test_paper_correlated_in(self, emp_dept_db):
+        """The exact nested query of Section 4.2.2 (modulo column names)."""
+        run_both(
+            emp_dept_db,
+            "SELECT Emp.name FROM Emp WHERE Emp.dept_no IN "
+            "(SELECT Dept.dept_no FROM Dept WHERE Dept.loc = 'Denver' "
+            "AND Emp.emp_no = Dept.mgr)",
+        )
+
+    def test_paper_count_subquery(self, emp_dept_db):
+        """The paper's COUNT subquery with the empty-group subtlety."""
+        emp_dept_db.catalog.table("Dept").insert(
+            (777, "empty_dept", "Austin", 1.0, 1, 5)
+        )
+        emp_dept_db.catalog.rebuild_indexes("Dept")
+        result = run_both(
+            emp_dept_db,
+            "SELECT D.name FROM Dept D WHERE D.num_machines >= "
+            "(SELECT COUNT(*) FROM Emp E WHERE D.dept_no = E.dept_no)",
+        )
+        assert ("empty_dept",) in result.rows
+
+    def test_correlated_avg(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT E.name FROM Emp E WHERE E.sal > "
+            "(SELECT AVG(E2.sal) FROM Emp E2 WHERE E2.dept_no = E.dept_no)",
+        )
+
+    def test_exists(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT D.name FROM Dept D WHERE EXISTS "
+            "(SELECT E.emp_no FROM Emp E WHERE E.dept_no = D.dept_no "
+            "AND E.sal > 140000)",
+        )
+
+    def test_not_exists(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT D.name FROM Dept D WHERE NOT EXISTS "
+            "(SELECT E.emp_no FROM Emp E WHERE E.dept_no = D.dept_no)",
+        )
+
+    def test_not_in(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT name FROM Emp WHERE dept_no NOT IN "
+            "(SELECT dept_no FROM Dept WHERE loc = 'Denver')",
+        )
+
+
+class TestViewsAndDerivedTables:
+    def test_view_merging_spj(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "Seniors", "SELECT name, sal, dept_no FROM Emp WHERE age > 50"
+        )
+        run_both(
+            emp_dept_db,
+            "SELECT S.name FROM Seniors S, Dept D "
+            "WHERE S.dept_no = D.dept_no AND D.loc = 'Boston'",
+        )
+
+    def test_derived_table_aggregate(self, emp_dept_db):
+        run_both(
+            emp_dept_db,
+            "SELECT T.dept_no, T.avg_sal FROM "
+            "(SELECT dept_no, AVG(sal) AS avg_sal FROM Emp GROUP BY dept_no) "
+            "AS T WHERE T.avg_sal > 90000",
+        )
+
+    def test_paper_depavgsal(self, emp_dept_db):
+        """The Section 4.3 DepAvgSal query (magic-sets motivation)."""
+        emp_dept_db.create_view(
+            "DepAvgSal",
+            "SELECT dept_no AS did, AVG(sal) AS avgsal FROM Emp GROUP BY dept_no",
+        )
+        run_both(
+            emp_dept_db,
+            "SELECT E.emp_no, E.sal FROM Emp E, Dept D, DepAvgSal V "
+            "WHERE E.dept_no = D.dept_no AND E.dept_no = V.did "
+            "AND E.age < 30 AND D.budget > 100000 AND E.sal > V.avgsal",
+        )
+
+
+class TestUdfQueries:
+    def test_udf_filter(self, emp_dept_db):
+        emp_dept_db.register_udf(
+            "well_paid", lambda sal: sal is not None and sal > 90000,
+            per_tuple_cost=200.0, selectivity=0.4,
+        )
+        result = run_both(
+            emp_dept_db, "SELECT name FROM Emp WHERE well_paid(sal)"
+        )
+        assert result.context.counters.udf_invocations > 0
+
+    def test_udf_ordering_by_rank(self, emp_dept_db):
+        emp_dept_db.register_udf(
+            "cheap_tight", lambda v: v is not None and v % 7 == 0,
+            per_tuple_cost=10.0, selectivity=0.1,
+        )
+        emp_dept_db.register_udf(
+            "pricey_loose", lambda v: v is not None and v > 0,
+            per_tuple_cost=1000.0, selectivity=0.9,
+        )
+        result = run_both(
+            emp_dept_db,
+            "SELECT name FROM Emp WHERE pricey_loose(emp_no) "
+            "AND cheap_tight(emp_no)",
+        )
+        # The cheap, selective predicate must run first (deeper in plan).
+        from repro.physical import UdfFilterP, walk_physical
+
+        udf_nodes = [
+            node
+            for node in walk_physical(result.plan)
+            if isinstance(node, UdfFilterP)
+        ]
+        assert [node.udf.name for node in udf_nodes] == [
+            "pricey_loose",
+            "cheap_tight",
+        ]  # outermost first in walk order; cheap_tight is applied first
+
+
+class TestEnumeratorConfigs:
+    @pytest.mark.parametrize(
+        "config",
+        [
+            EnumeratorConfig(),
+            EnumeratorConfig(bushy=True),
+            EnumeratorConfig(allow_cartesian=True),
+            EnumeratorConfig(use_interesting_orders=False),
+            EnumeratorConfig(join_algorithms=("hash",)),
+            EnumeratorConfig(join_algorithms=("nl", "merge")),
+        ],
+    )
+    def test_all_configs_correct(self, emp_dept_db, config):
+        emp_dept_db.config = config
+        run_both(
+            emp_dept_db,
+            "SELECT E.name, D.name FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no AND E.sal > 80000 AND D.budget > 200000",
+        )
+
+
+class TestExplain:
+    def test_explain_renders(self, emp_dept_db):
+        text = emp_dept_db.explain(
+            "SELECT E.name FROM Emp E, Dept D WHERE E.dept_no = D.dept_no"
+        )
+        assert "rows=" in text and "cost=" in text
+
+    def test_rewrite_trace_surfaces(self, emp_dept_db):
+        result = emp_dept_db.sql(
+            "SELECT name FROM Emp WHERE dept_no IN "
+            "(SELECT dept_no FROM Dept WHERE loc = 'Denver')"
+        )
+        assert "decorrelate-semi-apply" in result.rewrite_trace

@@ -1,0 +1,267 @@
+"""Unit tests for summaries, distinct estimation, sampling, selectivity,
+and propagation (Sections 5.1.2 and 5.1.3)."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog, Column, ColumnType
+from repro.datagen import build_emp_dept, zipf_values
+from repro.expr import (
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ComparisonOp,
+    InList,
+    IsNull,
+    NotExpr,
+    UdfCall,
+    col,
+    eq,
+    lit,
+)
+from repro.stats import (
+    CardinalityEstimator,
+    EquiDepthHistogram,
+    SelectivityEstimator,
+    analyze_table,
+    average_range_error,
+    compute_column_stats,
+    estimate_chao,
+    estimate_gee,
+    estimate_naive_scale,
+    histogram_from_sample,
+    join_histograms,
+    ratio_error,
+    sample_values,
+)
+
+
+class TestColumnStats:
+    def test_basic_parameters(self):
+        stats = compute_column_stats("c", [3, 1, 2, 2, None])
+        assert stats.distinct_count == 3
+        assert stats.null_fraction == pytest.approx(0.2)
+        assert stats.min_value == 1
+        assert stats.max_value == 3
+
+    def test_second_extremes(self):
+        stats = compute_column_stats("c", [1, 2, 3, 4, 100])
+        # The paper: second-lowest/highest used because extremes are outliers.
+        assert stats.robust_min() == 2
+        assert stats.robust_max() == 4
+
+    def test_string_column_no_histogram(self):
+        stats = compute_column_stats("c", ["a", "b"], histogram_kind="equi-depth")
+        assert stats.histogram is None
+
+    def test_analyze_table_registers(self):
+        catalog = Catalog()
+        build_emp_dept(catalog, emp_rows=50, dept_rows=5, analyze=False)
+        stats = analyze_table(catalog, "Emp")
+        assert catalog.stats("Emp") is stats
+        assert stats.row_count == 50
+        assert stats.columns["sal"].histogram is not None
+
+    def test_scaled(self):
+        stats = compute_column_stats("c", list(range(100)))
+        scaled = stats.scaled(0.5)
+        assert scaled.distinct_count == pytest.approx(50, rel=0.01)
+
+
+class TestDistinctEstimators:
+    def test_exact_on_full_sample(self):
+        values = list(range(100))
+        assert estimate_naive_scale(values, 100) == 100
+
+    def test_scale_overestimates_with_duplicates(self):
+        rng = random.Random(5)
+        population = [rng.randint(1, 50) for _ in range(10000)]
+        sample = sample_values(population, 0.02, rng=rng)
+        estimate = estimate_naive_scale(sample, len(population))
+        assert estimate > 50 * 2  # badly over
+
+    def test_gee_bounded_by_population(self):
+        sample = list(range(10))
+        assert estimate_gee(sample, 1000) <= 1000
+
+    def test_chao_handles_no_f2(self):
+        assert estimate_chao([1, 2, 3], 100) >= 3
+
+    def test_ratio_error(self):
+        assert ratio_error(10, 10) == 1.0
+        assert ratio_error(20, 10) == 2.0
+        assert ratio_error(5, 10) == 2.0
+
+    def test_some_estimator_errs_somewhere(self):
+        # The paper: distinct estimation is provably error-prone.  Verify
+        # at least one standard estimator has ratio error > 2 on a hard
+        # (highly skewed) input.
+        rng = random.Random(6)
+        population = zipf_values(20000, 5000, 1.4, rng=rng)
+        truth = len(set(population))
+        sample = sample_values(population, 0.01, rng=rng)
+        errors = [
+            ratio_error(estimate_naive_scale(sample, len(population)), truth),
+            ratio_error(estimate_chao(sample, len(population)), truth),
+            ratio_error(estimate_gee(sample, len(population)), truth),
+        ]
+        assert max(errors) > 1.5
+
+
+class TestSampling:
+    def test_sample_fraction_bounds(self):
+        from repro.errors import StatisticsError
+
+        with pytest.raises(StatisticsError):
+            sample_values([1, 2], 0.0)
+        with pytest.raises(StatisticsError):
+            sample_values([1, 2], 1.5)
+
+    def test_full_fraction_returns_all(self):
+        assert sorted(sample_values([1, 2, 3], 1.0)) == [1, 2, 3]
+
+    def test_sampled_histogram_scaled(self):
+        values = list(range(1000))
+        histogram = histogram_from_sample(values, 0.1, rng=random.Random(7))
+        assert histogram.total_rows == pytest.approx(1000, rel=0.05)
+
+    def test_error_shrinks_with_sample_size(self):
+        rng = random.Random(8)
+        values = zipf_values(5000, 200, 1.0, rng=rng)
+        small = histogram_from_sample(values, 0.01, rng=random.Random(1))
+        large = histogram_from_sample(values, 0.5, rng=random.Random(1))
+        error_small = average_range_error(small, values, 60, rng=random.Random(2))
+        error_large = average_range_error(large, values, 60, rng=random.Random(2))
+        assert error_large <= error_small + 0.02
+
+
+class TestSelectivity:
+    @pytest.fixture
+    def estimator(self):
+        catalog = Catalog()
+        build_emp_dept(catalog, emp_rows=500, dept_rows=25)
+        return SelectivityEstimator(
+            {"E": catalog.stats("Emp"), "D": catalog.stats("Dept")}
+        )
+
+    def test_equality_uses_distinct(self, estimator):
+        selectivity = estimator.selectivity(eq(col("E", "dept_no"), lit(7)))
+        assert selectivity == pytest.approx(1 / 25, rel=0.8)
+
+    def test_range_with_histogram(self, estimator):
+        predicate = Comparison(
+            ComparisonOp.LT, col("E", "age"), lit(43)
+        )  # roughly half of 21..65
+        assert estimator.selectivity(predicate) == pytest.approx(0.5, abs=0.12)
+
+    def test_join_selectivity(self, estimator):
+        selectivity = estimator.join_selectivity(
+            col("E", "dept_no"), col("D", "dept_no")
+        )
+        assert selectivity == pytest.approx(1 / 25, rel=0.05)
+
+    def test_and_independence(self, estimator):
+        a = Comparison(ComparisonOp.LT, col("E", "age"), lit(43))
+        b = eq(col("E", "dept_no"), lit(7))
+        combined = estimator.selectivity(BoolExpr(BoolOp.AND, [a, b]))
+        product = estimator.selectivity(a) * estimator.selectivity(b)
+        assert combined == pytest.approx(product)
+
+    def test_most_selective_mode(self):
+        catalog = Catalog()
+        build_emp_dept(catalog, emp_rows=100, dept_rows=10)
+        conservative = SelectivityEstimator(
+            {"E": catalog.stats("Emp")}, independence=False
+        )
+        a = Comparison(ComparisonOp.LT, col("E", "age"), lit(43))
+        b = eq(col("E", "dept_no"), lit(7))
+        combined = conservative.selectivity(BoolExpr(BoolOp.AND, [a, b]))
+        assert combined == pytest.approx(
+            min(conservative.selectivity(a), conservative.selectivity(b))
+        )
+
+    def test_or_inclusion_exclusion(self, estimator):
+        a = eq(col("E", "dept_no"), lit(1))
+        b = eq(col("E", "dept_no"), lit(2))
+        union = estimator.selectivity(BoolExpr(BoolOp.OR, [a, b]))
+        sa, sb = estimator.selectivity(a), estimator.selectivity(b)
+        assert union == pytest.approx(sa + sb - sa * sb)
+
+    def test_not(self, estimator):
+        predicate = eq(col("E", "dept_no"), lit(1))
+        assert estimator.selectivity(NotExpr(predicate)) == pytest.approx(
+            1 - estimator.selectivity(predicate)
+        )
+
+    def test_udf_selectivity_passthrough(self, estimator):
+        call = UdfCall("f", [col("E", "sal")], selectivity=0.37)
+        assert estimator.selectivity(call) == pytest.approx(0.37)
+
+    def test_fallback_constants_without_stats(self):
+        estimator = SelectivityEstimator({})
+        assert estimator.selectivity(eq(col("X", "a"), lit(1))) == 0.1
+        range_pred = Comparison(ComparisonOp.LT, col("X", "a"), lit(1))
+        assert estimator.selectivity(range_pred) == pytest.approx(1 / 3)
+
+    def test_bounds(self, estimator):
+        in_list = InList(col("E", "dept_no"), [lit(v) for v in range(1, 26)])
+        assert 0.0 <= estimator.selectivity(in_list) <= 1.0
+
+    def test_is_null(self, estimator):
+        assert estimator.selectivity(IsNull(col("E", "sal"))) == pytest.approx(
+            0.0, abs=0.01
+        )
+
+
+class TestPropagationAndHistogramJoin:
+    def test_join_histograms_cardinality(self):
+        rng = random.Random(9)
+        left_values = [rng.randint(1, 50) for _ in range(500)]
+        right_values = [rng.randint(1, 50) for _ in range(300)]
+        left = EquiDepthHistogram.from_values(left_values, 10)
+        right = EquiDepthHistogram.from_values(right_values, 10)
+        estimate, output = join_histograms(left, right)
+        truth = sum(
+            left_values.count(v) * right_values.count(v) for v in range(1, 51)
+        )
+        assert estimate == pytest.approx(truth, rel=0.35)
+        assert output.total_rows == pytest.approx(estimate, rel=0.01)
+
+    def test_join_histograms_disjoint_domains(self):
+        left = EquiDepthHistogram.from_values(list(range(0, 50)), 5)
+        right = EquiDepthHistogram.from_values(list(range(100, 150)), 5)
+        estimate, _output = join_histograms(left, right)
+        assert estimate == pytest.approx(0.0, abs=1e-6)
+
+    def test_cardinality_estimator_tree(self, emp_dept_db):
+        from repro.logical import Filter, Get, Join, JoinKind
+
+        catalog = emp_dept_db.catalog
+        estimator = CardinalityEstimator(
+            {"E": catalog.stats("Emp"), "D": catalog.stats("Dept")}
+        )
+        emp = Get("Emp", "E", catalog.schema("Emp").column_names)
+        dept = Get("Dept", "D", catalog.schema("Dept").column_names)
+        join = Join(
+            emp, dept, eq(col("E", "dept_no"), col("D", "dept_no")), JoinKind.INNER
+        )
+        estimate = estimator.estimate(join)
+        # FK join: output ~ |Emp|.
+        assert estimate == pytest.approx(200, rel=0.2)
+
+    def test_groupby_estimate_capped_by_input(self, emp_dept_db):
+        from repro.logical import Get, GroupBy
+        from repro.expr import AggFunc, AggregateCall
+
+        catalog = emp_dept_db.catalog
+        estimator = CardinalityEstimator({"E": catalog.stats("Emp")})
+        emp = Get("Emp", "E", catalog.schema("Emp").column_names)
+        grouped = GroupBy(
+            emp,
+            [col("E", "dept_no")],
+            [AggregateCall(AggFunc.COUNT, None)],
+        )
+        assert estimator.estimate(grouped) <= 200
+        assert estimator.estimate(grouped) == pytest.approx(20, rel=0.1)

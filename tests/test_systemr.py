@@ -1,0 +1,233 @@
+"""Tests for the System-R DP enumerator: optimality, interesting orders,
+search-space knobs, and the naive baseline (paper Section 3, 4.1.1)."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datagen import (
+    build_chain_tables,
+    chain_query_graph,
+    clique_query_graph,
+    graph_stats,
+    star_query_graph,
+)
+from repro.core.systemr import (
+    EnumeratorConfig,
+    NaiveExhaustiveEnumerator,
+    SystemRJoinEnumerator,
+    equijoin_column_pairs,
+    equivalence_classes,
+    interesting_orders,
+)
+from repro.engine import execute
+from repro.expr import col
+from repro.physical import walk_physical
+from repro.physical.plans import SortP
+
+
+@pytest.fixture(scope="module")
+def chain4():
+    catalog = Catalog()
+    names = build_chain_tables(catalog, 4, rows_per_relation=80)
+    graph = chain_query_graph(names)
+    return catalog, graph, graph_stats(catalog, graph)
+
+
+class TestOptimality:
+    def test_dp_matches_exhaustive_linear(self, chain4):
+        catalog, graph, stats = chain4
+        dp = SystemRJoinEnumerator(catalog, graph, stats)
+        _plan, dp_cost = dp.best_plan()
+        naive = NaiveExhaustiveEnumerator(
+            catalog, graph, stats, allow_cartesian=False
+        )
+        assert dp_cost.total == pytest.approx(naive.best_cost())
+
+    def test_dp_matches_exhaustive_bushy(self, chain4):
+        catalog, graph, stats = chain4
+        dp = SystemRJoinEnumerator(
+            catalog, graph, stats, config=EnumeratorConfig(bushy=True)
+        )
+        _plan, dp_cost = dp.best_plan()
+        naive = NaiveExhaustiveEnumerator(
+            catalog, graph, stats, bushy=True, allow_cartesian=False
+        )
+        assert dp_cost.total == pytest.approx(naive.best_cost())
+
+    def test_dp_considers_fewer_plans(self, chain4):
+        catalog, graph, stats = chain4
+        dp = SystemRJoinEnumerator(catalog, graph, stats)
+        dp.run()
+        naive = NaiveExhaustiveEnumerator(
+            catalog, graph, stats, allow_cartesian=False
+        )
+        naive.run()
+        assert dp.stats.plans_considered < naive.stats.plans_considered
+
+    def test_bushy_at_least_as_good(self, chain4):
+        catalog, graph, stats = chain4
+        linear = SystemRJoinEnumerator(catalog, graph, stats)
+        _lp, linear_cost = linear.best_plan()
+        bushy = SystemRJoinEnumerator(
+            catalog, graph, stats, config=EnumeratorConfig(bushy=True)
+        )
+        _bp, bushy_cost = bushy.best_plan()
+        assert bushy_cost.total <= linear_cost.total + 1e-9
+
+    def test_bushy_explores_more(self, chain4):
+        catalog, graph, stats = chain4
+        linear = SystemRJoinEnumerator(catalog, graph, stats)
+        linear.run()
+        bushy = SystemRJoinEnumerator(
+            catalog, graph, stats, config=EnumeratorConfig(bushy=True)
+        )
+        bushy.run()
+        assert bushy.stats.plans_considered > linear.stats.plans_considered
+
+
+class TestInterestingOrders:
+    def test_orders_derived_from_equijoins(self, chain4):
+        _catalog, graph, _stats = chain4
+        orders = interesting_orders(graph)
+        # Each of the 3 chain edges contributes two column orders.
+        assert len(orders) == 6
+
+    def test_equivalence_classes(self, chain4):
+        _catalog, graph, _stats = chain4
+        classes = equivalence_classes(graph)
+        assert len(classes) == 3
+        assert all(len(group) == 2 for group in classes)
+
+    def test_extra_orders_respected(self, chain4):
+        catalog, graph, stats = chain4
+        extra = ((col("R1", "payload"), True),)
+        enum = SystemRJoinEnumerator(
+            catalog, graph, stats, extra_orders=[extra]
+        )
+        assert extra in enum.orders
+
+    def test_disabling_orders_never_wins(self, chain4):
+        """Pruning without interesting orders can only produce a plan that
+        is as good or worse (Section 3's sub-optimality argument)."""
+        catalog, graph, stats = chain4
+        with_orders = SystemRJoinEnumerator(catalog, graph, stats)
+        _p1, cost_with = with_orders.best_plan()
+        without = SystemRJoinEnumerator(
+            catalog,
+            graph,
+            stats,
+            config=EnumeratorConfig(use_interesting_orders=False),
+        )
+        _p2, cost_without = without.best_plan()
+        assert cost_without.total >= cost_with.total - 1e-9
+
+    def test_required_order_adds_sort_when_needed(self, chain4):
+        catalog, graph, stats = chain4
+        enum = SystemRJoinEnumerator(catalog, graph, stats)
+        required = ((col("R1", "payload"), True),)
+        plan, _cost = enum.best_plan(required_order=required)
+        from repro.physical.properties import order_satisfies
+
+        assert order_satisfies(plan.order, required, enum.equivalences)
+
+    def test_retains_multiple_entries_per_subset(self, chain4):
+        catalog, graph, stats = chain4
+        enum = SystemRJoinEnumerator(catalog, graph, stats)
+        entries = enum.run()
+        # The full query retains at least the cheapest plan.
+        assert len(entries) >= 1
+        assert enum.stats.entries_retained >= enum.stats.subsets_examined
+
+
+class TestCartesianKnob:
+    def test_star_query_cartesian_can_help(self):
+        """On a star query with tiny dimension tables, allowing an early
+        Cartesian product among dimensions can reduce cost (Sec 4.1.1)."""
+        catalog = Catalog()
+        # Big center, two tiny points.
+        names = build_chain_tables(catalog, 3, rows_per_relation=30)
+        # Rebuild: center = R1 large, points small.
+        catalog2 = Catalog()
+        from repro.datagen import build_chain_tables as build
+
+        center = catalog2.create_table
+        names = build(catalog2, 1, rows_per_relation=3000)  # R1 center
+        from repro.catalog import Column, ColumnType
+
+        for number, rows in (("2", 5), ("3", 5)):
+            table = catalog2.create_table(
+                f"R{number}",
+                [
+                    Column("a", ColumnType.INT),
+                    Column("b", ColumnType.INT),
+                    Column("payload", ColumnType.INT),
+                ],
+            )
+            for value in range(rows):
+                table.insert((value + 1, value + 1, value))
+            from repro.stats import analyze_table
+
+            analyze_table(catalog2, f"R{number}")
+        graph = star_query_graph("R1", ["R2", "R3"])
+        stats = graph_stats(catalog2, graph)
+        deferred = SystemRJoinEnumerator(
+            catalog2,
+            graph,
+            stats,
+            config=EnumeratorConfig(bushy=True, allow_cartesian=False),
+        )
+        _p1, cost_deferred = deferred.best_plan()
+        eager = SystemRJoinEnumerator(
+            catalog2,
+            graph,
+            stats,
+            config=EnumeratorConfig(bushy=True, allow_cartesian=True),
+        )
+        _p2, cost_eager = eager.best_plan()
+        assert cost_eager.total <= cost_deferred.total + 1e-9
+
+    def test_cartesian_expands_search(self, chain4):
+        catalog, graph, stats = chain4
+        off = SystemRJoinEnumerator(catalog, graph, stats)
+        off.run()
+        on = SystemRJoinEnumerator(
+            catalog, graph, stats, config=EnumeratorConfig(allow_cartesian=True)
+        )
+        on.run()
+        assert on.stats.plans_considered >= off.stats.plans_considered
+
+
+class TestPlanShape:
+    def test_plans_execute(self, chain4):
+        catalog, graph, stats = chain4
+        for bushy in (False, True):
+            enum = SystemRJoinEnumerator(
+                catalog, graph, stats, config=EnumeratorConfig(bushy=bushy)
+            )
+            plan, _cost = enum.best_plan()
+            _schema, rows = execute(plan, catalog)
+            assert rows  # chain data always joins
+
+    def test_join_algorithm_restriction(self, chain4):
+        catalog, graph, stats = chain4
+        enum = SystemRJoinEnumerator(
+            catalog,
+            graph,
+            stats,
+            config=EnumeratorConfig(join_algorithms=("nl",)),
+        )
+        plan, _cost = enum.best_plan()
+        from repro.physical.plans import HashJoinP, MergeJoinP
+
+        for node in walk_physical(plan):
+            assert not isinstance(node, (HashJoinP, MergeJoinP))
+
+    def test_clique_enumeration(self):
+        catalog = Catalog()
+        names = build_chain_tables(catalog, 4, rows_per_relation=40)
+        graph = clique_query_graph(names)
+        stats = graph_stats(catalog, graph)
+        enum = SystemRJoinEnumerator(catalog, graph, stats)
+        plan, cost = enum.best_plan()
+        assert cost.total > 0
+        _schema, _rows = execute(plan, catalog)

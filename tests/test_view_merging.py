@@ -1,0 +1,170 @@
+"""Tests for view merging (Section 4.2.1): unfolded views expose their
+base tables to the join enumerator for free reordering."""
+
+import pytest
+
+from repro.core.rewrite import (
+    ComposeProjectsRule,
+    PullUpSimpleProjectRule,
+    RewriteContext,
+    RuleClass,
+    RuleEngine,
+)
+from repro.engine import interpret
+from repro.expr import col, eq
+from repro.logical import Filter, Get, Join, JoinKind, Project, walk
+from repro.logical.operators import ProjectItem
+from repro.physical import JoinPhysicalOp, walk_physical
+
+from tests.conftest import assert_same_rows, run_both
+
+
+class TestPullUpSimpleProject:
+    def test_join_over_renaming(self, emp_dept_db):
+        catalog = emp_dept_db.catalog
+        renamed = Project(
+            Get("Emp", "E", catalog.schema("Emp").column_names),
+            [ProjectItem(col("E", "dept_no"), "d", "V"),
+             ProjectItem(col("E", "name"), "n", "V")],
+        )
+        tree = Join(
+            renamed,
+            Get("Dept", "D", catalog.schema("Dept").column_names),
+            eq(col("V", "d"), col("D", "dept_no")),
+            JoinKind.INNER,
+        )
+        context = RewriteContext(catalog=catalog)
+        engine = RuleEngine(
+            [RuleClass("p", [PullUpSimpleProjectRule()], max_passes=2)]
+        )
+        rewritten = engine.rewrite(tree, context)
+        assert "pullup-simple-project" in context.trace
+        assert isinstance(rewritten, Project)
+        assert isinstance(rewritten.child, Join)
+        # The join predicate now references the base alias directly.
+        assert col("E", "dept_no") in rewritten.child.predicate.columns()
+        _s1, want = interpret(tree, catalog)
+        _s2, got = interpret(rewritten, catalog)
+        assert_same_rows(got, want)
+
+    def test_computed_project_not_pulled(self, emp_dept_db):
+        from repro.expr import Arithmetic, ArithOp, lit
+
+        catalog = emp_dept_db.catalog
+        computed = Project(
+            Get("Emp", "E", catalog.schema("Emp").column_names),
+            [ProjectItem(Arithmetic(ArithOp.MUL, col("E", "sal"), lit(2)),
+                         "d2", "V")],
+        )
+        tree = Join(
+            computed,
+            Get("Dept", "D", catalog.schema("Dept").column_names),
+            None,
+            JoinKind.CROSS,
+        )
+        context = RewriteContext(catalog=catalog)
+        engine = RuleEngine(
+            [RuleClass("p", [PullUpSimpleProjectRule()], max_passes=2)]
+        )
+        engine.rewrite(tree, context)
+        assert "pullup-simple-project" not in context.trace
+
+    def test_left_outer_right_side(self, emp_dept_db):
+        catalog = emp_dept_db.catalog
+        renamed = Project(
+            Get("Dept", "D", catalog.schema("Dept").column_names),
+            [ProjectItem(col("D", "dept_no"), "d", "V")],
+        )
+        tree = Join(
+            Get("Emp", "E", catalog.schema("Emp").column_names),
+            renamed,
+            eq(col("E", "dept_no"), col("V", "d")),
+            JoinKind.LEFT_OUTER,
+        )
+        context = RewriteContext(catalog=catalog)
+        engine = RuleEngine(
+            [RuleClass("p", [PullUpSimpleProjectRule()], max_passes=2)]
+        )
+        rewritten = engine.rewrite(tree, context)
+        assert "pullup-simple-project" in context.trace
+        _s1, want = interpret(tree, catalog)
+        _s2, got = interpret(rewritten, catalog)
+        assert_same_rows(got, want)
+
+
+class TestComposeProjects:
+    def test_stacked_renamings_collapse(self, emp_dept_db):
+        catalog = emp_dept_db.catalog
+        inner = Project(
+            Get("Emp", "E", catalog.schema("Emp").column_names),
+            [ProjectItem(col("E", "name"), "n1", "A")],
+        )
+        outer = Project(inner, [ProjectItem(col("A", "n1"), "n2", "B")])
+        context = RewriteContext(catalog=catalog)
+        engine = RuleEngine(
+            [RuleClass("c", [ComposeProjectsRule()], max_passes=3)]
+        )
+        rewritten = engine.rewrite(outer, context)
+        assert "compose-projects" in context.trace
+        projects = [n for n in walk(rewritten) if isinstance(n, Project)]
+        assert len(projects) == 1
+        _s1, want = interpret(outer, catalog)
+        _s2, got = interpret(rewritten, catalog)
+        assert_same_rows(got, want)
+
+
+class TestEndToEndViewMerging:
+    def test_single_join_through_view(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "Seniors", "SELECT name, sal, dept_no FROM Emp WHERE age > 50"
+        )
+        result = run_both(
+            emp_dept_db,
+            "SELECT S.name FROM Seniors S, Dept D "
+            "WHERE S.dept_no = D.dept_no AND D.loc = 'Boston'",
+        )
+        joins = [
+            node
+            for node in walk_physical(result.plan)
+            if isinstance(node, JoinPhysicalOp) or "Join" in type(node).__name__
+        ]
+        assert joins, "expected a real join algorithm in the merged plan"
+        assert "pullup-simple-project" in result.rewrite_trace
+
+    def test_join_across_two_views(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "EmpSlim", "SELECT emp_no, name, dept_no FROM Emp"
+        )
+        emp_dept_db.create_view(
+            "DeptSlim", "SELECT dept_no AS dno, loc FROM Dept"
+        )
+        run_both(
+            emp_dept_db,
+            "SELECT E.name FROM EmpSlim E, DeptSlim D "
+            "WHERE E.dept_no = D.dno AND D.loc = 'Denver'",
+        )
+
+    def test_view_of_view(self, emp_dept_db):
+        emp_dept_db.create_view(
+            "Adults", "SELECT emp_no, name, dept_no, age FROM Emp WHERE age > 21"
+        )
+        emp_dept_db.create_view(
+            "Elders", "SELECT emp_no, name, dept_no FROM Adults WHERE age > 60"
+        )
+        run_both(
+            emp_dept_db,
+            "SELECT E.name FROM Elders E, Dept D WHERE E.dept_no = D.dept_no",
+        )
+
+    def test_aggregate_view_not_merged_but_correct(self, emp_dept_db):
+        """A grouped view cannot be merged SPJ-style; the pipeline must
+        still produce correct results (the 4.2.1 caveat)."""
+        emp_dept_db.create_view(
+            "DeptCounts",
+            "SELECT dept_no, COUNT(*) AS n FROM Emp GROUP BY dept_no",
+        )
+        run_both(
+            emp_dept_db,
+            "SELECT D.name, C.n FROM Dept D, DeptCounts C "
+            "WHERE D.dept_no = C.dept_no AND C.n > 5",
+        )
