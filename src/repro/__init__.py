@@ -20,9 +20,18 @@ Quickstart::
 """
 
 from repro.catalog import Catalog, Column, ColumnType
-from repro.core.optimizer import Database, OptimizedQuery, Optimizer, QueryResult
+from repro.core.optimizer import (
+    Database,
+    OptimizedQuery,
+    Optimizer,
+    PlanCache,
+    PreparedStatement,
+    QueryResult,
+)
 from repro.core.systemr.enumerator import EnumeratorConfig
 from repro.cost.parameters import CostParameters
+from repro.engine.context import QueryMetrics
+from repro.engine.runtime_stats import RuntimeStats, render_explain_analyze
 
 __version__ = "1.0.0"
 
@@ -35,6 +44,11 @@ __all__ = [
     "EnumeratorConfig",
     "OptimizedQuery",
     "Optimizer",
+    "PlanCache",
+    "PreparedStatement",
+    "QueryMetrics",
     "QueryResult",
+    "RuntimeStats",
+    "render_explain_analyze",
     "__version__",
 ]

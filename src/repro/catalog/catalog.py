@@ -38,6 +38,20 @@ class Catalog:
         self._stats: Dict[str, Any] = {}
         # Materialized view descriptors (repro.core.matviews objects).
         self._materialized_views: Dict[str, Any] = {}
+        # Monotonic schema/statistics version.  Every DDL change and
+        # statistics refresh bumps it; plan caches compare the version
+        # recorded at optimization time to decide whether a cached plan
+        # is still trustworthy (Section 5's premise that plans are only
+        # as good as the metadata they were costed against).
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Current schema/statistics version (bumped by DDL and ANALYZE)."""
+        return self._version
+
+    def _bump_version(self) -> None:
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Tables
@@ -58,6 +72,7 @@ class Catalog:
         table = HeapTable(schema, page_size_bytes=self.page_size_bytes)
         self._tables[name] = table
         self._indexes_by_table[name] = []
+        self._bump_version()
         return table
 
     def register_table(self, table: HeapTable) -> None:
@@ -65,6 +80,7 @@ class Catalog:
         self._check_name_free(table.schema.name)
         self._tables[table.schema.name] = table
         self._indexes_by_table[table.schema.name] = []
+        self._bump_version()
 
     def drop_table(self, name: str) -> None:
         """Remove a table, its indexes, and its statistics."""
@@ -76,6 +92,7 @@ class Catalog:
         del self._tables[name]
         self._indexes_by_table.pop(name, None)
         self._stats.pop(name, None)
+        self._bump_version()
 
     def has_table(self, name: str) -> bool:
         """Whether a base table with this name exists."""
@@ -144,6 +161,7 @@ class Catalog:
         index = OrderedIndex(definition, heap)
         self._indexes[name] = index
         self._indexes_by_table[table].append(name)
+        self._bump_version()
         return index
 
     def create_hash_index(
@@ -161,6 +179,7 @@ class Catalog:
         index = HashIndex(definition, heap)
         self._hash_indexes[name] = index
         self._indexes_by_table[table].append(name)
+        self._bump_version()
         return index
 
     def indexes_on(self, table: str) -> List[OrderedIndex]:
@@ -200,6 +219,7 @@ class Catalog:
         """Register a (virtual) view by its defining SQL text."""
         self._check_name_free(name)
         self._views[name] = sql
+        self._bump_version()
 
     def has_view(self, name: str) -> bool:
         """Whether a view with this name exists."""
@@ -221,6 +241,7 @@ class Catalog:
         if name not in self._views:
             raise CatalogError(f"unknown view {name!r}")
         del self._views[name]
+        self._bump_version()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -230,6 +251,7 @@ class Catalog:
         if table not in self._tables:
             raise CatalogError(f"unknown table {table!r}")
         self._stats[table] = stats
+        self._bump_version()
 
     def stats(self, table: str) -> Optional[Any]:
         """The statistics summary for a table, or None if never analyzed."""
@@ -241,6 +263,7 @@ class Catalog:
     def register_materialized_view(self, name: str, descriptor: Any) -> None:
         """Register a materialized view descriptor (see repro.core.matviews)."""
         self._materialized_views[name] = descriptor
+        self._bump_version()
 
     def materialized_views(self) -> Dict[str, Any]:
         """All registered materialized views, keyed by name."""

@@ -12,21 +12,33 @@ examples read like using an embedded database.
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
-from repro.engine.context import ExecContext
+from repro.engine.context import ExecContext, QueryMetrics
 from repro.engine.executor import execute
 from repro.engine.interpreter import InterpreterStats, interpret
+from repro.engine.runtime_stats import render_explain_analyze
+from repro.errors import PrepareError
 from repro.expr.schema import StreamSchema
 from repro.logical.lower import lower_block
 from repro.logical.operators import Get, LogicalOp
 from repro.logical.qgm import QueryBlock
 from repro.physical.plans import PhysicalOp
+from repro.sql.ast import (
+    DeallocateStmt,
+    ExecuteStmt,
+    ExplainStmt,
+    PrepareStmt,
+    SelectStmt,
+)
 from repro.sql.binder import Binder, UdfRegistration
+from repro.sql.parser import normalize_sql, parse, parse_statement
 from repro.core.physicalize import Physicalizer
 from repro.core.rewrite import RewriteContext, RuleEngine, default_rule_engine
 from repro.core.systemr.enumerator import EnumeratorConfig
@@ -82,13 +94,17 @@ class Optimizer:
 
     # ------------------------------------------------------------------
     def optimize(self, sql: str) -> OptimizedQuery:
-        """Optimize SQL text into a physical plan.
+        """Optimize SQL text into a physical plan."""
+        return self.optimize_statement(parse(sql))
+
+    def optimize_statement(self, stmt: SelectStmt) -> OptimizedQuery:
+        """Optimize a parsed SELECT statement.
 
         When materialized views are registered (and enabled), every
         matching reformulation competes with the original plan on
         estimated cost -- the transparent use of Section 7.3.
         """
-        block = self.binder.bind_sql(sql)
+        block = self.binder.bind(stmt)
         best = self.optimize_block(block)
         if self.use_materialized_views and self.catalog.materialized_views():
             from repro.core.matviews.rewriter import MatViewRewriter
@@ -143,15 +159,122 @@ class Optimizer:
         return CardinalityEstimator(stats)
 
 
+PlanCacheKey = Tuple[str, int]
+
+
+@dataclass
+class _PlanCacheEntry:
+    plan: OptimizedQuery
+    catalog_version: int
+    optimize_seconds: float
+
+
+class PlanCache:
+    """An LRU cache of optimized plans, invalidated by catalog version.
+
+    Keys combine the lexically normalized SQL text with the parameter
+    signature (the ``?`` arity), so a prepared statement and a textually
+    identical ad-hoc query occupy distinct entries.  Every entry records
+    the catalog version current when the plan was produced; a lookup
+    that finds a stale entry (any DDL or statistics refresh since)
+    drops it and reports a miss -- the plan was costed against metadata
+    that no longer describes the database.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        self.capacity = max(0, capacity)
+        self._entries: "OrderedDict[PlanCacheKey, _PlanCacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(sql: str, param_count: int = 0) -> PlanCacheKey:
+        """The cache key for SQL text and a parameter signature."""
+        return (normalize_sql(sql), param_count)
+
+    def get(
+        self, key: PlanCacheKey, catalog_version: int
+    ) -> Optional[_PlanCacheEntry]:
+        """Look up a still-valid entry; stale entries count as misses."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.catalog_version != catalog_version:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(
+        self,
+        key: PlanCacheKey,
+        plan: OptimizedQuery,
+        catalog_version: int,
+        optimize_seconds: float = 0.0,
+    ) -> None:
+        """Insert a plan, evicting the least recently used beyond capacity."""
+        if self.capacity == 0:
+            return
+        self._entries[key] = _PlanCacheEntry(
+            plan=plan,
+            catalog_version=catalog_version,
+            optimize_seconds=optimize_seconds,
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def keys(self) -> List[PlanCacheKey]:
+        """Current keys, least recently used first."""
+        return list(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class PreparedStatement:
+    """A named, parameterized statement (``PREPARE name AS SELECT ... ?``).
+
+    The defining SQL is optimized once (parameters treated as opaque
+    constants) and the physical plan re-executed per EXECUTE with fresh
+    parameter values -- the optimize-once-execute-many contract.
+    """
+
+    name: str
+    sql_text: str
+    param_count: int
+    cache_key: PlanCacheKey
+
+
 @dataclass
 class QueryResult:
     """Rows plus the plan and the measured execution work."""
 
     schema: StreamSchema
     rows: List[Tuple[Any, ...]]
-    plan: PhysicalOp
+    plan: Optional[PhysicalOp]
     context: ExecContext
     rewrite_trace: List[str] = field(default_factory=list)
+    kind: str = "select"
+    from_plan_cache: bool = False
 
     @property
     def column_names(self) -> List[str]:
@@ -160,6 +283,17 @@ class QueryResult:
 
     def __len__(self) -> int:
         return len(self.rows)
+
+
+def _text_result(kind: str, column: str, lines: Sequence[str]) -> QueryResult:
+    """A QueryResult carrying rendered text (EXPLAIN output, messages)."""
+    return QueryResult(
+        schema=StreamSchema(((kind, column),)),
+        rows=[(line,) for line in lines],
+        plan=None,
+        context=ExecContext(),
+        kind=kind,
+    )
 
 
 class Database:
@@ -177,12 +311,16 @@ class Database:
         params: CostParameters = DEFAULT_PARAMETERS,
         config: EnumeratorConfig = EnumeratorConfig(),
         use_rewrites: bool = True,
+        plan_cache_size: int = 128,
     ) -> None:
         self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
         self.params = params
         self.config = config
         self.use_rewrites = use_rewrites
         self.udfs: Dict[str, UdfRegistration] = {}
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.metrics = QueryMetrics()
+        self.prepared: Dict[str, PreparedStatement] = {}
 
     # ------------------------------------------------------------------
     # Schema management
@@ -211,8 +349,13 @@ class Database:
         per_tuple_cost: float = 100.0,
         selectivity: float = 0.5,
     ) -> None:
-        """Register a user-defined function usable in WHERE clauses."""
+        """Register a user-defined function usable in WHERE clauses.
+
+        Clears the plan cache: cached plans were bound against the old
+        function registry.
+        """
         self.udfs[name.lower()] = UdfRegistration(fn, per_tuple_cost, selectivity)
+        self.plan_cache.clear()
 
     def analyze(self, histogram_kind: Optional[str] = "equi-depth") -> None:
         """Collect statistics for every table."""
@@ -236,21 +379,172 @@ class Database:
         return self.optimizer().optimize(sql)
 
     def sql(self, text: str) -> QueryResult:
-        """Optimize and execute a query."""
-        optimized = self.optimize(text)
+        """Run one SQL statement: SELECT, EXPLAIN [ANALYZE], PREPARE,
+        EXECUTE, or DEALLOCATE.
+
+        SELECT plans flow through the plan cache; repeated text (modulo
+        whitespace/comments) reuses the cached physical plan until DDL
+        or a statistics refresh bumps the catalog version.
+        """
+        stmt = parse_statement(text)
+        if isinstance(stmt, ExplainStmt):
+            return self._run_explain(stmt)
+        if isinstance(stmt, PrepareStmt):
+            self._register_prepared(stmt.name, stmt.sql_text, stmt.query)
+            return _text_result("prepare", "PREPARE", [f"PREPARE {stmt.name}"])
+        if isinstance(stmt, ExecuteStmt):
+            return self.execute_prepared(stmt.name, *stmt.args)
+        if isinstance(stmt, DeallocateStmt):
+            self.deallocate(stmt.name)
+            return _text_result(
+                "deallocate", "DEALLOCATE", [f"DEALLOCATE {stmt.name}"]
+            )
+        key = PlanCache.key(text, stmt.param_count)
+        optimized, from_cache, _ = self._optimize_cached(key, stmt)
+        return self._execute_plan(optimized, from_cache)
+
+    # -- plan cache plumbing -------------------------------------------
+    def _optimize_cached(
+        self, key: PlanCacheKey, stmt: "SelectStmt | None", sql_text: str = ""
+    ) -> Tuple[OptimizedQuery, bool, float]:
+        """Look up ``key`` in the plan cache, optimizing on a miss.
+
+        Returns ``(plan, from_cache, optimize_seconds)``.  ``stmt`` may
+        be None when the caller only has SQL text (prepared statements
+        re-executed after invalidation); it is then reparsed.  The entry
+        records the catalog version *after* optimization: lazy ANALYZE
+        inside the optimizer bumps the version, and the plan it produced
+        reflects those fresh statistics.
+        """
+        invalidations_before = self.plan_cache.invalidations
+        entry = self.plan_cache.get(key, self.catalog.version)
+        self.metrics.plan_cache_invalidations += (
+            self.plan_cache.invalidations - invalidations_before
+        )
+        if entry is not None:
+            self.metrics.plan_cache_hits += 1
+            return entry.plan, True, entry.optimize_seconds
+        self.metrics.plan_cache_misses += 1
+        if stmt is None:
+            stmt = parse(sql_text)
+        start = time.perf_counter()
+        optimized = self.optimizer().optimize_statement(stmt)
+        elapsed = time.perf_counter() - start
+        self.metrics.optimize_seconds += elapsed
+        self.plan_cache.put(key, optimized, self.catalog.version, elapsed)
+        return optimized, False, elapsed
+
+    def _execute_plan(
+        self,
+        optimized: OptimizedQuery,
+        from_cache: bool,
+        parameters: Optional[Tuple[Any, ...]] = None,
+    ) -> QueryResult:
         context = ExecContext(self.params)
-        schema, rows = execute(optimized.physical, self.catalog, context)
+        start = time.perf_counter()
+        schema, rows = execute(
+            optimized.physical, self.catalog, context, parameters=parameters
+        )
+        self.metrics.execute_seconds += time.perf_counter() - start
+        self.metrics.record_execution(context, len(rows))
         return QueryResult(
             schema=schema,
             rows=rows,
             plan=optimized.physical,
             context=context,
             rewrite_trace=optimized.rewrite_trace,
+            from_plan_cache=from_cache,
         )
 
+    def _run_explain(self, stmt: ExplainStmt) -> QueryResult:
+        key = PlanCache.key(stmt.sql_text, stmt.query.param_count)
+        optimized, from_cache, opt_seconds = self._optimize_cached(
+            key, stmt.query
+        )
+        if not stmt.analyze:
+            result = _text_result(
+                "explain", "QUERY PLAN", optimized.explain().splitlines()
+            )
+            result.plan = optimized.physical
+            result.from_plan_cache = from_cache
+            return result
+        context = ExecContext(self.params)
+        start = time.perf_counter()
+        schema, rows = execute(optimized.physical, self.catalog, context)
+        self.metrics.execute_seconds += time.perf_counter() - start
+        self.metrics.record_execution(context, len(rows))
+        rendering = render_explain_analyze(
+            optimized.physical, context.runtime, optimize_seconds=opt_seconds
+        )
+        lines = rendering.splitlines()
+        lines.append(f"({len(rows)} rows)")
+        result = _text_result("explain", "QUERY PLAN", lines)
+        result.plan = optimized.physical
+        result.context = context
+        result.from_plan_cache = from_cache
+        return result
+
+    # -- prepared statements -------------------------------------------
+    def _register_prepared(
+        self, name: str, sql_text: str, stmt: Optional[SelectStmt] = None
+    ) -> PreparedStatement:
+        if stmt is None:
+            stmt = parse(sql_text)
+        key = PlanCache.key(sql_text, stmt.param_count)
+        self._optimize_cached(key, stmt)  # optimize eagerly at PREPARE time
+        statement = PreparedStatement(
+            name=name,
+            sql_text=sql_text,
+            param_count=stmt.param_count,
+            cache_key=key,
+        )
+        self.prepared[name] = statement
+        self.metrics.statements_prepared += 1
+        return statement
+
+    def prepare(self, name: str, sql_text: str) -> PreparedStatement:
+        """Prepare ``sql_text`` (a SELECT with ``?`` markers) under ``name``.
+
+        The plan is optimized immediately and cached; later
+        :meth:`execute_prepared` calls reuse it without re-optimizing.
+        """
+        return self._register_prepared(name, sql_text)
+
+    def execute_prepared(self, name: str, *args: Any) -> QueryResult:
+        """Execute a prepared statement with positional parameter values."""
+        statement = self.prepared.get(name)
+        if statement is None:
+            raise PrepareError(f"unknown prepared statement {name!r}")
+        if len(args) != statement.param_count:
+            raise PrepareError(
+                f"prepared statement {name!r} takes "
+                f"{statement.param_count} parameter(s), got {len(args)}"
+            )
+        optimized, from_cache, _ = self._optimize_cached(
+            statement.cache_key, None, sql_text=statement.sql_text
+        )
+        return self._execute_plan(
+            optimized, from_cache, parameters=tuple(args)
+        )
+
+    def deallocate(self, name: str) -> None:
+        """Drop a prepared statement (its cached plan may persist)."""
+        if name not in self.prepared:
+            raise PrepareError(f"unknown prepared statement {name!r}")
+        del self.prepared[name]
+
+    # -- explain -------------------------------------------------------
     def explain(self, text: str) -> str:
         """The chosen physical plan for a query, as text."""
         return self.optimize(text).explain()
+
+    def explain_analyze(self, text: str) -> str:
+        """Execute ``text`` and render the plan annotated with actuals."""
+        result = self.sql(
+            text if text.lstrip().upper().startswith("EXPLAIN")
+            else "EXPLAIN ANALYZE " + text
+        )
+        return "\n".join(row[0] for row in result.rows)
 
     def naive(self, text: str) -> Tuple[StreamSchema, List[Tuple[Any, ...]], InterpreterStats]:
         """Execute via the reference interpreter (no optimization).

@@ -135,6 +135,19 @@ class Physicalizer:
         graph = QueryGraph()
         self._collect_region(op, graph)
         stats = self._stats_for(graph)
+        if self.config.naive:
+            from repro.core.systemr.naive import NaiveExhaustiveEnumerator
+
+            naive = NaiveExhaustiveEnumerator(
+                self.catalog,
+                graph,
+                stats,
+                self.params,
+                bushy=self.config.bushy,
+                allow_cartesian=True,
+            )
+            plan, _cost = naive.best_plan(required_order)
+            return plan
         enumerator = SystemRJoinEnumerator(
             self.catalog,
             graph,

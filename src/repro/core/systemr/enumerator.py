@@ -69,12 +69,16 @@ class EnumeratorConfig:
         use_interesting_orders: compare plans per interesting-order class;
             disabling this reproduces naive pruning (E2).
         join_algorithms: subset of {"nl", "inl", "merge", "hash"}.
+        naive: replace the DP enumerator with the exhaustive O(n!)
+            baseline of Section 3 (used as the differential-testing
+            reference: same plan space, no memoization shortcuts).
     """
 
     bushy: bool = False
     allow_cartesian: bool = False
     use_interesting_orders: bool = True
     join_algorithms: Tuple[str, ...] = ("nl", "inl", "merge", "hash")
+    naive: bool = False
 
 
 @dataclass

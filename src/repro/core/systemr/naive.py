@@ -85,6 +85,17 @@ class NaiveExhaustiveEnumerator:
         """Total cost of the best plan found."""
         return min(entry.cost.total for entry in self.run())
 
+    def best_plan(self, required_order=None):
+        """The cheapest full plan (plus a final sort when order demands).
+
+        Mirrors :meth:`SystemRJoinEnumerator.best_plan` so the
+        physicalizer can swap the naive search in transparently (the
+        ``EnumeratorConfig.naive`` knob).
+        """
+        entries = self.run()
+        self._dp._table[frozenset(self.graph.aliases)] = entries
+        return self._dp.best_plan(required_order)
+
     # ------------------------------------------------------------------
     def _single(self, alias: str) -> List[PlanEntry]:
         return self._dp._table[frozenset((alias,))]

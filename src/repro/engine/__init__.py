@@ -1,14 +1,28 @@
 """Execution engine: physical-plan executor, reference interpreter, buffer pool."""
 
-from repro.engine.context import BufferPool, ExecContext, ExecCounters
+from repro.engine.context import (
+    BufferPool,
+    ExecContext,
+    ExecCounters,
+    QueryMetrics,
+)
 from repro.engine.executor import execute
 from repro.engine.interpreter import InterpreterStats, interpret
+from repro.engine.runtime_stats import (
+    OpRuntimeStats,
+    RuntimeStats,
+    render_explain_analyze,
+)
 
 __all__ = [
     "BufferPool",
     "ExecContext",
     "ExecCounters",
     "InterpreterStats",
+    "OpRuntimeStats",
+    "QueryMetrics",
+    "RuntimeStats",
     "execute",
     "interpret",
+    "render_explain_analyze",
 ]

@@ -12,9 +12,12 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Optional, Tuple, TYPE_CHECKING
 
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+
+if TYPE_CHECKING:
+    from repro.engine.runtime_stats import RuntimeStats
 
 PageId = Tuple[str, int]
 
@@ -88,12 +91,22 @@ class ExecCounters:
 
 
 class ExecContext:
-    """Everything an execution needs: parameters, buffer pool, counters."""
+    """Everything an execution needs: parameters, buffer pool, counters.
+
+    Attributes:
+        runtime: per-operator runtime statistics for the execution in
+            progress (replaced with a fresh tree by every ``execute``
+            call, so repeated runs of a cached plan never accumulate).
+        parameters: positional prepared-statement parameter values, or
+            None when the plan contains no ``?`` markers.
+    """
 
     def __init__(self, params: Optional[CostParameters] = None) -> None:
         self.params = params or DEFAULT_PARAMETERS
         self.buffer_pool = BufferPool(self.params.buffer_pool_pages)
         self.counters = ExecCounters()
+        self.runtime: Optional["RuntimeStats"] = None
+        self.parameters: Optional[Tuple[Any, ...]] = None
 
     def read_page(self, table: str, page_no: int, sequential: bool) -> None:
         """Record one page access through the buffer pool."""
@@ -109,3 +122,49 @@ class ExecContext:
         """Clear the buffer pool and counters for a fresh measurement."""
         self.buffer_pool.clear()
         self.counters = ExecCounters()
+        self.runtime = None
+
+
+@dataclass
+class QueryMetrics:
+    """Per-session counters: the observability registry (one per Database).
+
+    Splitting optimizer time from execution time measures the lever the
+    plan cache pulls: for repeated parameterized queries the optimizer
+    share is pure overhead after the first call.
+    """
+
+    queries_run: int = 0
+    statements_prepared: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
+    pages_read: int = 0
+    rows_returned: int = 0
+    optimize_seconds: float = 0.0
+    execute_seconds: float = 0.0
+
+    def record_execution(self, context: "ExecContext", rows: int) -> None:
+        """Fold one execution's observed work into the session totals."""
+        self.queries_run += 1
+        self.rows_returned += rows
+        self.pages_read += context.counters.total_page_reads
+
+    def format(self) -> str:
+        """Readable multi-line rendering (the shell's ``\\metrics``)."""
+        total = self.plan_cache_hits + self.plan_cache_misses
+        hit_ratio = self.plan_cache_hits / total if total else 0.0
+        return "\n".join(
+            [
+                f"queries run:              {self.queries_run}",
+                f"statements prepared:      {self.statements_prepared}",
+                f"plan cache hits:          {self.plan_cache_hits}",
+                f"plan cache misses:        {self.plan_cache_misses}",
+                f"plan cache invalidations: {self.plan_cache_invalidations}",
+                f"plan cache hit ratio:     {hit_ratio:.0%}",
+                f"pages read:               {self.pages_read}",
+                f"rows returned:            {self.rows_returned}",
+                f"optimizer time:           {self.optimize_seconds * 1000.0:.3f}ms",
+                f"execution time:           {self.execute_seconds * 1000.0:.3f}ms",
+            ]
+        )

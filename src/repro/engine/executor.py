@@ -9,14 +9,16 @@ counters as the *measured* cost to validate optimizer estimates.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import pages_for_rows
 from repro.engine.context import ExecContext
 from repro.engine.interpreter import InterpreterStats, interpret, sort_rows
+from repro.engine.runtime_stats import RuntimeStats
 from repro.errors import ExecutionError
-from repro.expr.evaluator import evaluate, predicate_holds
+from repro.expr.evaluator import bind_parameters, evaluate, predicate_holds
 from repro.expr.expressions import ColumnRef, Expr
 from repro.expr.schema import StreamSchema
 from repro.logical.operators import JoinKind
@@ -47,16 +49,38 @@ _ROW_WIDTH_GUESS_BYTES = 16.0
 
 
 def execute(
-    plan: PhysicalOp, catalog: Catalog, context: Optional[ExecContext] = None
+    plan: PhysicalOp,
+    catalog: Catalog,
+    context: Optional[ExecContext] = None,
+    parameters: Optional[Sequence[Any]] = None,
 ) -> Tuple[StreamSchema, List[Row]]:
     """Run a physical plan; returns ``(schema, rows)``.
+
+    Every run attaches a *fresh* :class:`RuntimeStats` tree to
+    ``context.runtime`` before touching any operator, so per-operator
+    actuals (rows, invocations, wall time, pages) describe exactly one
+    execution -- re-running a cached prepared-statement plan never
+    accumulates counters from earlier runs.
+
+    Args:
+        plan: the physical plan to run.
+        catalog: table and index data.
+        context: execution context (a fresh one is created if omitted).
+        parameters: positional values for ``?`` markers in the plan
+            (overrides any values already on the context).
 
     Raises:
         ExecutionError: on malformed plans or runtime failures.
     """
     if context is None:
         context = ExecContext()
-    rows = _run(plan, catalog, context)
+    if parameters is not None:
+        context.parameters = tuple(parameters)
+    context.runtime = RuntimeStats()
+    start = time.perf_counter()
+    with bind_parameters(context.parameters):
+        rows = _run(plan, catalog, context)
+    context.runtime.total_seconds = time.perf_counter() - start
     return plan.output_schema(), rows
 
 
@@ -69,7 +93,17 @@ def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
                 break
     if handler is None:
         raise ExecutionError(f"no executor for {type(op).__name__}")
-    return handler(op, catalog, ctx)
+    if ctx.runtime is None:
+        return handler(op, catalog, ctx)
+    node = ctx.runtime.node_for(op)
+    pages_before = ctx.counters.total_page_reads
+    start = time.perf_counter()
+    rows = handler(op, catalog, ctx)
+    node.wall_seconds += time.perf_counter() - start
+    node.pages_read += ctx.counters.total_page_reads - pages_before
+    node.invocations += 1
+    node.actual_rows += len(rows)
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -60,5 +60,9 @@ class ExecutionError(ReproError):
     """A runtime failure inside the execution engine."""
 
 
+class PrepareError(ReproError):
+    """A prepared-statement operation failed (unknown name, bad arity...)."""
+
+
 class StatisticsError(ReproError):
     """Invalid statistics construction or use (empty histogram, bad bucket...)."""

@@ -8,7 +8,8 @@ rewrites (Section 4.2.2 dwells on precisely this subtlety).
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from contextlib import contextmanager
+from typing import Any, Optional, Sequence, Tuple
 
 from repro.errors import ExecutionError
 from repro.expr.expressions import (
@@ -24,11 +25,48 @@ from repro.expr.expressions import (
     IsNull,
     Literal,
     NotExpr,
+    Param,
     UdfCall,
 )
 from repro.expr.schema import StreamSchema
 
 Row = Sequence[Any]
+
+# Parameter values for the execution currently in progress.  Bound by
+# the executor around a plan run (see :func:`bind_parameters`) so cached
+# prepared-statement plans can be re-executed with fresh values without
+# rewriting the plan tree.
+_BOUND_PARAMS: Optional[Tuple[Any, ...]] = None
+
+
+@contextmanager
+def bind_parameters(values: Optional[Sequence[Any]]):
+    """Bind positional parameter values for the duration of a block.
+
+    Nested executions (e.g. Apply running a subplan) see the innermost
+    binding; the previous binding is restored on exit.
+    """
+    global _BOUND_PARAMS
+    previous = _BOUND_PARAMS
+    _BOUND_PARAMS = tuple(values) if values is not None else None
+    try:
+        yield
+    finally:
+        _BOUND_PARAMS = previous
+
+
+def _param_value(expr: Param) -> Any:
+    if _BOUND_PARAMS is None:
+        raise ExecutionError(
+            f"parameter ?{expr.index + 1} has no bound value "
+            "(EXECUTE the statement with arguments)"
+        )
+    if expr.index >= len(_BOUND_PARAMS):
+        raise ExecutionError(
+            f"parameter ?{expr.index + 1} out of range "
+            f"({len(_BOUND_PARAMS)} values bound)"
+        )
+    return _BOUND_PARAMS[expr.index]
 
 
 def evaluate(expr: Expr, row: Row, schema: StreamSchema) -> Any:
@@ -41,6 +79,8 @@ def evaluate(expr: Expr, row: Row, schema: StreamSchema) -> Any:
     """
     if isinstance(expr, Literal):
         return expr.value
+    if isinstance(expr, Param):
+        return _param_value(expr)
     if isinstance(expr, ColumnRef):
         return row[schema.position(expr)]
     if isinstance(expr, Comparison):

@@ -109,6 +109,37 @@ class Literal(Expr):
         return hash(("lit", type(self.value).__name__, self.value))
 
 
+class Param(Expr):
+    """A prepared-statement parameter placeholder (``?``), 0-indexed.
+
+    The optimizer treats a parameter like an opaque constant: it never
+    contributes columns, selectivity estimation falls back to the
+    System-R defaults, and access-path seek extraction skips it.  The
+    executor substitutes the bound value at evaluation time, which is
+    what lets one cached plan serve many EXECUTEs.
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        object.__setattr__(self, "index", int(index))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Param is immutable")
+
+    def columns(self) -> FrozenSet[ColumnRef]:
+        return frozenset()
+
+    def to_sql(self) -> str:
+        return f"?{self.index + 1}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Param) and self.index == other.index
+
+    def __hash__(self) -> int:
+        return hash(("param", self.index))
+
+
 class ComparisonOp(enum.Enum):
     """Binary comparison operators."""
 

@@ -3,6 +3,14 @@
 Run ``python -m repro`` for an empty database, or
 ``python -m repro --demo`` to start with the Emp/Dept demo data loaded.
 
+Statements beyond SELECT:
+
+    EXPLAIN <select>            show the optimized physical plan
+    EXPLAIN ANALYZE <select>    run it; estimated vs. actual per operator
+    PREPARE <name> AS <select>  optimize once (use ? for parameters)
+    EXECUTE <name> (v, ...)     run a prepared statement with values
+    DEALLOCATE <name>           drop a prepared statement
+
 Meta-commands (backslash-prefixed):
 
     \\help               this message
@@ -12,6 +20,7 @@ Meta-commands (backslash-prefixed):
     \\trace <sql>        run and show the rewrite-rule trace
     \\naive <sql>        run through the reference interpreter
     \\analyze            recollect statistics for every table
+    \\metrics            cumulative query/plan-cache/timing counters
     \\quit               exit
 """
 
@@ -93,10 +102,16 @@ class Shell:
         if command == "analyze":
             self.db.analyze()
             return "statistics collected"
+        if command == "metrics":
+            return self.db.metrics.format()
         return f"unknown command \\{command} (try \\help)"
 
     def _query(self, sql: str) -> str:
         result = self.db.sql(sql)
+        if result.kind != "select":
+            # EXPLAIN / PREPARE / DEALLOCATE results are rendered text;
+            # print the body without the tabular row/page footer.
+            return "\n".join(str(row[0]) for row in result.rows)
         body = self._format_rows(result.column_names, result.rows)
         counters = result.context.counters
         footer = (

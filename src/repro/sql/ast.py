@@ -34,6 +34,13 @@ class AstLiteral(AstExpr):
 
 
 @dataclass(frozen=True)
+class AstParam(AstExpr):
+    """A positional parameter placeholder ``?`` (0-indexed in order)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
 class AstComparison(AstExpr):
     """Binary comparison ``left op right`` (op as SQL text)."""
 
@@ -200,3 +207,43 @@ class SelectStmt:
     group_by: List[AstExpr] = field(default_factory=list)
     having: Optional[AstExpr] = None
     order_by: List[OrderItem] = field(default_factory=list)
+    param_count: int = 0
+
+
+@dataclass
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE] <select>``: show the plan, optionally run it."""
+
+    query: SelectStmt
+    analyze: bool = False
+    sql_text: str = ""
+
+
+@dataclass
+class PrepareStmt:
+    """``PREPARE <name> AS <select>`` with ``?`` parameter markers."""
+
+    name: str
+    query: SelectStmt
+    sql_text: str = ""
+
+
+@dataclass
+class ExecuteStmt:
+    """``EXECUTE <name> [(value, ...)]``: run a prepared statement."""
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+
+@dataclass
+class DeallocateStmt:
+    """``DEALLOCATE <name>``: drop a prepared statement."""
+
+    name: str
+
+
+# Every statement kind the front end can dispatch on.
+Statement = Union[
+    SelectStmt, ExplainStmt, PrepareStmt, ExecuteStmt, DeallocateStmt
+]

@@ -27,6 +27,7 @@ from repro.expr.expressions import (
     IsNull,
     Literal,
     NotExpr,
+    Param,
     UdfCall,
 )
 from repro.logical.operators import ProjectItem
@@ -52,6 +53,7 @@ from repro.sql.ast import (
     AstIsNull,
     AstLiteral,
     AstNot,
+    AstParam,
     AstScalarSubquery,
     JoinType,
     SelectStmt,
@@ -391,6 +393,8 @@ class Binder:
     ) -> Expr:
         if isinstance(expr, AstLiteral):
             return Literal(expr.value)
+        if isinstance(expr, AstParam):
+            return Param(expr.index)
         if isinstance(expr, AstColumn):
             return self._resolve_column(expr, scopes)
         if isinstance(expr, AstComparison):

@@ -13,7 +13,8 @@ KEYWORDS = {
     "ASC", "DESC", "AND", "OR", "NOT", "IN", "EXISTS", "IS", "NULL", "AS",
     "JOIN", "LEFT", "OUTER", "INNER", "CROSS", "ON", "UNION", "ALL",
     "BETWEEN", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE",
-    "CREATE", "VIEW",
+    "CREATE", "VIEW", "EXPLAIN", "ANALYZE", "PREPARE", "EXECUTE",
+    "DEALLOCATE",
 }
 
 
@@ -43,7 +44,7 @@ class Token:
 
 
 _OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/")
-_PUNCT = "(),."
+_PUNCT = "(),.?"
 
 
 def tokenize(sql: str) -> List[Token]:

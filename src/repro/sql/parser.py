@@ -32,12 +32,18 @@ from repro.sql.ast import (
     AstIsNull,
     AstLiteral,
     AstNot,
+    AstParam,
     AstScalarSubquery,
+    DeallocateStmt,
+    ExecuteStmt,
+    ExplainStmt,
     FromItem,
     JoinType,
     OrderItem,
+    PrepareStmt,
     SelectItem,
     SelectStmt,
+    Statement,
     TableRef,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
@@ -56,13 +62,52 @@ def parse(sql: str) -> SelectStmt:
     parser = _Parser(tokenize(sql))
     stmt = parser.parse_select()
     parser.expect_eof()
+    stmt.param_count = parser.param_count
     return stmt
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one top-level statement.
+
+    Recognizes ``EXPLAIN [ANALYZE] <select>``, ``PREPARE <name> AS
+    <select>``, ``EXECUTE <name> [(args)]``, ``DEALLOCATE <name>``, and
+    plain ``SELECT``.
+
+    Raises:
+        ParseError: on syntax errors.
+        LexerError: on bad tokens.
+    """
+    parser = _Parser(tokenize(sql))
+    stmt = parser.parse_statement(sql)
+    parser.expect_eof()
+    return stmt
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical single-line rendering of SQL text, via the lexer.
+
+    Whitespace, comments, and keyword case are erased so textually
+    different but lexically identical statements share one plan-cache
+    key.  Identifiers keep their case (catalog names are case
+    sensitive); string literals keep their exact contents.
+    """
+    parts: List[str] = []
+    for token in tokenize(sql):
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.STRING:
+            escaped = token.value.replace("'", "''")
+            parts.append(f"'{escaped}'")
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
 
 
 class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self._tokens = tokens
         self._pos = 0
+        self.param_count = 0
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -115,6 +160,61 @@ class _Parser:
             raise ParseError(
                 f"unexpected trailing input {token.value!r}", token.position
             )
+
+    # ------------------------------------------------------------------
+    # Top-level statements
+    # ------------------------------------------------------------------
+    def parse_statement(self, sql_text: str = "") -> Statement:
+        token = self._peek()
+        if token.is_keyword("EXPLAIN"):
+            self._next()
+            analyze = bool(self._accept_keyword("ANALYZE"))
+            body_start = self._peek().position
+            query = self.parse_select()
+            query.param_count = self.param_count
+            return ExplainStmt(
+                query=query, analyze=analyze, sql_text=sql_text[body_start:]
+            )
+        if token.is_keyword("PREPARE"):
+            self._next()
+            name = self._expect_ident()
+            self._expect_keyword("AS")
+            body_start = self._peek().position
+            query = self.parse_select()
+            query.param_count = self.param_count
+            return PrepareStmt(
+                name=name, query=query, sql_text=sql_text[body_start:]
+            )
+        if token.is_keyword("EXECUTE"):
+            self._next()
+            name = self._expect_ident()
+            args: List[object] = []
+            if self._accept_punct("("):
+                if not (
+                    self._peek().type is TokenType.PUNCT
+                    and self._peek().value == ")"
+                ):
+                    args.append(self._parse_execute_arg())
+                    while self._accept_punct(","):
+                        args.append(self._parse_execute_arg())
+                self._expect_punct(")")
+            return ExecuteStmt(name=name, args=tuple(args))
+        if token.is_keyword("DEALLOCATE"):
+            self._next()
+            return DeallocateStmt(name=self._expect_ident())
+        stmt = self.parse_select()
+        stmt.param_count = self.param_count
+        return stmt
+
+    def _parse_execute_arg(self) -> object:
+        """One EXECUTE argument: a literal constant (sign allowed)."""
+        expr = self._parse_primary()
+        if isinstance(expr, AstLiteral):
+            return expr.value
+        raise ParseError(
+            "EXECUTE arguments must be literal constants",
+            self._peek().position,
+        )
 
     # ------------------------------------------------------------------
     # SELECT
@@ -338,6 +438,11 @@ class _Parser:
 
     def _parse_primary(self) -> AstExpr:
         token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == "?":
+            self._next()
+            param = AstParam(self.param_count)
+            self.param_count += 1
+            return param
         if token.type is TokenType.NUMBER:
             self._next()
             if "." in token.value:

@@ -1,8 +1,14 @@
-"""Unit tests for the buffer pool, counters, and observed-cost pricing."""
+"""Unit tests for the buffer pool, counters, observed-cost pricing,
+and the plan cache (LRU order, hit/miss accounting, invalidation)."""
+
+import random
 
 import pytest
 
+from repro import Database
+from repro.core.optimizer import PlanCache
 from repro.cost import DEFAULT_PARAMETERS, CostParameters
+from repro.datagen import build_emp_dept
 from repro.engine import BufferPool, ExecContext
 
 
@@ -81,3 +87,146 @@ class TestExecContext:
     def test_pool_sized_from_params(self):
         context = ExecContext(CostParameters(buffer_pool_pages=7))
         assert context.buffer_pool.capacity == 7
+
+
+class TestPlanCacheUnit:
+    """PlanCache in isolation: keys, LRU order, counters, staleness."""
+
+    def test_key_normalizes_whitespace_and_comments(self):
+        a = PlanCache.key("SELECT  E.name\nFROM Emp E  -- trailing\n")
+        b = PlanCache.key("select E.name from Emp E")
+        assert a == b  # keyword case folds; identifier case is preserved
+
+    def test_key_distinguishes_identifier_case(self):
+        # Catalog names are case sensitive, so Emp and emp differ.
+        assert PlanCache.key("SELECT E.name FROM Emp E") != PlanCache.key(
+            "SELECT E.name FROM emp E"
+        )
+
+    def test_key_distinguishes_param_signature(self):
+        same_text = "SELECT E.name FROM Emp E WHERE E.sal > ?"
+        assert PlanCache.key(same_text, 1) != PlanCache.key(same_text, 0)
+
+    def test_key_preserves_string_literal_case(self):
+        a = PlanCache.key("SELECT 'ABC' FROM Emp E")
+        b = PlanCache.key("SELECT 'abc' FROM Emp E")
+        assert a != b
+
+    def test_hit_miss_accounting(self):
+        cache = PlanCache(capacity=4)
+        key = PlanCache.key("SELECT 1 FROM T")
+        assert cache.get(key, catalog_version=0) is None
+        cache.put(key, plan="p", catalog_version=0)
+        assert cache.get(key, catalog_version=0).plan == "p"
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_ratio == pytest.approx(0.5)
+
+    def test_capacity_eviction_order(self):
+        cache = PlanCache(capacity=2)
+        k1, k2, k3 = (PlanCache.key(f"SELECT {i} FROM T") for i in (1, 2, 3))
+        cache.put(k1, "p1", 0)
+        cache.put(k2, "p2", 0)
+        cache.put(k3, "p3", 0)  # evicts k1 (least recently used)
+        assert cache.get(k1, 0) is None
+        assert cache.get(k3, 0) is not None
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = PlanCache(capacity=2)
+        k1, k2, k3 = (PlanCache.key(f"SELECT {i} FROM T") for i in (1, 2, 3))
+        cache.put(k1, "p1", 0)
+        cache.put(k2, "p2", 0)
+        cache.get(k1, 0)  # k1 becomes most recent
+        cache.put(k3, "p3", 0)  # evicts k2, not k1
+        assert cache.get(k1, 0) is not None
+        assert cache.get(k2, 0) is None
+
+    def test_stale_version_invalidates(self):
+        cache = PlanCache(capacity=4)
+        key = PlanCache.key("SELECT 1 FROM T")
+        cache.put(key, "p", catalog_version=3)
+        assert cache.get(key, catalog_version=4) is None  # DDL happened
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_zero_capacity_disables_caching(self):
+        cache = PlanCache(capacity=0)
+        key = PlanCache.key("SELECT 1 FROM T")
+        cache.put(key, "p", 0)
+        assert len(cache) == 0
+        assert cache.get(key, 0) is None
+
+    def test_clear_preserves_counters(self):
+        cache = PlanCache(capacity=4)
+        key = PlanCache.key("SELECT 1 FROM T")
+        cache.put(key, "p", 0)
+        cache.get(key, 0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+
+class TestPlanCacheIntegration:
+    """The cache wired into Database: DDL and ANALYZE invalidation."""
+
+    @pytest.fixture
+    def db(self) -> Database:
+        database = Database()
+        build_emp_dept(
+            database.catalog,
+            emp_rows=50,
+            dept_rows=5,
+            rng=random.Random(3),
+        )
+        database.analyze()
+        return database
+
+    SQL = "SELECT E.name FROM Emp E WHERE E.sal > 100000"
+
+    def test_repeat_query_hits_cache(self, db):
+        first = db.sql(self.SQL)
+        second = db.sql(self.SQL)
+        assert not first.from_plan_cache
+        assert second.from_plan_cache
+        assert db.plan_cache.hits == 1 and db.plan_cache.misses == 1
+
+    def test_whitespace_variant_hits_cache(self, db):
+        db.sql(self.SQL)
+        variant = db.sql(
+            "SELECT  E.name\n  FROM Emp E\n  WHERE E.sal > 100000  -- hot"
+        )
+        assert variant.from_plan_cache
+
+    def test_ddl_invalidates(self, db):
+        db.sql(self.SQL)
+        db.catalog.create_index("idx_emp_sal", "Emp", ["sal"])
+        result = db.sql(self.SQL)
+        assert not result.from_plan_cache
+        assert db.plan_cache.invalidations == 1
+
+    def test_create_view_invalidates(self, db):
+        db.sql("SELECT D.name FROM Dept D")
+        version_before = db.catalog.version
+        db.catalog.create_view("V", "SELECT E.name FROM Emp E")
+        assert db.catalog.version > version_before
+        result = db.sql("SELECT D.name FROM Dept D")
+        assert not result.from_plan_cache
+
+    def test_stats_refresh_invalidates(self, db):
+        db.sql(self.SQL)
+        db.analyze()  # set_stats bumps the catalog version
+        result = db.sql(self.SQL)
+        assert not result.from_plan_cache
+        again = db.sql(self.SQL)
+        assert again.from_plan_cache
+
+    def test_cached_plan_returns_same_rows(self, db):
+        first = db.sql(self.SQL)
+        second = db.sql(self.SQL)
+        assert sorted(first.rows) == sorted(second.rows)
+
+    def test_udf_registration_clears_cache(self, db):
+        db.sql(self.SQL)
+        db.register_udf("is_even", lambda x: x % 2 == 0)
+        result = db.sql(self.SQL)
+        assert not result.from_plan_cache

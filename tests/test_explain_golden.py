@@ -1,0 +1,127 @@
+"""Golden-plan regression tests.
+
+Each named query's EXPLAIN output is snapshotted under
+``tests/golden/<name>.txt``.  A cost-model or enumerator change that
+silently flips a plan shape (join order, access path, operator choice)
+fails these tests loudly, with a diff of the rendered plans.
+
+Regenerating the snapshots (after an *intentional* plan change)::
+
+    REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_explain_golden.py
+
+then review the diff of ``tests/golden/`` like any other code change.
+
+The workload is the fixed seed used across the suite (Emp 200 rows,
+Dept 20 rows, rng seed 3, analyzed), so plans -- including the cost and
+cardinality annotations -- are deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import re
+
+import pytest
+
+from repro import Database
+from repro.datagen import build_emp_dept
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+REGEN = os.environ.get("REGEN_GOLDEN") == "1"
+
+# The paper's running examples (Section 2's Emp/Dept query and friends)
+# plus shapes exercised by the E1/E2 benchmarks: single-table filters,
+# the 2-way join, a 3-way join through Dept.mgr, aggregation, and an
+# interesting-order query where an index can satisfy ORDER BY.
+GOLDEN_QUERIES = [
+    (
+        "filter_selective",
+        "SELECT E.name FROM Emp E WHERE E.sal > 100000",
+    ),
+    (
+        "filter_pk_point",
+        "SELECT E.name, E.sal FROM Emp E WHERE E.emp_no = 42",
+    ),
+    (
+        "join_emp_dept",
+        "SELECT E.name, D.name FROM Emp E, Dept D "
+        "WHERE E.dept_no = D.dept_no AND E.sal > 100000",
+    ),
+    (
+        "join3_manager",
+        "SELECT E.name, M.name FROM Emp E, Dept D, Emp M "
+        "WHERE E.dept_no = D.dept_no AND D.mgr = M.emp_no",
+    ),
+    (
+        "group_by_dept",
+        "SELECT E.dept_no, COUNT(*), AVG(E.sal) FROM Emp E "
+        "GROUP BY E.dept_no",
+    ),
+    (
+        "interesting_order",
+        "SELECT E.emp_no, E.name FROM Emp E "
+        "WHERE E.emp_no > 150 ORDER BY E.emp_no",
+    ),
+    (
+        "distinct_projection",
+        "SELECT DISTINCT E.dept_no FROM Emp E WHERE E.age < 30",
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def golden_db() -> Database:
+    db = Database()
+    build_emp_dept(
+        db.catalog, emp_rows=200, dept_rows=20, rng=random.Random(3)
+    )
+    db.analyze()
+    return db
+
+
+def _golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.txt")
+
+
+def _normalize(plan_text: str) -> str:
+    """Erase binder-generated query-block names (Q1, Q5, ...): they are
+    a process-global counter, so their values depend on how many queries
+    were bound before this one, not on the plan shape."""
+    return re.sub(r"\bQ\d+\b", "Q#", plan_text)
+
+
+@pytest.mark.parametrize(
+    "name,sql", GOLDEN_QUERIES, ids=[name for name, _ in GOLDEN_QUERIES]
+)
+def test_explain_matches_golden(golden_db, name, sql):
+    actual = _normalize(golden_db.explain(sql).rstrip()) + "\n"
+    path = _golden_path(name)
+    if REGEN:
+        os.makedirs(GOLDEN_DIR, exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write(f"-- {sql}\n{actual}")
+        pytest.skip(f"regenerated {path}")
+    assert os.path.exists(path), (
+        f"missing golden file {path}; run with REGEN_GOLDEN=1 to create it"
+    )
+    with open(path) as handle:
+        lines = handle.read().splitlines()
+    expected = "\n".join(
+        line for line in lines if not line.startswith("--")
+    ).strip() + "\n"
+    assert actual.strip() + "\n" == expected, (
+        f"plan for {name!r} changed:\n--- golden ---\n{expected}"
+        f"--- actual ---\n{actual}"
+        "If intentional, regenerate with REGEN_GOLDEN=1 and review the diff."
+    )
+
+
+def test_golden_files_have_no_strays():
+    """Every file in tests/golden/ corresponds to a known query name."""
+    if not os.path.isdir(GOLDEN_DIR):
+        pytest.skip("golden dir not created yet")
+    known = {name for name, _ in GOLDEN_QUERIES}
+    for entry in os.listdir(GOLDEN_DIR):
+        if entry.endswith(".txt"):
+            assert entry[:-4] in known, f"stray golden file {entry}"
