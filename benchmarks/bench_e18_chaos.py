@@ -1,0 +1,116 @@
+"""E18 -- Chaos harness: the differential workload under injected faults.
+
+Claim: with deterministic fault injection, bounded retry-with-backoff,
+and typed errors, the engine degrades *gracefully* under transient
+storage faults.  For every query in the seeded 200-query differential
+workload, at every fault rate, one of exactly two things happens:
+
+  * the query returns a result **identical** to the fault-free run
+    (the retry wrapper absorbed the injected faults), or
+  * it fails with a **clean typed error** (a ``ReproError`` subclass)
+    and the session stays usable -- catalog intact, next query fine.
+
+A wrong answer -- the third possibility a non-robust engine admits --
+must never occur.  The table reports, per fault rate: queries run, how
+many returned identical results, how many failed cleanly, how many
+returned wrong answers (acceptance: always 0), retries absorbed by the
+executor, and total faults injected.  Everything is driven by one seeded
+RNG, so reruns reproduce the table exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Database, FaultConfig, FaultInjector
+from repro.datagen import build_emp_dept
+from repro.errors import ReproError
+
+from benchmarks.harness import report, rows_match
+from tests.test_differential import DEPT_ROWS, EMP_ROWS, SEED, generate_query
+
+QUERY_COUNT = 200
+FAULT_RATES = (0.0, 0.01, 0.05, 0.20)
+
+
+def _make_db(rate: float) -> Database:
+    injector = None
+    if rate > 0.0:
+        injector = FaultInjector(
+            FaultConfig(
+                seed=SEED,
+                page_read_error_rate=rate,
+                index_lookup_error_rate=rate,
+            )
+        )
+    db = Database(fault_injector=injector)
+    build_emp_dept(
+        db.catalog,
+        emp_rows=EMP_ROWS,
+        dept_rows=DEPT_ROWS,
+        rng=random.Random(3),
+    )
+    db.analyze()
+    return db
+
+
+def run_experiment(query_count: int = QUERY_COUNT, rates=FAULT_RATES):
+    clean = _make_db(rate=0.0)
+    rng = random.Random(SEED)
+    workload = [generate_query(rng) for _ in range(query_count)]
+    expected = [clean.sql(sql).rows for sql in workload]
+
+    table = []
+    for rate in rates:
+        db = _make_db(rate=rate)
+        identical = clean_failures = wrong = retries = 0
+        for sql, want in zip(workload, expected):
+            try:
+                result = db.sql(sql)
+            except ReproError:
+                clean_failures += 1
+                continue
+            retries += result.context.counters.retries
+            if rows_match(result.rows, want):
+                identical += 1
+            else:
+                wrong += 1
+        faults = db.fault_injector.injected_faults if db.fault_injector else 0
+        table.append(
+            [rate, query_count, identical, clean_failures, wrong, retries, faults]
+        )
+        # The acceptance criterion: graceful degradation admits clean
+        # failures, never wrong answers; a fault-free run is perfect.
+        assert wrong == 0, f"wrong answers under chaos at rate {rate}"
+        if rate == 0.0:
+            assert identical == query_count
+        # The session survived the whole storm.
+        db.fault_injector = None
+        assert len(db.sql("SELECT E.name AS c0 FROM Emp E").rows) == EMP_ROWS
+    return table
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fewer queries and one low fault rate for a quick CI run",
+    )
+    opts = parser.parse_args()
+    if opts.smoke:
+        table = run_experiment(query_count=40, rates=(0.0, 0.01))
+    else:
+        table = run_experiment()
+    report(
+        "E18",
+        "Chaos harness: differential workload under injected storage faults",
+        ["fault_rate", "queries", "identical", "failed_clean", "wrong",
+         "retries", "faults_injected"],
+        table,
+        notes="identical + failed_clean = queries at every rate; wrong is "
+        "always 0 (graceful degradation: right answer or clean typed "
+        "error, never silent corruption). Same seed => same table.",
+    )

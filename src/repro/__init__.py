@@ -31,23 +31,34 @@ from repro.core.optimizer import (
 from repro.core.systemr.enumerator import EnumeratorConfig
 from repro.cost.parameters import CostParameters
 from repro.engine.context import QueryMetrics
+from repro.engine.governor import (
+    CancellationToken,
+    QueryBudget,
+    RetryPolicy,
+)
 from repro.engine.runtime_stats import RuntimeStats, render_explain_analyze
+from repro.storage.faults import FaultConfig, FaultInjector
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CancellationToken",
     "Catalog",
     "Column",
     "ColumnType",
     "CostParameters",
     "Database",
     "EnumeratorConfig",
+    "FaultConfig",
+    "FaultInjector",
     "OptimizedQuery",
     "Optimizer",
     "PlanCache",
     "PreparedStatement",
+    "QueryBudget",
     "QueryMetrics",
     "QueryResult",
+    "RetryPolicy",
     "RuntimeStats",
     "render_explain_analyze",
     "__version__",

@@ -115,6 +115,11 @@ class TableSchema:
         return [column.name for column in self.columns]
 
     @property
+    def column_types(self) -> List[ColumnType]:
+        """Column types in declaration order (feeds stream-schema sizing)."""
+        return [column.col_type for column in self.columns]
+
+    @property
     def arity(self) -> int:
         """Number of columns."""
         return len(self.columns)

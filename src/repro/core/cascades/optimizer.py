@@ -415,6 +415,7 @@ class CascadesOptimizer:
                 [l for l, _r in matched],
                 JoinKind.INNER,
                 conjoin(residual_parts),
+                column_types=table.schema.column_types,
             )
             plan.est_rows = rows
             plan.est_cost = left.cost + join_cost

@@ -14,17 +14,19 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
 from repro.engine.context import ExecContext, QueryMetrics
 from repro.engine.executor import execute
+from repro.engine.governor import CancellationToken, QueryBudget
 from repro.engine.interpreter import InterpreterStats, interpret
 from repro.engine.runtime_stats import render_explain_analyze
-from repro.errors import PrepareError
+from repro.errors import PrepareError, QueryCancelled, ReproError
+from repro.storage.faults import FaultInjector
 from repro.expr.schema import StreamSchema
 from repro.logical.lower import lower_block
 from repro.logical.operators import Get, LogicalOp
@@ -156,7 +158,7 @@ class Optimizer:
                     )
                 stats[node.alias] = existing
             stack.extend(node.children())
-        return CardinalityEstimator(stats)
+        return CardinalityEstimator(stats, damping=self.config.damping)
 
 
 PlanCacheKey = Tuple[str, int]
@@ -234,6 +236,18 @@ class PlanCache:
             self._entries.popitem(last=False)
             self.evictions += 1
 
+    def evict(self, key: PlanCacheKey) -> bool:
+        """Drop one entry (a plan that misbehaved at execution time).
+
+        Returns True when the key was cached.  Counted under
+        ``evictions`` alongside capacity evictions.
+        """
+        if key not in self._entries:
+            return False
+        del self._entries[key]
+        self.evictions += 1
+        return True
+
     def keys(self) -> List[PlanCacheKey]:
         """Current keys, least recently used first."""
         return list(self._entries)
@@ -296,8 +310,25 @@ def _text_result(kind: str, column: str, lines: Sequence[str]) -> QueryResult:
     )
 
 
+# Selectivity damping used when re-optimizing a plan that failed at
+# runtime: sqrt-damping inflates every selectivity toward 1, so the
+# replacement plan is chosen under deliberately pessimistic (larger)
+# cardinalities.
+CONSERVATIVE_DAMPING = 0.5
+
+# Retryable failures a cached plan may accumulate before it is evicted
+# and its key marked for conservative re-optimization.
+RETRYABLE_FAILURES_BEFORE_EVICT = 2
+
+
 class Database:
     """An embedded database: catalog + optimizer + executor.
+
+    Per-session robustness state lives here: an optional
+    :class:`QueryBudget` and :class:`FaultInjector` applied to every
+    execution, and a :class:`CancellationToken` the shell's Ctrl-C
+    handler flips to abort the running query without killing the
+    session.
 
     Example:
         >>> db = Database()
@@ -312,6 +343,8 @@ class Database:
         config: EnumeratorConfig = EnumeratorConfig(),
         use_rewrites: bool = True,
         plan_cache_size: int = 128,
+        budget: Optional[QueryBudget] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
         self.params = params
@@ -321,6 +354,11 @@ class Database:
         self.plan_cache = PlanCache(plan_cache_size)
         self.metrics = QueryMetrics()
         self.prepared: Dict[str, PreparedStatement] = {}
+        self.budget = budget
+        self.cancel_token = CancellationToken()
+        self.fault_injector = fault_injector
+        self._plan_failures: Dict[PlanCacheKey, int] = {}
+        self._conservative_keys: Set[PlanCacheKey] = set()
 
     # ------------------------------------------------------------------
     # Schema management
@@ -364,12 +402,21 @@ class Database:
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    def optimizer(self) -> Optimizer:
-        """A fresh optimizer bound to this database's catalog."""
+    def optimizer(self, conservative: bool = False) -> Optimizer:
+        """A fresh optimizer bound to this database's catalog.
+
+        With ``conservative=True`` the enumerator config's selectivity
+        damping is set to :data:`CONSERVATIVE_DAMPING`, producing the
+        pessimistic cardinalities used to re-plan queries whose cached
+        plan failed at runtime.
+        """
+        config = self.config
+        if conservative:
+            config = replace(config, damping=CONSERVATIVE_DAMPING)
         return Optimizer(
             self.catalog,
             self.params,
-            self.config,
+            config,
             udfs=self.udfs,
             use_rewrites=self.use_rewrites,
         )
@@ -401,7 +448,7 @@ class Database:
             )
         key = PlanCache.key(text, stmt.param_count)
         optimized, from_cache, _ = self._optimize_cached(key, stmt)
-        return self._execute_plan(optimized, from_cache)
+        return self._execute_plan(optimized, from_cache, cache_key=key)
 
     # -- plan cache plumbing -------------------------------------------
     def _optimize_cached(
@@ -427,26 +474,77 @@ class Database:
         self.metrics.plan_cache_misses += 1
         if stmt is None:
             stmt = parse(sql_text)
+        conservative = key in self._conservative_keys
+        if conservative:
+            self.metrics.conservative_reoptimizations += 1
         start = time.perf_counter()
-        optimized = self.optimizer().optimize_statement(stmt)
+        optimized = self.optimizer(conservative=conservative).optimize_statement(
+            stmt
+        )
         elapsed = time.perf_counter() - start
         self.metrics.optimize_seconds += elapsed
         self.plan_cache.put(key, optimized, self.catalog.version, elapsed)
         return optimized, False, elapsed
+
+    def _make_context(self) -> ExecContext:
+        """An ExecContext carrying the session's robustness state."""
+        context = ExecContext(self.params)
+        context.budget = self.budget
+        context.cancel_token = self.cancel_token
+        context.fault_injector = self.fault_injector
+        return context
+
+    def _note_execution_failure(
+        self, cache_key: Optional[PlanCacheKey], error: ReproError
+    ) -> None:
+        """React to a typed execution failure of a (possibly cached) plan.
+
+        Cancellation says nothing about the plan and is ignored.  A
+        non-retryable error evicts the cached plan immediately -- it will
+        keep failing.  Retryable errors (transient faults that outlived
+        their retries) are tolerated up to
+        :data:`RETRYABLE_FAILURES_BEFORE_EVICT` times; past that the plan
+        is evicted *and* the key is marked so the next optimization of
+        the same query uses conservative cardinality estimates.
+        """
+        self.metrics.execution_failures += 1
+        if cache_key is None or isinstance(error, QueryCancelled):
+            return
+        if not getattr(error, "retryable", False):
+            if self.plan_cache.evict(cache_key):
+                self.metrics.plan_cache_error_evictions += 1
+            self._plan_failures.pop(cache_key, None)
+            return
+        failures = self._plan_failures.get(cache_key, 0) + 1
+        self._plan_failures[cache_key] = failures
+        if failures >= RETRYABLE_FAILURES_BEFORE_EVICT:
+            if self.plan_cache.evict(cache_key):
+                self.metrics.plan_cache_error_evictions += 1
+            self._conservative_keys.add(cache_key)
+            self._plan_failures.pop(cache_key, None)
 
     def _execute_plan(
         self,
         optimized: OptimizedQuery,
         from_cache: bool,
         parameters: Optional[Tuple[Any, ...]] = None,
+        cache_key: Optional[PlanCacheKey] = None,
     ) -> QueryResult:
-        context = ExecContext(self.params)
+        context = self._make_context()
         start = time.perf_counter()
-        schema, rows = execute(
-            optimized.physical, self.catalog, context, parameters=parameters
-        )
+        try:
+            schema, rows = execute(
+                optimized.physical, self.catalog, context, parameters=parameters
+            )
+        except ReproError as error:
+            self.metrics.execute_seconds += time.perf_counter() - start
+            self.metrics.fault_retries += context.counters.retries
+            self._note_execution_failure(cache_key, error)
+            raise
         self.metrics.execute_seconds += time.perf_counter() - start
         self.metrics.record_execution(context, len(rows))
+        if cache_key is not None:
+            self._plan_failures.pop(cache_key, None)
         return QueryResult(
             schema=schema,
             rows=rows,
@@ -468,7 +566,7 @@ class Database:
             result.plan = optimized.physical
             result.from_plan_cache = from_cache
             return result
-        context = ExecContext(self.params)
+        context = self._make_context()
         start = time.perf_counter()
         schema, rows = execute(optimized.physical, self.catalog, context)
         self.metrics.execute_seconds += time.perf_counter() - start
@@ -524,7 +622,10 @@ class Database:
             statement.cache_key, None, sql_text=statement.sql_text
         )
         return self._execute_plan(
-            optimized, from_cache, parameters=tuple(args)
+            optimized,
+            from_cache,
+            parameters=tuple(args),
+            cache_key=statement.cache_key,
         )
 
     def deallocate(self, name: str) -> None:

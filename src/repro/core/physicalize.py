@@ -195,7 +195,7 @@ class Physicalizer:
                         self.catalog, node.table, histogram_kind=None
                     )
                 stats[node.alias] = existing
-        return CardinalityEstimator(stats)
+        return CardinalityEstimator(stats, damping=self.config.damping)
 
     # ------------------------------------------------------------------
     # Node-by-node mapping
@@ -207,7 +207,12 @@ class Physicalizer:
         rows = estimator.estimate(op)
         if isinstance(op, Get):
             table = self.catalog.table(op.table)
-            plan = SeqScanP(op.table, op.alias, op.columns)
+            plan = SeqScanP(
+                op.table,
+                op.alias,
+                op.columns,
+                column_types=table.schema.column_types,
+            )
             plan.est_rows = float(table.row_count)
             plan.est_cost = cost_seq_scan(
                 float(table.row_count), float(table.page_count), 0, self.params

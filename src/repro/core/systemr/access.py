@@ -48,7 +48,13 @@ def generate_access_paths(
     out_rows = estimator.scan_rows(alias, graph)
     paths: List[PhysicalOp] = []
 
-    seq = SeqScanP(node.table, alias, schema.column_names, predicate)
+    seq = SeqScanP(
+        node.table,
+        alias,
+        schema.column_names,
+        predicate,
+        column_types=schema.column_types,
+    )
     seq.est_rows = out_rows
     seq.est_cost = cost_seq_scan(
         float(table.row_count),
@@ -80,6 +86,7 @@ def generate_access_paths(
                 index.definition.name,
                 eq_value=(seek_eq,),
                 predicate=residual,
+                column_types=schema.column_types,
             )
         elif seek_low is not None or seek_high is not None:
             fraction = _range_fraction(
@@ -94,6 +101,7 @@ def generate_access_paths(
                 low=seek_low,
                 high=seek_high,
                 predicate=residual,
+                column_types=schema.column_types,
             )
         else:
             # Full ordered scan: pays for touching everything but delivers
@@ -105,6 +113,7 @@ def generate_access_paths(
                 schema.column_names,
                 index.definition.name,
                 predicate=predicate,
+                column_types=schema.column_types,
             )
         scan.est_rows = out_rows
         scan.est_cost = cost_index_scan(

@@ -72,6 +72,10 @@ class EnumeratorConfig:
         naive: replace the DP enumerator with the exhaustive O(n!)
             baseline of Section 3 (used as the differential-testing
             reference: same plan space, no memoization shortcuts).
+        damping: selectivity-damping exponent in (0, 1]; below 1 the
+            estimator inflates selectivities toward 1, yielding the
+            conservative cardinalities used when re-optimizing a plan
+            that failed at runtime.
     """
 
     bushy: bool = False
@@ -79,6 +83,7 @@ class EnumeratorConfig:
     use_interesting_orders: bool = True
     join_algorithms: Tuple[str, ...] = ("nl", "inl", "merge", "hash")
     naive: bool = False
+    damping: float = 1.0
 
 
 @dataclass
@@ -127,7 +132,7 @@ class SystemRJoinEnumerator:
         self.graph = graph
         self.params = params
         self.config = config
-        self.estimator = CardinalityEstimator(stats_by_alias)
+        self.estimator = CardinalityEstimator(stats_by_alias, damping=config.damping)
         self.equivalences = equivalence_classes(graph)
         self.orders = interesting_orders(graph, extra_orders)
         self.stats = EnumeratorStats()
@@ -389,6 +394,7 @@ class SystemRJoinEnumerator:
                 [l for l, _r in matched],
                 JoinKind.INNER,
                 conjoin(residual_parts),
+                column_types=table.schema.column_types,
             )
             plan.est_rows = rows
             plan.est_cost = left.cost + join_cost

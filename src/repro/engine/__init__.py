@@ -1,4 +1,5 @@
-"""Execution engine: physical-plan executor, reference interpreter, buffer pool."""
+"""Execution engine: physical-plan executor, reference interpreter, buffer
+pool, and per-query resource governance."""
 
 from repro.engine.context import (
     BufferPool,
@@ -7,6 +8,13 @@ from repro.engine.context import (
     QueryMetrics,
 )
 from repro.engine.executor import execute
+from repro.engine.governor import (
+    CancellationToken,
+    QueryBudget,
+    ResourceGovernor,
+    RetryPolicy,
+    call_with_retries,
+)
 from repro.engine.interpreter import InterpreterStats, interpret
 from repro.engine.runtime_stats import (
     OpRuntimeStats,
@@ -16,12 +24,17 @@ from repro.engine.runtime_stats import (
 
 __all__ = [
     "BufferPool",
+    "CancellationToken",
     "ExecContext",
     "ExecCounters",
     "InterpreterStats",
     "OpRuntimeStats",
+    "QueryBudget",
     "QueryMetrics",
+    "ResourceGovernor",
+    "RetryPolicy",
     "RuntimeStats",
+    "call_with_retries",
     "execute",
     "interpret",
     "render_explain_analyze",

@@ -12,12 +12,22 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Optional, Tuple, TYPE_CHECKING
+from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING, TypeVar
 
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.engine.governor import (
+    CancellationToken,
+    QueryBudget,
+    ResourceGovernor,
+    RetryPolicy,
+    call_with_retries,
+)
 
 if TYPE_CHECKING:
     from repro.engine.runtime_stats import RuntimeStats
+    from repro.storage.faults import FaultInjector
+
+_T = TypeVar("_T")
 
 PageId = Tuple[str, int]
 
@@ -68,6 +78,12 @@ class ExecCounters:
     udf_invocations: int = 0
     exchange_pages: int = 0
     inner_evaluations: int = 0
+    # Fault-tolerance accounting: transient-fault retries performed, the
+    # (deterministic) backoff the retry schedule accrued, and how many
+    # operators degraded to a spill fallback under the memory budget.
+    retries: int = 0
+    retry_backoff_seconds: float = 0.0
+    degraded_operators: int = 0
 
     @property
     def total_page_reads(self) -> int:
@@ -99,6 +115,14 @@ class ExecContext:
             call, so repeated runs of a cached plan never accumulate).
         parameters: positional prepared-statement parameter values, or
             None when the plan contains no ``?`` markers.
+        budget: per-query resource limits enforced by the governor, or
+            None for unlimited execution.
+        cancel_token: cooperative cancellation latch, or None.
+        fault_injector: seeded chaos source consulted on every page read
+            and index lookup, or None for fault-free execution.
+        retry_policy: bounded-backoff policy for retryable faults.
+        governor: the enforcement object ``execute`` builds from
+            ``budget`` and ``cancel_token`` for each run.
     """
 
     def __init__(self, params: Optional[CostParameters] = None) -> None:
@@ -107,9 +131,51 @@ class ExecContext:
         self.counters = ExecCounters()
         self.runtime: Optional["RuntimeStats"] = None
         self.parameters: Optional[Tuple[Any, ...]] = None
+        self.budget: Optional[QueryBudget] = None
+        self.cancel_token: Optional[CancellationToken] = None
+        self.fault_injector: Optional["FaultInjector"] = None
+        self.retry_policy = RetryPolicy()
+        self.governor: Optional[ResourceGovernor] = None
+
+    def begin_execution(self) -> None:
+        """Arm the governor for one run (called by ``execute``)."""
+        if self.budget is not None or self.cancel_token is not None:
+            self.governor = ResourceGovernor(self.budget, self.cancel_token)
+            self.governor.start()
+        else:
+            self.governor = None
+
+    def _on_retry(self, _retry_number: int, delay: float, _error) -> None:
+        self.counters.retries += 1
+        self.counters.retry_backoff_seconds += delay
+
+    def _with_retries(self, fn: Callable[[], _T]) -> _T:
+        injector = self.fault_injector
+        return call_with_retries(
+            fn,
+            self.retry_policy,
+            jitter_source=injector.jitter if injector is not None else None,
+            on_retry=self._on_retry,
+        )
 
     def read_page(self, table: str, page_no: int, sequential: bool) -> None:
-        """Record one page access through the buffer pool."""
+        """Record one page access through the buffer pool.
+
+        Budget checks run first (a page read is the executor's natural
+        batch boundary), then the fault injector gets a chance to raise;
+        transient faults are retried with bounded backoff before the
+        access is accounted.
+
+        Raises:
+            ResourceError: on budget violation or cancellation.
+            TransientStorageError: when a fault outlives its retries.
+        """
+        if self.governor is not None:
+            self.governor.on_page_read()
+        if self.fault_injector is not None:
+            self._with_retries(
+                lambda: self.fault_injector.on_page_read(table, page_no)
+            )
         hit = self.buffer_pool.access((table, page_no))
         if hit:
             return
@@ -118,11 +184,23 @@ class ExecContext:
         else:
             self.counters.random_page_reads += 1
 
+    def index_lookup(self, fn: Callable[[], _T], site: str) -> _T:
+        """Run one index lookup through fault injection and retries."""
+        if self.fault_injector is None:
+            return fn()
+
+        def attempt() -> _T:
+            self.fault_injector.on_index_lookup(site)
+            return fn()
+
+        return self._with_retries(attempt)
+
     def reset(self) -> None:
         """Clear the buffer pool and counters for a fresh measurement."""
         self.buffer_pool.clear()
         self.counters = ExecCounters()
         self.runtime = None
+        self.governor = None
 
 
 @dataclass
@@ -143,12 +221,20 @@ class QueryMetrics:
     rows_returned: int = 0
     optimize_seconds: float = 0.0
     execute_seconds: float = 0.0
+    # Robustness counters: typed execution failures, plans evicted from
+    # the cache because they failed, conservative re-optimizations, and
+    # transient-fault retries absorbed by the executor.
+    execution_failures: int = 0
+    plan_cache_error_evictions: int = 0
+    conservative_reoptimizations: int = 0
+    fault_retries: int = 0
 
     def record_execution(self, context: "ExecContext", rows: int) -> None:
         """Fold one execution's observed work into the session totals."""
         self.queries_run += 1
         self.rows_returned += rows
         self.pages_read += context.counters.total_page_reads
+        self.fault_retries += context.counters.retries
 
     def format(self) -> str:
         """Readable multi-line rendering (the shell's ``\\metrics``)."""
@@ -166,5 +252,9 @@ class QueryMetrics:
                 f"rows returned:            {self.rows_returned}",
                 f"optimizer time:           {self.optimize_seconds * 1000.0:.3f}ms",
                 f"execution time:           {self.execute_seconds * 1000.0:.3f}ms",
+                f"execution failures:       {self.execution_failures}",
+                f"plans evicted on error:   {self.plan_cache_error_evictions}",
+                f"conservative re-opts:     {self.conservative_reoptimizations}",
+                f"fault retries:            {self.fault_retries}",
             ]
         )

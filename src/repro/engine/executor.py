@@ -5,11 +5,21 @@ intermediate results operator by operator, and records the work done
 (page reads through the simulated buffer pool, comparisons, UDF calls)
 in the :class:`~repro.engine.context.ExecContext`.  Benchmarks use these
 counters as the *measured* cost to validate optimizer estimates.
+
+Robustness hooks run throughout: the context's
+:class:`~repro.engine.governor.ResourceGovernor` is consulted at
+operator boundaries, inside row loops, and on every page read, so
+budget violations and cancellations surface as typed errors instead of
+runaway executions; storage faults injected on page reads and index
+lookups are retried with bounded backoff; and blocking hash operators
+whose working set would bust the memory budget degrade to partitioned
+(spilling) execution rather than failing.
 """
 
 from __future__ import annotations
 
 import time
+import zlib
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
@@ -17,7 +27,7 @@ from repro.cost.model import pages_for_rows
 from repro.engine.context import ExecContext
 from repro.engine.interpreter import InterpreterStats, interpret, sort_rows
 from repro.engine.runtime_stats import RuntimeStats
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, MemoryBudgetExceeded
 from repro.expr.evaluator import bind_parameters, evaluate, predicate_holds
 from repro.expr.expressions import ColumnRef, Expr
 from repro.expr.schema import StreamSchema
@@ -45,7 +55,9 @@ from repro.physical.plans import (
 
 Row = Tuple[Any, ...]
 
-_ROW_WIDTH_GUESS_BYTES = 16.0
+# Cap on how finely degraded hash operators partition their input when
+# squeezing under a memory budget.
+_MAX_SPILL_PARTITIONS = 64
 
 
 def execute(
@@ -71,12 +83,16 @@ def execute(
 
     Raises:
         ExecutionError: on malformed plans or runtime failures.
+        ResourceError: when the context's budget is violated or its
+            cancellation token fires (see QueryTimeout, QueryCancelled).
+        TransientStorageError: when an injected fault outlives its retries.
     """
     if context is None:
         context = ExecContext()
     if parameters is not None:
         context.parameters = tuple(parameters)
     context.runtime = RuntimeStats()
+    context.begin_execution()
     start = time.perf_counter()
     with bind_parameters(context.parameters):
         rows = _run(plan, catalog, context)
@@ -93,8 +109,16 @@ def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
                 break
     if handler is None:
         raise ExecutionError(f"no executor for {type(op).__name__}")
+    governor = ctx.governor
+    if governor is not None:
+        # Operator batch boundary: the cheapest place to observe budget
+        # violations and cancellations with full-check fidelity.
+        governor.check()
     if ctx.runtime is None:
-        return handler(op, catalog, ctx)
+        rows = handler(op, catalog, ctx)
+        if governor is not None:
+            governor.on_rows(len(rows))
+        return rows
     node = ctx.runtime.node_for(op)
     pages_before = ctx.counters.total_page_reads
     start = time.perf_counter()
@@ -103,7 +127,14 @@ def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     node.pages_read += ctx.counters.total_page_reads - pages_before
     node.invocations += 1
     node.actual_rows += len(rows)
+    if governor is not None:
+        governor.on_rows(len(rows))
     return rows
+
+
+def _row_width(schema: StreamSchema) -> float:
+    """Modelled bytes per row of a stream, from slot types where known."""
+    return schema.row_width_bytes()
 
 
 # ----------------------------------------------------------------------
@@ -112,10 +143,13 @@ def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
 def _run_seq_scan(op: SeqScanP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     table = catalog.table(op.table)
     schema = op.output_schema()
+    governor = ctx.governor
     out: List[Row] = []
     for page_no in range(table.page_count):
         ctx.read_page(op.table, page_no, sequential=True)
     for _row_id, row in table.scan():
+        if governor is not None:
+            governor.tick()
         if op.predicate is not None:
             ctx.counters.rows_compared += 1
             if not predicate_holds(op.predicate, row, schema):
@@ -132,20 +166,24 @@ def _run_index_scan(op: IndexScanP, catalog: Catalog, ctx: ExecContext) -> List[
     # Traverse the index: height pages randomly, through the buffer pool.
     for level in range(index.height):
         ctx.read_page(f"idx:{op.index_name}", -(level + 1), sequential=False)
+    site = f"idx:{op.index_name}"
     if op.eq_value is not None:
-        row_ids = index.seek_prefix(op.eq_value)
+        row_ids = ctx.index_lookup(lambda: index.seek_prefix(op.eq_value), site)
     elif op.low is not None or op.high is not None:
-        row_ids = index.range(op.low, op.high)
+        row_ids = ctx.index_lookup(lambda: index.range(op.low, op.high), site)
     else:
-        row_ids = index.ordered_row_ids()
+        row_ids = ctx.index_lookup(index.ordered_row_ids, site)
     # Leaf pages covered by the scan.
     if index.page_count:
         covered = max(1, round(index.page_count * len(row_ids) / max(index.entry_count, 1)))
         for leaf in range(covered):
             ctx.read_page(f"idx:{op.index_name}", leaf, sequential=True)
     clustered = index.definition.clustered
+    governor = ctx.governor
     out: List[Row] = []
     for row_id in row_ids:
+        if governor is not None:
+            governor.tick()
         ctx.read_page(op.table, table.page_of(row_id), sequential=clustered)
         row = table.fetch(row_id)
         if op.predicate is not None:
@@ -163,8 +201,11 @@ def _run_index_scan(op: IndexScanP, catalog: Catalog, ctx: ExecContext) -> List[
 def _run_filter(op: FilterP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
     schema = op.child.output_schema()
+    governor = ctx.governor
     out = []
     for row in rows:
+        if governor is not None:
+            governor.tick()
         ctx.counters.rows_compared += 1
         if predicate_holds(op.predicate, row, schema):
             out.append(row)
@@ -175,8 +216,11 @@ def _run_filter(op: FilterP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
 def _run_udf_filter(op: UdfFilterP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
     schema = op.child.output_schema()
+    governor = ctx.governor
     out = []
     for row in rows:
+        if governor is not None:
+            governor.tick()
         ctx.counters.udf_invocations += 1
         ctx.counters.rows_compared += max(1, int(op.udf.per_tuple_cost))
         if evaluate(op.udf, row, schema) is True:
@@ -198,9 +242,16 @@ def _run_project(op: ProjectP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
 def _run_sort(op: SortP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
     schema = op.child.output_schema()
-    pages = pages_for_rows(len(rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    width = _row_width(schema)
+    pages = pages_for_rows(len(rows), width, ctx.params)
     if pages > ctx.params.sort_memory_pages:
         ctx.counters.sort_spill_pages += int(2 * pages)
+    if ctx.governor is not None:
+        # Sorts always have the external-merge path, so a sort working
+        # set over budget is recorded (high-water mark) but never fatal.
+        ctx.governor.memory_high_water_bytes = max(
+            ctx.governor.memory_high_water_bytes, int(len(rows) * width)
+        )
     out = sort_rows(rows, schema, op.sort_order)
     ctx.counters.rows_compared += int(len(rows) * max(1, len(rows)).bit_length())
     ctx.counters.rows_produced += len(out)
@@ -209,7 +260,7 @@ def _run_sort(op: SortP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
 
 def _run_materialize(op: MaterializeP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
-    pages = pages_for_rows(len(rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    pages = pages_for_rows(len(rows), _row_width(op.child.output_schema()), ctx.params)
     if pages > ctx.params.sort_memory_pages:
         ctx.counters.sort_spill_pages += int(2 * pages)
     return rows
@@ -224,9 +275,12 @@ def _run_nl_join(op: NLJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     left_schema = op.left.output_schema()
     right_schema = op.right.output_schema()
     combined = left_schema.concat(right_schema)
+    governor = ctx.governor
     out: List[Row] = []
 
     def matches(lrow: Row, rrow: Row) -> bool:
+        if governor is not None:
+            governor.tick()
         ctx.counters.rows_compared += 1
         if op.predicate is None:
             return True
@@ -272,22 +326,29 @@ def _run_inl_join(op: INLJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]
     index = ordered.get(op.index_name) or hashed.get(op.index_name)
     if index is None:
         raise ExecutionError(f"unknown index {op.index_name!r} on {op.table!r}")
-    inner_schema = StreamSchema.for_table(op.alias, op.columns)
+    inner_schema = StreamSchema.for_table(
+        op.alias, op.columns, types=op.column_types
+    )
     combined = outer_schema.concat(inner_schema)
     height = getattr(index, "height", 1)
+    site = f"idx:{op.index_name}"
+    governor = ctx.governor
     out: List[Row] = []
     for orow in outer_rows:
+        if governor is not None:
+            governor.tick()
         key = tuple(evaluate(expr, orow, outer_schema) for expr in op.outer_keys)
         if any(part is None for part in key):
             matched_ids: List[int] = []
         else:
             for level in range(height):
-                ctx.read_page(f"idx:{op.index_name}", -(level + 1), sequential=False)
-            matched_ids = (
-                index.seek_prefix(key)
-                if hasattr(index, "seek_prefix")
-                else index.seek(key)
-            )
+                ctx.read_page(site, -(level + 1), sequential=False)
+            if hasattr(index, "seek_prefix"):
+                matched_ids = ctx.index_lookup(
+                    lambda: index.seek_prefix(key), site
+                )
+            else:
+                matched_ids = ctx.index_lookup(lambda: index.seek(key), site)
         matched_rows: List[Row] = []
         for row_id in matched_ids:
             ctx.read_page(op.table, table.page_of(row_id), sequential=False)
@@ -331,11 +392,14 @@ def _run_merge_join(op: MergeJoinP, catalog: Catalog, ctx: ExecContext) -> List[
     combined = left_schema.concat(right_schema)
     left_key = _key_getter(left_schema, op.left_keys)
     right_key = _key_getter(right_schema, op.right_keys)
+    governor = ctx.governor
     out: List[Row] = []
     pad = (None,) * right_schema.arity
     i = j = 0
     n, m = len(left_rows), len(right_rows)
     while i < n:
+        if governor is not None:
+            governor.tick()
         lkey = left_key(left_rows[i])
         if any(part is None for part in lkey):
             # NULL join keys never match.
@@ -388,6 +452,25 @@ def _run_merge_join(op: MergeJoinP, catalog: Catalog, ctx: ExecContext) -> List[
     return out
 
 
+def _partition_of(key: Tuple[Any, ...], parts: int) -> int:
+    """Stable partition assignment for degraded hash operators.
+
+    ``hash(str)`` is salted per process, so the builtin would make the
+    partition layout -- and therefore per-partition work counters --
+    differ between runs.  CRC32 of the key's repr is deterministic.
+    """
+    return zlib.crc32(repr(key).encode("utf-8")) % parts
+
+
+def _spill_partitions(build_bytes: int, limit: Optional[int]) -> int:
+    """Partition count for a degraded hash operator: enough that each
+    partition's build side fits the budget, bounded for sanity."""
+    if not limit or limit <= 0:
+        return 2
+    needed = -(-build_bytes // limit)  # ceil division
+    return int(min(_MAX_SPILL_PARTITIONS, max(2, needed)))
+
+
 def _run_hash_join(op: HashJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     left_rows = _run(op.left, catalog, ctx)
     right_rows = _run(op.right, catalog, ctx)
@@ -396,49 +479,91 @@ def _run_hash_join(op: HashJoinP, catalog: Catalog, ctx: ExecContext) -> List[Ro
     combined = left_schema.concat(right_schema)
     left_key = _key_getter(left_schema, op.left_keys)
     right_key = _key_getter(right_schema, op.right_keys)
-    build: Dict[Tuple[Any, ...], List[Row]] = {}
-    for rrow in right_rows:
-        key = right_key(rrow)
-        ctx.counters.rows_compared += 1
-        if any(part is None for part in key):
-            continue
-        build.setdefault(key, []).append(rrow)
-    build_pages = pages_for_rows(len(right_rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
-    if build_pages > ctx.params.hash_memory_pages:
-        probe_pages = pages_for_rows(
-            len(left_rows), _ROW_WIDTH_GUESS_BYTES, ctx.params
-        )
-        ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
-    out: List[Row] = []
+    governor = ctx.governor
     pad = (None,) * right_schema.arity
-    for lrow in left_rows:
-        key = left_key(lrow)
-        ctx.counters.rows_compared += 1
-        candidates = (
-            build.get(key, []) if not any(part is None for part in key) else []
-        )
-        matched = []
-        for rrow in candidates:
-            if op.residual is not None:
-                ctx.counters.rows_compared += 1
-                if not predicate_holds(op.residual, lrow + rrow, combined):
-                    continue
-            matched.append(rrow)
-        if op.kind in (JoinKind.INNER, JoinKind.CROSS):
-            out.extend(lrow + rrow for rrow in matched)
-        elif op.kind is JoinKind.LEFT_OUTER:
-            if matched:
+
+    def probe_into(build_rows: List[Row], probe_rows: List[Row]) -> List[Row]:
+        build: Dict[Tuple[Any, ...], List[Row]] = {}
+        for rrow in build_rows:
+            key = right_key(rrow)
+            ctx.counters.rows_compared += 1
+            if any(part is None for part in key):
+                continue
+            build.setdefault(key, []).append(rrow)
+        out: List[Row] = []
+        for lrow in probe_rows:
+            if governor is not None:
+                governor.tick()
+            key = left_key(lrow)
+            ctx.counters.rows_compared += 1
+            candidates = (
+                build.get(key, []) if not any(part is None for part in key) else []
+            )
+            matched = []
+            for rrow in candidates:
+                if op.residual is not None:
+                    ctx.counters.rows_compared += 1
+                    if not predicate_holds(op.residual, lrow + rrow, combined):
+                        continue
+                matched.append(rrow)
+            if op.kind in (JoinKind.INNER, JoinKind.CROSS):
                 out.extend(lrow + rrow for rrow in matched)
+            elif op.kind is JoinKind.LEFT_OUTER:
+                if matched:
+                    out.extend(lrow + rrow for rrow in matched)
+                else:
+                    out.append(lrow + pad)
+            elif op.kind is JoinKind.SEMI:
+                if matched:
+                    out.append(lrow)
+            elif op.kind is JoinKind.ANTI:
+                if not matched:
+                    out.append(lrow)
             else:
-                out.append(lrow + pad)
-        elif op.kind is JoinKind.SEMI:
-            if matched:
-                out.append(lrow)
-        elif op.kind is JoinKind.ANTI:
-            if not matched:
-                out.append(lrow)
-        else:
-            raise ExecutionError(f"hash join cannot run kind {op.kind}")
+                raise ExecutionError(f"hash join cannot run kind {op.kind}")
+        return out
+
+    build_width = _row_width(right_schema)
+    build_bytes = int(len(right_rows) * build_width)
+    build_pages = pages_for_rows(len(right_rows), build_width, ctx.params)
+    probe_pages = pages_for_rows(
+        len(left_rows), _row_width(left_schema), ctx.params
+    )
+    if build_pages > ctx.params.hash_memory_pages:
+        ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
+
+    degraded = False
+    if governor is not None:
+        try:
+            governor.reserve_memory(build_bytes, "HashJoin build")
+        except MemoryBudgetExceeded:
+            degraded = True
+
+    if not degraded:
+        out = probe_into(right_rows, left_rows)
+    else:
+        # Graceful degradation: Grace-style partitioning.  Both inputs are
+        # hashed on their join keys into the same partition space, so rows
+        # that could match always land in the same partition and every
+        # join kind (including LEFT_OUTER/ANTI, whose unmatched probe rows
+        # stay with their partition) is preserved.  Partitions are joined
+        # in order, keeping output deterministic.
+        parts = _spill_partitions(
+            build_bytes, governor.budget.memory_limit_bytes
+        )
+        ctx.counters.degraded_operators += 1
+        ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
+        build_parts: List[List[Row]] = [[] for _ in range(parts)]
+        for rrow in right_rows:
+            build_parts[_partition_of(right_key(rrow), parts)].append(rrow)
+        probe_parts: List[List[Row]] = [[] for _ in range(parts)]
+        for lrow in left_rows:
+            probe_parts[_partition_of(left_key(lrow), parts)].append(lrow)
+        out = []
+        for build_part, probe_part in zip(build_parts, probe_parts):
+            governor.check()
+            out.extend(probe_into(build_part, probe_part))
+
     ctx.counters.rows_produced += len(out)
     return out
 
@@ -450,9 +575,12 @@ def _aggregate_groups(
     op: HashAggP, rows: List[Row], schema: StreamSchema, ctx: ExecContext
 ) -> List[Row]:
     key_of = _key_getter(schema, op.keys) if op.keys else (lambda _row: ())
+    governor = ctx.governor
     groups: Dict[Tuple[Any, ...], list] = {}
     order: List[Tuple[Any, ...]] = []
     for row in rows:
+        if governor is not None:
+            governor.tick()
         key = key_of(row)
         ctx.counters.rows_compared += 1
         if key not in groups:
@@ -473,7 +601,38 @@ def _aggregate_groups(
 
 def _run_hash_agg(op: HashAggP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
-    return _aggregate_groups(op, rows, op.child.output_schema(), ctx)
+    schema = op.child.output_schema()
+    governor = ctx.governor
+    if governor is not None and op.keys:
+        # The aggregation table holds roughly one input row per group in
+        # the worst case; reserve the input working set and degrade to
+        # partition-wise aggregation if it busts the memory budget.
+        # (Global aggregation -- no keys -- keeps O(1) state and never
+        # needs to degrade; partitioning it would also fabricate one
+        # spurious row per empty partition.)
+        width = _row_width(schema)
+        table_bytes = int(len(rows) * width)
+        try:
+            governor.reserve_memory(table_bytes, "HashAgg table")
+        except MemoryBudgetExceeded:
+            parts = _spill_partitions(
+                table_bytes, governor.budget.memory_limit_bytes
+            )
+            ctx.counters.degraded_operators += 1
+            ctx.counters.sort_spill_pages += int(
+                2 * pages_for_rows(len(rows), width, ctx.params)
+            )
+            key_of = _key_getter(schema, op.keys)
+            partitions: List[List[Row]] = [[] for _ in range(parts)]
+            for row in rows:
+                partitions[_partition_of(key_of(row), parts)].append(row)
+            out: List[Row] = []
+            for partition in partitions:
+                governor.check()
+                if partition:
+                    out.extend(_aggregate_groups(op, partition, schema, ctx))
+            return out
+    return _aggregate_groups(op, rows, schema, ctx)
 
 
 def _run_stream_agg(op: StreamAggP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
@@ -485,9 +644,12 @@ def _run_stream_agg(op: StreamAggP, catalog: Catalog, ctx: ExecContext) -> List[
 
 def _run_distinct(op: DistinctP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
+    governor = ctx.governor
     seen = set()
     out = []
     for row in rows:
+        if governor is not None:
+            governor.tick()
         ctx.counters.rows_compared += 1
         if row not in seen:
             seen.add(row)
@@ -510,6 +672,8 @@ def _run_apply(op: ApplyP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     from repro.engine.interpreter import _eval_op  # reference evaluator
 
     for lrow in left_rows:
+        if ctx.governor is not None:
+            ctx.governor.check()
         ctx.counters.inner_evaluations += 1
         _schema, inner_rows = _eval_op(
             op.inner, catalog, left_schema, lrow, inner_stats
@@ -532,7 +696,8 @@ def _run_apply(op: ApplyP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
 
 def _run_exchange(op: ExchangeP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     rows = _run(op.child, catalog, ctx)
-    pages = pages_for_rows(len(rows), _ROW_WIDTH_GUESS_BYTES, ctx.params)
+    width = _row_width(op.child.output_schema())
+    pages = pages_for_rows(len(rows), width, ctx.params)
     ctx.counters.exchange_pages += int(pages)
     return rows
 

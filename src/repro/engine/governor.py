@@ -1,0 +1,283 @@
+"""Per-query resource governance: budgets, cancellation, and retries.
+
+The survey's cost model (Section 5) treats estimates as the whole story;
+a production engine must also survive the runs where the estimates were
+wrong.  This module supplies the runtime defenses: a :class:`QueryBudget`
+declares hard per-query limits (wall clock, working memory, output rows,
+page reads), a :class:`ResourceGovernor` enforces them cooperatively at
+operator batch boundaries inside the executor, a
+:class:`CancellationToken` lets callers (e.g. the shell's Ctrl-C handler)
+abort a running query cleanly, and :func:`call_with_retries` gives
+storage accesses bounded, deterministic retry-with-backoff semantics for
+transient faults.
+
+Violations raise the typed errors of :mod:`repro.errors`
+(:class:`QueryTimeout`, :class:`QueryCancelled`,
+:class:`MemoryBudgetExceeded`, :class:`ResourceError`), never bare
+exceptions, so sessions stay alive and callers can branch on
+``retryable``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.errors import (
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceError,
+)
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Hard per-query resource limits; ``None`` disables a dimension.
+
+    Attributes:
+        timeout_seconds: wall-clock limit for one execution.
+        memory_limit_bytes: largest working set any single blocking
+            operator (hash build, aggregation table) may pin; operators
+            with a spill path degrade instead of failing.
+        max_output_rows: largest row count any single operator may
+            produce (a runaway-join guard, checked at batch boundaries).
+        max_page_reads: limit on physical page reads (buffer misses do
+            not count; this bounds simulated I/O).
+    """
+
+    timeout_seconds: Optional[float] = None
+    memory_limit_bytes: Optional[int] = None
+    max_output_rows: Optional[int] = None
+    max_page_reads: Optional[int] = None
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether no dimension is constrained."""
+        return (
+            self.timeout_seconds is None
+            and self.memory_limit_bytes is None
+            and self.max_output_rows is None
+            and self.max_page_reads is None
+        )
+
+    def describe(self) -> str:
+        """Readable one-line rendering (the shell's ``\\budget``)."""
+        parts = []
+        if self.timeout_seconds is not None:
+            parts.append(f"timeout={self.timeout_seconds * 1000.0:.0f}ms")
+        if self.memory_limit_bytes is not None:
+            parts.append(f"memory={self.memory_limit_bytes}B")
+        if self.max_output_rows is not None:
+            parts.append(f"rows={self.max_output_rows}")
+        if self.max_page_reads is not None:
+            parts.append(f"pages={self.max_page_reads}")
+        return ", ".join(parts) if parts else "unlimited"
+
+
+class CancellationToken:
+    """A latch a caller flips to abort the query currently executing.
+
+    The executor polls the token at operator batch boundaries and raises
+    :class:`QueryCancelled` when it is set -- cooperative cancellation,
+    so the engine always unwinds through normal (typed) error paths with
+    the catalog intact.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request cancellation of the running query."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._cancelled
+
+    def reset(self) -> None:
+        """Clear the token (called before each new execution)."""
+        self._cancelled = False
+
+
+class ResourceGovernor:
+    """Cooperative enforcement of one :class:`QueryBudget`.
+
+    The executor calls :meth:`check` when an operator starts,
+    :meth:`tick` inside row loops (the clock is consulted every
+    ``CHECK_INTERVAL`` ticks to keep the per-row overhead negligible),
+    :meth:`on_page_read` per physical page, :meth:`on_rows` per operator
+    batch, and :meth:`reserve_memory` before pinning a working set.
+    """
+
+    CHECK_INTERVAL = 128
+
+    def __init__(
+        self,
+        budget: Optional[QueryBudget] = None,
+        token: Optional[CancellationToken] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.budget = budget or QueryBudget()
+        self.token = token
+        self._clock = clock
+        self._deadline: Optional[float] = None
+        self._started_at: Optional[float] = None
+        self._ticks = 0
+        self.page_reads = 0
+        self.memory_high_water_bytes = 0
+
+    def start(self) -> None:
+        """Begin (or restart) the clock for one execution."""
+        self._started_at = self._clock()
+        self._ticks = 0
+        self.page_reads = 0
+        self.memory_high_water_bytes = 0
+        if self.budget.timeout_seconds is not None:
+            self._deadline = self._started_at + self.budget.timeout_seconds
+        else:
+            self._deadline = None
+
+    # ------------------------------------------------------------------
+    # Checks (raise typed errors on violation)
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Full check: cancellation then deadline.  Called at operator
+        boundaries and every ``CHECK_INTERVAL`` row ticks."""
+        if self.token is not None and self.token.cancelled:
+            raise QueryCancelled()
+        if self._deadline is not None:
+            now = self._clock()
+            if now > self._deadline:
+                raise QueryTimeout(
+                    f"query exceeded its {self.budget.timeout_seconds * 1000.0:.0f}ms "
+                    "wall-clock budget",
+                    limit=self.budget.timeout_seconds,
+                    used=now - (self._started_at or now),
+                )
+
+    def tick(self, rows: int = 1) -> None:
+        """Cheap per-row hook; consults the clock only periodically."""
+        self._ticks += rows
+        if self._ticks >= self.CHECK_INTERVAL:
+            self._ticks = 0
+            self.check()
+
+    def on_page_read(self) -> None:
+        """Account one physical page read against the budget."""
+        self.page_reads += 1
+        limit = self.budget.max_page_reads
+        if limit is not None and self.page_reads > limit:
+            raise ResourceError(
+                f"query exceeded its {limit}-page read budget",
+                resource="page_reads",
+                limit=limit,
+                used=self.page_reads,
+            )
+        self.tick()
+
+    def on_rows(self, rows: int) -> None:
+        """Check one operator's output batch against the row budget."""
+        limit = self.budget.max_output_rows
+        if limit is not None and rows > limit:
+            raise ResourceError(
+                f"an operator produced {rows} rows, over the {limit}-row budget",
+                resource="output_rows",
+                limit=limit,
+                used=rows,
+            )
+
+    def reserve_memory(self, bytes_needed: int, site: str = "") -> None:
+        """Validate a working-set reservation against the memory budget.
+
+        Raises:
+            MemoryBudgetExceeded: when the reservation does not fit.
+                Spill-capable callers catch this and degrade.
+        """
+        self.memory_high_water_bytes = max(
+            self.memory_high_water_bytes, int(bytes_needed)
+        )
+        limit = self.budget.memory_limit_bytes
+        if limit is not None and bytes_needed > limit:
+            where = f" ({site})" if site else ""
+            raise MemoryBudgetExceeded(
+                f"working set of {int(bytes_needed)} bytes{where} exceeds the "
+                f"{limit}-byte memory budget",
+                limit=limit,
+                used=bytes_needed,
+            )
+
+
+# ----------------------------------------------------------------------
+# Retry with exponential backoff
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-exponential-backoff for retryable errors.
+
+    Attributes:
+        max_attempts: total tries (first attempt included).
+        base_backoff_seconds: delay before the first retry; doubles per
+            subsequent retry.
+        max_backoff_seconds: cap on any single delay.
+        sleep: actually sleep the backoff delay.  Off by default: tests
+            and benchmarks account the delay deterministically via the
+            caller's counters instead of stalling the suite.
+    """
+
+    max_attempts: int = 4
+    base_backoff_seconds: float = 0.001
+    max_backoff_seconds: float = 0.05
+    sleep: bool = False
+
+    def backoff_seconds(self, retry_number: int, jitter: float = 0.0) -> float:
+        """Delay before retry ``retry_number`` (1-based), with jitter in
+        [0, 1) stretching the delay up to 2x for decorrelation."""
+        delay = self.base_backoff_seconds * (2.0 ** (retry_number - 1))
+        return min(delay, self.max_backoff_seconds) * (1.0 + jitter)
+
+
+def call_with_retries(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    jitter_source: Optional[Callable[[], float]] = None,
+    on_retry: Optional[Callable[[int, float, ReproError], Any]] = None,
+) -> T:
+    """Run ``fn``, retrying on errors whose ``retryable`` flag is set.
+
+    Non-retryable errors propagate immediately; retryable ones are
+    retried up to ``policy.max_attempts`` total attempts with
+    exponential backoff, then re-raised.  ``jitter_source`` supplies a
+    float in [0, 1) per retry -- the fault injector's seeded RNG, so a
+    rerun with the same seed produces the identical schedule.
+
+    Args:
+        fn: the operation to attempt.
+        policy: attempt/backoff bounds.
+        jitter_source: deterministic jitter supplier, or None for no jitter.
+        on_retry: callback ``(retry_number, delay_seconds, error)`` for
+            accounting, invoked before each retry.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except ReproError as error:
+            if not getattr(error, "retryable", False):
+                raise
+            if attempt >= policy.max_attempts:
+                raise
+            jitter = jitter_source() if jitter_source is not None else 0.0
+            delay = policy.backoff_seconds(attempt, jitter)
+            if on_retry is not None:
+                on_retry(attempt, delay, error)
+            if policy.sleep:
+                time.sleep(delay)
+            attempt += 1

@@ -3,13 +3,28 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch a single base class.  Sub-hierarchies mirror the major
 subsystems (catalog, SQL front end, optimizer, executor).
+
+Every error carries a ``retryable`` flag: transient failures (injected
+or simulated storage faults) may succeed when the operation is retried,
+while logic, planning, and resource-budget errors never will.  The
+executor's retry wrapper keys off this flag exclusively, so new error
+types opt into retry semantics by declaring it.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the library."""
+    """Base class for all errors raised by the library.
+
+    Attributes:
+        retryable: whether retrying the failed operation may succeed.
+            Class-level default is False; transient subclasses override.
+    """
+
+    retryable: bool = False
 
 
 class CatalogError(ReproError):
@@ -18,6 +33,23 @@ class CatalogError(ReproError):
 
 class StorageError(ReproError):
     """A storage-engine operation failed (bad index key, row arity mismatch...)."""
+
+
+class TransientStorageError(StorageError):
+    """A storage operation failed transiently (injected or simulated fault).
+
+    Retryable by definition: the same page read or index lookup may
+    succeed on the next attempt.
+
+    Attributes:
+        site: the table or index the faulted access targeted.
+    """
+
+    retryable = True
+
+    def __init__(self, message: str, site: str = "") -> None:
+        super().__init__(message)
+        self.site = site
 
 
 class SqlError(ReproError):
@@ -58,6 +90,66 @@ class RewriteError(OptimizerError):
 
 class ExecutionError(ReproError):
     """A runtime failure inside the execution engine."""
+
+
+class ResourceError(ExecutionError):
+    """A query exceeded one of its resource budgets (see QueryBudget).
+
+    Attributes:
+        resource: which budget dimension was violated (``"time"``,
+            ``"memory"``, ``"output_rows"``, ``"page_reads"``...).
+        limit: the configured budget value, when known.
+        used: the observed consumption at violation time, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        resource: str = "",
+        limit: Optional[float] = None,
+        used: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+
+
+class QueryTimeout(ResourceError):
+    """The query exceeded its wall-clock budget (not retryable: the same
+    query under the same budget would time out again)."""
+
+    def __init__(
+        self,
+        message: str = "query exceeded its wall-clock budget",
+        limit: Optional[float] = None,
+        used: Optional[float] = None,
+    ) -> None:
+        super().__init__(message, resource="time", limit=limit, used=used)
+
+
+class QueryCancelled(ResourceError):
+    """The query was cancelled via its cancellation token (Ctrl-C)."""
+
+    def __init__(self, message: str = "query cancelled") -> None:
+        super().__init__(message, resource="cancellation")
+
+
+class MemoryBudgetExceeded(ResourceError):
+    """A working set would not fit in the query's memory budget.
+
+    Spill-capable operators (hash join, hash aggregation) catch this and
+    degrade to partitioned execution; it surfaces to callers only when
+    no fallback exists.
+    """
+
+    def __init__(
+        self,
+        message: str = "query exceeded its memory budget",
+        limit: Optional[float] = None,
+        used: Optional[float] = None,
+    ) -> None:
+        super().__init__(message, resource="memory", limit=limit, used=used)
 
 
 class PrepareError(ReproError):

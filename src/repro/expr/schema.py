@@ -4,6 +4,13 @@ Every operator in a plan produces a *data stream* (the paper's term); a
 :class:`StreamSchema` describes the layout of one row of that stream as an
 ordered list of qualified columns, and provides the positional lookup the
 row-at-a-time evaluator needs.
+
+Schemas optionally carry per-slot :class:`~repro.catalog.schema.ColumnType`
+information.  Scans populate it from the catalog and joins/projections
+propagate it, so the executor's memory accounting (spill decisions, the
+governor's working-set reservations) can size rows from real column
+widths instead of a global guess.  Slots with unknown type fall back to
+``DEFAULT_SLOT_WIDTH_BYTES``.
 """
 
 from __future__ import annotations
@@ -13,6 +20,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.errors import PlanError
 from repro.expr.expressions import ColumnRef
 
+# Width assumed for a slot whose column type is unknown (derived columns,
+# hand-built plans).  Matches the executor's historical per-row guess.
+DEFAULT_SLOT_WIDTH_BYTES = 16.0
+
+# Modelled widths per column type; mirrors Column.__post_init__ defaults.
+_TYPE_WIDTH_BYTES = {"int": 8.0, "float": 8.0, "str": 24.0}
+
 
 class StreamSchema:
     """Ordered layout of the columns in a data stream.
@@ -21,12 +35,28 @@ class StreamSchema:
     (aggregate outputs, computed projections) use a synthetic alias such
     as ``""`` or a block label; lookup by bare column name is supported
     when unambiguous.
+
+    Args:
+        slots: the ``(alias, column)`` pairs.
+        types: optional per-slot column types (None entries are allowed
+            and mean "unknown").  Equality and hashing ignore types --
+            they are sizing metadata, not identity.
     """
 
-    __slots__ = ("slots", "_positions", "_by_column")
+    __slots__ = ("slots", "types", "_positions", "_by_column")
 
-    def __init__(self, slots: Sequence[Tuple[str, str]]) -> None:
+    def __init__(
+        self,
+        slots: Sequence[Tuple[str, str]],
+        types: Optional[Sequence[Optional[object]]] = None,
+    ) -> None:
         self.slots: Tuple[Tuple[str, str], ...] = tuple(slots)
+        if types is None:
+            self.types: Tuple[Optional[object], ...] = (None,) * len(self.slots)
+        else:
+            padded = list(types)[: len(self.slots)]
+            padded.extend([None] * (len(self.slots) - len(padded)))
+            self.types = tuple(padded)
         self._positions: Dict[Tuple[str, str], int] = {}
         self._by_column: Dict[str, List[int]] = {}
         for position, (alias, column) in enumerate(self.slots):
@@ -37,9 +67,14 @@ class StreamSchema:
             self._by_column.setdefault(column, []).append(position)
 
     @classmethod
-    def for_table(cls, alias: str, column_names: Iterable[str]) -> "StreamSchema":
+    def for_table(
+        cls,
+        alias: str,
+        column_names: Iterable[str],
+        types: Optional[Sequence[Optional[object]]] = None,
+    ) -> "StreamSchema":
         """Schema of a base-table scan under an alias."""
-        return cls([(alias, name) for name in column_names])
+        return cls([(alias, name) for name in column_names], types=types)
 
     @property
     def arity(self) -> int:
@@ -71,13 +106,37 @@ class StreamSchema:
             return True
         return len(self._by_column.get(ref.column, [])) == 1
 
+    def type_at(self, position: int) -> Optional[object]:
+        """The column type of a slot, or None when unknown."""
+        return self.types[position]
+
+    def row_width_bytes(self) -> float:
+        """Modelled width of one stream row, from slot types where known.
+
+        Typed slots use the same widths the catalog models for stored
+        columns; untyped slots fall back to the default guess, so fully
+        untyped schemas price exactly as they did before types existed.
+        """
+        total = 0.0
+        for slot_type in self.types:
+            value = getattr(slot_type, "value", None)
+            total += _TYPE_WIDTH_BYTES.get(value, DEFAULT_SLOT_WIDTH_BYTES)
+        return total if self.slots else DEFAULT_SLOT_WIDTH_BYTES
+
     def concat(self, other: "StreamSchema") -> "StreamSchema":
         """Schema of the concatenation of two streams (join output)."""
-        return StreamSchema(self.slots + other.slots)
+        return StreamSchema(
+            self.slots + other.slots, types=self.types + other.types
+        )
 
     def project(self, refs: Sequence[ColumnRef]) -> "StreamSchema":
-        """Schema after projecting to the given columns."""
-        return StreamSchema([(ref.table, ref.column) for ref in refs])
+        """Schema after projecting to the given columns (types follow)."""
+        types = []
+        for ref in refs:
+            types.append(self.types[self.position(ref)] if self.has(ref) else None)
+        return StreamSchema(
+            [(ref.table, ref.column) for ref in refs], types=types
+        )
 
     def aliases(self) -> List[str]:
         """Distinct table aliases appearing in the stream, in slot order."""

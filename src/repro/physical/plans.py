@@ -67,7 +67,12 @@ class PhysicalOp:
 # Scans
 # ----------------------------------------------------------------------
 class SeqScanP(PhysicalOp):
-    """Sequential (table) scan with an optional pushed-down filter."""
+    """Sequential (table) scan with an optional pushed-down filter.
+
+    ``column_types`` (optional, supplied by the plan builder from the
+    catalog) lets the output schema carry real column widths for memory
+    accounting; hand-built plans may omit it.
+    """
 
     def __init__(
         self,
@@ -75,15 +80,19 @@ class SeqScanP(PhysicalOp):
         alias: str,
         columns: Sequence[str],
         predicate: Optional[Expr] = None,
+        column_types: Optional[Sequence[Any]] = None,
     ) -> None:
         super().__init__()
         self.table = table
         self.alias = alias
         self.columns = tuple(columns)
         self.predicate = predicate
+        self.column_types = tuple(column_types) if column_types else None
 
     def output_schema(self) -> StreamSchema:
-        return StreamSchema.for_table(self.alias, self.columns)
+        return StreamSchema.for_table(
+            self.alias, self.columns, types=self.column_types
+        )
 
     def _label(self) -> str:
         suffix = f" filter={self.predicate.to_sql()}" if self.predicate else ""
@@ -112,6 +121,7 @@ class IndexScanP(PhysicalOp):
         low: Optional[Any] = None,
         high: Optional[Any] = None,
         predicate: Optional[Expr] = None,
+        column_types: Optional[Sequence[Any]] = None,
     ) -> None:
         super().__init__()
         self.table = table
@@ -122,9 +132,12 @@ class IndexScanP(PhysicalOp):
         self.low = low
         self.high = high
         self.predicate = predicate
+        self.column_types = tuple(column_types) if column_types else None
 
     def output_schema(self) -> StreamSchema:
-        return StreamSchema.for_table(self.alias, self.columns)
+        return StreamSchema.for_table(
+            self.alias, self.columns, types=self.column_types
+        )
 
     def _label(self) -> str:
         parts = [f"IndexScan({self.table} AS {self.alias} via {self.index_name}"]
@@ -199,7 +212,18 @@ class ProjectP(PhysicalOp):
         return (self.child,)
 
     def output_schema(self) -> StreamSchema:
-        return StreamSchema([(item.alias, item.name) for item in self.items])
+        # Propagate slot types through pure column renamings so widths
+        # survive projections; computed expressions stay untyped.
+        child = self.child.output_schema()
+        types = []
+        for item in self.items:
+            if isinstance(item.expr, ColumnRef) and child.has(item.expr):
+                types.append(child.type_at(child.position(item.expr)))
+            else:
+                types.append(None)
+        return StreamSchema(
+            [(item.alias, item.name) for item in self.items], types=types
+        )
 
     def _label(self) -> str:
         rendered = ", ".join(
@@ -306,6 +330,7 @@ class INLJoinP(PhysicalOp):
         outer_keys: Sequence[Expr],
         kind,
         residual: Optional[Expr] = None,
+        column_types: Optional[Sequence[Any]] = None,
     ) -> None:
         super().__init__()
         self.outer = outer
@@ -316,6 +341,7 @@ class INLJoinP(PhysicalOp):
         self.outer_keys = tuple(outer_keys)
         self.kind = kind
         self.residual = residual
+        self.column_types = tuple(column_types) if column_types else None
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.outer,)
@@ -323,7 +349,9 @@ class INLJoinP(PhysicalOp):
     def output_schema(self) -> StreamSchema:
         from repro.logical.operators import JoinKind
 
-        inner = StreamSchema.for_table(self.alias, self.columns)
+        inner = StreamSchema.for_table(
+            self.alias, self.columns, types=self.column_types
+        )
         if self.kind in (JoinKind.SEMI, JoinKind.ANTI):
             return self.outer.output_schema()
         return self.outer.output_schema().concat(inner)
@@ -413,9 +441,15 @@ class HashAggP(PhysicalOp):
         return (self.child,)
 
     def output_schema(self) -> StreamSchema:
+        child = self.child.output_schema()
         slots = [(key.table, key.column) for key in self.keys]
+        types = [
+            child.type_at(child.position(key)) if child.has(key) else None
+            for key in self.keys
+        ]
         slots.extend((self.output_alias, call.alias) for call in self.aggregates)
-        return StreamSchema(slots)
+        types.extend(None for _call in self.aggregates)
+        return StreamSchema(slots, types=types)
 
     def _label(self) -> str:
         keys = ", ".join(key.to_sql() for key in self.keys)

@@ -21,15 +21,23 @@ Meta-commands (backslash-prefixed):
     \\naive <sql>        run through the reference interpreter
     \\analyze            recollect statistics for every table
     \\metrics            cumulative query/plan-cache/timing counters
+    \\timeout <ms>       set the per-query wall-clock budget (0 = off)
+    \\budget             show the current per-query resource budget
     \\quit               exit
+
+Ctrl-C while a query is running cancels that query (via the engine's
+cancellation token) and keeps the session alive.
 """
 
 from __future__ import annotations
 
+import signal
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.optimizer import Database
+from repro.engine.governor import QueryBudget
 from repro.errors import ReproError
 
 _HELP = __doc__
@@ -104,10 +112,47 @@ class Shell:
             return "statistics collected"
         if command == "metrics":
             return self.db.metrics.format()
+        if command == "timeout":
+            if not argument:
+                return "usage: \\timeout <milliseconds>  (0 disables)"
+            try:
+                millis = float(argument)
+            except ValueError:
+                return f"not a number: {argument!r}"
+            timeout = millis / 1000.0 if millis > 0 else None
+            current = self.db.budget or QueryBudget()
+            self.db.budget = replace(current, timeout_seconds=timeout)
+            if self.db.budget.unlimited:
+                self.db.budget = None
+                return "query timeout disabled"
+            return f"budget now: {self.db.budget.describe()}"
+        if command == "budget":
+            budget = self.db.budget
+            return budget.describe() if budget is not None else "unlimited"
         return f"unknown command \\{command} (try \\help)"
 
     def _query(self, sql: str) -> str:
-        result = self.db.sql(sql)
+        # Route Ctrl-C to the engine's cancellation token for the duration
+        # of the query: the governor raises QueryCancelled at the next
+        # check, the error prints, and the session survives.
+        self.db.cancel_token.reset()
+        installed = False
+        previous = None
+        try:
+            previous = signal.signal(
+                signal.SIGINT, lambda *_args: self.db.cancel_token.cancel()
+            )
+            installed = True
+        except ValueError:
+            pass  # not on the main thread; leave delivery untouched
+        try:
+            result = self.db.sql(sql)
+        finally:
+            if installed:
+                signal.signal(
+                    signal.SIGINT,
+                    previous if previous is not None else signal.SIG_DFL,
+                )
         if result.kind != "select":
             # EXPLAIN / PREPARE / DEALLOCATE results are rendered text;
             # print the body without the tabular row/page footer.

@@ -42,14 +42,19 @@ class CardinalityEstimator:
     Args:
         stats_by_alias: statistics of each base relation, keyed by alias.
         independence: forwarded to the selectivity estimator.
+        damping: forwarded to the selectivity estimator; values below 1
+            inflate selectivities for conservative re-optimization.
     """
 
     def __init__(
-        self, stats_by_alias: Dict[str, TableStats], independence: bool = True
+        self,
+        stats_by_alias: Dict[str, TableStats],
+        independence: bool = True,
+        damping: float = 1.0,
     ) -> None:
         self._stats = dict(stats_by_alias)
         self.selectivity = SelectivityEstimator(
-            stats_by_alias, independence=independence
+            stats_by_alias, independence=independence, damping=damping
         )
 
     def base_rows(self, alias: str, default: float = 1000.0) -> float:

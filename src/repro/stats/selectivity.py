@@ -43,15 +43,24 @@ class SelectivityEstimator:
         independence: if True (default), AND multiplies conjunct
             selectivities; if False, only the most selective conjunct is
             used (the conservative mode of [17]).
+        damping: exponent in (0, 1] applied to every estimated
+            selectivity.  Values below 1 inflate selectivities toward 1
+            (``s ** 0.5 >= s`` for s in [0, 1]), producing deliberately
+            conservative -- larger -- cardinality estimates.  Used when
+            re-optimizing a plan that failed at runtime: a plan chosen
+            under pessimistic cardinalities is robust to the estimation
+            errors that likely sank the original.
     """
 
     def __init__(
         self,
         stats_by_alias: Dict[str, TableStats],
         independence: bool = True,
+        damping: float = 1.0,
     ) -> None:
         self._stats = dict(stats_by_alias)
         self.independence = independence
+        self.damping = damping
 
     # ------------------------------------------------------------------
     # Column statistics lookup
@@ -77,8 +86,10 @@ class SelectivityEstimator:
         """Estimated fraction of rows satisfying the predicate (in [0, 1])."""
         if predicate is None:
             return 1.0
-        result = self._estimate(predicate)
-        return max(0.0, min(1.0, result))
+        result = max(0.0, min(1.0, self._estimate(predicate)))
+        if self.damping != 1.0:
+            result = result ** self.damping
+        return result
 
     def _estimate(self, predicate: Expr) -> float:
         if isinstance(predicate, Comparison):

@@ -1,6 +1,15 @@
-"""Storage engine: page-modelled heap tables and index structures."""
+"""Storage engine: page-modelled heap tables, index structures, and
+deterministic fault injection."""
 
+from repro.storage.faults import FaultConfig, FaultInjector
 from repro.storage.index import HashIndex, OrderedIndex
 from repro.storage.table import DEFAULT_PAGE_SIZE_BYTES, HeapTable
 
-__all__ = ["HashIndex", "OrderedIndex", "HeapTable", "DEFAULT_PAGE_SIZE_BYTES"]
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "HashIndex",
+    "OrderedIndex",
+    "HeapTable",
+    "DEFAULT_PAGE_SIZE_BYTES",
+]

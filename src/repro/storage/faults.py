@@ -1,0 +1,118 @@
+"""Deterministic, seeded fault injection for the storage layer.
+
+Chaos testing needs failures that are *reproducible*: a chaos run that
+cannot be replayed is a flake generator, not a test.  The
+:class:`FaultInjector` therefore draws every decision -- whether a page
+read or index lookup faults, whether latency is injected, the jitter on
+retry backoff -- from one ``random.Random`` seeded at construction.  The
+executor touches storage in a deterministic order, so the same seed and
+the same :class:`FaultConfig` reproduce the identical fault schedule,
+retry counts, and outcomes on every run.
+
+Faults surface as :class:`~repro.errors.TransientStorageError`
+(``retryable=True``); the executor's retry wrapper absorbs most of them,
+and the ones that exhaust their attempts propagate as clean typed errors.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import TransientStorageError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Where and how often to inject storage faults.
+
+    Attributes:
+        seed: RNG seed; the whole fault schedule is a function of it.
+        page_read_error_rate: probability a page read raises.
+        index_lookup_error_rate: probability an index lookup raises.
+        latency_rate: probability an access accrues simulated latency.
+        latency_seconds: simulated latency per injected slow access
+            (accounted, not slept, so chaos suites stay fast).
+        sites: restrict injection to these table/index names, or None
+            for everywhere.
+    """
+
+    seed: int = 0
+    page_read_error_rate: float = 0.0
+    index_lookup_error_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.0
+    sites: Optional[Tuple[str, ...]] = None
+
+
+class FaultInjector:
+    """Seeded chaos source wrapping page reads and index lookups.
+
+    The executor consults :meth:`on_page_read` /
+    :meth:`on_index_lookup` before touching storage; either may raise
+    :class:`TransientStorageError`.  :meth:`jitter` feeds the retry
+    wrapper's backoff from the same RNG so entire runs replay bit-for-bit.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.injected_faults = 0
+        self.injected_latency_seconds = 0.0
+        self.faults_by_site: Dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Re-seed the RNG and zero counters: replay the same schedule."""
+        self._rng = random.Random(self.config.seed)
+        self.injected_faults = 0
+        self.injected_latency_seconds = 0.0
+        self.faults_by_site = {}
+
+    # ------------------------------------------------------------------
+    def _applies_to(self, site: str) -> bool:
+        return self.config.sites is None or site in self.config.sites
+
+    def _maybe_latency(self) -> None:
+        if self.config.latency_rate <= 0.0:
+            return
+        if self._rng.random() < self.config.latency_rate:
+            self.injected_latency_seconds += self.config.latency_seconds
+
+    def _fault(self, site: str, kind: str) -> None:
+        self.injected_faults += 1
+        self.faults_by_site[site] = self.faults_by_site.get(site, 0) + 1
+        raise TransientStorageError(
+            f"injected transient {kind} fault on {site!r}", site=site
+        )
+
+    # ------------------------------------------------------------------
+    def on_page_read(self, site: str, page_no: int) -> None:
+        """Chaos hook for one page read; may raise TransientStorageError."""
+        if not self._applies_to(site):
+            return
+        self._maybe_latency()
+        rate = self.config.page_read_error_rate
+        if rate > 0.0 and self._rng.random() < rate:
+            self._fault(site, "page-read")
+
+    def on_index_lookup(self, site: str) -> None:
+        """Chaos hook for one index lookup; may raise TransientStorageError."""
+        if not self._applies_to(site):
+            return
+        self._maybe_latency()
+        rate = self.config.index_lookup_error_rate
+        if rate > 0.0 and self._rng.random() < rate:
+            self._fault(site, "index-lookup")
+
+    def jitter(self) -> float:
+        """Deterministic backoff jitter in [0, 1) from the injector's seed."""
+        return self._rng.random()
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector(seed={self.config.seed}, "
+            f"page_rate={self.config.page_read_error_rate}, "
+            f"index_rate={self.config.index_lookup_error_rate}, "
+            f"injected={self.injected_faults})"
+        )

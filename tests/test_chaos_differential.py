@@ -1,0 +1,115 @@
+"""Chaos differential testing: the 200-query suite under injected faults.
+
+Reruns the seeded random query workload of ``test_differential`` while a
+deterministic :class:`FaultInjector` fails page reads and index lookups
+at configurable rates.  The robustness contract checked for every query,
+at every fault rate:
+
+  * the query either returns exactly the fault-free result (transient
+    faults absorbed by retries), or
+  * it fails with a *typed* error (:class:`ReproError` subclass) -- never
+    a bare exception -- and the session remains usable: the catalog is
+    intact and the next query runs normally.
+
+Determinism is part of the contract: the same seed and config must
+reproduce identical outcomes, retry counts, and injected-fault totals.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Database, FaultConfig, FaultInjector
+from repro.datagen import build_emp_dept
+from repro.errors import ReproError
+
+from tests.conftest import assert_same_rows
+from tests.test_differential import DEPT_ROWS, EMP_ROWS, SEED, generate_query
+
+QUERY_COUNT = 200
+FAULT_RATES = (0.01, 0.05, 0.20)
+
+
+def _make_db(rate: float = 0.0, seed: int = SEED) -> Database:
+    injector = None
+    if rate > 0.0:
+        injector = FaultInjector(
+            FaultConfig(
+                seed=seed,
+                page_read_error_rate=rate,
+                index_lookup_error_rate=rate,
+            )
+        )
+    db = Database(fault_injector=injector)
+    build_emp_dept(
+        db.catalog,
+        emp_rows=EMP_ROWS,
+        dept_rows=DEPT_ROWS,
+        rng=random.Random(3),
+    )
+    db.analyze()
+    return db
+
+
+def _chaos_run(rate: float, count: int = QUERY_COUNT):
+    """Run the suite under faults; returns per-query outcome records."""
+    clean = _make_db()
+    chaotic = _make_db(rate=rate)
+    rng = random.Random(SEED)
+    outcomes = []
+    for _ in range(count):
+        sql = generate_query(rng)
+        expected = clean.sql(sql).rows
+        try:
+            result = chaotic.sql(sql)
+        except ReproError as error:
+            outcomes.append(("failed", type(error).__name__, 0))
+            continue
+        except Exception as error:  # pragma: no cover - the bug we hunt
+            pytest.fail(f"untyped error under chaos for {sql!r}: {error!r}")
+        assert_same_rows(result.rows, expected, msg=f"[rate={rate}] {sql}")
+        outcomes.append(
+            ("ok", "", result.context.counters.retries)
+        )
+    # The catalog survived whatever happened above, and with the fault
+    # source removed the session runs normally again.
+    assert chaotic.catalog.table("Emp").row_count == EMP_ROWS
+    assert chaotic.catalog.table("Dept").row_count == DEPT_ROWS
+    chaotic.fault_injector = None
+    assert len(chaotic.sql("SELECT E.name AS c0 FROM Emp E").rows) == EMP_ROWS
+    return outcomes
+
+
+@pytest.mark.parametrize("rate", FAULT_RATES)
+def test_chaos_suite_identical_results_or_clean_typed_failure(rate):
+    outcomes = _chaos_run(rate)
+    assert len(outcomes) == QUERY_COUNT
+    succeeded = sum(1 for status, _, _ in outcomes if status == "ok")
+    # Retries absorb most faults: the suite must not collapse even at the
+    # highest rate.
+    assert succeeded > QUERY_COUNT // 2, f"only {succeeded} queries survived"
+    # At any positive rate, some retries must have happened overall.
+    assert sum(retries for _, _, retries in outcomes) > 0
+
+
+def test_chaos_outcomes_are_deterministic():
+    first = _chaos_run(0.05, count=60)
+    second = _chaos_run(0.05, count=60)
+    assert first == second
+
+
+def test_different_seeds_produce_different_schedules():
+    def run(seed):
+        db = _make_db(rate=0.2, seed=seed)
+        rng = random.Random(SEED)
+        for _ in range(20):
+            try:
+                db.sql(generate_query(rng))
+            except ReproError:
+                pass
+        return db.fault_injector.injected_faults
+
+    # Not a hard guarantee for arbitrary seeds, but these two differ.
+    assert run(1) != run(2)

@@ -1,0 +1,101 @@
+"""Error-taxonomy contract: every public error type is constructible,
+catchable via the base class, and carries its documented attributes."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.errors as errors_module
+from repro.errors import (
+    ExecutionError,
+    LexerError,
+    MemoryBudgetExceeded,
+    ParseError,
+    QueryCancelled,
+    QueryTimeout,
+    ReproError,
+    ResourceError,
+    StorageError,
+    TransientStorageError,
+)
+
+
+def _public_error_classes():
+    found = []
+    for _name, obj in inspect.getmembers(errors_module, inspect.isclass):
+        if issubclass(obj, ReproError):
+            found.append(obj)
+    return found
+
+
+def test_every_error_class_is_constructible_and_catchable():
+    classes = _public_error_classes()
+    assert len(classes) >= 15, "taxonomy unexpectedly shrank"
+    for cls in classes:
+        error = cls("synthetic message")
+        assert isinstance(error, ReproError)
+        assert "synthetic message" in str(error)
+        with pytest.raises(ReproError):
+            raise error
+
+
+def test_retryable_flag_exists_on_every_class_and_defaults_false():
+    for cls in _public_error_classes():
+        assert isinstance(cls.retryable, bool), cls.__name__
+    assert ReproError.retryable is False
+    assert ExecutionError("x").retryable is False
+    assert StorageError("x").retryable is False
+
+
+def test_transient_storage_error_is_the_retryable_one():
+    error = TransientStorageError("flake", site="idx:emp_pk")
+    assert error.retryable is True
+    assert error.site == "idx:emp_pk"
+    assert isinstance(error, StorageError)
+    # Retryability is a class property, visible without an instance.
+    assert TransientStorageError.retryable is True
+    retryable = [
+        cls for cls in _public_error_classes() if cls.retryable
+    ]
+    assert retryable == [TransientStorageError]
+
+
+def test_sql_errors_carry_position():
+    assert LexerError("bad char", position=7).position == 7
+    assert ParseError("bad token", position=3).position == 3
+    assert LexerError("unknown").position == -1
+
+
+def test_resource_errors_carry_budget_attributes():
+    error = ResourceError("over", resource="page_reads", limit=10, used=11)
+    assert (error.resource, error.limit, error.used) == ("page_reads", 10, 11)
+    assert isinstance(error, ExecutionError)
+
+    timeout = QueryTimeout(limit=0.5, used=0.7)
+    assert timeout.resource == "time"
+    assert timeout.limit == 0.5 and timeout.used == 0.7
+
+    cancelled = QueryCancelled()
+    assert cancelled.resource == "cancellation"
+
+    memory = MemoryBudgetExceeded(limit=1024, used=4096)
+    assert memory.resource == "memory"
+    assert memory.limit == 1024 and memory.used == 4096
+    # All resource errors have default-constructible messages.
+    for cls in (QueryTimeout, QueryCancelled, MemoryBudgetExceeded):
+        assert str(cls())
+
+
+def test_catching_the_base_covers_subsystem_hierarchies():
+    for error in (
+        TransientStorageError("a"),
+        QueryTimeout(),
+        MemoryBudgetExceeded(),
+        ParseError("b"),
+    ):
+        try:
+            raise error
+        except ReproError as caught:
+            assert caught is error

@@ -1,0 +1,406 @@
+"""Resource governor tests: budgets, cancellation, graceful degradation,
+retries, and plan-cache reaction to execution failures."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro import Database, FaultConfig, FaultInjector, QueryBudget
+from repro.core.optimizer import (
+    CONSERVATIVE_DAMPING,
+    PlanCache,
+    RETRYABLE_FAILURES_BEFORE_EVICT,
+)
+from repro.datagen import build_emp_dept
+from repro.engine.context import ExecContext
+from repro.engine.executor import execute
+from repro.engine.governor import RetryPolicy, call_with_retries
+from repro.errors import (
+    ExecutionError,
+    MemoryBudgetExceeded,
+    QueryCancelled,
+    QueryTimeout,
+    ResourceError,
+    TransientStorageError,
+)
+from repro.expr.aggregates import AggFunc, AggregateCall
+from repro.expr.expressions import ColumnRef
+from repro.logical.operators import JoinKind
+from repro.physical.plans import HashAggP, HashJoinP, SeqScanP
+
+from tests.conftest import assert_same_rows
+
+
+def _make_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    build_emp_dept(db.catalog, emp_rows=200, dept_rows=20, rng=random.Random(3))
+    db.analyze()
+    return db
+
+
+EMP_COLS = ["emp_no", "name", "dept_no", "sal", "age"]
+DEPT_COLS = ["dept_no", "name", "loc", "mgr", "budget", "num_machines"]
+
+
+# ----------------------------------------------------------------------
+# Timeouts and cancellation
+# ----------------------------------------------------------------------
+def test_timeout_raises_within_twice_the_limit():
+    limit = 0.05
+    db = _make_db(budget=QueryBudget(timeout_seconds=limit))
+    start = time.perf_counter()
+    with pytest.raises(QueryTimeout) as info:
+        db.sql("SELECT E.name AS c0 FROM Emp E, Emp E2, Emp E3")
+    elapsed = time.perf_counter() - start
+    assert elapsed < 2 * limit, f"timeout fired after {elapsed:.3f}s"
+    assert info.value.resource == "time"
+    assert info.value.limit == limit
+    assert not info.value.retryable
+
+
+def test_precancelled_token_aborts_immediately():
+    db = _make_db()
+    db.cancel_token.cancel()
+    with pytest.raises(QueryCancelled):
+        db.sql("SELECT E.name AS c0 FROM Emp E")
+    # The session survives: reset and run normally.
+    db.cancel_token.reset()
+    assert len(db.sql("SELECT E.name AS c0 FROM Emp E").rows) == 200
+
+
+def test_cancellation_mid_query_via_udf():
+    db = _make_db()
+    calls = {"n": 0}
+
+    def slow_filter(value):
+        calls["n"] += 1
+        if calls["n"] == 10:
+            db.cancel_token.cancel()
+        return True
+
+    db.register_udf("slow_filter", slow_filter, per_tuple_cost=500.0)
+    with pytest.raises(QueryCancelled):
+        db.sql(
+            "SELECT E.name AS c0 FROM Emp E, Emp E2 "
+            "WHERE slow_filter(E.sal)"
+        )
+    assert calls["n"] >= 10
+    # The catalog is intact after the abort.
+    db.cancel_token.reset()
+    assert db.catalog.table("Emp").row_count == 200
+
+
+def test_row_budget_violation():
+    db = _make_db(budget=QueryBudget(max_output_rows=50))
+    with pytest.raises(ResourceError) as info:
+        db.sql("SELECT E.name AS c0 FROM Emp E")
+    assert info.value.resource == "output_rows"
+    assert info.value.limit == 50
+
+
+def test_page_read_budget_violation():
+    db = _make_db(budget=QueryBudget(max_page_reads=1))
+    with pytest.raises(ResourceError) as info:
+        db.sql("SELECT E.name AS c0 FROM Emp E")
+    assert info.value.resource == "page_reads"
+
+
+def test_unlimited_budget_changes_nothing():
+    plain = _make_db()
+    governed = _make_db(budget=QueryBudget(timeout_seconds=60.0))
+    sql = (
+        "SELECT E.name AS c0, D.name AS c1 FROM Emp E, Dept D "
+        "WHERE E.dept_no = D.dept_no"
+    )
+    assert_same_rows(governed.sql(sql).rows, plain.sql(sql).rows, msg=sql)
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation under a memory budget
+# ----------------------------------------------------------------------
+def _hash_join_plan():
+    return HashJoinP(
+        SeqScanP("Emp", "E", EMP_COLS),
+        SeqScanP("Dept", "D", DEPT_COLS),
+        [ColumnRef("E", "dept_no")],
+        [ColumnRef("D", "dept_no")],
+        JoinKind.INNER,
+    )
+
+
+def _run_plan(db, plan, budget=None):
+    context = ExecContext(db.params)
+    context.budget = budget
+    _schema, rows = execute(plan, db.catalog, context)
+    return rows, context
+
+
+@pytest.mark.parametrize("kind", [JoinKind.INNER, JoinKind.LEFT_OUTER,
+                                  JoinKind.SEMI, JoinKind.ANTI])
+def test_hash_join_degrades_to_partitions_under_memory_budget(kind):
+    db = _make_db()
+    plan = HashJoinP(
+        SeqScanP("Emp", "E", EMP_COLS),
+        SeqScanP("Dept", "D", DEPT_COLS),
+        [ColumnRef("E", "dept_no")],
+        [ColumnRef("D", "dept_no")],
+        kind,
+    )
+    reference, _ = _run_plan(db, plan)
+    # Dept's build side is 20 rows * 6 slots * 16B = 1920B; 512B forces
+    # the partitioned fallback.
+    rows, context = _run_plan(db, plan, QueryBudget(memory_limit_bytes=512))
+    assert context.counters.degraded_operators == 1
+    assert context.counters.sort_spill_pages > 0
+    assert_same_rows(rows, reference, msg=f"hash join {kind}")
+
+
+def test_hash_join_fits_no_degradation():
+    db = _make_db()
+    plan = _hash_join_plan()
+    rows, context = _run_plan(
+        db, plan, QueryBudget(memory_limit_bytes=1 << 20)
+    )
+    assert context.counters.degraded_operators == 0
+    assert context.governor.memory_high_water_bytes > 0
+
+
+def test_hash_agg_degrades_to_partitions_under_memory_budget():
+    db = _make_db()
+    plan = HashAggP(
+        SeqScanP("Emp", "E", EMP_COLS),
+        [ColumnRef("E", "dept_no")],
+        [
+            AggregateCall(AggFunc.COUNT, None, alias="cnt"),
+            AggregateCall(AggFunc.SUM, ColumnRef("E", "sal"), alias="total"),
+        ],
+    )
+    reference, _ = _run_plan(db, plan)
+    rows, context = _run_plan(db, plan, QueryBudget(memory_limit_bytes=256))
+    assert context.counters.degraded_operators == 1
+    assert context.counters.sort_spill_pages > 0
+    assert_same_rows(rows, reference, msg="hash agg degradation")
+
+
+def test_global_agg_never_degrades():
+    db = _make_db()
+    plan = HashAggP(
+        SeqScanP("Emp", "E", EMP_COLS),
+        [],
+        [AggregateCall(AggFunc.COUNT, None, alias="cnt")],
+    )
+    rows, context = _run_plan(db, plan, QueryBudget(memory_limit_bytes=1))
+    assert rows == [(200,)]
+    assert context.counters.degraded_operators == 0
+
+
+# ----------------------------------------------------------------------
+# Retry policy and fault absorption
+# ----------------------------------------------------------------------
+def test_retry_policy_backoff_schedule():
+    policy = RetryPolicy(
+        max_attempts=5, base_backoff_seconds=0.001, max_backoff_seconds=0.004
+    )
+    assert policy.backoff_seconds(1) == pytest.approx(0.001)
+    assert policy.backoff_seconds(2) == pytest.approx(0.002)
+    assert policy.backoff_seconds(3) == pytest.approx(0.004)
+    assert policy.backoff_seconds(4) == pytest.approx(0.004)  # capped
+    assert policy.backoff_seconds(1, jitter=0.5) == pytest.approx(0.0015)
+
+
+def test_call_with_retries_absorbs_transients():
+    attempts = {"n": 0}
+
+    def flaky():
+        attempts["n"] += 1
+        if attempts["n"] < 3:
+            raise TransientStorageError("flake", site="t")
+        return "ok"
+
+    assert call_with_retries(flaky, RetryPolicy(max_attempts=4)) == "ok"
+    assert attempts["n"] == 3
+
+
+def test_call_with_retries_gives_up_and_reraises():
+    def always_fails():
+        raise TransientStorageError("flake", site="t")
+
+    with pytest.raises(TransientStorageError):
+        call_with_retries(always_fails, RetryPolicy(max_attempts=3))
+
+
+def test_call_with_retries_passes_non_retryable_through():
+    calls = {"n": 0}
+
+    def fatal():
+        calls["n"] += 1
+        raise ExecutionError("boom")
+
+    with pytest.raises(ExecutionError):
+        call_with_retries(fatal, RetryPolicy(max_attempts=5))
+    assert calls["n"] == 1  # never retried
+
+
+def test_fault_injection_is_deterministic():
+    sql = (
+        "SELECT E.name AS c0, D.name AS c1 FROM Emp E, Dept D "
+        "WHERE E.dept_no = D.dept_no"
+    )
+
+    def run():
+        db = _make_db(
+            fault_injector=FaultInjector(
+                FaultConfig(seed=7, page_read_error_rate=0.3)
+            )
+        )
+        result = db.sql(sql)
+        return (
+            result.context.counters.retries,
+            result.context.counters.rows_produced,
+            db.fault_injector.injected_faults,
+            sorted(result.rows),
+        )
+
+    first = run()
+    second = run()
+    assert first == second
+    assert first[2] > 0, "a 30% fault rate must fire at least once"
+    assert first[0] > 0, "injected faults must be absorbed by retries"
+
+
+def test_injector_reset_replays_schedule():
+    injector = FaultInjector(FaultConfig(seed=11, page_read_error_rate=0.3))
+
+    def schedule():
+        events = []
+        for page in range(50):
+            try:
+                injector.on_page_read("Emp", page)
+                events.append("ok")
+            except TransientStorageError:
+                events.append("fault")
+        return events
+
+    first = schedule()
+    injector.reset()
+    assert schedule() == first
+    assert "fault" in first
+
+
+def test_fault_sites_restrict_injection():
+    injector = FaultInjector(
+        FaultConfig(seed=3, page_read_error_rate=1.0, sites=("Dept",))
+    )
+    injector.on_page_read("Emp", 0)  # not a configured site: no fault
+    with pytest.raises(TransientStorageError) as info:
+        injector.on_page_read("Dept", 0)
+    assert info.value.site == "Dept"
+    assert info.value.retryable
+
+
+# ----------------------------------------------------------------------
+# Plan-cache reaction to execution failures
+# ----------------------------------------------------------------------
+def test_plan_cache_evicts_on_non_retryable_execution_error():
+    db = _make_db()
+    fail = {"on": False}
+
+    def trap(value):
+        if fail["on"]:
+            raise ExecutionError("trap sprung")
+        return True
+
+    db.register_udf("trap", trap, per_tuple_cost=500.0)
+    sql = "SELECT E.name AS c0 FROM Emp E WHERE trap(E.sal)"
+    key = PlanCache.key(sql, 0)
+
+    assert len(db.sql(sql).rows) == 200
+    assert key in db.plan_cache.keys()
+
+    fail["on"] = True
+    with pytest.raises(ExecutionError):
+        db.sql(sql)
+    assert key not in db.plan_cache.keys(), "failing plan must be evicted"
+    assert db.metrics.plan_cache_error_evictions == 1
+    assert db.metrics.execution_failures == 1
+
+    # The query recovers once the failure cause is gone (replanned fresh).
+    fail["on"] = False
+    assert len(db.sql(sql).rows) == 200
+
+
+def test_repeated_retryable_failures_trigger_conservative_reopt():
+    db = _make_db(
+        fault_injector=FaultInjector(
+            FaultConfig(seed=1, page_read_error_rate=1.0, sites=("Emp",))
+        )
+    )
+    sql = "SELECT E.name AS c0 FROM Emp E"
+    key = PlanCache.key(sql, 0)
+
+    for _ in range(RETRYABLE_FAILURES_BEFORE_EVICT):
+        with pytest.raises(TransientStorageError):
+            db.sql(sql)
+    assert key not in db.plan_cache.keys()
+    assert db.metrics.plan_cache_error_evictions == 1
+    assert db.metrics.conservative_reoptimizations == 0
+
+    # With the fault source gone, the next run re-optimizes conservatively
+    # and succeeds.
+    db.fault_injector = None
+    result = db.sql(sql)
+    assert len(result.rows) == 200
+    assert db.metrics.conservative_reoptimizations == 1
+
+
+def test_conservative_damping_inflates_cardinality_estimates():
+    db = _make_db()
+    sql = (
+        "SELECT E.name AS c0 FROM Emp E, Dept D "
+        "WHERE E.dept_no = D.dept_no AND E.sal > 100000"
+    )
+    normal = db.optimizer().optimize(sql).physical
+    conservative = db.optimizer(conservative=True).optimize(sql).physical
+    assert 0.0 < CONSERVATIVE_DAMPING < 1.0
+    assert conservative.est_rows > normal.est_rows
+
+
+def test_cancellation_does_not_evict_cached_plan():
+    db = _make_db()
+    sql = "SELECT E.name AS c0 FROM Emp E"
+    key = PlanCache.key(sql, 0)
+    db.sql(sql)
+    assert key in db.plan_cache.keys()
+    db.cancel_token.cancel()
+    with pytest.raises(QueryCancelled):
+        db.sql(sql)
+    db.cancel_token.reset()
+    assert key in db.plan_cache.keys(), "user cancellation is not a plan fault"
+
+
+def test_prepared_statement_eviction_on_execution_error():
+    db = _make_db()
+    fail = {"on": False}
+
+    def trap(value):
+        if fail["on"]:
+            raise ExecutionError("trap sprung")
+        return True
+
+    db.register_udf("trap", trap, per_tuple_cost=500.0)
+    statement = db.prepare(
+        "probe", "SELECT E.name AS c0 FROM Emp E WHERE trap(E.sal) AND E.sal > ?"
+    )
+    assert len(db.execute_prepared("probe", 0).rows) == 200
+    assert statement.cache_key in db.plan_cache.keys()
+
+    fail["on"] = True
+    with pytest.raises(ExecutionError):
+        db.execute_prepared("probe", 0)
+    assert statement.cache_key not in db.plan_cache.keys()
+
+    fail["on"] = False
+    assert len(db.execute_prepared("probe", 0).rows) == 200
