@@ -106,12 +106,13 @@ class CascadesOptimizer:
         stats_by_alias: Dict[str, TableStats],
         params: CostParameters = DEFAULT_PARAMETERS,
         config: CascadesConfig = CascadesConfig(),
+        feedback=None,
     ) -> None:
         self.catalog = catalog
         self.graph = graph
         self.params = params
         self.config = config
-        self.estimator = CardinalityEstimator(stats_by_alias)
+        self.estimator = CardinalityEstimator(stats_by_alias, feedback=feedback)
         self.equivalences = equivalence_classes(graph)
         self.memo = Memo()
         self.stats = CascadesStats()
@@ -303,6 +304,18 @@ class CascadesOptimizer:
                 )
                 if plan is not None:
                     plans.append(plan)
+        # All algorithms for this 2-partition apply the same connecting
+        # predicate; stamp it for the runtime feedback harvest.  INL
+        # joins that folded the inner's local predicate into their
+        # residual are skipped -- their output mixes two predicates.
+        edge_fp = self.estimator.selectivity.predicate_fingerprint(predicate)
+        for plan in plans:
+            if (
+                isinstance(plan, INLJoinP)
+                and self.graph.node(plan.alias).local_predicate() is not None
+            ):
+                continue
+            plan.feedback_fingerprint = edge_fp
         return plans
 
     def _impl_hash(

@@ -44,6 +44,11 @@ from repro.sql.parser import normalize_sql, parse, parse_statement
 from repro.core.physicalize import Physicalizer
 from repro.core.rewrite import RewriteContext, RuleEngine, default_rule_engine
 from repro.core.systemr.enumerator import EnumeratorConfig
+from repro.stats.feedback import (
+    CardinalityFeedback,
+    collect_fingerprints,
+    harvest_feedback,
+)
 from repro.stats.propagation import CardinalityEstimator
 from repro.stats.summaries import TableStats, analyze_all, analyze_table
 
@@ -73,6 +78,9 @@ class Optimizer:
         udfs: registered user-defined functions.
         use_rewrites: run the Starburst-style rewrite phase (disable to
             measure its benefit, e.g. benchmark E6).
+        feedback: optional cardinality-feedback store; observed
+            selectivities correct the model's estimates everywhere this
+            optimizer estimates cardinalities.
     """
 
     def __init__(
@@ -84,6 +92,7 @@ class Optimizer:
         use_rewrites: bool = True,
         rule_engine: Optional[RuleEngine] = None,
         use_materialized_views: bool = True,
+        feedback: Optional[CardinalityFeedback] = None,
     ) -> None:
         self.catalog = catalog
         self.params = params
@@ -91,7 +100,8 @@ class Optimizer:
         self.binder = Binder(catalog, udfs)
         self.use_rewrites = use_rewrites
         self.rule_engine = rule_engine or default_rule_engine()
-        self.physicalizer = Physicalizer(catalog, params, config)
+        self.feedback = feedback
+        self.physicalizer = Physicalizer(catalog, params, config, feedback=feedback)
         self.use_materialized_views = use_materialized_views
 
     # ------------------------------------------------------------------
@@ -158,7 +168,9 @@ class Optimizer:
                     )
                 stats[node.alias] = existing
             stack.extend(node.children())
-        return CardinalityEstimator(stats, damping=self.config.damping)
+        return CardinalityEstimator(
+            stats, damping=self.config.damping, feedback=self.feedback
+        )
 
 
 PlanCacheKey = Tuple[str, int]
@@ -169,6 +181,11 @@ class _PlanCacheEntry:
     plan: OptimizedQuery
     catalog_version: int
     optimize_seconds: float
+    # Observed selectivities (per plan fingerprint) the feedback store
+    # held when the plan was produced; a later lookup compares against
+    # the current store to decide whether knowledge has shifted enough
+    # to warrant re-optimization.
+    feedback_snapshot: Dict[str, float] = field(default_factory=dict)
 
 
 class PlanCache:
@@ -222,6 +239,7 @@ class PlanCache:
         plan: OptimizedQuery,
         catalog_version: int,
         optimize_seconds: float = 0.0,
+        feedback_snapshot: Optional[Dict[str, float]] = None,
     ) -> None:
         """Insert a plan, evicting the least recently used beyond capacity."""
         if self.capacity == 0:
@@ -230,6 +248,7 @@ class PlanCache:
             plan=plan,
             catalog_version=catalog_version,
             optimize_seconds=optimize_seconds,
+            feedback_snapshot=dict(feedback_snapshot or {}),
         )
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
@@ -320,6 +339,19 @@ CONSERVATIVE_DAMPING = 0.5
 # and its key marked for conservative re-optimization.
 RETRYABLE_FAILURES_BEFORE_EVICT = 2
 
+# Cardinality-feedback re-optimization thresholds.  A cached plan is
+# dropped right after an execution whose worst per-operator q-error
+# (between the selectivity the plan was built with and the one observed)
+# reaches FEEDBACK_REPLAN_QERROR -- the next use re-optimizes with the
+# freshly learned selectivities.  Independently, a cache *hit* whose
+# entry was planned under feedback that has since shifted by a factor of
+# FEEDBACK_SHIFT_FACTOR (comparing only fingerprints observed both then
+# and now) is treated as stale and re-optimized.  Both generalize PR 2's
+# 2-strike conservative re-optimization: estimates, not just failures,
+# can now invalidate a plan.
+FEEDBACK_REPLAN_QERROR = 4.0
+FEEDBACK_SHIFT_FACTOR = 2.0
+
 
 class Database:
     """An embedded database: catalog + optimizer + executor.
@@ -345,6 +377,7 @@ class Database:
         plan_cache_size: int = 128,
         budget: Optional[QueryBudget] = None,
         fault_injector: Optional[FaultInjector] = None,
+        use_feedback: bool = True,
     ) -> None:
         self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
         self.params = params
@@ -357,6 +390,9 @@ class Database:
         self.budget = budget
         self.cancel_token = CancellationToken()
         self.fault_injector = fault_injector
+        self.feedback: Optional[CardinalityFeedback] = (
+            CardinalityFeedback() if use_feedback else None
+        )
         self._plan_failures: Dict[PlanCacheKey, int] = {}
         self._conservative_keys: Set[PlanCacheKey] = set()
 
@@ -419,6 +455,7 @@ class Database:
             config,
             udfs=self.udfs,
             use_rewrites=self.use_rewrites,
+            feedback=self.feedback,
         )
 
     def optimize(self, sql: str) -> OptimizedQuery:
@@ -468,6 +505,13 @@ class Database:
         self.metrics.plan_cache_invalidations += (
             self.plan_cache.invalidations - invalidations_before
         )
+        if entry is not None and self._feedback_shifted(entry):
+            # Accumulated feedback moved a selectivity this plan was
+            # built on far enough that its costing is stale: drop it and
+            # re-optimize with the current knowledge.
+            self.plan_cache.evict(key)
+            self.metrics.feedback_reoptimizations += 1
+            entry = None
         if entry is not None:
             self.metrics.plan_cache_hits += 1
             return entry.plan, True, entry.optimize_seconds
@@ -483,8 +527,30 @@ class Database:
         )
         elapsed = time.perf_counter() - start
         self.metrics.optimize_seconds += elapsed
-        self.plan_cache.put(key, optimized, self.catalog.version, elapsed)
+        snapshot = None
+        if self.feedback is not None:
+            snapshot = self.feedback.snapshot(
+                collect_fingerprints(optimized.physical)
+            )
+        self.plan_cache.put(
+            key, optimized, self.catalog.version, elapsed,
+            feedback_snapshot=snapshot,
+        )
         return optimized, False, elapsed
+
+    def _feedback_shifted(self, entry: _PlanCacheEntry) -> bool:
+        """Has feedback moved enough to invalidate a cached plan?
+
+        Compares the store's current observations against the entry's
+        snapshot, over the plan's own fingerprints; only keys observed
+        at both points participate (newly appearing observations are
+        the harvest-time misestimate trigger's job).
+        """
+        if self.feedback is None or not entry.feedback_snapshot:
+            return False
+        keys = collect_fingerprints(entry.plan.physical)
+        shift = self.feedback.observed_shift(entry.feedback_snapshot, keys)
+        return shift >= FEEDBACK_SHIFT_FACTOR
 
     def _make_context(self) -> ExecContext:
         """An ExecContext carrying the session's robustness state."""
@@ -492,6 +558,7 @@ class Database:
         context.budget = self.budget
         context.cancel_token = self.cancel_token
         context.fault_injector = self.fault_injector
+        context.feedback = self.feedback
         return context
 
     def _note_execution_failure(
@@ -545,6 +612,7 @@ class Database:
         self.metrics.record_execution(context, len(rows))
         if cache_key is not None:
             self._plan_failures.pop(cache_key, None)
+        self._note_feedback_harvest(context, cache_key)
         return QueryResult(
             schema=schema,
             rows=rows,
@@ -553,6 +621,29 @@ class Database:
             rewrite_trace=optimized.rewrite_trace,
             from_plan_cache=from_cache,
         )
+
+    def _note_feedback_harvest(
+        self, context: ExecContext, cache_key: Optional[PlanCacheKey]
+    ) -> None:
+        """Fold one execution's feedback harvest into session state.
+
+        When the run's worst observed-vs-planned misestimate reaches
+        :data:`FEEDBACK_REPLAN_QERROR`, the cached plan is dropped so
+        the next use of the query re-optimizes under the selectivities
+        just learned.  Plans built with feedback carry the correction in
+        their estimates, so this trigger measures *residual* error and
+        settles once the learned values stop surprising the optimizer.
+        """
+        summary = context.feedback_summary
+        if summary is None:
+            return
+        self.metrics.feedback_observations += summary.observations
+        if (
+            cache_key is not None
+            and summary.max_misestimate >= FEEDBACK_REPLAN_QERROR
+            and self.plan_cache.evict(cache_key)
+        ):
+            self.metrics.feedback_reoptimizations += 1
 
     def _run_explain(self, stmt: ExplainStmt) -> QueryResult:
         key = PlanCache.key(stmt.sql_text, stmt.query.param_count)
@@ -571,6 +662,7 @@ class Database:
         schema, rows = execute(optimized.physical, self.catalog, context)
         self.metrics.execute_seconds += time.perf_counter() - start
         self.metrics.record_execution(context, len(rows))
+        self._note_feedback_harvest(context, key)
         rendering = render_explain_analyze(
             optimized.physical, context.runtime, optimize_seconds=opt_seconds
         )

@@ -83,6 +83,8 @@ class Physicalizer:
         catalog: data and metadata.
         params: cost-model parameters.
         config: enumerator knobs for SPJ regions.
+        feedback: optional store of runtime-observed selectivities,
+            consulted by every estimator this physicalizer builds.
     """
 
     def __init__(
@@ -90,10 +92,12 @@ class Physicalizer:
         catalog: Catalog,
         params: CostParameters = DEFAULT_PARAMETERS,
         config: EnumeratorConfig = EnumeratorConfig(),
+        feedback=None,
     ) -> None:
         self.catalog = catalog
         self.params = params
         self.config = config
+        self.feedback = feedback
 
     # ------------------------------------------------------------------
     def physicalize(
@@ -155,6 +159,7 @@ class Physicalizer:
             self.params,
             self.config,
             extra_orders=(required_order,) if required_order else (),
+            feedback=self.feedback,
         )
         plan, _cost = enumerator.best_plan(required_order)
         return plan
@@ -195,7 +200,9 @@ class Physicalizer:
                         self.catalog, node.table, histogram_kind=None
                     )
                 stats[node.alias] = existing
-        return CardinalityEstimator(stats, damping=self.config.damping)
+        return CardinalityEstimator(
+            stats, damping=self.config.damping, feedback=self.feedback
+        )
 
     # ------------------------------------------------------------------
     # Node-by-node mapping
@@ -219,7 +226,7 @@ class Physicalizer:
             )
             return plan
         if isinstance(op, Filter):
-            return self._map_filter(op, rows)
+            return self._map_filter(op, rows, estimator)
         if isinstance(op, Project):
             # Translate an order requirement through a pure renaming so an
             # SPJ region below can satisfy it (interesting orders through
@@ -245,7 +252,7 @@ class Physicalizer:
             plan.order = _project_order(child.order, op)
             return plan
         if isinstance(op, Join):
-            return self._map_join(op, rows)
+            return self._map_join(op, rows, estimator)
         if isinstance(op, GroupBy):
             return self._map_groupby(op, rows)
         if isinstance(op, Distinct):
@@ -305,7 +312,9 @@ class Physicalizer:
             return plan
         raise OptimizerError(f"cannot physicalize {type(op).__name__}")
 
-    def _map_filter(self, op: Filter, rows: float) -> PhysicalOp:
+    def _map_filter(
+        self, op: Filter, rows: float, estimator: CardinalityEstimator
+    ) -> PhysicalOp:
         child = self.physicalize(op.child)
         plain: List[Expr] = []
         expensive: List[UdfCall] = []
@@ -323,6 +332,9 @@ class Physicalizer:
                 plan.est_rows, len(plain), self.params
             )
             filtered.order = plan.order
+            filtered.feedback_fingerprint = (
+                estimator.selectivity.predicate_fingerprint(predicate)
+            )
             plan = filtered
         # Cheapest-rank-first ordering of expensive predicates ([29, 30]).
         for udf in sorted(expensive, key=lambda u: u.rank):
@@ -332,10 +344,15 @@ class Physicalizer:
                 plan.est_rows, udf.per_tuple_cost, self.params
             )
             udf_plan.order = plan.order
+            udf_plan.feedback_fingerprint = (
+                estimator.selectivity.predicate_fingerprint(udf)
+            )
             plan = udf_plan
         return plan
 
-    def _map_join(self, op: Join, rows: float) -> PhysicalOp:
+    def _map_join(
+        self, op: Join, rows: float, estimator: CardinalityEstimator
+    ) -> PhysicalOp:
         left = self.physicalize(op.left)
         right = self.physicalize(op.right)
         pairs, residual = _split_equi_generic(
@@ -369,6 +386,9 @@ class Physicalizer:
                 self.params,
             )
         plan.est_rows = rows
+        plan.feedback_fingerprint = estimator.selectivity.predicate_fingerprint(
+            op.predicate
+        )
         return plan
 
     def _map_groupby(self, op: GroupBy, rows: float) -> PhysicalOp:

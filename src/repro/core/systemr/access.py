@@ -46,6 +46,10 @@ def generate_access_paths(
     schema = table.schema
     predicate = node.local_predicate()
     out_rows = estimator.scan_rows(alias, graph)
+    # Every access path applies the full local predicate (seek bounds
+    # plus residual), so they all share the predicate's fingerprint:
+    # observed scan output over base rows is its observed selectivity.
+    predicate_fp = estimator.selectivity.predicate_fingerprint(predicate)
     paths: List[PhysicalOp] = []
 
     seq = SeqScanP(
@@ -63,6 +67,7 @@ def generate_access_paths(
         params,
     )
     seq.order = None
+    seq.feedback_fingerprint = predicate_fp
     paths.append(seq)
 
     for index in catalog.indexes_on(node.table):
@@ -125,6 +130,7 @@ def generate_access_paths(
             params,
         )
         scan.order = order
+        scan.feedback_fingerprint = predicate_fp
         paths.append(scan)
     return paths
 

@@ -127,12 +127,15 @@ class SystemRJoinEnumerator:
         params: CostParameters = DEFAULT_PARAMETERS,
         config: EnumeratorConfig = EnumeratorConfig(),
         extra_orders: Sequence[SortOrder] = (),
+        feedback=None,
     ) -> None:
         self.catalog = catalog
         self.graph = graph
         self.params = params
         self.config = config
-        self.estimator = CardinalityEstimator(stats_by_alias, damping=config.damping)
+        self.estimator = CardinalityEstimator(
+            stats_by_alias, damping=config.damping, feedback=feedback
+        )
         self.equivalences = equivalence_classes(graph)
         self.orders = interesting_orders(graph, extra_orders)
         self.stats = EnumeratorStats()
@@ -270,24 +273,33 @@ class SystemRJoinEnumerator:
     ):
         predicate = self.graph.connecting_predicate(left_set, right_set)
         equi_pairs, residual = self._split_equi(predicate, left_set, right_set)
+        # Every join algorithm for this 2-partition applies the same
+        # connecting predicate; stamp its fingerprint so the runtime
+        # harvest can attribute observed join selectivity to it.
+        edge_fp = self.estimator.selectivity.predicate_fingerprint(predicate)
         algorithms = self.config.join_algorithms
         for left in left_entries:
             if "nl" in algorithms:
                 for right in right_entries:
-                    yield self._nested_loop(left, right, right_set, predicate, rows)
+                    yield self._nested_loop(
+                        left, right, right_set, predicate, rows, edge_fp
+                    )
             if "inl" in algorithms and len(right_set) == 1 and equi_pairs:
                 yield from self._index_nested_loop(
-                    left, next(iter(right_set)), equi_pairs, residual, rows
+                    left, next(iter(right_set)), equi_pairs, residual, rows,
+                    edge_fp,
                 )
             if "merge" in algorithms and equi_pairs:
                 for right in right_entries:
                     yield self._merge(
-                        left, right, left_set, right_set, equi_pairs, residual, rows
+                        left, right, left_set, right_set, equi_pairs, residual,
+                        rows, edge_fp,
                     )
             if "hash" in algorithms and equi_pairs:
                 for right in right_entries:
                     yield self._hash(
-                        left, right, right_set, equi_pairs, residual, rows
+                        left, right, right_set, equi_pairs, residual, rows,
+                        edge_fp,
                     )
 
     def _split_equi(
@@ -322,6 +334,7 @@ class SystemRJoinEnumerator:
         right_set: FrozenSet[str],
         predicate: Optional[Expr],
         rows: float,
+        edge_fp: Optional[str] = None,
     ) -> PlanEntry:
         self.stats.plans_considered += 1
         inner = MaterializeP(right.plan)
@@ -339,6 +352,7 @@ class SystemRJoinEnumerator:
         plan.est_rows = rows
         plan.est_cost = left.cost + inner.est_cost + join_cost
         plan.order = left.order  # NL preserves the outer order
+        plan.feedback_fingerprint = edge_fp
         return self._entry(plan)
 
     def _index_nested_loop(
@@ -348,6 +362,7 @@ class SystemRJoinEnumerator:
         equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
         residual: Optional[Expr],
         rows: float,
+        edge_fp: Optional[str] = None,
     ):
         node = self.graph.node(inner_alias)
         table = self.catalog.table(node.table)
@@ -399,6 +414,11 @@ class SystemRJoinEnumerator:
             plan.est_rows = rows
             plan.est_cost = left.cost + join_cost
             plan.order = left.order
+            if local is None:
+                # With a local predicate folded into the residual, the
+                # operator's output no longer reflects the join edge
+                # alone; only the clean case is attributed to the edge.
+                plan.feedback_fingerprint = edge_fp
             yield self._entry(plan)
 
     def _merge(
@@ -410,6 +430,7 @@ class SystemRJoinEnumerator:
         equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
         residual: Optional[Expr],
         rows: float,
+        edge_fp: Optional[str] = None,
     ) -> PlanEntry:
         self.stats.plans_considered += 1
         left_keys = [l for l, _r in equi_pairs]
@@ -429,6 +450,7 @@ class SystemRJoinEnumerator:
         plan.est_rows = rows
         plan.est_cost = left_cost + right_cost + merge_cost
         plan.order = left_order  # merge output is ordered on the join keys
+        plan.feedback_fingerprint = edge_fp
         return self._entry(plan)
 
     def _hash(
@@ -439,6 +461,7 @@ class SystemRJoinEnumerator:
         equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
         residual: Optional[Expr],
         rows: float,
+        edge_fp: Optional[str] = None,
     ) -> PlanEntry:
         self.stats.plans_considered += 1
         left_keys = [l for l, _r in equi_pairs]
@@ -454,6 +477,7 @@ class SystemRJoinEnumerator:
         plan.est_rows = rows
         plan.est_cost = left.cost + right.cost + join_cost
         plan.order = None  # hashing destroys order
+        plan.feedback_fingerprint = edge_fp
         return self._entry(plan)
 
     def _ensure_order(

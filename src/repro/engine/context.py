@@ -25,6 +25,7 @@ from repro.engine.governor import (
 
 if TYPE_CHECKING:
     from repro.engine.runtime_stats import RuntimeStats
+    from repro.stats.feedback import CardinalityFeedback, FeedbackSummary
     from repro.storage.faults import FaultInjector
 
 _T = TypeVar("_T")
@@ -123,6 +124,11 @@ class ExecContext:
         retry_policy: bounded-backoff policy for retryable faults.
         governor: the enforcement object ``execute`` builds from
             ``budget`` and ``cancel_token`` for each run.
+        feedback: session cardinality-feedback store; when present,
+            ``execute`` harvests observed selectivities from the
+            finished run's per-operator actuals into it.
+        feedback_summary: what the harvest of the most recent execution
+            recorded (operators seen, observations, worst misestimate).
     """
 
     def __init__(self, params: Optional[CostParameters] = None) -> None:
@@ -136,6 +142,8 @@ class ExecContext:
         self.fault_injector: Optional["FaultInjector"] = None
         self.retry_policy = RetryPolicy()
         self.governor: Optional[ResourceGovernor] = None
+        self.feedback: Optional["CardinalityFeedback"] = None
+        self.feedback_summary: Optional["FeedbackSummary"] = None
 
     def begin_execution(self) -> None:
         """Arm the governor for one run (called by ``execute``)."""
@@ -201,6 +209,7 @@ class ExecContext:
         self.counters = ExecCounters()
         self.runtime = None
         self.governor = None
+        self.feedback_summary = None
 
 
 @dataclass
@@ -228,6 +237,11 @@ class QueryMetrics:
     plan_cache_error_evictions: int = 0
     conservative_reoptimizations: int = 0
     fault_retries: int = 0
+    # Cardinality-feedback counters: observed selectivities harvested
+    # from executions, and cached plans invalidated because feedback
+    # showed their cardinality estimates were badly off.
+    feedback_observations: int = 0
+    feedback_reoptimizations: int = 0
 
     def record_execution(self, context: "ExecContext", rows: int) -> None:
         """Fold one execution's observed work into the session totals."""
@@ -256,5 +270,7 @@ class QueryMetrics:
                 f"plans evicted on error:   {self.plan_cache_error_evictions}",
                 f"conservative re-opts:     {self.conservative_reoptimizations}",
                 f"fault retries:            {self.fault_retries}",
+                f"feedback observations:    {self.feedback_observations}",
+                f"feedback re-opts:         {self.feedback_reoptimizations}",
             ]
         )

@@ -32,6 +32,7 @@ from repro.expr.evaluator import bind_parameters, evaluate, predicate_holds
 from repro.expr.expressions import ColumnRef, Expr
 from repro.expr.schema import StreamSchema
 from repro.logical.operators import JoinKind
+from repro.stats.feedback import harvest_feedback
 from repro.physical.plans import (
     ApplyP,
     DistinctP,
@@ -97,6 +98,12 @@ def execute(
     with bind_parameters(context.parameters):
         rows = _run(plan, catalog, context)
     context.runtime.total_seconds = time.perf_counter() - start
+    if context.feedback is not None:
+        # Close the loop: per-operator actuals recorded at operator
+        # boundaries become observed selectivities for the optimizer.
+        context.feedback_summary = harvest_feedback(
+            plan, context.runtime, catalog, context.feedback
+        )
     return plan.output_schema(), rows
 
 

@@ -28,6 +28,11 @@ class PhysicalOp:
         est_cost: cumulative estimated cost of the subtree.
         order: delivered sort order, if any (physical property).
         partitioning: delivered partitioning, if any (parallel plans).
+        feedback_fingerprint: normalized key of the predicate this
+            operator applies (stamped by the plan builders), letting the
+            cardinality-feedback harvest attribute observed row counts
+            to the same key the estimator looks up.  None when the
+            operator carries no feedback-eligible predicate.
     """
 
     def __init__(self) -> None:
@@ -35,6 +40,7 @@ class PhysicalOp:
         self.est_cost: Cost = ZERO_COST
         self.order: Optional[SortOrder] = None
         self.partitioning: Optional[Partitioning] = None
+        self.feedback_fingerprint: Optional[str] = None
 
     def children(self) -> Tuple["PhysicalOp", ...]:
         """Input operators."""

@@ -21,6 +21,8 @@ Meta-commands (backslash-prefixed):
     \\naive <sql>        run through the reference interpreter
     \\analyze            recollect statistics for every table
     \\metrics            cumulative query/plan-cache/timing counters
+    \\feedback           observed selectivities learned from executions
+    \\feedback clear     forget all learned selectivities
     \\timeout <ms>       set the per-query wall-clock budget (0 = off)
     \\budget             show the current per-query resource budget
     \\quit               exit
@@ -112,6 +114,16 @@ class Shell:
             return "statistics collected"
         if command == "metrics":
             return self.db.metrics.format()
+        if command == "feedback":
+            feedback = self.db.feedback
+            if feedback is None:
+                return "cardinality feedback is disabled"
+            if argument.strip().lower() == "clear":
+                feedback.clear()
+                return "feedback store cleared"
+            if argument:
+                return "usage: \\feedback [clear]"
+            return feedback.format()
         if command == "timeout":
             if not argument:
                 return "usage: \\timeout <milliseconds>  (0 disables)"

@@ -1,5 +1,12 @@
 """Statistics: summaries, histograms, sampling, selectivity, propagation."""
 
+from repro.stats.feedback import (
+    CardinalityFeedback,
+    FeedbackSummary,
+    collect_fingerprints,
+    fingerprint,
+    harvest_feedback,
+)
 from repro.stats.distinct import (
     ESTIMATORS,
     estimate_chao,
@@ -37,10 +44,12 @@ __all__ = [
     "ESTIMATORS",
     "Bucket",
     "CardinalityEstimator",
+    "CardinalityFeedback",
     "ColumnStats",
     "CompressedHistogram",
     "EquiDepthHistogram",
     "EquiWidthHistogram",
+    "FeedbackSummary",
     "Histogram",
     "MaxDiffHistogram",
     "SelectivityEstimator",
@@ -50,11 +59,14 @@ __all__ = [
     "analyze_table",
     "average_point_error",
     "average_range_error",
+    "collect_fingerprints",
     "compute_column_stats",
     "estimate_chao",
     "estimate_gee",
     "estimate_goodman_d",
     "estimate_naive_scale",
+    "fingerprint",
+    "harvest_feedback",
     "histogram_from_sample",
     "join_histograms",
     "ratio_error",

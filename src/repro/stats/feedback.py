@@ -1,0 +1,411 @@
+"""LEO-style cardinality feedback (Section 5.1.3's error source, closed).
+
+The optimizer's dominant error source is cardinality estimation; the
+standard remedy (DB2's LEO, and the learned-estimation literature since)
+is to *observe* the cardinalities a plan actually produced and fold them
+back into the next optimization.  This module provides the three pieces:
+
+* :func:`fingerprint` -- a normalized textual key for a predicate, the
+  same whether it appears as a pushed-down scan filter, a Filter node,
+  or a join edge, and whichever way the query spells its aliases.
+* :class:`CardinalityFeedback` -- a bounded store mapping fingerprints
+  to *observed selectivities* (geometric running blend), with a
+  confidence that decays as observations age.
+* :func:`harvest_feedback` -- walks an executed physical plan and its
+  :class:`~repro.engine.runtime_stats.RuntimeStats`, converts actual
+  row counts at operator boundaries into observed selectivities, and
+  records them.
+
+Estimators consult the store through
+:meth:`CardinalityFeedback.adjusted`: the model estimate ``m`` and the
+observation ``o`` blend multiplicatively as ``m * (o / m) ** c`` for
+confidence ``c`` in [0, 1] -- at full confidence the observation wins
+outright, at zero the model is untouched, and in between the correction
+is damped geometrically.  Observed selectivities are stored *absolute*
+(not as ratios against the estimate that happened to be current), so
+harvesting the same workload twice is idempotent.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.expr.expressions import (
+    Arithmetic,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Literal,
+    NotExpr,
+    UdfCall,
+)
+
+# Observed selectivities are clamped into [_MIN_SELECTIVITY, 1]: an
+# empty result still carries signal ("almost nothing qualifies") but a
+# literal zero would make every downstream estimate collapse to 0 rows.
+_MIN_SELECTIVITY = 1e-9
+
+
+class _Unfingerprintable(Exception):
+    """Raised while canonicalizing a predicate we refuse to key on."""
+
+
+def fingerprint(
+    predicate: Optional[Expr], alias_to_table: Dict[str, str]
+) -> Optional[str]:
+    """A normalized key for a predicate, or None when it has no stable one.
+
+    Aliases are replaced by their table names (so ``E1.sal > 10`` and
+    ``E2.sal > 10`` share feedback), conjuncts and disjuncts are sorted,
+    column-vs-literal comparisons are put column-first, and symmetric
+    column-vs-column comparisons are ordered lexically.  Predicates
+    containing prepared-statement parameters return None: their runtime
+    behaviour depends on values the key cannot see.
+    """
+    if predicate is None:
+        return None
+    try:
+        return _canon(predicate, alias_to_table)
+    except _Unfingerprintable:
+        return None
+
+
+def _canon(expr: Expr, aliases: Dict[str, str]) -> str:
+    if isinstance(expr, ColumnRef):
+        table = aliases.get(expr.table, expr.table)
+        return f"{table}.{expr.column}"
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, bool):
+            return f"bool:{expr.value}"
+        return expr.to_sql()
+    if isinstance(expr, Comparison):
+        left, right, op = expr.left, expr.right, expr.op
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right, op = right, left, op.flip()
+        l_text = _canon(left, aliases)
+        r_text = _canon(right, aliases)
+        if (
+            isinstance(left, ColumnRef)
+            and isinstance(right, ColumnRef)
+            and r_text < l_text
+        ):
+            l_text, r_text, op = r_text, l_text, op.flip()
+        return f"({l_text} {op.value} {r_text})"
+    if isinstance(expr, BoolExpr):
+        parts = sorted(_canon(arg, aliases) for arg in expr.args)
+        joiner = " AND " if expr.op is BoolOp.AND else " OR "
+        return f"({joiner.join(parts)})"
+    if isinstance(expr, NotExpr):
+        return f"NOT{_canon(expr.arg, aliases)}"
+    if isinstance(expr, IsNull):
+        tag = "ISNOTNULL" if expr.negated else "ISNULL"
+        return f"{tag}({_canon(expr.arg, aliases)})"
+    if isinstance(expr, InList):
+        values = sorted({_canon(value, aliases) for value in expr.values})
+        return f"({_canon(expr.arg, aliases)} IN [{','.join(values)}])"
+    if isinstance(expr, Arithmetic):
+        return (
+            f"({_canon(expr.left, aliases)} {expr.op.value} "
+            f"{_canon(expr.right, aliases)})"
+        )
+    if isinstance(expr, UdfCall):
+        args = ",".join(_canon(arg, aliases) for arg in expr.args)
+        return f"{expr.name}({args})"
+    # Params and anything unrecognized: no stable runtime meaning.
+    raise _Unfingerprintable(type(expr).__name__)
+
+
+@dataclass
+class FeedbackEntry:
+    """One learned selectivity: a geometric running blend of observations."""
+
+    observed: float
+    observations: int
+    last_seen: int  # store tick of the most recent observation
+
+    def confidence(self, now: int, decay: float) -> float:
+        """Trust in this entry, decaying per harvest tick since last seen."""
+        age = max(0, now - self.last_seen)
+        return decay ** age
+
+
+class CardinalityFeedback:
+    """A bounded LRU store of observed predicate selectivities.
+
+    Args:
+        capacity: maximum number of fingerprints retained; the least
+            recently touched entry is evicted past this budget.
+        decay: per-harvest-tick confidence decay in (0, 1].  An entry
+            observed this tick has confidence 1; one last seen ``k``
+            harvests ago has ``decay ** k`` -- stale knowledge fades
+            toward the model rather than overriding it forever.
+    """
+
+    def __init__(self, capacity: int = 512, decay: float = 0.98) -> None:
+        self.capacity = max(1, capacity)
+        self.decay = decay
+        self._entries: "OrderedDict[str, FeedbackEntry]" = OrderedDict()
+        self.tick = 0
+        self.lookups = 0
+        self.hits = 0
+        self.recorded = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def begin_harvest(self) -> None:
+        """Advance the age clock: one tick per harvested execution."""
+        self.tick += 1
+
+    def record(self, key: str, observed: float) -> None:
+        """Fold one observed selectivity into the entry for ``key``.
+
+        Repeated observations blend geometrically (the average happens
+        in log space), which suits selectivities spanning many orders of
+        magnitude and keeps a single outlier run from dominating.
+        """
+        observed = min(1.0, max(_MIN_SELECTIVITY, observed))
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = FeedbackEntry(
+                observed=observed, observations=1, last_seen=self.tick
+            )
+        else:
+            weight = 1.0 / (entry.observations + 1)
+            blended = math.exp(
+                (1.0 - weight) * math.log(entry.observed)
+                + weight * math.log(observed)
+            )
+            entry.observed = blended
+            entry.observations += 1
+            entry.last_seen = self.tick
+        self._entries.move_to_end(key)
+        self.recorded += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def observed(self, key: str) -> Optional[Tuple[float, float]]:
+        """``(observed_selectivity, confidence)`` for a key, or None."""
+        self.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self.hits += 1
+        return entry.observed, entry.confidence(self.tick, self.decay)
+
+    def adjusted(self, key: Optional[str], model: float) -> float:
+        """The model estimate corrected by feedback, when any exists.
+
+        Blends multiplicatively: ``model * (observed / model) **
+        confidence``, clamped to [0, 1].  With no entry (or no key) the
+        model estimate passes through untouched.
+        """
+        if key is None:
+            return model
+        hit = self.observed(key)
+        if hit is None:
+            return model
+        observed, confidence = hit
+        base = min(1.0, max(_MIN_SELECTIVITY, model))
+        return min(1.0, base * (observed / base) ** confidence)
+
+    def snapshot(self, keys: List[Optional[str]]) -> Dict[str, float]:
+        """Current observed selectivities for the given fingerprints.
+
+        Used by the plan cache to remember what the store believed when
+        a plan was produced; ``observed_shift`` compares a later state.
+        """
+        result: Dict[str, float] = {}
+        for key in keys:
+            if key is None:
+                continue
+            entry = self._entries.get(key)
+            if entry is not None:
+                result[key] = entry.observed
+        return result
+
+    def observed_shift(self, snapshot: Dict[str, float], keys: List[Optional[str]]) -> float:
+        """Largest factor by which an observation moved since ``snapshot``.
+
+        Only fingerprints observed both then and now participate: a
+        fresh observation appearing (None -> value) is handled by the
+        misestimate path at harvest time, not treated as a shift.
+        """
+        worst = 1.0
+        for key in keys:
+            if key is None or key not in snapshot:
+                continue
+            entry = self._entries.get(key)
+            if entry is None:
+                continue
+            then, now = snapshot[key], entry.observed
+            if then <= 0 or now <= 0:
+                continue
+            worst = max(worst, then / now if then > now else now / then)
+        return worst
+
+    def entries(self) -> List[Tuple[str, FeedbackEntry]]:
+        """Current entries, most recently touched first."""
+        return list(reversed(self._entries.items()))
+
+    def clear(self) -> None:
+        """Drop every learned selectivity (counters are preserved)."""
+        self._entries.clear()
+
+    def format(self, limit: int = 20) -> str:
+        """Readable rendering for the shell's ``\\feedback``."""
+        header = (
+            f"feedback entries: {len(self._entries)} (capacity {self.capacity})"
+            f"  lookups: {self.lookups}  hits: {self.hits}"
+            f"  recorded: {self.recorded}  tick: {self.tick}"
+        )
+        lines = [header]
+        for key, entry in self.entries()[:limit]:
+            confidence = entry.confidence(self.tick, self.decay)
+            lines.append(
+                f"  sel={entry.observed:.2e} conf={confidence:.2f} "
+                f"n={entry.observations}  {key}"
+            )
+        remaining = len(self._entries) - limit
+        if remaining > 0:
+            lines.append(f"  ... ({remaining} more)")
+        return "\n".join(lines)
+
+
+@dataclass
+class FeedbackSummary:
+    """What one harvest learned from one execution."""
+
+    operators_seen: int = 0
+    observations: int = 0
+    max_misestimate: float = 1.0
+    misestimated_keys: List[str] = field(default_factory=list)
+
+
+def _q_error(estimated: float, actual: float) -> float:
+    est = max(estimated, _MIN_SELECTIVITY)
+    act = max(actual, _MIN_SELECTIVITY)
+    return est / act if est > act else act / est
+
+
+def harvest_feedback(plan, runtime, catalog, store: CardinalityFeedback) -> FeedbackSummary:
+    """Record observed selectivities from one executed plan.
+
+    Walks the plan; every operator stamped with a ``feedback_fingerprint``
+    at construction time contributes one observation:
+
+    * scans: fraction of the base table's rows surviving the pushed-down
+      predicate;
+    * filters: fraction of the child's actual rows surviving;
+    * inner joins: ``|out| / (|left| * |right|)`` -- children are already
+      post-filter, so this isolates the join edge's selectivity;
+    * index nested-loop joins: ``|out| / (|outer| * |inner table|)``
+      (stamped only when the inner side carries no local predicate).
+
+    ``max_misestimate`` is the worst q-error between the selectivity the
+    plan was built with (implied by its ``est_rows`` annotations) and
+    the observation -- the plan cache's re-optimization trigger.  Since
+    plans built *with* feedback embed the correction in ``est_rows``,
+    this measures residual error and converges instead of re-firing on
+    already-learned mistakes.
+    """
+    from repro.logical.operators import JoinKind
+    from repro.physical.plans import (
+        FilterP,
+        HashJoinP,
+        INLJoinP,
+        IndexScanP,
+        MergeJoinP,
+        NLJoinP,
+        SeqScanP,
+        UdfFilterP,
+    )
+
+    summary = FeedbackSummary()
+    if runtime is None:
+        return summary
+    store.begin_harvest()
+
+    def base_rows(table_name: str) -> Optional[float]:
+        stats = catalog.stats(table_name)
+        if stats is not None and stats.row_count > 0:
+            return float(stats.row_count)
+        table = catalog.table(table_name)
+        return float(table.row_count) if table.row_count > 0 else None
+
+    def actual_per_invocation(op) -> Optional[float]:
+        node = runtime.get(op)
+        if node is None or node.invocations <= 0:
+            return None
+        return node.actual_rows / node.invocations
+
+    def note(key: str, observed: float, implied: float) -> None:
+        store.record(key, observed)
+        summary.observations += 1
+        error = _q_error(implied, observed)
+        if error > summary.max_misestimate:
+            summary.max_misestimate = error
+        if error >= 2.0:
+            summary.misestimated_keys.append(key)
+
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        stack.extend(op.children())
+        summary.operators_seen += 1
+        key = getattr(op, "feedback_fingerprint", None)
+        if key is None:
+            continue
+        out_rows = actual_per_invocation(op)
+        if out_rows is None:
+            continue
+        if isinstance(op, (SeqScanP, IndexScanP)):
+            base = base_rows(op.table)
+            if base:
+                note(key, out_rows / base, op.est_rows / base)
+        elif isinstance(op, (FilterP, UdfFilterP)):
+            in_rows = actual_per_invocation(op.child)
+            if in_rows:
+                implied = op.est_rows / max(op.child.est_rows, _MIN_SELECTIVITY)
+                note(key, out_rows / in_rows, implied)
+        elif isinstance(op, (NLJoinP, HashJoinP, MergeJoinP)):
+            if op.kind is not JoinKind.INNER:
+                continue
+            left_rows = actual_per_invocation(op.left)
+            right_rows = actual_per_invocation(op.right)
+            if left_rows and right_rows:
+                implied = op.est_rows / max(
+                    op.left.est_rows * op.right.est_rows, _MIN_SELECTIVITY
+                )
+                note(key, out_rows / (left_rows * right_rows), implied)
+        elif isinstance(op, INLJoinP):
+            if op.kind is not JoinKind.INNER:
+                continue
+            outer_rows = actual_per_invocation(op.outer)
+            base = base_rows(op.table)
+            if outer_rows and base:
+                implied = op.est_rows / max(
+                    op.outer.est_rows * base, _MIN_SELECTIVITY
+                )
+                note(key, out_rows / (outer_rows * base), implied)
+    return summary
+
+
+def collect_fingerprints(plan) -> List[str]:
+    """All feedback fingerprints stamped on a plan's operators."""
+    keys: List[str] = []
+    stack = [plan]
+    while stack:
+        op = stack.pop()
+        stack.extend(op.children())
+        key = getattr(op, "feedback_fingerprint", None)
+        if key is not None:
+            keys.append(key)
+    return keys

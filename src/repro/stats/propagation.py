@@ -44,6 +44,8 @@ class CardinalityEstimator:
         independence: forwarded to the selectivity estimator.
         damping: forwarded to the selectivity estimator; values below 1
             inflate selectivities for conservative re-optimization.
+        feedback: forwarded to the selectivity estimator; runtime-observed
+            selectivities correct the model's estimates.
     """
 
     def __init__(
@@ -51,10 +53,14 @@ class CardinalityEstimator:
         stats_by_alias: Dict[str, TableStats],
         independence: bool = True,
         damping: float = 1.0,
+        feedback=None,
     ) -> None:
         self._stats = dict(stats_by_alias)
         self.selectivity = SelectivityEstimator(
-            stats_by_alias, independence=independence, damping=damping
+            stats_by_alias,
+            independence=independence,
+            damping=damping,
+            feedback=feedback,
         )
 
     def base_rows(self, alias: str, default: float = 1000.0) -> float:
@@ -177,11 +183,17 @@ def join_histograms(
         | {b.low for b in right.buckets}
         | {b.high for b in right.buckets}
     )
+    # Singleton values both sides know exactly get an exact point slice
+    # below; they are excluded from the pair slices so the same rows are
+    # not also smeared into a half-open range estimate.
+    shared_points = {b.low for b in left.buckets if b.width == 0} & {
+        b.low for b in right.buckets if b.width == 0
+    }
     out_buckets: List[Bucket] = []
     total = 0.0
     for lo, hi in zip(boundaries, boundaries[1:]):
-        rows_l, d_l = _slice(left, lo, hi)
-        rows_r, d_r = _slice(right, lo, hi)
+        rows_l, d_l = _slice(left, lo, hi, exclude_points=shared_points)
+        rows_r, d_r = _slice(right, lo, hi, exclude_points=shared_points)
         if rows_l <= 0 or rows_r <= 0:
             continue
         d = max(d_l, d_r, 1.0)
@@ -190,9 +202,7 @@ def join_histograms(
         out_buckets.append(Bucket(lo, hi, rows, max(1.0, overlap_distinct)))
         total += rows
     # Point slices (singleton boundary values shared by both sides).
-    for value in {b.low for b in left.buckets if b.width == 0} & {
-        b.low for b in right.buckets if b.width == 0
-    }:
+    for value in shared_points:
         rows_l, _ = _slice(left, value, value)
         rows_r, _ = _slice(right, value, value)
         if rows_l > 0 and rows_r > 0:
@@ -204,7 +214,12 @@ def join_histograms(
     return total, Histogram(merged)
 
 
-def _slice(histogram: Histogram, lo: float, hi: float) -> Tuple[float, float]:
+def _slice(
+    histogram: Histogram,
+    lo: float,
+    hi: float,
+    exclude_points: FrozenSet[float] = frozenset(),
+) -> Tuple[float, float]:
     rows = 0.0
     distinct = 0.0
     for bucket in histogram.buckets:
@@ -213,7 +228,13 @@ def _slice(histogram: Histogram, lo: float, hi: float) -> Tuple[float, float]:
         if b_lo > b_hi:
             continue
         if bucket.width == 0:
-            if lo < bucket.low < hi or (lo == bucket.low == hi):
+            # Pair slices are half-open [lo, hi): a singleton sitting
+            # exactly on the lower boundary belongs to this slice --
+            # excluding it made frequent values on shared bucket edges
+            # vanish from join estimates entirely.
+            if bucket.low in exclude_points:
+                continue
+            if lo <= bucket.low < hi or (lo == bucket.low == hi):
                 rows += bucket.row_count
                 distinct += bucket.distinct_count
             continue

@@ -10,7 +10,7 @@ most selective conjunct ([17]).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.expr.expressions import (
     BoolExpr,
@@ -26,6 +26,9 @@ from repro.expr.expressions import (
     UdfCall,
 )
 from repro.stats.summaries import ColumnStats, TableStats
+
+if TYPE_CHECKING:
+    from repro.stats.feedback import CardinalityFeedback
 
 # The System-R fallback constants [55].
 DEFAULT_EQ_SELECTIVITY = 0.1
@@ -50,6 +53,9 @@ class SelectivityEstimator:
             re-optimizing a plan that failed at runtime: a plan chosen
             under pessimistic cardinalities is robust to the estimation
             errors that likely sank the original.
+        feedback: optional :class:`~repro.stats.feedback.CardinalityFeedback`
+            store of runtime-observed selectivities; every estimated
+            predicate is corrected by its entry (if any) before damping.
     """
 
     def __init__(
@@ -57,10 +63,17 @@ class SelectivityEstimator:
         stats_by_alias: Dict[str, TableStats],
         independence: bool = True,
         damping: float = 1.0,
+        feedback: Optional["CardinalityFeedback"] = None,
     ) -> None:
         self._stats = dict(stats_by_alias)
         self.independence = independence
         self.damping = damping
+        self.feedback = feedback
+        # Alias -> table name, so fingerprints match across alias spellings.
+        self._alias_to_table = {
+            alias: stats.table for alias, stats in self._stats.items()
+        }
+        self._fp_cache: Dict[Expr, Optional[str]] = {}
 
     # ------------------------------------------------------------------
     # Column statistics lookup
@@ -91,7 +104,33 @@ class SelectivityEstimator:
             result = result ** self.damping
         return result
 
+    def predicate_fingerprint(self, predicate: Optional[Expr]) -> Optional[str]:
+        """The feedback fingerprint of a predicate under this alias map.
+
+        Plan builders stamp this onto physical operators so the runtime
+        harvest attributes observed row counts to the same key the
+        estimator consults.
+        """
+        if predicate is None:
+            return None
+        if predicate not in self._fp_cache:
+            from repro.stats.feedback import fingerprint
+
+            self._fp_cache[predicate] = fingerprint(
+                predicate, self._alias_to_table
+            )
+        return self._fp_cache[predicate]
+
     def _estimate(self, predicate: Expr) -> float:
+        """Model estimate for one predicate node, corrected by feedback."""
+        model = self._model(predicate)
+        if self.feedback is None:
+            return model
+        return self.feedback.adjusted(
+            self.predicate_fingerprint(predicate), model
+        )
+
+    def _model(self, predicate: Expr) -> float:
         if isinstance(predicate, Comparison):
             return self._comparison(predicate)
         if isinstance(predicate, BoolExpr):
@@ -150,7 +189,11 @@ class SelectivityEstimator:
                 return (1.0 - stats.null_fraction) / stats.distinct_count
             return DEFAULT_EQ_SELECTIVITY
         if op is ComparisonOp.NE:
-            return 1.0 - self._column_vs_literal(ref, ComparisonOp.EQ, value)
+            # NULL rows satisfy neither ``= c`` nor ``<> c``: the
+            # complement is taken within the non-null fraction.
+            not_null = 1.0 - stats.null_fraction if stats is not None else 1.0
+            eq = self._column_vs_literal(ref, ComparisonOp.EQ, value)
+            return max(0.0, min(1.0, not_null - eq))
         # Range comparison.  Strict bounds subtract the boundary value's
         # own frequency so that sel(<= c) + sel(> c) ~= 1.
         if stats is not None and stats.histogram is not None:
@@ -207,12 +250,22 @@ class SelectivityEstimator:
         if not isinstance(predicate.arg, ColumnRef):
             return DEFAULT_GENERIC_SELECTIVITY
         total = 0.0
+        seen = set()
         for value in predicate.values:
             if isinstance(value, Literal):
+                # ``IN (5, 5, 5)`` matches the same rows as ``IN (5)``;
+                # repeated literals must not be summed repeatedly.
+                key = (type(value.value).__name__, value.value)
+                if key in seen:
+                    continue
+                seen.add(key)
                 total += self._column_vs_literal(
                     predicate.arg, ComparisonOp.EQ, value.value
                 )
-        return min(1.0, total)
+        # Even matching every distinct value cannot reach NULL rows.
+        stats = self.column_stats(predicate.arg)
+        cap = 1.0 - stats.null_fraction if stats is not None else 1.0
+        return max(0.0, min(cap, total))
 
 
 def _as_float(value: object) -> Optional[float]:

@@ -1,0 +1,255 @@
+"""Tests for LEO-style cardinality feedback (fingerprints, the store,
+the runtime harvest, and the Database-level loop)."""
+
+import random
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.core.optimizer import Database
+from repro.datagen import build_emp_dept
+from repro.expr import (
+    BoolExpr,
+    BoolOp,
+    Comparison,
+    ComparisonOp,
+    col,
+    eq,
+    lit,
+)
+from repro.expr.expressions import Param
+from repro.shell import Shell
+from repro.stats import SelectivityEstimator, analyze_table
+from repro.stats.feedback import (
+    CardinalityFeedback,
+    collect_fingerprints,
+    fingerprint,
+)
+
+ALIASES = {"E": "Emp", "E2": "Emp", "D": "Dept"}
+
+
+class TestFingerprint:
+    def test_alias_normalization(self):
+        a = fingerprint(eq(col("E", "dept_no"), lit(3)), ALIASES)
+        b = fingerprint(eq(col("E2", "dept_no"), lit(3)), ALIASES)
+        assert a == b == "(Emp.dept_no = 3)"
+
+    def test_literal_first_comparison_flipped(self):
+        forward = Comparison(ComparisonOp.LT, col("E", "sal"), lit(10))
+        backward = Comparison(ComparisonOp.GT, lit(10), col("E", "sal"))
+        assert fingerprint(forward, ALIASES) == fingerprint(backward, ALIASES)
+
+    def test_column_pair_ordered_lexically(self):
+        a = eq(col("E", "dept_no"), col("D", "dept_no"))
+        b = eq(col("D", "dept_no"), col("E", "dept_no"))
+        assert fingerprint(a, ALIASES) == fingerprint(b, ALIASES)
+
+    def test_conjunct_order_ignored(self):
+        p = eq(col("E", "dept_no"), lit(1))
+        q = Comparison(ComparisonOp.GT, col("E", "sal"), lit(5))
+        ab = BoolExpr(BoolOp.AND, [p, q])
+        ba = BoolExpr(BoolOp.AND, [q, p])
+        assert fingerprint(ab, ALIASES) == fingerprint(ba, ALIASES)
+
+    def test_param_is_unfingerprintable(self):
+        predicate = Comparison(ComparisonOp.GT, col("E", "sal"), Param(0))
+        assert fingerprint(predicate, ALIASES) is None
+        nested = BoolExpr(
+            BoolOp.AND, [eq(col("E", "dept_no"), lit(1)), predicate]
+        )
+        assert fingerprint(nested, ALIASES) is None
+
+    def test_none_predicate(self):
+        assert fingerprint(None, ALIASES) is None
+
+
+class TestCardinalityFeedback:
+    def test_record_and_observe(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("k", 0.25)
+        observed, confidence = store.observed("k")
+        assert observed == pytest.approx(0.25)
+        assert confidence == pytest.approx(1.0)
+
+    def test_repeated_observations_blend_geometrically(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("k", 0.01)
+        store.record("k", 1.0)
+        observed, _ = store.observed("k")
+        # Log-space mean of 0.01 and 1.0 is 0.1.
+        assert observed == pytest.approx(0.1)
+
+    def test_confidence_decays_with_age(self):
+        store = CardinalityFeedback(decay=0.5)
+        store.begin_harvest()
+        store.record("k", 0.2)
+        for _ in range(2):
+            store.begin_harvest()
+        _, confidence = store.observed("k")
+        assert confidence == pytest.approx(0.25)
+
+    def test_lru_eviction_at_capacity(self):
+        store = CardinalityFeedback(capacity=2)
+        store.begin_harvest()
+        store.record("a", 0.1)
+        store.record("b", 0.2)
+        store.record("a", 0.1)  # touch a: b becomes the LRU entry
+        store.record("c", 0.3)
+        assert store.observed("b") is None
+        assert store.observed("a") is not None
+        assert store.observed("c") is not None
+        assert len(store) == 2
+
+    def test_adjusted_full_confidence_returns_observation(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("k", 0.5)
+        assert store.adjusted("k", 0.01) == pytest.approx(0.5)
+
+    def test_adjusted_without_entry_passes_model_through(self):
+        store = CardinalityFeedback()
+        assert store.adjusted("missing", 0.37) == 0.37
+        assert store.adjusted(None, 0.37) == 0.37
+
+    def test_adjusted_clamped_to_unit_interval(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("k", 1.0)
+        assert store.adjusted("k", 0.9) <= 1.0
+
+    def test_observed_shift_ignores_new_keys(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("fresh", 0.5)
+        # "fresh" was not in the snapshot: its appearance is not a shift.
+        assert store.observed_shift({}, ["fresh"]) == 1.0
+
+    def test_observed_shift_measures_worst_ratio(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("k", 0.01)
+        snapshot = {"k": 0.1}
+        assert store.observed_shift(snapshot, ["k"]) == pytest.approx(10.0)
+
+    def test_clear(self):
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        store.record("k", 0.5)
+        store.clear()
+        assert len(store) == 0
+
+
+class TestEstimatorIntegration:
+    def test_estimator_consults_feedback(self):
+        catalog = Catalog()
+        build_emp_dept(catalog, emp_rows=500, dept_rows=25)
+        predicate = eq(col("E", "dept_no"), lit(7))
+        stats = {"E": catalog.stats("Emp")}
+        plain = SelectivityEstimator(stats)
+        model = plain.selectivity(predicate)
+        store = CardinalityFeedback()
+        store.begin_harvest()
+        key = plain.predicate_fingerprint(predicate)
+        store.record(key, 0.9)
+        corrected = SelectivityEstimator(stats, feedback=store)
+        assert corrected.selectivity(predicate) == pytest.approx(0.9)
+        assert plain.selectivity(predicate) == pytest.approx(model)
+
+
+def _feedback_db(**kwargs):
+    db = Database(**kwargs)
+    build_emp_dept(db.catalog, emp_rows=1000, dept_rows=50,
+                   rng=random.Random(19))
+    db.analyze()
+    return db
+
+
+class TestDatabaseLoop:
+    def test_execution_harvests_observations(self):
+        db = _feedback_db()
+        db.sql("SELECT E.name FROM Emp E WHERE E.sal > 100000")
+        assert db.metrics.feedback_observations >= 1
+        assert len(db.feedback) >= 1
+
+    def test_learned_selectivity_changes_later_estimates(self):
+        db = _feedback_db()
+        # Learn that sal > 30000 keeps (almost) every row...
+        db.sql("SELECT E.name FROM Emp E WHERE E.sal > 30000")
+        keys = [k for k, _ in db.feedback.entries()]
+        assert any("Emp.sal" in k for k in keys)
+        # ...then a *different* query text with the same predicate must
+        # see the corrected estimate at optimization time.
+        before_hits = db.feedback.hits
+        db.sql("SELECT E.emp_no FROM Emp E WHERE E.sal > 30000")
+        assert db.feedback.hits > before_hits
+
+    def test_feedback_disabled(self):
+        db = _feedback_db(use_feedback=False)
+        db.sql("SELECT E.name FROM Emp E WHERE E.sal > 100000")
+        assert db.feedback is None
+        assert db.metrics.feedback_observations == 0
+
+    def test_results_identical_with_and_without_feedback(self):
+        queries = [
+            "SELECT E.name FROM Emp E WHERE E.sal > 90000",
+            "SELECT E.name, D.name FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no AND E.age < 40",
+            "SELECT D.name, COUNT(*) FROM Emp E, Dept D "
+            "WHERE E.dept_no = D.dept_no GROUP BY D.name",
+        ]
+        with_fb = _feedback_db(use_feedback=True)
+        without_fb = _feedback_db(use_feedback=False)
+        for _ in range(3):  # repeated passes let feedback re-plan
+            for sql in queries:
+                got = sorted(map(tuple, with_fb.sql(sql).rows))
+                want = sorted(map(tuple, without_fb.sql(sql).rows))
+                assert got == want
+
+    def test_misestimate_evicts_cached_plan(self):
+        db = _feedback_db()
+        db.metrics.feedback_reoptimizations = 0
+        # Force a wildly wrong stored belief for a harvested fingerprint,
+        # then execute: the residual misestimate must evict the plan.
+        sql = "SELECT E.name FROM Emp E WHERE E.sal > 30000"
+        result = db.sql(sql)
+        keys = collect_fingerprints(result.plan)
+        assert keys, "plan must carry fingerprints"
+        db.plan_cache.clear()
+        db.feedback.clear()
+        db.feedback.begin_harvest()
+        for key in keys:
+            db.feedback.record(key, 1e-6)  # sal > 30000 actually keeps ~all
+        db.sql(sql)  # plans with sel ~1e-6; actual says ~1.0 -> evict
+        assert db.metrics.feedback_reoptimizations >= 1
+
+    def test_prepared_statements_unaffected(self):
+        # Params have no fingerprint: prepared plans are never harvested
+        # or evicted by feedback, so cache hit counts stay exact.
+        db = _feedback_db()
+        db.prepare("q", "SELECT E.name FROM Emp E WHERE E.sal > ?")
+        for _ in range(5):
+            db.execute_prepared("q", 100000.0)
+        assert db.metrics.feedback_reoptimizations == 0
+        assert db.plan_cache.hits >= 5
+
+
+class TestShellCommand:
+    def test_feedback_command(self):
+        shell = Shell(_feedback_db())
+        shell.run_command("SELECT E.name FROM Emp E WHERE E.sal > 100000")
+        out = shell.run_command("\\feedback")
+        assert "feedback entries:" in out
+        assert "Emp.sal" in out
+
+    def test_feedback_clear(self):
+        shell = Shell(_feedback_db())
+        shell.run_command("SELECT E.name FROM Emp E WHERE E.sal > 100000")
+        assert shell.run_command("\\feedback clear") == "feedback store cleared"
+        assert len(shell.db.feedback) == 0
+
+    def test_feedback_disabled_message(self):
+        shell = Shell(Database(use_feedback=False))
+        assert "disabled" in shell.run_command("\\feedback")

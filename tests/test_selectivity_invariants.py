@@ -1,0 +1,219 @@
+"""Property-style invariants of the selectivity model (Section 5.1.2).
+
+These pin down the algebraic identities the estimators must respect:
+range complements partition the non-null fraction, negations stay in
+[0, 1] under damping, IN-lists ignore duplicates and cannot reach NULL
+rows, and histogram joins track exact counts within their error budget.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datagen import build_emp_dept, zipf_values
+from repro.expr import (
+    Comparison,
+    ComparisonOp,
+    InList,
+    NotExpr,
+    col,
+    eq,
+    lit,
+)
+from repro.stats import (
+    Bucket,
+    CompressedHistogram,
+    Histogram,
+    SelectivityEstimator,
+    TableStats,
+    compute_column_stats,
+    join_histograms,
+)
+
+
+def _estimator_for_values(values, histogram_kind, damping=1.0):
+    stats = TableStats(
+        "T",
+        row_count=len(values),
+        page_count=max(1, len(values) // 50),
+        columns={"x": compute_column_stats("x", values, histogram_kind)},
+    )
+    return SelectivityEstimator({"T": stats}, damping=damping)
+
+
+def _le(value):
+    return Comparison(ComparisonOp.LE, col("T", "x"), lit(value))
+
+
+def _gt(value):
+    return Comparison(ComparisonOp.GT, col("T", "x"), lit(value))
+
+
+class TestRangeComplement:
+    """sel(x <= c) + sel(x > c) must partition the non-null fraction."""
+
+    def test_histogrammed_no_nulls(self):
+        rng = random.Random(31)
+        values = [rng.randint(1, 200) for _ in range(2000)]
+        estimator = _estimator_for_values(values, "equi-depth")
+        for cutoff in (10, 50, 100, 150, 199):
+            total = estimator.selectivity(_le(cutoff)) + estimator.selectivity(
+                _gt(cutoff)
+            )
+            assert total == pytest.approx(1.0, abs=0.05)
+
+    def test_interpolated_no_histogram(self):
+        values = list(range(1, 101))
+        estimator = _estimator_for_values(values, None)
+        for cutoff in (10, 50, 90):
+            total = estimator.selectivity(_le(cutoff)) + estimator.selectivity(
+                _gt(cutoff)
+            )
+            assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_histogrammed_with_nulls(self):
+        rng = random.Random(32)
+        values = [rng.randint(1, 200) for _ in range(1800)] + [None] * 200
+        estimator = _estimator_for_values(values, "equi-depth")
+        for cutoff in (10, 100, 199):
+            total = estimator.selectivity(_le(cutoff)) + estimator.selectivity(
+                _gt(cutoff)
+            )
+            assert total == pytest.approx(0.9, abs=0.05)
+
+    def test_interpolated_with_nulls(self):
+        values = list(range(1, 101)) * 3 + [None] * 100
+        estimator = _estimator_for_values(values, None)
+        total = estimator.selectivity(_le(50)) + estimator.selectivity(_gt(50))
+        assert total == pytest.approx(0.75, abs=1e-9)
+
+
+class TestNegationInvariants:
+    def test_ne_capped_by_non_null_fraction(self):
+        values = [1, 1, 2, 3, 4, None, None, None, None, None]
+        estimator = _estimator_for_values(values, None)
+        ne = estimator.selectivity(
+            Comparison(ComparisonOp.NE, col("T", "x"), lit(1))
+        )
+        assert 0.0 <= ne <= 0.5
+
+    def test_ne_plus_eq_equals_non_null_fraction(self):
+        values = [1, 1, 2, 3] * 25 + [None] * 20
+        estimator = _estimator_for_values(values, None)
+        eq_sel = estimator.selectivity(eq(col("T", "x"), lit(1)))
+        ne_sel = estimator.selectivity(
+            Comparison(ComparisonOp.NE, col("T", "x"), lit(1))
+        )
+        assert eq_sel + ne_sel == pytest.approx(1.0 - 20.0 / 120.0, abs=0.02)
+
+    def test_not_complement_in_unit_interval_under_damping(self):
+        values = [1, 2, 3, 4, 5] * 20 + [None] * 10
+        for damping in (1.0, 0.5):
+            estimator = _estimator_for_values(values, None, damping=damping)
+            for literal in (0, 1, 3, 99):
+                predicate = eq(col("T", "x"), lit(literal))
+                for shape in (predicate, NotExpr(predicate),
+                              Comparison(ComparisonOp.NE, col("T", "x"),
+                                         lit(literal))):
+                    sel = estimator.selectivity(shape)
+                    assert 0.0 <= sel <= 1.0
+
+    def test_not_is_complement_undamped(self):
+        values = [1, 2, 3, 4] * 25
+        estimator = _estimator_for_values(values, None)
+        predicate = eq(col("T", "x"), lit(2))
+        assert estimator.selectivity(NotExpr(predicate)) == pytest.approx(
+            1.0 - estimator.selectivity(predicate)
+        )
+
+
+class TestInListInvariants:
+    def test_duplicate_literals_counted_once(self):
+        values = [1, 2, 3, 4, 5] * 40
+        estimator = _estimator_for_values(values, None)
+        once = estimator.selectivity(InList(col("T", "x"), [lit(5)]))
+        thrice = estimator.selectivity(
+            InList(col("T", "x"), [lit(5), lit(5), lit(5)])
+        )
+        assert thrice == pytest.approx(once)
+
+    def test_exhaustive_list_capped_by_non_null_fraction(self):
+        values = [1, 2, 3, 4] * 20 + [None] * 20
+        estimator = _estimator_for_values(values, None)
+        in_all = InList(col("T", "x"), [lit(v) for v in (1, 2, 3, 4)] * 3)
+        assert estimator.selectivity(in_all) <= 0.8 + 1e-9
+
+    def test_emp_dept_in_list_bounds(self):
+        catalog = Catalog()
+        build_emp_dept(catalog, emp_rows=400, dept_rows=20)
+        estimator = SelectivityEstimator({"E": catalog.stats("Emp")})
+        in_list = InList(
+            col("E", "dept_no"), [lit(v) for v in range(1, 21)] * 2
+        )
+        assert 0.0 <= estimator.selectivity(in_list) <= 1.0
+
+
+class TestHistogramJoin:
+    def test_zipfian_join_within_2x(self):
+        rng = random.Random(33)
+        left_values = zipf_values(2000, 100, 1.1, rng=rng)
+        right_values = zipf_values(1500, 100, 1.1, rng=rng)
+        left = CompressedHistogram.from_values(left_values, 20)
+        right = CompressedHistogram.from_values(right_values, 20)
+        estimate, output = join_histograms(left, right)
+        left_counts = Counter(left_values)
+        right_counts = Counter(right_values)
+        exact = sum(
+            count * right_counts.get(value, 0)
+            for value, count in left_counts.items()
+        )
+        assert exact > 0
+        assert estimate == pytest.approx(exact, rel=1.0)  # within 2x
+        assert output.total_rows == pytest.approx(estimate, rel=0.01)
+
+    def test_singleton_on_shared_bucket_edge_not_dropped(self):
+        # Regression: a frequent value's singleton bucket contributes its
+        # own low/high to the boundary union, so every pair slice that
+        # contains it *starts* exactly at the singleton.  The old
+        # strictly-interior test (lo < low < hi) dropped such singletons
+        # from every slice, erasing frequent values from join estimates.
+        left = Histogram(
+            [
+                Bucket(0, 10, 50, 10),
+                Bucket(10, 10, 100, 1),  # frequent value on the edge
+                Bucket(10, 20, 50, 10),
+            ]
+        )
+        right = Histogram([Bucket(0, 20, 200, 20)])
+        estimate, _output = join_histograms(left, right)
+        # The frequent value alone joins 100 * (200/20) = 1000 rows; the
+        # estimate must retain at least that order of contribution.
+        assert estimate >= 1000.0
+
+    def test_shared_singletons_counted_exactly_once(self):
+        # Both sides know value 10 exactly: the point slice must supply
+        # the exact product, and the pair slices must not double it.
+        left = Histogram([Bucket(10, 10, 100, 1)])
+        right = Histogram([Bucket(10, 10, 30, 1)])
+        estimate, _output = join_histograms(left, right)
+        assert estimate == pytest.approx(100 * 30)
+
+    def test_compressed_zipf_frequent_value_on_boundary(self):
+        # End-to-end shape of the regression: Zipf data where the mode is
+        # heavy enough for a singleton bucket in both histograms.
+        rng = random.Random(34)
+        left_values = zipf_values(1000, 30, 1.5, rng=rng)
+        right_values = zipf_values(1000, 30, 1.5, rng=rng)
+        left = CompressedHistogram.from_values(left_values, 10)
+        right = CompressedHistogram.from_values(right_values, 10)
+        assert any(b.width == 0 for b in left.buckets)
+        estimate, _output = join_histograms(left, right)
+        left_counts = Counter(left_values)
+        right_counts = Counter(right_values)
+        exact = sum(
+            count * right_counts.get(value, 0)
+            for value, count in left_counts.items()
+        )
+        assert estimate == pytest.approx(exact, rel=1.0)  # within 2x
