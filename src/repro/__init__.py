@@ -30,6 +30,7 @@ from repro.core.optimizer import (
 )
 from repro.core.systemr.enumerator import EnumeratorConfig
 from repro.cost.parameters import CostParameters
+from repro.engine.adaptive import AdaptiveConfig
 from repro.engine.context import QueryMetrics
 from repro.engine.governor import (
     CancellationToken,
@@ -42,6 +43,7 @@ from repro.storage.faults import FaultConfig, FaultInjector
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveConfig",
     "CancellationToken",
     "Catalog",
     "Column",

@@ -56,6 +56,7 @@ from repro.physical.plans import (
 from repro.physical.properties import SortOrder, order_satisfies
 from repro.core.cascades.memo import Group, Memo, MExpr, Winner
 from repro.core.systemr.access import generate_access_paths
+from repro.core.systemr.enumerator import SystemRJoinEnumerator
 from repro.core.systemr.orders import equivalence_classes
 from repro.stats.propagation import CardinalityEstimator
 from repro.stats.summaries import TableStats
@@ -84,11 +85,19 @@ class CascadesConfig:
         use_pruning: branch-and-bound on the running best cost.
         promise: implementation-rule priority order (highest first);
             the paper's programmable "promise of an action".
+        risk_aware: mirror of the System-R enumerator's knob -- cost
+            candidates a second time at the high end of the cardinality
+            uncertainty interval and break near-ties on expected cost by
+            least worst-case cost.
+        risk_epsilon: relative expected-cost window within which two
+            plans count as tied for the risk tie-break.
     """
 
     allow_cartesian: bool = False
     use_pruning: bool = True
     promise: Tuple[str, ...] = ("hash", "merge", "inl", "nl")
+    risk_aware: bool = False
+    risk_epsilon: float = 0.1
 
 
 class CascadesOptimizer:
@@ -117,6 +126,7 @@ class CascadesOptimizer:
         self.memo = Memo()
         self.stats = CascadesStats()
         self._rows_cache: Dict[FrozenSet[str], float] = {}
+        self._interval_cache: Dict[FrozenSet[str], Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -228,7 +238,25 @@ class CascadesOptimizer:
             if self.config.use_pruning and plan.est_cost.total > limit:
                 self.stats.pruned_by_bound += 1
                 return
-            if best is None or plan.est_cost.total < best.cost.total:
+            if best is None:
+                best = Winner(plan=plan, cost=plan.est_cost)
+                return
+            cost = plan.est_cost.total
+            if self.config.risk_aware:
+                # Risk-aware near-tie: within (1 + epsilon) on expected
+                # cost, the winner is the plan with the least worst-case
+                # cost over the uncertainty interval.
+                low = min(cost, best.cost.total)
+                if max(cost, best.cost.total) <= low * (
+                    1.0 + self.config.risk_epsilon
+                ):
+                    if (self._plan_hi(plan), cost) < (
+                        self._plan_hi(best.plan),
+                        best.cost.total,
+                    ):
+                        best = Winner(plan=plan, cost=plan.est_cost)
+                    return
+            if cost < best.cost.total:
                 best = Winner(plan=plan, cost=plan.est_cost)
 
         if len(aliases) == 1:
@@ -237,6 +265,11 @@ class CascadesOptimizer:
                 alias, self.graph, self.catalog, self.estimator, self.params
             ):
                 self.stats.implementation_rules_fired += 1
+                if self.config.risk_aware:
+                    hi_rows = self._rows_hi(aliases)
+                    path.est_cost_hi = path.est_cost.total
+                    if SystemRJoinEnumerator._card_sensitive(path):
+                        path.est_cost_hi *= hi_rows / max(path.est_rows, 1.0)
                 consider(path)
         else:
             for mexpr in group.mexprs:
@@ -261,6 +294,12 @@ class CascadesOptimizer:
             plan.est_rows, self._pages(aliases, plan.est_rows), self.params
         )
         sort.order = required
+        if self.config.risk_aware:
+            hi_rows = self._rows_hi(aliases)
+            extra_hi = cost_sort(
+                hi_rows, self._pages(aliases, hi_rows), self.params
+            )
+            sort.est_cost_hi = self._plan_hi(plan) + extra_hi.total
         return sort
 
     # ------------------------------------------------------------------
@@ -345,6 +384,21 @@ class CascadesOptimizer:
         plan.est_rows = rows
         plan.est_cost = left.cost + right.cost + join_cost
         plan.order = None
+        if self.config.risk_aware:
+            build_hi = self._rows_hi(right_set)
+            probe_hi = self._rows_hi(left_set)
+            join_hi = cost_hash_join(
+                build_hi,
+                self._pages(right_set, build_hi),
+                probe_hi,
+                pages_for_rows(probe_hi, 16.0, self.params),
+                self._rows_hi(left_set | right_set),
+                self.params,
+            )
+            plan.est_cost_hi = (
+                self._plan_hi(left.plan) + self._plan_hi(right.plan)
+                + join_hi.total
+            )
         return plan
 
     def _impl_merge(
@@ -376,6 +430,17 @@ class CascadesOptimizer:
         plan.est_rows = rows
         plan.est_cost = left.cost + right.cost + join_cost
         plan.order = left_order
+        if self.config.risk_aware:
+            join_hi = cost_merge_join(
+                self._rows_hi(left_set),
+                self._rows_hi(right_set),
+                self._rows_hi(left_set | right_set),
+                self.params,
+            )
+            plan.est_cost_hi = (
+                self._plan_hi(left.plan) + self._plan_hi(right.plan)
+                + join_hi.total
+            )
         return plan
 
     def _impl_inl(
@@ -433,6 +498,17 @@ class CascadesOptimizer:
             plan.est_rows = rows
             plan.est_cost = left.cost + join_cost
             plan.order = left.plan.order
+            if self.config.risk_aware:
+                join_hi = cost_index_nested_loop_join(
+                    self._rows_hi(left_set),
+                    max(table.row_count * selectivity, 0.0),
+                    float(table.row_count),
+                    float(table.page_count),
+                    index.height,
+                    index.definition.clustered,
+                    self.params,
+                )
+                plan.est_cost_hi = self._plan_hi(left.plan) + join_hi.total
             plans.append(plan)
         return plans
 
@@ -466,6 +542,24 @@ class CascadesOptimizer:
         plan.est_rows = rows
         plan.est_cost = left.cost + inner.est_cost + join_cost
         plan.order = left.plan.order
+        if self.config.risk_aware:
+            inner_hi_rows = self._rows_hi(right_set)
+            outer_hi_rows = self._rows_hi(left_set)
+            rescan_hi = Cost(cpu=inner_hi_rows * self.params.cpu_tuple_cost)
+            join_hi = cost_nested_loop_join(
+                outer_hi_rows,
+                rescan_hi,
+                inner_hi_rows,
+                len(conjuncts(predicate)),
+                self.params,
+            )
+            mat_hi = cost_materialize(
+                inner_hi_rows, self._pages(right_set, inner_hi_rows), self.params
+            )
+            plan.est_cost_hi = (
+                self._plan_hi(left.plan) + self._plan_hi(right.plan)
+                + mat_hi.total + join_hi.total
+            )
         return plan
 
     # ------------------------------------------------------------------
@@ -502,6 +596,20 @@ class CascadesOptimizer:
                 aliases, self.graph
             )
         return self._rows_cache[aliases]
+
+    def _rows_hi(self, aliases: FrozenSet[str]) -> float:
+        if aliases not in self._interval_cache:
+            self._interval_cache[aliases] = self.estimator.relation_set_interval(
+                aliases, self.graph
+            )
+        return self._interval_cache[aliases][1]
+
+    @staticmethod
+    def _plan_hi(plan: PhysicalOp) -> float:
+        """Worst-case cost of a (sub)plan; expected cost when unstamped."""
+        if plan.est_cost_hi is not None:
+            return plan.est_cost_hi
+        return plan.est_cost.total
 
     def _pages(self, aliases: FrozenSet[str], rows: float) -> float:
         width = sum(

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.engine.adaptive import AdaptiveConfig, AdaptiveState
 from repro.engine.context import ExecContext, QueryMetrics
 from repro.engine.executor import execute
 from repro.engine.governor import CancellationToken, QueryBudget
@@ -81,6 +82,9 @@ class Optimizer:
         feedback: optional cardinality-feedback store; observed
             selectivities correct the model's estimates everywhere this
             optimizer estimates cardinalities.
+        adaptive: optional progressive-optimization config; when enabled
+            the physicalizer wraps materialization points in validity-
+            range CHECK operators (see :mod:`repro.engine.adaptive`).
     """
 
     def __init__(
@@ -93,6 +97,7 @@ class Optimizer:
         rule_engine: Optional[RuleEngine] = None,
         use_materialized_views: bool = True,
         feedback: Optional[CardinalityFeedback] = None,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
         self.catalog = catalog
         self.params = params
@@ -101,7 +106,9 @@ class Optimizer:
         self.use_rewrites = use_rewrites
         self.rule_engine = rule_engine or default_rule_engine()
         self.feedback = feedback
-        self.physicalizer = Physicalizer(catalog, params, config, feedback=feedback)
+        self.physicalizer = Physicalizer(
+            catalog, params, config, feedback=feedback, adaptive=adaptive
+        )
         self.use_materialized_views = use_materialized_views
 
     # ------------------------------------------------------------------
@@ -146,7 +153,7 @@ class Optimizer:
         rewritten = logical
         if self.use_rewrites:
             rewritten = self.rule_engine.rewrite(logical, context)
-        physical = self.physicalizer.physicalize(rewritten)
+        physical = self.physicalizer.plan_query(rewritten)
         return OptimizedQuery(
             block=block,
             logical=logical,
@@ -378,6 +385,7 @@ class Database:
         budget: Optional[QueryBudget] = None,
         fault_injector: Optional[FaultInjector] = None,
         use_feedback: bool = True,
+        adaptive: Optional[AdaptiveConfig] = None,
     ) -> None:
         self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
         self.params = params
@@ -393,6 +401,7 @@ class Database:
         self.feedback: Optional[CardinalityFeedback] = (
             CardinalityFeedback() if use_feedback else None
         )
+        self.adaptive = adaptive
         self._plan_failures: Dict[PlanCacheKey, int] = {}
         self._conservative_keys: Set[PlanCacheKey] = set()
 
@@ -456,6 +465,7 @@ class Database:
             udfs=self.udfs,
             use_rewrites=self.use_rewrites,
             feedback=self.feedback,
+            adaptive=self.adaptive,
         )
 
     def optimize(self, sql: str) -> OptimizedQuery:
@@ -559,7 +569,44 @@ class Database:
         context.cancel_token = self.cancel_token
         context.fault_injector = self.fault_injector
         context.feedback = self.feedback
+        if self.adaptive is not None and self.adaptive.enabled:
+            context.adaptive = AdaptiveState(self.adaptive)
         return context
+
+    def _arm_replanner(
+        self, context: ExecContext, optimized: OptimizedQuery
+    ) -> None:
+        """Give the adaptive state a way to re-optimize mid-query.
+
+        The closure re-optimizes the original query block *uncached*, so
+        the replan sees the cardinalities just harvested into the
+        feedback store; the executor then splices the materialized
+        intermediates back in (see ``splice_checkpoints``).
+        """
+        if context.adaptive is None:
+            return
+
+        def replan() -> PhysicalOp:
+            return self.optimizer().optimize_block(optimized.block).physical
+
+        context.adaptive.replanner = replan
+
+    def _fold_adaptive_metrics(
+        self, context: ExecContext, cache_key: Optional[PlanCacheKey] = None
+    ) -> None:
+        state = context.adaptive
+        if state is None:
+            return
+        self.metrics.adaptive_checks_fired += state.checks_fired
+        self.metrics.adaptive_reoptimizations += state.reoptimizations
+        self.metrics.adaptive_checkpoints_reused += state.checkpoints_reused
+        if state.reoptimizations > 0 and cache_key is not None:
+            # The plan this execution started from was abandoned mid-run.
+            # The closing harvest measures the *corrected* plan, so the
+            # residual-misestimate trigger will not fire -- evict here so
+            # the next request plans with the harvested actuals instead
+            # of replaying the whole fire-and-replan cycle.
+            self.plan_cache.evict(cache_key)
 
     def _note_execution_failure(
         self, cache_key: Optional[PlanCacheKey], error: ReproError
@@ -598,6 +645,7 @@ class Database:
         cache_key: Optional[PlanCacheKey] = None,
     ) -> QueryResult:
         context = self._make_context()
+        self._arm_replanner(context, optimized)
         start = time.perf_counter()
         try:
             schema, rows = execute(
@@ -606,17 +654,22 @@ class Database:
         except ReproError as error:
             self.metrics.execute_seconds += time.perf_counter() - start
             self.metrics.fault_retries += context.counters.retries
+            self._fold_adaptive_metrics(context, cache_key)
             self._note_execution_failure(cache_key, error)
             raise
         self.metrics.execute_seconds += time.perf_counter() - start
         self.metrics.record_execution(context, len(rows))
+        self._fold_adaptive_metrics(context, cache_key)
         if cache_key is not None:
             self._plan_failures.pop(cache_key, None)
         self._note_feedback_harvest(context, cache_key)
+        plan = optimized.physical
+        if context.adaptive is not None and context.adaptive.final_plan is not None:
+            plan = context.adaptive.final_plan
         return QueryResult(
             schema=schema,
             rows=rows,
-            plan=optimized.physical,
+            plan=plan,
             context=context,
             rewrite_trace=optimized.rewrite_trace,
             from_plan_cache=from_cache,
@@ -658,18 +711,26 @@ class Database:
             result.from_plan_cache = from_cache
             return result
         context = self._make_context()
+        self._arm_replanner(context, optimized)
         start = time.perf_counter()
         schema, rows = execute(optimized.physical, self.catalog, context)
         self.metrics.execute_seconds += time.perf_counter() - start
         self.metrics.record_execution(context, len(rows))
+        self._fold_adaptive_metrics(context, key)
         self._note_feedback_harvest(context, key)
+        rendered_plan = optimized.physical
+        if context.adaptive is not None and context.adaptive.final_plan is not None:
+            rendered_plan = context.adaptive.final_plan
         rendering = render_explain_analyze(
-            optimized.physical, context.runtime, optimize_seconds=opt_seconds
+            rendered_plan,
+            context.runtime,
+            optimize_seconds=opt_seconds,
+            context=context,
         )
         lines = rendering.splitlines()
         lines.append(f"({len(rows)} rows)")
         result = _text_result("explain", "QUERY PLAN", lines)
-        result.plan = optimized.physical
+        result.plan = rendered_plan
         result.context = context
         result.from_plan_cache = from_cache
         return result

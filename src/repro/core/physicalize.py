@@ -85,6 +85,9 @@ class Physicalizer:
         config: enumerator knobs for SPJ regions.
         feedback: optional store of runtime-observed selectivities,
             consulted by every estimator this physicalizer builds.
+        adaptive: progressive-optimization knobs; when enabled,
+            :meth:`plan_query` wraps materialization points of the final
+            plan in validity-range CHECK operators.
     """
 
     def __init__(
@@ -93,11 +96,32 @@ class Physicalizer:
         params: CostParameters = DEFAULT_PARAMETERS,
         config: EnumeratorConfig = EnumeratorConfig(),
         feedback=None,
+        adaptive=None,
     ) -> None:
         self.catalog = catalog
         self.params = params
         self.config = config
         self.feedback = feedback
+        self.adaptive = adaptive
+
+    # ------------------------------------------------------------------
+    def plan_query(
+        self, op: LogicalOp, required_order: Optional[SortOrder] = None
+    ) -> PhysicalOp:
+        """Physicalize a complete query tree.
+
+        Unlike :meth:`physicalize` (which is re-entered recursively for
+        subtrees), this runs exactly once per query, so it is the safe
+        place to decorate the finished plan: with adaptivity enabled,
+        validity-range CHECK operators are inserted at materialization
+        points here.
+        """
+        plan = self.physicalize(op, required_order)
+        if self.adaptive is not None and self.adaptive.enabled:
+            from repro.engine.adaptive import insert_checks
+
+            plan = insert_checks(plan, self.catalog, self.params, self.adaptive)
+        return plan
 
     # ------------------------------------------------------------------
     def physicalize(

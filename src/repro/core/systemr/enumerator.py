@@ -39,6 +39,7 @@ from repro.logical.operators import JoinKind
 from repro.logical.querygraph import QueryGraph
 from repro.physical.plans import (
     HashJoinP,
+    IndexScanP,
     INLJoinP,
     MaterializeP,
     MergeJoinP,
@@ -76,6 +77,14 @@ class EnumeratorConfig:
             estimator inflates selectivities toward 1, yielding the
             conservative cardinalities used when re-optimizing a plan
             that failed at runtime.
+        risk_aware: cost plans a second time at the high end of the
+            cardinality uncertainty interval and break near-ties on
+            expected cost by least worst-case cost, so a plan that is
+            marginally cheaper on paper but catastrophic if the estimate
+            is low (the classic warm-index-nested-loop trap) loses to a
+            robust alternative.
+        risk_epsilon: relative expected-cost window within which two
+            plans count as tied for the risk tie-break.
     """
 
     bushy: bool = False
@@ -84,6 +93,8 @@ class EnumeratorConfig:
     join_algorithms: Tuple[str, ...] = ("nl", "inl", "merge", "hash")
     naive: bool = False
     damping: float = 1.0
+    risk_aware: bool = False
+    risk_epsilon: float = 0.1
 
 
 @dataclass
@@ -97,13 +108,20 @@ class EnumeratorStats:
 
 @dataclass
 class PlanEntry:
-    """One retained plan for a relation subset."""
+    """One retained plan for a relation subset.
+
+    ``rows_hi``/``cost_hi`` carry the high end of the cardinality
+    uncertainty interval and the plan's cost re-evaluated there; with
+    ``risk_aware`` off they degenerate to ``rows``/``cost.total``.
+    """
 
     plan: PhysicalOp
     cost: Cost
     rows: float
     order: Optional[SortOrder]
     satisfied: FrozenSet[SortOrder]
+    rows_hi: float = 0.0
+    cost_hi: float = 0.0
 
 
 class SystemRJoinEnumerator:
@@ -141,6 +159,7 @@ class SystemRJoinEnumerator:
         self.stats = EnumeratorStats()
         self._table: Dict[FrozenSet[str], List[PlanEntry]] = {}
         self._width_cache: Dict[FrozenSet[str], float] = {}
+        self._interval_cache: Dict[FrozenSet[str], Tuple[float, float]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -167,45 +186,85 @@ class SystemRJoinEnumerator:
     ) -> Tuple[PhysicalOp, Cost]:
         """The cheapest full plan, adding a final sort if an order is required."""
         entries = self._table.get(frozenset(self.graph.aliases)) or self.run()
-        best: Optional[Tuple[PhysicalOp, Cost]] = None
+        full = frozenset(self.graph.aliases)
+        candidates: List[Tuple[PhysicalOp, Cost, float]] = []
         for entry in entries:
-            plan, cost = entry.plan, entry.cost
+            plan, cost, cost_hi = entry.plan, entry.cost, entry.cost_hi
             if required_order and not order_satisfies(
                 entry.order, required_order, self.equivalences
             ):
                 sort = SortP(plan, required_order)
                 sort.est_rows = entry.rows
                 extra = cost_sort(
-                    entry.rows, self._pages(frozenset(self.graph.aliases), entry.rows),
-                    self.params,
+                    entry.rows, self._pages(full, entry.rows), self.params
                 )
                 sort.est_cost = cost + extra
                 sort.order = required_order
+                extra_hi = cost_sort(
+                    entry.rows_hi, self._pages(full, entry.rows_hi), self.params
+                )
                 plan, cost = sort, sort.est_cost
-            if best is None or cost.total < best[1].total:
-                best = (plan, cost)
-        assert best is not None
-        return best
+                cost_hi = entry.cost_hi + extra_hi.total
+            candidates.append((plan, cost, cost_hi))
+        best = min(candidates, key=lambda c: c[1].total)
+        if self.config.risk_aware:
+            # Risk-aware tie-break: among plans whose expected cost is
+            # within (1 + epsilon) of the cheapest, prefer the least
+            # worst-case cost over the uncertainty interval.
+            window = best[1].total * (1.0 + self.config.risk_epsilon)
+            near = [c for c in candidates if c[1].total <= window]
+            best = min(near, key=lambda c: (c[2], c[1].total))
+        plan, cost, cost_hi = best
+        plan.est_cost_hi = max(cost_hi, cost.total)
+        return plan, cost
 
     # ------------------------------------------------------------------
     # Seeding: access paths
     # ------------------------------------------------------------------
     def _seed_relation(self, alias: str) -> None:
         entries: List[PlanEntry] = []
+        subset = frozenset((alias,))
+        rows_hi: Optional[float] = None
+        if self.config.risk_aware:
+            rows_hi = self._subset_hi(subset)
         for path in generate_access_paths(
             alias, self.graph, self.catalog, self.estimator, self.params
         ):
             self.stats.plans_considered += 1
+            cost_hi = path.est_cost.total
+            if rows_hi is not None and self._card_sensitive(path):
+                # An index scan's cost is per matching row; a sequential
+                # scan reads the whole table no matter what the predicate
+                # selects, so only the former inflates at the high bound.
+                cost_hi *= rows_hi / max(path.est_rows, 1.0)
             entry = PlanEntry(
                 plan=path,
                 cost=path.est_cost,
                 rows=path.est_rows,
                 order=path.order,
                 satisfied=self._satisfied(path.order),
+                rows_hi=path.est_rows if rows_hi is None else rows_hi,
+                cost_hi=cost_hi,
             )
             self._insert(entries, entry)
-        self._table[frozenset((alias,))] = entries
+        self._table[subset] = entries
         self.stats.entries_retained += len(entries)
+
+    @staticmethod
+    def _card_sensitive(op: PhysicalOp) -> bool:
+        if isinstance(op, IndexScanP):
+            return True
+        return any(
+            SystemRJoinEnumerator._card_sensitive(child)
+            for child in op.children()
+        )
+
+    def _subset_hi(self, subset: FrozenSet[str]) -> float:
+        if subset not in self._interval_cache:
+            self._interval_cache[subset] = self.estimator.relation_set_interval(
+                subset, self.graph
+            )
+        return self._interval_cache[subset][1]
 
     # ------------------------------------------------------------------
     # DP step
@@ -233,13 +292,14 @@ class SystemRJoinEnumerator:
             else:
                 return
         rows = self.estimator.relation_set_cardinality(subset, self.graph)
+        rows_hi = self._subset_hi(subset) if self.config.risk_aware else rows
         for left_set, right_set in usable:
             left_entries = self._table.get(left_set, [])
             right_entries = self._table.get(right_set, [])
             if not left_entries or not right_entries:
                 continue
             for candidate in self._join_candidates(
-                left_set, right_set, left_entries, right_entries, rows
+                left_set, right_set, left_entries, right_entries, rows, rows_hi
             ):
                 self._insert(entries, candidate)
         if entries:
@@ -270,6 +330,7 @@ class SystemRJoinEnumerator:
         left_entries: List[PlanEntry],
         right_entries: List[PlanEntry],
         rows: float,
+        rows_hi: float,
     ):
         predicate = self.graph.connecting_predicate(left_set, right_set)
         equi_pairs, residual = self._split_equi(predicate, left_set, right_set)
@@ -282,24 +343,25 @@ class SystemRJoinEnumerator:
             if "nl" in algorithms:
                 for right in right_entries:
                     yield self._nested_loop(
-                        left, right, right_set, predicate, rows, edge_fp
+                        left, right, right_set, predicate, rows, rows_hi,
+                        edge_fp,
                     )
             if "inl" in algorithms and len(right_set) == 1 and equi_pairs:
                 yield from self._index_nested_loop(
                     left, next(iter(right_set)), equi_pairs, residual, rows,
-                    edge_fp,
+                    rows_hi, edge_fp,
                 )
             if "merge" in algorithms and equi_pairs:
                 for right in right_entries:
                     yield self._merge(
                         left, right, left_set, right_set, equi_pairs, residual,
-                        rows, edge_fp,
+                        rows, rows_hi, edge_fp,
                     )
             if "hash" in algorithms and equi_pairs:
                 for right in right_entries:
                     yield self._hash(
                         left, right, right_set, equi_pairs, residual, rows,
-                        edge_fp,
+                        rows_hi, edge_fp,
                     )
 
     def _split_equi(
@@ -334,6 +396,7 @@ class SystemRJoinEnumerator:
         right_set: FrozenSet[str],
         predicate: Optional[Expr],
         rows: float,
+        rows_hi: float,
         edge_fp: Optional[str] = None,
     ) -> PlanEntry:
         self.stats.plans_considered += 1
@@ -353,7 +416,20 @@ class SystemRJoinEnumerator:
         plan.est_cost = left.cost + inner.est_cost + join_cost
         plan.order = left.order  # NL preserves the outer order
         plan.feedback_fingerprint = edge_fp
-        return self._entry(plan)
+        cost_hi = None
+        if self.config.risk_aware:
+            rescan_hi = Cost(cpu=right.rows_hi * self.params.cpu_tuple_cost)
+            join_hi = cost_nested_loop_join(
+                left.rows_hi, rescan_hi, right.rows_hi,
+                len(conjuncts(predicate)), self.params,
+            )
+            inner_hi = cost_materialize(
+                right.rows_hi, self._pages(right_set, right.rows_hi), self.params
+            )
+            cost_hi = (
+                left.cost_hi + right.cost_hi + inner_hi.total + join_hi.total
+            )
+        return self._entry(plan, cost_hi=cost_hi, rows_hi=rows_hi)
 
     def _index_nested_loop(
         self,
@@ -362,6 +438,7 @@ class SystemRJoinEnumerator:
         equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
         residual: Optional[Expr],
         rows: float,
+        rows_hi: float,
         edge_fp: Optional[str] = None,
     ):
         node = self.graph.node(inner_alias)
@@ -419,7 +496,23 @@ class SystemRJoinEnumerator:
                 # operator's output no longer reflects the join edge
                 # alone; only the clean case is attributed to the edge.
                 plan.feedback_fingerprint = edge_fp
-            yield self._entry(plan)
+            cost_hi = None
+            if self.config.risk_aware:
+                # The INL trap: per-probe cost looks negligible at the
+                # estimated outer cardinality (warm buffer pool), but it
+                # is paid once per outer row -- at the interval's high
+                # end the probes dominate everything else in the plan.
+                join_hi = cost_index_nested_loop_join(
+                    left.rows_hi,
+                    matches_per_outer,
+                    float(table.row_count),
+                    float(table.page_count),
+                    index.height,
+                    index.definition.clustered,
+                    self.params,
+                )
+                cost_hi = left.cost_hi + join_hi.total
+            yield self._entry(plan, cost_hi=cost_hi, rows_hi=rows_hi)
 
     def _merge(
         self,
@@ -430,6 +523,7 @@ class SystemRJoinEnumerator:
         equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
         residual: Optional[Expr],
         rows: float,
+        rows_hi: float,
         edge_fp: Optional[str] = None,
     ) -> PlanEntry:
         self.stats.plans_considered += 1
@@ -437,11 +531,13 @@ class SystemRJoinEnumerator:
         right_keys = [r for _l, r in equi_pairs]
         left_order: SortOrder = tuple((ref, True) for ref in left_keys)
         right_order: SortOrder = tuple((ref, True) for ref in right_keys)
-        left_plan, left_cost = self._ensure_order(
-            left.plan, left.cost, left.rows, left.order, left_order, left_set
+        left_plan, left_cost, left_hi = self._ensure_order(
+            left.plan, left.cost, left.rows, left.order, left_order, left_set,
+            left.cost_hi, left.rows_hi,
         )
-        right_plan, right_cost = self._ensure_order(
-            right.plan, right.cost, right.rows, right.order, right_order, right_set
+        right_plan, right_cost, right_hi = self._ensure_order(
+            right.plan, right.cost, right.rows, right.order, right_order,
+            right_set, right.cost_hi, right.rows_hi,
         )
         merge_cost = cost_merge_join(left.rows, right.rows, rows, self.params)
         plan = MergeJoinP(
@@ -451,7 +547,13 @@ class SystemRJoinEnumerator:
         plan.est_cost = left_cost + right_cost + merge_cost
         plan.order = left_order  # merge output is ordered on the join keys
         plan.feedback_fingerprint = edge_fp
-        return self._entry(plan)
+        cost_hi = None
+        if self.config.risk_aware:
+            merge_hi = cost_merge_join(
+                left.rows_hi, right.rows_hi, rows_hi, self.params
+            )
+            cost_hi = left_hi + right_hi + merge_hi.total
+        return self._entry(plan, cost_hi=cost_hi, rows_hi=rows_hi)
 
     def _hash(
         self,
@@ -461,6 +563,7 @@ class SystemRJoinEnumerator:
         equi_pairs: List[Tuple[ColumnRef, ColumnRef]],
         residual: Optional[Expr],
         rows: float,
+        rows_hi: float,
         edge_fp: Optional[str] = None,
     ) -> PlanEntry:
         self.stats.plans_considered += 1
@@ -478,7 +581,18 @@ class SystemRJoinEnumerator:
         plan.est_cost = left.cost + right.cost + join_cost
         plan.order = None  # hashing destroys order
         plan.feedback_fingerprint = edge_fp
-        return self._entry(plan)
+        cost_hi = None
+        if self.config.risk_aware:
+            join_hi = cost_hash_join(
+                right.rows_hi,
+                self._pages(right_set, right.rows_hi),
+                left.rows_hi,
+                pages_for_rows(left.rows_hi, 16.0, self.params),
+                rows_hi,
+                self.params,
+            )
+            cost_hi = left.cost_hi + right.cost_hi + join_hi.total
+        return self._entry(plan, cost_hi=cost_hi, rows_hi=rows_hi)
 
     def _ensure_order(
         self,
@@ -488,26 +602,36 @@ class SystemRJoinEnumerator:
         delivered: Optional[SortOrder],
         required: SortOrder,
         aliases: FrozenSet[str],
-    ) -> Tuple[PhysicalOp, Cost]:
+        cost_hi: float = 0.0,
+        rows_hi: float = 0.0,
+    ) -> Tuple[PhysicalOp, Cost, float]:
         if order_satisfies(delivered, required, self.equivalences):
-            return plan, cost
+            return plan, cost, cost_hi
         sort = SortP(plan, required)
         sort.est_rows = rows
         extra = cost_sort(rows, self._pages(aliases, rows), self.params)
         sort.est_cost = cost + extra
         sort.order = required
-        return sort, sort.est_cost
+        extra_hi = cost_sort(rows_hi, self._pages(aliases, rows_hi), self.params)
+        return sort, sort.est_cost, cost_hi + extra_hi.total
 
     # ------------------------------------------------------------------
     # Entry management
     # ------------------------------------------------------------------
-    def _entry(self, plan: PhysicalOp) -> PlanEntry:
+    def _entry(
+        self,
+        plan: PhysicalOp,
+        cost_hi: Optional[float] = None,
+        rows_hi: Optional[float] = None,
+    ) -> PlanEntry:
         return PlanEntry(
             plan=plan,
             cost=plan.est_cost,
             rows=plan.est_rows,
             order=plan.order,
             satisfied=self._satisfied(plan.order),
+            rows_hi=plan.est_rows if rows_hi is None else rows_hi,
+            cost_hi=plan.est_cost.total if cost_hi is None else cost_hi,
         )
 
     def _satisfied(self, order: Optional[SortOrder]) -> FrozenSet[SortOrder]:
@@ -516,11 +640,20 @@ class SystemRJoinEnumerator:
         return satisfied_orders(order, self.orders, self.equivalences)
 
     def _insert(self, entries: List[PlanEntry], candidate: PlanEntry) -> None:
-        """Dominance pruning: keep the Pareto frontier over (cost, orders)."""
+        """Dominance pruning: keep the Pareto frontier over (cost, orders).
+
+        With ``risk_aware`` on, worst-case cost joins the frontier
+        criteria (hedge retention): a plan that is slightly more
+        expensive on expectation but much safer at the interval's high
+        end survives to the final risk tie-break instead of being pruned
+        bottom-up.
+        """
+        risk = self.config.risk_aware
         for existing in entries:
             if (
                 existing.cost.total <= candidate.cost.total
                 and existing.satisfied >= candidate.satisfied
+                and (not risk or existing.cost_hi <= candidate.cost_hi)
             ):
                 return
         entries[:] = [
@@ -529,6 +662,7 @@ class SystemRJoinEnumerator:
             if not (
                 candidate.cost.total <= existing.cost.total
                 and candidate.satisfied >= existing.satisfied
+                and (not risk or candidate.cost_hi <= existing.cost_hi)
             )
         ]
         entries.append(candidate)

@@ -114,7 +114,7 @@ class NaiveExhaustiveEnumerator:
             rows = self._dp.estimator.relation_set_cardinality(union, self.graph)
             next_entries: List[PlanEntry] = []
             for candidate in self._dp._join_candidates(
-                current_set, right_set, entries, self._single(alias), rows
+                current_set, right_set, entries, self._single(alias), rows, rows
             ):
                 self._dp._insert(next_entries, candidate)
             if not next_entries:
@@ -143,7 +143,7 @@ class NaiveExhaustiveEnumerator:
             if not left_entries or not right_entries:
                 continue
             for candidate in self._dp._join_candidates(
-                left_set, right_set, left_entries, right_entries, rows
+                left_set, right_set, left_entries, right_entries, rows, rows
             ):
                 self._dp._insert(entries, candidate)
         return entries

@@ -1,6 +1,11 @@
 """Execution engine: physical-plan executor, reference interpreter, buffer
 pool, and per-query resource governance."""
 
+from repro.engine.adaptive import (
+    AdaptiveConfig,
+    AdaptiveState,
+    ReoptimizeSignal,
+)
 from repro.engine.context import (
     BufferPool,
     ExecContext,
@@ -23,8 +28,11 @@ from repro.engine.runtime_stats import (
 )
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveState",
     "BufferPool",
     "CancellationToken",
+    "ReoptimizeSignal",
     "ExecContext",
     "ExecCounters",
     "InterpreterStats",

@@ -1,0 +1,429 @@
+"""Mid-query adaptive re-optimization (progressive optimization).
+
+The POP design (Markl et al.), instantiated for this engine: the
+optimizer annotates chosen (sub)plans with **validity ranges** -- the
+interval of intermediate-result cardinalities over which the plan stays
+within a configurable factor of the best alternative the cost model
+knows -- and the physicalizer inserts lightweight :class:`CheckP`
+operators at natural materialization points (sort inputs, hash build
+and probe sides, spools, group-by boundaries, index-nested-loop outer
+batches).
+
+At runtime a CHECK that observes a cardinality outside its validity
+range raises :class:`ReoptimizeSignal`.  The executor catches it,
+harvests the cardinalities observed so far into the feedback store,
+re-optimizes the remainder of the query, splices already-materialized
+intermediates back in as :class:`CheckpointSourceP` leaves
+(Kabra--DeWitt: never repeat completed work), and resumes -- bounded by
+a re-optimization budget and charged against the query's
+:class:`~repro.engine.governor.QueryBudget`.
+
+This module deliberately imports only the physical-plan and cost layers
+so both the physicalizer (plan time) and the executor (run time) can
+use it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cost.model import (
+    Cost,
+    cost_hash_join,
+    cost_index_nested_loop_join,
+    cost_merge_join,
+    cost_nested_loop_join,
+    cost_seq_scan,
+    cost_sort,
+    pages_for_rows,
+)
+from repro.cost.parameters import CostParameters
+from repro.expr.schema import StreamSchema
+from repro.physical.plans import (
+    CheckP,
+    CheckpointSourceP,
+    DistinctP,
+    HashAggP,
+    HashJoinP,
+    INLJoinP,
+    MaterializeP,
+    PhysicalOp,
+    SeqScanP,
+    SortP,
+    plan_signature,
+)
+
+#: Attribute names through which physical operators reference inputs.
+_INPUT_ATTRS = ("child", "left", "right", "outer")
+
+#: Geometric-grid halvings/doublings explored around the estimate when
+#: computing a cost-crossover validity range.
+_GRID_STEPS = 16
+
+
+class ReoptimizeSignal(Exception):
+    """Raised by a CHECK whose observed cardinality left the validity range.
+
+    Deliberately *not* a ReproError: retry machinery, shell error
+    handling, and the chaos harness's typed-failure accounting must
+    never absorb it -- only the adaptive executor loop catches it.
+    """
+
+    def __init__(self, check: CheckP, observed_rows: int) -> None:
+        super().__init__(
+            f"cardinality {observed_rows} outside validity range "
+            f"[{check.low:.0f}, {check.high:.0f}] {check.context_label}"
+        )
+        self.check = check
+        self.observed_rows = observed_rows
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Knobs for progressive re-optimization.
+
+    Attributes:
+        enabled: master switch; when False no CHECKs are inserted.
+        max_reopts: re-optimizations allowed per query execution.
+        validity_factor: a plan is "valid" at cardinality n while its
+            modelled cost stays within this factor of the best
+            alternative's; also the minimum half-width of every range
+            (a deviation smaller than the factor never fires).
+        min_rows: absolute row-count deviation below which a CHECK never
+            fires -- re-planning around a handful of rows cannot pay off.
+    """
+
+    enabled: bool = True
+    max_reopts: int = 2
+    validity_factor: float = 4.0
+    min_rows: int = 32
+
+
+@dataclass
+class AdaptiveEvent:
+    """One CHECK decision, kept for EXPLAIN ANALYZE and replay tests."""
+
+    context_label: str
+    est_rows: float
+    observed_rows: int
+    low: float
+    high: float
+    action: str  # "reoptimized" | "max-reopts-reached"
+
+    def describe(self) -> str:
+        return (
+            f"{self.context_label}: est={self.est_rows:.0f} "
+            f"observed={self.observed_rows} "
+            f"valid=[{self.low:.0f}, {self.high:.0f}] -> {self.action}"
+        )
+
+
+class AdaptiveState:
+    """Per-execution adaptive bookkeeping carried on the ExecContext."""
+
+    def __init__(self, config: AdaptiveConfig) -> None:
+        self.config = config
+        self.reoptimizations = 0
+        self.checks_fired = 0
+        self.checkpoints_reused = 0
+        self.events: List[AdaptiveEvent] = []
+        #: plan_signature -> (schema, rows, note): intermediates already
+        #: materialized this execution, reusable by remainder plans.
+        #: Cleared when the execution finishes (no leaked temps).
+        self.materialized: Dict[str, Tuple[StreamSchema, List[tuple], str]] = {}
+        #: every plan tried, oldest first; keeps replaced plans alive so
+        #: id()-keyed runtime stats never collide across replans.
+        self.plan_history: List[PhysicalOp] = []
+        self.final_plan: Optional[PhysicalOp] = None
+        #: re-optimizes the remainder under current feedback; installed
+        #: by the Database before execution.
+        self.replanner: Optional[Callable[[], PhysicalOp]] = None
+
+    # ------------------------------------------------------------------
+    def note_check(self, check: CheckP, observed_rows: int) -> bool:
+        """Decide whether a CHECK fires; records the decision.
+
+        Returns True when the executor should raise ReoptimizeSignal.
+        """
+        if check.low <= observed_rows <= check.high:
+            return False
+        if abs(observed_rows - check.est_rows) < self.config.min_rows:
+            return False
+        if self.replanner is None:
+            return False
+        fire = self.reoptimizations < self.config.max_reopts
+        self.events.append(
+            AdaptiveEvent(
+                context_label=check.context_label,
+                est_rows=check.est_rows,
+                observed_rows=observed_rows,
+                low=check.low,
+                high=check.high,
+                action="reoptimized" if fire else "max-reopts-reached",
+            )
+        )
+        if fire:
+            self.checks_fired += 1
+        return fire
+
+    def store_checkpoint(
+        self, signature: str, schema: StreamSchema, rows: List[tuple], note: str
+    ) -> None:
+        """Remember a fully-materialized intermediate for splicing."""
+        self.materialized[signature] = (schema, rows, note)
+
+    def replay_key(self) -> List[Tuple[str, int, str]]:
+        """Deterministic digest of every re-optimization decision."""
+        return [
+            (event.context_label, event.observed_rows, event.action)
+            for event in self.events
+        ]
+
+    def format(self) -> str:
+        lines = [
+            f"re-optimizations: {self.reoptimizations} "
+            f"(checks fired: {self.checks_fired}, "
+            f"checkpoints reused: {self.checkpoints_reused})"
+        ]
+        lines.extend("  " + event.describe() for event in self.events)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Validity ranges: cost crossover on a geometric cardinality grid
+# ----------------------------------------------------------------------
+def _crossover_range(
+    est: float,
+    factor: float,
+    chosen: Callable[[float], float],
+    alternatives: Tuple[Callable[[float], float], ...],
+) -> Optional[Tuple[float, float]]:
+    """Widest [low, high] around ``est`` where the chosen operator's cost
+    stays within ``factor`` of the cheapest modelled alternative.
+
+    Walks a geometric grid (est * 2**k); returns None when the chosen
+    plan is not within the factor even at the estimate itself -- the
+    local cost functions disagree with the enumerator's full costing,
+    so the plain factor range is the honest fallback.
+    """
+
+    def ok(n: float) -> bool:
+        try:
+            best_alternative = min(fn(n) for fn in alternatives)
+            return chosen(n) <= factor * best_alternative
+        except (ValueError, ZeroDivisionError, OverflowError):
+            return True
+    if not ok(est):
+        return None
+    low = est
+    for _step in range(_GRID_STEPS):
+        candidate = low / 2.0
+        if candidate < 1.0 or not ok(candidate):
+            break
+        low = candidate
+    high = est
+    for _step in range(_GRID_STEPS):
+        candidate = high * 2.0
+        if not ok(candidate):
+            break
+        high = candidate
+    return low, high
+
+
+def _hash_build_range(
+    op: HashJoinP, params: CostParameters, factor: float
+) -> Optional[Tuple[float, float]]:
+    """Validity range for a hash join's build-side cardinality."""
+    est_build = op.right.est_rows
+    probe_rows = op.left.est_rows
+    build_width = op.right.output_schema().row_width_bytes()
+    probe_width = op.left.output_schema().row_width_bytes()
+    probe_pages = pages_for_rows(probe_rows, probe_width, params)
+    est_out = op.est_rows
+
+    def out_at(n: float) -> float:
+        # Join output scales linearly with one input, selectivity held.
+        return est_out * n / est_build if est_build > 0 else est_out
+
+    def build_pages(n: float) -> float:
+        return pages_for_rows(n, build_width, params)
+
+    def chosen(n: float) -> float:
+        return cost_hash_join(
+            n, build_pages(n), probe_rows, probe_pages, out_at(n), params
+        ).total
+
+    def alt_swapped(n: float) -> float:
+        return cost_hash_join(
+            probe_rows, probe_pages, n, build_pages(n), out_at(n), params
+        ).total
+
+    def alt_merge(n: float) -> float:
+        return (
+            cost_sort(n, build_pages(n), params)
+            + cost_sort(probe_rows, probe_pages, params)
+            + cost_merge_join(probe_rows, n, out_at(n), params)
+        ).total
+
+    def alt_nested(n: float) -> float:
+        rescan = Cost(cpu=n * params.cpu_tuple_cost)
+        return cost_nested_loop_join(probe_rows, rescan, n, 1, params).total
+
+    return _crossover_range(
+        est_build, factor, chosen, (alt_swapped, alt_merge, alt_nested)
+    )
+
+
+def _inl_outer_range(
+    op: INLJoinP, catalog, params: CostParameters, factor: float
+) -> Optional[Tuple[float, float]]:
+    """Validity range for the outer cardinality of an index nested loop.
+
+    The alternative is the canonical escape hatch when the outer blows
+    up: scan the inner table once and hash join against the
+    materialized outer.
+    """
+    try:
+        table = catalog.table(op.table)
+        index = catalog.index(op.index_name)
+    except Exception:
+        return None
+    est_outer = op.outer.est_rows
+    matches_per_outer = op.est_rows / est_outer if est_outer > 0 else 1.0
+    inner_rows = float(table.row_count)
+    inner_pages = float(table.page_count)
+    outer_width = op.outer.output_schema().row_width_bytes()
+    est_out = op.est_rows
+
+    def chosen(n: float) -> float:
+        return cost_index_nested_loop_join(
+            n,
+            matches_per_outer,
+            inner_rows,
+            inner_pages,
+            index.height,
+            index.definition.clustered,
+            params,
+        ).total
+
+    def alt_hash(n: float) -> float:
+        out = est_out * n / est_outer if est_outer > 0 else est_out
+        scan = cost_seq_scan(inner_rows, inner_pages, 0, params)
+        join = cost_hash_join(
+            n,
+            pages_for_rows(n, outer_width, params),
+            inner_rows,
+            inner_pages,
+            out,
+            params,
+        )
+        return (scan + join).total
+
+    return _crossover_range(est_outer, factor, chosen, (alt_hash,))
+
+
+# ----------------------------------------------------------------------
+# CHECK insertion at materialization points
+# ----------------------------------------------------------------------
+def insert_checks(
+    plan: PhysicalOp,
+    catalog,
+    params: CostParameters,
+    config: AdaptiveConfig,
+) -> PhysicalOp:
+    """Wrap natural materialization points of ``plan`` in CheckP nodes.
+
+    The executor materializes every input fully, so each listed site is
+    a true pipeline break: the row count is exact when the CHECK runs
+    and the work above it has not started.  Ranges come from cost
+    crossover where a local alternative model exists (hash build, INL
+    outer) and from the plain validity factor elsewhere; the crossover
+    range is always at least the plain range, so a deviation smaller
+    than the factor never triggers.
+    """
+    if not config.enabled:
+        return plan
+    factor = max(config.validity_factor, 1.0)
+
+    def plain_range(est: float) -> Tuple[float, float]:
+        return est / factor, est * factor
+
+    def wrap(
+        child: PhysicalOp,
+        label: str,
+        ranged: Optional[Tuple[float, float]] = None,
+    ) -> PhysicalOp:
+        if isinstance(child, (CheckP, CheckpointSourceP)):
+            return child
+        if isinstance(child, SeqScanP) and child.predicate is None:
+            return child  # base-table cardinality is exactly known
+        est = child.est_rows
+        if est <= 0:
+            return child
+        low, high = plain_range(est)
+        if ranged is not None:
+            low, high = min(low, ranged[0]), max(high, ranged[1])
+        return CheckP(child, low, high, label)
+
+    def visit(op: PhysicalOp) -> PhysicalOp:
+        for attr in _INPUT_ATTRS:
+            sub = getattr(op, attr, None)
+            if isinstance(sub, PhysicalOp):
+                setattr(op, attr, visit(sub))
+        if isinstance(op, HashJoinP):
+            op.right = wrap(
+                op.right, "hash build", _hash_build_range(op, params, factor)
+            )
+            op.left = wrap(op.left, "hash probe")
+        elif isinstance(op, INLJoinP):
+            op.outer = wrap(
+                op.outer,
+                "inl outer",
+                _inl_outer_range(op, catalog, params, factor),
+            )
+        elif isinstance(op, SortP):
+            op.child = wrap(op.child, "sort input")
+        elif isinstance(op, HashAggP):  # StreamAggP included
+            op.child = wrap(op.child, "group-by input")
+        elif isinstance(op, DistinctP):
+            op.child = wrap(op.child, "distinct input")
+        elif isinstance(op, MaterializeP):
+            op.child = wrap(op.child, "spool")
+        return op
+
+    return visit(plan)
+
+
+# ----------------------------------------------------------------------
+# Splicing checkpointed intermediates into a re-optimized remainder
+# ----------------------------------------------------------------------
+def splice_checkpoints(plan: PhysicalOp, state: AdaptiveState) -> PhysicalOp:
+    """Replace subtrees already materialized this execution.
+
+    Any subtree of the new plan whose structural signature matches a
+    stored checkpoint becomes a CheckpointSourceP leaf replaying the
+    saved rows -- including the subtree under the CHECK that fired, so
+    the new plan starts from the observed intermediate rather than
+    recomputing it.  CHECK wrappers at matched sites are dropped: the
+    cardinality there is now a fact, not an estimate.
+    """
+    if not state.materialized:
+        return plan
+
+    def visit(op: PhysicalOp) -> PhysicalOp:
+        stored = state.materialized.get(plan_signature(op))
+        if stored is not None:
+            schema, rows, note = stored
+            source = CheckpointSourceP(schema, rows, note)
+            source.est_cost = op.est_cost
+            source.order = op.order
+            state.checkpoints_reused += 1
+            return source
+        for attr in _INPUT_ATTRS:
+            sub = getattr(op, attr, None)
+            if isinstance(sub, PhysicalOp):
+                setattr(op, attr, visit(sub))
+        return op
+
+    return visit(plan)

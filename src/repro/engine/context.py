@@ -24,6 +24,7 @@ from repro.engine.governor import (
 )
 
 if TYPE_CHECKING:
+    from repro.engine.adaptive import AdaptiveState
     from repro.engine.runtime_stats import RuntimeStats
     from repro.stats.feedback import CardinalityFeedback, FeedbackSummary
     from repro.storage.faults import FaultInjector
@@ -144,6 +145,9 @@ class ExecContext:
         self.governor: Optional[ResourceGovernor] = None
         self.feedback: Optional["CardinalityFeedback"] = None
         self.feedback_summary: Optional["FeedbackSummary"] = None
+        # Progressive-optimization state (validity-range CHECKs, replans,
+        # checkpointed intermediates); None runs the plan statically.
+        self.adaptive: Optional["AdaptiveState"] = None
 
     def begin_execution(self) -> None:
         """Arm the governor for one run (called by ``execute``)."""
@@ -242,6 +246,12 @@ class QueryMetrics:
     # showed their cardinality estimates were badly off.
     feedback_observations: int = 0
     feedback_reoptimizations: int = 0
+    # Adaptive-execution counters: validity-range CHECKs that fired,
+    # mid-query re-optimizations performed, and checkpointed
+    # intermediates replayed by spliced remainder plans.
+    adaptive_checks_fired: int = 0
+    adaptive_reoptimizations: int = 0
+    adaptive_checkpoints_reused: int = 0
 
     def record_execution(self, context: "ExecContext", rows: int) -> None:
         """Fold one execution's observed work into the session totals."""
@@ -272,5 +282,8 @@ class QueryMetrics:
                 f"fault retries:            {self.fault_retries}",
                 f"feedback observations:    {self.feedback_observations}",
                 f"feedback re-opts:         {self.feedback_reoptimizations}",
+                f"adaptive checks fired:    {self.adaptive_checks_fired}",
+                f"adaptive re-opts:         {self.adaptive_reoptimizations}",
+                f"checkpoints reused:       {self.adaptive_checkpoints_reused}",
             ]
         )

@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import pages_for_rows
+from repro.engine.adaptive import ReoptimizeSignal, splice_checkpoints
 from repro.engine.context import ExecContext
 from repro.engine.interpreter import InterpreterStats, interpret, sort_rows
 from repro.engine.runtime_stats import RuntimeStats
@@ -35,6 +36,8 @@ from repro.logical.operators import JoinKind
 from repro.stats.feedback import harvest_feedback
 from repro.physical.plans import (
     ApplyP,
+    CheckP,
+    CheckpointSourceP,
     DistinctP,
     ExchangeP,
     FilterP,
@@ -52,6 +55,7 @@ from repro.physical.plans import (
     StreamAggP,
     UdfFilterP,
     UnionAllP,
+    plan_signature,
 )
 
 Row = Tuple[Any, ...]
@@ -95,16 +99,68 @@ def execute(
     context.runtime = RuntimeStats()
     context.begin_execution()
     start = time.perf_counter()
-    with bind_parameters(context.parameters):
-        rows = _run(plan, catalog, context)
-    context.runtime.total_seconds = time.perf_counter() - start
+    current = plan
+    try:
+        with bind_parameters(context.parameters):
+            if context.adaptive is not None:
+                rows, current = _run_adaptive(plan, catalog, context)
+            else:
+                rows = _run(plan, catalog, context)
+    finally:
+        if context.adaptive is not None:
+            # Materialized intermediates live only within one execution;
+            # dropping them here guarantees no temps leak, success or not.
+            context.adaptive.materialized.clear()
+        context.runtime.total_seconds = time.perf_counter() - start
     if context.feedback is not None:
         # Close the loop: per-operator actuals recorded at operator
         # boundaries become observed selectivities for the optimizer.
         context.feedback_summary = harvest_feedback(
-            plan, context.runtime, catalog, context.feedback
+            current, context.runtime, catalog, context.feedback
         )
-    return plan.output_schema(), rows
+    return current.output_schema(), rows
+
+
+def _run_adaptive(
+    plan: PhysicalOp, catalog: Catalog, context: ExecContext
+) -> Tuple[List[Row], PhysicalOp]:
+    """Progressive-optimization driver: run, and on a CHECK whose observed
+    cardinality escapes its validity range, harvest what was learned,
+    re-optimize the remainder, splice in already-materialized
+    intermediates, and resume.  Returns ``(rows, final_plan)``.
+
+    One RuntimeStats tree spans all attempts (stats are keyed by operator
+    identity, and abandoned plans are kept alive on the state's plan
+    history, so ids never collide); EXPLAIN ANALYZE over the final plan
+    therefore shows checkpoint sources with the rows they replayed.
+    """
+    state = context.adaptive
+    state.plan_history.append(plan)
+    state.final_plan = plan
+    current = plan
+    while True:
+        try:
+            rows = _run(current, catalog, context)
+            return rows, current
+        except ReoptimizeSignal:
+            state.reoptimizations += 1
+            if context.governor is not None:
+                # A replan consumes budget like any other work: charge it
+                # and fail typed if the deadline has already passed.
+                context.governor.on_reoptimization()
+            if context.feedback is not None:
+                # Feed the observed cardinalities (including the row count
+                # that fired the CHECK) to the estimator, so re-planning
+                # sees corrected selectivities, not the ones that misled.
+                harvest_feedback(
+                    current, context.runtime, catalog, context.feedback
+                )
+            if state.replanner is None:  # pragma: no cover - note_check
+                raise ExecutionError("CHECK fired without a replanner")
+            remainder = splice_checkpoints(state.replanner(), state)
+            state.plan_history.append(remainder)
+            state.final_plan = remainder
+            current = remainder
 
 
 def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
@@ -128,10 +184,14 @@ def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
         return rows
     node = ctx.runtime.node_for(op)
     pages_before = ctx.counters.total_page_reads
+    retries_before = ctx.counters.retries
     start = time.perf_counter()
     rows = handler(op, catalog, ctx)
     node.wall_seconds += time.perf_counter() - start
     node.pages_read += ctx.counters.total_page_reads - pages_before
+    # Cumulative over the subtree, like pages_read; the renderer
+    # subtracts children to show each operator's own absorbed retries.
+    node.retries += ctx.counters.retries - retries_before
     node.invocations += 1
     node.actual_rows += len(rows)
     if governor is not None:
@@ -263,6 +323,41 @@ def _run_sort(op: SortP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     ctx.counters.rows_compared += int(len(rows) * max(1, len(rows)).bit_length())
     ctx.counters.rows_produced += len(out)
     return out
+
+
+def _run_check(op: CheckP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    rows = _run(op.child, catalog, ctx)
+    state = ctx.adaptive
+    if state is None:
+        return rows
+    # Checkpoint on pass *and* fire: any completed intermediate is
+    # reusable by a later remainder plan, not just the one that fired.
+    state.store_checkpoint(
+        plan_signature(op.child),
+        op.child.output_schema(),
+        rows,
+        op.context_label or "check",
+    )
+    if state.note_check(op, len(rows)):
+        if ctx.runtime is not None:
+            # The raise skips the _run wrapper's accounting; record the
+            # observation here so EXPLAIN ANALYZE shows the fired CHECK.
+            node = ctx.runtime.node_for(op)
+            node.invocations += 1
+            node.actual_rows += len(rows)
+            node.check_fired = True
+        raise ReoptimizeSignal(op, len(rows))
+    return rows
+
+
+def _run_checkpoint_source(
+    op: CheckpointSourceP, catalog: Catalog, ctx: ExecContext
+) -> List[Row]:
+    if ctx.runtime is not None:
+        ctx.runtime.node_for(op).from_checkpoint = True
+    rows = list(op.rows)
+    ctx.counters.rows_produced += len(rows)
+    return rows
 
 
 def _run_materialize(op: MaterializeP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
@@ -559,6 +654,8 @@ def _run_hash_join(op: HashJoinP, catalog: Catalog, ctx: ExecContext) -> List[Ro
             build_bytes, governor.budget.memory_limit_bytes
         )
         ctx.counters.degraded_operators += 1
+        if ctx.runtime is not None:
+            ctx.runtime.node_for(op).degraded = True
         ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
         build_parts: List[List[Row]] = [[] for _ in range(parts)]
         for rrow in right_rows:
@@ -626,6 +723,8 @@ def _run_hash_agg(op: HashAggP, catalog: Catalog, ctx: ExecContext) -> List[Row]
                 table_bytes, governor.budget.memory_limit_bytes
             )
             ctx.counters.degraded_operators += 1
+            if ctx.runtime is not None:
+                ctx.runtime.node_for(op).degraded = True
             ctx.counters.sort_spill_pages += int(
                 2 * pages_for_rows(len(rows), width, ctx.params)
             )
@@ -710,6 +809,8 @@ def _run_exchange(op: ExchangeP, catalog: Catalog, ctx: ExecContext) -> List[Row
 
 
 _HANDLERS = {
+    CheckP: _run_check,
+    CheckpointSourceP: _run_checkpoint_source,
     SeqScanP: _run_seq_scan,
     IndexScanP: _run_index_scan,
     FilterP: _run_filter,

@@ -133,6 +133,7 @@ class ResourceGovernor:
         self._ticks = 0
         self.page_reads = 0
         self.memory_high_water_bytes = 0
+        self.reoptimizations = 0
 
     def start(self) -> None:
         """Begin (or restart) the clock for one execution."""
@@ -140,6 +141,7 @@ class ResourceGovernor:
         self._ticks = 0
         self.page_reads = 0
         self.memory_high_water_bytes = 0
+        self.reoptimizations = 0
         if self.budget.timeout_seconds is not None:
             self._deadline = self._started_at + self.budget.timeout_seconds
         else:
@@ -193,6 +195,16 @@ class ResourceGovernor:
                 limit=limit,
                 used=rows,
             )
+
+    def on_reoptimization(self) -> None:
+        """Charge one mid-query re-optimization against the budget.
+
+        Re-planning spends the *same* query's wall clock: a query already
+        past its deadline fails typed here instead of starting another
+        optimization pass it has no budget to execute.
+        """
+        self.reoptimizations += 1
+        self.check()
 
     def reserve_memory(self, bytes_needed: int, site: str = "") -> None:
         """Validate a working-set reservation against the memory budget.

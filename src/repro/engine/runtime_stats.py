@@ -34,6 +34,14 @@ class OpRuntimeStats:
             parent re-drives its input).
         wall_seconds: inclusive wall-clock time (children included).
         pages_read: inclusive physical page reads (buffer-pool misses).
+        retries: inclusive transient-fault retries absorbed beneath this
+            operator (the renderer subtracts children to localize them).
+        degraded: the operator fell back to Grace-style partitioned
+            execution under the memory budget.
+        check_fired: a validity-range CHECK here triggered mid-query
+            re-optimization.
+        from_checkpoint: the operator replayed a materialized
+            intermediate instead of recomputing it.
     """
 
     label: str
@@ -42,6 +50,10 @@ class OpRuntimeStats:
     invocations: int = 0
     wall_seconds: float = 0.0
     pages_read: int = 0
+    retries: int = 0
+    degraded: bool = False
+    check_fired: bool = False
+    from_checkpoint: bool = False
 
     @property
     def q_error(self) -> float:
@@ -86,13 +98,18 @@ def render_explain_analyze(
     plan: PhysicalOp,
     stats: RuntimeStats,
     optimize_seconds: Optional[float] = None,
+    context=None,
 ) -> str:
     """EXPLAIN ANALYZE rendering: estimated vs. actual, per operator.
 
     Each line shows the operator with the optimizer's estimates next to
     the measured values, flagging large cardinality misestimates --
     the diagnostic loop the survey's cost-model discussion implies but
-    classical systems rarely closed.
+    classical systems rarely closed.  When ``context`` (an ExecContext)
+    is supplied, governor and adaptivity events surface on the operators
+    they happened at -- retries absorbed, degraded execution, fired
+    CHECKs, replayed checkpoints -- plus a re-optimization footer, all
+    omitted when nothing happened so quiet plans render as before.
     """
     lines: List[str] = []
 
@@ -105,6 +122,23 @@ def render_explain_analyze(
             flag = ""
             if node.q_error >= 10.0:
                 flag = f" !q-err={node.q_error:.0f}"
+            # node.retries is inclusive of children (like pages_read);
+            # subtracting the children localizes retries to the operator
+            # whose accesses actually absorbed them.
+            own_retries = node.retries - sum(
+                child_node.retries
+                for child in op.children()
+                for child_node in (stats.get(child),)
+                if child_node is not None
+            )
+            if own_retries > 0:
+                flag += f" retries={own_retries}"
+            if node.degraded:
+                flag += " degraded=grace-partitioned"
+            if node.check_fired:
+                flag += " CHECK-FIRED"
+            if node.from_checkpoint:
+                flag += " replayed-checkpoint"
             lines.append(
                 f"{pad}{node.label}  "
                 f"[est_rows={op.est_rows:.0f} act_rows={node.actual_rows} "
@@ -116,6 +150,21 @@ def render_explain_analyze(
             visit(child, indent + 1)
 
     visit(plan, 0)
+    if context is not None:
+        counters = getattr(context, "counters", None)
+        if counters is not None and counters.degraded_operators > 0:
+            lines.append(f"degraded operators: {counters.degraded_operators}")
+        if counters is not None and counters.retries > 0:
+            lines.append(f"fault retries absorbed: {counters.retries}")
+        adaptive = getattr(context, "adaptive", None)
+        if adaptive is not None and adaptive.events:
+            lines.append(
+                f"re-optimizations: {adaptive.reoptimizations} "
+                f"(checkpoints reused: {adaptive.checkpoints_reused})"
+            )
+            lines.extend(
+                "  check: " + event.describe() for event in adaptive.events
+            )
     footer = f"execution time: {stats.total_seconds * 1000.0:.3f}ms"
     if optimize_seconds is not None:
         footer = (

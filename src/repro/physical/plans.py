@@ -41,6 +41,10 @@ class PhysicalOp:
         self.order: Optional[SortOrder] = None
         self.partitioning: Optional[Partitioning] = None
         self.feedback_fingerprint: Optional[str] = None
+        # Worst-case subtree cost over the estimate's uncertainty interval
+        # (risk-aware selection); None when the enumerator did not compute
+        # one, in which case est_cost.total stands in.
+        self.est_cost_hi: Optional[float] = None
 
     def children(self) -> Tuple["PhysicalOp", ...]:
         """Input operators."""
@@ -566,6 +570,91 @@ class ExchangeP(PhysicalOp):
 
     def _label(self) -> str:
         return f"Exchange({self.target.scheme.value} x{self.target.degree})"
+
+
+# ----------------------------------------------------------------------
+# Adaptive execution (progressive optimization)
+# ----------------------------------------------------------------------
+class CheckP(PhysicalOp):
+    """Validity-range check at a materialization point (POP's CHECK).
+
+    Transparent to results: passes its child's rows through unchanged.
+    At runtime the executor compares the observed cardinality against
+    ``[low, high]`` -- the interval over which the plan above remains
+    within a configurable factor of optimal -- and triggers mid-query
+    re-optimization when the count falls outside it.
+
+    Estimated rows/cost/order are copied from the child so EXPLAIN
+    arithmetic and the feedback harvest see an unchanged plan shape.
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        low: float,
+        high: float,
+        context_label: str = "",
+    ) -> None:
+        super().__init__()
+        self.child = child
+        self.low = low
+        self.high = high
+        self.context_label = context_label
+        self.est_rows = child.est_rows
+        self.est_cost = child.est_cost
+        self.order = child.order
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        where = f" at {self.context_label}" if self.context_label else ""
+        return f"Check(valid=[{self.low:.0f}, {self.high:.0f}]{where})"
+
+
+class CheckpointSourceP(PhysicalOp):
+    """An already-materialized intermediate replayed as a base relation.
+
+    Spliced into re-optimized remainder plans in place of a subtree whose
+    result was checkpointed before the triggering CHECK -- the work done
+    so far is not thrown away (Kabra-DeWitt).
+    """
+
+    def __init__(
+        self,
+        schema: StreamSchema,
+        rows: List[Tuple[Any, ...]],
+        note: str = "",
+    ) -> None:
+        super().__init__()
+        self.schema = schema
+        self.rows = rows
+        self.note = note
+        self.est_rows = float(len(rows))
+
+    def output_schema(self) -> StreamSchema:
+        return self.schema
+
+    def _label(self) -> str:
+        suffix = f" from {self.note}" if self.note else ""
+        return f"CheckpointSource({len(self.rows)} rows{suffix})"
+
+
+def plan_signature(op: PhysicalOp) -> str:
+    """Structural identity of a subtree, ignoring CHECK wrappers.
+
+    Used to match a subtree of a re-optimized plan against checkpoints
+    taken under the old plan: identical signatures mean identical row
+    sets (the labels encode operator kind, predicates, and keys).
+    """
+    if isinstance(op, CheckP):
+        return plan_signature(op.child)
+    parts = [op._label()]
+    parts.extend(plan_signature(child) for child in op.children())
+    return "(" + "|".join(parts) + ")"
 
 
 def walk_physical(op: PhysicalOp):

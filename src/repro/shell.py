@@ -25,6 +25,10 @@ Meta-commands (backslash-prefixed):
     \\feedback clear     forget all learned selectivities
     \\timeout <ms>       set the per-query wall-clock budget (0 = off)
     \\budget             show the current per-query resource budget
+    \\reopt              show adaptive re-optimization status and counters
+    \\reopt on|off       enable/disable mid-query re-optimization
+    \\reopt max <n>      cap the re-optimizations allowed per query
+    \\reopt factor <x>   set the validity-range width factor
     \\quit               exit
 
 Ctrl-C while a query is running cancels that query (via the engine's
@@ -39,6 +43,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from repro.core.optimizer import Database
+from repro.engine.adaptive import AdaptiveConfig
 from repro.engine.governor import QueryBudget
 from repro.errors import ReproError
 
@@ -141,7 +146,62 @@ class Shell:
         if command == "budget":
             budget = self.db.budget
             return budget.describe() if budget is not None else "unlimited"
+        if command == "reopt":
+            return self._reopt(argument)
         return f"unknown command \\{command} (try \\help)"
+
+    def _reopt(self, argument: str) -> str:
+        """The ``\\reopt`` meta-command: adaptive-execution knobs.
+
+        Toggling or re-tuning clears the plan cache -- cached plans were
+        physicalized with the previous CHECK-insertion settings.
+        """
+        words = argument.split()
+        current = self.db.adaptive or AdaptiveConfig(enabled=False)
+        if not words:
+            metrics = self.db.metrics
+            status = (
+                "on" if self.db.adaptive is not None and current.enabled
+                else "off"
+            )
+            return (
+                f"adaptive re-optimization: {status}\n"
+                f"  max re-opts per query: {current.max_reopts}\n"
+                f"  validity factor: {current.validity_factor:g}\n"
+                f"  checks fired: {metrics.adaptive_checks_fired}\n"
+                f"  re-optimizations: {metrics.adaptive_reoptimizations}\n"
+                f"  checkpoints reused: {metrics.adaptive_checkpoints_reused}"
+            )
+        knob = words[0].lower()
+        if knob == "on":
+            self.db.adaptive = replace(current, enabled=True)
+            self.db.plan_cache.clear()
+            return "adaptive re-optimization enabled"
+        if knob == "off":
+            self.db.adaptive = replace(current, enabled=False)
+            self.db.plan_cache.clear()
+            return "adaptive re-optimization disabled"
+        if knob == "max" and len(words) == 2:
+            try:
+                count = int(words[1])
+            except ValueError:
+                return f"not a number: {words[1]!r}"
+            if count < 0:
+                return "max re-opts must be >= 0"
+            self.db.adaptive = replace(current, max_reopts=count)
+            self.db.plan_cache.clear()
+            return f"max re-opts per query: {count}"
+        if knob == "factor" and len(words) == 2:
+            try:
+                factor = float(words[1])
+            except ValueError:
+                return f"not a number: {words[1]!r}"
+            if factor <= 1.0:
+                return "validity factor must be > 1"
+            self.db.adaptive = replace(current, validity_factor=factor)
+            self.db.plan_cache.clear()
+            return f"validity factor: {factor:g}"
+        return "usage: \\reopt [on|off|max <n>|factor <x>]"
 
     def _query(self, sql: str) -> str:
         # Route Ctrl-C to the engine's cancellation token for the duration

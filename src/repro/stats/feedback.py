@@ -200,6 +200,20 @@ class CardinalityFeedback:
         self.hits += 1
         return entry.observed, entry.confidence(self.tick, self.decay)
 
+    def peek(self, key: Optional[str]) -> Optional[Tuple[float, float]]:
+        """Like :meth:`observed`, without touching the lookup/hit counters.
+
+        Risk-aware costing consults confidence for *uncertainty* bounds
+        alongside the regular estimate; counting those side looks would
+        distort the hit-ratio statistics the benchmarks report.
+        """
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return entry.observed, entry.confidence(self.tick, self.decay)
+
     def adjusted(self, key: Optional[str], model: float) -> float:
         """The model estimate corrected by feedback, when any exists.
 

@@ -90,6 +90,40 @@ class CardinalityEstimator:
                 rows *= self.selectivity.selectivity(edge.predicate)
         return max(rows, 0.0)
 
+    def relation_set_interval(
+        self, aliases: FrozenSet[str], graph: QueryGraph
+    ) -> Tuple[float, float]:
+        """Uncertainty interval around :meth:`relation_set_cardinality`.
+
+        Per-predicate uncertainty factors (see
+        :meth:`SelectivityEstimator.selectivity_interval`) compound
+        multiplicatively across the set's local predicates and internal
+        join edges -- the classical error-propagation result that
+        estimation error grows with the number of independence
+        assumptions stacked (Ioannidis & Christodoulakis).  Returns
+        ``(low, high)`` bracketing the point estimate; both bounds are
+        non-negative and ``low <= estimate <= high``.
+        """
+        low = 1.0
+        high = 1.0
+        for alias in aliases:
+            node = graph.node(alias)
+            base = self.base_rows(alias)
+            s_lo, _, s_hi = self.selectivity.selectivity_interval(
+                node.local_predicate()
+            )
+            low *= max(base * s_lo, 0.0)
+            high *= max(base * s_hi, 0.0)
+        for edge in graph.edges:
+            if edge.aliases <= aliases and len(edge.aliases) > 1:
+                s_lo, _, s_hi = self.selectivity.selectivity_interval(
+                    edge.predicate
+                )
+                low *= s_lo
+                high *= s_hi
+        estimate = self.relation_set_cardinality(aliases, graph)
+        return min(max(low, 0.0), estimate), max(high, estimate)
+
     def scan_rows(self, alias: str, graph: QueryGraph) -> float:
         """Rows surviving a relation's local predicates."""
         node = graph.node(alias)

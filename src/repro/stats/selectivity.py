@@ -36,6 +36,21 @@ DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
 DEFAULT_JOIN_SELECTIVITY = 0.1
 DEFAULT_GENERIC_SELECTIVITY = 0.25
 
+# Multiplicative uncertainty factors by estimate provenance, for the
+# risk-aware selection knob.  A selectivity estimated as ``s`` with
+# factor ``u`` is credible within ``[s / u, s * u]``.  Histogram-backed
+# estimates are tight, distinct-count arithmetic is looser, and the
+# System-R ad-hoc constants say almost nothing.  Conjunctions multiply
+# factors -- estimation error compounds through ANDs and joins
+# (Ioannidis & Christodoulakis) -- capped so a long conjunction cannot
+# drive worst-case costs to meaningless infinities.
+UNCERTAINTY_HISTOGRAM = 2.0
+UNCERTAINTY_DISTINCT = 3.0
+UNCERTAINTY_FALLBACK = 8.0
+UNCERTAINTY_SAME_TABLE = 6.0
+UNCERTAINTY_UDF = 4.0
+UNCERTAINTY_CAP = 256.0
+
 
 class SelectivityEstimator:
     """Predicate selectivity estimation over a set of aliased tables.
@@ -129,6 +144,105 @@ class SelectivityEstimator:
         return self.feedback.adjusted(
             self.predicate_fingerprint(predicate), model
         )
+
+    # ------------------------------------------------------------------
+    # Uncertainty (risk-aware selection)
+    # ------------------------------------------------------------------
+    def uncertainty(self, predicate: Optional[Expr]) -> float:
+        """Multiplicative error factor (>= 1) of ``selectivity(predicate)``.
+
+        Derived from the provenance of each estimate (histogram vs.
+        distinct count vs. ad-hoc constant), compounded across AND
+        conjuncts, and shrunk by feedback confidence: a predicate whose
+        selectivity was *observed* at runtime is nearly certain however
+        crude the model behind it.
+        """
+        if predicate is None:
+            return 1.0
+        return max(1.0, min(UNCERTAINTY_CAP, self._uncertainty(predicate)))
+
+    def selectivity_interval(
+        self, predicate: Optional[Expr]
+    ) -> "tuple[float, float, float]":
+        """``(low, estimate, high)`` selectivity bounds for a predicate."""
+        estimate = self.selectivity(predicate)
+        factor = self.uncertainty(predicate)
+        return (
+            max(0.0, estimate / factor),
+            estimate,
+            min(1.0, estimate * factor),
+        )
+
+    def _uncertainty(self, predicate: Expr) -> float:
+        factor = self._uncertainty_model(predicate)
+        if self.feedback is not None:
+            hit = self.feedback.peek(self.predicate_fingerprint(predicate))
+            if hit is not None:
+                _observed, confidence = hit
+                # Full confidence collapses the interval to the estimate.
+                factor = factor ** (1.0 - max(0.0, min(1.0, confidence)))
+        return factor
+
+    def _uncertainty_model(self, predicate: Expr) -> float:
+        if isinstance(predicate, Comparison):
+            return self._comparison_uncertainty(predicate)
+        if isinstance(predicate, BoolExpr):
+            parts = [self._uncertainty(arg) for arg in predicate.args]
+            if predicate.op is BoolOp.AND and self.independence:
+                product = 1.0
+                for part in parts:
+                    product *= part
+                return min(UNCERTAINTY_CAP, product)
+            # OR (and conservative AND) track the loosest disjunct: the
+            # inclusion-exclusion sum is dominated by its largest term.
+            return max(parts)
+        if isinstance(predicate, NotExpr):
+            return self._uncertainty(predicate.arg)
+        if isinstance(predicate, IsNull):
+            if (
+                isinstance(predicate.arg, ColumnRef)
+                and self.column_stats(predicate.arg) is not None
+            ):
+                return UNCERTAINTY_HISTOGRAM  # null fractions are counted
+            return UNCERTAINTY_FALLBACK
+        if isinstance(predicate, InList):
+            if isinstance(predicate.arg, ColumnRef):
+                return self._column_uncertainty(predicate.arg)
+            return UNCERTAINTY_FALLBACK
+        if isinstance(predicate, UdfCall):
+            return UNCERTAINTY_UDF  # declared, never measured
+        if isinstance(predicate, Literal):
+            return 1.0
+        return UNCERTAINTY_FALLBACK
+
+    def _comparison_uncertainty(self, predicate: Comparison) -> float:
+        left, right = predicate.left, predicate.right
+        if isinstance(right, ColumnRef) and isinstance(left, Literal):
+            left, right = right, left
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return self._column_uncertainty(left)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            if left.table == right.table:
+                return UNCERTAINTY_SAME_TABLE
+            if (
+                self.distinct_count(left) is not None
+                and self.distinct_count(right) is not None
+            ):
+                # Containment assumption over counted domains: wrong by
+                # roughly the key-skew factor, not by orders of magnitude.
+                return UNCERTAINTY_DISTINCT
+            return UNCERTAINTY_FALLBACK
+        return UNCERTAINTY_FALLBACK
+
+    def _column_uncertainty(self, ref: ColumnRef) -> float:
+        stats = self.column_stats(ref)
+        if stats is None:
+            return UNCERTAINTY_FALLBACK
+        if stats.histogram is not None:
+            return UNCERTAINTY_HISTOGRAM
+        if stats.distinct_count > 0:
+            return UNCERTAINTY_DISTINCT
+        return UNCERTAINTY_FALLBACK
 
     def _model(self, predicate: Expr) -> float:
         if isinstance(predicate, Comparison):

@@ -1,0 +1,539 @@
+"""Tests for mid-query adaptive re-optimization (progressive optimization).
+
+The scenario used throughout is the classical INL trap: a fact table
+whose filter columns are perfectly correlated (``a = b = c = 1`` holds
+for 12% of rows, but independence multiplies the three selectivities to
+~0.2%), joined to a wide inner table that exceeds the buffer pool.  The
+optimizer picks an index nested-loop join for the tiny estimated outer;
+at runtime the CHECK above the outer observes ~70x more rows than
+estimated, fires, and the re-optimized remainder hash-joins against the
+checkpointed outer instead of paying a random page read per probe.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.catalog.schema import Column, ColumnType
+from repro.core.cascades import CascadesConfig, CascadesOptimizer
+from repro.core.optimizer import Database
+from repro.core.systemr.enumerator import EnumeratorConfig
+from repro.engine.adaptive import (
+    AdaptiveConfig,
+    AdaptiveState,
+    ReoptimizeSignal,
+    _crossover_range,
+    insert_checks,
+)
+from repro.engine.governor import QueryBudget, ResourceGovernor
+from repro.errors import QueryTimeout, ReproError
+from repro.expr import Comparison, ComparisonOp, col, lit
+from repro.logical.querygraph import QueryGraph
+from repro.physical.plans import (
+    CheckP,
+    CheckpointSourceP,
+    HashJoinP,
+    INLJoinP,
+    walk_physical,
+)
+from repro.stats.propagation import CardinalityEstimator
+from repro.stats.summaries import analyze_table
+
+from tests.conftest import assert_same_rows
+
+TRAP_SQL = (
+    "SELECT f.k, b.val FROM Fact f, Big b "
+    "WHERE f.a = 1 AND f.b = 1 AND f.c = 1 AND f.k = b.fk"
+)
+
+
+def _build_trap_db(
+    adaptive=None,
+    config=None,
+    corr_pct: int = 12,
+    fact_rows: int = 10_000,
+    big_rows: int = 40_000,
+    **db_kwargs,
+):
+    """The INL-trap scenario (see module docstring).
+
+    ``corr_pct`` percent of fact rows carry the perfectly correlated
+    value 1 in all three filter columns; the rest draw independently.
+    The 512-byte pad makes Big larger than the buffer pool, so INL
+    probes pay cold random reads -- the plan the estimate favours is
+    the plan the actual cardinality punishes.
+    """
+    if config is not None:
+        db_kwargs["config"] = config
+    db = Database(adaptive=adaptive, **db_kwargs)
+    fact = db.create_table(
+        "Fact",
+        [
+            Column("k", ColumnType.INT),
+            Column("a", ColumnType.INT),
+            Column("b", ColumnType.INT),
+            Column("c", ColumnType.INT),
+        ],
+    )
+    big = db.create_table(
+        "Big",
+        [
+            Column("fk", ColumnType.INT),
+            Column("val", ColumnType.INT),
+            Column("pad", ColumnType.STR, width_bytes=512),
+        ],
+    )
+    rng = random.Random(7)
+    rows = []
+    for i in range(fact_rows):
+        if i % 100 < corr_pct:
+            a = b = c = 1
+        else:
+            a = rng.randint(2, 12)
+            b = rng.randint(2, 12)
+            c = rng.randint(2, 12)
+        rows.append((rng.randint(0, big_rows - 1), a, b, c))
+    fact.insert_many(rows)
+    big.insert_many([(i, i, "x" * 8) for i in range(big_rows)])
+    db.create_index("big_fk", "Big", ["fk"])
+    analyze_table(db.catalog, "Fact")
+    analyze_table(db.catalog, "Big")
+    return db
+
+
+@pytest.fixture(scope="module")
+def static_result():
+    db = _build_trap_db(adaptive=None)
+    return db, db.sql(TRAP_SQL)
+
+
+@pytest.fixture(scope="module")
+def adaptive_run():
+    db = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+    first = db.sql(TRAP_SQL)
+    return db, first
+
+
+# ----------------------------------------------------------------------
+# Validity-range computation (unit level)
+# ----------------------------------------------------------------------
+class TestCrossoverRange:
+    def test_widens_while_chosen_stays_competitive(self):
+        low, high = _crossover_range(
+            100.0, 2.0, chosen=lambda n: 1.0, alternatives=(lambda n: 1.0,)
+        )
+        # Chosen is within factor everywhere: the grid runs until the
+        # next halving would drop below one row, and doubles to its end.
+        assert low < 2.0
+        assert high == 100.0 * 2.0**16
+
+    def test_crossover_bounds_where_linear_meets_constant(self):
+        # chosen(n) = n, alternative = 1000: valid while n <= 2000.
+        low, high = _crossover_range(
+            100.0, 2.0, chosen=lambda n: n, alternatives=(lambda n: 1000.0,)
+        )
+        assert low < 100.0
+        assert 1000.0 <= high <= 2000.0
+
+    def test_not_competitive_at_estimate_returns_none(self):
+        assert (
+            _crossover_range(
+                100.0,
+                2.0,
+                chosen=lambda n: 10.0,
+                alternatives=(lambda n: 1.0,),
+            )
+            is None
+        )
+
+
+# ----------------------------------------------------------------------
+# CHECK insertion
+# ----------------------------------------------------------------------
+class TestCheckInsertion:
+    def test_check_wraps_inl_outer(self, adaptive_run):
+        db, _ = adaptive_run
+        # Feedback has converged by now; plan fresh without it to see
+        # the misestimate-era plan shape again.
+        fresh = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+        text = fresh.explain(TRAP_SQL)
+        assert "Check(" in text
+        assert "inl outer" in text
+
+    def test_validity_range_brackets_estimate(self):
+        db = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+        plan = db.optimizer().optimize(TRAP_SQL).physical
+        checks = [op for op in walk_physical(plan) if isinstance(op, CheckP)]
+        assert checks, "no CHECK operators inserted"
+        for check in checks:
+            assert check.low <= check.est_rows <= check.high
+            assert check.context_label
+
+    def test_disabled_config_inserts_no_checks(self):
+        db = _build_trap_db(adaptive=AdaptiveConfig(enabled=False))
+        assert "Check(" not in db.explain(TRAP_SQL)
+        db2 = _build_trap_db(adaptive=None)
+        assert "Check(" not in db2.explain(TRAP_SQL)
+
+    def test_unfiltered_seq_scan_not_wrapped(self):
+        db = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+        # A bare scan's cardinality is exactly known from the catalog:
+        # a CHECK above it could never fire and is not inserted.
+        text = db.explain("SELECT f.a FROM Fact f ORDER BY f.a")
+        assert "Check(" not in text
+
+
+# ----------------------------------------------------------------------
+# End-to-end re-optimization
+# ----------------------------------------------------------------------
+class TestReoptEndToEnd:
+    def test_check_fires_and_reoptimizes_once(self, adaptive_run):
+        _db, result = adaptive_run
+        state = result.context.adaptive
+        assert state.checks_fired == 1
+        assert state.reoptimizations == 1
+        assert state.checkpoints_reused >= 1
+        assert [event.action for event in state.events] == ["reoptimized"]
+
+    def test_remainder_hash_joins_from_checkpoint(self, adaptive_run):
+        _db, result = adaptive_run
+        final = result.context.adaptive.final_plan
+        kinds = {type(op) for op in walk_physical(final)}
+        assert HashJoinP in kinds
+        assert CheckpointSourceP in kinds
+        assert INLJoinP not in kinds
+
+    def test_results_match_static_oracle(self, adaptive_run, static_result):
+        _db, result = adaptive_run
+        _sdb, static = static_result
+        assert_same_rows(result.rows, static.rows)
+
+    def test_adaptive_beats_static_observed_cost(
+        self, adaptive_run, static_result
+    ):
+        db, result = adaptive_run
+        _sdb, static = static_result
+        adaptive_cost = result.context.counters.observed_cost(db.params)
+        static_cost = static.context.counters.observed_cost(db.params)
+        assert adaptive_cost < static_cost
+
+    def test_no_leaked_materialized_temps(self, adaptive_run):
+        _db, result = adaptive_run
+        assert result.context.adaptive.materialized == {}
+
+    def test_metrics_folded_into_database(self, adaptive_run):
+        db, _ = adaptive_run
+        assert db.metrics.adaptive_checks_fired >= 1
+        assert db.metrics.adaptive_reoptimizations >= 1
+        assert db.metrics.adaptive_checkpoints_reused >= 1
+
+    def test_result_plan_is_the_final_plan(self, adaptive_run):
+        _db, result = adaptive_run
+        assert result.plan is result.context.adaptive.final_plan
+
+    def test_second_execution_converges(self, adaptive_run):
+        # The fired CHECK evicted the cached plan and the harvest taught
+        # the estimator the true cardinality: the next execution plans
+        # the hash join statically and no CHECK fires.
+        db, first = adaptive_run
+        second = db.sql(TRAP_SQL)
+        assert second.context.adaptive.checks_fired == 0
+        assert second.context.adaptive.reoptimizations == 0
+        assert_same_rows(second.rows, first.rows)
+
+    def test_replay_is_deterministic(self, adaptive_run):
+        _db, result = adaptive_run
+        twin = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+        twin_result = twin.sql(TRAP_SQL)
+        assert (
+            twin_result.context.adaptive.replay_key()
+            == result.context.adaptive.replay_key()
+        )
+        assert twin_result.context.adaptive.replay_key() == [
+            ("inl outer", 1200, "reoptimized")
+        ]
+
+
+class TestMaxReoptsBound:
+    def test_out_of_range_without_budget_runs_static_plan(self, static_result):
+        db = _build_trap_db(
+            adaptive=AdaptiveConfig(enabled=True, max_reopts=0)
+        )
+        result = db.sql(TRAP_SQL)
+        state = result.context.adaptive
+        assert state.reoptimizations == 0
+        assert state.checks_fired == 0
+        assert [event.action for event in state.events] == [
+            "max-reopts-reached"
+        ]
+        _sdb, static = static_result
+        assert_same_rows(result.rows, static.rows)
+
+    def test_small_deviations_never_fire(self):
+        config = AdaptiveConfig(enabled=True, min_rows=32)
+        state = AdaptiveState(config)
+        state.replanner = lambda: None
+        check = CheckP.__new__(CheckP)
+        check.low = 10.0
+        check.high = 20.0
+        check.est_rows = 15.0
+        check.context_label = "test"
+        # Out of range but within min_rows of the estimate: no fire.
+        assert state.note_check(check, 30) is False
+        assert state.events == []
+
+
+class TestGovernorInterplay:
+    def test_reoptimization_charged_against_budget(self):
+        db = _build_trap_db(
+            adaptive=AdaptiveConfig(enabled=True),
+            budget=QueryBudget(timeout_seconds=120.0),
+        )
+        result = db.sql(TRAP_SQL)
+        assert result.context.adaptive.reoptimizations == 1
+        assert result.context.governor.reoptimizations == 1
+
+    def test_reoptimization_past_deadline_fails_typed(self):
+        governor = ResourceGovernor(QueryBudget(timeout_seconds=-1.0))
+        governor.start()
+        with pytest.raises(QueryTimeout):
+            governor.on_reoptimization()
+        assert governor.reoptimizations == 1
+
+    def test_reoptimize_signal_is_not_a_repro_error(self):
+        # Retry machinery and the chaos harness absorb ReproErrors; the
+        # adaptive control-flow signal must never be caught by them.
+        assert not issubclass(ReoptimizeSignal, ReproError)
+
+
+# ----------------------------------------------------------------------
+# Risk-aware plan selection
+# ----------------------------------------------------------------------
+class TestRiskAware:
+    @pytest.fixture(scope="class")
+    def near_tie_db(self):
+        # At 17% correlation over an 8000-row Big, INL at the estimate
+        # is within a few percent of the hash join: a genuine tie on
+        # expectation with wildly different worst cases.
+        return lambda risk: _build_trap_db(
+            config=EnumeratorConfig(risk_aware=risk, risk_epsilon=0.25),
+            corr_pct=17,
+            big_rows=8_000,
+        )
+
+    def test_default_is_risk_neutral(self):
+        assert EnumeratorConfig().risk_aware is False
+        assert CascadesConfig().risk_aware is False
+
+    def test_selectivity_interval_brackets_estimate(self, static_result):
+        db, _ = static_result
+        stats = {"f": db.catalog.stats("Fact")}
+        estimator = CardinalityEstimator(stats)
+        predicate = Comparison(ComparisonOp.EQ, col("f", "a"), lit(1))
+        low, estimate, high = estimator.selectivity.selectivity_interval(
+            predicate
+        )
+        assert 0.0 <= low < estimate < high <= 1.0
+        # Histogram-backed equality: factor-2 uncertainty each side.
+        assert high == pytest.approx(estimate * 2.0)
+
+    def test_unknown_column_gets_fallback_uncertainty(self, static_result):
+        db, _ = static_result
+        estimator = CardinalityEstimator({})  # no statistics at all
+        predicate = Comparison(ComparisonOp.EQ, col("x", "a"), lit(1))
+        factor = estimator.selectivity.uncertainty(predicate)
+        assert factor == 8.0
+
+    def test_relation_set_interval_brackets_estimate(self, static_result):
+        db, _ = static_result
+        graph = QueryGraph()
+        graph.add_relation("f", "Fact")
+        for name in ("a", "b", "c"):
+            graph.add_predicate(
+                Comparison(ComparisonOp.EQ, col("f", name), lit(1))
+            )
+        stats = {"f": db.catalog.stats("Fact")}
+        estimator = CardinalityEstimator(stats)
+        aliases = frozenset(["f"])
+        estimate = estimator.relation_set_cardinality(aliases, graph)
+        low, high = estimator.relation_set_interval(aliases, graph)
+        assert low <= estimate <= high
+        # Three stacked independence assumptions: 2**3 both ways.
+        assert high == pytest.approx(estimate * 8.0)
+
+    def test_systemr_picks_robust_plan_on_near_tie(self, near_tie_db):
+        neutral = near_tie_db(False).optimizer().optimize(TRAP_SQL).physical
+        robust = near_tie_db(True).optimizer().optimize(TRAP_SQL).physical
+        assert any(isinstance(op, INLJoinP) for op in walk_physical(neutral))
+        assert any(isinstance(op, HashJoinP) for op in walk_physical(robust))
+        assert not any(
+            isinstance(op, INLJoinP) for op in walk_physical(robust)
+        )
+        # The hedge costs more on expectation -- that is the premium paid
+        # for the bounded worst case -- but stays within the epsilon
+        # window of the cheapest candidate.
+        assert robust.est_cost.total >= neutral.est_cost.total
+        assert robust.est_cost.total <= neutral.est_cost.total * 1.25
+        # The enumerator stamps its worst-case costing on the join root.
+        join = next(
+            op for op in walk_physical(robust) if isinstance(op, HashJoinP)
+        )
+        assert join.est_cost_hi is not None
+
+    def test_cascades_picks_robust_plan_on_near_tie(self, near_tie_db):
+        db = near_tie_db(False)
+        graph = QueryGraph()
+        graph.add_relation("f", "Fact")
+        graph.add_relation("b", "Big")
+        for name in ("a", "b", "c"):
+            graph.add_predicate(
+                Comparison(ComparisonOp.EQ, col("f", name), lit(1))
+            )
+        graph.add_predicate(
+            Comparison(ComparisonOp.EQ, col("f", "k"), col("b", "fk"))
+        )
+        stats = {"f": db.catalog.stats("Fact"), "b": db.catalog.stats("Big")}
+        neutral_plan, neutral_cost = CascadesOptimizer(
+            db.catalog, graph, stats, config=CascadesConfig()
+        ).best_plan()
+        robust_plan, robust_cost = CascadesOptimizer(
+            db.catalog,
+            graph,
+            stats,
+            config=CascadesConfig(risk_aware=True, risk_epsilon=0.25),
+        ).best_plan()
+        assert isinstance(neutral_plan, INLJoinP)
+        assert isinstance(robust_plan, HashJoinP)
+        assert robust_cost.total <= neutral_cost.total * 1.25
+
+    def test_risk_aware_results_unchanged(self, near_tie_db, request):
+        # Risk awareness moves plan choice, never semantics.
+        neutral = near_tie_db(False)
+        robust = near_tie_db(True)
+        assert_same_rows(
+            robust.sql(TRAP_SQL).rows, neutral.sql(TRAP_SQL).rows
+        )
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE surfacing
+# ----------------------------------------------------------------------
+class TestExplainAnalyzeSurfacing:
+    def test_reopt_events_rendered(self):
+        db = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+        result = db.sql("EXPLAIN ANALYZE " + TRAP_SQL)
+        text = "\n".join(str(row[0]) for row in result.rows)
+        assert "re-optimizations: 1" in text
+        assert "checkpoints reused: 1" in text
+        assert "replayed-checkpoint" in text
+        assert "check: inl outer" in text
+        # The rendered tree is the plan that finished, not the one that
+        # was abandoned mid-run.
+        assert "CheckpointSource" in text
+        assert "IndexNLJoin" not in text
+
+    def test_static_run_renders_no_adaptive_footer(self, static_result):
+        db, _ = static_result
+        result = db.sql("EXPLAIN ANALYZE " + TRAP_SQL)
+        text = "\n".join(str(row[0]) for row in result.rows)
+        assert "re-optimizations" not in text
+        assert "replayed-checkpoint" not in text
+
+
+# ----------------------------------------------------------------------
+# Shell meta-command
+# ----------------------------------------------------------------------
+class TestShellReopt:
+    @pytest.fixture()
+    def shell(self):
+        from repro.shell import Shell
+
+        return Shell(Database())
+
+    def test_status_default_off(self, shell):
+        out = shell.run_command("\\reopt")
+        assert "adaptive re-optimization: off" in out
+        assert "checks fired: 0" in out
+
+    def test_toggle_on_off(self, shell):
+        assert "enabled" in shell.run_command("\\reopt on")
+        assert shell.db.adaptive.enabled is True
+        assert "adaptive re-optimization: on" in shell.run_command("\\reopt")
+        assert "disabled" in shell.run_command("\\reopt off")
+        assert shell.db.adaptive.enabled is False
+
+    def test_knobs(self, shell):
+        shell.run_command("\\reopt on")
+        assert "5" in shell.run_command("\\reopt max 5")
+        assert shell.db.adaptive.max_reopts == 5
+        assert "2.5" in shell.run_command("\\reopt factor 2.5")
+        assert shell.db.adaptive.validity_factor == 2.5
+        # Toggling knobs must not flip the enabled switch.
+        assert shell.db.adaptive.enabled is True
+
+    def test_invalid_inputs(self, shell):
+        assert "usage" in shell.run_command("\\reopt bogus")
+        assert "not a number" in shell.run_command("\\reopt max x")
+        assert ">= 0" in shell.run_command("\\reopt max -1")
+        assert "> 1" in shell.run_command("\\reopt factor 0.5")
+
+    def test_toggling_clears_plan_cache(self, shell):
+        db = shell.db
+        db.create_table("T", [Column("x", ColumnType.INT)])
+        db.catalog.table("T").insert((1,))
+        db.sql("SELECT t.x FROM T t")
+        db.sql("SELECT t.x FROM T t")
+        assert db.metrics.plan_cache_hits >= 1
+        shell.run_command("\\reopt on")
+        result = db.sql("SELECT t.x FROM T t")
+        assert result.from_plan_cache is False
+
+    def test_counters_in_status(self):
+        from repro.shell import Shell
+
+        db = _build_trap_db(adaptive=AdaptiveConfig(enabled=True))
+        db.sql(TRAP_SQL)
+        out = Shell(db).run_command("\\reopt")
+        assert "checks fired: 1" in out
+        assert "re-optimizations: 1" in out
+        assert "checkpoints reused: 1" in out
+
+
+# ----------------------------------------------------------------------
+# Feedback harvest under graceful degradation (regression)
+# ----------------------------------------------------------------------
+class TestDegradedHarvest:
+    @staticmethod
+    def _join_db(budget):
+        db = Database(budget=budget)
+        left = db.create_table(
+            "L", [Column("k", ColumnType.INT), Column("v", ColumnType.INT)]
+        )
+        right = db.create_table(
+            "R", [Column("k", ColumnType.INT), Column("w", ColumnType.INT)]
+        )
+        rng = random.Random(3)
+        left.insert_many([(rng.randint(0, 99), i) for i in range(3000)])
+        right.insert_many([(rng.randint(0, 99), i) for i in range(3000)])
+        db.analyze()
+        return db
+
+    def test_degraded_operators_harvest_identical_feedback(self):
+        sql = (
+            "SELECT l.k, COUNT(*) FROM L l, R r "
+            "WHERE l.k = r.k AND l.v < 1500 GROUP BY l.k"
+        )
+        plain = self._join_db(None)
+        tight = self._join_db(QueryBudget(memory_limit_bytes=64 * 1024))
+        full = plain.sql(sql)
+        degraded = tight.sql(sql)
+        assert degraded.context.counters.degraded_operators > 0
+        assert full.context.counters.degraded_operators == 0
+        assert_same_rows(degraded.rows, full.rows)
+        # Grace partitioning changes the execution strategy, never the
+        # per-operator cardinalities the harvest divides through: the
+        # learned selectivities must be bit-identical.
+        assert tight.feedback.format() == plain.feedback.format()
+        assert plain.feedback.format().count("sel=") >= 2

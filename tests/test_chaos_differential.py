@@ -21,7 +21,7 @@ import random
 
 import pytest
 
-from repro import Database, FaultConfig, FaultInjector
+from repro import AdaptiveConfig, Database, FaultConfig, FaultInjector
 from repro.datagen import build_emp_dept
 from repro.errors import ReproError
 
@@ -32,7 +32,9 @@ QUERY_COUNT = 200
 FAULT_RATES = (0.01, 0.05, 0.20)
 
 
-def _make_db(rate: float = 0.0, seed: int = SEED) -> Database:
+def _make_db(
+    rate: float = 0.0, seed: int = SEED, adaptive: bool = False
+) -> Database:
     injector = None
     if rate > 0.0:
         injector = FaultInjector(
@@ -42,7 +44,10 @@ def _make_db(rate: float = 0.0, seed: int = SEED) -> Database:
                 index_lookup_error_rate=rate,
             )
         )
-    db = Database(fault_injector=injector)
+    db = Database(
+        fault_injector=injector,
+        adaptive=AdaptiveConfig(enabled=True) if adaptive else None,
+    )
     build_emp_dept(
         db.catalog,
         emp_rows=EMP_ROWS,
@@ -53,10 +58,10 @@ def _make_db(rate: float = 0.0, seed: int = SEED) -> Database:
     return db
 
 
-def _chaos_run(rate: float, count: int = QUERY_COUNT):
+def _chaos_run(rate: float, count: int = QUERY_COUNT, adaptive: bool = False):
     """Run the suite under faults; returns per-query outcome records."""
     clean = _make_db()
-    chaotic = _make_db(rate=rate)
+    chaotic = _make_db(rate=rate, adaptive=adaptive)
     rng = random.Random(SEED)
     outcomes = []
     for _ in range(count):
@@ -65,13 +70,22 @@ def _chaos_run(rate: float, count: int = QUERY_COUNT):
         try:
             result = chaotic.sql(sql)
         except ReproError as error:
-            outcomes.append(("failed", type(error).__name__, 0))
+            outcomes.append(("failed", type(error).__name__, 0, 0, 0))
             continue
         except Exception as error:  # pragma: no cover - the bug we hunt
             pytest.fail(f"untyped error under chaos for {sql!r}: {error!r}")
         assert_same_rows(result.rows, expected, msg=f"[rate={rate}] {sql}")
+        state = result.context.adaptive
+        if state is not None:
+            assert state.materialized == {}, f"leaked checkpoint temps: {sql}"
         outcomes.append(
-            ("ok", "", result.context.counters.retries)
+            (
+                "ok",
+                "",
+                result.context.counters.retries,
+                state.checks_fired if state else 0,
+                state.reoptimizations if state else 0,
+            )
         )
     # The catalog survived whatever happened above, and with the fault
     # source removed the session runs normally again.
@@ -86,18 +100,93 @@ def _chaos_run(rate: float, count: int = QUERY_COUNT):
 def test_chaos_suite_identical_results_or_clean_typed_failure(rate):
     outcomes = _chaos_run(rate)
     assert len(outcomes) == QUERY_COUNT
-    succeeded = sum(1 for status, _, _ in outcomes if status == "ok")
+    succeeded = sum(1 for o in outcomes if o[0] == "ok")
     # Retries absorb most faults: the suite must not collapse even at the
     # highest rate.
     assert succeeded > QUERY_COUNT // 2, f"only {succeeded} queries survived"
     # At any positive rate, some retries must have happened overall.
-    assert sum(retries for _, _, retries in outcomes) > 0
+    assert sum(o[2] for o in outcomes) > 0
 
 
 def test_chaos_outcomes_are_deterministic():
     first = _chaos_run(0.05, count=60)
     second = _chaos_run(0.05, count=60)
     assert first == second
+
+
+@pytest.mark.parametrize("rate", FAULT_RATES)
+def test_chaos_suite_with_adaptive_execution(rate):
+    """The robustness contract holds with mid-query re-optimization armed.
+
+    Adaptive execution inserts CHECK operators into every plan, so even
+    queries whose estimates are in range exercise the extra machinery
+    under injected faults.  Results must still match the fault-free
+    static baseline (or fail with a typed error), and no checkpoint
+    temps may leak from successful runs.
+    """
+    outcomes = _chaos_run(rate, count=100, adaptive=True)
+    assert len(outcomes) == 100
+    succeeded = sum(1 for o in outcomes if o[0] == "ok")
+    assert succeeded > 50, f"only {succeeded} queries survived"
+    assert sum(o[2] for o in outcomes) > 0
+
+
+def test_chaos_adaptive_outcomes_are_deterministic():
+    first = _chaos_run(0.05, count=40, adaptive=True)
+    second = _chaos_run(0.05, count=40, adaptive=True)
+    assert first == second
+
+
+def _trap_chaos_run(seed: int, rate: float = 0.05):
+    """Run the misestimate trap under faults with adaptivity enabled."""
+    from tests.test_adaptive import TRAP_SQL, _build_trap_db
+
+    injector = FaultInjector(
+        FaultConfig(
+            seed=seed,
+            page_read_error_rate=rate,
+            index_lookup_error_rate=rate,
+        )
+    )
+    db = _build_trap_db(
+        adaptive=AdaptiveConfig(enabled=True), fault_injector=injector
+    )
+    try:
+        result = db.sql(TRAP_SQL)
+    except ReproError as error:
+        return ("failed", type(error).__name__, None, None)
+    state = result.context.adaptive
+    assert state.materialized == {}, "leaked checkpoint temps"
+    return (
+        "ok",
+        "",
+        tuple(state.replay_key()),
+        tuple(sorted(result.rows)),
+    )
+
+
+def test_trap_reoptimization_survives_chaos():
+    """Faults injected while a CHECK fires and the remainder is replanned.
+
+    Every seeded run must either reproduce the fault-free rows exactly
+    or fail with a typed error; at least one seed must survive all the
+    way through a mid-query re-optimization.
+    """
+    from tests.test_adaptive import TRAP_SQL, _build_trap_db
+
+    oracle = tuple(sorted(_build_trap_db().sql(TRAP_SQL).rows))
+    reopt_survivals = 0
+    for seed in (1, 2, 3):
+        outcome = _trap_chaos_run(seed)
+        if outcome[0] == "ok":
+            assert outcome[3] == oracle, f"row mismatch under seed {seed}"
+            if any(action == "reoptimized" for _, _, action in outcome[2]):
+                reopt_survivals += 1
+    assert reopt_survivals >= 1, "no seed survived a chaotic re-optimization"
+
+
+def test_trap_chaos_outcome_is_deterministic():
+    assert _trap_chaos_run(11) == _trap_chaos_run(11)
 
 
 def test_different_seeds_produce_different_schedules():
