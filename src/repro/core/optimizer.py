@@ -386,6 +386,8 @@ class Database:
         fault_injector: Optional[FaultInjector] = None,
         use_feedback: bool = True,
         adaptive: Optional[AdaptiveConfig] = None,
+        batch_mode: bool = True,
+        compiled_expressions: bool = True,
     ) -> None:
         self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
         self.params = params
@@ -402,6 +404,11 @@ class Database:
             CardinalityFeedback() if use_feedback else None
         )
         self.adaptive = adaptive
+        # Execution-engine knobs: the batch-iterator engine and compiled
+        # expressions are the default; turning either off selects the
+        # legacy materializing / tree-walking oracle paths.
+        self.batch_mode = batch_mode
+        self.compiled_expressions = compiled_expressions
         self._plan_failures: Dict[PlanCacheKey, int] = {}
         self._conservative_keys: Set[PlanCacheKey] = set()
 
@@ -569,6 +576,8 @@ class Database:
         context.cancel_token = self.cancel_token
         context.fault_injector = self.fault_injector
         context.feedback = self.feedback
+        context.batch_mode = self.batch_mode
+        context.compiled_expressions = self.compiled_expressions
         if self.adaptive is not None and self.adaptive.enabled:
             context.adaptive = AdaptiveState(self.adaptive)
         return context

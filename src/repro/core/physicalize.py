@@ -22,6 +22,7 @@ from repro.cost.model import (
     cost_filter,
     cost_hash_aggregate,
     cost_hash_join,
+    cost_limit,
     cost_nested_loop_join,
     cost_project,
     cost_seq_scan,
@@ -49,6 +50,7 @@ from repro.logical.operators import (
     GroupBy,
     Join,
     JoinKind,
+    Limit,
     LogicalOp,
     Project,
     Sort,
@@ -61,6 +63,7 @@ from repro.physical.plans import (
     FilterP,
     HashAggP,
     HashJoinP,
+    LimitP,
     NLJoinP,
     PhysicalOp,
     ProjectP,
@@ -318,6 +321,15 @@ class Physicalizer:
                 self.params,
             )
             plan.order = order
+            return plan
+        if isinstance(op, Limit):
+            # No order requirement is pushed through: which rows satisfy
+            # the quota must not depend on what the plan above wants.
+            child = self.physicalize(op.child)
+            plan = LimitP(child, op.limit, op.offset)
+            plan.est_rows = rows
+            plan.est_cost = child.est_cost + cost_limit(rows, self.params)
+            plan.order = child.order
             return plan
         if isinstance(op, Apply):
             left = self.physicalize(op.left)

@@ -40,6 +40,7 @@ from repro.logical.operators import (
     GroupBy,
     Join,
     JoinKind,
+    Limit,
     LogicalOp,
     Project,
     ProjectItem,
@@ -119,7 +120,9 @@ def strip_correlated(
         if remaining is None:
             return child, extracted
         return Filter(child, remaining), extracted
-    blocking = isinstance(op, (GroupBy, Distinct, Apply, Union))
+    # A Limit is also a fence: removing a predicate from beneath a row
+    # quota changes which rows fill it.
+    blocking = isinstance(op, (GroupBy, Distinct, Apply, Union, Limit))
     children = op.children()
     if not children:
         return op, extracted

@@ -297,6 +297,20 @@ def cost_exchange(rows: float, pages: float, params: CostParameters) -> Cost:
     )
 
 
+def cost_limit(output_rows: float, params: CostParameters) -> Cost:
+    """Enforcing a row quota.
+
+    Charged on the rows that pass, not the child's full output: under
+    the pipelined executor a LIMIT stops pulling its child once the
+    quota is met, and the operator itself holds no working memory (it
+    forwards batches, trimming the last one).
+    """
+    return Cost(
+        cpu=output_rows * params.cpu_tuple_cost
+        + params.startup_cost_per_operator
+    )
+
+
 def cost_udf_filter(rows: float, per_tuple_cost: float, params: CostParameters) -> Cost:
     """Applying an expensive user-defined predicate (Section 7.2)."""
     return Cost(

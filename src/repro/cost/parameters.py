@@ -30,6 +30,8 @@ class CostParameters:
         comm_cost_per_page: cost of shipping one page between processors
             (parallel/distributed plans, Section 7.1).
         startup_cost_per_operator: fixed overhead per physical operator.
+        batch_size: rows per batch in the pipelined executor; streaming
+            operators hold at most this many rows resident at once.
     """
 
     seq_page_cost: float = 1.0
@@ -43,6 +45,7 @@ class CostParameters:
     page_size_bytes: int = 8192
     comm_cost_per_page: float = 2.0
     startup_cost_per_operator: float = 0.1
+    batch_size: int = 1024
 
     def with_overrides(self, **overrides) -> "CostParameters":
         """A copy with some parameters replaced."""
@@ -50,3 +53,8 @@ class CostParameters:
 
 
 DEFAULT_PARAMETERS = CostParameters()
+
+# The executor reads its runtime knobs (batch_size, workspace pages) off
+# the same object the cost model prices plans with, so a parameter sweep
+# changes both the plan and the execution it gets.
+ExecParams = CostParameters

@@ -10,7 +10,11 @@ and probe sides, spools, group-by boundaries, index-nested-loop outer
 batches).
 
 At runtime a CHECK that observes a cardinality outside its validity
-range raises :class:`ReoptimizeSignal`.  The executor catches it,
+range raises :class:`ReoptimizeSignal`.  (Under the batch engine a
+CheckP is a declared pipeline breaker -- it must see its child's full
+cardinality before letting a single batch through, and the signal
+unwinds the suspended generator pipeline above it, whose drivers close
+their children on the way out.)  The executor catches it,
 harvests the cardinalities observed so far into the feedback store,
 re-optimizes the remainder of the query, splices already-materialized
 intermediates back in as :class:`CheckpointSourceP` leaves

@@ -130,6 +130,12 @@ class ExecContext:
             finished run's per-operator actuals into it.
         feedback_summary: what the harvest of the most recent execution
             recorded (operators seen, observations, worst misestimate).
+        batch_mode: run the pull-based batch-iterator executor (the
+            default); False selects the legacy materialize-everything
+            path, kept as a differential oracle.
+        compiled_expressions: evaluate predicates/scalars through
+            closures compiled once per operator; False falls back to
+            the tree-walking evaluator (the semantic oracle).
     """
 
     def __init__(self, params: Optional[CostParameters] = None) -> None:
@@ -148,6 +154,8 @@ class ExecContext:
         # Progressive-optimization state (validity-range CHECKs, replans,
         # checkpointed intermediates); None runs the plan statically.
         self.adaptive: Optional["AdaptiveState"] = None
+        self.batch_mode: bool = True
+        self.compiled_expressions: bool = True
 
     def begin_execution(self) -> None:
         """Arm the governor for one run (called by ``execute``)."""

@@ -1,10 +1,29 @@
 """The physical-plan executor.
 
-Executes physical operator trees against catalog data, materializing
-intermediate results operator by operator, and records the work done
-(page reads through the simulated buffer pool, comparisons, UDF calls)
-in the :class:`~repro.engine.context.ExecContext`.  Benchmarks use these
-counters as the *measured* cost to validate optimizer estimates.
+Executes physical operator trees against catalog data and records the
+work done (page reads through the simulated buffer pool, comparisons,
+UDF calls) in the :class:`~repro.engine.context.ExecContext`.
+Benchmarks use these counters as the *measured* cost to validate
+optimizer estimates.
+
+Two execution strategies share this module:
+
+* the **batch-iterator engine** (default, ``ctx.batch_mode=True``):
+  operators are generators that yield row batches of
+  ``params.batch_size`` rows, pulled demand-driven from the root.
+  Streaming operators (scans, filters, projections, the probe side of a
+  hash join, LIMIT) hold at most one batch; only declared pipeline
+  breakers (see :attr:`PhysicalOp.is_pipeline_breaker`) materialize
+  their input.  Each operator's high-water materialization is recorded
+  as ``peak_resident_rows`` in the runtime stats.  Scalar expressions
+  are compiled once per operator into closures
+  (:mod:`repro.expr.compiler`) unless ``ctx.compiled_expressions`` is
+  off.
+* the **legacy materializing engine** (``ctx.batch_mode=False``):
+  every operator materializes its full output.  It is kept verbatim as
+  the differential-testing oracle for the batch engine.
+
+Both produce bit-identical rows and counters for full result drains.
 
 Robustness hooks run throughout: the context's
 :class:`~repro.engine.governor.ResourceGovernor` is consulted at
@@ -20,7 +39,7 @@ from __future__ import annotations
 
 import time
 import zlib
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.catalog.catalog import Catalog
 from repro.cost.model import pages_for_rows
@@ -29,6 +48,7 @@ from repro.engine.context import ExecContext
 from repro.engine.interpreter import InterpreterStats, interpret, sort_rows
 from repro.engine.runtime_stats import RuntimeStats
 from repro.errors import ExecutionError, MemoryBudgetExceeded
+from repro.expr.compiler import compile_predicate, compile_scalar
 from repro.expr.evaluator import bind_parameters, evaluate, predicate_holds
 from repro.expr.expressions import ColumnRef, Expr
 from repro.expr.schema import StreamSchema
@@ -45,6 +65,7 @@ from repro.physical.plans import (
     HashJoinP,
     INLJoinP,
     IndexScanP,
+    LimitP,
     MaterializeP,
     MergeJoinP,
     NLJoinP,
@@ -56,6 +77,7 @@ from repro.physical.plans import (
     UdfFilterP,
     UnionAllP,
     plan_signature,
+    walk_physical,
 )
 
 Row = Tuple[Any, ...]
@@ -105,16 +127,19 @@ def execute(
             if context.adaptive is not None:
                 rows, current = _run_adaptive(plan, catalog, context)
             else:
-                rows = _run(plan, catalog, context)
+                rows = _collect(plan, catalog, context)
     finally:
         if context.adaptive is not None:
             # Materialized intermediates live only within one execution;
             # dropping them here guarantees no temps leak, success or not.
             context.adaptive.materialized.clear()
         context.runtime.total_seconds = time.perf_counter() - start
-    if context.feedback is not None:
+    if context.feedback is not None and not _plan_has_limit(current):
         # Close the loop: per-operator actuals recorded at operator
         # boundaries become observed selectivities for the optimizer.
+        # Plans containing a LIMIT are excluded: early termination leaves
+        # operators above and beside the quota with *partial* actuals,
+        # which would poison the feedback cache with underestimates.
         context.feedback_summary = harvest_feedback(
             current, context.runtime, catalog, context.feedback
         )
@@ -140,7 +165,7 @@ def _run_adaptive(
     current = plan
     while True:
         try:
-            rows = _run(current, catalog, context)
+            rows = _collect(current, catalog, context)
             return rows, current
         except ReoptimizeSignal:
             state.reoptimizations += 1
@@ -148,7 +173,7 @@ def _run_adaptive(
                 # A replan consumes budget like any other work: charge it
                 # and fail typed if the deadline has already passed.
                 context.governor.on_reoptimization()
-            if context.feedback is not None:
+            if context.feedback is not None and not _plan_has_limit(current):
                 # Feed the observed cardinalities (including the row count
                 # that fired the CHECK) to the estimator, so re-planning
                 # sees corrected selectivities, not the ones that misled.
@@ -163,6 +188,20 @@ def _run_adaptive(
             current = remainder
 
 
+def _collect(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    """Fully evaluate a plan with whichever engine the context selects."""
+    if ctx.batch_mode:
+        return _drain(op, catalog, ctx)
+    return _run(op, catalog, ctx)
+
+
+def _plan_has_limit(plan: PhysicalOp) -> bool:
+    return any(isinstance(node, LimitP) for node in walk_physical(plan))
+
+
+# ======================================================================
+# Legacy materializing engine (the differential-testing oracle)
+# ======================================================================
 def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     handler = _HANDLERS.get(type(op))
     if handler is None:
@@ -194,6 +233,8 @@ def _run(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     node.retries += ctx.counters.retries - retries_before
     node.invocations += 1
     node.actual_rows += len(rows)
+    # The materializing engine holds every operator's entire output.
+    node.peak_resident_rows = max(node.peak_resident_rows, len(rows))
     if governor is not None:
         governor.on_rows(len(rows))
     return rows
@@ -808,6 +849,16 @@ def _run_exchange(op: ExchangeP, catalog: Catalog, ctx: ExecContext) -> List[Row
     return rows
 
 
+def _run_limit(op: LimitP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    # The materializing engine cannot terminate its child early; it just
+    # trims.  The batch engine's _stream_limit stops pulling instead.
+    rows = _run(op.child, catalog, ctx)
+    end = None if op.limit is None else op.offset + op.limit
+    out = rows[op.offset:end]
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
 _HANDLERS = {
     CheckP: _run_check,
     CheckpointSourceP: _run_checkpoint_source,
@@ -826,6 +877,961 @@ _HANDLERS = {
     HashAggP: _run_hash_agg,
     DistinctP: _run_distinct,
     UnionAllP: _run_union_all,
+    LimitP: _run_limit,
     ApplyP: _run_apply,
     ExchangeP: _run_exchange,
+}
+
+
+# ======================================================================
+# Batch-iterator engine (the default)
+# ======================================================================
+#
+# Every handler below is a generator yielding lists of rows (batches of
+# at most ``params.batch_size``).  Streaming operators transform their
+# child's batches one at a time; pipeline breakers drain their input via
+# ``_drain`` and record the materialized size with ``_note_resident``.
+# The per-operator accounting (wall time, pages, actual rows, peaks)
+# lives in one place: the ``stream_batches`` driver that wraps every
+# handler.
+Batch = List[Row]
+
+
+def _drain(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    """Pull a subplan to exhaustion, materializing all its rows."""
+    out: List[Row] = []
+    gen = stream_batches(op, catalog, ctx)
+    try:
+        for batch in gen:
+            out.extend(batch)
+    finally:
+        gen.close()
+    return out
+
+
+def _batches_of(rows: Sequence[Row], size: int) -> Iterator[Batch]:
+    for start in range(0, len(rows), size):
+        yield list(rows[start:start + size])
+
+
+def _note_resident(ctx: ExecContext, op: PhysicalOp, count: int) -> None:
+    """Record a pipeline breaker's materialized working-set size."""
+    if ctx.runtime is not None:
+        node = ctx.runtime.node_for(op)
+        node.peak_resident_rows = max(node.peak_resident_rows, count)
+
+
+def _predicate_fn(
+    expr: Optional[Expr], schema: StreamSchema, ctx: ExecContext
+) -> Callable[[Row], bool]:
+    """A per-row predicate closure: compiled when the context allows it,
+    else the tree-walking evaluator (the compilation oracle)."""
+    if ctx.compiled_expressions:
+        return compile_predicate(expr, schema)
+    if expr is None:
+        return lambda _row: True
+    return lambda row: predicate_holds(expr, row, schema)
+
+
+def _scalar_fn(
+    expr: Expr, schema: StreamSchema, ctx: ExecContext
+) -> Callable[[Row], Any]:
+    if ctx.compiled_expressions:
+        return compile_scalar(expr, schema)
+    return lambda row: evaluate(expr, row, schema)
+
+
+def stream_batches(
+    op: PhysicalOp, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    """The batch engine's driver: streams an operator's output batches.
+
+    Wraps the operator's handler generator with the accounting the
+    legacy ``_run`` wrapper performs per call, adapted to batches:
+    wall time, page reads, and retries are measured around each pull
+    (inclusive of the child pulls that happen inside it, like legacy
+    subtree-cumulative accounting); ``actual_rows`` accumulates per
+    batch; the governor sees a full check at stream start, the row
+    budget against cumulative output, and a tick per batch.  Handlers
+    for quadratic or blocking operators keep their own per-row ticks so
+    timeouts still fire promptly inside a single long pull.
+    """
+    handler = _STREAM_HANDLERS.get(type(op))
+    if handler is None:
+        for op_type, candidate in _STREAM_HANDLERS.items():
+            if isinstance(op, op_type):
+                handler = candidate
+                break
+    if handler is None:
+        raise ExecutionError(f"no streaming executor for {type(op).__name__}")
+    governor = ctx.governor
+    if governor is not None:
+        # Operator boundary (first pull): full-fidelity budget check.
+        governor.check()
+    node = ctx.runtime.node_for(op) if ctx.runtime is not None else None
+    if node is not None:
+        node.invocations += 1
+    inner = handler(op, catalog, ctx)
+    produced = 0
+    try:
+        while True:
+            if node is None:
+                try:
+                    batch = next(inner)
+                except StopIteration:
+                    return
+            else:
+                pages_before = ctx.counters.total_page_reads
+                retries_before = ctx.counters.retries
+                start = time.perf_counter()
+                try:
+                    batch = next(inner)
+                except StopIteration:
+                    node.wall_seconds += time.perf_counter() - start
+                    node.pages_read += (
+                        ctx.counters.total_page_reads - pages_before
+                    )
+                    node.retries += ctx.counters.retries - retries_before
+                    return
+                node.wall_seconds += time.perf_counter() - start
+                node.pages_read += ctx.counters.total_page_reads - pages_before
+                # Cumulative over the subtree, like pages_read; the renderer
+                # subtracts children to show each operator's own retries.
+                node.retries += ctx.counters.retries - retries_before
+                node.actual_rows += len(batch)
+                # A streaming operator's footprint is the batch in flight;
+                # breakers raise this further via _note_resident.
+                node.peak_resident_rows = max(
+                    node.peak_resident_rows, len(batch)
+                )
+            produced += len(batch)
+            if governor is not None:
+                governor.on_rows(produced)
+                governor.tick(len(batch))
+            yield batch
+    finally:
+        inner.close()
+
+
+# ----------------------------------------------------------------------
+# Streaming scans
+# ----------------------------------------------------------------------
+def _stream_seq_scan(
+    op: SeqScanP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    table = catalog.table(op.table)
+    schema = op.output_schema()
+    keep = _predicate_fn(op.predicate, schema, ctx)
+    batch_size = ctx.params.batch_size
+    # Page reads stay up-front so the fault-injection schedule is
+    # identical to the legacy engine's.
+    for page_no in range(table.page_count):
+        ctx.read_page(op.table, page_no, sequential=True)
+    batch: Batch = []
+    for _row_id, row in table.scan():
+        if op.predicate is not None:
+            ctx.counters.rows_compared += 1
+            if not keep(row):
+                continue
+        batch.append(tuple(row))
+        if len(batch) >= batch_size:
+            ctx.counters.rows_produced += len(batch)
+            yield batch
+            batch = []
+    if batch:
+        ctx.counters.rows_produced += len(batch)
+        yield batch
+
+
+def _stream_index_scan(
+    op: IndexScanP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    table = catalog.table(op.table)
+    index = catalog.index(op.index_name)
+    schema = op.output_schema()
+    keep = _predicate_fn(op.predicate, schema, ctx)
+    batch_size = ctx.params.batch_size
+    site = f"idx:{op.index_name}"
+    for level in range(index.height):
+        ctx.read_page(site, -(level + 1), sequential=False)
+    if op.eq_value is not None:
+        row_ids = ctx.index_lookup(lambda: index.seek_prefix(op.eq_value), site)
+    elif op.low is not None or op.high is not None:
+        row_ids = ctx.index_lookup(lambda: index.range(op.low, op.high), site)
+    else:
+        row_ids = ctx.index_lookup(index.ordered_row_ids, site)
+    if index.page_count:
+        covered = max(
+            1, round(index.page_count * len(row_ids) / max(index.entry_count, 1))
+        )
+        for leaf in range(covered):
+            ctx.read_page(site, leaf, sequential=True)
+    clustered = index.definition.clustered
+    batch: Batch = []
+    # Data pages are fetched per matched row as the stream is pulled, so
+    # a LIMIT above this scan stops the I/O, not just the row copies.
+    for row_id in row_ids:
+        ctx.read_page(op.table, table.page_of(row_id), sequential=clustered)
+        row = table.fetch(row_id)
+        if op.predicate is not None:
+            ctx.counters.rows_compared += 1
+            if not keep(row):
+                continue
+        batch.append(tuple(row))
+        if len(batch) >= batch_size:
+            ctx.counters.rows_produced += len(batch)
+            yield batch
+            batch = []
+    if batch:
+        ctx.counters.rows_produced += len(batch)
+        yield batch
+
+
+# ----------------------------------------------------------------------
+# Streaming row operators
+# ----------------------------------------------------------------------
+def _stream_filter(
+    op: FilterP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    schema = op.child.output_schema()
+    keep = _predicate_fn(op.predicate, schema, ctx)
+    child = stream_batches(op.child, catalog, ctx)
+    try:
+        for batch in child:
+            out: Batch = []
+            for row in batch:
+                ctx.counters.rows_compared += 1
+                if keep(row):
+                    out.append(row)
+            if out:
+                ctx.counters.rows_produced += len(out)
+                yield out
+    finally:
+        child.close()
+
+
+def _stream_udf_filter(
+    op: UdfFilterP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    schema = op.child.output_schema()
+    fn = _scalar_fn(op.udf, schema, ctx)
+    per_tuple = max(1, int(op.udf.per_tuple_cost))
+    child = stream_batches(op.child, catalog, ctx)
+    try:
+        for batch in child:
+            out: Batch = []
+            for row in batch:
+                ctx.counters.udf_invocations += 1
+                ctx.counters.rows_compared += per_tuple
+                if fn(row) is True:
+                    out.append(row)
+            if out:
+                ctx.counters.rows_produced += len(out)
+                yield out
+    finally:
+        child.close()
+
+
+def _stream_project(
+    op: ProjectP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    schema = op.child.output_schema()
+    fns = [_scalar_fn(item.expr, schema, ctx) for item in op.items]
+    child = stream_batches(op.child, catalog, ctx)
+    try:
+        for batch in child:
+            out = [tuple(fn(row) for fn in fns) for row in batch]
+            ctx.counters.rows_produced += len(out)
+            yield out
+    finally:
+        child.close()
+
+
+def _stream_limit(
+    op: LimitP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    to_skip = op.offset
+    remaining = op.limit  # None means no quota, offset-only
+    child = stream_batches(op.child, catalog, ctx)
+    try:
+        if remaining == 0:
+            return
+        for batch in child:
+            if to_skip:
+                if to_skip >= len(batch):
+                    to_skip -= len(batch)
+                    continue
+                batch = batch[to_skip:]
+                to_skip = 0
+            if remaining is not None and len(batch) > remaining:
+                batch = batch[:remaining]
+            if remaining is not None:
+                remaining -= len(batch)
+            ctx.counters.rows_produced += len(batch)
+            yield batch
+            if remaining is not None and remaining <= 0:
+                # Quota met: stop pulling.  Closing the child (in the
+                # finally) unwinds the whole pipeline beneath it.
+                return
+    finally:
+        child.close()
+
+
+# ----------------------------------------------------------------------
+# Streaming pipeline breakers
+# ----------------------------------------------------------------------
+def _stream_sort(
+    op: SortP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    rows = _drain(op.child, catalog, ctx)
+    schema = op.child.output_schema()
+    width = _row_width(schema)
+    pages = pages_for_rows(len(rows), width, ctx.params)
+    if pages > ctx.params.sort_memory_pages:
+        ctx.counters.sort_spill_pages += int(2 * pages)
+    if ctx.governor is not None:
+        # Sorts always have the external-merge path, so a sort working
+        # set over budget is recorded (high-water mark) but never fatal.
+        ctx.governor.memory_high_water_bytes = max(
+            ctx.governor.memory_high_water_bytes, int(len(rows) * width)
+        )
+    _note_resident(ctx, op, len(rows))
+    out = sort_rows(rows, schema, op.sort_order)
+    ctx.counters.rows_compared += int(len(rows) * max(1, len(rows)).bit_length())
+    ctx.counters.rows_produced += len(out)
+    for batch in _batches_of(out, ctx.params.batch_size):
+        yield batch
+
+
+def _stream_check(
+    op: CheckP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    rows = _drain(op.child, catalog, ctx)
+    state = ctx.adaptive
+    if state is not None:
+        # Checkpoint on pass *and* fire: any completed intermediate is
+        # reusable by a later remainder plan, not just the one that fired.
+        state.store_checkpoint(
+            plan_signature(op.child),
+            op.child.output_schema(),
+            rows,
+            op.context_label or "check",
+        )
+        if state.note_check(op, len(rows)):
+            if ctx.runtime is not None:
+                # The raise unwinds past the driver's per-batch accounting
+                # (the invocation itself was already counted at first
+                # pull); record the observation here so EXPLAIN ANALYZE
+                # shows the fired CHECK.
+                node = ctx.runtime.node_for(op)
+                node.actual_rows += len(rows)
+                node.check_fired = True
+            raise ReoptimizeSignal(op, len(rows))
+    _note_resident(ctx, op, len(rows))
+    for batch in _batches_of(rows, ctx.params.batch_size):
+        yield batch
+
+
+def _stream_checkpoint_source(
+    op: CheckpointSourceP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    if ctx.runtime is not None:
+        ctx.runtime.node_for(op).from_checkpoint = True
+    size = ctx.params.batch_size
+    # Batches slice the stored checkpoint directly -- no whole-result
+    # copy, and the replayed row objects keep their identity.
+    for start in range(0, len(op.rows), size):
+        batch = list(op.rows[start:start + size])
+        ctx.counters.rows_produced += len(batch)
+        yield batch
+
+
+def _stream_materialize(
+    op: MaterializeP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    rows = _drain(op.child, catalog, ctx)
+    pages = pages_for_rows(
+        len(rows), _row_width(op.child.output_schema()), ctx.params
+    )
+    if pages > ctx.params.sort_memory_pages:
+        ctx.counters.sort_spill_pages += int(2 * pages)
+    _note_resident(ctx, op, len(rows))
+    for batch in _batches_of(rows, ctx.params.batch_size):
+        yield batch
+
+
+# ----------------------------------------------------------------------
+# Streaming joins
+# ----------------------------------------------------------------------
+_SUPPORTED_JOIN_KINDS = (
+    JoinKind.INNER,
+    JoinKind.CROSS,
+    JoinKind.LEFT_OUTER,
+    JoinKind.SEMI,
+    JoinKind.ANTI,
+)
+
+
+def _stream_nl_join(
+    op: NLJoinP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    if op.kind not in _SUPPORTED_JOIN_KINDS:
+        raise ExecutionError(f"nested loop join cannot run kind {op.kind}")
+    # The inner (right) side is materialized for rescanning; the outer
+    # streams through it batch by batch.
+    right_rows = _drain(op.right, catalog, ctx)
+    left_schema = op.left.output_schema()
+    right_schema = op.right.output_schema()
+    combined = left_schema.concat(right_schema)
+    keep = _predicate_fn(op.predicate, combined, ctx)
+    governor = ctx.governor
+    pad = (None,) * right_schema.arity
+    batch_size = ctx.params.batch_size
+    _note_resident(ctx, op, len(right_rows))
+
+    def matches(lrow: Row, rrow: Row) -> bool:
+        # Per-pair tick: a quadratic loop must observe timeouts promptly
+        # even when a single outer batch implies millions of pairs.
+        if governor is not None:
+            governor.tick()
+        ctx.counters.rows_compared += 1
+        if op.predicate is None:
+            return True
+        return keep(lrow + rrow)
+
+    out: Batch = []
+    child = stream_batches(op.left, catalog, ctx)
+    try:
+        for lbatch in child:
+            for lrow in lbatch:
+                if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+                    for rrow in right_rows:
+                        if matches(lrow, rrow):
+                            out.append(lrow + rrow)
+                elif op.kind is JoinKind.LEFT_OUTER:
+                    matched = False
+                    for rrow in right_rows:
+                        if matches(lrow, rrow):
+                            matched = True
+                            out.append(lrow + rrow)
+                    if not matched:
+                        out.append(lrow + pad)
+                elif op.kind is JoinKind.SEMI:
+                    if any(matches(lrow, rrow) for rrow in right_rows):
+                        out.append(lrow)
+                elif op.kind is JoinKind.ANTI:
+                    if not any(matches(lrow, rrow) for rrow in right_rows):
+                        out.append(lrow)
+                if len(out) >= batch_size:
+                    ctx.counters.rows_produced += len(out)
+                    yield out
+                    out = []
+        if out:
+            ctx.counters.rows_produced += len(out)
+            yield out
+    finally:
+        child.close()
+
+
+def _stream_inl_join(
+    op: INLJoinP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    if op.kind not in _SUPPORTED_JOIN_KINDS:
+        raise ExecutionError(f"index NL join cannot run kind {op.kind}")
+    outer_schema = op.outer.output_schema()
+    table = catalog.table(op.table)
+    ordered = {index.definition.name: index for index in catalog.indexes_on(op.table)}
+    hashed = {
+        index.definition.name: index for index in catalog.hash_indexes_on(op.table)
+    }
+    index = ordered.get(op.index_name) or hashed.get(op.index_name)
+    if index is None:
+        raise ExecutionError(f"unknown index {op.index_name!r} on {op.table!r}")
+    inner_schema = StreamSchema.for_table(op.alias, op.columns, types=op.column_types)
+    combined = outer_schema.concat(inner_schema)
+    height = getattr(index, "height", 1)
+    site = f"idx:{op.index_name}"
+    governor = ctx.governor
+    key_fns = [_scalar_fn(expr, outer_schema, ctx) for expr in op.outer_keys]
+    residual = (
+        _predicate_fn(op.residual, combined, ctx)
+        if op.residual is not None
+        else None
+    )
+    batch_size = ctx.params.batch_size
+    out: Batch = []
+    child = stream_batches(op.outer, catalog, ctx)
+    try:
+        for obatch in child:
+            for orow in obatch:
+                if governor is not None:
+                    governor.tick()
+                key = tuple(fn(orow) for fn in key_fns)
+                if any(part is None for part in key):
+                    matched_ids: List[int] = []
+                else:
+                    for level in range(height):
+                        ctx.read_page(site, -(level + 1), sequential=False)
+                    if hasattr(index, "seek_prefix"):
+                        matched_ids = ctx.index_lookup(
+                            lambda: index.seek_prefix(key), site
+                        )
+                    else:
+                        matched_ids = ctx.index_lookup(lambda: index.seek(key), site)
+                matched_rows: List[Row] = []
+                for row_id in matched_ids:
+                    ctx.read_page(op.table, table.page_of(row_id), sequential=False)
+                    irow = table.fetch(row_id)
+                    if residual is not None:
+                        ctx.counters.rows_compared += 1
+                        if not residual(orow + irow):
+                            continue
+                    matched_rows.append(tuple(irow))
+                if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+                    out.extend(orow + irow for irow in matched_rows)
+                elif op.kind is JoinKind.LEFT_OUTER:
+                    if matched_rows:
+                        out.extend(orow + irow for irow in matched_rows)
+                    else:
+                        out.append(orow + (None,) * inner_schema.arity)
+                elif op.kind is JoinKind.SEMI:
+                    if matched_rows:
+                        out.append(orow)
+                elif op.kind is JoinKind.ANTI:
+                    if not matched_rows:
+                        out.append(orow)
+                if len(out) >= batch_size:
+                    ctx.counters.rows_produced += len(out)
+                    yield out
+                    out = []
+        if out:
+            ctx.counters.rows_produced += len(out)
+            yield out
+    finally:
+        child.close()
+
+
+def _stream_merge_join(
+    op: MergeJoinP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    left_rows = _drain(op.left, catalog, ctx)
+    right_rows = _drain(op.right, catalog, ctx)
+    left_schema = op.left.output_schema()
+    right_schema = op.right.output_schema()
+    combined = left_schema.concat(right_schema)
+    left_key = _key_getter(left_schema, op.left_keys)
+    right_key = _key_getter(right_schema, op.right_keys)
+    residual = (
+        _predicate_fn(op.residual, combined, ctx)
+        if op.residual is not None
+        else None
+    )
+    governor = ctx.governor
+    _note_resident(ctx, op, len(left_rows) + len(right_rows))
+    out: Batch = []
+    pad = (None,) * right_schema.arity
+    i = j = 0
+    n, m = len(left_rows), len(right_rows)
+    while i < n:
+        if governor is not None:
+            governor.tick()
+        lkey = left_key(left_rows[i])
+        if any(part is None for part in lkey):
+            # NULL join keys never match.
+            if op.kind is JoinKind.LEFT_OUTER:
+                out.append(left_rows[i] + pad)
+            elif op.kind is JoinKind.ANTI:
+                out.append(left_rows[i])
+            i += 1
+            continue
+        while j < m:
+            rkey = right_key(right_rows[j])
+            ctx.counters.rows_compared += 1
+            if any(part is None for part in rkey) or rkey < lkey:
+                j += 1
+            else:
+                break
+        group_start = j
+        k = j
+        while k < m and right_key(right_rows[k]) == lkey:
+            k += 1
+        group = right_rows[group_start:k]
+        while i < n and left_key(left_rows[i]) == lkey:
+            lrow = left_rows[i]
+            matched = []
+            for rrow in group:
+                if residual is not None:
+                    ctx.counters.rows_compared += 1
+                    if not residual(lrow + rrow):
+                        continue
+                matched.append(rrow)
+            if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+                out.extend(lrow + rrow for rrow in matched)
+            elif op.kind is JoinKind.LEFT_OUTER:
+                if matched:
+                    out.extend(lrow + rrow for rrow in matched)
+                else:
+                    out.append(lrow + pad)
+            elif op.kind is JoinKind.SEMI:
+                if matched:
+                    out.append(lrow)
+            elif op.kind is JoinKind.ANTI:
+                if not matched:
+                    out.append(lrow)
+            else:
+                raise ExecutionError(f"merge join cannot run kind {op.kind}")
+            i += 1
+    ctx.counters.rows_produced += len(out)
+    for batch in _batches_of(out, ctx.params.batch_size):
+        yield batch
+
+
+def _stream_hash_join(
+    op: HashJoinP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    if op.kind not in _SUPPORTED_JOIN_KINDS:
+        raise ExecutionError(f"hash join cannot run kind {op.kind}")
+    # The build (right) side is a pipeline breaker; the probe streams.
+    right_rows = _drain(op.right, catalog, ctx)
+    left_schema = op.left.output_schema()
+    right_schema = op.right.output_schema()
+    combined = left_schema.concat(right_schema)
+    left_key = _key_getter(left_schema, op.left_keys)
+    right_key = _key_getter(right_schema, op.right_keys)
+    residual = (
+        _predicate_fn(op.residual, combined, ctx)
+        if op.residual is not None
+        else None
+    )
+    governor = ctx.governor
+    pad = (None,) * right_schema.arity
+    batch_size = ctx.params.batch_size
+    build_width = _row_width(right_schema)
+    build_bytes = int(len(right_rows) * build_width)
+    build_pages = pages_for_rows(len(right_rows), build_width, ctx.params)
+    _note_resident(ctx, op, len(right_rows))
+
+    def probe_one(
+        build: Dict[Tuple[Any, ...], List[Row]], lrow: Row, out: Batch
+    ) -> None:
+        key = left_key(lrow)
+        ctx.counters.rows_compared += 1
+        candidates = (
+            build.get(key, []) if not any(part is None for part in key) else []
+        )
+        matched = []
+        for rrow in candidates:
+            if residual is not None:
+                ctx.counters.rows_compared += 1
+                if not residual(lrow + rrow):
+                    continue
+            matched.append(rrow)
+        if op.kind in (JoinKind.INNER, JoinKind.CROSS):
+            out.extend(lrow + rrow for rrow in matched)
+        elif op.kind is JoinKind.LEFT_OUTER:
+            if matched:
+                out.extend(lrow + rrow for rrow in matched)
+            else:
+                out.append(lrow + pad)
+        elif op.kind is JoinKind.SEMI:
+            if matched:
+                out.append(lrow)
+        elif op.kind is JoinKind.ANTI:
+            if not matched:
+                out.append(lrow)
+
+    def make_table(build_rows: List[Row]) -> Dict[Tuple[Any, ...], List[Row]]:
+        build: Dict[Tuple[Any, ...], List[Row]] = {}
+        for rrow in build_rows:
+            key = right_key(rrow)
+            ctx.counters.rows_compared += 1
+            if any(part is None for part in key):
+                continue
+            build.setdefault(key, []).append(rrow)
+        return build
+
+    degraded = False
+    if governor is not None:
+        try:
+            governor.reserve_memory(build_bytes, "HashJoin build")
+        except MemoryBudgetExceeded:
+            degraded = True
+
+    if not degraded:
+        build = make_table(right_rows)
+        probe_seen = 0
+        out: Batch = []
+        child = stream_batches(op.left, catalog, ctx)
+        try:
+            for lbatch in child:
+                probe_seen += len(lbatch)
+                for lrow in lbatch:
+                    if governor is not None:
+                        governor.tick()
+                    probe_one(build, lrow, out)
+                    if len(out) >= batch_size:
+                        ctx.counters.rows_produced += len(out)
+                        yield out
+                        out = []
+        finally:
+            child.close()
+        # Spill accounting needs the probe cardinality, so it lands when
+        # the probe is exhausted; an abandoned (early-closed) probe never
+        # ran the spill, so charging nothing then is the honest account.
+        if build_pages > ctx.params.hash_memory_pages:
+            probe_pages = pages_for_rows(
+                probe_seen, _row_width(left_schema), ctx.params
+            )
+            ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
+        if out:
+            ctx.counters.rows_produced += len(out)
+            yield out
+        return
+
+    # Graceful degradation: Grace-style partitioning.  Both inputs are
+    # hashed on their join keys into the same partition space, so rows
+    # that could match always land in the same partition and every join
+    # kind (including LEFT_OUTER/ANTI, whose unmatched probe rows stay
+    # with their partition) is preserved.  The probe side must be fully
+    # drained to partition it, making the whole operator a breaker here.
+    left_rows = _drain(op.left, catalog, ctx)
+    _note_resident(ctx, op, len(right_rows) + len(left_rows))
+    probe_pages = pages_for_rows(len(left_rows), _row_width(left_schema), ctx.params)
+    if build_pages > ctx.params.hash_memory_pages:
+        ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
+    parts = _spill_partitions(build_bytes, governor.budget.memory_limit_bytes)
+    ctx.counters.degraded_operators += 1
+    if ctx.runtime is not None:
+        ctx.runtime.node_for(op).degraded = True
+    ctx.counters.sort_spill_pages += int(2 * (build_pages + probe_pages))
+    build_parts: List[List[Row]] = [[] for _ in range(parts)]
+    for rrow in right_rows:
+        build_parts[_partition_of(right_key(rrow), parts)].append(rrow)
+    probe_parts: List[List[Row]] = [[] for _ in range(parts)]
+    for lrow in left_rows:
+        probe_parts[_partition_of(left_key(lrow), parts)].append(lrow)
+    out = []
+    for build_part, probe_part in zip(build_parts, probe_parts):
+        governor.check()
+        build = make_table(build_part)
+        for lrow in probe_part:
+            if governor is not None:
+                governor.tick()
+            probe_one(build, lrow, out)
+    ctx.counters.rows_produced += len(out)
+    for batch in _batches_of(out, batch_size):
+        yield batch
+
+
+# ----------------------------------------------------------------------
+# Streaming aggregation, distinct, union, apply, exchange
+# ----------------------------------------------------------------------
+def _aggregate_rows(
+    op: HashAggP, rows: List[Row], schema: StreamSchema, ctx: ExecContext
+) -> List[Row]:
+    """Batch-engine twin of ``_aggregate_groups`` with compiled arguments."""
+    key_of = _key_getter(schema, op.keys) if op.keys else (lambda _row: ())
+    arg_fns = [
+        None if call.is_star else _scalar_fn(call.arg, schema, ctx)
+        for call in op.aggregates
+    ]
+    governor = ctx.governor
+    groups: Dict[Tuple[Any, ...], list] = {}
+    order: List[Tuple[Any, ...]] = []
+    for row in rows:
+        if governor is not None:
+            governor.tick()
+        key = key_of(row)
+        ctx.counters.rows_compared += 1
+        if key not in groups:
+            groups[key] = [call.new_accumulator() for call in op.aggregates]
+            order.append(key)
+        for fn, accumulator in zip(arg_fns, groups[key]):
+            if fn is None:
+                accumulator.add(1)
+            else:
+                accumulator.add_value(fn(row))
+    if not groups and not op.keys:
+        groups[()] = [call.new_accumulator() for call in op.aggregates]
+        order.append(())
+    out = [key + tuple(acc.result() for acc in groups[key]) for key in order]
+    ctx.counters.rows_produced += len(out)
+    return out
+
+
+def _stream_hash_agg(
+    op: HashAggP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    rows = _drain(op.child, catalog, ctx)
+    schema = op.child.output_schema()
+    governor = ctx.governor
+    _note_resident(ctx, op, len(rows))
+    if governor is not None and op.keys:
+        # Same degradation contract as the legacy engine: reserve the
+        # worst-case table, partition-wise aggregate if it does not fit.
+        width = _row_width(schema)
+        table_bytes = int(len(rows) * width)
+        try:
+            governor.reserve_memory(table_bytes, "HashAgg table")
+        except MemoryBudgetExceeded:
+            parts = _spill_partitions(table_bytes, governor.budget.memory_limit_bytes)
+            ctx.counters.degraded_operators += 1
+            if ctx.runtime is not None:
+                ctx.runtime.node_for(op).degraded = True
+            ctx.counters.sort_spill_pages += int(
+                2 * pages_for_rows(len(rows), width, ctx.params)
+            )
+            key_of = _key_getter(schema, op.keys)
+            partitions: List[List[Row]] = [[] for _ in range(parts)]
+            for row in rows:
+                partitions[_partition_of(key_of(row), parts)].append(row)
+            out: List[Row] = []
+            for partition in partitions:
+                governor.check()
+                if partition:
+                    out.extend(_aggregate_rows(op, partition, schema, ctx))
+            for batch in _batches_of(out, ctx.params.batch_size):
+                yield batch
+            return
+    out = _aggregate_rows(op, rows, schema, ctx)
+    for batch in _batches_of(out, ctx.params.batch_size):
+        yield batch
+
+
+def _stream_stream_agg(
+    op: StreamAggP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    # The input is sorted on the keys, so groups are contiguous; the hash
+    # path produces identical results and the ordering keeps them grouped.
+    rows = _drain(op.child, catalog, ctx)
+    _note_resident(ctx, op, len(rows))
+    out = _aggregate_rows(op, rows, op.child.output_schema(), ctx)
+    for batch in _batches_of(out, ctx.params.batch_size):
+        yield batch
+
+
+def _stream_distinct(
+    op: DistinctP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    governor = ctx.governor
+    seen = set()
+    out: List[Row] = []
+    child = stream_batches(op.child, catalog, ctx)
+    try:
+        for batch in child:
+            for row in batch:
+                if governor is not None:
+                    governor.tick()
+                ctx.counters.rows_compared += 1
+                if row not in seen:
+                    out.append(row)
+                    seen.add(row)
+    finally:
+        child.close()
+    _note_resident(ctx, op, len(out))
+    ctx.counters.rows_produced += len(out)
+    for batch in _batches_of(out, ctx.params.batch_size):
+        yield batch
+
+
+def _stream_union_all(
+    op: UnionAllP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    # Child batches pass straight through -- no concatenation copy (the
+    # legacy engine's ``left + right`` builds a third list).
+    for side in (op.left, op.right):
+        child = stream_batches(side, catalog, ctx)
+        try:
+            for batch in child:
+                ctx.counters.rows_produced += len(batch)
+                yield batch
+        finally:
+            child.close()
+
+
+def _stream_apply(
+    op: ApplyP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    left_schema = op.left.output_schema()
+    inner_stats = InterpreterStats()
+    from repro.engine.interpreter import _eval_op  # reference evaluator
+
+    batch_size = ctx.params.batch_size
+    out: Batch = []
+    noted = 0
+    child = stream_batches(op.left, catalog, ctx)
+    try:
+        for lbatch in child:
+            for lrow in lbatch:
+                if ctx.governor is not None:
+                    ctx.governor.check()
+                ctx.counters.inner_evaluations += 1
+                _schema, inner_rows = _eval_op(
+                    op.inner, catalog, left_schema, lrow, inner_stats
+                )
+                if op.kind == "semi":
+                    if inner_rows:
+                        out.append(lrow)
+                elif op.kind == "anti":
+                    if not inner_rows:
+                        out.append(lrow)
+                else:
+                    if len(inner_rows) > 1:
+                        raise ExecutionError(
+                            "scalar subquery returned more than one row"
+                        )
+                    value = inner_rows[0][0] if inner_rows else None
+                    out.append(lrow + (value,))
+                if len(out) >= batch_size:
+                    ctx.counters.rows_compared += inner_stats.rows_produced - noted
+                    noted = inner_stats.rows_produced
+                    ctx.counters.rows_produced += len(out)
+                    yield out
+                    out = []
+        ctx.counters.rows_compared += inner_stats.rows_produced - noted
+        if out:
+            ctx.counters.rows_produced += len(out)
+            yield out
+    finally:
+        child.close()
+
+
+def _stream_exchange(
+    op: ExchangeP, catalog: Catalog, ctx: ExecContext
+) -> Iterator[Batch]:
+    width = _row_width(op.child.output_schema())
+    total = 0
+    child = stream_batches(op.child, catalog, ctx)
+    try:
+        for batch in child:
+            total += len(batch)
+            yield batch
+    finally:
+        child.close()
+        # Charged in the finally so an early-closed consumer (LIMIT) still
+        # pays communication for every batch that actually crossed.
+        ctx.counters.exchange_pages += int(pages_for_rows(total, width, ctx.params))
+
+
+_STREAM_HANDLERS = {
+    CheckP: _stream_check,
+    CheckpointSourceP: _stream_checkpoint_source,
+    SeqScanP: _stream_seq_scan,
+    IndexScanP: _stream_index_scan,
+    FilterP: _stream_filter,
+    UdfFilterP: _stream_udf_filter,
+    ProjectP: _stream_project,
+    SortP: _stream_sort,
+    MaterializeP: _stream_materialize,
+    NLJoinP: _stream_nl_join,
+    INLJoinP: _stream_inl_join,
+    MergeJoinP: _stream_merge_join,
+    HashJoinP: _stream_hash_join,
+    StreamAggP: _stream_stream_agg,
+    HashAggP: _stream_hash_agg,
+    DistinctP: _stream_distinct,
+    UnionAllP: _stream_union_all,
+    LimitP: _stream_limit,
+    ApplyP: _stream_apply,
+    ExchangeP: _stream_exchange,
 }

@@ -166,7 +166,13 @@ class ResourceGovernor:
                 )
 
     def tick(self, rows: int = 1) -> None:
-        """Cheap per-row hook; consults the clock only periodically."""
+        """Cheap per-row hook; consults the clock only periodically.
+
+        The batch engine calls this once per batch with the batch's row
+        count for linear streaming operators, and per row (or per joined
+        pair) inside quadratic and blocking loops, so a timeout still
+        fires promptly in the middle of one long pull.
+        """
         self._ticks += rows
         if self._ticks >= self.CHECK_INTERVAL:
             self._ticks = 0

@@ -32,6 +32,7 @@ from repro.logical.operators import (
     GroupBy,
     Join,
     JoinKind,
+    Limit,
     LogicalOp,
     Project,
     Sort,
@@ -191,6 +192,14 @@ def _eval_op(
             op.child, catalog, outer_schema, outer_row, stats
         )
         rows = sort_rows(child_rows, child_schema, op.keys)
+        stats.rows_produced += len(rows)
+        return child_schema, rows
+    if isinstance(op, Limit):
+        child_schema, child_rows = _eval_op(
+            op.child, catalog, outer_schema, outer_row, stats
+        )
+        end = None if op.limit is None else op.offset + op.limit
+        rows = child_rows[op.offset:end]
         stats.rows_produced += len(rows)
         return child_schema, rows
     if isinstance(op, Apply):

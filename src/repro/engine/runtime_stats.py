@@ -42,6 +42,9 @@ class OpRuntimeStats:
             re-optimization.
         from_checkpoint: the operator replayed a materialized
             intermediate instead of recomputing it.
+        peak_resident_rows: high-water mark of rows this operator held
+            resident at once -- a batch for streaming operators, the
+            materialized input (or build side) for pipeline breakers.
     """
 
     label: str
@@ -54,6 +57,7 @@ class OpRuntimeStats:
     degraded: bool = False
     check_fired: bool = False
     from_checkpoint: bool = False
+    peak_resident_rows: int = 0
 
     @property
     def q_error(self) -> float:
@@ -144,7 +148,8 @@ def render_explain_analyze(
                 f"[est_rows={op.est_rows:.0f} act_rows={node.actual_rows} "
                 f"loops={node.invocations} "
                 f"time={node.wall_seconds * 1000.0:.3f}ms "
-                f"pages={node.pages_read}{flag}]"
+                f"pages={node.pages_read} "
+                f"peak_rows={node.peak_resident_rows}{flag}]"
             )
         for child in op.children():
             visit(child, indent + 1)

@@ -33,6 +33,7 @@ from repro.logical.operators import (
     GroupBy,
     Join,
     JoinKind,
+    Limit,
     LogicalOp,
     Project,
     ProjectItem,
@@ -92,6 +93,9 @@ def lower_block(block: QueryBlock, catalog: Catalog) -> LogicalOp:
             for ref, ascending in block.order_by
         ]
         plan = Sort(plan, keys)
+
+    if block.limit is not None or block.offset:
+        plan = Limit(plan, block.limit, block.offset)
     return plan
 
 

@@ -341,6 +341,42 @@ class Sort(LogicalOp):
         return f"Sort({rendered})"
 
 
+class Limit(LogicalOp):
+    """Logical LIMIT/OFFSET: at most ``limit`` rows after skipping
+    ``offset``.
+
+    Sits at the very top of its block (above Sort), and is a fence for
+    predicate movement: filtering before and after a row quota are
+    different queries, so no rewrite may cross it.
+    """
+
+    def __init__(
+        self, child: LogicalOp, limit: Optional[int], offset: int = 0
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise PlanError("LIMIT must be non-negative")
+        if offset < 0:
+            raise PlanError("OFFSET must be non-negative")
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self) -> Tuple[LogicalOp, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalOp]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.limit, self.offset)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        count = "all" if self.limit is None else str(self.limit)
+        suffix = f" offset {self.offset}" if self.offset else ""
+        return f"Limit({count}{suffix})"
+
+
 class Apply(LogicalOp):
     """Correlated nested-loop application of a parameterized subquery.
 

@@ -114,6 +114,8 @@ class QueryBlock:
         aggregates: aggregate calls in the select list / HAVING.
         having: HAVING predicate over group keys and aggregate outputs.
         order_by: ORDER BY keys as (column, ascending) pairs.
+        limit: maximum rows to return, or None for all.
+        offset: rows to skip before returning any.
         join_chain: one entry per quantifier describing how it joins the
             previous ones: ``("cross"|"inner"|"left", on_predicate)``.
             Only "left" entries force structure; inner/cross ON
@@ -131,6 +133,8 @@ class QueryBlock:
     aggregates: List[AggregateCall] = field(default_factory=list)
     having: Optional[Expr] = None
     order_by: List[Tuple[ColumnRef, bool]] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
 
     # ------------------------------------------------------------------
     # Classification helpers used by rewrite-rule applicability checks
@@ -142,12 +146,15 @@ class QueryBlock:
 
     @property
     def is_spj(self) -> bool:
-        """Select-project-join block: no grouping, no DISTINCT, no subqueries."""
+        """Select-project-join block: no grouping, no DISTINCT, no
+        subqueries, no LIMIT (a row quota is not join-reorderable)."""
         return (
             not self.has_grouping
             and not self.distinct
             and not self.subqueries
             and self.having is None
+            and self.limit is None
+            and self.offset == 0
         )
 
     @property

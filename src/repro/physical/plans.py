@@ -50,6 +50,24 @@ class PhysicalOp:
         """Input operators."""
         return ()
 
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        """Per-child flag: must this input be exhausted before the first
+        output batch can be produced?
+
+        The default is conservative (every child fully consumed); each
+        streaming operator overrides the flag for the inputs it
+        pipelines.  ``tests/test_pipeline_contract.py`` asserts the
+        executor honors the declaration.
+        """
+        return tuple(True for _ in self.children())
+
+    @property
+    def is_pipeline_breaker(self) -> bool:
+        """Whether every input must be exhausted before any output."""
+        flags = self.consumes_child_fully
+        return bool(flags) and all(flags)
+
     def output_schema(self) -> StreamSchema:
         """Layout of the output data stream."""
         raise NotImplementedError
@@ -176,6 +194,10 @@ class FilterP(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
 
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
+
     def output_schema(self) -> StreamSchema:
         return self.child.output_schema()
 
@@ -197,6 +219,10 @@ class UdfFilterP(PhysicalOp):
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
+
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
 
     def output_schema(self) -> StreamSchema:
         return self.child.output_schema()
@@ -220,6 +246,10 @@ class ProjectP(PhysicalOp):
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
+
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
 
     def output_schema(self) -> StreamSchema:
         # Propagate slot types through pure column renamings so widths
@@ -314,6 +344,11 @@ class NLJoinP(JoinPhysicalOp):
         super().__init__(left, right, kind)
         self.predicate = predicate
 
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        # The outer streams; the inner is materialized for rescanning.
+        return (False, True)
+
     def _label(self) -> str:
         pred = self.predicate.to_sql() if self.predicate else "true"
         return f"NestedLoopJoin[{self.kind.value}]({pred})"
@@ -355,6 +390,10 @@ class INLJoinP(PhysicalOp):
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.outer,)
+
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
 
     def output_schema(self) -> StreamSchema:
         from repro.logical.operators import JoinKind
@@ -419,6 +458,11 @@ class HashJoinP(JoinPhysicalOp):
         self.left_keys = tuple(left_keys)
         self.right_keys = tuple(right_keys)
         self.residual = residual
+
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        # The probe (left) side streams; the build side is a breaker.
+        return (False, True)
 
     def _label(self) -> str:
         pairs = ", ".join(
@@ -504,11 +548,51 @@ class UnionAllP(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left, self.right)
 
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False, False)
+
     def output_schema(self) -> StreamSchema:
         return self.left.output_schema()
 
     def _label(self) -> str:
         return "UnionAll"
+
+
+class LimitP(PhysicalOp):
+    """Stop after ``limit`` rows, skipping the first ``offset``.
+
+    The payoff operator of the pipelined executor: over a streaming
+    child it stops pulling once the quota is met, so upstream operators
+    never produce the rows nobody asked for.
+    """
+
+    def __init__(
+        self, child: PhysicalOp, limit: Optional[int], offset: int = 0
+    ) -> None:
+        super().__init__()
+        if limit is not None and limit < 0:
+            raise PlanError("LIMIT must be non-negative")
+        if offset < 0:
+            raise PlanError("OFFSET must be non-negative")
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.child,)
+
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
+
+    def output_schema(self) -> StreamSchema:
+        return self.child.output_schema()
+
+    def _label(self) -> str:
+        count = "all" if self.limit is None else str(self.limit)
+        suffix = f" offset {self.offset}" if self.offset else ""
+        return f"Limit({count}{suffix})"
 
 
 class ApplyP(PhysicalOp):
@@ -538,6 +622,10 @@ class ApplyP(PhysicalOp):
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.left,)
 
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
+
     def output_schema(self) -> StreamSchema:
         if self.kind == "scalar":
             return StreamSchema(
@@ -564,6 +652,10 @@ class ExchangeP(PhysicalOp):
 
     def children(self) -> Tuple[PhysicalOp, ...]:
         return (self.child,)
+
+    @property
+    def consumes_child_fully(self) -> Tuple[bool, ...]:
+        return (False,)
 
     def output_schema(self) -> StreamSchema:
         return self.child.output_schema()

@@ -24,6 +24,8 @@ Meta-commands (backslash-prefixed):
     \\feedback           observed selectivities learned from executions
     \\feedback clear     forget all learned selectivities
     \\timeout <ms>       set the per-query wall-clock budget (0 = off)
+    \\batch              show which execution engine is active
+    \\batch on|off       pipelined batch engine vs legacy materializing
     \\budget             show the current per-query resource budget
     \\reopt              show adaptive re-optimization status and counters
     \\reopt on|off       enable/disable mid-query re-optimization
@@ -143,6 +145,21 @@ class Shell:
                 self.db.budget = None
                 return "query timeout disabled"
             return f"budget now: {self.db.budget.describe()}"
+        if command == "batch":
+            word = argument.strip().lower()
+            if word == "on":
+                self.db.batch_mode = True
+            elif word == "off":
+                self.db.batch_mode = False
+            elif word:
+                return "usage: \\batch [on|off]"
+            if self.db.batch_mode:
+                return (
+                    "execution engine: pipelined batches "
+                    f"(batch_size={self.db.params.batch_size}); "
+                    "LIMIT/OFFSET terminate pipelines early"
+                )
+            return "execution engine: legacy materializing (oracle)"
         if command == "budget":
             budget = self.db.budget
             return budget.describe() if budget is not None else "unlimited"

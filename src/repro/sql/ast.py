@@ -207,6 +207,8 @@ class SelectStmt:
     group_by: List[AstExpr] = field(default_factory=list)
     having: Optional[AstExpr] = None
     order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
     param_count: int = 0
 
 

@@ -220,6 +220,8 @@ class Binder:
             block.order_by.append((bound, order.ascending))
 
         block.distinct = stmt.distinct
+        block.limit = stmt.limit
+        block.offset = stmt.offset
         self._validate_grouping(block)
         return block
 

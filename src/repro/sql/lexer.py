@@ -14,7 +14,7 @@ KEYWORDS = {
     "JOIN", "LEFT", "OUTER", "INNER", "CROSS", "ON", "UNION", "ALL",
     "BETWEEN", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE",
     "CREATE", "VIEW", "EXPLAIN", "ANALYZE", "PREPARE", "EXECUTE",
-    "DEALLOCATE",
+    "DEALLOCATE", "LIMIT", "OFFSET",
 }
 
 

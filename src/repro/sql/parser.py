@@ -243,7 +243,34 @@ class _Parser:
             stmt.order_by.append(self._parse_order_item())
             while self._accept_punct(","):
                 stmt.order_by.append(self._parse_order_item())
+        if self._accept_keyword("LIMIT"):
+            stmt.limit = self._parse_row_count("LIMIT")
+        if self._accept_keyword("OFFSET"):
+            stmt.offset = self._parse_row_count("OFFSET")
         return stmt
+
+    def _parse_row_count(self, clause: str) -> int:
+        """A LIMIT/OFFSET operand: a non-negative integer literal."""
+        token = self._peek()
+        if token.type is not TokenType.NUMBER:
+            raise ParseError(
+                f"{clause} expects a non-negative integer literal",
+                token.position,
+            )
+        self._next()
+        value = token.value
+        if isinstance(value, str):
+            if "." in value:
+                raise ParseError(
+                    f"{clause} expects an integer, got {value!r}", token.position
+                )
+            value = int(value)
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ParseError(
+                f"{clause} expects a non-negative integer, got {value!r}",
+                token.position,
+            )
+        return value
 
     def _parse_select_item(self) -> SelectItem:
         token = self._peek()

@@ -25,6 +25,7 @@ from repro.logical.operators import (
     GroupBy,
     Join,
     JoinKind,
+    Limit,
     LogicalOp,
     Project,
     Sort,
@@ -155,6 +156,11 @@ class CardinalityEstimator:
             return self.estimate(op.left) + self.estimate(op.right)
         if isinstance(op, Sort):
             return self.estimate(op.child)
+        if isinstance(op, Limit):
+            child = max(0.0, self.estimate(op.child) - op.offset)
+            if op.limit is None:
+                return child
+            return min(child, float(op.limit))
         if isinstance(op, Apply):
             left = self.estimate(op.left)
             if op.kind == "scalar":

@@ -25,6 +25,7 @@ from repro.core.systemr.enumerator import EnumeratorConfig
 from repro.datagen import build_emp_dept
 from repro.engine.context import ExecContext
 from repro.engine.executor import execute
+from repro.sql.parser import parse
 
 from tests.conftest import assert_same_rows
 
@@ -160,6 +161,44 @@ def generate_query(rng: random.Random) -> str:
     return sql
 
 
+# LIMIT shapes order by a key that is unique *in the join result*, so a
+# window is a deterministic function of the query and any two correct
+# plans (or engines) must return the identical row list, not just the
+# same multiset.  Emp.dept_no is a valid FK, so E.emp_no stays unique
+# through the Emp-Dept joins; the self-join needs the full pair.
+_LIMIT_SHAPES = [
+    ("Emp E", None, ["E"], ["E.emp_no"]),
+    ("Dept D", None, ["D"], ["D.dept_no"]),
+    ("Emp E, Dept D", "E.dept_no = D.dept_no", ["E", "D"], ["E.emp_no"]),
+    (
+        "Emp E, Emp E2",
+        "E.dept_no = E2.dept_no",
+        ["E", "E2"],
+        ["E.emp_no", "E2.emp_no"],
+    ),
+    ("Dept D, Emp M", "D.mgr = M.emp_no", ["D", "M"], ["D.dept_no"]),
+]
+
+
+def generate_limit_query(rng: random.Random):
+    """Returns (windowed sql, same sql without LIMIT/OFFSET)."""
+    from_clause, join_condition, aliases, order_keys = rng.choice(_LIMIT_SHAPES)
+    columns = [f"{ref} AS k{i}" for i, ref in enumerate(order_keys)]
+    if rng.random() < 0.5:
+        alias = rng.choice(aliases)
+        columns.append(f"{alias}.{rng.choice(_PROJECTABLE[alias])} AS x")
+    sql = f"SELECT {', '.join(columns)} FROM {from_clause}"
+    where = _where(rng, aliases, join_condition)
+    if where:
+        sql += f" WHERE {where}"
+    direction = rng.choice(["ASC", "DESC"])
+    sql += " ORDER BY " + ", ".join(f"{ref} {direction}" for ref in order_keys)
+    window = f" LIMIT {rng.randint(0, 40)}"
+    if rng.random() < 0.5:
+        window += f" OFFSET {rng.randint(0, 30)}"
+    return sql + window, sql
+
+
 # ----------------------------------------------------------------------
 @pytest.fixture(scope="module")
 def diff_db() -> Database:
@@ -187,6 +226,22 @@ def _baseline_optimizer(db: Database) -> Optimizer:
 def _run(db: Database, optimizer: Optimizer, sql: str):
     plan = optimizer.optimize(sql).physical
     context = ExecContext(db.params)
+    _schema, rows = execute(plan, db.catalog, context)
+    return rows
+
+
+def _run_with(
+    db: Database,
+    optimizer: Optimizer,
+    sql: str,
+    batch_mode: bool = True,
+    compiled: bool = True,
+):
+    """Execute under an explicit engine/evaluator configuration."""
+    plan = optimizer.optimize(sql).physical
+    context = ExecContext(db.params)
+    context.batch_mode = batch_mode
+    context.compiled_expressions = compiled
     _schema, rows = execute(plan, db.catalog, context)
     return rows
 
@@ -224,3 +279,52 @@ def test_naive_enumerator_config_reaches_physicalizer(diff_db):
     # Both searches must produce executable plans over all three tables.
     assert full_plan.est_cost.total > 0
     assert naive_plan.est_cost.total > 0
+
+
+# ----------------------------------------------------------------------
+# Cross-engine differentials: the legacy materializing executor and the
+# tree-walking evaluator are the oracles for the batch engine and the
+# expression compiler.  Same plan, three configurations, identical rows.
+# ----------------------------------------------------------------------
+def test_differential_batch_engine_vs_oracles(diff_db):
+    """200 seeded queries: batch+compiled == batch+interpreted == legacy.
+
+    The *same* physical plan runs under each configuration, so the row
+    lists must be bit-identical (order included), not merely equal as
+    multisets -- the engines may not even reorder ties differently.
+    """
+    rng = random.Random(SEED)
+    full = diff_db.optimizer()
+    for _ in range(QUERY_COUNT):
+        sql = generate_query(rng)
+        batch = _run_with(diff_db, full, sql, batch_mode=True, compiled=True)
+        interpreted = _run_with(
+            diff_db, full, sql, batch_mode=True, compiled=False
+        )
+        legacy = _run_with(diff_db, full, sql, batch_mode=False, compiled=True)
+        assert batch == interpreted, f"compiler diverges on {sql!r}"
+        assert batch == legacy, f"batch engine diverges on {sql!r}"
+
+
+def test_differential_limit_queries(diff_db):
+    """Windowed queries across plans and engines, vs the full-result slice.
+
+    The ORDER BY key is unique in every shape's join result, so the
+    window is deterministic: optimized and naive-baseline plans must
+    return the identical list, and it must equal the corresponding slice
+    of the unwindowed result.
+    """
+    rng = random.Random(SEED + 1)
+    full = diff_db.optimizer()
+    baseline = _baseline_optimizer(diff_db)
+    for _ in range(60):
+        windowed, unwindowed = generate_limit_query(rng)
+        batch = _run_with(diff_db, full, windowed)
+        legacy = _run_with(diff_db, full, windowed, batch_mode=False)
+        naive_plan = _run_with(diff_db, baseline, windowed)
+        assert batch == legacy, f"engines diverge on {windowed!r}"
+        assert batch == naive_plan, f"plans diverge on {windowed!r}"
+        stmt = parse(windowed)
+        everything = _run_with(diff_db, full, unwindowed)
+        end = len(everything) if stmt.limit is None else stmt.offset + stmt.limit
+        assert batch == everything[stmt.offset:end], windowed

@@ -67,6 +67,11 @@ GOLDEN_QUERIES = [
         "distinct_projection",
         "SELECT DISTINCT E.dept_no FROM Emp E WHERE E.age < 30",
     ),
+    (
+        "limit_over_sort",
+        "SELECT E.emp_no, E.sal FROM Emp E "
+        "WHERE E.sal > 60000 ORDER BY E.emp_no LIMIT 7 OFFSET 2",
+    ),
 ]
 
 
