@@ -1,0 +1,160 @@
+"""E22 -- Concurrent workload: throughput, tail latency, TTFR under chaos.
+
+Claim: one shared Database serves many concurrent sessions *correctly*
+-- every result identical to a single-threaded reference -- while the
+plan cache turns repeat traffic into hits, and storage-fault injection
+stays a latency event rather than a correctness event.
+
+Eight (or more) client threads replay a fixed pool of mixed traffic
+(random SPJ / aggregate / windowed queries plus prepared point lookups)
+through two phases over the same database:
+
+* **cold**: plan cache cleared first -- every distinct statement pays
+  one optimization, concurrently;
+* **hot**: the same traffic again -- the cache should serve nearly all
+  lookups.
+
+Storage faults are armed for both phases (page-read and index-lookup
+transient errors plus simulated latency); the executor's bounded
+retries absorb them, and any fault that out-lives its retries is
+counted as a *typed* error.  The run fails on a single wrong result or
+untyped exception from any thread.
+
+Reported per phase: throughput (qps), latency p50/p95/p99 (ms),
+time-to-first-row sampled through the streaming API, plan-cache hit
+rate, and the error/wrong-result counters.  JSON lands in
+``benchmarks/results/bench_e22_workload.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.harness import RESULTS_DIR, report
+from benchmarks.workload import WorkloadConfig, WorkloadDriver
+
+TITLE = "Concurrent workload: hot/cold plan cache under fault injection"
+HEADERS = [
+    "phase",
+    "clients",
+    "queries",
+    "qps",
+    "p50 ms",
+    "p95 ms",
+    "p99 ms",
+    "ttfr p50 ms",
+    "cache hit rate",
+    "transient errs",
+    "wrong results",
+]
+NOTES = (
+    "faults armed both phases; every result checked against a "
+    "single-threaded reference; TTFR sampled via the streaming API"
+)
+
+
+def run_experiment(config: WorkloadConfig) -> tuple:
+    driver = WorkloadDriver(config)
+    summary = driver.run()
+    cold, hot = summary.pop("_phase_objects")
+    table = []
+    for phase in (cold, hot):
+        stats = phase.summary()
+        table.append(
+            [
+                phase.name,
+                config.clients,
+                stats["queries"],
+                stats["throughput_qps"],
+                stats["latency_ms"]["p50"],
+                stats["latency_ms"]["p95"],
+                stats["latency_ms"]["p99"],
+                stats["ttfr_ms"]["p50"],
+                stats["plan_cache"]["hit_rate"],
+                stats["transient_errors"],
+                stats["wrong_results"],
+            ]
+        )
+    return table, summary, (cold, hot)
+
+
+def _assert_acceptance(config: WorkloadConfig, summary, cold, hot) -> None:
+    assert config.clients >= 8, "harness must drive >= 8 concurrent clients"
+    for phase in (cold, hot):
+        assert phase.wrong_results == 0, (
+            f"{phase.name}: {phase.wrong_results} wrong results under "
+            "concurrency -- thread-safety regression"
+        )
+        assert not phase.untyped_errors, (
+            f"{phase.name}: untyped errors {phase.untyped_errors[:3]}"
+        )
+        assert phase.queries > 0
+        assert phase.ttfr_ms, "TTFR sampling produced no data"
+    assert hot.cache_hit_rate > cold.cache_hit_rate, (
+        "hot phase must beat the cold phase on plan-cache hit rate "
+        f"(cold={cold.cache_hit_rate:.3f}, hot={hot.cache_hit_rate:.3f})"
+    )
+    assert hot.cache_hit_rate > 0.5, (
+        f"hot phase hit rate {hot.cache_hit_rate:.3f} -- repeat traffic "
+        "should be served from the cache"
+    )
+
+
+def _persist_json(summary) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "bench_e22_workload.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+
+
+def test_e22_workload(benchmark):
+    config = WorkloadConfig(clients=8, queries_per_client=15, pool_size=12)
+    table, summary, (cold, hot) = run_experiment(config)
+    report("E22", TITLE, HEADERS, table, notes=NOTES)
+    _persist_json(summary)
+    _assert_acceptance(config, summary, cold, hot)
+
+    driver = WorkloadDriver(
+        WorkloadConfig(clients=4, queries_per_client=5, pool_size=6)
+    )
+
+    def one_phase():
+        return driver.run_phase("bench", clear_cache=False)
+
+    benchmark(one_phase)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced traffic; assert the acceptance claims for CI",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None, help="client thread count"
+    )
+    opts = parser.parse_args()
+    if opts.smoke:
+        config = WorkloadConfig(
+            clients=opts.clients or 8, queries_per_client=15, pool_size=12
+        )
+    else:
+        config = WorkloadConfig(clients=opts.clients or 8)
+    table, summary, (cold, hot) = run_experiment(config)
+    report("E22", TITLE, HEADERS, table, notes=NOTES)
+    _persist_json(summary)
+    _assert_acceptance(config, summary, cold, hot)
+    if opts.smoke:
+        print(
+            "smoke OK: "
+            f"{config.clients} clients, cold {cold.throughput_qps:.0f} qps "
+            f"(hit rate {cold.cache_hit_rate:.2f}) -> hot "
+            f"{hot.throughput_qps:.0f} qps (hit rate "
+            f"{hot.cache_hit_rate:.2f}), "
+            f"{summary['faults_injected']} faults injected, "
+            "0 wrong results"
+        )

@@ -1,0 +1,10 @@
+"""Concurrent workload harness: N client threads over one Database."""
+
+from benchmarks.workload.driver import (
+    PhaseResult,
+    WorkloadConfig,
+    WorkloadDriver,
+    percentile,
+)
+
+__all__ = ["PhaseResult", "WorkloadConfig", "WorkloadDriver", "percentile"]

@@ -1,0 +1,308 @@
+"""Concurrent workload driver: the standing load benchmark.
+
+ROADMAP's "External-oracle differential testing + concurrent workload
+harness" item asks for a DAT300-style driver: many client threads over
+one shared :class:`~repro.core.optimizer.Database`, replaying mixed
+query traffic through cold and hot plan-cache phases with storage fault
+injection armed, reporting throughput, latency percentiles, and
+time-to-first-row.  Scaling PRs (parallel execution, the async server)
+get their baseline from this file.
+
+Correctness is measured, not assumed: every query's result is checked
+against a reference computed single-threaded before the phases run, so
+a thread-safety regression shows up as ``wrong_results > 0`` in the
+same JSON that reports the latency numbers.  Typed transient storage
+errors that out-live the executor's bounded retries are counted and
+allowed (faults are armed, after all); any *other* exception is an
+untyped error and fails the run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.optimizer import Database
+from repro.datagen import EmpDeptQueryGen, QueryGenConfig, build_emp_dept
+from repro.engine.context import ExecContext
+from repro.engine.executor import execute, stream_batches
+from repro.errors import QueryCancelled, TransientStorageError
+from repro.storage.faults import FaultConfig, FaultInjector
+
+from benchmarks.harness import rows_match
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) by nearest-rank on sorted data."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(fraction * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the concurrent run.
+
+    ``clients`` threads each replay ``queries_per_client`` draws from a
+    fixed pool of distinct queries (plus prepared point lookups), so the
+    hot phase re-sees every statement and the plan cache's behaviour is
+    phase-dependent, not query-dependent.
+    """
+
+    clients: int = 8
+    queries_per_client: int = 40
+    pool_size: int = 24
+    emp_rows: int = 300
+    dept_rows: int = 25
+    null_fraction: float = 0.1
+    seed: int = 1998
+    prepared_fraction: float = 0.3
+    ttfr_samples: int = 5
+    fault_page_read_error_rate: float = 0.002
+    fault_index_lookup_error_rate: float = 0.002
+    fault_latency_rate: float = 0.01
+    fault_latency_seconds: float = 0.0005
+
+
+@dataclass
+class PhaseResult:
+    """Everything one phase (cold or hot) measured."""
+
+    name: str
+    queries: int = 0
+    wall_seconds: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    ttfr_ms: List[float] = field(default_factory=list)
+    wrong_results: int = 0
+    transient_errors: int = 0
+    cancelled: int = 0
+    untyped_errors: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.queries / self.wall_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_qps": round(self.throughput_qps, 2),
+            "latency_ms": {
+                "p50": round(percentile(self.latencies_ms, 0.50), 3),
+                "p95": round(percentile(self.latencies_ms, 0.95), 3),
+                "p99": round(percentile(self.latencies_ms, 0.99), 3),
+            },
+            "ttfr_ms": {
+                "samples": len(self.ttfr_ms),
+                "p50": round(percentile(self.ttfr_ms, 0.50), 3),
+                "p95": round(percentile(self.ttfr_ms, 0.95), 3),
+            },
+            "wrong_results": self.wrong_results,
+            "transient_errors": self.transient_errors,
+            "cancelled": self.cancelled,
+            "untyped_errors": self.untyped_errors,
+            "plan_cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": round(self.cache_hit_rate, 3),
+            },
+        }
+
+
+class WorkloadDriver:
+    """Builds the database, the traffic pool, and runs phases."""
+
+    PREPARED_NAME = "wl_point"
+
+    def __init__(self, config: Optional[WorkloadConfig] = None) -> None:
+        self.config = config or WorkloadConfig()
+        cfg = self.config
+        self.injector = FaultInjector(
+            FaultConfig(
+                seed=cfg.seed,
+                page_read_error_rate=cfg.fault_page_read_error_rate,
+                index_lookup_error_rate=cfg.fault_index_lookup_error_rate,
+                latency_rate=cfg.fault_latency_rate,
+                latency_seconds=cfg.fault_latency_seconds,
+            )
+        )
+        self.db = Database()
+        build_emp_dept(
+            self.db.catalog,
+            emp_rows=cfg.emp_rows,
+            dept_rows=cfg.dept_rows,
+            rng=random.Random(3),
+            null_fraction=cfg.null_fraction,
+        )
+        self.db.analyze()
+        self.pool = self._build_pool()
+        # References are computed fault-free and single-threaded; the
+        # injector arms right before the concurrent phases.
+        self.references = {sql: self.db.sql(sql).rows for sql in self.pool}
+        self.db.prepare(
+            self.PREPARED_NAME,
+            "SELECT E.emp_no AS k, E.sal AS s FROM Emp E"
+            " WHERE E.dept_no = ? ORDER BY E.emp_no ASC",
+        )
+        self.prepared_refs = {
+            dept: self.db.execute_prepared(self.PREPARED_NAME, dept).rows
+            for dept in range(1, cfg.dept_rows + 1)
+        }
+        self.db.fault_injector = self.injector
+
+    def _build_pool(self) -> List[str]:
+        cfg = self.config
+        gen = EmpDeptQueryGen(
+            random.Random(cfg.seed),
+            QueryGenConfig(emp_rows=cfg.emp_rows, dept_rows=cfg.dept_rows),
+        )
+        pool: List[str] = []
+        seen = set()
+        while len(pool) < cfg.pool_size:
+            sql = (
+                gen.window_query()[0]
+                if len(pool) % 4 == 3
+                else gen.query()
+            )
+            if sql not in seen:
+                seen.add(sql)
+                pool.append(sql)
+        return pool
+
+    # ------------------------------------------------------------------
+    def run_phase(self, name: str, clear_cache: bool) -> PhaseResult:
+        """One phase: N clients replay traffic; everything is checked."""
+        cfg = self.config
+        if clear_cache:
+            self.db.plan_cache.clear()
+        result = PhaseResult(name=name)
+        hits_before = self.db.plan_cache.hits
+        misses_before = self.db.plan_cache.misses
+        lock = threading.Lock()
+
+        def client(client_no: int) -> None:
+            rng = random.Random(cfg.seed * 1000 + client_no)
+            local_latencies: List[float] = []
+            local = {
+                "queries": 0,
+                "wrong": 0,
+                "transient": 0,
+                "cancelled": 0,
+                "untyped": [],
+            }
+            for _ in range(cfg.queries_per_client):
+                prepared = rng.random() < cfg.prepared_fraction
+                if prepared:
+                    dept = rng.randint(1, cfg.dept_rows)
+                else:
+                    sql = rng.choice(self.pool)
+                started = time.perf_counter()
+                try:
+                    if prepared:
+                        rows = self.db.execute_prepared(
+                            self.PREPARED_NAME, dept
+                        ).rows
+                        want = self.prepared_refs[dept]
+                    else:
+                        rows = self.db.sql(sql).rows
+                        want = self.references[sql]
+                except TransientStorageError:
+                    local["transient"] += 1
+                    continue
+                except QueryCancelled:
+                    local["cancelled"] += 1
+                    continue
+                except Exception as exc:  # noqa: BLE001 - triage payload
+                    local["untyped"].append(f"{type(exc).__name__}: {exc}")
+                    continue
+                local_latencies.append(
+                    (time.perf_counter() - started) * 1000.0
+                )
+                local["queries"] += 1
+                matches = (
+                    rows == want
+                    if prepared
+                    else rows_match(rows, want)
+                )
+                if not matches:
+                    local["wrong"] += 1
+            with lock:
+                result.queries += local["queries"]
+                result.wrong_results += local["wrong"]
+                result.transient_errors += local["transient"]
+                result.cancelled += local["cancelled"]
+                result.untyped_errors.extend(local["untyped"])
+                result.latencies_ms.extend(local_latencies)
+
+        threads = [
+            threading.Thread(target=client, args=(n,), name=f"wl-client-{n}")
+            for n in range(cfg.clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        result.wall_seconds = time.perf_counter() - started
+        result.cache_hits = self.db.plan_cache.hits - hits_before
+        result.cache_misses = self.db.plan_cache.misses - misses_before
+        result.ttfr_ms = self._sample_ttfr()
+        return result
+
+    def _sample_ttfr(self) -> List[float]:
+        """Time-to-first-row via the streaming API, faults still armed."""
+        samples: List[float] = []
+        candidates = [sql for sql in self.pool if "GROUP BY" not in sql]
+        for sql in candidates[: self.config.ttfr_samples]:
+            plan = self.db.optimizer().optimize(sql).physical
+            context = ExecContext(self.db.params)
+            context.fault_injector = self.db.fault_injector
+            started = time.perf_counter()
+            try:
+                stream = stream_batches(plan, self.db.catalog, context)
+                next(stream, None)
+            except (TransientStorageError, QueryCancelled):
+                continue
+            samples.append((time.perf_counter() - started) * 1000.0)
+            stream.close()
+        return samples
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        """Cold phase (cleared plan cache) then hot phase; one summary."""
+        cold = self.run_phase("cold", clear_cache=True)
+        hot = self.run_phase("hot", clear_cache=False)
+        cfg = self.config
+        return {
+            "config": {
+                "clients": cfg.clients,
+                "queries_per_client": cfg.queries_per_client,
+                "pool_size": cfg.pool_size,
+                "emp_rows": cfg.emp_rows,
+                "dept_rows": cfg.dept_rows,
+                "null_fraction": cfg.null_fraction,
+                "seed": cfg.seed,
+                "faults": {
+                    "page_read_error_rate": cfg.fault_page_read_error_rate,
+                    "index_lookup_error_rate": cfg.fault_index_lookup_error_rate,
+                    "latency_rate": cfg.fault_latency_rate,
+                },
+            },
+            "phases": {"cold": cold.summary(), "hot": hot.summary()},
+            "faults_injected": self.injector.injected_faults,
+            "_phase_objects": (cold, hot),
+        }

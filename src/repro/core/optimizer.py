@@ -12,6 +12,7 @@ examples read like using an embedded database.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -205,18 +206,26 @@ class PlanCache:
     that finds a stale entry (any DDL or statistics refresh since)
     drops it and reports a miss -- the plan was costed against metadata
     that no longer describes the database.
+
+    Thread-safe: concurrent sessions share one cache, so every compound
+    read-modify-write on the LRU order runs under an internal lock.
+    The hit/miss/eviction counters are updated under the same lock and
+    are exact; callers reading them while traffic is in flight still see
+    a momentary snapshot.
     """
 
     def __init__(self, capacity: int = 128) -> None:
         self.capacity = max(0, capacity)
         self._entries: "OrderedDict[PlanCacheKey, _PlanCacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @staticmethod
     def key(sql: str, param_count: int = 0) -> PlanCacheKey:
@@ -227,18 +236,19 @@ class PlanCache:
         self, key: PlanCacheKey, catalog_version: int
     ) -> Optional[_PlanCacheEntry]:
         """Look up a still-valid entry; stale entries count as misses."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.catalog_version != catalog_version:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.catalog_version != catalog_version:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(
         self,
@@ -251,16 +261,17 @@ class PlanCache:
         """Insert a plan, evicting the least recently used beyond capacity."""
         if self.capacity == 0:
             return
-        self._entries[key] = _PlanCacheEntry(
-            plan=plan,
-            catalog_version=catalog_version,
-            optimize_seconds=optimize_seconds,
-            feedback_snapshot=dict(feedback_snapshot or {}),
-        )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = _PlanCacheEntry(
+                plan=plan,
+                catalog_version=catalog_version,
+                optimize_seconds=optimize_seconds,
+                feedback_snapshot=dict(feedback_snapshot or {}),
+            )
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def evict(self, key: PlanCacheKey) -> bool:
         """Drop one entry (a plan that misbehaved at execution time).
@@ -268,19 +279,22 @@ class PlanCache:
         Returns True when the key was cached.  Counted under
         ``evictions`` alongside capacity evictions.
         """
-        if key not in self._entries:
-            return False
-        del self._entries[key]
-        self.evictions += 1
-        return True
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self.evictions += 1
+            return True
 
     def keys(self) -> List[PlanCacheKey]:
         """Current keys, least recently used first."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)
 
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_ratio(self) -> float:

@@ -72,8 +72,8 @@ def generate_access_paths(
 
     for index in catalog.indexes_on(node.table):
         leading = index.definition.columns[0]
-        seek_eq, seek_low, seek_high, residual = _split_for_index(
-            predicate, alias, leading
+        seek_eq, seek_low, seek_high, low_strict, high_strict, residual = (
+            _split_for_index(predicate, alias, leading)
         )
         order: SortOrder = tuple(
             (ColumnRef(alias, column), True) for column in index.definition.columns
@@ -95,7 +95,8 @@ def generate_access_paths(
             )
         elif seek_low is not None or seek_high is not None:
             fraction = _range_fraction(
-                estimator, alias, leading, seek_low, seek_high
+                estimator, alias, leading,
+                seek_low, seek_high, low_strict, high_strict,
             )
             matching = float(table.row_count) * fraction
             scan = IndexScanP(
@@ -105,6 +106,8 @@ def generate_access_paths(
                 index.definition.name,
                 low=seek_low,
                 high=seek_high,
+                low_strict=low_strict,
+                high_strict=high_strict,
                 predicate=residual,
                 column_types=schema.column_types,
             )
@@ -137,15 +140,23 @@ def generate_access_paths(
 
 def _split_for_index(
     predicate: Optional[Expr], alias: str, leading_column: str
-) -> Tuple[Optional[Any], Optional[Any], Optional[Any], Optional[Expr]]:
-    """Split a local predicate into (eq, low, high, residual) for an index.
+) -> Tuple[
+    Optional[Any], Optional[Any], Optional[Any], bool, bool, Optional[Expr]
+]:
+    """Split a local predicate into seek bounds for an index.
 
+    Returns ``(eq, low, high, low_strict, high_strict, residual)``.
     Only simple ``col op literal`` conjuncts on the leading index column
-    become seek bounds; everything else stays residual.
+    become seek bounds; everything else stays residual.  Strictness is
+    tracked per bound: ``>`` / ``<`` produce exclusive bounds (the
+    SQLite oracle caught strict bounds silently widening to inclusive,
+    so every qualifying row at the boundary leaked through).
     """
     eq_value: Optional[Any] = None
     low: Optional[Any] = None
     high: Optional[Any] = None
+    low_strict = False
+    high_strict = False
     residual: List[Expr] = []
     for conjunct in conjuncts(predicate):
         bound = _literal_bound(conjunct, alias, leading_column)
@@ -156,14 +167,23 @@ def _split_for_index(
         if op is ComparisonOp.EQ and eq_value is None:
             eq_value = value
         elif op in (ComparisonOp.GT, ComparisonOp.GE):
-            low = value if low is None else max(low, value)
+            strict = op is ComparisonOp.GT
+            if low is None or value > low:
+                low, low_strict = value, strict
+            elif value == low:
+                low_strict = low_strict or strict
         elif op in (ComparisonOp.LT, ComparisonOp.LE):
-            high = value if high is None else min(high, value)
+            strict = op is ComparisonOp.LT
+            if high is None or value < high:
+                high, high_strict = value, strict
+            elif value == high:
+                high_strict = high_strict or strict
         else:
             residual.append(conjunct)
     if eq_value is not None:
         low = high = None
-    return eq_value, low, high, conjoin(residual)
+        low_strict = high_strict = False
+    return eq_value, low, high, low_strict, high_strict, conjoin(residual)
 
 
 def _literal_bound(
@@ -191,15 +211,19 @@ def _range_fraction(
     column: str,
     low: Optional[Any],
     high: Optional[Any],
+    low_strict: bool = False,
+    high_strict: bool = False,
 ) -> float:
     ref = ColumnRef(alias, column)
     fraction = 1.0
     if low is not None:
+        op = ComparisonOp.GT if low_strict else ComparisonOp.GE
         fraction *= estimator.selectivity.selectivity(
-            Comparison(ComparisonOp.GE, ref, Literal(low))
+            Comparison(op, ref, Literal(low))
         )
     if high is not None:
+        op = ComparisonOp.LT if high_strict else ComparisonOp.LE
         fraction *= estimator.selectivity.selectivity(
-            Comparison(ComparisonOp.LE, ref, Literal(high))
+            Comparison(op, ref, Literal(high))
         )
     return fraction

@@ -20,19 +20,30 @@ from repro.datagen.generators import (
     star_query_graph,
     stats_by_alias,
 )
+from repro.datagen.querygen import EmpDeptQueryGen, QueryGenConfig
+from repro.datagen.sqlite_export import (
+    create_table_sql,
+    mirror_to_sqlite,
+    sqlite_type,
+)
 
 __all__ = [
+    "EmpDeptQueryGen",
+    "QueryGenConfig",
     "build_chain_tables",
     "build_emp_dept",
     "build_star_schema",
     "chain_query_graph",
     "clique_query_graph",
     "correlated_pairs",
+    "create_table_sql",
     "distinct_words",
     "graph_stats",
+    "mirror_to_sqlite",
     "normal_floats",
     "pick_from",
     "sales_star_query_graph",
+    "sqlite_type",
     "star_query_graph",
     "stats_by_alias",
     "uniform_floats",

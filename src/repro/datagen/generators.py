@@ -39,6 +39,7 @@ def build_emp_dept(
     rng: Optional[random.Random] = None,
     with_indexes: bool = True,
     analyze: bool = True,
+    null_fraction: float = 0.0,
 ) -> Tuple[TableStats, TableStats]:
     """Create and populate the Emp and Dept tables.
 
@@ -47,12 +48,24 @@ def build_emp_dept(
     Dept, and ``mgr`` references an employee number, which makes the
     paper's correlated-subquery examples expressible.
 
+    ``null_fraction`` replaces that share of nullable-column values
+    (Emp.dept_no/sal/age, Dept.loc/budget/mgr/num_machines) with NULL,
+    for the three-valued-logic and outer-join corners of the oracle
+    suite.  At the default 0.0 the RNG draw sequence is exactly the
+    historical one, so seeded datasets are unchanged.
+
     Returns:
         The (emp_stats, dept_stats) pair when ``analyze`` is set, else
         freshly computed but unregistered stats.
     """
     if rng is None:
         rng = random.Random(7)
+
+    def nullable(value):
+        if null_fraction > 0.0 and rng.random() < null_fraction:
+            return None
+        return value
+
     dept = catalog.create_table(
         "Dept",
         [
@@ -82,10 +95,10 @@ def build_emp_dept(
             (
                 dept_no,
                 dept_names[dept_no - 1],
-                rng.choice(_CITIES),
-                rng.uniform(50_000, 500_000),
-                rng.randint(1, max(emp_rows, 1)),
-                rng.randint(0, 40),
+                nullable(rng.choice(_CITIES)),
+                nullable(rng.uniform(50_000, 500_000)),
+                nullable(rng.randint(1, max(emp_rows, 1))),
+                nullable(rng.randint(0, 40)),
             )
         )
     emp_names = distinct_words(emp_rows, prefix="emp_")
@@ -94,9 +107,9 @@ def build_emp_dept(
             (
                 emp_no,
                 emp_names[emp_no - 1],
-                rng.randint(1, dept_rows),
-                rng.uniform(30_000, 150_000),
-                rng.randint(21, 65),
+                nullable(rng.randint(1, dept_rows)),
+                nullable(rng.uniform(30_000, 150_000)),
+                nullable(rng.randint(21, 65)),
             )
         )
     if with_indexes:

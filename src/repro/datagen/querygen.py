@@ -1,0 +1,375 @@
+"""Seeded random query generation over the Emp/Dept workload.
+
+PR 1's differential harness carries a query generator inside its test
+module; the external-oracle suite and the concurrent workload driver
+both need the same traffic, so this module is the shared, extended
+version.  Everything it emits is (a) parseable by our front end and
+(b) renderable into SQLite's dialect via
+:func:`repro.sql.render.render_sqlite` -- the round-trip is pinned by a
+property-style test over hundreds of seeds.
+
+Extensions over the PR 1 generator, driven by where independent oracles
+have historically found optimizer bugs (NULL semantics and outer-join
+corners above all):
+
+* **NULL-heavy predicates**: IS [NOT] NULL, ``<>`` and NOT over
+  nullable columns, NOT IN / NOT BETWEEN -- the three-valued-logic
+  corners where a filter that treats UNKNOWN as FALSE on one side and
+  TRUE on the other silently diverges.
+* **Outer joins**: LEFT OUTER JOIN shapes, including the IS NULL
+  anti-join idiom and aggregates over NULL-padded sides.
+* **IN-list corners**: duplicate literals, values outside the column
+  domain, single-element lists, and NULL-producing combinations.
+* **Empty-input aggregates**: impossible predicates under scalar
+  aggregates (COUNT must say 0, SUM/AVG/MIN/MAX must say NULL).
+* **Deterministic windows**: ORDER BY keys that end in a unique column,
+  so LIMIT/OFFSET windows (including SQLite's bare-OFFSET divergence)
+  are a pure function of the query and comparable row-for-row.
+
+Determinism is part of the contract: one seed, one query stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+_CITIES = ["Denver", "Seattle", "Austin", "Boston", "Chicago", "Portland"]
+
+
+@dataclass
+class QueryGenConfig:
+    """Knobs for the generated traffic mix.
+
+    Row counts bound the literal domains so predicates are neither
+    always-true nor always-false; the probabilities select among query
+    families and predicate corners.
+    """
+
+    emp_rows: int = 200
+    dept_rows: int = 20
+    null_heavy: bool = True
+    outer_joins: bool = True
+    aggregate_fraction: float = 0.3
+    order_fraction: float = 0.25
+    empty_input_fraction: float = 0.06
+
+
+# (column, low, high, integral, nullable) -- predicate material per alias
+# kind.  ``E``-like aliases read Emp, ``D``-like read Dept.
+_EMP_NUMERIC = [
+    ("emp_no", 1, 200, True, False),
+    ("dept_no", 1, 20, True, True),
+    ("sal", 30_000, 150_000, False, True),
+    ("age", 21, 65, True, True),
+]
+_DEPT_NUMERIC = [
+    ("dept_no", 1, 20, True, False),
+    ("budget", 50_000, 500_000, False, True),
+    ("mgr", 1, 200, True, True),
+    ("num_machines", 0, 40, True, True),
+]
+
+_EMP_PROJECT = ["emp_no", "name", "dept_no", "sal", "age"]
+_DEPT_PROJECT = ["dept_no", "name", "loc", "budget", "num_machines"]
+
+
+@dataclass(frozen=True)
+class _Shape:
+    """One FROM-clause shape: rendering, alias kinds, unique order keys."""
+
+    from_clause: str
+    join_condition: Optional[str]  # None for single tables and JOIN..ON shapes
+    aliases: Tuple[str, ...]
+    kinds: Tuple[str, ...]  # "emp" | "dept", parallel to aliases
+    unique_keys: Tuple[str, ...]  # column refs unique in the join result
+
+
+_INNER_SHAPES = [
+    _Shape("Emp E", None, ("E",), ("emp",), ("E.emp_no",)),
+    _Shape("Dept D", None, ("D",), ("dept",), ("D.dept_no",)),
+    _Shape(
+        "Emp E, Dept D",
+        "E.dept_no = D.dept_no",
+        ("E", "D"),
+        ("emp", "dept"),
+        ("E.emp_no",),
+    ),
+    _Shape(
+        "Emp E, Emp E2",
+        "E.dept_no = E2.dept_no",
+        ("E", "E2"),
+        ("emp", "emp"),
+        ("E.emp_no", "E2.emp_no"),
+    ),
+    _Shape(
+        "Dept D, Emp M",
+        "D.mgr = M.emp_no",
+        ("D", "M"),
+        ("dept", "emp"),
+        ("D.dept_no",),
+    ),
+    _Shape(
+        "Emp E, Dept D, Emp M",
+        "E.dept_no = D.dept_no AND D.mgr = M.emp_no",
+        ("E", "D", "M"),
+        ("emp", "dept", "emp"),
+        ("E.emp_no",),
+    ),
+]
+
+_OUTER_SHAPES = [
+    _Shape(
+        "Emp E LEFT OUTER JOIN Dept D ON E.dept_no = D.dept_no",
+        None,
+        ("E", "D"),
+        ("emp", "dept"),
+        ("E.emp_no",),
+    ),
+    _Shape(
+        "Dept D LEFT OUTER JOIN Emp E ON D.dept_no = E.dept_no",
+        None,
+        ("D", "E"),
+        ("dept", "emp"),
+        ("D.dept_no", "E.emp_no"),
+    ),
+    _Shape(
+        "Dept D LEFT OUTER JOIN Emp M ON D.mgr = M.emp_no",
+        None,
+        ("D", "M"),
+        ("dept", "emp"),
+        ("D.dept_no",),
+    ),
+]
+
+
+class EmpDeptQueryGen:
+    """Deterministic random SQL over Emp/Dept, per a seeded RNG.
+
+    Args:
+        rng: the seeded random source (owned by the caller so several
+            generators can share one stream).
+        config: traffic-mix knobs.
+    """
+
+    def __init__(
+        self, rng: random.Random, config: Optional[QueryGenConfig] = None
+    ) -> None:
+        self.rng = rng
+        self.config = config or QueryGenConfig()
+        self._shapes = list(_INNER_SHAPES)
+        if self.config.outer_joins:
+            self._shapes.extend(_OUTER_SHAPES)
+
+    # ------------------------------------------------------------------
+    # Public entry points
+    # ------------------------------------------------------------------
+    def query(self) -> str:
+        """One random SELECT: SPJ, aggregate, or ordered/windowed."""
+        rng = self.rng
+        shape = rng.choice(self._shapes)
+        if rng.random() < self.config.aggregate_fraction:
+            return self._aggregate_query(shape)
+        return self._select_query(shape)
+
+    def window_query(self) -> Tuple[str, str]:
+        """A LIMIT/OFFSET query with a deterministic total order.
+
+        Returns ``(windowed_sql, base_sql)`` where the base query is the
+        same text without the window, so callers can also check the
+        window against a slice of the full ordering.
+        """
+        rng = self.rng
+        shape = rng.choice(self._shapes)
+        columns = [f"{ref} AS k{i}" for i, ref in enumerate(shape.unique_keys)]
+        order_keys: List[str] = []
+        if self.config.null_heavy and rng.random() < 0.5:
+            # A nullable leading key exercises NULL placement through
+            # the window; the unique suffix keeps the order total.
+            alias = rng.choice(shape.aliases)
+            kind = shape.kinds[shape.aliases.index(alias)]
+            column, _, _, _, nullable = rng.choice(self._numeric(kind))
+            if nullable:
+                order_keys.append(f"{alias}.{column}")
+                columns.append(f"{alias}.{column} AS n0")
+        order_keys.extend(shape.unique_keys)
+        sql = f"SELECT {', '.join(columns)} FROM {shape.from_clause}"
+        where = self._where(shape)
+        if where:
+            sql += f" WHERE {where}"
+        direction = rng.choice(["ASC", "DESC"])
+        sql += " ORDER BY " + ", ".join(f"{k} {direction}" for k in order_keys)
+        base = sql
+        if rng.random() < 0.85:
+            sql += f" LIMIT {rng.randint(0, 40)}"
+            if rng.random() < 0.5:
+                sql += f" OFFSET {rng.randint(0, 30)}"
+        else:
+            # Bare OFFSET: our dialect allows it, SQLite needs LIMIT -1.
+            sql += f" OFFSET {rng.randint(0, 30)}"
+        return sql, base
+
+    def batch(self, count: int) -> List[str]:
+        """``count`` queries from the stream, in order."""
+        return [self.query() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Query families
+    # ------------------------------------------------------------------
+    def _select_query(self, shape: _Shape) -> str:
+        rng = self.rng
+        select_list, refs = self._select_list(shape)
+        sql = f"SELECT {select_list} FROM {shape.from_clause}"
+        where = self._where(shape)
+        if where:
+            sql += f" WHERE {where}"
+        if rng.random() < self.config.order_fraction:
+            direction = rng.choice(["ASC", "DESC"])
+            keys = [f"{ref} {direction}" for ref in refs]
+            sql += f" ORDER BY {', '.join(keys)}"
+        return sql
+
+    def _aggregate_query(self, shape: _Shape) -> str:
+        rng = self.rng
+        agg_alias = rng.choice(shape.aliases)
+        agg_kind = shape.kinds[shape.aliases.index(agg_alias)]
+        agg_column, *_ = rng.choice(self._numeric(agg_kind))
+        func = rng.choice(["COUNT", "SUM", "AVG", "MIN", "MAX"])
+        agg = "COUNT(*)" if func == "COUNT" else f"{func}({agg_alias}.{agg_column})"
+        scalar = rng.random() < 0.25
+        if scalar:
+            sql = f"SELECT COUNT(*) AS c, {agg} AS a FROM {shape.from_clause}"
+        else:
+            group_alias = rng.choice(shape.aliases)
+            group_kind = shape.kinds[shape.aliases.index(group_alias)]
+            group_column, *_ = rng.choice(self._numeric(group_kind))
+            group_ref = f"{group_alias}.{group_column}"
+            sql = f"SELECT {group_ref} AS g, {agg} AS a FROM {shape.from_clause}"
+        impossible = (
+            scalar and self.rng.random() < self.config.empty_input_fraction * 4
+        )
+        where = self._where(shape, impossible=impossible)
+        if where:
+            sql += f" WHERE {where}"
+        if not scalar:
+            sql += f" GROUP BY {group_ref}"
+            if rng.random() < 0.3:
+                sql += " HAVING COUNT(*) > 1"
+        return sql
+
+    def _select_list(self, shape: _Shape) -> Tuple[str, List[str]]:
+        rng = self.rng
+        count = rng.randint(1, 3)
+        columns, refs = [], []
+        for index in range(count):
+            alias = rng.choice(shape.aliases)
+            kind = shape.kinds[shape.aliases.index(alias)]
+            column = rng.choice(self._projectable(kind))
+            refs.append(f"{alias}.{column}")
+            columns.append(f"{alias}.{column} AS c{index}")
+        distinct = "DISTINCT " if rng.random() < 0.2 else ""
+        return distinct + ", ".join(columns), refs
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _where(self, shape: _Shape, impossible: bool = False) -> str:
+        rng = self.rng
+        parts = [shape.join_condition] if shape.join_condition else []
+        if impossible:
+            alias = rng.choice(shape.aliases)
+            kind = shape.kinds[shape.aliases.index(alias)]
+            column, low, _high, _integral, _n = rng.choice(self._numeric(kind))
+            parts.append(f"{alias}.{column} < {low - 1_000_000}")
+            return " AND ".join(parts)
+        extra = rng.randint(0, 2)
+        predicates = [self._predicate(shape) for _ in range(extra)]
+        if len(predicates) == 2 and rng.random() < 0.3:
+            parts.append(f"({predicates[0]} OR {predicates[1]})")
+        else:
+            parts.extend(predicates)
+        return " AND ".join(parts)
+
+    def _predicate(self, shape: _Shape) -> str:
+        rng = self.rng
+        alias = rng.choice(shape.aliases)
+        kind = shape.kinds[shape.aliases.index(alias)]
+        column, low, high, integral, nullable = rng.choice(self._numeric(kind))
+        ref = f"{alias}.{column}"
+        roll = rng.random()
+        if self.config.null_heavy and nullable and roll < 0.18:
+            return f"{ref} IS {'NOT ' if rng.random() < 0.5 else ''}NULL"
+        if roll < 0.45:
+            op = rng.choice(["<", "<=", ">", ">=", "=", "<>"])
+            return f"{ref} {op} {self._literal(low, high, integral)}"
+        if roll < 0.6:
+            a = rng.randint(low, high) if integral else rng.uniform(low, high)
+            b = rng.randint(low, high) if integral else rng.uniform(low, high)
+            lo, hi = sorted((a, b))
+            body = (
+                f"{ref} BETWEEN {lo} AND {hi}"
+                if integral
+                else f"{ref} BETWEEN {lo:.2f} AND {hi:.2f}"
+            )
+            if self.config.null_heavy and rng.random() < 0.25:
+                return f"NOT ({body})"
+            return body
+        if roll < 0.78 and integral:
+            return self._in_list(ref, low, high)
+        if roll < 0.9 and kind == "dept":
+            # String predicates over the city domain (+ a miss value).
+            city = rng.choice(_CITIES + ["Nowhere"])
+            op = rng.choice(["=", "<>"])
+            body = f"{alias}.loc {op} '{city}'"
+            if self.config.null_heavy and rng.random() < 0.25:
+                return f"NOT ({body})"
+            return body
+        if self.config.null_heavy and rng.random() < 0.5:
+            negated = self._predicate_simple(ref, low, high, integral)
+            return f"NOT ({negated})"
+        return f"{ref} IS NOT NULL"
+
+    def _predicate_simple(
+        self, ref: str, low: int, high: int, integral: bool
+    ) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "=", "<>"])
+        return f"{ref} {op} {self._literal(low, high, integral)}"
+
+    def _in_list(self, ref: str, low: int, high: int) -> str:
+        rng = self.rng
+        size = rng.randint(1, 5)
+        values = [rng.randint(low, high) for _ in range(size)]
+        if rng.random() < 0.3:
+            values.append(values[0])  # duplicate literal
+        if rng.random() < 0.3:
+            values.append(high + 1000)  # out-of-domain literal
+        rendered = ", ".join(str(v) for v in values)
+        negation = "NOT " if self.config.null_heavy and rng.random() < 0.3 else ""
+        return f"{ref} {negation}IN ({rendered})"
+
+    # ------------------------------------------------------------------
+    # Schema material
+    # ------------------------------------------------------------------
+    def _numeric(self, kind: str) -> Sequence[Tuple[str, int, int, bool, bool]]:
+        if kind == "emp":
+            material = [
+                (c, lo if c != "emp_no" else 1,
+                 hi if c != "emp_no" else self.config.emp_rows, integ, nullable)
+                for (c, lo, hi, integ, nullable) in _EMP_NUMERIC
+            ]
+            return material
+        return [
+            (c, lo if c != "dept_no" else 1,
+             hi if c != "dept_no" else self.config.dept_rows, integ, nullable)
+            for (c, lo, hi, integ, nullable) in _DEPT_NUMERIC
+        ]
+
+    @staticmethod
+    def _projectable(kind: str) -> Sequence[str]:
+        return _EMP_PROJECT if kind == "emp" else _DEPT_PROJECT
+
+    def _literal(self, low, high, integral: bool) -> str:
+        if integral:
+            return str(self.rng.randint(low, high))
+        return f"{self.rng.uniform(low, high):.2f}"

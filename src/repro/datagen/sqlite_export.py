@@ -1,0 +1,86 @@
+"""Mirror a repro catalog into a stdlib :mod:`sqlite3` database.
+
+Every correctness claim the differential suites make is only as strong
+as the reference they compare against, and until now every reference
+was another engine in this codebase -- a shared-bug blind spot.  SQLite
+is the independent semantics oracle: this module exports any catalog's
+schema and data into an in-memory SQLite database so the same workload
+can run against an implementation that shares none of our code.
+
+Type mapping is exact for our three-type system (INT -> INTEGER,
+FLOAT -> REAL, STR -> TEXT); rows are inserted verbatim from the heap
+tables (Python ``None`` is SQL NULL on both sides).  Ordered indexes are
+mirrored too -- they cannot change SQLite's answers, but they keep the
+oracle fast enough to sit inside a 200-query test loop.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import ColumnType
+
+_SQLITE_TYPES = {
+    ColumnType.INT: "INTEGER",
+    ColumnType.FLOAT: "REAL",
+    ColumnType.STR: "TEXT",
+}
+
+
+def sqlite_type(col_type: ColumnType) -> str:
+    """The SQLite storage class declared for one of our column types."""
+    return _SQLITE_TYPES[col_type]
+
+
+def create_table_sql(catalog: Catalog, table: str) -> str:
+    """The CREATE TABLE statement mirroring one catalog table.
+
+    Primary keys are deliberately *not* declared: SQLite would enforce
+    uniqueness and NOT NULL, and an oracle must accept whatever rows the
+    system under test actually stores, not editorialize about them.
+    """
+    schema = catalog.schema(table)
+    columns = ", ".join(
+        f'"{column.name}" {sqlite_type(column.col_type)}'
+        for column in schema.columns
+    )
+    return f'CREATE TABLE "{table}" ({columns})'
+
+
+def mirror_to_sqlite(
+    catalog: Catalog,
+    tables: Optional[Iterable[str]] = None,
+    include_indexes: bool = True,
+) -> sqlite3.Connection:
+    """Export schema + data into a fresh in-memory SQLite database.
+
+    Args:
+        catalog: the catalog to mirror.
+        tables: restrict the export to these table names (default: all).
+        include_indexes: mirror ordered indexes (performance only).
+
+    Returns:
+        An open connection with every requested table loaded.
+    """
+    names = list(tables) if tables is not None else catalog.table_names()
+    conn = sqlite3.connect(":memory:")
+    for name in names:
+        conn.execute(create_table_sql(catalog, name))
+        heap = catalog.table(name)
+        placeholders = ", ".join("?" for _ in heap.schema.columns)
+        conn.executemany(
+            f'INSERT INTO "{name}" VALUES ({placeholders})', heap.rows()
+        )
+        if include_indexes:
+            for index in catalog.indexes_on(name):
+                definition = index.definition
+                cols = ", ".join(f'"{c}"' for c in definition.columns)
+                # Never UNIQUE: uniqueness is the system under test's
+                # claim to check, not the oracle's constraint to enforce.
+                conn.execute(
+                    f'CREATE INDEX "{definition.name}" ON "{name}" ({cols})'
+                )
+    conn.commit()
+    return conn

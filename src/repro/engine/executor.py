@@ -278,7 +278,15 @@ def _run_index_scan(op: IndexScanP, catalog: Catalog, ctx: ExecContext) -> List[
     if op.eq_value is not None:
         row_ids = ctx.index_lookup(lambda: index.seek_prefix(op.eq_value), site)
     elif op.low is not None or op.high is not None:
-        row_ids = ctx.index_lookup(lambda: index.range(op.low, op.high), site)
+        row_ids = ctx.index_lookup(
+            lambda: index.range(
+                op.low,
+                op.high,
+                include_low=not op.low_strict,
+                include_high=not op.high_strict,
+            ),
+            site,
+        )
     else:
         row_ids = ctx.index_lookup(index.ordered_row_ids, site)
     # Leaf pages covered by the scan.
@@ -1057,7 +1065,15 @@ def _stream_index_scan(
     if op.eq_value is not None:
         row_ids = ctx.index_lookup(lambda: index.seek_prefix(op.eq_value), site)
     elif op.low is not None or op.high is not None:
-        row_ids = ctx.index_lookup(lambda: index.range(op.low, op.high), site)
+        row_ids = ctx.index_lookup(
+            lambda: index.range(
+                op.low,
+                op.high,
+                include_low=not op.low_strict,
+                include_high=not op.high_strict,
+            ),
+            site,
+        )
     else:
         row_ids = ctx.index_lookup(index.ordered_row_ids, site)
     if index.page_count:

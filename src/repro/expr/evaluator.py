@@ -8,6 +8,7 @@ rewrites (Section 4.2.2 dwells on precisely this subtlety).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Optional, Sequence, Tuple
 
@@ -35,8 +36,14 @@ Row = Sequence[Any]
 # Parameter values for the execution currently in progress.  Bound by
 # the executor around a plan run (see :func:`bind_parameters`) so cached
 # prepared-statement plans can be re-executed with fresh values without
-# rewriting the plan tree.
-_BOUND_PARAMS: Optional[Tuple[Any, ...]] = None
+# rewriting the plan tree.  Thread-local: concurrent sessions executing
+# prepared statements over one shared Database must each see their own
+# binding, never another thread's.
+_BINDING = threading.local()
+
+
+def _bound_params() -> Optional[Tuple[Any, ...]]:
+    return getattr(_BINDING, "params", None)
 
 
 @contextmanager
@@ -44,29 +51,30 @@ def bind_parameters(values: Optional[Sequence[Any]]):
     """Bind positional parameter values for the duration of a block.
 
     Nested executions (e.g. Apply running a subplan) see the innermost
-    binding; the previous binding is restored on exit.
+    binding; the previous binding is restored on exit.  Bindings are
+    per-thread.
     """
-    global _BOUND_PARAMS
-    previous = _BOUND_PARAMS
-    _BOUND_PARAMS = tuple(values) if values is not None else None
+    previous = _bound_params()
+    _BINDING.params = tuple(values) if values is not None else None
     try:
         yield
     finally:
-        _BOUND_PARAMS = previous
+        _BINDING.params = previous
 
 
 def _param_value(expr: Param) -> Any:
-    if _BOUND_PARAMS is None:
+    params = _bound_params()
+    if params is None:
         raise ExecutionError(
             f"parameter ?{expr.index + 1} has no bound value "
             "(EXECUTE the statement with arguments)"
         )
-    if expr.index >= len(_BOUND_PARAMS):
+    if expr.index >= len(params):
         raise ExecutionError(
             f"parameter ?{expr.index + 1} out of range "
-            f"({len(_BOUND_PARAMS)} values bound)"
+            f"({len(params)} values bound)"
         )
-    return _BOUND_PARAMS[expr.index]
+    return params[expr.index]
 
 
 def evaluate(expr: Expr, row: Row, schema: StreamSchema) -> Any:

@@ -137,6 +137,8 @@ class IndexScanP(PhysicalOp):
         index_name: the ordered index used.
         eq_value: full-key equality seek value (tuple), or None.
         low / high: range bounds on the leading key column, or None.
+        low_strict / high_strict: whether the corresponding bound is
+            exclusive (from ``>`` / ``<``) rather than inclusive.
     """
 
     def __init__(
@@ -148,6 +150,8 @@ class IndexScanP(PhysicalOp):
         eq_value: Optional[Tuple[Any, ...]] = None,
         low: Optional[Any] = None,
         high: Optional[Any] = None,
+        low_strict: bool = False,
+        high_strict: bool = False,
         predicate: Optional[Expr] = None,
         column_types: Optional[Sequence[Any]] = None,
     ) -> None:
@@ -159,6 +163,8 @@ class IndexScanP(PhysicalOp):
         self.eq_value = eq_value
         self.low = low
         self.high = high
+        self.low_strict = low_strict
+        self.high_strict = high_strict
         self.predicate = predicate
         self.column_types = tuple(column_types) if column_types else None
 
@@ -172,7 +178,9 @@ class IndexScanP(PhysicalOp):
         if self.eq_value is not None:
             parts.append(f" eq={self.eq_value}")
         if self.low is not None or self.high is not None:
-            parts.append(f" range=[{self.low}, {self.high}]")
+            open_low = "(" if self.low_strict else "["
+            close_high = ")" if self.high_strict else "]"
+            parts.append(f" range={open_low}{self.low}, {self.high}{close_high}")
         if self.predicate is not None:
             parts.append(f" filter={self.predicate.to_sql()}")
         return "".join(parts) + ")"

@@ -1,0 +1,246 @@
+"""Render parsed SQL statements back to text, per target dialect.
+
+Differential testing against an external oracle needs our SQL dialect
+translated into the oracle's.  The subset this front end accepts is
+nearly a subset of SQLite's, with four deliberate divergences the
+``sqlite`` dialect normalizes at render time:
+
+* **Division**: our ``/`` is true division (Python semantics) for any
+  operand types; SQLite truncates when both operands are INTEGER.  The
+  sqlite dialect renders ``l / r`` as ``(CAST(l AS REAL) / r)`` so both
+  systems compute the same value.
+* **Bare OFFSET**: we accept ``OFFSET n`` without LIMIT; SQLite only
+  accepts OFFSET after a LIMIT, so the sqlite dialect emits
+  ``LIMIT -1 OFFSET n`` (SQLite's spelling of "no limit").
+* **Boolean literals**: rendered as ``1`` / ``0`` for SQLite (they are
+  integers there anyway; the keywords TRUE/FALSE only parse in
+  SQLite >= 3.23).
+* **NULL ordering**: both systems place NULLs first on ascending keys
+  and last on descending keys, so ORDER BY renders unchanged -- but the
+  agreement is a checked assumption, pinned by the oracle suite, not a
+  coincidence we silently rely on.
+
+UDF calls have no SQLite-side implementation and raise
+:class:`RenderError` under the sqlite dialect.
+
+The ``repro`` dialect round-trips through our own parser (the
+property-style generator tests rely on this), which makes the renderer
+usable for logging and for replaying workload traffic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.sql.ast import (
+    AstAggregate,
+    AstArith,
+    AstBetween,
+    AstBool,
+    AstColumn,
+    AstComparison,
+    AstExists,
+    AstExpr,
+    AstFuncCall,
+    AstInList,
+    AstInSubquery,
+    AstIsNull,
+    AstLiteral,
+    AstNot,
+    AstParam,
+    AstScalarSubquery,
+    FromItem,
+    JoinType,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+)
+
+SQLITE = "sqlite"
+REPRO = "repro"
+_DIALECTS = (SQLITE, REPRO)
+
+
+class RenderError(ReproError):
+    """A statement contains a construct the target dialect cannot express."""
+
+
+def render_select(stmt: SelectStmt, dialect: str = REPRO) -> str:
+    """Render a SELECT statement as SQL text for the given dialect.
+
+    Raises:
+        RenderError: on constructs without a dialect equivalent (UDF
+            calls under ``sqlite``) or an unknown dialect name.
+    """
+    if dialect not in _DIALECTS:
+        raise RenderError(f"unknown dialect {dialect!r}")
+    parts = ["SELECT"]
+    if stmt.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item(item, dialect) for item in stmt.select_items))
+    parts.append("FROM")
+    parts.append(_from_list(stmt.from_items, dialect))
+    if stmt.where is not None:
+        parts.append("WHERE")
+        parts.append(_expr(stmt.where, dialect))
+    if stmt.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(_expr(e, dialect) for e in stmt.group_by))
+    if stmt.having is not None:
+        parts.append("HAVING")
+        parts.append(_expr(stmt.having, dialect))
+    if stmt.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order_item(item, dialect) for item in stmt.order_by))
+    if stmt.limit is not None:
+        parts.append(f"LIMIT {stmt.limit}")
+    elif stmt.offset and dialect == SQLITE:
+        # SQLite's OFFSET requires a LIMIT; -1 means "unbounded".
+        parts.append("LIMIT -1")
+    if stmt.offset:
+        parts.append(f"OFFSET {stmt.offset}")
+    return " ".join(parts)
+
+
+def render_sqlite(stmt: SelectStmt) -> str:
+    """Shorthand: render for the stdlib ``sqlite3`` oracle."""
+    return render_select(stmt, SQLITE)
+
+
+# ----------------------------------------------------------------------
+# Clause pieces
+# ----------------------------------------------------------------------
+def _select_item(item: SelectItem, dialect: str) -> str:
+    if item.star:
+        if item.star_qualifier:
+            return f"{item.star_qualifier}.*"
+        return "*"
+    text = _expr(item.expr, dialect)
+    if item.alias:
+        return f"{text} AS {item.alias}"
+    return text
+
+
+def _from_list(items, dialect: str) -> str:
+    rendered = [_table_ref(items[0].table, dialect)]
+    for item in items[1:]:
+        table = _table_ref(item.table, dialect)
+        if item.join_type is JoinType.CROSS and item.on is None:
+            rendered.append(f", {table}")
+        elif item.join_type is JoinType.CROSS:
+            rendered.append(f" CROSS JOIN {table}")
+        else:
+            keyword = (
+                "LEFT OUTER JOIN"
+                if item.join_type is JoinType.LEFT_OUTER
+                else "JOIN"
+            )
+            on = _expr(item.on, dialect)
+            rendered.append(f" {keyword} {table} ON {on}")
+    return "".join(rendered)
+
+
+def _table_ref(ref, dialect: str) -> str:
+    if ref.subquery is not None:
+        inner = render_select(ref.subquery, dialect)
+        return f"({inner}) AS {ref.alias}"
+    if ref.alias and ref.alias != ref.name:
+        return f"{ref.name} {ref.alias}"
+    return ref.name
+
+
+def _order_item(item: OrderItem, dialect: str) -> str:
+    direction = "ASC" if item.ascending else "DESC"
+    return f"{_expr(item.expr, dialect)} {direction}"
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def _expr(expr: AstExpr, dialect: str) -> str:
+    if isinstance(expr, AstLiteral):
+        return _literal(expr.value, dialect)
+    if isinstance(expr, AstParam):
+        return "?"
+    if isinstance(expr, AstColumn):
+        if expr.qualifier:
+            return f"{expr.qualifier}.{expr.name}"
+        return expr.name
+    if isinstance(expr, AstComparison):
+        return f"{_operand(expr.left, dialect)} {expr.op} {_operand(expr.right, dialect)}"
+    if isinstance(expr, AstBool):
+        joiner = f" {expr.op} "
+        return joiner.join(_operand(arg, dialect) for arg in expr.args)
+    if isinstance(expr, AstNot):
+        return f"NOT ({_expr(expr.arg, dialect)})"
+    if isinstance(expr, AstArith):
+        left = _operand(expr.left, dialect)
+        right = _operand(expr.right, dialect)
+        if expr.op == "/" and dialect == SQLITE:
+            # SQLite truncates INTEGER / INTEGER; ours never does.
+            return f"(CAST({left} AS REAL) / {right})"
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, AstIsNull):
+        negation = "NOT " if expr.negated else ""
+        return f"{_operand(expr.arg, dialect)} IS {negation}NULL"
+    if isinstance(expr, AstInList):
+        values = ", ".join(_expr(value, dialect) for value in expr.values)
+        negation = "NOT " if expr.negated else ""
+        return f"{_operand(expr.arg, dialect)} {negation}IN ({values})"
+    if isinstance(expr, AstBetween):
+        return (
+            f"{_operand(expr.arg, dialect)} BETWEEN "
+            f"{_operand(expr.low, dialect)} AND {_operand(expr.high, dialect)}"
+        )
+    if isinstance(expr, AstAggregate):
+        arg = "*" if expr.arg is None else _expr(expr.arg, dialect)
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.func}({distinct}{arg})"
+    if isinstance(expr, AstInSubquery):
+        inner = render_select(expr.subquery, dialect)
+        negation = "NOT " if expr.negated else ""
+        return f"{_operand(expr.arg, dialect)} {negation}IN ({inner})"
+    if isinstance(expr, AstExists):
+        inner = render_select(expr.subquery, dialect)
+        negation = "NOT " if expr.negated else ""
+        return f"{negation}EXISTS ({inner})"
+    if isinstance(expr, AstScalarSubquery):
+        return f"({render_select(expr.subquery, dialect)})"
+    if isinstance(expr, AstFuncCall):
+        if dialect == SQLITE:
+            raise RenderError(
+                f"function call {expr.name!r} has no SQLite equivalent"
+            )
+        args = ", ".join(_expr(arg, dialect) for arg in expr.args)
+        return f"{expr.name}({args})"
+    raise RenderError(f"cannot render expression type {type(expr).__name__}")
+
+
+def _operand(expr: AstExpr, dialect: str) -> str:
+    """Render a sub-expression, parenthesizing compound forms.
+
+    Leaves (columns, literals, params, aggregates, subqueries) never
+    need parentheses; everything else gets them so the rendering is
+    precedence-proof in both dialects.
+    """
+    text = _expr(expr, dialect)
+    if isinstance(
+        expr,
+        (AstColumn, AstLiteral, AstParam, AstAggregate, AstScalarSubquery),
+    ):
+        return text
+    return f"({text})"
+
+
+def _literal(value, dialect: str) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        if dialect == SQLITE:
+            return "1" if value else "0"
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

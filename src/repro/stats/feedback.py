@@ -29,6 +29,7 @@ harvesting the same workload twice is idempotent.
 from __future__ import annotations
 
 import math
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -146,23 +147,30 @@ class CardinalityFeedback:
             observed this tick has confidence 1; one last seen ``k``
             harvests ago has ``decay ** k`` -- stale knowledge fades
             toward the model rather than overriding it forever.
+
+    Thread-safe: harvests from concurrent sessions interleave at method
+    granularity under an internal lock, so the LRU order, entry blends,
+    and counters never see a torn update.
     """
 
     def __init__(self, capacity: int = 512, decay: float = 0.98) -> None:
         self.capacity = max(1, capacity)
         self.decay = decay
         self._entries: "OrderedDict[str, FeedbackEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.tick = 0
         self.lookups = 0
         self.hits = 0
         self.recorded = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def begin_harvest(self) -> None:
         """Advance the age clock: one tick per harvested execution."""
-        self.tick += 1
+        with self._lock:
+            self.tick += 1
 
     def record(self, key: str, observed: float) -> None:
         """Fold one observed selectivity into the entry for ``key``.
@@ -172,33 +180,35 @@ class CardinalityFeedback:
         magnitude and keeps a single outlier run from dominating.
         """
         observed = min(1.0, max(_MIN_SELECTIVITY, observed))
-        entry = self._entries.get(key)
-        if entry is None:
-            self._entries[key] = FeedbackEntry(
-                observed=observed, observations=1, last_seen=self.tick
-            )
-        else:
-            weight = 1.0 / (entry.observations + 1)
-            blended = math.exp(
-                (1.0 - weight) * math.log(entry.observed)
-                + weight * math.log(observed)
-            )
-            entry.observed = blended
-            entry.observations += 1
-            entry.last_seen = self.tick
-        self._entries.move_to_end(key)
-        self.recorded += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._entries[key] = FeedbackEntry(
+                    observed=observed, observations=1, last_seen=self.tick
+                )
+            else:
+                weight = 1.0 / (entry.observations + 1)
+                blended = math.exp(
+                    (1.0 - weight) * math.log(entry.observed)
+                    + weight * math.log(observed)
+                )
+                entry.observed = blended
+                entry.observations += 1
+                entry.last_seen = self.tick
+            self._entries.move_to_end(key)
+            self.recorded += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def observed(self, key: str) -> Optional[Tuple[float, float]]:
         """``(observed_selectivity, confidence)`` for a key, or None."""
-        self.lookups += 1
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        self.hits += 1
-        return entry.observed, entry.confidence(self.tick, self.decay)
+        with self._lock:
+            self.lookups += 1
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self.hits += 1
+            return entry.observed, entry.confidence(self.tick, self.decay)
 
     def peek(self, key: Optional[str]) -> Optional[Tuple[float, float]]:
         """Like :meth:`observed`, without touching the lookup/hit counters.
@@ -209,10 +219,11 @@ class CardinalityFeedback:
         """
         if key is None:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        return entry.observed, entry.confidence(self.tick, self.decay)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            return entry.observed, entry.confidence(self.tick, self.decay)
 
     def adjusted(self, key: Optional[str], model: float) -> float:
         """The model estimate corrected by feedback, when any exists.
@@ -237,12 +248,13 @@ class CardinalityFeedback:
         a plan was produced; ``observed_shift`` compares a later state.
         """
         result: Dict[str, float] = {}
-        for key in keys:
-            if key is None:
-                continue
-            entry = self._entries.get(key)
-            if entry is not None:
-                result[key] = entry.observed
+        with self._lock:
+            for key in keys:
+                if key is None:
+                    continue
+                entry = self._entries.get(key)
+                if entry is not None:
+                    result[key] = entry.observed
         return result
 
     def observed_shift(self, snapshot: Dict[str, float], keys: List[Optional[str]]) -> float:
@@ -253,25 +265,28 @@ class CardinalityFeedback:
         misestimate path at harvest time, not treated as a shift.
         """
         worst = 1.0
-        for key in keys:
-            if key is None or key not in snapshot:
-                continue
-            entry = self._entries.get(key)
-            if entry is None:
-                continue
-            then, now = snapshot[key], entry.observed
-            if then <= 0 or now <= 0:
-                continue
-            worst = max(worst, then / now if then > now else now / then)
+        with self._lock:
+            for key in keys:
+                if key is None or key not in snapshot:
+                    continue
+                entry = self._entries.get(key)
+                if entry is None:
+                    continue
+                then, now = snapshot[key], entry.observed
+                if then <= 0 or now <= 0:
+                    continue
+                worst = max(worst, then / now if then > now else now / then)
         return worst
 
     def entries(self) -> List[Tuple[str, FeedbackEntry]]:
         """Current entries, most recently touched first."""
-        return list(reversed(self._entries.items()))
+        with self._lock:
+            return list(reversed(self._entries.items()))
 
     def clear(self) -> None:
         """Drop every learned selectivity (counters are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def format(self, limit: int = 20) -> str:
         """Readable rendering for the shell's ``\\feedback``."""

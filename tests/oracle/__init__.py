@@ -1,0 +1,1 @@
+"""External-oracle differential tests: our engines vs stdlib sqlite3."""

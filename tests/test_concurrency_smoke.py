@@ -1,0 +1,242 @@
+"""Thread-safety smoke tests: concurrent sessions over one Database.
+
+The workload harness (benchmarks/workload/) replays traffic from many
+client threads against a single shared ``Database``, which makes three
+pieces of shared mutable state load-bearing:
+
+* prepared-statement parameter bindings (now thread-local -- a module
+  global here meant one session could evaluate another's values),
+* the plan cache (LRU order + counters under a lock),
+* the cardinality-feedback store (entry blends + LRU under a lock).
+
+The first test pins the parameter-leak fix deterministically with
+events, no timing luck involved; the rest hammer the shared structures
+from many threads and check invariants that torn updates would break.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import Database
+from repro.core.optimizer import PlanCache
+from repro.datagen import build_emp_dept
+from repro.expr.evaluator import bind_parameters, evaluate
+from repro.expr.expressions import Param
+from repro.expr.schema import StreamSchema
+from repro.stats.feedback import CardinalityFeedback
+
+from tests.conftest import assert_same_rows
+
+CLIENTS = 8
+QUERIES_PER_CLIENT = 12
+
+
+# ----------------------------------------------------------------------
+# Parameter bindings are per-thread (pinned regression)
+# ----------------------------------------------------------------------
+def test_parameter_bindings_do_not_leak_across_threads():
+    """Two interleaved sessions must each see their own bound values.
+
+    The interleaving is forced with events: thread A binds, then waits
+    until thread B has bound *different* values, then evaluates its
+    parameter.  With process-global bindings A would read B's value;
+    with thread-local bindings each reads its own.
+    """
+    schema = StreamSchema.for_table("t", ["x"])
+    a_bound = threading.Event()
+    b_bound = threading.Event()
+    results = {}
+    errors = []
+
+    def session(name: str, value: int, bound: threading.Event,
+                wait_for: threading.Event):
+        try:
+            with bind_parameters([value]):
+                bound.set()
+                assert wait_for.wait(timeout=5.0)
+                results[name] = evaluate(Param(0), (0,), schema)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+            bound.set()
+
+    thread_a = threading.Thread(
+        target=session, args=("a", 111, a_bound, b_bound)
+    )
+    thread_b = threading.Thread(
+        target=session, args=("b", 222, b_bound, a_bound)
+    )
+    thread_a.start()
+    thread_b.start()
+    thread_a.join(timeout=10.0)
+    thread_b.join(timeout=10.0)
+    assert not errors
+    assert results == {"a": 111, "b": 222}
+
+
+def test_unbound_thread_sees_no_parameters():
+    """A binding in one thread must be invisible to a fresh thread."""
+    from repro.errors import ExecutionError
+
+    schema = StreamSchema.for_table("t", ["x"])
+    outcome = {}
+
+    def probe():
+        try:
+            evaluate(Param(0), (0,), schema)
+            outcome["raised"] = False
+        except ExecutionError:
+            outcome["raised"] = True
+
+    with bind_parameters([42]):
+        worker = threading.Thread(target=probe)
+        worker.start()
+        worker.join(timeout=10.0)
+    assert outcome["raised"] is True
+
+
+# ----------------------------------------------------------------------
+# Shared Database: concurrent sessions agree with a single session
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def shared_db() -> Database:
+    db = Database()
+    build_emp_dept(
+        db.catalog,
+        emp_rows=120,
+        dept_rows=12,
+        rng=random.Random(3),
+        null_fraction=0.1,
+    )
+    db.analyze()
+    return db
+
+
+def test_concurrent_sessions_return_correct_rows(shared_db):
+    """N threads replaying a mixed pool, every result checked.
+
+    The pool mixes cache-friendly repeats with per-client prepared
+    parameters so the plan cache sees concurrent hits, misses, and
+    inserts while the feedback store harvests concurrently.
+    """
+    pool = [
+        "SELECT E.emp_no AS k, E.sal AS s FROM Emp E WHERE E.age > 40",
+        "SELECT D.dept_no AS g, COUNT(*) AS c FROM Emp E, Dept D"
+        " WHERE E.dept_no = D.dept_no GROUP BY D.dept_no",
+        "SELECT E.emp_no AS k FROM Emp E WHERE E.sal IS NULL",
+        "SELECT E.emp_no AS k, E.name AS n FROM Emp E"
+        " ORDER BY E.emp_no ASC LIMIT 10 OFFSET 5",
+        "SELECT COUNT(*) AS c, AVG(E.sal) AS a FROM Emp E"
+        " WHERE E.dept_no IS NOT NULL",
+    ]
+    references = {sql: shared_db.sql(sql).rows for sql in pool}
+    param_sql = (
+        "SELECT E.emp_no AS k FROM Emp E"
+        " WHERE E.dept_no = ? ORDER BY E.emp_no ASC"
+    )
+    shared_db.prepare("by_dept", param_sql)
+    param_refs = {
+        dept: shared_db.execute_prepared("by_dept", dept).rows
+        for dept in range(1, 13)
+    }
+
+    failures = []
+
+    def client(client_no: int):
+        rng = random.Random(1000 + client_no)
+        try:
+            for _ in range(QUERIES_PER_CLIENT):
+                if rng.random() < 0.3:
+                    dept = rng.randint(1, 12)
+                    got = shared_db.execute_prepared("by_dept", dept).rows
+                    want = param_refs[dept]
+                else:
+                    sql = rng.choice(pool)
+                    got = shared_db.sql(sql).rows
+                    want = references[sql]
+                assert_same_rows(got, want)
+        except Exception as exc:  # pragma: no cover - failure path
+            failures.append((client_no, exc))
+
+    threads = [
+        threading.Thread(target=client, args=(n,)) for n in range(CLIENTS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not failures, failures
+
+
+# ----------------------------------------------------------------------
+# Plan cache and feedback store under contention
+# ----------------------------------------------------------------------
+def test_plan_cache_counters_consistent_under_contention(shared_db):
+    """Hammer one PlanCache from many threads; invariants must hold."""
+    cache = PlanCache(capacity=8)
+    plan = shared_db.optimizer().optimize(
+        "SELECT E.emp_no AS k FROM Emp E"
+    )
+    errors = []
+
+    def worker(worker_no: int):
+        rng = random.Random(worker_no)
+        try:
+            for i in range(300):
+                key = PlanCache.key(f"q{rng.randint(0, 15)}")
+                if rng.random() < 0.5:
+                    cache.put(key, plan, catalog_version=1)
+                else:
+                    cache.get(key, catalog_version=1)
+                if rng.random() < 0.05:
+                    cache.evict(key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors
+    assert len(cache) <= cache.capacity
+    assert cache.hits + cache.misses == cache.hits + cache.misses  # readable
+    assert cache.hits >= 0 and cache.misses >= 0 and cache.evictions >= 0
+
+
+def test_feedback_store_blends_survive_contention():
+    """Concurrent record/observed calls never tear an entry.
+
+    Observed selectivities are clamped to [1e-9, 1]; any torn read or
+    lost-update corruption of the geometric blend shows up as a value
+    outside the convex range of what was recorded.
+    """
+    store = CardinalityFeedback(capacity=32)
+    keys = [f"(Emp.sal > {n})" for n in range(8)]
+    errors = []
+
+    def worker(worker_no: int):
+        rng = random.Random(worker_no)
+        try:
+            for _ in range(400):
+                key = rng.choice(keys)
+                store.record(key, rng.choice([0.1, 0.2, 0.4]))
+                hit = store.observed(key)
+                if hit is not None:
+                    observed, confidence = hit
+                    assert 0.1 - 1e-9 <= observed <= 0.4 + 1e-9
+                    assert 0.0 <= confidence <= 1.0
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not errors
+    assert len(store) <= 32
+    assert store.recorded == CLIENTS * 400

@@ -1,0 +1,247 @@
+"""Pinned NULL-semantics and boundary regressions from the oracle suite.
+
+ISSUE 6's oracle run named the usual suspects -- three-valued logic in
+NOT/NE, NULL ordering, empty-input aggregates -- and surfaced one real
+bug neither internal engine could see: strict index seek bounds
+(``col > k`` / ``col < k``) silently widening to inclusive, leaking the
+boundary row.  Both engines executed the same wrong physical plan, so
+the engine-vs-engine differential suites of PRs 1-5 were structurally
+blind to it; SQLite was not.
+
+Each behaviour here is pinned against hand-computable rows so a future
+regression fails with an exact expected-vs-got diff, with no random
+generator in the loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.catalog.schema import Column, ColumnType
+
+from tests.conftest import assert_same_rows
+
+
+@pytest.fixture()
+def tiny_db() -> Database:
+    """Five people, two teams; every nullable column holds a real NULL."""
+    db = Database()
+    team = db.catalog.create_table(
+        "Team",
+        [
+            Column("team_no", ColumnType.INT, nullable=False),
+            Column("city", ColumnType.STR),
+        ],
+        primary_key=["team_no"],
+    )
+    for row in [(1, "Denver"), (2, None), (3, "Austin")]:
+        team.insert(row)
+    person = db.catalog.create_table(
+        "Person",
+        [
+            Column("person_no", ColumnType.INT, nullable=False),
+            Column("team_no", ColumnType.INT),
+            Column("score", ColumnType.INT),
+        ],
+        primary_key=["person_no"],
+    )
+    for row in [
+        (1, 1, 10),
+        (2, 1, None),
+        (3, 2, 30),
+        (4, None, 40),
+        (5, None, None),
+    ]:
+        person.insert(row)
+    db.catalog.create_index(
+        "idx_person_pk", "Person", ["person_no"], clustered=True, unique=True
+    )
+    db.analyze()
+    return db
+
+
+def _rows(db: Database, sql: str):
+    return db.sql(sql).rows
+
+
+# ----------------------------------------------------------------------
+# Strict index seek bounds (the bug the SQLite oracle caught)
+# ----------------------------------------------------------------------
+class TestStrictIndexBounds:
+    def test_gt_excludes_boundary_row(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P WHERE P.person_no > 3",
+        )
+        assert sorted(r[0] for r in rows) == [4, 5]
+
+    def test_lt_excludes_boundary_row(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P WHERE P.person_no < 3",
+        )
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_mixed_strictness_keeps_tightest_bound(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P"
+            " WHERE P.person_no >= 2 AND P.person_no > 2 AND P.person_no <= 4",
+        )
+        assert sorted(r[0] for r in rows) == [3, 4]
+
+    def test_explain_marks_strict_bounds(self, tiny_db):
+        plan = "\n".join(
+            row[0]
+            for row in _rows(
+                tiny_db,
+                "EXPLAIN SELECT P.person_no AS k FROM Person P"
+                " WHERE P.person_no > 3",
+            )
+        )
+        if "IndexScan" in plan and "range=" in plan:
+            assert "range=(3" in plan
+
+
+# ----------------------------------------------------------------------
+# Three-valued logic: UNKNOWN filters like FALSE
+# ----------------------------------------------------------------------
+class TestThreeValuedLogic:
+    def test_ne_drops_null_rows(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P WHERE P.score <> 10",
+        )
+        assert sorted(r[0] for r in rows) == [3, 4]
+
+    def test_not_of_comparison_drops_null_rows(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P WHERE NOT (P.score = 10)",
+        )
+        assert sorted(r[0] for r in rows) == [3, 4]
+
+    def test_not_in_drops_null_rows(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P"
+            " WHERE P.score NOT IN (10, 40)",
+        )
+        assert sorted(r[0] for r in rows) == [3]
+
+    def test_not_between_drops_null_rows(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P"
+            " WHERE NOT (P.score BETWEEN 0 AND 35)",
+        )
+        assert sorted(r[0] for r in rows) == [4]
+
+    def test_is_null_complements_filtered_set(self, tiny_db):
+        with_null = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P WHERE P.score IS NULL",
+        )
+        assert sorted(r[0] for r in with_null) == [2, 5]
+
+
+# ----------------------------------------------------------------------
+# NULL ordering: first ascending, last descending (SQLite-compatible)
+# ----------------------------------------------------------------------
+class TestNullOrdering:
+    def test_ascending_nulls_first(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.score AS s, P.person_no AS k FROM Person P"
+            " ORDER BY P.score ASC, P.person_no ASC",
+        )
+        assert [r[1] for r in rows] == [2, 5, 1, 3, 4]
+
+    def test_descending_nulls_last(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.score AS s, P.person_no AS k FROM Person P"
+            " ORDER BY P.score DESC, P.person_no DESC",
+        )
+        assert [r[1] for r in rows] == [4, 3, 1, 5, 2]
+
+    def test_window_cuts_through_null_run(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.score AS s, P.person_no AS k FROM Person P"
+            " ORDER BY P.score ASC, P.person_no ASC LIMIT 2 OFFSET 1",
+        )
+        assert [r[1] for r in rows] == [5, 1]
+
+
+# ----------------------------------------------------------------------
+# Empty-input aggregates
+# ----------------------------------------------------------------------
+class TestEmptyInputAggregates:
+    def test_scalar_aggregates_over_empty_input(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT COUNT(*) AS c, SUM(P.score) AS s, AVG(P.score) AS a,"
+            " MIN(P.score) AS lo, MAX(P.score) AS hi"
+            " FROM Person P WHERE P.person_no < 0",
+        )
+        assert rows == [(0, None, None, None, None)]
+
+    def test_group_by_over_empty_input_yields_no_groups(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.team_no AS g, COUNT(*) AS c FROM Person P"
+            " WHERE P.person_no < 0 GROUP BY P.team_no",
+        )
+        assert rows == []
+
+    def test_aggregates_skip_nulls_on_nonempty_input(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT COUNT(*) AS c, COUNT(P.score) AS n, SUM(P.score) AS s"
+            " FROM Person P",
+        )
+        assert rows == [(5, 3, 80)]
+
+
+# ----------------------------------------------------------------------
+# Outer-join NULL corners
+# ----------------------------------------------------------------------
+class TestOuterJoinNulls:
+    def test_null_join_key_never_matches(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k, T.team_no AS t FROM Person P"
+            " LEFT OUTER JOIN Team T ON P.team_no = T.team_no",
+        )
+        assert_same_rows(
+            rows, [(1, 1), (2, 1), (3, 2), (4, None), (5, None)]
+        )
+
+    def test_is_null_anti_join(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT T.team_no AS t FROM Team T"
+            " LEFT OUTER JOIN Person P ON T.team_no = P.team_no"
+            " WHERE P.person_no IS NULL",
+        )
+        assert sorted(r[0] for r in rows) == [3]
+
+    def test_null_rejecting_where_simplifies_to_inner(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k FROM Person P"
+            " LEFT OUTER JOIN Team T ON P.team_no = T.team_no"
+            " WHERE T.team_no < 2",
+        )
+        assert sorted(r[0] for r in rows) == [1, 2]
+
+    def test_padded_side_column_from_on_clause_strictness(self, tiny_db):
+        rows = _rows(
+            tiny_db,
+            "SELECT P.person_no AS k, T.city AS c FROM Person P"
+            " LEFT OUTER JOIN Team T"
+            " ON P.team_no = T.team_no WHERE P.person_no IN (3, 4)",
+        )
+        assert_same_rows(rows, [(3, None), (4, None)])
