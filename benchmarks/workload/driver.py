@@ -27,9 +27,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.optimizer import Database
 from repro.datagen import EmpDeptQueryGen, QueryGenConfig, build_emp_dept
+from repro.engine.admission import AdmissionConfig
 from repro.engine.context import ExecContext
 from repro.engine.executor import execute, stream_batches
-from repro.errors import QueryCancelled, TransientStorageError
+from repro.errors import (
+    AdmissionRejected,
+    CircuitBreakerOpen,
+    QueryCancelled,
+    QueueTimeout,
+    TransientStorageError,
+)
 from repro.storage.faults import FaultConfig, FaultInjector
 
 from benchmarks.harness import rows_match
@@ -67,6 +74,18 @@ class WorkloadConfig:
     fault_index_lookup_error_rate: float = 0.002
     fault_latency_rate: float = 0.01
     fault_latency_seconds: float = 0.0005
+    # When set, the shared Database runs behind an AdmissionController
+    # and overload phases become meaningful: shed queries are counted
+    # as graceful degradation, not errors.
+    admission: Optional[AdmissionConfig] = None
+    # Client-side reaction to a shed: AdmissionRejected is retryable,
+    # and a well-behaved client backs off before resubmitting instead
+    # of hammering the admission queue in a tight loop.
+    shed_backoff_seconds: float = 0.004
+    # Uniform pool: every statement is a self-join aggregate of similar
+    # cost.  Overload benchmarks use this so tail latency measures the
+    # effect of concurrency, not the cost spread of a random pool.
+    uniform_pool: bool = False
 
 
 @dataclass
@@ -81,6 +100,9 @@ class PhaseResult:
     wrong_results: int = 0
     transient_errors: int = 0
     cancelled: int = 0
+    shed: int = 0
+    queue_timeouts: int = 0
+    breaker_fast_fails: int = 0
     untyped_errors: List[str] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
@@ -95,6 +117,14 @@ class PhaseResult:
     def cache_hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def attempts(self) -> int:
+        return self.queries + self.shed
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.attempts if self.attempts else 0.0
 
     def summary(self) -> Dict[str, Any]:
         return {
@@ -114,6 +144,10 @@ class PhaseResult:
             "wrong_results": self.wrong_results,
             "transient_errors": self.transient_errors,
             "cancelled": self.cancelled,
+            "shed": self.shed,
+            "shed_fraction": round(self.shed_fraction, 3),
+            "queue_timeouts": self.queue_timeouts,
+            "breaker_fast_fails": self.breaker_fast_fails,
             "untyped_errors": self.untyped_errors,
             "plan_cache": {
                 "hits": self.cache_hits,
@@ -140,7 +174,7 @@ class WorkloadDriver:
                 latency_seconds=cfg.fault_latency_seconds,
             )
         )
-        self.db = Database()
+        self.db = Database(admission=cfg.admission)
         build_emp_dept(
             self.db.catalog,
             emp_rows=cfg.emp_rows,
@@ -166,6 +200,18 @@ class WorkloadDriver:
 
     def _build_pool(self) -> List[str]:
         cfg = self.config
+        if cfg.uniform_pool:
+            aggregates = ("COUNT", "MIN", "MAX", "SUM")
+            return [
+                (
+                    f"SELECT E.dept_no AS g, {aggregates[n % 4]}(E2.emp_no)"
+                    " AS a FROM Emp E, Emp E2"
+                    " WHERE E.dept_no = E2.dept_no"
+                    f" AND E.sal > {1000 + 500 * n}"
+                    " GROUP BY E.dept_no"
+                )
+                for n in range(cfg.pool_size)
+            ]
         gen = EmpDeptQueryGen(
             random.Random(cfg.seed),
             QueryGenConfig(emp_rows=cfg.emp_rows, dept_rows=cfg.dept_rows),
@@ -184,9 +230,20 @@ class WorkloadDriver:
         return pool
 
     # ------------------------------------------------------------------
-    def run_phase(self, name: str, clear_cache: bool) -> PhaseResult:
-        """One phase: N clients replay traffic; everything is checked."""
+    def run_phase(
+        self,
+        name: str,
+        clear_cache: bool,
+        clients: Optional[int] = None,
+    ) -> PhaseResult:
+        """One phase: N clients replay traffic; everything is checked.
+
+        ``clients`` overrides the configured count — overload phases run
+        a multiple of the admission controller's slot count and measure
+        how gracefully the excess is queued or shed.
+        """
         cfg = self.config
+        client_count = cfg.clients if clients is None else clients
         if clear_cache:
             self.db.plan_cache.clear()
         result = PhaseResult(name=name)
@@ -202,6 +259,9 @@ class WorkloadDriver:
                 "wrong": 0,
                 "transient": 0,
                 "cancelled": 0,
+                "shed": 0,
+                "queue_timeouts": 0,
+                "breaker": 0,
                 "untyped": [],
             }
             for _ in range(cfg.queries_per_client):
@@ -220,6 +280,18 @@ class WorkloadDriver:
                     else:
                         rows = self.db.sql(sql).rows
                         want = self.references[sql]
+                except QueueTimeout:
+                    local["shed"] += 1
+                    local["queue_timeouts"] += 1
+                    continue
+                except AdmissionRejected:
+                    local["shed"] += 1
+                    if cfg.shed_backoff_seconds > 0.0:
+                        time.sleep(rng.random() * cfg.shed_backoff_seconds)
+                    continue
+                except CircuitBreakerOpen:
+                    local["breaker"] += 1
+                    continue
                 except TransientStorageError:
                     local["transient"] += 1
                     continue
@@ -245,12 +317,15 @@ class WorkloadDriver:
                 result.wrong_results += local["wrong"]
                 result.transient_errors += local["transient"]
                 result.cancelled += local["cancelled"]
+                result.shed += local["shed"]
+                result.queue_timeouts += local["queue_timeouts"]
+                result.breaker_fast_fails += local["breaker"]
                 result.untyped_errors.extend(local["untyped"])
                 result.latencies_ms.extend(local_latencies)
 
         threads = [
             threading.Thread(target=client, args=(n,), name=f"wl-client-{n}")
-            for n in range(cfg.clients)
+            for n in range(client_count)
         ]
         started = time.perf_counter()
         for thread in threads:
@@ -304,5 +379,10 @@ class WorkloadDriver:
             },
             "phases": {"cold": cold.summary(), "hot": hot.summary()},
             "faults_injected": self.injector.injected_faults,
+            "admission": (
+                self.db.admission.snapshot()
+                if self.db.admission is not None
+                else None
+            ),
             "_phase_objects": (cold, hot),
         }

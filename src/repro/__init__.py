@@ -31,6 +31,13 @@ from repro.core.optimizer import (
 from repro.core.systemr.enumerator import EnumeratorConfig
 from repro.cost.parameters import CostParameters
 from repro.engine.adaptive import AdaptiveConfig
+from repro.engine.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    MemoryPool,
+    TokenBucket,
+)
 from repro.engine.context import QueryMetrics
 from repro.engine.governor import (
     CancellationToken,
@@ -44,8 +51,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveConfig",
+    "AdmissionConfig",
+    "AdmissionController",
     "CancellationToken",
     "Catalog",
+    "CircuitBreaker",
+    "MemoryPool",
+    "TokenBucket",
     "Column",
     "ColumnType",
     "CostParameters",

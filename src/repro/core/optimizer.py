@@ -22,12 +22,23 @@ from repro.catalog.catalog import Catalog
 from repro.catalog.schema import Column
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
 from repro.engine.adaptive import AdaptiveConfig, AdaptiveState
+from repro.engine.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionTicket,
+)
 from repro.engine.context import ExecContext, QueryMetrics
 from repro.engine.executor import execute
 from repro.engine.governor import CancellationToken, QueryBudget
 from repro.engine.interpreter import InterpreterStats, interpret
 from repro.engine.runtime_stats import render_explain_analyze
-from repro.errors import PrepareError, QueryCancelled, ReproError
+from repro.errors import (
+    AdmissionRejected,
+    PrepareError,
+    QueryCancelled,
+    QueueTimeout,
+    ReproError,
+)
 from repro.storage.faults import FaultInjector
 from repro.expr.schema import StreamSchema
 from repro.logical.lower import lower_block
@@ -402,6 +413,10 @@ class Database:
         adaptive: Optional[AdaptiveConfig] = None,
         batch_mode: bool = True,
         compiled_expressions: bool = True,
+        admission: Optional[
+            "AdmissionConfig | AdmissionController"
+        ] = None,
+        tenant: str = "default",
     ) -> None:
         self.catalog = Catalog(page_size_bytes=params.page_size_bytes)
         self.params = params
@@ -423,6 +438,17 @@ class Database:
         # legacy materializing / tree-walking oracle paths.
         self.batch_mode = batch_mode
         self.compiled_expressions = compiled_expressions
+        # Server-wide admission control.  Pass an AdmissionConfig to
+        # build a controller owned by this Database, or share one
+        # AdmissionController across databases; None (the default)
+        # admits everything unconditionally.  The session identity
+        # (tenant/priority) seeds per-query options.
+        if admission is None or isinstance(admission, AdmissionController):
+            self.admission: Optional[AdmissionController] = admission
+        else:
+            self.admission = AdmissionController(admission)
+        self.session_tenant = tenant
+        self.session_priority = "normal"
         self._plan_failures: Dict[PlanCacheKey, int] = {}
         self._conservative_keys: Set[PlanCacheKey] = set()
 
@@ -493,22 +519,34 @@ class Database:
         """Optimize without executing."""
         return self.optimizer().optimize(sql)
 
-    def sql(self, text: str) -> QueryResult:
+    def sql(
+        self,
+        text: str,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> QueryResult:
         """Run one SQL statement: SELECT, EXPLAIN [ANALYZE], PREPARE,
         EXECUTE, or DEALLOCATE.
 
         SELECT plans flow through the plan cache; repeated text (modulo
         whitespace/comments) reuses the cached physical plan until DDL
         or a statistics refresh bumps the catalog version.
+
+        ``tenant`` and ``priority`` are per-query admission options
+        (defaulting to the session's); with an admission controller
+        attached, execution may shed with a typed retryable
+        :class:`~repro.errors.AdmissionRejected` / ``QueueTimeout``.
         """
         stmt = parse_statement(text)
         if isinstance(stmt, ExplainStmt):
-            return self._run_explain(stmt)
+            return self._run_explain(stmt, tenant=tenant, priority=priority)
         if isinstance(stmt, PrepareStmt):
             self._register_prepared(stmt.name, stmt.sql_text, stmt.query)
             return _text_result("prepare", "PREPARE", [f"PREPARE {stmt.name}"])
         if isinstance(stmt, ExecuteStmt):
-            return self.execute_prepared(stmt.name, *stmt.args)
+            return self.execute_prepared(
+                stmt.name, *stmt.args, tenant=tenant, priority=priority
+            )
         if isinstance(stmt, DeallocateStmt):
             self.deallocate(stmt.name)
             return _text_result(
@@ -516,7 +554,10 @@ class Database:
             )
         key = PlanCache.key(text, stmt.param_count)
         optimized, from_cache, _ = self._optimize_cached(key, stmt)
-        return self._execute_plan(optimized, from_cache, cache_key=key)
+        return self._execute_plan(
+            optimized, from_cache, cache_key=key,
+            tenant=tenant, priority=priority,
+        )
 
     # -- plan cache plumbing -------------------------------------------
     def _optimize_cached(
@@ -592,9 +633,71 @@ class Database:
         context.feedback = self.feedback
         context.batch_mode = self.batch_mode
         context.compiled_expressions = self.compiled_expressions
+        context.admission = self.admission
         if self.adaptive is not None and self.adaptive.enabled:
             context.adaptive = AdaptiveState(self.adaptive)
         return context
+
+    # -- admission control ---------------------------------------------
+    def _admit(
+        self, tenant: Optional[str], priority: Optional[str]
+    ) -> Optional[AdmissionTicket]:
+        """Pass one query through the admission controller.
+
+        Returns None when no controller is attached.  Sheds by raising
+        the controller's typed retryable errors, with the session
+        metrics updated either way.  The queue deadline is tightened by
+        the session budget's wall-clock timeout, so a query never burns
+        its whole budget waiting in line.
+        """
+        if self.admission is None:
+            return None
+        budget = self.budget
+        try:
+            ticket = self.admission.admit(
+                tenant=tenant or self.session_tenant,
+                priority=priority or self.session_priority,
+                requested_memory=(
+                    budget.memory_limit_bytes if budget is not None else None
+                ),
+                query_deadline_seconds=(
+                    budget.timeout_seconds if budget is not None else None
+                ),
+            )
+        except AdmissionRejected as error:
+            self.metrics.queries_shed += 1
+            if isinstance(error, QueueTimeout):
+                self.metrics.queue_timeouts += 1
+            raise
+        self.metrics.queries_admitted += 1
+        if ticket.queued:
+            self.metrics.queries_queued += 1
+            self.metrics.queue_wait_seconds += ticket.queue_wait_seconds
+        return ticket
+
+    def _apply_ticket(
+        self, context: ExecContext, ticket: Optional[AdmissionTicket]
+    ) -> None:
+        """Fold an admission grant into one execution's context.
+
+        The memory lease clamps the query's effective memory budget:
+        when the global pool is tight the lease shrinks, and
+        spill-capable operators degrade to Grace-style partitioned
+        execution under the tightened budget instead of the server
+        overcommitting memory.
+        """
+        if ticket is None:
+            return
+        # An immediate grant reports a few-microsecond "wait" that is pure
+        # clock noise; only a genuinely queued query gets the footer line.
+        context.queue_wait_seconds = (
+            ticket.queue_wait_seconds if ticket.queued else 0.0
+        )
+        base = context.budget or QueryBudget()
+        limit = base.memory_limit_bytes
+        granted = ticket.granted_memory
+        if limit is None or granted < limit:
+            context.budget = replace(base, memory_limit_bytes=granted)
 
     def _arm_replanner(
         self, context: ExecContext, optimized: OptimizedQuery
@@ -666,8 +769,15 @@ class Database:
         from_cache: bool,
         parameters: Optional[Tuple[Any, ...]] = None,
         cache_key: Optional[PlanCacheKey] = None,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
     ) -> QueryResult:
         context = self._make_context()
+        # Admission happens before any execution work: a shed query
+        # costs the server one queue decision, nothing more.  The slot
+        # and memory lease are held for exactly the execution.
+        ticket = self._admit(tenant, priority)
+        self._apply_ticket(context, ticket)
         self._arm_replanner(context, optimized)
         start = time.perf_counter()
         try:
@@ -677,9 +787,15 @@ class Database:
         except ReproError as error:
             self.metrics.execute_seconds += time.perf_counter() - start
             self.metrics.fault_retries += context.counters.retries
+            self.metrics.breaker_fast_fails += (
+                context.counters.breaker_fast_fails
+            )
             self._fold_adaptive_metrics(context, cache_key)
             self._note_execution_failure(cache_key, error)
             raise
+        finally:
+            if ticket is not None:
+                ticket.release()
         self.metrics.execute_seconds += time.perf_counter() - start
         self.metrics.record_execution(context, len(rows))
         self._fold_adaptive_metrics(context, cache_key)
@@ -721,7 +837,12 @@ class Database:
         ):
             self.metrics.feedback_reoptimizations += 1
 
-    def _run_explain(self, stmt: ExplainStmt) -> QueryResult:
+    def _run_explain(
+        self,
+        stmt: ExplainStmt,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> QueryResult:
         key = PlanCache.key(stmt.sql_text, stmt.query.param_count)
         optimized, from_cache, opt_seconds = self._optimize_cached(
             key, stmt.query
@@ -734,9 +855,15 @@ class Database:
             result.from_plan_cache = from_cache
             return result
         context = self._make_context()
+        ticket = self._admit(tenant, priority)
+        self._apply_ticket(context, ticket)
         self._arm_replanner(context, optimized)
         start = time.perf_counter()
-        schema, rows = execute(optimized.physical, self.catalog, context)
+        try:
+            schema, rows = execute(optimized.physical, self.catalog, context)
+        finally:
+            if ticket is not None:
+                ticket.release()
         self.metrics.execute_seconds += time.perf_counter() - start
         self.metrics.record_execution(context, len(rows))
         self._fold_adaptive_metrics(context, key)
@@ -784,7 +911,13 @@ class Database:
         """
         return self._register_prepared(name, sql_text)
 
-    def execute_prepared(self, name: str, *args: Any) -> QueryResult:
+    def execute_prepared(
+        self,
+        name: str,
+        *args: Any,
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> QueryResult:
         """Execute a prepared statement with positional parameter values."""
         statement = self.prepared.get(name)
         if statement is None:
@@ -802,6 +935,8 @@ class Database:
             from_cache,
             parameters=tuple(args),
             cache_key=statement.cache_key,
+            tenant=tenant,
+            priority=priority,
         )
 
     def deallocate(self, name: str) -> None:

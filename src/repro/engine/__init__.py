@@ -1,10 +1,18 @@
 """Execution engine: physical-plan executor, reference interpreter, buffer
-pool, and per-query resource governance."""
+pool, per-query resource governance, and server-wide admission control."""
 
 from repro.engine.adaptive import (
     AdaptiveConfig,
     AdaptiveState,
     ReoptimizeSignal,
+)
+from repro.engine.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionTicket,
+    CircuitBreaker,
+    MemoryPool,
+    TokenBucket,
 )
 from repro.engine.context import (
     BufferPool,
@@ -30,7 +38,13 @@ from repro.engine.runtime_stats import (
 __all__ = [
     "AdaptiveConfig",
     "AdaptiveState",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionTicket",
     "BufferPool",
+    "CircuitBreaker",
+    "MemoryPool",
+    "TokenBucket",
     "CancellationToken",
     "ReoptimizeSignal",
     "ExecContext",

@@ -1,0 +1,718 @@
+"""Server-wide admission control: one gate in front of every session.
+
+The survey's optimizer picks the cheapest plan for *one* query; a
+production server must also decide which queries get to run at all when
+offered load exceeds capacity.  PR 2's :class:`ResourceGovernor`
+enforces per-query budgets; this module promotes that idea to the
+server: one :class:`AdmissionController` shared by every session of a
+``Database`` owns
+
+* a **global memory pool** (:class:`MemoryPool`) that leases each
+  admitted query a working-memory budget.  When the pool is tight the
+  lease shrinks instead of blocking, so spill-capable operators degrade
+  to Grace-style partitioned execution -- pressure turns into slower
+  queries, not failures;
+* a **bounded admission queue** with priority classes and per-query
+  deadlines.  A full queue sheds new arrivals immediately and a waiter
+  past its deadline is shed with a typed, retryable
+  :class:`~repro.errors.QueueTimeout` -- overload produces fast, honest
+  rejections instead of an unbounded backlog of doomed work;
+* **per-tenant budgets**: a queries-per-second token bucket
+  (:class:`TokenBucket`) shed at submission, a memory-share cap on
+  pool leases, and fair queue dispatch (among equal priorities the
+  tenant with the fewest running queries goes first, so one noisy
+  tenant cannot starve the rest);
+* a **circuit breaker** (:class:`CircuitBreaker`) over the storage
+  fault layer: repeated transient storage failures trip it open and
+  subsequent accesses fail fast with
+  :class:`~repro.errors.CircuitBreakerOpen` instead of hammering a
+  browning-out device; after a cooldown it half-opens and a few probe
+  accesses decide whether to close it again;
+* a **global retry token bucket**: every in-query retry must take a
+  token, so server-wide retry volume stays bounded during brownouts
+  (no retry amplification: N queries x M retries cannot multiply).
+
+Everything is cooperative and thread-safe; all waiting happens on one
+condition variable, and clocks are injectable so the state machines are
+unit-testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import AdmissionRejected, CircuitBreakerOpen, QueueTimeout
+
+# Priority classes, best first.  Unknown classes are treated as "normal".
+PRIORITY_RANKS: Dict[str, int] = {"high": 0, "normal": 1, "low": 2}
+
+
+def priority_rank(priority: str) -> int:
+    """The dispatch rank of a priority class (lower dispatches first)."""
+    return PRIORITY_RANKS.get(priority, PRIORITY_RANKS["normal"])
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Knobs for one :class:`AdmissionController`.
+
+    Attributes:
+        max_concurrency: queries allowed to execute at once (slots).
+        queue_depth: waiters allowed behind the slots; arrivals beyond
+            this are shed immediately with ``reason="queue-full"``.
+        queue_timeout_seconds: default deadline a waiter is held to; a
+            query's own wall-clock budget tightens it further.
+        memory_pool_bytes: total working memory the pool leases from.
+        default_query_memory_bytes: lease requested for queries that
+            declare no memory budget of their own.
+        min_lease_bytes: smallest lease ever granted -- a floor so a
+            tight pool degrades queries to spilling rather than
+            starving them outright.
+        tenant_queries_per_second: per-tenant admission rate (token
+            bucket refill); ``inf`` disables rate limiting.
+        tenant_burst: per-tenant token-bucket capacity.
+        tenant_memory_fraction: largest share of the pool one tenant's
+            concurrent leases may hold.
+        breaker_failure_threshold: consecutive storage failures that
+            trip the circuit breaker open.
+        breaker_cooldown_seconds: how long the breaker stays open
+            before half-opening to probe.
+        breaker_half_open_probes: probe successes needed to close the
+            breaker (also the probe-concurrency cap while half-open).
+        retry_tokens_per_second: global refill rate of the retry token
+            bucket; every in-query retry consumes one token.
+        retry_token_burst: retry token bucket capacity.
+    """
+
+    max_concurrency: int = 8
+    queue_depth: int = 16
+    queue_timeout_seconds: float = 0.5
+    memory_pool_bytes: int = 64 << 20
+    default_query_memory_bytes: int = 8 << 20
+    min_lease_bytes: int = 64 << 10
+    tenant_queries_per_second: float = math.inf
+    tenant_burst: float = 16.0
+    tenant_memory_fraction: float = 0.5
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_seconds: float = 0.05
+    breaker_half_open_probes: int = 2
+    retry_tokens_per_second: float = 200.0
+    retry_token_burst: float = 400.0
+
+
+class TokenBucket:
+    """A thread-safe token bucket with an injectable clock.
+
+    ``rate_per_second`` tokens accrue continuously up to ``burst``;
+    :meth:`try_acquire` never blocks -- admission control sheds, it
+    does not stall the caller on a rate limit.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate_per_second
+        self.capacity = burst
+        self._clock = clock
+        self._tokens = burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this bucket never denies (infinite refill rate)."""
+        return math.isinf(self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; False (no wait) otherwise."""
+        if self.unlimited:
+            return True
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    @property
+    def available(self) -> float:
+        """Tokens available right now (refill applied)."""
+        if self.unlimited:
+            return math.inf
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            return self._tokens
+
+
+class MemoryPool:
+    """The global working-memory pool queries lease budgets from.
+
+    A lease is granted immediately and sized to what is available:
+    ``min(requested, pool headroom, tenant headroom)`` floored at
+    ``min_lease_bytes``.  The floor deliberately allows transient
+    oversubscription -- a tight pool hands out small leases that force
+    Grace-style spilling, which is graceful degradation, while a
+    blocking pool would stack admission on top of slot queueing.
+    """
+
+    def __init__(self, capacity_bytes: int, min_lease_bytes: int) -> None:
+        self.capacity = capacity_bytes
+        self.min_lease = min(min_lease_bytes, capacity_bytes)
+        self.leased = 0
+        self.peak_leased = 0
+        self.leases_granted = 0
+        self.leases_trimmed = 0
+        self._lock = threading.Lock()
+
+    def lease(self, requested: int, tenant_headroom: float = math.inf) -> int:
+        """Grant a working-memory lease; returns the granted bytes."""
+        with self._lock:
+            headroom = self.capacity - self.leased
+            grant = int(min(requested, headroom, tenant_headroom))
+            grant = max(self.min_lease, grant)
+            if grant < requested:
+                self.leases_trimmed += 1
+            self.leased += grant
+            self.peak_leased = max(self.peak_leased, self.leased)
+            self.leases_granted += 1
+            return grant
+
+    def release(self, granted: int) -> None:
+        """Return a lease to the pool."""
+        with self._lock:
+            self.leased -= granted
+
+    @property
+    def available(self) -> int:
+        """Unleased bytes (may be negative under floor oversubscription)."""
+        with self._lock:
+            return self.capacity - self.leased
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open -> closed over storage failures.
+
+    Closed counts *consecutive* failures; reaching the threshold trips
+    the breaker open and every access fails fast until the cooldown
+    elapses.  The first access after cooldown half-opens the breaker:
+    up to ``half_open_probes`` accesses are let through as probes, and
+    that many successes close it again while a single probe failure
+    re-opens it (and restarts the cooldown).  All transitions are
+    clock-driven and lock-protected; the clock is injectable so tests
+    advance time explicitly.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_seconds: float = 0.05,
+        half_open_probes: int = 2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.cooldown_seconds = cooldown_seconds
+        self.half_open_probes = max(1, half_open_probes)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self._probe_successes = 0
+        self.trips = 0
+        self.fast_failures = 0
+        self.probes = 0
+
+    @property
+    def state(self) -> str:
+        """Current state, cooldown expiry applied (open may half-open)."""
+        with self._lock:
+            self._maybe_half_open_locked()
+            return self._state
+
+    def _maybe_half_open_locked(self) -> None:
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.cooldown_seconds
+        ):
+            self._state = self.HALF_OPEN
+            self._probes_in_flight = 0
+            self._probe_successes = 0
+
+    def allow(self) -> bool:
+        """May this storage access proceed?  False means fail fast.
+
+        Every True from a non-closed state is a probe: the caller must
+        report back via :meth:`on_success` / :meth:`on_failure`.
+        """
+        with self._lock:
+            if self._state == self.CLOSED:
+                return True
+            self._maybe_half_open_locked()
+            if self._state == self.OPEN:
+                self.fast_failures += 1
+                return False
+            if self._probes_in_flight >= self.half_open_probes:
+                self.fast_failures += 1
+                return False
+            self._probes_in_flight += 1
+            self.probes += 1
+            return True
+
+    def on_success(self) -> None:
+        """Report one successful storage access."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_probes:
+                    self._state = self.CLOSED
+                    self._consecutive_failures = 0
+            elif self._state == self.CLOSED:
+                self._consecutive_failures = 0
+
+    def on_failure(self) -> None:
+        """Report one transiently failed storage access."""
+        with self._lock:
+            if self._state == self.HALF_OPEN:
+                self._probes_in_flight = max(0, self._probes_in_flight - 1)
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+            elif self._state == self.CLOSED:
+                self._consecutive_failures += 1
+                if self._consecutive_failures >= self.failure_threshold:
+                    self._state = self.OPEN
+                    self._opened_at = self._clock()
+                    self.trips += 1
+
+    def describe(self) -> str:
+        """One-line state rendering (the shell's ``\\admission``)."""
+        return (
+            f"{self.state} (trips={self.trips}, "
+            f"fast_failures={self.fast_failures}, probes={self.probes})"
+        )
+
+
+@dataclass
+class _TenantState:
+    """Book-keeping for one tenant."""
+
+    name: str
+    bucket: TokenBucket
+    running: int = 0
+    leased_bytes: int = 0
+    admitted: int = 0
+    shed: int = 0
+
+
+@dataclass
+class _Waiter:
+    """One query waiting for (or holding) an admission grant."""
+
+    seq: int
+    tenant: str
+    rank: int
+    requested_memory: int
+    granted: bool = False
+    granted_memory: int = 0
+
+
+@dataclass
+class AdmissionTicket:
+    """Proof of admission: holds one slot and one memory lease.
+
+    Usable as a context manager; :meth:`release` is idempotent so
+    explicit ``finally`` blocks and ``with`` both work.
+
+    Attributes:
+        tenant: tenant the query was admitted under.
+        priority: priority class it was admitted under.
+        queue_wait_seconds: time spent between submission and the grant
+            (clock noise only for an immediate grant).
+        granted_memory: the memory lease in bytes; the session clamps
+            the query's effective memory budget to it.
+        queued: whether the query actually waited for a slot (False
+            when a free slot was granted immediately).
+    """
+
+    controller: "AdmissionController"
+    tenant: str
+    priority: str
+    queue_wait_seconds: float
+    granted_memory: int
+    queued: bool = False
+    _released: bool = field(default=False, repr=False)
+
+    def release(self) -> None:
+        """Free the slot and the memory lease (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self.controller._release(self)
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """The server-wide gate: slots, queue, tenants, breaker, retries.
+
+    One instance is shared by every session of a ``Database`` (and may
+    be shared across databases); everything it owns is thread-safe.
+    ``clock`` is injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AdmissionConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or AdmissionConfig()
+        self._clock = clock
+        cfg = self.config
+        self.pool = MemoryPool(cfg.memory_pool_bytes, cfg.min_lease_bytes)
+        self.breaker = CircuitBreaker(
+            failure_threshold=cfg.breaker_failure_threshold,
+            cooldown_seconds=cfg.breaker_cooldown_seconds,
+            half_open_probes=cfg.breaker_half_open_probes,
+            clock=clock,
+        )
+        self.retry_tokens = TokenBucket(
+            cfg.retry_tokens_per_second, cfg.retry_token_burst, clock=clock
+        )
+        self._cond = threading.Condition()
+        self._waiters: List[_Waiter] = []
+        self._tenants: Dict[str, _TenantState] = {}
+        self._running = 0
+        self._seq = 0
+        # Counters (mutated under the condition's lock unless noted).
+        self.admitted = 0
+        self.queued = 0
+        self.shed_queue_full = 0
+        self.shed_rate_limited = 0
+        self.queue_timeouts = 0
+        self.total_queue_wait_seconds = 0.0
+        self.peak_queue_depth = 0
+        self.peak_running = 0
+        self.retries_denied = 0  # under the retry bucket's lock
+        self._retry_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        tenant: str = "default",
+        priority: str = "normal",
+        requested_memory: Optional[int] = None,
+        query_deadline_seconds: Optional[float] = None,
+        queue_timeout_seconds: Optional[float] = None,
+    ) -> AdmissionTicket:
+        """Admit one query, queueing if the server is at capacity.
+
+        Returns an :class:`AdmissionTicket` whose release frees the
+        slot.  Sheds (never blocks past the deadline) with typed,
+        retryable errors: :class:`~repro.errors.AdmissionRejected` for
+        a tenant over its rate budget or a full queue, and
+        :class:`~repro.errors.QueueTimeout` for a waiter whose deadline
+        expired before a slot freed.
+
+        Args:
+            tenant: tenant to account the query under.
+            priority: ``"high"`` | ``"normal"`` | ``"low"``.
+            requested_memory: working-memory bytes wanted (the query's
+                memory budget), or None for the configured default.
+            query_deadline_seconds: the query's own wall-clock budget;
+                tightens the queue deadline so a query never burns its
+                whole budget waiting in line.
+            queue_timeout_seconds: override of the configured queue
+                deadline.
+        """
+        cfg = self.config
+        submitted = self._clock()
+        state = self._tenant(tenant)
+        if not state.bucket.try_acquire():
+            with self._cond:
+                self.shed_rate_limited += 1
+                state.shed += 1
+            raise AdmissionRejected(
+                f"tenant {tenant!r} is over its "
+                f"{cfg.tenant_queries_per_second:g}/s admission budget",
+                reason="tenant-rate-limit",
+                tenant=tenant,
+                priority=priority,
+            )
+        timeout = (
+            cfg.queue_timeout_seconds
+            if queue_timeout_seconds is None
+            else queue_timeout_seconds
+        )
+        if query_deadline_seconds is not None:
+            timeout = min(timeout, query_deadline_seconds)
+        requested = (
+            cfg.default_query_memory_bytes
+            if requested_memory is None
+            else requested_memory
+        )
+        with self._cond:
+            if (
+                self._running >= cfg.max_concurrency
+                and len(self._waiters) >= cfg.queue_depth
+            ):
+                self.shed_queue_full += 1
+                state.shed += 1
+                raise AdmissionRejected(
+                    f"admission queue is full "
+                    f"({cfg.queue_depth} waiting, {self._running} running)",
+                    reason="queue-full",
+                    tenant=tenant,
+                    priority=priority,
+                )
+            self._seq += 1
+            waiter = _Waiter(
+                seq=self._seq,
+                tenant=tenant,
+                rank=priority_rank(priority),
+                requested_memory=requested,
+            )
+            self._waiters.append(waiter)
+            self.peak_queue_depth = max(
+                self.peak_queue_depth, len(self._waiters)
+            )
+            self._dispatch_locked()
+            waited = not waiter.granted
+            if waited:
+                self.queued += 1
+                deadline = submitted + timeout
+                while not waiter.granted:
+                    left = deadline - self._clock()
+                    if left <= 0.0:
+                        self._waiters.remove(waiter)
+                        self.queue_timeouts += 1
+                        state.shed += 1
+                        in_queue = self._clock() - submitted
+                        self.total_queue_wait_seconds += in_queue
+                        raise QueueTimeout(
+                            f"query shed after {in_queue * 1000.0:.0f}ms in "
+                            f"the admission queue "
+                            f"(deadline {timeout * 1000.0:.0f}ms)",
+                            waited_seconds=in_queue,
+                            timeout_seconds=timeout,
+                            tenant=tenant,
+                            priority=priority,
+                        )
+                    self._cond.wait(left)
+            wait = self._clock() - submitted
+            self.total_queue_wait_seconds += wait
+        return AdmissionTicket(
+            controller=self,
+            tenant=tenant,
+            priority=priority,
+            queue_wait_seconds=wait,
+            granted_memory=waiter.granted_memory,
+            queued=waited,
+        )
+
+    def _tenant(self, name: str) -> _TenantState:
+        with self._cond:
+            state = self._tenants.get(name)
+            if state is None:
+                state = _TenantState(
+                    name=name,
+                    bucket=TokenBucket(
+                        self.config.tenant_queries_per_second,
+                        self.config.tenant_burst,
+                        clock=self._clock,
+                    ),
+                )
+                self._tenants[name] = state
+            return state
+
+    def _dispatch_locked(self) -> None:
+        """Grant free slots to the best waiters (caller holds the lock).
+
+        Dispatch order: priority class first, then the tenant with the
+        fewest queries currently running (fair queueing -- granting
+        updates the count, so equal-priority dispatch round-robins
+        across tenants), then FIFO.
+        """
+        cfg = self.config
+        granted_any = False
+        while self._running < cfg.max_concurrency and self._waiters:
+            waiter = min(
+                self._waiters,
+                key=lambda w: (
+                    w.rank,
+                    self._tenants[w.tenant].running,
+                    w.seq,
+                ),
+            )
+            self._waiters.remove(waiter)
+            state = self._tenants[waiter.tenant]
+            tenant_cap = cfg.memory_pool_bytes * cfg.tenant_memory_fraction
+            waiter.granted_memory = self.pool.lease(
+                waiter.requested_memory,
+                tenant_headroom=tenant_cap - state.leased_bytes,
+            )
+            state.leased_bytes += waiter.granted_memory
+            state.running += 1
+            state.admitted += 1
+            self._running += 1
+            self.admitted += 1
+            self.peak_running = max(self.peak_running, self._running)
+            waiter.granted = True
+            granted_any = True
+        if granted_any:
+            self._cond.notify_all()
+
+    def _release(self, ticket: AdmissionTicket) -> None:
+        with self._cond:
+            state = self._tenants[ticket.tenant]
+            state.running -= 1
+            state.leased_bytes -= ticket.granted_memory
+            self._running -= 1
+            self.pool.release(ticket.granted_memory)
+            self._dispatch_locked()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Storage circuit breaker + retry budget
+    # ------------------------------------------------------------------
+    def guard_storage(self, fn: Callable[[], object], site: str = ""):
+        """Wrap one storage access in the circuit breaker.
+
+        Returns a callable that fails fast with
+        :class:`~repro.errors.CircuitBreakerOpen` while the breaker is
+        open, and otherwise runs ``fn`` (returning its result) while
+        reporting the outcome to the breaker.  Only transient storage
+        errors count as breaker failures; logic errors say nothing
+        about storage health.
+        """
+        from repro.errors import TransientStorageError
+
+        def guarded():
+            if not self.breaker.allow():
+                raise CircuitBreakerOpen(
+                    "storage circuit breaker is open "
+                    f"(cooling down "
+                    f"{self.config.breaker_cooldown_seconds * 1000.0:.0f}ms "
+                    "before half-open probing)",
+                    site=site,
+                )
+            try:
+                result = fn()
+            except TransientStorageError:
+                self.breaker.on_failure()
+                raise
+            self.breaker.on_success()
+            return result
+
+        return guarded
+
+    def try_retry_token(self) -> bool:
+        """Take one global retry token; False denies the retry."""
+        if self.retry_tokens.try_acquire():
+            return True
+        with self._retry_lock:
+            self.retries_denied += 1
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent counter snapshot (for benchmarks and JSON)."""
+        with self._cond:
+            tenants = {
+                name: {
+                    "running": st.running,
+                    "admitted": st.admitted,
+                    "shed": st.shed,
+                    "leased_bytes": st.leased_bytes,
+                }
+                for name, st in sorted(self._tenants.items())
+            }
+            return {
+                "running": self._running,
+                "waiting": len(self._waiters),
+                "admitted": self.admitted,
+                "queued": self.queued,
+                "shed_queue_full": self.shed_queue_full,
+                "shed_rate_limited": self.shed_rate_limited,
+                "queue_timeouts": self.queue_timeouts,
+                "total_queue_wait_seconds": self.total_queue_wait_seconds,
+                "peak_queue_depth": self.peak_queue_depth,
+                "peak_running": self.peak_running,
+                "retries_denied": self.retries_denied,
+                "pool": {
+                    "capacity_bytes": self.pool.capacity,
+                    "leased_bytes": self.pool.leased,
+                    "peak_leased_bytes": self.pool.peak_leased,
+                    "leases_trimmed": self.pool.leases_trimmed,
+                },
+                "breaker": {
+                    "state": self.breaker.state,
+                    "trips": self.breaker.trips,
+                    "fast_failures": self.breaker.fast_failures,
+                    "probes": self.breaker.probes,
+                },
+                "tenants": tenants,
+            }
+
+    def describe(self) -> str:
+        """Readable multi-line rendering (the shell's ``\\admission``)."""
+        cfg = self.config
+        snap = self.snapshot()
+        pool = snap["pool"]
+        lines = [
+            f"slots:              {snap['running']}/{cfg.max_concurrency} "
+            f"running, {snap['waiting']}/{cfg.queue_depth} queued",
+            f"admitted:           {snap['admitted']} "
+            f"({snap['queued']} waited in queue)",
+            f"shed:               {snap['shed_queue_full']} queue-full, "
+            f"{snap['shed_rate_limited']} rate-limited, "
+            f"{snap['queue_timeouts']} queue-timeout",
+            f"queue wait total:   "
+            f"{snap['total_queue_wait_seconds'] * 1000.0:.1f}ms "
+            f"(peak depth {snap['peak_queue_depth']})",
+            f"memory pool:        {pool['leased_bytes']}/"
+            f"{pool['capacity_bytes']}B leased "
+            f"(peak {pool['peak_leased_bytes']}B, "
+            f"{pool['leases_trimmed']} leases trimmed)",
+            f"circuit breaker:    {self.breaker.describe()}",
+            f"retry tokens:       denied {snap['retries_denied']} "
+            f"(rate {cfg.retry_tokens_per_second:g}/s)",
+        ]
+        tenants = snap["tenants"]
+        if tenants:
+            lines.append("tenants:")
+            for name, st in tenants.items():
+                lines.append(
+                    f"  {name:16s} running={st['running']} "
+                    f"admitted={st['admitted']} shed={st['shed']} "
+                    f"leased={st['leased_bytes']}B"
+                )
+        return "\n".join(lines)

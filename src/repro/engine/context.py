@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Tuple, TYPE_CHECKING, TypeVar
 
 from repro.cost.parameters import DEFAULT_PARAMETERS, CostParameters
+from repro.errors import CircuitBreakerOpen
 from repro.engine.governor import (
     CancellationToken,
     QueryBudget,
@@ -25,6 +26,7 @@ from repro.engine.governor import (
 
 if TYPE_CHECKING:
     from repro.engine.adaptive import AdaptiveState
+    from repro.engine.admission import AdmissionController
     from repro.engine.runtime_stats import RuntimeStats
     from repro.stats.feedback import CardinalityFeedback, FeedbackSummary
     from repro.storage.faults import FaultInjector
@@ -86,6 +88,8 @@ class ExecCounters:
     retries: int = 0
     retry_backoff_seconds: float = 0.0
     degraded_operators: int = 0
+    # Storage accesses suppressed fail-fast by an open circuit breaker.
+    breaker_fast_fails: int = 0
 
     @property
     def total_page_reads(self) -> int:
@@ -156,6 +160,12 @@ class ExecContext:
         self.adaptive: Optional["AdaptiveState"] = None
         self.batch_mode: bool = True
         self.compiled_expressions: bool = True
+        # Server-wide admission control: when present, storage accesses
+        # run behind its circuit breaker and retries draw from its
+        # global token bucket; queue_wait_seconds records how long this
+        # query sat in the admission queue before executing.
+        self.admission: Optional["AdmissionController"] = None
+        self.queue_wait_seconds: float = 0.0
 
     def begin_execution(self) -> None:
         """Arm the governor for one run (called by ``execute``)."""
@@ -169,13 +179,37 @@ class ExecContext:
         self.counters.retries += 1
         self.counters.retry_backoff_seconds += delay
 
-    def _with_retries(self, fn: Callable[[], _T]) -> _T:
+    def _with_retries(self, fn: Callable[[], _T], site: str = "") -> _T:
+        """Run one storage access through the circuit breaker (when an
+        admission controller is attached), bounded retries gated by the
+        global retry token bucket, and backoff clamped to the query's
+        remaining deadline."""
         injector = self.fault_injector
+        admission = self.admission
+        governor = self.governor
+        run: Callable[[], _T] = fn
+        retry_gate = None
+        if admission is not None:
+            guarded = admission.guard_storage(fn, site=site)
+
+            def run_guarded() -> _T:
+                try:
+                    return guarded()
+                except CircuitBreakerOpen:
+                    self.counters.breaker_fast_fails += 1
+                    raise
+
+            run = run_guarded
+            retry_gate = admission.try_retry_token
         return call_with_retries(
-            fn,
+            run,
             self.retry_policy,
             jitter_source=injector.jitter if injector is not None else None,
             on_retry=self._on_retry,
+            retry_gate=retry_gate,
+            remaining_seconds=(
+                governor.remaining_seconds if governor is not None else None
+            ),
         )
 
     def read_page(self, table: str, page_no: int, sequential: bool) -> None:
@@ -188,13 +222,15 @@ class ExecContext:
 
         Raises:
             ResourceError: on budget violation or cancellation.
+            CircuitBreakerOpen: fail-fast while the breaker is open.
             TransientStorageError: when a fault outlives its retries.
         """
         if self.governor is not None:
             self.governor.on_page_read()
         if self.fault_injector is not None:
             self._with_retries(
-                lambda: self.fault_injector.on_page_read(table, page_no)
+                lambda: self.fault_injector.on_page_read(table, page_no),
+                site=table,
             )
         hit = self.buffer_pool.access((table, page_no))
         if hit:
@@ -213,7 +249,7 @@ class ExecContext:
             self.fault_injector.on_index_lookup(site)
             return fn()
 
-        return self._with_retries(attempt)
+        return self._with_retries(attempt, site=site)
 
     def reset(self) -> None:
         """Clear the buffer pool and counters for a fresh measurement."""
@@ -222,6 +258,7 @@ class ExecContext:
         self.runtime = None
         self.governor = None
         self.feedback_summary = None
+        self.queue_wait_seconds = 0.0
 
 
 @dataclass
@@ -260,6 +297,17 @@ class QueryMetrics:
     adaptive_checks_fired: int = 0
     adaptive_reoptimizations: int = 0
     adaptive_checkpoints_reused: int = 0
+    # Admission-control counters: queries admitted (some after waiting
+    # in the queue), queries shed with a typed retryable rejection
+    # (queue full, tenant rate limit, or queue timeout -- timeouts also
+    # counted separately), cumulative queue wait, and storage accesses
+    # the circuit breaker suppressed fail-fast.
+    queries_admitted: int = 0
+    queries_queued: int = 0
+    queries_shed: int = 0
+    queue_timeouts: int = 0
+    queue_wait_seconds: float = 0.0
+    breaker_fast_fails: int = 0
 
     def record_execution(self, context: "ExecContext", rows: int) -> None:
         """Fold one execution's observed work into the session totals."""
@@ -267,6 +315,7 @@ class QueryMetrics:
         self.rows_returned += rows
         self.pages_read += context.counters.total_page_reads
         self.fault_retries += context.counters.retries
+        self.breaker_fast_fails += context.counters.breaker_fast_fails
 
     def format(self) -> str:
         """Readable multi-line rendering (the shell's ``\\metrics``)."""
@@ -293,5 +342,11 @@ class QueryMetrics:
                 f"adaptive checks fired:    {self.adaptive_checks_fired}",
                 f"adaptive re-opts:         {self.adaptive_reoptimizations}",
                 f"checkpoints reused:       {self.adaptive_checkpoints_reused}",
+                f"queries admitted:         {self.queries_admitted}",
+                f"queries queued:           {self.queries_queued}",
+                f"queries shed:             {self.queries_shed}",
+                f"queue timeouts:           {self.queue_timeouts}",
+                f"queue wait total:         {self.queue_wait_seconds * 1000.0:.3f}ms",
+                f"breaker fast-fails:       {self.breaker_fast_fails}",
             ]
         )

@@ -202,6 +202,13 @@ class ResourceGovernor:
                 used=rows,
             )
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall clock left before this query's deadline, or None when
+        the budget has no timeout.  May be negative once past due."""
+        if self._deadline is None:
+            return None
+        return self._deadline - self._clock()
+
     def on_reoptimization(self) -> None:
         """Charge one mid-query re-optimization against the budget.
 
@@ -255,11 +262,24 @@ class RetryPolicy:
     max_backoff_seconds: float = 0.05
     sleep: bool = False
 
-    def backoff_seconds(self, retry_number: int, jitter: float = 0.0) -> float:
-        """Delay before retry ``retry_number`` (1-based), with jitter in
-        [0, 1) stretching the delay up to 2x for decorrelation."""
+    def backoff_seconds(
+        self, retry_number: int, jitter: Optional[float] = None
+    ) -> float:
+        """Delay before retry ``retry_number`` (1-based).
+
+        Full jitter (the AWS recommendation): the capped exponential
+        delay is the *ceiling* and the actual delay is uniform in
+        [0, ceiling) via ``jitter`` in [0, 1).  Stretch-style jitter
+        (the previous ``delay * (1 + j)``) synchronizes retry herds at
+        the cap under brownouts; full jitter decorrelates them.  With
+        ``jitter=None`` (no jitter source) the ceiling itself is used,
+        keeping jitter-free schedules deterministic.
+        """
         delay = self.base_backoff_seconds * (2.0 ** (retry_number - 1))
-        return min(delay, self.max_backoff_seconds) * (1.0 + jitter)
+        delay = min(delay, self.max_backoff_seconds)
+        if jitter is None:
+            return delay
+        return delay * jitter
 
 
 def call_with_retries(
@@ -267,14 +287,19 @@ def call_with_retries(
     policy: RetryPolicy,
     jitter_source: Optional[Callable[[], float]] = None,
     on_retry: Optional[Callable[[int, float, ReproError], Any]] = None,
+    retry_gate: Optional[Callable[[], bool]] = None,
+    remaining_seconds: Optional[Callable[[], Optional[float]]] = None,
 ) -> T:
     """Run ``fn``, retrying on errors whose ``retryable`` flag is set.
 
     Non-retryable errors propagate immediately; retryable ones are
     retried up to ``policy.max_attempts`` total attempts with
-    exponential backoff, then re-raised.  ``jitter_source`` supplies a
-    float in [0, 1) per retry -- the fault injector's seeded RNG, so a
-    rerun with the same seed produces the identical schedule.
+    full-jitter exponential backoff, then re-raised.  Errors that also
+    carry ``fail_fast`` (a tripped circuit breaker) are never retried
+    here even though the *query* is retryable -- spinning on them is
+    the amplification the breaker exists to stop.  ``jitter_source``
+    supplies a float in [0, 1) per retry -- the fault injector's seeded
+    RNG, so a rerun with the same seed produces the identical schedule.
 
     Args:
         fn: the operation to attempt.
@@ -282,6 +307,15 @@ def call_with_retries(
         jitter_source: deterministic jitter supplier, or None for no jitter.
         on_retry: callback ``(retry_number, delay_seconds, error)`` for
             accounting, invoked before each retry.
+        retry_gate: admission hook consulted before each retry (the
+            global retry token bucket); returning False re-raises the
+            error instead of retrying, capping server-wide retry volume
+            during brownouts.
+        remaining_seconds: supplies the query's remaining deadline (the
+            governor's clock), or None within it for no deadline.  A
+            backoff sleep is clamped to the remaining budget and a query
+            already past due fails now rather than sleeping through a
+            deadline it can no longer make.
     """
     attempt = 1
     while True:
@@ -290,10 +324,20 @@ def call_with_retries(
         except ReproError as error:
             if not getattr(error, "retryable", False):
                 raise
+            if getattr(error, "fail_fast", False):
+                raise
             if attempt >= policy.max_attempts:
                 raise
-            jitter = jitter_source() if jitter_source is not None else 0.0
+            if retry_gate is not None and not retry_gate():
+                raise
+            jitter = jitter_source() if jitter_source is not None else None
             delay = policy.backoff_seconds(attempt, jitter)
+            if remaining_seconds is not None:
+                left = remaining_seconds()
+                if left is not None:
+                    if left <= 0.0:
+                        raise
+                    delay = min(delay, left)
             if on_retry is not None:
                 on_retry(attempt, delay, error)
             if policy.sleep:

@@ -161,6 +161,13 @@ def render_explain_analyze(
             lines.append(f"degraded operators: {counters.degraded_operators}")
         if counters is not None and counters.retries > 0:
             lines.append(f"fault retries absorbed: {counters.retries}")
+        if counters is not None and counters.breaker_fast_fails > 0:
+            lines.append(
+                f"breaker fast-fails: {counters.breaker_fast_fails}"
+            )
+        queue_wait = getattr(context, "queue_wait_seconds", 0.0)
+        if queue_wait > 0.0:
+            lines.append(f"queue wait: {queue_wait * 1000.0:.3f}ms")
         adaptive = getattr(context, "adaptive", None)
         if adaptive is not None and adaptive.events:
             lines.append(

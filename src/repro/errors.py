@@ -152,6 +152,90 @@ class MemoryBudgetExceeded(ResourceError):
         super().__init__(message, resource="memory", limit=limit, used=used)
 
 
+class AdmissionRejected(ExecutionError):
+    """The admission controller shed this query before execution.
+
+    Retryable by definition: the server was overloaded (queue full,
+    tenant over its rate budget) at submission time; the same query can
+    be resubmitted once load subsides.  Nothing about the query itself
+    is wrong and no execution work was started.
+
+    Attributes:
+        reason: why admission was denied (``"queue-full"``,
+            ``"tenant-rate-limit"``, ``"queue-timeout"``).
+        tenant: the tenant the query was submitted under.
+        priority: the priority class the query was submitted under.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "query was not admitted",
+        reason: str = "",
+        tenant: str = "",
+        priority: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.tenant = tenant
+        self.priority = priority
+
+
+class QueueTimeout(AdmissionRejected):
+    """The query waited in the admission queue past its deadline.
+
+    Shedding stale waiters keeps the queue from accumulating work whose
+    callers have given up -- the query is rejected (retryable) instead
+    of executing after its answer stopped mattering.
+
+    Attributes:
+        waited_seconds: how long the query sat queued before shedding.
+        timeout_seconds: the deadline it was held to.
+    """
+
+    def __init__(
+        self,
+        message: str = "query timed out in the admission queue",
+        waited_seconds: Optional[float] = None,
+        timeout_seconds: Optional[float] = None,
+        tenant: str = "",
+        priority: str = "",
+    ) -> None:
+        super().__init__(
+            message, reason="queue-timeout", tenant=tenant, priority=priority
+        )
+        self.waited_seconds = waited_seconds
+        self.timeout_seconds = timeout_seconds
+
+
+class CircuitBreakerOpen(StorageError):
+    """Storage is failing fast: the circuit breaker is open.
+
+    Raised *instead of* touching the storage fault layer while the
+    breaker is open, so a browning-out storage layer is not hammered
+    with doomed accesses and retries.  Retryable from the caller's
+    point of view (the breaker half-opens after its cooldown), but
+    ``fail_fast`` tells the in-query retry wrapper not to spin on it --
+    retrying immediately is exactly the amplification the breaker
+    exists to stop.
+
+    Attributes:
+        site: the table or index the suppressed access targeted.
+    """
+
+    retryable = True
+    fail_fast = True
+
+    def __init__(
+        self,
+        message: str = "storage circuit breaker is open",
+        site: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.site = site
+
+
 class PrepareError(ReproError):
     """A prepared-statement operation failed (unknown name, bad arity...)."""
 

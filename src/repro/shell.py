@@ -24,6 +24,11 @@ Meta-commands (backslash-prefixed):
     \\feedback           observed selectivities learned from executions
     \\feedback clear     forget all learned selectivities
     \\timeout <ms>       set the per-query wall-clock budget (0 = off)
+    \\admission          admission-control status (slots, queue, breaker)
+    \\admission on [n]   enable admission control (n slots; default 8)
+    \\admission off      disable admission control
+    \\admission tenant <name>     set this session's tenant
+    \\admission priority <class>  set this session's priority (high|normal|low)
     \\batch              show which execution engine is active
     \\batch on|off       pipelined batch engine vs legacy materializing
     \\budget             show the current per-query resource budget
@@ -165,7 +170,71 @@ class Shell:
             return budget.describe() if budget is not None else "unlimited"
         if command == "reopt":
             return self._reopt(argument)
+        if command == "admission":
+            return self._admission(argument)
         return f"unknown command \\{command} (try \\help)"
+
+    def _admission(self, argument: str) -> str:
+        """The ``\\admission`` meta-command: server-wide admission control."""
+        from dataclasses import replace as dc_replace
+
+        from repro.engine.admission import (
+            PRIORITY_RANKS,
+            AdmissionConfig,
+            AdmissionController,
+        )
+
+        words = argument.split()
+        if not words:
+            controller = self.db.admission
+            if controller is None:
+                return (
+                    "admission control: off "
+                    "(\\admission on [slots] to enable)"
+                )
+            return (
+                "admission control: on\n"
+                f"session tenant/priority: {self.db.session_tenant}/"
+                f"{self.db.session_priority}\n" + controller.describe()
+            )
+        knob = words[0].lower()
+        if knob == "on":
+            slots = None
+            if len(words) == 2:
+                try:
+                    slots = int(words[1])
+                except ValueError:
+                    return f"not a number: {words[1]!r}"
+                if slots < 1:
+                    return "slot count must be >= 1"
+            config = AdmissionConfig()
+            if slots is not None:
+                config = dc_replace(config, max_concurrency=slots)
+            self.db.admission = AdmissionController(config)
+            return (
+                f"admission control enabled "
+                f"({config.max_concurrency} slots, queue depth "
+                f"{config.queue_depth}, "
+                f"{config.queue_timeout_seconds * 1000.0:.0f}ms queue "
+                "deadline)"
+            )
+        if knob == "off":
+            self.db.admission = None
+            return "admission control disabled"
+        if knob == "tenant" and len(words) == 2:
+            self.db.session_tenant = words[1]
+            return f"session tenant: {words[1]}"
+        if knob == "priority" and len(words) == 2:
+            priority = words[1].lower()
+            if priority not in PRIORITY_RANKS:
+                choices = "|".join(PRIORITY_RANKS)
+                return f"unknown priority {words[1]!r} (use {choices})"
+            self.db.session_priority = priority
+            return f"session priority: {priority}"
+        return (
+            "usage: \\admission [on [slots]|off|tenant <name>|"
+            "priority <high|normal|low>]"
+        )
 
     def _reopt(self, argument: str) -> str:
         """The ``\\reopt`` meta-command: adaptive-execution knobs.

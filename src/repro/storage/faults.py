@@ -4,10 +4,20 @@ Chaos testing needs failures that are *reproducible*: a chaos run that
 cannot be replayed is a flake generator, not a test.  The
 :class:`FaultInjector` therefore draws every decision -- whether a page
 read or index lookup faults, whether latency is injected, the jitter on
-retry backoff -- from one ``random.Random`` seeded at construction.  The
-executor touches storage in a deterministic order, so the same seed and
-the same :class:`FaultConfig` reproduce the identical fault schedule,
-retry counts, and outcomes on every run.
+retry backoff -- from seeded ``random.Random`` streams.  The executor
+touches storage in a deterministic order, so the same seed and the same
+:class:`FaultConfig` reproduce the identical fault schedule, retry
+counts, and outcomes on every run.
+
+Thread safety: one injector is shared by every session of a database,
+so each thread draws from its *own* RNG stream, derived from the seed
+and a stream index assigned on the thread's first access.  A
+single-threaded run uses stream 0 -- seeded exactly as the legacy
+shared RNG was, so existing chaos schedules replay bit-for-bit -- and
+concurrent clients each get a deterministic schedule of their own
+instead of racing interleaved draws on one shared stream (which made
+multi-threaded chaos runs order-dependent).  Counters are updated under
+a lock.
 
 Faults surface as :class:`~repro.errors.TransientStorageError`
 (``retryable=True``); the executor's retry wrapper absorbs most of them,
@@ -17,10 +27,14 @@ and the ones that exhaust their attempts propagate as clean typed errors.
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.errors import TransientStorageError
+
+# Multiplier decorrelating per-thread RNG streams derived from one seed.
+_STREAM_STRIDE = 0x9E3779B9
 
 
 @dataclass(frozen=True)
@@ -28,7 +42,8 @@ class FaultConfig:
     """Where and how often to inject storage faults.
 
     Attributes:
-        seed: RNG seed; the whole fault schedule is a function of it.
+        seed: RNG seed; the whole fault schedule is a function of it
+            (per thread: stream ``i`` is seeded from ``(seed, i)``).
         page_read_error_rate: probability a page read raises.
         index_lookup_error_rate: probability an index lookup raises.
         latency_rate: probability an access accrues simulated latency.
@@ -52,36 +67,66 @@ class FaultInjector:
     The executor consults :meth:`on_page_read` /
     :meth:`on_index_lookup` before touching storage; either may raise
     :class:`TransientStorageError`.  :meth:`jitter` feeds the retry
-    wrapper's backoff from the same RNG so entire runs replay bit-for-bit.
+    wrapper's backoff from the calling thread's stream so entire runs
+    replay bit-for-bit.
     """
 
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
-        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._streams_assigned = 0
+        self._epoch = 0
         self.injected_faults = 0
         self.injected_latency_seconds = 0.0
         self.faults_by_site: Dict[str, int] = {}
 
     def reset(self) -> None:
-        """Re-seed the RNG and zero counters: replay the same schedule."""
-        self._rng = random.Random(self.config.seed)
-        self.injected_faults = 0
-        self.injected_latency_seconds = 0.0
-        self.faults_by_site = {}
+        """Restart every RNG stream and zero counters: replay the
+        same schedule.  Threads re-derive their streams on next use
+        (the resetting thread, first to draw again, gets stream 0 --
+        so single-threaded replays are unchanged)."""
+        with self._lock:
+            self._epoch += 1
+            self._streams_assigned = 0
+            self.injected_faults = 0
+            self.injected_latency_seconds = 0.0
+            self.faults_by_site = {}
+
+    def _rng(self) -> random.Random:
+        """The calling thread's RNG stream (assigned on first use).
+
+        Stream 0 is seeded ``Random(seed)`` -- identical to the legacy
+        shared RNG -- and stream ``i`` decorrelates with a fixed
+        stride, so every thread's schedule is a pure function of
+        ``(seed, i)``.
+        """
+        local = self._local
+        if getattr(local, "epoch", None) != self._epoch:
+            with self._lock:
+                index = self._streams_assigned
+                self._streams_assigned += 1
+                epoch = self._epoch
+            seed = self.config.seed + _STREAM_STRIDE * index
+            local.rng = random.Random(seed)
+            local.epoch = epoch
+        return local.rng
 
     # ------------------------------------------------------------------
     def _applies_to(self, site: str) -> bool:
         return self.config.sites is None or site in self.config.sites
 
-    def _maybe_latency(self) -> None:
+    def _maybe_latency(self, rng: random.Random) -> None:
         if self.config.latency_rate <= 0.0:
             return
-        if self._rng.random() < self.config.latency_rate:
-            self.injected_latency_seconds += self.config.latency_seconds
+        if rng.random() < self.config.latency_rate:
+            with self._lock:
+                self.injected_latency_seconds += self.config.latency_seconds
 
     def _fault(self, site: str, kind: str) -> None:
-        self.injected_faults += 1
-        self.faults_by_site[site] = self.faults_by_site.get(site, 0) + 1
+        with self._lock:
+            self.injected_faults += 1
+            self.faults_by_site[site] = self.faults_by_site.get(site, 0) + 1
         raise TransientStorageError(
             f"injected transient {kind} fault on {site!r}", site=site
         )
@@ -91,23 +136,26 @@ class FaultInjector:
         """Chaos hook for one page read; may raise TransientStorageError."""
         if not self._applies_to(site):
             return
-        self._maybe_latency()
+        rng = self._rng()
+        self._maybe_latency(rng)
         rate = self.config.page_read_error_rate
-        if rate > 0.0 and self._rng.random() < rate:
+        if rate > 0.0 and rng.random() < rate:
             self._fault(site, "page-read")
 
     def on_index_lookup(self, site: str) -> None:
         """Chaos hook for one index lookup; may raise TransientStorageError."""
         if not self._applies_to(site):
             return
-        self._maybe_latency()
+        rng = self._rng()
+        self._maybe_latency(rng)
         rate = self.config.index_lookup_error_rate
-        if rate > 0.0 and self._rng.random() < rate:
+        if rate > 0.0 and rng.random() < rate:
             self._fault(site, "index-lookup")
 
     def jitter(self) -> float:
-        """Deterministic backoff jitter in [0, 1) from the injector's seed."""
-        return self._rng.random()
+        """Deterministic backoff jitter in [0, 1) from the calling
+        thread's stream."""
+        return self._rng().random()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,581 @@
+"""Admission control: breaker state machine, queue semantics, budgets.
+
+The state machines (circuit breaker, token buckets, memory pool) are
+tested with an injected fake clock -- no sleeping, every transition
+driven explicitly.  Queue semantics that genuinely involve waiting use
+the real clock with millisecond-scale deadlines.  The Database-level
+tests pin the integration: shed queries raise typed retryable errors,
+metrics count admissions, and EXPLAIN ANALYZE reports queue wait.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.datagen import build_emp_dept
+from repro.engine.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    CircuitBreaker,
+    MemoryPool,
+    TokenBucket,
+    priority_rank,
+)
+from repro.engine.governor import RetryPolicy, call_with_retries
+from repro.errors import (
+    AdmissionRejected,
+    CircuitBreakerOpen,
+    QueueTimeout,
+    TransientStorageError,
+)
+from repro.storage.faults import FaultConfig, FaultInjector
+
+
+class FakeClock:
+    """An explicit clock: time moves only when the test says so."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker state machine
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def _breaker(self, clock, threshold=3, cooldown=1.0, probes=2):
+        return CircuitBreaker(
+            failure_threshold=threshold,
+            cooldown_seconds=cooldown,
+            half_open_probes=probes,
+            clock=clock,
+        )
+
+    def test_trips_open_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        assert breaker.state == CircuitBreaker.CLOSED
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.on_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+
+    def test_success_resets_the_consecutive_count(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        breaker.on_failure()
+        breaker.on_failure()
+        breaker.on_success()  # streak broken
+        breaker.on_failure()
+        breaker.on_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.on_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+
+    def test_cooldown_half_opens_and_probe_successes_close(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.on_failure()
+        assert not breaker.allow()
+        clock.advance(1.0)  # cooldown elapsed
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # probe 1
+        breaker.on_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # probe 2
+        breaker.on_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.probes == 2
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.on_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.on_failure()  # probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        clock.advance(0.5)  # cooldown restarted, not yet elapsed
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+
+    def test_half_open_caps_probe_concurrency(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, probes=2)
+        for _ in range(3):
+            breaker.on_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        # Two probes in flight: further accesses fail fast.
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+
+
+# ----------------------------------------------------------------------
+# Token bucket and memory pool
+# ----------------------------------------------------------------------
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_second=10.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.1)  # one token accrues
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_infinite_rate_never_denies(self):
+        bucket = TokenBucket(float("inf"), burst=1.0, clock=FakeClock())
+        assert bucket.unlimited
+        for _ in range(100):
+            assert bucket.try_acquire()
+
+
+class TestMemoryPool:
+    def test_full_grant_and_release(self):
+        pool = MemoryPool(capacity_bytes=1 << 20, min_lease_bytes=1 << 10)
+        grant = pool.lease(512 << 10)
+        assert grant == 512 << 10
+        assert pool.available == 512 << 10
+        pool.release(grant)
+        assert pool.available == 1 << 20
+        assert pool.leases_trimmed == 0
+
+    def test_tight_pool_trims_the_lease(self):
+        pool = MemoryPool(capacity_bytes=1 << 20, min_lease_bytes=1 << 10)
+        first = pool.lease(768 << 10)
+        second = pool.lease(768 << 10)  # only 256K headroom left
+        assert first == 768 << 10
+        assert second == 256 << 10
+        assert pool.leases_trimmed == 1
+
+    def test_floor_allows_oversubscription_instead_of_starving(self):
+        pool = MemoryPool(capacity_bytes=1 << 20, min_lease_bytes=64 << 10)
+        pool.lease(1 << 20)  # pool exhausted
+        grant = pool.lease(512 << 10)
+        assert grant == 64 << 10  # the floor, not zero
+        assert pool.available < 0  # transiently oversubscribed
+
+    def test_tenant_headroom_caps_the_lease(self):
+        pool = MemoryPool(capacity_bytes=1 << 20, min_lease_bytes=1 << 10)
+        grant = pool.lease(512 << 10, tenant_headroom=128 << 10)
+        assert grant == 128 << 10
+        assert pool.leases_trimmed == 1
+
+
+# ----------------------------------------------------------------------
+# Admission queue semantics
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_immediate_admission_is_not_counted_as_queued(self):
+        controller = AdmissionController(AdmissionConfig(max_concurrency=2))
+        with controller.admit() as ticket:
+            assert ticket.queued is False
+            assert ticket.granted_memory > 0
+        snap = controller.snapshot()
+        assert snap["admitted"] == 1
+        assert snap["queued"] == 0
+        assert snap["running"] == 0  # released
+
+    def test_full_queue_sheds_with_a_typed_retryable_error(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, queue_depth=0)
+        )
+        holder = controller.admit()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit()
+        assert excinfo.value.reason == "queue-full"
+        assert excinfo.value.retryable is True
+        assert controller.snapshot()["shed_queue_full"] == 1
+        holder.release()
+        controller.admit().release()  # slot is usable again
+
+    def test_queue_timeout_semantics(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrency=1, queue_depth=4, queue_timeout_seconds=0.05
+            )
+        )
+        holder = controller.admit()
+        started = time.monotonic()
+        with pytest.raises(QueueTimeout) as excinfo:
+            controller.admit()
+        elapsed = time.monotonic() - started
+        error = excinfo.value
+        assert error.reason == "queue-timeout"
+        assert error.timeout_seconds == pytest.approx(0.05)
+        assert error.waited_seconds >= 0.04
+        assert elapsed < 1.0  # shed promptly, no unbounded wait
+        snap = controller.snapshot()
+        assert snap["queue_timeouts"] == 1
+        assert snap["waiting"] == 0  # the dead waiter was removed
+        holder.release()
+
+    def test_query_deadline_tightens_the_queue_deadline(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrency=1, queue_depth=4, queue_timeout_seconds=10.0
+            )
+        )
+        holder = controller.admit()
+        started = time.monotonic()
+        with pytest.raises(QueueTimeout) as excinfo:
+            controller.admit(query_deadline_seconds=0.05)
+        assert time.monotonic() - started < 1.0
+        assert excinfo.value.timeout_seconds == pytest.approx(0.05)
+        holder.release()
+
+    def test_waiter_is_granted_when_a_slot_frees(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrency=1, queue_depth=4, queue_timeout_seconds=2.0
+            )
+        )
+        holder = controller.admit()
+        threading.Timer(0.05, holder.release).start()
+        ticket = controller.admit()
+        assert ticket.queued is True
+        assert ticket.queue_wait_seconds >= 0.02
+        ticket.release()
+
+    def test_priority_classes_dispatch_best_first(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrency=1, queue_depth=8, queue_timeout_seconds=5.0
+            )
+        )
+        holder = controller.admit()
+        order = []
+        lock = threading.Lock()
+
+        def waiter(priority):
+            ticket = controller.admit(priority=priority)
+            with lock:
+                order.append(priority)
+            time.sleep(0.01)  # hold briefly so dispatch order is visible
+            ticket.release()
+
+        threads = []
+        for priority in ("low", "normal", "high"):
+            thread = threading.Thread(target=waiter, args=(priority,))
+            thread.start()
+            threads.append(thread)
+            # Enqueue deterministically, worst priority first.
+            deadline = time.monotonic() + 5.0
+            while (
+                controller.snapshot()["waiting"] < len(threads)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.001)
+        holder.release()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert order == ["high", "normal", "low"]
+        assert priority_rank("high") < priority_rank("normal")
+        assert priority_rank("unknown-class") == priority_rank("normal")
+
+    def test_equal_priority_favors_the_tenant_with_fewer_running(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrency=2, queue_depth=8, queue_timeout_seconds=5.0
+            )
+        )
+        first_a = controller.admit(tenant="a")
+        second_a = controller.admit(tenant="a")
+        order = []
+        lock = threading.Lock()
+
+        def waiter(tenant):
+            ticket = controller.admit(tenant=tenant)
+            with lock:
+                order.append(tenant)
+            time.sleep(0.01)
+            ticket.release()
+
+        threads = []
+        # Tenant a's waiter enqueues FIRST -- FIFO alone would pick it.
+        for tenant in ("a", "b"):
+            thread = threading.Thread(target=waiter, args=(tenant,))
+            thread.start()
+            threads.append(thread)
+            deadline = time.monotonic() + 5.0
+            while (
+                controller.snapshot()["waiting"] < len(threads)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.001)
+        first_a.release()  # a still has one running; b has none
+        for thread in threads:
+            thread.join(timeout=10.0)
+        second_a.release()
+        assert order[0] == "b", "fair dispatch must pick the idle tenant"
+        assert order == ["b", "a"]
+
+    def test_tenant_rate_limit_sheds_at_submission(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(
+                tenant_queries_per_second=5.0, tenant_burst=1.0
+            ),
+            clock=clock,
+        )
+        controller.admit(tenant="acme").release()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            controller.admit(tenant="acme")
+        assert excinfo.value.reason == "tenant-rate-limit"
+        assert excinfo.value.tenant == "acme"
+        # Other tenants are unaffected by acme's budget.
+        controller.admit(tenant="other").release()
+        snap = controller.snapshot()
+        assert snap["shed_rate_limited"] == 1
+        assert snap["tenants"]["acme"]["shed"] == 1
+
+
+# ----------------------------------------------------------------------
+# Retry budget and deadline-clamped backoff
+# ----------------------------------------------------------------------
+class TestRetryBudget:
+    def test_retry_tokens_deny_once_exhausted(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                retry_tokens_per_second=0.0, retry_token_burst=2.0
+            )
+        )
+        assert controller.try_retry_token()
+        assert controller.try_retry_token()
+        assert not controller.try_retry_token()
+        assert controller.snapshot()["retries_denied"] == 1
+
+    def test_call_with_retries_respects_the_gate(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                retry_tokens_per_second=0.0, retry_token_burst=0.0
+            )
+        )
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            raise TransientStorageError("flake")
+
+        with pytest.raises(TransientStorageError):
+            call_with_retries(
+                flaky,
+                RetryPolicy(max_attempts=4),
+                retry_gate=controller.try_retry_token,
+            )
+        assert len(attempts) == 1  # no token, no retry
+
+    def test_open_breaker_error_is_never_retried(self):
+        attempts = []
+
+        def tripped():
+            attempts.append(1)
+            raise CircuitBreakerOpen("open", site="page:emp")
+
+        with pytest.raises(CircuitBreakerOpen):
+            call_with_retries(tripped, RetryPolicy(max_attempts=4))
+        # retryable=True for the *client*, fail_fast here: one attempt.
+        assert len(attempts) == 1
+
+
+class TestDeadlineClampedBackoff:
+    def test_50ms_deadline_query_never_sleeps_100ms(self):
+        """Regression: the backoff schedule must be clamped to the
+        query's remaining deadline.  Unclamped, this policy would sleep
+        100ms+ inside a query that only has 50ms of budget left."""
+        policy = RetryPolicy(
+            max_attempts=4,
+            base_backoff_seconds=0.1,
+            max_backoff_seconds=0.2,
+            sleep=True,
+        )
+        started = time.monotonic()
+
+        def remaining():
+            return 0.05 - (time.monotonic() - started)
+
+        def always_fails():
+            raise TransientStorageError("brownout")
+
+        with pytest.raises(TransientStorageError):
+            call_with_retries(
+                always_fails, policy, remaining_seconds=remaining
+            )
+        elapsed = time.monotonic() - started
+        assert elapsed < 0.1, (
+            f"slept {elapsed * 1000.0:.0f}ms inside a 50ms deadline"
+        )
+
+    def test_expired_deadline_fails_without_sleeping(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_seconds=0.2, sleep=True
+        )
+        started = time.monotonic()
+        with pytest.raises(TransientStorageError):
+            call_with_retries(
+                lambda: (_ for _ in ()).throw(
+                    TransientStorageError("flake")
+                ),
+                policy,
+                remaining_seconds=lambda: 0.0,
+            )
+        assert time.monotonic() - started < 0.05
+
+
+# ----------------------------------------------------------------------
+# Thread-safe fault injector
+# ----------------------------------------------------------------------
+class TestFaultInjectorThreads:
+    def _pattern(self, injector, calls=200):
+        pattern = []
+        for page in range(calls):
+            try:
+                injector.on_page_read("Emp", page)
+                pattern.append(False)
+            except TransientStorageError:
+                pattern.append(True)
+        return pattern
+
+    def test_reset_reproduces_the_fault_schedule(self):
+        injector = FaultInjector(
+            FaultConfig(seed=7, page_read_error_rate=0.5)
+        )
+        first = self._pattern(injector)
+        injector.reset()
+        assert self._pattern(injector) == first
+        assert any(first) and not all(first)
+
+    def test_main_stream_is_isolated_from_other_threads(self):
+        """Another thread drawing from its own stream must not perturb
+        the first thread's schedule."""
+        injector = FaultInjector(
+            FaultConfig(seed=7, page_read_error_rate=0.5)
+        )
+        solo = self._pattern(injector)
+        injector.reset()
+        # Claim stream 0 for this thread, then let a second thread draw.
+        head = self._pattern(injector, calls=1)
+        worker = threading.Thread(target=self._pattern, args=(injector, 50))
+        worker.start()
+        worker.join(timeout=10.0)
+        assert head + self._pattern(injector, calls=199) == solo
+
+    def test_concurrent_counters_are_consistent(self):
+        injector = FaultInjector(
+            FaultConfig(seed=11, page_read_error_rate=0.5)
+        )
+        observed = []
+        lock = threading.Lock()
+
+        def hammer():
+            seen = sum(self._pattern(injector, calls=200))
+            with lock:
+                observed.append(seen)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(observed) == 4
+        assert injector.injected_faults == sum(observed)
+
+
+# ----------------------------------------------------------------------
+# Database integration
+# ----------------------------------------------------------------------
+SQL = "SELECT E.emp_no AS k, E.sal AS s FROM Emp E WHERE E.age > 40"
+
+
+def _make_db(admission):
+    import random
+
+    db = Database(admission=admission)
+    build_emp_dept(
+        db.catalog, emp_rows=80, dept_rows=8, rng=random.Random(3)
+    )
+    db.analyze()
+    return db
+
+
+class TestDatabaseIntegration:
+    def test_admitted_queries_run_and_are_counted(self):
+        db = _make_db(AdmissionConfig(max_concurrency=2))
+        reference = db.sql(SQL).rows
+        assert db.sql(SQL).rows == reference
+        assert db.metrics.queries_admitted == 2
+        snap = db.admission.snapshot()
+        assert snap["running"] == 0
+        assert snap["admitted"] >= 2
+
+    def test_shed_query_raises_typed_and_counts_in_metrics(self):
+        controller = AdmissionController(
+            AdmissionConfig(max_concurrency=1, queue_depth=0)
+        )
+        db = _make_db(controller)
+        holder = controller.admit()
+        with pytest.raises(AdmissionRejected) as excinfo:
+            db.sql(SQL)
+        assert excinfo.value.retryable is True
+        assert db.metrics.queries_shed == 1
+        holder.release()
+        assert db.sql(SQL).rows  # recovers once the slot frees
+
+    def test_queue_wait_appears_in_explain_analyze(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_concurrency=1, queue_depth=2, queue_timeout_seconds=5.0
+            )
+        )
+        db = _make_db(controller)
+        holder = controller.admit()
+        threading.Timer(0.05, holder.release).start()
+        result = db.sql("EXPLAIN ANALYZE " + SQL)
+        text = "\n".join(row[0] for row in result.rows)
+        assert "queue wait:" in text
+        assert db.metrics.queries_queued >= 1
+        assert db.metrics.queue_wait_seconds > 0.0
+
+    def test_tiny_memory_pool_trims_leases_but_queries_succeed(self):
+        db = _make_db(
+            AdmissionConfig(
+                max_concurrency=2,
+                memory_pool_bytes=64 << 10,
+                default_query_memory_bytes=8 << 20,
+                min_lease_bytes=64 << 10,
+            )
+        )
+        reference = db.sql(SQL).rows
+        agg = db.sql(
+            "SELECT D.dept_no AS g, COUNT(*) AS c FROM Emp E, Dept D"
+            " WHERE E.dept_no = D.dept_no GROUP BY D.dept_no"
+        )
+        assert agg.rows  # degraded (small lease) but correct
+        assert db.sql(SQL).rows == reference
+        assert db.admission.pool.leases_trimmed >= 1
+
+    def test_tenant_and_priority_query_options(self):
+        db = _make_db(AdmissionConfig(max_concurrency=2))
+        rows = db.sql(SQL, tenant="acme", priority="high").rows
+        assert rows == db.sql(SQL).rows
+        snap = db.admission.snapshot()
+        assert snap["tenants"]["acme"]["admitted"] == 1

@@ -240,3 +240,88 @@ def test_feedback_store_blends_survive_contention():
     assert not errors
     assert len(store) <= 32
     assert store.recorded == CLIENTS * 400
+
+
+# ----------------------------------------------------------------------
+# Admission stampede: many clients, few slots, typed outcomes only
+# ----------------------------------------------------------------------
+def test_admission_stampede_sheds_typed_and_never_hangs():
+    """16 threads stampede a 4-slot admission queue.
+
+    Every query must end one of exactly two ways: correct rows, or a
+    typed *retryable* rejection (queue full / queue timeout).  A hang
+    (thread still alive after the join deadline), an untyped error, or
+    a wrong result all fail the test.
+    """
+    from repro.engine.admission import AdmissionConfig
+    from repro.errors import AdmissionRejected
+
+    db = Database(
+        admission=AdmissionConfig(
+            max_concurrency=4, queue_depth=4, queue_timeout_seconds=0.05
+        )
+    )
+    build_emp_dept(
+        db.catalog, emp_rows=120, dept_rows=12, rng=random.Random(3)
+    )
+    db.analyze()
+    pool = [
+        "SELECT E.emp_no AS k, E.sal AS s FROM Emp E WHERE E.age > 40",
+        "SELECT D.dept_no AS g, COUNT(*) AS c FROM Emp E, Dept D"
+        " WHERE E.dept_no = D.dept_no GROUP BY D.dept_no",
+        "SELECT E.emp_no AS k, E.name AS n FROM Emp E"
+        " ORDER BY E.emp_no ASC LIMIT 10",
+    ]
+    references = {sql: db.sql(sql).rows for sql in pool}
+
+    stampede_clients = 16
+    queries_each = 8
+    ok = []
+    shed = []
+    failures = []
+    lock = threading.Lock()
+
+    def client(client_no: int):
+        rng = random.Random(5000 + client_no)
+        for _ in range(queries_each):
+            sql = rng.choice(pool)
+            try:
+                got = db.sql(sql).rows
+            except AdmissionRejected as exc:
+                if not exc.retryable:
+                    with lock:
+                        failures.append((client_no, "non-retryable", exc))
+                    return
+                with lock:
+                    shed.append(exc.reason)
+                continue
+            except Exception as exc:  # pragma: no cover - failure path
+                with lock:
+                    failures.append((client_no, "untyped", exc))
+                return
+            try:
+                assert_same_rows(got, references[sql])
+            except AssertionError as exc:
+                with lock:
+                    failures.append((client_no, "wrong-rows", exc))
+                return
+            with lock:
+                ok.append(client_no)
+
+    threads = [
+        threading.Thread(target=client, args=(n,), name=f"stampede-{n}")
+        for n in range(stampede_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    hung = [thread.name for thread in threads if thread.is_alive()]
+    assert not hung, f"stampede threads still alive: {hung}"
+    assert not failures, failures
+    assert len(ok) + len(shed) == stampede_clients * queries_each
+    assert ok, "no query was ever admitted"
+    snapshot = db.admission.snapshot()
+    assert snapshot["running"] == 0
+    assert snapshot["waiting"] == 0
+    assert snapshot["peak_running"] <= 4

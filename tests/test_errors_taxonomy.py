@@ -9,12 +9,15 @@ import pytest
 
 import repro.errors as errors_module
 from repro.errors import (
+    AdmissionRejected,
+    CircuitBreakerOpen,
     ExecutionError,
     LexerError,
     MemoryBudgetExceeded,
     ParseError,
     QueryCancelled,
     QueryTimeout,
+    QueueTimeout,
     ReproError,
     ResourceError,
     StorageError,
@@ -56,10 +59,41 @@ def test_transient_storage_error_is_the_retryable_one():
     assert isinstance(error, StorageError)
     # Retryability is a class property, visible without an instance.
     assert TransientStorageError.retryable is True
-    retryable = [
-        cls for cls in _public_error_classes() if cls.retryable
-    ]
-    assert retryable == [TransientStorageError]
+    retryable = {
+        cls.__name__ for cls in _public_error_classes() if cls.retryable
+    }
+    assert retryable == {
+        "TransientStorageError",
+        "AdmissionRejected",
+        "QueueTimeout",
+        "CircuitBreakerOpen",
+    }
+
+
+def test_admission_errors_are_typed_and_retryable():
+    rejected = AdmissionRejected(
+        "shed", reason="queue-full", tenant="acme", priority="low"
+    )
+    assert rejected.retryable is True
+    assert rejected.reason == "queue-full"
+    assert rejected.tenant == "acme"
+    assert rejected.priority == "low"
+    assert isinstance(rejected, ExecutionError)
+
+    timed_out = QueueTimeout(
+        "slow", waited_seconds=0.5, timeout_seconds=0.5, tenant="acme"
+    )
+    assert isinstance(timed_out, AdmissionRejected)
+    assert timed_out.reason == "queue-timeout"
+    assert timed_out.waited_seconds == 0.5
+    assert timed_out.timeout_seconds == 0.5
+
+    tripped = CircuitBreakerOpen("open", site="page:emp")
+    assert isinstance(tripped, StorageError)
+    assert tripped.retryable is True
+    # Fail-fast: retry loops must not spin while the breaker is open.
+    assert tripped.fail_fast is True
+    assert tripped.site == "page:emp"
 
 
 def test_sql_errors_carry_position():

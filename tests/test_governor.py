@@ -208,7 +208,12 @@ def test_retry_policy_backoff_schedule():
     assert policy.backoff_seconds(2) == pytest.approx(0.002)
     assert policy.backoff_seconds(3) == pytest.approx(0.004)
     assert policy.backoff_seconds(4) == pytest.approx(0.004)  # capped
-    assert policy.backoff_seconds(1, jitter=0.5) == pytest.approx(0.0015)
+    # Full jitter: the capped exponential is the *ceiling*, the jitter
+    # fraction picks uniformly below it (never above -- stretch-style
+    # jitter would herd retries at the cap during brownouts).
+    assert policy.backoff_seconds(1, jitter=0.5) == pytest.approx(0.0005)
+    assert policy.backoff_seconds(3, jitter=0.999) < 0.004
+    assert policy.backoff_seconds(3, jitter=0.0) == 0.0
 
 
 def test_call_with_retries_absorbs_transients():
