@@ -413,6 +413,7 @@ class Database:
         adaptive: Optional[AdaptiveConfig] = None,
         batch_mode: bool = True,
         compiled_expressions: bool = True,
+        columnar_mode: bool = False,
         admission: Optional[
             "AdmissionConfig | AdmissionController"
         ] = None,
@@ -438,6 +439,12 @@ class Database:
         # legacy materializing / tree-walking oracle paths.
         self.batch_mode = batch_mode
         self.compiled_expressions = compiled_expressions
+        # Columnar (vectorized) execution: batches travel as numpy
+        # columns and the physicalizer prices CPU with the vectorized
+        # discount.  Off by default; the row-batch engine is the oracle.
+        self.columnar_mode = columnar_mode
+        if columnar_mode:
+            self.params = params.with_overrides(columnar_execution=True)
         # Server-wide admission control.  Pass an AdmissionConfig to
         # build a controller owned by this Database, or share one
         # AdmissionController across databases; None (the default)
@@ -633,6 +640,7 @@ class Database:
         context.feedback = self.feedback
         context.batch_mode = self.batch_mode
         context.compiled_expressions = self.compiled_expressions
+        context.columnar_mode = self.columnar_mode
         context.admission = self.admission
         if self.adaptive is not None and self.adaptive.enabled:
             context.adaptive = AdaptiveState(self.adaptive)

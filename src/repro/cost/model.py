@@ -80,6 +80,24 @@ def cardenas_yao_pages(rows_fetched: float, total_rows: float, total_pages: floa
     return total_pages * (1.0 - probability_miss)
 
 
+def vector_cpu_factor(params: CostParameters) -> float:
+    """The vectorization-aware CPU term (columnar execution).
+
+    Per-row CPU constants (cpu_tuple_cost, cpu_operator_cost,
+    cpu_hash_cost) were calibrated against interpreted row-at-a-time
+    execution.  A numpy kernel pays the interpreter dispatch once per
+    *batch*, so vectorizable operators scale those constants down by
+    ``vector_cpu_discount`` when pricing for the columnar engine.
+    Operators without a whole-batch form (nested loops, merge join,
+    sorts, index fetches, UDF filters) keep the full constants, letting
+    the physicalizer weigh row-friendly plan shapes against
+    vector-friendly ones instead of discounting everything uniformly.
+    """
+    if params.columnar_execution:
+        return params.vector_cpu_discount
+    return 1.0
+
+
 # ----------------------------------------------------------------------
 # Scans
 # ----------------------------------------------------------------------
@@ -88,7 +106,11 @@ def cost_seq_scan(
 ) -> Cost:
     """Full sequential scan with an optional pushed-down filter."""
     io = pages * params.seq_page_cost
-    cpu = rows * (params.cpu_tuple_cost + predicate_ops * params.cpu_operator_cost)
+    cpu = (
+        rows
+        * (params.cpu_tuple_cost + predicate_ops * params.cpu_operator_cost)
+        * vector_cpu_factor(params)
+    )
     return Cost(cpu=cpu, io=io) + Cost(cpu=params.startup_cost_per_operator)
 
 
@@ -229,7 +251,7 @@ def cost_hash_join(
         build_rows * params.cpu_hash_cost
         + probe_rows * params.cpu_hash_cost
         + output_rows * params.cpu_tuple_cost
-    )
+    ) * vector_cpu_factor(params)
     io = 0.0
     if build_pages > params.hash_memory_pages:
         io = 2.0 * (build_pages + probe_pages) * params.seq_page_cost
@@ -247,7 +269,7 @@ def cost_hash_aggregate(
         input_rows * params.cpu_hash_cost
         + input_rows * aggregate_count * params.cpu_operator_cost
         + groups * params.cpu_tuple_cost
-    )
+    ) * vector_cpu_factor(params)
     return Cost(cpu=cpu + params.startup_cost_per_operator)
 
 
@@ -258,14 +280,17 @@ def cost_stream_aggregate(
     cpu = (
         input_rows * params.cpu_operator_cost * max(1, aggregate_count)
         + groups * params.cpu_tuple_cost
-    )
+    ) * vector_cpu_factor(params)
     return Cost(cpu=cpu + params.startup_cost_per_operator)
 
 
 def cost_filter(rows: float, predicate_ops: int, params: CostParameters) -> Cost:
     """Stand-alone filter over a stream."""
     return Cost(
-        cpu=rows * max(1, predicate_ops) * params.cpu_operator_cost
+        cpu=rows
+        * max(1, predicate_ops)
+        * params.cpu_operator_cost
+        * vector_cpu_factor(params)
         + params.startup_cost_per_operator
     )
 
@@ -273,8 +298,11 @@ def cost_filter(rows: float, predicate_ops: int, params: CostParameters) -> Cost
 def cost_project(rows: float, expressions: int, params: CostParameters) -> Cost:
     """Projection / scalar computation."""
     return Cost(
-        cpu=rows * max(1, expressions) * params.cpu_operator_cost
-        + rows * params.cpu_tuple_cost
+        cpu=(
+            rows * max(1, expressions) * params.cpu_operator_cost
+            + rows * params.cpu_tuple_cost
+        )
+        * vector_cpu_factor(params)
         + params.startup_cost_per_operator
     )
 

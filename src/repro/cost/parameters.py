@@ -32,6 +32,17 @@ class CostParameters:
         startup_cost_per_operator: fixed overhead per physical operator.
         batch_size: rows per batch in the pipelined executor; streaming
             operators hold at most this many rows resident at once.
+        columnar_execution: price (and run) plans for the columnar
+            engine: per-row CPU terms of vectorizable operators (scan,
+            filter, project, hash join, hash/stream aggregate) are
+            multiplied by vector_cpu_discount, reflecting that a numpy
+            kernel amortizes interpreter dispatch over a whole batch.
+            Row-centric operators (nested loops, merge join, sorts,
+            index fetches, UDF filters) keep full CPU cost, so the
+            physicalizer can trade a vector-friendly plan shape against
+            a row-friendly one.
+        vector_cpu_discount: multiplier applied to vectorizable CPU
+            terms when columnar_execution is on.
     """
 
     seq_page_cost: float = 1.0
@@ -46,6 +57,8 @@ class CostParameters:
     comm_cost_per_page: float = 2.0
     startup_cost_per_operator: float = 0.1
     batch_size: int = 1024
+    columnar_execution: bool = False
+    vector_cpu_discount: float = 0.15
 
     def with_overrides(self, **overrides) -> "CostParameters":
         """A copy with some parameters replaced."""

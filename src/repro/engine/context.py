@@ -140,6 +140,11 @@ class ExecContext:
         compiled_expressions: evaluate predicates/scalars through
             closures compiled once per operator; False falls back to
             the tree-walking evaluator (the semantic oracle).
+        columnar_mode: on top of batch_mode, move numpy column arrays
+            (with explicit NULL validity masks) between operators and
+            evaluate expressions as whole-batch vector kernels; False
+            (the default) keeps the row-batch path, which doubles as
+            the columnar engine's differential oracle.
     """
 
     def __init__(self, params: Optional[CostParameters] = None) -> None:
@@ -160,6 +165,7 @@ class ExecContext:
         self.adaptive: Optional["AdaptiveState"] = None
         self.batch_mode: bool = True
         self.compiled_expressions: bool = True
+        self.columnar_mode: bool = False
         # Server-wide admission control: when present, storage accesses
         # run behind its circuit breaker and retries draw from its
         # global token bucket; queue_wait_seconds records how long this

@@ -191,6 +191,12 @@ def _run_adaptive(
 def _collect(op: PhysicalOp, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     """Fully evaluate a plan with whichever engine the context selects."""
     if ctx.batch_mode:
+        if ctx.columnar_mode:
+            # Imported lazily: the columnar engine reuses this module's
+            # row-batch driver for bridged operators.
+            from repro.engine.columnar import drain_columns
+
+            return drain_columns(op, catalog, ctx)
         return _drain(op, catalog, ctx)
     return _run(op, catalog, ctx)
 

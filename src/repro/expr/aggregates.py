@@ -44,7 +44,10 @@ class Accumulator:
     def __init__(self, func: AggFunc, distinct: bool = False) -> None:
         self.func = func
         self._count = 0
-        self._sum: float = 0.0
+        # Start SUM at integer zero: Python ints are arbitrary-precision,
+        # so all-int groups accumulate exactly (no 2^53 rounding) and only
+        # become float when a float value actually arrives.
+        self._sum: Any = 0
         self._min: Any = None
         self._max: Any = None
         self._distinct_seen: Any = set() if distinct else None

@@ -28,6 +28,7 @@ from repro.expr.expressions import (
     BoolOp,
     ColumnRef,
     Comparison,
+    ComparisonOp,
     Expr,
     InList,
     IsNull,
@@ -123,7 +124,7 @@ def compile_scalar(expr: Expr, schema: StreamSchema) -> Compiled:
                 value = candidate(row)
                 if value is None:
                     saw_null = True
-                elif value == needle:
+                elif _compare(ComparisonOp.EQ, value, needle):
                     return True
             return None if saw_null else False
 

@@ -176,7 +176,11 @@ def _arith(op: ArithOp, left: Any, right: Any) -> Any:
         if right == 0:
             raise ExecutionError("division by zero")
         return left / right
-    except TypeError as exc:
+    except (TypeError, OverflowError) as exc:
+        # OverflowError covers sequence repetition with a huge count
+        # ('' * 2**70) and int-to-float conversion overflow; both must
+        # surface as the canonical ExecutionError so the vectorized
+        # backend can defer them per lane like any other row error.
         raise ExecutionError(
             f"bad arithmetic operands {left!r}, {right!r}"
         ) from exc
@@ -191,7 +195,10 @@ def _in_list(expr: InList, row: Row, schema: StreamSchema) -> Optional[bool]:
         value = evaluate(candidate, row, schema)
         if value is None:
             saw_null = True
-        elif value == needle:
+        elif _compare(ComparisonOp.EQ, value, needle):
+            # Membership is equality: route through _compare so that
+            # incomparable pairs (e.g. 1 IN ('a')) raise the canonical
+            # ExecutionError instead of silently comparing unequal.
             return True
     return None if saw_null else False
 

@@ -31,6 +31,8 @@ Meta-commands (backslash-prefixed):
     \\admission priority <class>  set this session's priority (high|normal|low)
     \\batch              show which execution engine is active
     \\batch on|off       pipelined batch engine vs legacy materializing
+    \\columnar           show whether columnar vector kernels are active
+    \\columnar on|off    columnar numpy kernels vs row-tuple batches
     \\budget             show the current per-query resource budget
     \\reopt              show adaptive re-optimization status and counters
     \\reopt on|off       enable/disable mid-query re-optimization
@@ -165,6 +167,28 @@ class Shell:
                     "LIMIT/OFFSET terminate pipelines early"
                 )
             return "execution engine: legacy materializing (oracle)"
+        if command == "columnar":
+            word = argument.strip().lower()
+            if word == "on":
+                self.db.columnar_mode = True
+                self.db.batch_mode = True  # columnar rides the batch driver
+                self.db.params = self.db.params.with_overrides(
+                    columnar_execution=True
+                )
+            elif word == "off":
+                self.db.columnar_mode = False
+                self.db.params = self.db.params.with_overrides(
+                    columnar_execution=False
+                )
+            elif word:
+                return "usage: \\columnar [on|off]"
+            if self.db.columnar_mode:
+                return (
+                    "execution engine: columnar numpy vector kernels "
+                    f"(batch_size={self.db.params.batch_size}); the cost "
+                    "model discounts vectorizable CPU terms"
+                )
+            return "columnar execution off (row batches)"
         if command == "budget":
             budget = self.db.budget
             return budget.describe() if budget is not None else "unlimited"

@@ -41,6 +41,12 @@ class HeapTable:
         self.page_size_bytes = page_size_bytes
         self.rows_per_page = max(1, page_size_bytes // schema.row_width_bytes)
         self._rows: List[Row] = []
+        # Monotonic mutation counter plus a scratch dict for engines that
+        # cache derived images of the table (e.g. the columnar engine's
+        # column arrays); a cache entry is valid only while data_version
+        # matches the version it was built against.
+        self._data_version = 0
+        self.runtime_cache: dict = {}
 
     # ------------------------------------------------------------------
     # Mutation
@@ -49,6 +55,7 @@ class HeapTable:
         """Validate and append one row; returns its row id (position)."""
         validated = self.schema.validate_row(row)
         self._rows.append(validated)
+        self._data_version += 1
         return len(self._rows) - 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
@@ -62,10 +69,17 @@ class HeapTable:
     def truncate(self) -> None:
         """Remove all rows."""
         self._rows.clear()
+        self._data_version += 1
+        self.runtime_cache.clear()
 
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
+    @property
+    def data_version(self) -> int:
+        """Bumped on every mutation; keys cached derived images."""
+        return self._data_version
+
     @property
     def row_count(self) -> int:
         """Number of stored rows (the paper's cardinality statistic)."""

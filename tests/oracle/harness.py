@@ -150,12 +150,14 @@ def run_engine(
     batch_mode: bool,
     compiled: bool,
     parameters: Optional[Sequence[Any]] = None,
+    columnar: bool = False,
 ) -> List[Tuple]:
     """Optimize and execute under an explicit engine configuration."""
     plan = db.optimizer().optimize(sql).physical
     context = ExecContext(db.params)
     context.batch_mode = batch_mode
     context.compiled_expressions = compiled
+    context.columnar_mode = columnar
     _schema, rows = execute(plan, db.catalog, context, parameters=parameters)
     return [tuple(row) for row in rows]
 

@@ -1,9 +1,9 @@
-"""Differential suite: batch and legacy engines vs the SQLite oracle.
+"""Differential suite: batch, legacy, and columnar engines vs SQLite.
 
 Hundreds of seeded random queries over a NULL-heavy Emp/Dept dataset,
 each executed by our batch engine, our legacy (materializing,
-tree-walking) engine, and stdlib ``sqlite3`` loaded with the identical
-rows.  SQLite shares none of our code, so agreement here retires the
+tree-walking) engine, our columnar (numpy vector-kernel) engine, and
+stdlib ``sqlite3`` loaded with the identical rows.  SQLite shares none of our code, so agreement here retires the
 shared-bug risk the engine-vs-engine differential tests cannot.
 
 Query count scales with ``REPRO_ORACLE_QUERIES`` (default 200; CI smoke
@@ -86,7 +86,7 @@ def test_mirror_reflects_nulls(oracle_db):
 
 
 def test_oracle_random_queries(oracle_db):
-    """Seeded random suite: batch and legacy engines must match SQLite."""
+    """Seeded random suite: all three engines must match SQLite."""
     db, conn = oracle_db
     gen = _gen()
     report = TriageReport()
@@ -96,9 +96,14 @@ def test_oracle_random_queries(oracle_db):
         oracle_rows = run_sqlite(conn, sqlite_sql)
         batch = run_engine(db, sql, batch_mode=True, compiled=True)
         legacy = run_engine(db, sql, batch_mode=False, compiled=False)
+        columnar = run_engine(db, sql, batch_mode=True, compiled=True,
+                              columnar=True)
         report.compare(index, "batch", sql, sqlite_sql, batch, oracle_rows)
         report.compare(index, "legacy", sql, sqlite_sql, legacy, oracle_rows)
-    assert report.checked == 2 * QUERY_COUNT
+        report.compare(
+            index, "columnar", sql, sqlite_sql, columnar, oracle_rows
+        )
+    assert report.checked == 3 * QUERY_COUNT
     report.raise_if_any()
 
 
@@ -119,11 +124,17 @@ def test_oracle_windowed_queries(oracle_db):
         oracle_rows = run_sqlite(conn, sqlite_sql)
         batch = run_engine(db, sql, batch_mode=True, compiled=True)
         legacy = run_engine(db, sql, batch_mode=False, compiled=False)
+        columnar = run_engine(db, sql, batch_mode=True, compiled=True,
+                              columnar=True)
         report.compare(
             index, "batch", sql, sqlite_sql, batch, oracle_rows, ordered=True
         )
         report.compare(
             index, "legacy", sql, sqlite_sql, legacy, oracle_rows, ordered=True
+        )
+        report.compare(
+            index, "columnar", sql, sqlite_sql, columnar, oracle_rows,
+            ordered=True,
         )
     report.raise_if_any()
 

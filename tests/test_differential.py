@@ -236,12 +236,14 @@ def _run_with(
     sql: str,
     batch_mode: bool = True,
     compiled: bool = True,
+    columnar: bool = False,
 ):
     """Execute under an explicit engine/evaluator configuration."""
     plan = optimizer.optimize(sql).physical
     context = ExecContext(db.params)
     context.batch_mode = batch_mode
     context.compiled_expressions = compiled
+    context.columnar_mode = columnar
     _schema, rows = execute(plan, db.catalog, context)
     return rows
 
@@ -283,11 +285,13 @@ def test_naive_enumerator_config_reaches_physicalizer(diff_db):
 
 # ----------------------------------------------------------------------
 # Cross-engine differentials: the legacy materializing executor and the
-# tree-walking evaluator are the oracles for the batch engine and the
-# expression compiler.  Same plan, three configurations, identical rows.
+# tree-walking evaluator are the oracles for the batch engine, the
+# expression compiler, and the columnar engine.  Same plan, four
+# configurations, identical rows.
 # ----------------------------------------------------------------------
 def test_differential_batch_engine_vs_oracles(diff_db):
-    """200 seeded queries: batch+compiled == batch+interpreted == legacy.
+    """200 seeded queries: columnar == batch+compiled == batch+interpreted
+    == legacy.
 
     The *same* physical plan runs under each configuration, so the row
     lists must be bit-identical (order included), not merely equal as
@@ -302,8 +306,10 @@ def test_differential_batch_engine_vs_oracles(diff_db):
             diff_db, full, sql, batch_mode=True, compiled=False
         )
         legacy = _run_with(diff_db, full, sql, batch_mode=False, compiled=True)
+        columnar = _run_with(diff_db, full, sql, columnar=True)
         assert batch == interpreted, f"compiler diverges on {sql!r}"
         assert batch == legacy, f"batch engine diverges on {sql!r}"
+        assert columnar == batch, f"columnar engine diverges on {sql!r}"
 
 
 def test_differential_limit_queries(diff_db):
@@ -321,8 +327,10 @@ def test_differential_limit_queries(diff_db):
         windowed, unwindowed = generate_limit_query(rng)
         batch = _run_with(diff_db, full, windowed)
         legacy = _run_with(diff_db, full, windowed, batch_mode=False)
+        columnar = _run_with(diff_db, full, windowed, columnar=True)
         naive_plan = _run_with(diff_db, baseline, windowed)
         assert batch == legacy, f"engines diverge on {windowed!r}"
+        assert batch == columnar, f"columnar diverges on {windowed!r}"
         assert batch == naive_plan, f"plans diverge on {windowed!r}"
         stmt = parse(windowed)
         everything = _run_with(diff_db, full, unwindowed)
