@@ -1,0 +1,188 @@
+"""E25 -- Mixed query/DML workload: snapshot isolation under write chaos.
+
+Claim: transactional DML shares one Database with concurrent readers and
+nobody loses data -- writers commit or abort atomically under injected
+page-write and WAL-append faults, write-write conflicts surface as typed
+retryable :class:`~repro.errors.SerializationError` (and the retry loop
+absorbs them), and readers keep getting answers identical to a
+single-threaded reference the whole time.
+
+Eight client threads replay mixed traffic where ~20% of operations are
+transactional writes against dedicated ``Ledger``/``Tally`` tables (the
+read pool never touches them, so the read references stay exact).  Each
+client journals the writes it successfully committed; after the run the
+actual table contents are reconciled against a serial replay of those
+journals:
+
+* **lost rows** -- a committed write missing from the table;
+* **phantom rows** -- a table row no committed write explains;
+* **lost tally** -- a shared-counter increment dropped by a race.
+
+All three must be zero, with storage faults armed for the whole run.
+Reported: read/DML throughput and latency percentiles, commit/abort
+counts, conflict retries, and the reconciliation counters.  JSON lands
+in ``benchmarks/results/bench_e25_dml.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.harness import RESULTS_DIR, report
+from benchmarks.workload import WorkloadConfig, WorkloadDriver
+
+TITLE = "Mixed query/DML workload: snapshot isolation under write faults"
+HEADERS = [
+    "phase",
+    "clients",
+    "reads",
+    "dml stmts",
+    "qps",
+    "read p95 ms",
+    "dml p50 ms",
+    "dml p95 ms",
+    "commits",
+    "aborts",
+    "conflict retries",
+    "lost rows",
+    "phantom rows",
+    "lost tally",
+]
+NOTES = (
+    "20% writers; page-write + WAL-append faults armed; reads checked "
+    "against a single-threaded reference; table contents reconciled "
+    "against a serial replay of the committed-write journals"
+)
+
+
+def make_config(smoke: bool = False, clients: int | None = None) -> WorkloadConfig:
+    return WorkloadConfig(
+        clients=clients or 8,
+        queries_per_client=30 if smoke else 120,
+        pool_size=12,
+        dml_fraction=0.2,
+        fault_page_write_error_rate=0.02,
+        fault_wal_append_error_rate=0.02,
+        # Keep the read-side chaos from E22 armed too.
+        fault_page_read_error_rate=0.01,
+        fault_index_lookup_error_rate=0.01,
+    )
+
+
+def run_experiment(config: WorkloadConfig) -> tuple:
+    driver = WorkloadDriver(config)
+    phase = driver.run_dml_phase("mixed")
+    stats = phase.summary()
+    table = [
+        [
+            phase.name,
+            config.clients,
+            stats["queries"],
+            stats["dml_statements"],
+            stats["throughput_qps"],
+            stats["read_latency_ms"]["p95"],
+            stats["dml_latency_ms"]["p50"],
+            stats["dml_latency_ms"]["p95"],
+            stats["commits"],
+            stats["aborts"],
+            stats["conflict_retries"],
+            stats["lost_rows"],
+            stats["phantom_rows"],
+            stats["lost_tally"],
+        ]
+    ]
+    summary = {
+        "config": {
+            "clients": config.clients,
+            "queries_per_client": config.queries_per_client,
+            "dml_fraction": config.dml_fraction,
+            "fault_page_write_error_rate": config.fault_page_write_error_rate,
+            "fault_wal_append_error_rate": config.fault_wal_append_error_rate,
+        },
+        "faults_injected": driver.db.fault_injector.injected_faults,
+        "mixed": stats,
+    }
+    return table, summary, phase
+
+
+def _assert_acceptance(config: WorkloadConfig, summary, phase) -> None:
+    assert config.clients >= 8, "harness must drive >= 8 concurrent clients"
+    assert phase.queries > 0 and phase.dml_statements > 0
+    assert phase.commits > 0, "no DML transaction ever committed"
+    assert phase.wrong_results == 0, (
+        f"{phase.wrong_results} wrong read results while writers ran -- "
+        "snapshot isolation regression"
+    )
+    assert phase.lost_rows == 0, (
+        f"{phase.lost_rows} committed writes missing from the table"
+    )
+    assert phase.phantom_rows == 0, (
+        f"{phase.phantom_rows} table rows no committed write explains"
+    )
+    assert phase.lost_tally == 0, (
+        f"{phase.lost_tally} shared counters dropped increments -- "
+        "first-writer-wins conflict detection regression"
+    )
+    assert not phase.untyped_errors, (
+        f"untyped errors {phase.untyped_errors[:3]}"
+    )
+    assert summary["faults_injected"] > 0, (
+        "chaos run injected no faults -- the experiment tested nothing"
+    )
+
+
+def _persist_json(summary) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "bench_e25_dml.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+
+
+def test_e25_dml(benchmark):
+    config = make_config(smoke=True)
+    table, summary, phase = run_experiment(config)
+    report("E25", TITLE, HEADERS, table, notes=NOTES)
+    _persist_json(summary)
+    _assert_acceptance(config, summary, phase)
+
+    driver = WorkloadDriver(
+        WorkloadConfig(
+            clients=4, queries_per_client=10, pool_size=6, dml_fraction=0.3
+        )
+    )
+
+    def one_phase():
+        return driver.run_dml_phase("bench")
+
+    benchmark(one_phase)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced traffic; assert the acceptance claims for CI",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=None, help="client thread count"
+    )
+    opts = parser.parse_args()
+    config = make_config(smoke=opts.smoke, clients=opts.clients)
+    table, summary, phase = run_experiment(config)
+    report("E25", TITLE, HEADERS, table, notes=NOTES)
+    _persist_json(summary)
+    _assert_acceptance(config, summary, phase)
+    if opts.smoke:
+        print(
+            "smoke OK: "
+            f"{config.clients} clients, {phase.queries} reads + "
+            f"{phase.dml_statements} DML statements, "
+            f"{phase.commits} commits / {phase.aborts} aborts / "
+            f"{phase.conflict_retries} conflict retries, "
+            f"{summary['faults_injected']} faults injected, "
+            "0 lost rows, 0 phantom rows, 0 lost tally increments"
+        )

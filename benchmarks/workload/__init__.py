@@ -1,10 +1,17 @@
 """Concurrent workload harness: N client threads over one Database."""
 
 from benchmarks.workload.driver import (
+    DmlPhaseResult,
     PhaseResult,
     WorkloadConfig,
     WorkloadDriver,
     percentile,
 )
 
-__all__ = ["PhaseResult", "WorkloadConfig", "WorkloadDriver", "percentile"]
+__all__ = [
+    "DmlPhaseResult",
+    "PhaseResult",
+    "WorkloadConfig",
+    "WorkloadDriver",
+    "percentile",
+]

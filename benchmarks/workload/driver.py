@@ -86,6 +86,16 @@ class WorkloadConfig:
     # cost.  Overload benchmarks use this so tail latency measures the
     # effect of concurrency, not the cost spread of a random pool.
     uniform_pool: bool = False
+    # Mixed query/DML traffic (the E25 phase): this fraction of each
+    # client's operations are transactional writes against the Ledger
+    # and Tally tables -- tables the read pool never touches, so the
+    # read references stay exact while writers run.
+    dml_fraction: float = 0.0
+    tally_rows: int = 4
+    # Write-path fault rates (page writes, WAL appends), armed for the
+    # DML phase on top of the read-path rates above.
+    fault_page_write_error_rate: float = 0.0
+    fault_wal_append_error_rate: float = 0.0
 
 
 @dataclass
@@ -157,6 +167,65 @@ class PhaseResult:
         }
 
 
+@dataclass
+class DmlPhaseResult:
+    """Everything the mixed query/DML phase measured.
+
+    Correctness is a reconciliation, not a spot check: each client keeps
+    a journal of the writes that *reported success*, and at the end the
+    table contents must equal a serial replay of exactly those journals
+    -- a committed-but-missing row is a lost write, an
+    uncommitted-but-present row is a phantom.
+    """
+
+    name: str
+    queries: int = 0
+    dml_statements: int = 0
+    wall_seconds: float = 0.0
+    latencies_ms: List[float] = field(default_factory=list)
+    dml_latencies_ms: List[float] = field(default_factory=list)
+    commits: int = 0
+    aborts: int = 0
+    conflict_retries: int = 0
+    wrong_results: int = 0
+    transient_errors: int = 0
+    lost_rows: int = 0
+    phantom_rows: int = 0
+    lost_tally: int = 0
+    untyped_errors: List[str] = field(default_factory=list)
+
+    @property
+    def throughput_qps(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return (self.queries + self.dml_statements) / self.wall_seconds
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "queries": self.queries,
+            "dml_statements": self.dml_statements,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_qps": round(self.throughput_qps, 2),
+            "read_latency_ms": {
+                "p50": round(percentile(self.latencies_ms, 0.50), 3),
+                "p95": round(percentile(self.latencies_ms, 0.95), 3),
+            },
+            "dml_latency_ms": {
+                "p50": round(percentile(self.dml_latencies_ms, 0.50), 3),
+                "p95": round(percentile(self.dml_latencies_ms, 0.95), 3),
+            },
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "conflict_retries": self.conflict_retries,
+            "wrong_results": self.wrong_results,
+            "transient_errors": self.transient_errors,
+            "lost_rows": self.lost_rows,
+            "phantom_rows": self.phantom_rows,
+            "lost_tally": self.lost_tally,
+            "untyped_errors": self.untyped_errors,
+        }
+
+
 class WorkloadDriver:
     """Builds the database, the traffic pool, and runs phases."""
 
@@ -172,6 +241,8 @@ class WorkloadDriver:
                 index_lookup_error_rate=cfg.fault_index_lookup_error_rate,
                 latency_rate=cfg.fault_latency_rate,
                 latency_seconds=cfg.fault_latency_seconds,
+                page_write_error_rate=cfg.fault_page_write_error_rate,
+                wal_append_error_rate=cfg.fault_wal_append_error_rate,
             )
         )
         self.db = Database(admission=cfg.admission)
@@ -183,6 +254,8 @@ class WorkloadDriver:
             null_fraction=cfg.null_fraction,
         )
         self.db.analyze()
+        if cfg.dml_fraction > 0.0:
+            self._create_dml_tables()
         self.pool = self._build_pool()
         # References are computed fault-free and single-threaded; the
         # injector arms right before the concurrent phases.
@@ -337,6 +410,209 @@ class WorkloadDriver:
         result.cache_misses = self.db.plan_cache.misses - misses_before
         result.ttfr_ms = self._sample_ttfr()
         return result
+
+    def _create_dml_tables(self) -> None:
+        """The write targets: per-client Ledger rows plus a shared Tally.
+
+        Ledger rows are keyed (owner, seq) and each client writes only
+        its own -- so the final contents are exactly the serial replay
+        of the per-client journals, independent of interleaving.  Tally
+        rows are shared by every client, which manufactures genuine
+        write-write conflicts for the retry loop to absorb.
+        """
+        from repro.catalog import Column, ColumnType
+
+        self.db.create_table(
+            "Ledger",
+            [
+                Column("owner", ColumnType.INT, nullable=False),
+                Column("seq", ColumnType.INT, nullable=False),
+                Column("val", ColumnType.INT),
+            ],
+        )
+        tally = self.db.create_table(
+            "Tally",
+            [
+                Column("id", ColumnType.INT, nullable=False),
+                Column("n", ColumnType.INT, nullable=False),
+            ],
+        )
+        for tally_id in range(self.config.tally_rows):
+            tally.insert((tally_id, 0))
+
+    def run_dml_phase(self, name: str = "dml") -> DmlPhaseResult:
+        """Mixed query/DML traffic: ``dml_fraction`` of each client's
+        operations are transactional writes, the rest are pool reads
+        checked against the single-threaded references (which stay exact
+        because writers never touch Emp/Dept)."""
+        from repro.errors import ReproError, SerializationError
+
+        cfg = self.config
+        result = DmlPhaseResult(name=name)
+        metrics = self.db.metrics
+        commits_before = metrics.transactions_committed
+        aborts_before = metrics.transactions_aborted
+        lock = threading.Lock()
+        journals: Dict[int, List[Tuple]] = {}
+
+        def client(client_no: int) -> None:
+            rng = random.Random(cfg.seed * 77 + client_no)
+            journal: List[Tuple] = []
+            alive: List[int] = []
+            next_seq = 0
+            local = {
+                "queries": 0,
+                "dml": 0,
+                "wrong": 0,
+                "transient": 0,
+                "retries": 0,
+                "untyped": [],
+            }
+            read_latencies: List[float] = []
+            dml_latencies: List[float] = []
+            for _ in range(cfg.queries_per_client):
+                if rng.random() >= cfg.dml_fraction:
+                    sql = rng.choice(self.pool)
+                    started = time.perf_counter()
+                    try:
+                        rows = self.db.sql(sql).rows
+                    except ReproError:
+                        local["transient"] += 1
+                        continue
+                    except Exception as exc:  # noqa: BLE001
+                        local["untyped"].append(
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                        continue
+                    read_latencies.append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                    local["queries"] += 1
+                    if not rows_match(rows, self.references[sql]):
+                        local["wrong"] += 1
+                    continue
+                # --- a write operation -------------------------------
+                roll = rng.random()
+                if roll < 0.5 or not alive:
+                    seq = next_seq
+                    value = rng.randint(0, 999)
+                    sql = (
+                        "INSERT INTO Ledger (owner, seq, val) VALUES "
+                        f"({client_no}, {seq}, {value})"
+                    )
+                    op = ("insert", seq, value)
+                elif roll < 0.75:
+                    seq = rng.choice(alive)
+                    sql = (
+                        "UPDATE Ledger SET val = val + 1 "
+                        f"WHERE owner = {client_no} AND seq = {seq}"
+                    )
+                    op = ("update", seq, None)
+                elif roll < 0.9:
+                    seq = rng.choice(alive)
+                    sql = (
+                        "DELETE FROM Ledger "
+                        f"WHERE owner = {client_no} AND seq = {seq}"
+                    )
+                    op = ("delete", seq, None)
+                else:
+                    tally_id = rng.randrange(cfg.tally_rows)
+                    sql = (
+                        "UPDATE Tally SET n = n + 1 "
+                        f"WHERE id = {tally_id}"
+                    )
+                    op = ("tally", tally_id, None)
+                started = time.perf_counter()
+                committed = False
+                while True:
+                    try:
+                        self.db.sql(sql)
+                        committed = True
+                    except SerializationError:
+                        # First-writer-wins: the loser retries.
+                        local["retries"] += 1
+                        continue
+                    except ReproError:
+                        # A write fault out-lived its retries: the
+                        # statement rolled back; do not journal it.
+                        local["transient"] += 1
+                    except Exception as exc:  # noqa: BLE001
+                        local["untyped"].append(
+                            f"{type(exc).__name__}: {exc}"
+                        )
+                    break
+                dml_latencies.append(
+                    (time.perf_counter() - started) * 1000.0
+                )
+                local["dml"] += 1
+                if committed:
+                    journal.append(op)
+                    if op[0] == "insert":
+                        alive.append(op[1])
+                        next_seq += 1
+                    elif op[0] == "delete":
+                        alive.remove(op[1])
+            with lock:
+                journals[client_no] = journal
+                result.queries += local["queries"]
+                result.dml_statements += local["dml"]
+                result.wrong_results += local["wrong"]
+                result.transient_errors += local["transient"]
+                result.conflict_retries += local["retries"]
+                result.untyped_errors.extend(local["untyped"])
+                result.latencies_ms.extend(read_latencies)
+                result.dml_latencies_ms.extend(dml_latencies)
+
+        threads = [
+            threading.Thread(target=client, args=(n,), name=f"dml-client-{n}")
+            for n in range(cfg.clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        result.wall_seconds = time.perf_counter() - started
+        result.commits = metrics.transactions_committed - commits_before
+        result.aborts = metrics.transactions_aborted - aborts_before
+        self._reconcile_dml(result, journals)
+        return result
+
+    def _reconcile_dml(
+        self, result: DmlPhaseResult, journals: Dict[int, List[Tuple]]
+    ) -> None:
+        """Serial replay of the committed journals vs actual contents."""
+        expected: Dict[Tuple[int, int], int] = {}
+        expected_tally = {n: 0 for n in range(self.config.tally_rows)}
+        for owner, journal in journals.items():
+            for kind, key, value in journal:
+                if kind == "insert":
+                    expected[(owner, key)] = value
+                elif kind == "update":
+                    expected[(owner, key)] += 1
+                elif kind == "delete":
+                    del expected[(owner, key)]
+                else:  # tally
+                    expected_tally[key] += 1
+        actual = {
+            (row[0], row[1]): row[2]
+            for row in self.db.sql(
+                "SELECT L.owner, L.seq, L.val FROM Ledger L"
+            ).rows
+        }
+        for key, value in expected.items():
+            if actual.get(key) != value:
+                result.lost_rows += 1
+        for key in actual:
+            if key not in expected:
+                result.phantom_rows += 1
+        tally_actual = dict(
+            (row[0], row[1])
+            for row in self.db.sql("SELECT T.id, T.n FROM Tally T").rows
+        )
+        for tally_id, increments in expected_tally.items():
+            if tally_actual.get(tally_id, 0) != increments:
+                result.lost_tally += 1
 
     def _sample_ttfr(self) -> List[float]:
         """Time-to-first-row via the streaming API, faults still armed."""

@@ -45,7 +45,10 @@ from repro.engine.governor import (
     RetryPolicy,
 )
 from repro.engine.runtime_stats import RuntimeStats, render_explain_analyze
+from repro.errors import SerializationError, TransactionError
 from repro.storage.faults import FaultConfig, FaultInjector
+from repro.storage.txn import TransactionManager
+from repro.storage.wal import WriteAheadLog
 
 __version__ = "1.0.0"
 
@@ -74,6 +77,10 @@ __all__ = [
     "QueryResult",
     "RetryPolicy",
     "RuntimeStats",
+    "SerializationError",
+    "TransactionError",
+    "TransactionManager",
+    "WriteAheadLog",
     "render_explain_analyze",
     "__version__",
 ]

@@ -38,19 +38,29 @@ from repro.errors import (
     QueryCancelled,
     QueueTimeout,
     ReproError,
+    SerializationError,
+    SqlError,
+    TransactionError,
 )
 from repro.storage.faults import FaultInjector
+from repro.storage.txn import Transaction, TransactionManager
 from repro.expr.schema import StreamSchema
 from repro.logical.lower import lower_block
 from repro.logical.operators import Get, LogicalOp
 from repro.logical.qgm import QueryBlock
-from repro.physical.plans import PhysicalOp
+from repro.physical.plans import DeleteP, InsertP, PhysicalOp, UpdateP
 from repro.sql.ast import (
+    BeginStmt,
+    CommitStmt,
     DeallocateStmt,
+    DeleteStmt,
     ExecuteStmt,
     ExplainStmt,
+    InsertStmt,
     PrepareStmt,
+    RollbackStmt,
     SelectStmt,
+    UpdateStmt,
 )
 from repro.sql.binder import Binder, UdfRegistration
 from repro.sql.parser import normalize_sql, parse, parse_statement
@@ -458,6 +468,13 @@ class Database:
         self.session_priority = "normal"
         self._plan_failures: Dict[PlanCacheKey, int] = {}
         self._conservative_keys: Set[PlanCacheKey] = set()
+        # Transactional state.  The manager (txid allocation, WAL, MVCC
+        # lifecycle) is created lazily at the first DML/BEGIN so purely
+        # read-only databases pay nothing; the open explicit transaction
+        # is per-thread -- each worker thread is one session.
+        self._txn_manager: Optional[TransactionManager] = None
+        self._txn_manager_lock = threading.Lock()
+        self._sessions = threading.local()
 
     # ------------------------------------------------------------------
     # Schema management
@@ -559,12 +576,227 @@ class Database:
             return _text_result(
                 "deallocate", "DEALLOCATE", [f"DEALLOCATE {stmt.name}"]
             )
+        if isinstance(stmt, BeginStmt):
+            return self._run_begin()
+        if isinstance(stmt, CommitStmt):
+            return self._run_commit()
+        if isinstance(stmt, RollbackStmt):
+            return self._run_rollback()
+        if isinstance(stmt, (InsertStmt, UpdateStmt, DeleteStmt)):
+            return self._run_dml(stmt)
         key = PlanCache.key(text, stmt.param_count)
         optimized, from_cache, _ = self._optimize_cached(key, stmt)
         return self._execute_plan(
             optimized, from_cache, cache_key=key,
             tenant=tenant, priority=priority,
         )
+
+    # ------------------------------------------------------------------
+    # Transactions and DML
+    # ------------------------------------------------------------------
+    @property
+    def txn_manager(self) -> TransactionManager:
+        """The transaction manager, created at first use.
+
+        Creation wires the storage-pure manager to this database's upper
+        layers: index rebuilds after vacuum/recovery, and the commit
+        hook that invalidates cached plans, feedback, and statistics --
+        the only place any version counter moves for DML.
+        """
+        if self._txn_manager is None:
+            with self._txn_manager_lock:
+                if self._txn_manager is None:
+                    manager = TransactionManager()
+                    manager.index_rebuilder = self.catalog.rebuild_indexes
+                    manager.commit_hooks.append(self._on_commit)
+                    manager.recovery_hooks.append(self._on_recovery)
+                    self._txn_manager = manager
+        return self._txn_manager
+
+    def _on_commit(self, txn: Transaction) -> None:
+        """Commit-time invalidation: runs once per writing commit.
+
+        * catalog version bumps, so every cached plan (costed against
+          pre-commit statistics and contents) misses on next lookup;
+        * cardinality feedback learned against the old contents of each
+          written table is dropped;
+        * table statistics, when present, have their row counts moved to
+          the new cardinality incrementally -- no full re-ANALYZE on the
+          write path (column distributions refresh at the next ANALYZE).
+        """
+        for name, table in txn.written.items():
+            if self.feedback is not None:
+                self.feedback.invalidate_table(name)
+            stats = self.catalog.stats(name)
+            if stats is not None:
+                # Count *visible* rows: at hook time the heap still holds
+                # dead versions (vacuum runs after the hooks).
+                live = sum(1 for _ in table.visible_rows(None))
+                self.catalog.set_stats(
+                    name, replace(stats, row_count=float(live))
+                )
+        self.catalog._bump_version()
+
+    def _on_recovery(self) -> None:
+        """Post-recovery invalidation: table images were replaced."""
+        self.plan_cache.clear()
+        self.catalog._bump_version()
+
+    def _session_txn(self) -> Optional[Transaction]:
+        """This thread's open explicit transaction, if any."""
+        return getattr(self._sessions, "txn", None)
+
+    def _run_begin(self) -> QueryResult:
+        if self._session_txn() is not None:
+            raise TransactionError(
+                "a transaction is already open in this session"
+            )
+        self._sessions.txn = self.txn_manager.begin(session=True)
+        return _text_result("begin", "BEGIN", ["BEGIN"])
+
+    def _run_commit(self) -> QueryResult:
+        txn = self._session_txn()
+        if txn is None:
+            raise TransactionError("no transaction is open in this session")
+        self._sessions.txn = None
+        self.txn_manager.commit(txn)
+        self.metrics.transactions_committed += 1
+        return _text_result("commit", "COMMIT", ["COMMIT"])
+
+    def _run_rollback(self) -> QueryResult:
+        txn = self._session_txn()
+        if txn is None:
+            raise TransactionError("no transaction is open in this session")
+        self._sessions.txn = None
+        self.txn_manager.abort(txn)
+        self.metrics.transactions_aborted += 1
+        return _text_result("rollback", "ROLLBACK", ["ROLLBACK"])
+
+    def _plan_dml(
+        self, stmt: "InsertStmt | UpdateStmt | DeleteStmt"
+    ) -> PhysicalOp:
+        """Bind and physicalize one DML statement.
+
+        DML has a single target table and no join enumeration, so the
+        physical operator is built directly from the bound form; only an
+        INSERT ... SELECT source runs through the full optimizer.
+        """
+        binder = Binder(self.catalog, self.udfs)
+        if isinstance(stmt, InsertStmt):
+            logical = binder.bind_insert(stmt)
+            if logical.select is not None:
+                source = self.optimizer().optimize_block(logical.select)
+                return InsertP(
+                    logical.table,
+                    source=source.physical,
+                    select_positions=logical.select_positions,
+                )
+            return InsertP(logical.table, rows=logical.rows)
+        if isinstance(stmt, UpdateStmt):
+            updated = binder.bind_update(stmt)
+            return UpdateP(updated.table, updated.assignments, updated.predicate)
+        deleted = binder.bind_delete(stmt)
+        return DeleteP(deleted.table, deleted.predicate)
+
+    def _run_dml(
+        self, stmt: "InsertStmt | UpdateStmt | DeleteStmt"
+    ) -> QueryResult:
+        """Execute one INSERT/UPDATE/DELETE with statement atomicity.
+
+        Outside an explicit transaction the statement runs autocommit:
+        a fresh transaction that commits on success and aborts on any
+        failure.  Inside BEGIN..COMMIT, a failed statement rolls back
+        its own writes and leaves the transaction usable -- except a
+        write-write conflict, which aborts the whole transaction (the
+        snapshot is burned; the typed retryable
+        :class:`~repro.errors.SerializationError` tells the client to
+        retry the transaction from the top).
+        """
+        if stmt.param_count:
+            raise SqlError(
+                "parameter markers (?) are not supported in DML statements"
+            )
+        plan = self._plan_dml(stmt)
+        manager = self.txn_manager
+        session_txn = self._session_txn()
+        txn = session_txn if session_txn is not None else manager.begin()
+        context = self._make_context()
+        # Write plans produce one bookkeeping row; there is no
+        # cardinality worth harvesting from them.
+        context.feedback = None
+        context.txn = txn
+        context.snapshot = txn.snapshot
+        manager.begin_statement(txn)
+        start = time.perf_counter()
+        try:
+            schema, rows = execute(plan, self.catalog, context)
+        except ReproError as error:
+            manager.rollback_statement(txn)
+            self.metrics.execute_seconds += time.perf_counter() - start
+            self.metrics.execution_failures += 1
+            self.metrics.fault_retries += context.counters.retries
+            if isinstance(error, SerializationError):
+                self.metrics.serialization_conflicts += 1
+            if session_txn is None:
+                manager.abort(txn)
+                self.metrics.transactions_aborted += 1
+            elif isinstance(error, SerializationError):
+                self._sessions.txn = None
+                manager.abort(txn)
+                self.metrics.transactions_aborted += 1
+            raise
+        manager.end_statement(txn)
+        self.metrics.execute_seconds += time.perf_counter() - start
+        self.metrics.dml_statements += 1
+        self.metrics.record_execution(context, len(rows))
+        if session_txn is None:
+            manager.commit(txn)
+            self.metrics.transactions_committed += 1
+        return QueryResult(
+            schema=schema,
+            rows=rows,
+            plan=plan,
+            context=context,
+            kind="dml",
+        )
+
+    def _pin_read_snapshot(self, context: ExecContext):
+        """Give one read-only execution a consistent snapshot.
+
+        No-op (returns an idle release) until the first DML creates the
+        manager: with no versions in flight, reading latest state *is*
+        the snapshot, and flat tables keep their zero-overhead paths.
+        Inside an explicit transaction the statement reads through the
+        transaction's own snapshot; otherwise a fresh snapshot is pinned
+        for exactly this execution (blocking vacuum while it runs).
+        """
+        manager = self._txn_manager
+        if manager is None:
+            return lambda: None
+        txn = self._session_txn()
+        if txn is not None:
+            context.txn = txn
+            context.snapshot = txn.snapshot
+            return lambda: None
+        snapshot = manager.read_snapshot()
+        context.snapshot = snapshot
+        return lambda: manager.release_snapshot(snapshot)
+
+    def crash(self, wal_prefix: Optional[int] = None) -> None:
+        """Simulate a crash (see :meth:`TransactionManager.crash`).
+
+        Open sessions are abandoned: their transactions were in flight
+        and are treated as aborted.
+        """
+        if self._txn_manager is not None:
+            self._txn_manager.crash(wal_prefix)
+            self._sessions = threading.local()
+
+    def recover(self) -> List[str]:
+        """Replay the WAL, restoring committed-only table contents."""
+        if self._txn_manager is None:
+            return []
+        return self._txn_manager.recover()
 
     # -- plan cache plumbing -------------------------------------------
     def _optimize_cached(
@@ -787,6 +1019,7 @@ class Database:
         ticket = self._admit(tenant, priority)
         self._apply_ticket(context, ticket)
         self._arm_replanner(context, optimized)
+        release_snapshot = self._pin_read_snapshot(context)
         start = time.perf_counter()
         try:
             schema, rows = execute(
@@ -802,6 +1035,7 @@ class Database:
             self._note_execution_failure(cache_key, error)
             raise
         finally:
+            release_snapshot()
             if ticket is not None:
                 ticket.release()
         self.metrics.execute_seconds += time.perf_counter() - start
@@ -866,10 +1100,12 @@ class Database:
         ticket = self._admit(tenant, priority)
         self._apply_ticket(context, ticket)
         self._arm_replanner(context, optimized)
+        release_snapshot = self._pin_read_snapshot(context)
         start = time.perf_counter()
         try:
             schema, rows = execute(optimized.physical, self.catalog, context)
         finally:
+            release_snapshot()
             if ticket is not None:
                 ticket.release()
         self.metrics.execute_seconds += time.perf_counter() - start

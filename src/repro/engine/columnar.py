@@ -22,9 +22,11 @@ bit-identical to the row-batch engine -- same values, same types, same
 order, same first error.  The guards that make numpy safe for that
 contract (int64 overflow, the 2**53 cast horizon, NaN-vs-NULL, ordered
 float accumulation) live in :mod:`repro.expr.vector` and in the
-aggregate kernels below.  Known, deliberate exception: NaN *join or
-group keys* match by float-object identity in the row engine, which
-columnar transport cannot preserve; NaN belongs in values, not keys.
+aggregate kernels below.  NaN *join, group, and distinct keys* are
+canonicalized to one shared NaN object on every backend (see
+``executor._canon_key_part``), so NaN==NaN as a key everywhere and
+columnar transport -- which cannot preserve float object identity --
+agrees with both row engines.
 """
 
 from __future__ import annotations
@@ -210,10 +212,18 @@ def _raise_first_error(vcolumns: Sequence[VColumn]) -> None:
 
 
 def _key_tuples(key_columns: List[VColumn], n: int) -> List[Tuple[Any, ...]]:
-    """Join/group keys as native tuples (None in invalid lanes)."""
+    """Join/group keys as native tuples (None in invalid lanes).
+
+    NaN lanes are canonicalized to the row engines' shared NaN sentinel
+    so key tuples hash and compare identically across all backends
+    (``tolist`` materializes fresh float objects, which would otherwise
+    make every NaN key distinct).
+    """
+    from repro.engine.executor import _canon_key_part
+
     columns = []
     for vc in key_columns:
-        values = vc.values.tolist()
+        values = [_canon_key_part(v) for v in vc.values.tolist()]
         if not vc.valid.all():
             valid = vc.valid
             values = [v if valid[i] else None for i, v in enumerate(values)]
@@ -226,13 +236,32 @@ def _key_tuples(key_columns: List[VColumn], n: int) -> List[Tuple[Any, ...]]:
 # ======================================================================
 # Table column cache
 # ======================================================================
-def _table_columns(table: Any, schema: StreamSchema) -> List[VColumn]:
-    """Columnar image of a heap table, cached on the table and
-    invalidated by its data version (bumped on insert/truncate)."""
+def _table_columns(
+    table: Any, schema: StreamSchema, snapshot: Any = None
+) -> Tuple[List[VColumn], int]:
+    """Columnar image of a heap table; returns ``(columns, row_count)``.
+
+    Flat tables (no in-flight MVCC versions) cache the image on the
+    table, invalidated by its data version -- which only moves at commit
+    boundaries, so cached images are always committed state.  Non-flat
+    tables build a transient image of exactly the rows visible to the
+    snapshot and never cache it: visibility is per-snapshot, and the
+    version counter does not move for uncommitted writes.
+    """
+    if not table.is_flat:
+        rows = [row for _row_id, row in table.visible_rows(snapshot)]
+        n = len(rows)
+        return (
+            [
+                _ingest_column([row[j] for row in rows], schema.type_at(j), n)
+                for j in range(schema.arity)
+            ],
+            n,
+        )
     version = table.data_version
     cached = table.runtime_cache.get("columnar")
     if cached is not None and cached[0] == version:
-        return cached[1]
+        return cached[1], table.row_count
     rows = table.rows()
     n = len(rows)
     vcolumns = [
@@ -240,7 +269,7 @@ def _table_columns(table: Any, schema: StreamSchema) -> List[VColumn]:
         for j in range(schema.arity)
     ]
     table.runtime_cache["columnar"] = (version, vcolumns)
-    return vcolumns
+    return vcolumns, n
 
 
 # ======================================================================
@@ -379,13 +408,12 @@ def _cstream_seq_scan(
     # identical to both row engines'.
     for page_no in range(table.page_count):
         ctx.read_page(op.table, page_no, sequential=True)
-    columns = _table_columns(table, schema)
+    columns, n = _table_columns(table, schema, ctx.snapshot)
     keep = (
         compile_vector_predicate(op.predicate, schema)
         if op.predicate is not None
         else None
     )
-    n = table.row_count
     for start in range(0, n, batch_size):
         stop = min(start + batch_size, n)
         cbatch = ColumnarBatch(
@@ -514,6 +542,8 @@ def _cstream_sort(
 def _cstream_distinct(
     op: DistinctP, catalog: Catalog, ctx: ExecContext
 ) -> Iterator[ColumnarBatch]:
+    from repro.engine.executor import _canon_key
+
     governor = ctx.governor
     seen = set()
     out: List[Row] = []
@@ -524,9 +554,10 @@ def _cstream_distinct(
                 governor.tick(cbatch.length)
             ctx.counters.rows_compared += cbatch.length
             for row in cbatch.to_rows():
-                if row not in seen:
+                key = _canon_key(row)
+                if key not in seen:
                     out.append(row)
-                    seen.add(row)
+                    seen.add(key)
     finally:
         child.close()
     _note_resident(ctx, op, len(out))
@@ -1005,3 +1036,9 @@ _COLUMNAR_HANDLERS = {
     StreamAggP: _cstream_stream_agg,
     HashAggP: _cstream_hash_agg,
 }
+
+# DML runs row-oriented on every engine; the adapters emit the one-row
+# rows_affected result as a columnar batch.
+from repro.engine.dml import register_columnar as _register_dml  # noqa: E402
+
+_register_dml(_COLUMNAR_HANDLERS)

@@ -90,6 +90,11 @@ class ExecCounters:
     degraded_operators: int = 0
     # Storage accesses suppressed fail-fast by an open circuit breaker.
     breaker_fast_fails: int = 0
+    # DML accounting: rows written (inserted + deleted + updated), heap
+    # pages dirtied, and WAL records buffered by the statement.
+    rows_written: int = 0
+    pages_written: int = 0
+    wal_appends: int = 0
 
     @property
     def total_page_reads(self) -> int:
@@ -172,6 +177,11 @@ class ExecContext:
         # query sat in the admission queue before executing.
         self.admission: Optional["AdmissionController"] = None
         self.queue_wait_seconds: float = 0.0
+        # MVCC: the snapshot every scan reads through (None = read
+        # latest committed, the legacy direct-execute behaviour) and the
+        # transaction DML statements write under.
+        self.snapshot: Optional[Any] = None
+        self.txn: Optional[Any] = None
 
     def begin_execution(self) -> None:
         """Arm the governor for one run (called by ``execute``)."""
@@ -246,6 +256,35 @@ class ExecContext:
         else:
             self.counters.random_page_reads += 1
 
+    def write_page(self, table: str, page_no: int) -> None:
+        """Account one heap-page write, with fault injection first.
+
+        The hook fires *before* the caller mutates the page, so an
+        injected fault (after retries are exhausted) aborts the
+        statement with the heap untouched -- statement-level atomicity
+        falls out of the write ordering rather than fix-up code.
+        """
+        if self.governor is not None:
+            self.governor.on_page_write()
+        if self.fault_injector is not None:
+            self._with_retries(
+                lambda: self.fault_injector.on_page_write(table, page_no),
+                site=table,
+            )
+        self.counters.pages_written += 1
+        self.buffer_pool.access((table, page_no))
+
+    def wal_append(self, site: str) -> None:
+        """Account buffering one WAL record, with fault injection first
+        (write-ahead ordering: the record is logged before the heap
+        mutation it describes)."""
+        if self.fault_injector is not None:
+            self._with_retries(
+                lambda: self.fault_injector.on_wal_append(site),
+                site=site,
+            )
+        self.counters.wal_appends += 1
+
     def index_lookup(self, fn: Callable[[], _T], site: str) -> _T:
         """Run one index lookup through fault injection and retries."""
         if self.fault_injector is None:
@@ -314,6 +353,13 @@ class QueryMetrics:
     queue_timeouts: int = 0
     queue_wait_seconds: float = 0.0
     breaker_fast_fails: int = 0
+    # Transactional-DML counters: DML statements executed, rows written,
+    # commits/aborts, and first-writer-wins conflicts raised.
+    dml_statements: int = 0
+    rows_written: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+    serialization_conflicts: int = 0
 
     def record_execution(self, context: "ExecContext", rows: int) -> None:
         """Fold one execution's observed work into the session totals."""
@@ -322,6 +368,7 @@ class QueryMetrics:
         self.pages_read += context.counters.total_page_reads
         self.fault_retries += context.counters.retries
         self.breaker_fast_fails += context.counters.breaker_fast_fails
+        self.rows_written += context.counters.rows_written
 
     def format(self) -> str:
         """Readable multi-line rendering (the shell's ``\\metrics``)."""
@@ -354,5 +401,10 @@ class QueryMetrics:
                 f"queue timeouts:           {self.queue_timeouts}",
                 f"queue wait total:         {self.queue_wait_seconds * 1000.0:.3f}ms",
                 f"breaker fast-fails:       {self.breaker_fast_fails}",
+                f"dml statements:           {self.dml_statements}",
+                f"rows written:             {self.rows_written}",
+                f"transactions committed:   {self.transactions_committed}",
+                f"transactions aborted:     {self.transactions_aborted}",
+                f"serialization conflicts:  {self.serialization_conflicts}",
             ]
         )

@@ -261,7 +261,7 @@ def _run_seq_scan(op: SeqScanP, catalog: Catalog, ctx: ExecContext) -> List[Row]
     out: List[Row] = []
     for page_no in range(table.page_count):
         ctx.read_page(op.table, page_no, sequential=True)
-    for _row_id, row in table.scan():
+    for _row_id, row in table.visible_rows(ctx.snapshot):
         if governor is not None:
             governor.tick()
         if op.predicate is not None:
@@ -306,6 +306,9 @@ def _run_index_scan(op: IndexScanP, catalog: Catalog, ctx: ExecContext) -> List[
     for row_id in row_ids:
         if governor is not None:
             governor.tick()
+        # Index entries are not versioned: filter dead versions here.
+        if not table.row_visible(row_id, ctx.snapshot):
+            continue
         ctx.read_page(op.table, table.page_of(row_id), sequential=clustered)
         row = table.fetch(row_id)
         if op.predicate is not None:
@@ -508,6 +511,8 @@ def _run_inl_join(op: INLJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]
                 matched_ids = ctx.index_lookup(lambda: index.seek(key), site)
         matched_rows: List[Row] = []
         for row_id in matched_ids:
+            if not table.row_visible(row_id, ctx.snapshot):
+                continue
             ctx.read_page(op.table, table.page_of(row_id), sequential=False)
             irow = table.fetch(row_id)
             if op.residual is not None:
@@ -534,11 +539,34 @@ def _run_inl_join(op: INLJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]
     return out
 
 
+# Canonical NaN sentinel.  IEEE 754 NaN is not equal to itself, which
+# makes a raw NaN useless as a dict/set key: two NaN-keyed rows hash to
+# different buckets (``hash(float("nan"))`` incorporates ``id`` on
+# CPython >= 3.10) and never compare equal.  SQL systems -- and SQLite,
+# our differential oracle -- treat NaN as a single grouping/distinct/join
+# key value.  Mapping every NaN to this one shared object restores that:
+# tuple equality short-circuits on identity before calling ``==``, so
+# two keys holding _NAN_KEY in the same slot compare (and hash) equal.
+_NAN_KEY = float("nan")
+
+
+def _canon_key_part(value: Any) -> Any:
+    """Map any float NaN to the shared sentinel; pass everything else."""
+    if isinstance(value, float) and value != value:
+        return _NAN_KEY
+    return value
+
+
+def _canon_key(values: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    """Canonicalize a key tuple so NaN equals NaN (see ``_NAN_KEY``)."""
+    return tuple(_canon_key_part(value) for value in values)
+
+
 def _key_getter(
     schema: StreamSchema, keys: Sequence[ColumnRef]
 ) -> Callable[[Row], Tuple[Any, ...]]:
     positions = [schema.position(ref) for ref in keys]
-    return lambda row: tuple(row[p] for p in positions)
+    return lambda row: tuple(_canon_key_part(row[p]) for p in positions)
 
 
 def _run_merge_join(op: MergeJoinP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
@@ -812,8 +840,9 @@ def _run_distinct(op: DistinctP, catalog: Catalog, ctx: ExecContext) -> List[Row
         if governor is not None:
             governor.tick()
         ctx.counters.rows_compared += 1
-        if row not in seen:
-            seen.add(row)
+        key = _canon_key(row)
+        if key not in seen:
+            seen.add(key)
             out.append(row)
     ctx.counters.rows_produced += len(out)
     return out
@@ -1042,7 +1071,7 @@ def _stream_seq_scan(
     for page_no in range(table.page_count):
         ctx.read_page(op.table, page_no, sequential=True)
     batch: Batch = []
-    for _row_id, row in table.scan():
+    for _row_id, row in table.visible_rows(ctx.snapshot):
         if op.predicate is not None:
             ctx.counters.rows_compared += 1
             if not keep(row):
@@ -1093,6 +1122,8 @@ def _stream_index_scan(
     # Data pages are fetched per matched row as the stream is pulled, so
     # a LIMIT above this scan stops the I/O, not just the row copies.
     for row_id in row_ids:
+        if not table.row_visible(row_id, ctx.snapshot):
+            continue
         ctx.read_page(op.table, table.page_of(row_id), sequential=clustered)
         row = table.fetch(row_id)
         if op.predicate is not None:
@@ -1402,6 +1433,8 @@ def _stream_inl_join(
                         matched_ids = ctx.index_lookup(lambda: index.seek(key), site)
                 matched_rows: List[Row] = []
                 for row_id in matched_ids:
+                    if not table.row_visible(row_id, ctx.snapshot):
+                        continue
                     ctx.read_page(op.table, table.page_of(row_id), sequential=False)
                     irow = table.fetch(row_id)
                     if residual is not None:
@@ -1745,9 +1778,10 @@ def _stream_distinct(
                 if governor is not None:
                     governor.tick()
                 ctx.counters.rows_compared += 1
-                if row not in seen:
+                key = _canon_key(row)
+                if key not in seen:
                     out.append(row)
-                    seen.add(row)
+                    seen.add(key)
     finally:
         child.close()
     _note_resident(ctx, op, len(out))
@@ -1857,3 +1891,10 @@ _STREAM_HANDLERS = {
     ApplyP: _stream_apply,
     ExchangeP: _stream_exchange,
 }
+
+
+# The DML module registers InsertP/UpdateP/DeleteP handlers into both
+# dispatch tables above when it finishes importing; importing it here
+# (after the tables exist) keeps direct ``execute()`` callers working
+# without a separate registration step.
+from repro.engine import dml as _dml  # noqa: E402,F401

@@ -48,12 +48,17 @@ class QueryBudget:
             produce (a runaway-join guard, checked at batch boundaries).
         max_page_reads: limit on physical page reads (buffer misses do
             not count; this bounds simulated I/O).
+        max_rows_written: limit on rows a DML statement may write (a
+            runaway-UPDATE guard).
+        max_pages_written: limit on heap pages a DML statement may dirty.
     """
 
     timeout_seconds: Optional[float] = None
     memory_limit_bytes: Optional[int] = None
     max_output_rows: Optional[int] = None
     max_page_reads: Optional[int] = None
+    max_rows_written: Optional[int] = None
+    max_pages_written: Optional[int] = None
 
     @property
     def unlimited(self) -> bool:
@@ -63,6 +68,8 @@ class QueryBudget:
             and self.memory_limit_bytes is None
             and self.max_output_rows is None
             and self.max_page_reads is None
+            and self.max_rows_written is None
+            and self.max_pages_written is None
         )
 
     def describe(self) -> str:
@@ -76,6 +83,10 @@ class QueryBudget:
             parts.append(f"rows={self.max_output_rows}")
         if self.max_page_reads is not None:
             parts.append(f"pages={self.max_page_reads}")
+        if self.max_rows_written is not None:
+            parts.append(f"rows_written={self.max_rows_written}")
+        if self.max_pages_written is not None:
+            parts.append(f"pages_written={self.max_pages_written}")
         return ", ".join(parts) if parts else "unlimited"
 
 
@@ -132,6 +143,8 @@ class ResourceGovernor:
         self._started_at: Optional[float] = None
         self._ticks = 0
         self.page_reads = 0
+        self.rows_written = 0
+        self.pages_written = 0
         self.memory_high_water_bytes = 0
         self.reoptimizations = 0
 
@@ -140,6 +153,8 @@ class ResourceGovernor:
         self._started_at = self._clock()
         self._ticks = 0
         self.page_reads = 0
+        self.rows_written = 0
+        self.pages_written = 0
         self.memory_high_water_bytes = 0
         self.reoptimizations = 0
         if self.budget.timeout_seconds is not None:
@@ -188,6 +203,34 @@ class ResourceGovernor:
                 resource="page_reads",
                 limit=limit,
                 used=self.page_reads,
+            )
+        self.tick()
+
+    def on_rows_written(self, rows: int = 1) -> None:
+        """Account rows written by a DML statement against the budget."""
+        self.rows_written += rows
+        limit = self.budget.max_rows_written
+        if limit is not None and self.rows_written > limit:
+            raise ResourceError(
+                f"statement wrote {self.rows_written} rows, over the "
+                f"{limit}-row write budget",
+                resource="rows_written",
+                limit=limit,
+                used=self.rows_written,
+            )
+        self.tick(rows)
+
+    def on_page_write(self) -> None:
+        """Account one dirtied heap page against the budget."""
+        self.pages_written += 1
+        limit = self.budget.max_pages_written
+        if limit is not None and self.pages_written > limit:
+            raise ResourceError(
+                f"statement dirtied {self.pages_written} pages, over the "
+                f"{limit}-page write budget",
+                resource="pages_written",
+                limit=limit,
+                used=self.pages_written,
             )
         self.tick()
 

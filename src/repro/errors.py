@@ -236,6 +236,37 @@ class CircuitBreakerOpen(StorageError):
         self.site = site
 
 
+class TransactionError(ReproError):
+    """A transaction operation was invalid (COMMIT outside a transaction,
+    nested BEGIN, statement on an already-finished transaction...)."""
+
+
+class SerializationError(TransactionError):
+    """A write-write conflict under first-writer-wins MVCC.
+
+    Two transactions tried to update or delete the same row version; the
+    second writer loses and must retry against a fresh snapshot.
+    Retryable by definition: re-running the statement in a new
+    transaction sees the winner's committed version and proceeds.
+
+    Attributes:
+        table: the table the conflicting write targeted.
+        row_id: the physical row the two writers collided on.
+    """
+
+    retryable = True
+
+    def __init__(
+        self,
+        message: str = "write-write conflict: row already written by a concurrent transaction",
+        table: str = "",
+        row_id: int = -1,
+    ) -> None:
+        super().__init__(message)
+        self.table = table
+        self.row_id = row_id
+
+
 class PrepareError(ReproError):
     """A prepared-statement operation failed (unknown name, bad arity...)."""
 

@@ -1,0 +1,61 @@
+"""Bound logical DML statements.
+
+DML sits outside the QGM select machinery: an INSERT/UPDATE/DELETE has a
+single target table, no join enumeration, and no interesting orders, so
+the binder produces these small bound forms directly instead of query
+blocks.  Expressions are fully resolved (:mod:`repro.expr.expressions`
+``Expr`` trees): SET and VALUES right-hand sides may be arbitrary scalar
+expressions, the WHERE predicate is bound against the target table's
+columns, and an INSERT ... SELECT carries the bound source block for the
+optimizer to plan like any other query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.expr.expressions import Expr
+from repro.logical.qgm import QueryBlock
+
+
+@dataclass
+class LogicalInsert:
+    """INSERT with literal/expression VALUES rows or a SELECT source.
+
+    Attributes:
+        table: target table name.
+        rows: bound VALUES rows, each already widened to full schema
+            order (missing columns filled with NULL literals).
+        select: bound source block for INSERT ... SELECT (``rows`` empty).
+        select_positions: for INSERT ... SELECT, maps each target schema
+            position to the source column position (None -> NULL).
+    """
+
+    table: str
+    rows: List[List[Expr]] = field(default_factory=list)
+    select: Optional[QueryBlock] = None
+    select_positions: Optional[List[Optional[int]]] = None
+
+
+@dataclass
+class LogicalUpdate:
+    """UPDATE with bound SET expressions and an optional predicate.
+
+    Attributes:
+        table: target table name.
+        assignments: (schema column position, value expression) pairs.
+        predicate: bound WHERE predicate, or None for all rows.
+    """
+
+    table: str
+    assignments: List[Tuple[int, Expr]] = field(default_factory=list)
+    predicate: Optional[Expr] = None
+
+
+@dataclass
+class LogicalDelete:
+    """DELETE with an optional bound predicate."""
+
+    table: str
+    predicate: Optional[Expr] = None

@@ -743,6 +743,107 @@ class CheckpointSourceP(PhysicalOp):
         return f"CheckpointSource({len(self.rows)} rows{suffix})"
 
 
+# ----------------------------------------------------------------------
+# DML
+# ----------------------------------------------------------------------
+DML_SCHEMA = StreamSchema((("dml", "rows_affected"),))
+
+
+class DmlOp(PhysicalOp):
+    """Base of the write operators: one output row, ``(rows_affected,)``.
+
+    DML plans are built directly by the optimizer (no join enumeration):
+    the target scan is embedded in the operator rather than modelled as
+    a child, because the write loop must interleave visibility checks,
+    WAL buffering, and heap mutation per matched row.
+    """
+
+    def __init__(self, table: str) -> None:
+        super().__init__()
+        if not table:
+            raise PlanError("DML operator requires a target table")
+        self.table = table
+        self.est_rows = 1.0
+
+    def output_schema(self) -> StreamSchema:
+        return DML_SCHEMA
+
+
+class InsertP(DmlOp):
+    """INSERT: literal/expression rows, or a planned SELECT source.
+
+    Attributes:
+        rows: bound VALUES rows in full schema order (empty for
+            INSERT ... SELECT).
+        source: physical plan producing source rows, or None.
+        select_positions: target-position -> source-position map for
+            INSERT ... SELECT (None entries insert NULL).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        rows: Sequence[Sequence[Expr]] = (),
+        source: Optional[PhysicalOp] = None,
+        select_positions: Optional[Sequence[Optional[int]]] = None,
+    ) -> None:
+        super().__init__(table)
+        if source is None and not rows:
+            raise PlanError("INSERT requires VALUES rows or a source plan")
+        if source is not None and rows:
+            raise PlanError("INSERT cannot have both VALUES rows and a source")
+        self.rows = tuple(tuple(row) for row in rows)
+        self.source = source
+        self.select_positions = (
+            tuple(select_positions) if select_positions is not None else None
+        )
+
+    def children(self) -> Tuple[PhysicalOp, ...]:
+        return (self.source,) if self.source is not None else ()
+
+    def _label(self) -> str:
+        if self.source is not None:
+            return f"Insert({self.table} from select)"
+        return f"Insert({self.table}, {len(self.rows)} rows)"
+
+
+class UpdateP(DmlOp):
+    """UPDATE: self-contained visible-row scan, SET evaluation, write.
+
+    Attributes:
+        assignments: (schema position, bound value expression) pairs.
+        predicate: bound row filter, or None for every visible row.
+    """
+
+    def __init__(
+        self,
+        table: str,
+        assignments: Sequence[Tuple[int, Expr]],
+        predicate: Optional[Expr] = None,
+    ) -> None:
+        super().__init__(table)
+        if not assignments:
+            raise PlanError("UPDATE requires at least one assignment")
+        self.assignments = tuple(assignments)
+        self.predicate = predicate
+
+    def _label(self) -> str:
+        suffix = " filtered" if self.predicate is not None else ""
+        return f"Update({self.table}, {len(self.assignments)} cols{suffix})"
+
+
+class DeleteP(DmlOp):
+    """DELETE: self-contained visible-row scan and delete-mark loop."""
+
+    def __init__(self, table: str, predicate: Optional[Expr] = None) -> None:
+        super().__init__(table)
+        self.predicate = predicate
+
+    def _label(self) -> str:
+        suffix = " filtered" if self.predicate is not None else ""
+        return f"Delete({self.table}{suffix})"
+
+
 def plan_signature(op: PhysicalOp) -> str:
     """Structural identity of a subtree, ignoring CHECK wrappers.
 

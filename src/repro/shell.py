@@ -10,6 +10,8 @@ Statements beyond SELECT:
     PREPARE <name> AS <select>  optimize once (use ? for parameters)
     EXECUTE <name> (v, ...)     run a prepared statement with values
     DEALLOCATE <name>           drop a prepared statement
+    INSERT / UPDATE / DELETE    transactional DML (autocommit by default)
+    BEGIN / COMMIT / ROLLBACK   explicit transactions (snapshot isolation)
 
 Meta-commands (backslash-prefixed):
 
@@ -335,9 +337,14 @@ class Shell:
                     signal.SIGINT,
                     previous if previous is not None else signal.SIG_DFL,
                 )
+        if result.kind == "dml":
+            affected = result.rows[0][0] if result.rows else 0
+            plural = "" if affected == 1 else "s"
+            return f"({affected} row{plural} affected)"
         if result.kind != "select":
-            # EXPLAIN / PREPARE / DEALLOCATE results are rendered text;
-            # print the body without the tabular row/page footer.
+            # EXPLAIN / PREPARE / DEALLOCATE / BEGIN / COMMIT / ROLLBACK
+            # results are rendered text; print the body without the
+            # tabular row/page footer.
             return "\n".join(str(row[0]) for row in result.rows)
         body = self._format_rows(result.column_names, result.rows)
         counters = result.context.counters

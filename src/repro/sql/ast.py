@@ -245,7 +245,54 @@ class DeallocateStmt:
     name: str
 
 
+@dataclass
+class InsertStmt:
+    """``INSERT INTO t [(col, ...)] VALUES (...), ...`` or
+    ``INSERT INTO t [(col, ...)] <select>``."""
+
+    table: str
+    columns: List[str] = field(default_factory=list)
+    values: List[List[AstExpr]] = field(default_factory=list)
+    select: Optional[SelectStmt] = None
+    param_count: int = 0
+
+
+@dataclass
+class UpdateStmt:
+    """``UPDATE t SET col = expr, ... [WHERE ...]``."""
+
+    table: str
+    assignments: List[Tuple[str, AstExpr]] = field(default_factory=list)
+    where: Optional[AstExpr] = None
+    param_count: int = 0
+
+
+@dataclass
+class DeleteStmt:
+    """``DELETE FROM t [WHERE ...]``."""
+
+    table: str
+    where: Optional[AstExpr] = None
+    param_count: int = 0
+
+
+@dataclass
+class BeginStmt:
+    """``BEGIN [TRANSACTION|WORK]``: open an explicit transaction."""
+
+
+@dataclass
+class CommitStmt:
+    """``COMMIT [TRANSACTION|WORK]``: commit the open transaction."""
+
+
+@dataclass
+class RollbackStmt:
+    """``ROLLBACK [TRANSACTION|WORK]``: abort the open transaction."""
+
+
 # Every statement kind the front end can dispatch on.
 Statement = Union[
-    SelectStmt, ExplainStmt, PrepareStmt, ExecuteStmt, DeallocateStmt
+    SelectStmt, ExplainStmt, PrepareStmt, ExecuteStmt, DeallocateStmt,
+    InsertStmt, UpdateStmt, DeleteStmt, BeginStmt, CommitStmt, RollbackStmt,
 ]

@@ -30,6 +30,7 @@ from repro.expr.expressions import (
     Param,
     UdfCall,
 )
+from repro.logical.dml import LogicalDelete, LogicalInsert, LogicalUpdate
 from repro.logical.operators import ProjectItem
 from repro.logical.qgm import (
     QueryBlock,
@@ -55,8 +56,11 @@ from repro.sql.ast import (
     AstNot,
     AstParam,
     AstScalarSubquery,
+    DeleteStmt,
+    InsertStmt,
     JoinType,
     SelectStmt,
+    UpdateStmt,
 )
 from repro.sql.parser import parse
 
@@ -161,6 +165,113 @@ class Binder:
     def bind_sql(self, sql: str) -> QueryBlock:
         """Parse and bind SQL text."""
         return self.bind(parse(sql))
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _dml_schema(self, table: str):
+        if not self.catalog.has_table(table):
+            raise BindError(f"unknown table {table!r} (DML targets base tables)")
+        return self.catalog.schema(table)
+
+    def _target_positions(self, schema, columns: Sequence[str]) -> List[int]:
+        """Schema positions of an INSERT column list (full schema order
+        when the list is omitted)."""
+        names = schema.column_names
+        if not columns:
+            return list(range(len(names)))
+        positions: List[int] = []
+        seen = set()
+        for column in columns:
+            if column not in names:
+                raise BindError(
+                    f"no column {column!r} in table {schema.name!r}"
+                )
+            if column in seen:
+                raise BindError(f"duplicate column {column!r} in INSERT list")
+            seen.add(column)
+            positions.append(names.index(column))
+        return positions
+
+    def bind_insert(self, stmt: InsertStmt) -> LogicalInsert:
+        """Bind INSERT ... VALUES / INSERT ... SELECT against the catalog."""
+        schema = self._dml_schema(stmt.table)
+        positions = self._target_positions(schema, stmt.columns)
+        width = len(schema.column_names)
+        if stmt.select is not None:
+            source = self._bind_select(stmt.select, outer_scopes=[])
+            if len(source.select_items) != len(positions):
+                raise BindError(
+                    f"INSERT target has {len(positions)} columns but the "
+                    f"SELECT produces {len(source.select_items)}"
+                )
+            select_positions: List[Optional[int]] = [None] * width
+            for source_pos, target_pos in enumerate(positions):
+                select_positions[target_pos] = source_pos
+            return LogicalInsert(
+                table=stmt.table,
+                select=source,
+                select_positions=select_positions,
+            )
+        # VALUES rows: expressions are bound against an *empty* scope --
+        # column references have nothing to resolve to and fail typed.
+        block = QueryBlock(label=fresh_block_label())
+        rows: List[List[Expr]] = []
+        for values in stmt.values:
+            if len(values) != len(positions):
+                raise BindError(
+                    f"INSERT row has {len(values)} values for "
+                    f"{len(positions)} target columns"
+                )
+            widened: List[Expr] = [Literal(None)] * width
+            for value, target_pos in zip(values, positions):
+                widened[target_pos] = self._bind_scalar(value, [], block)
+            rows.append(widened)
+        return LogicalInsert(table=stmt.table, rows=rows)
+
+    def _dml_scope(self, table: str, block: QueryBlock) -> _Scope:
+        """A single-quantifier scope addressing the target table by its
+        own name (``UPDATE Emp SET ... WHERE Emp.age > 5`` or bare
+        ``age > 5`` both resolve)."""
+        scope = _Scope(self.catalog, block)
+        scope.add_quantifier(Quantifier(alias=table, table=table))
+        return scope
+
+    def bind_update(self, stmt: UpdateStmt) -> LogicalUpdate:
+        """Bind UPDATE: SET expressions and WHERE see the target's columns."""
+        schema = self._dml_schema(stmt.table)
+        block = QueryBlock(label=fresh_block_label())
+        scopes = [self._dml_scope(stmt.table, block)]
+        names = schema.column_names
+        assignments: List[Tuple[int, Expr]] = []
+        assigned = set()
+        for column, expr in stmt.assignments:
+            if column not in names:
+                raise BindError(
+                    f"no column {column!r} in table {schema.name!r}"
+                )
+            if column in assigned:
+                raise BindError(f"column {column!r} SET twice")
+            assigned.add(column)
+            assignments.append(
+                (names.index(column), self._bind_scalar(expr, scopes, block))
+            )
+        predicate = None
+        if stmt.where is not None:
+            predicate = self._bind_scalar(stmt.where, scopes, block)
+        return LogicalUpdate(
+            table=stmt.table, assignments=assignments, predicate=predicate
+        )
+
+    def bind_delete(self, stmt: DeleteStmt) -> LogicalDelete:
+        """Bind DELETE: WHERE sees the target's columns."""
+        self._dml_schema(stmt.table)
+        block = QueryBlock(label=fresh_block_label())
+        scopes = [self._dml_scope(stmt.table, block)]
+        predicate = None
+        if stmt.where is not None:
+            predicate = self._bind_scalar(stmt.where, scopes, block)
+        return LogicalDelete(table=stmt.table, predicate=predicate)
 
     # ------------------------------------------------------------------
     def _bind_select(

@@ -15,6 +15,8 @@ KEYWORDS = {
     "BETWEEN", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE",
     "CREATE", "VIEW", "EXPLAIN", "ANALYZE", "PREPARE", "EXECUTE",
     "DEALLOCATE", "LIMIT", "OFFSET",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "BEGIN", "COMMIT", "ROLLBACK", "TRANSACTION", "WORK",
 }
 
 

@@ -34,17 +34,23 @@ from repro.sql.ast import (
     AstNot,
     AstParam,
     AstScalarSubquery,
+    BeginStmt,
+    CommitStmt,
     DeallocateStmt,
+    DeleteStmt,
     ExecuteStmt,
     ExplainStmt,
     FromItem,
+    InsertStmt,
     JoinType,
     OrderItem,
     PrepareStmt,
+    RollbackStmt,
     SelectItem,
     SelectStmt,
     Statement,
     TableRef,
+    UpdateStmt,
 )
 from repro.sql.lexer import Token, TokenType, tokenize
 
@@ -202,7 +208,98 @@ class _Parser:
         if token.is_keyword("DEALLOCATE"):
             self._next()
             return DeallocateStmt(name=self._expect_ident())
+        if token.is_keyword("INSERT"):
+            return self._parse_insert()
+        if token.is_keyword("UPDATE"):
+            return self._parse_update()
+        if token.is_keyword("DELETE"):
+            return self._parse_delete()
+        if token.is_keyword("BEGIN"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return BeginStmt()
+        if token.is_keyword("COMMIT"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return CommitStmt()
+        if token.is_keyword("ROLLBACK"):
+            self._next()
+            self._accept_keyword("TRANSACTION", "WORK")
+            return RollbackStmt()
         stmt = self.parse_select()
+        stmt.param_count = self.param_count
+        return stmt
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _parse_insert(self) -> InsertStmt:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_ident()
+        columns: List[str] = []
+        if self._accept_punct("("):
+            columns.append(self._expect_ident())
+            while self._accept_punct(","):
+                columns.append(self._expect_ident())
+            self._expect_punct(")")
+        if self._accept_keyword("VALUES"):
+            values = [self._parse_values_row()]
+            while self._accept_punct(","):
+                values.append(self._parse_values_row())
+            stmt = InsertStmt(table=table, columns=columns, values=values)
+        elif self._peek().is_keyword("SELECT"):
+            select = self.parse_select()
+            select.param_count = self.param_count
+            stmt = InsertStmt(table=table, columns=columns, select=select)
+        else:
+            raise ParseError(
+                "expected VALUES or SELECT after INSERT INTO",
+                self._peek().position,
+            )
+        stmt.param_count = self.param_count
+        return stmt
+
+    def _parse_values_row(self) -> List[AstExpr]:
+        self._expect_punct("(")
+        row = [self._parse_expr()]
+        while self._accept_punct(","):
+            row.append(self._parse_expr())
+        self._expect_punct(")")
+        return row
+
+    def _parse_update(self) -> UpdateStmt:
+        self._expect_keyword("UPDATE")
+        table = self._expect_ident()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punct(","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_predicate()
+        stmt = UpdateStmt(table=table, assignments=assignments, where=where)
+        stmt.param_count = self.param_count
+        return stmt
+
+    def _parse_assignment(self):
+        column = self._expect_ident()
+        token = self._next()
+        if token.type is not TokenType.OPERATOR or token.value != "=":
+            raise ParseError(
+                f"expected '=' in SET assignment, got {token.value!r}",
+                token.position,
+            )
+        return (column, self._parse_expr())
+
+    def _parse_delete(self) -> DeleteStmt:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_ident()
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_predicate()
+        stmt = DeleteStmt(table=table, where=where)
         stmt.param_count = self.param_count
         return stmt
 

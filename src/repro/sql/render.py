@@ -48,11 +48,14 @@ from repro.sql.ast import (
     AstNot,
     AstParam,
     AstScalarSubquery,
+    DeleteStmt,
     FromItem,
+    InsertStmt,
     JoinType,
     OrderItem,
     SelectItem,
     SelectStmt,
+    UpdateStmt,
 )
 
 SQLITE = "sqlite"
@@ -104,6 +107,61 @@ def render_select(stmt: SelectStmt, dialect: str = REPRO) -> str:
 def render_sqlite(stmt: SelectStmt) -> str:
     """Shorthand: render for the stdlib ``sqlite3`` oracle."""
     return render_select(stmt, SQLITE)
+
+
+def render_insert(stmt: InsertStmt, dialect: str = REPRO) -> str:
+    """Render an INSERT statement for the given dialect."""
+    if dialect not in _DIALECTS:
+        raise RenderError(f"unknown dialect {dialect!r}")
+    parts = [f"INSERT INTO {stmt.table}"]
+    if stmt.columns:
+        parts.append(f"({', '.join(stmt.columns)})")
+    if stmt.select is not None:
+        parts.append(render_select(stmt.select, dialect))
+    else:
+        rows = ", ".join(
+            f"({', '.join(_expr(value, dialect) for value in row)})"
+            for row in stmt.values
+        )
+        parts.append(f"VALUES {rows}")
+    return " ".join(parts)
+
+
+def render_update(stmt: UpdateStmt, dialect: str = REPRO) -> str:
+    """Render an UPDATE statement for the given dialect."""
+    if dialect not in _DIALECTS:
+        raise RenderError(f"unknown dialect {dialect!r}")
+    assignments = ", ".join(
+        f"{column} = {_expr(value, dialect)}"
+        for column, value in stmt.assignments
+    )
+    text = f"UPDATE {stmt.table} SET {assignments}"
+    if stmt.where is not None:
+        text += f" WHERE {_expr(stmt.where, dialect)}"
+    return text
+
+
+def render_delete(stmt: DeleteStmt, dialect: str = REPRO) -> str:
+    """Render a DELETE statement for the given dialect."""
+    if dialect not in _DIALECTS:
+        raise RenderError(f"unknown dialect {dialect!r}")
+    text = f"DELETE FROM {stmt.table}"
+    if stmt.where is not None:
+        text += f" WHERE {_expr(stmt.where, dialect)}"
+    return text
+
+
+def render_dml(
+    stmt: "InsertStmt | UpdateStmt | DeleteStmt", dialect: str = REPRO
+) -> str:
+    """Render any DML statement for the given dialect."""
+    if isinstance(stmt, InsertStmt):
+        return render_insert(stmt, dialect)
+    if isinstance(stmt, UpdateStmt):
+        return render_update(stmt, dialect)
+    if isinstance(stmt, DeleteStmt):
+        return render_delete(stmt, dialect)
+    raise RenderError(f"cannot render statement type {type(stmt).__name__}")
 
 
 # ----------------------------------------------------------------------

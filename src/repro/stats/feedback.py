@@ -288,6 +288,23 @@ class CardinalityFeedback:
         with self._lock:
             self._entries.clear()
 
+    def invalidate_table(self, table: str) -> int:
+        """Drop every fingerprint referencing ``table``.
+
+        Called from the commit hook after DML: selectivities learned
+        against the old contents are stale the moment a write commits.
+        Fingerprints embed column references as ``Table.column`` (see
+        :func:`fingerprint`), so a substring probe on ``"Table."`` finds
+        every predicate that touches the table.  Returns the number of
+        entries dropped.
+        """
+        needle = f"{table}."
+        with self._lock:
+            stale = [key for key in self._entries if needle in key]
+            for key in stale:
+                del self._entries[key]
+            return len(stale)
+
     def format(self, limit: int = 20) -> str:
         """Readable rendering for the shell's ``\\feedback``."""
         header = (

@@ -46,6 +46,12 @@ class FaultConfig:
             (per thread: stream ``i`` is seeded from ``(seed, i)``).
         page_read_error_rate: probability a page read raises.
         index_lookup_error_rate: probability an index lookup raises.
+        page_write_error_rate: probability a page write raises (the DML
+            path consults this before mutating a heap page, so a fault
+            aborts the statement with the table untouched).
+        wal_append_error_rate: probability buffering a WAL record raises
+            (write-ahead ordering: the fault fires before the mutation
+            the record describes).
         latency_rate: probability an access accrues simulated latency.
         latency_seconds: simulated latency per injected slow access
             (accounted, not slept, so chaos suites stay fast).
@@ -56,6 +62,8 @@ class FaultConfig:
     seed: int = 0
     page_read_error_rate: float = 0.0
     index_lookup_error_rate: float = 0.0
+    page_write_error_rate: float = 0.0
+    wal_append_error_rate: float = 0.0
     latency_rate: float = 0.0
     latency_seconds: float = 0.0
     sites: Optional[Tuple[str, ...]] = None
@@ -151,6 +159,32 @@ class FaultInjector:
         rate = self.config.index_lookup_error_rate
         if rate > 0.0 and rng.random() < rate:
             self._fault(site, "index-lookup")
+
+    def on_page_write(self, site: str, page_no: int) -> None:
+        """Chaos hook for one page write; may raise TransientStorageError.
+
+        Fires *before* the heap mutation, so an injected write fault
+        leaves the page untouched and statement rollback restores the
+        pre-statement image exactly.
+        """
+        if not self._applies_to(site):
+            return
+        rng = self._rng()
+        self._maybe_latency(rng)
+        rate = self.config.page_write_error_rate
+        if rate > 0.0 and rng.random() < rate:
+            self._fault(site, "page-write")
+
+    def on_wal_append(self, site: str) -> None:
+        """Chaos hook for buffering one WAL record; may raise
+        TransientStorageError (before the mutation it describes)."""
+        if not self._applies_to(site):
+            return
+        rng = self._rng()
+        self._maybe_latency(rng)
+        rate = self.config.wal_append_error_rate
+        if rate > 0.0 and rng.random() < rate:
+            self._fault(site, "wal-append")
 
     def jitter(self) -> float:
         """Deterministic backoff jitter in [0, 1) from the calling

@@ -70,6 +70,22 @@ class OrderedIndex:
         self._keys = [entry[0] for entry in entries]
         self._row_ids = [entry[1] for entry in entries]
 
+    def insert_entry(self, row: Sequence[Any], row_id: int) -> None:
+        """Incrementally index one newly inserted row.
+
+        Keys with NULL components are skipped, matching :meth:`build`.
+        Uniqueness is *not* enforced here: under MVCC the heap may hold
+        dead versions sharing the key, so duplicate detection is deferred
+        to the next full rebuild (vacuum/recovery).  Dead entries are
+        filtered by visibility checks at read time.
+        """
+        key = tuple(row[position] for position in self._column_positions)
+        if any(part is None for part in key):
+            return
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._row_ids.insert(position, row_id)
+
     # ------------------------------------------------------------------
     # Modelled size
     # ------------------------------------------------------------------
@@ -212,6 +228,13 @@ class HashIndex:
                         f"{self.definition.name!r}"
                     )
         self._buckets = buckets
+
+    def insert_entry(self, row: Sequence[Any], row_id: int) -> None:
+        """Incrementally index one newly inserted row (NULL keys skipped)."""
+        key = tuple(row[position] for position in self._column_positions)
+        if any(part is None for part in key):
+            return
+        self._buckets.setdefault(key, []).append(row_id)
 
     @property
     def entry_count(self) -> int:

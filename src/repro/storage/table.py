@@ -10,10 +10,10 @@ model's vocabulary.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.schema import TableSchema
-from repro.errors import StorageError
+from repro.errors import SerializationError, StorageError
 
 DEFAULT_PAGE_SIZE_BYTES = 8192
 
@@ -47,6 +47,18 @@ class HeapTable:
         # matches the version it was built against.
         self._data_version = 0
         self.runtime_cache: dict = {}
+        # MVCC version metadata, kept *sparse*: a row id appears in these
+        # dicts only when a transaction created or deleted it.  A table
+        # with both dicts empty is "flat" -- every row is committed and
+        # visible -- and all read paths skip visibility checks entirely,
+        # so read-only workloads pay nothing for the machinery.
+        self._xmin: Dict[int, int] = {}
+        self._xmax: Dict[int, int] = {}
+        # Live reference to the transaction manager's aborted-txid set,
+        # installed when the first transaction writes to this table; lets
+        # snapshot-free readers (legacy direct-execute paths) skip rows
+        # created by aborted transactions.
+        self._mvcc_aborted: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -69,8 +81,125 @@ class HeapTable:
     def truncate(self) -> None:
         """Remove all rows."""
         self._rows.clear()
+        self._xmin.clear()
+        self._xmax.clear()
         self._data_version += 1
         self.runtime_cache.clear()
+
+    # ------------------------------------------------------------------
+    # MVCC version store
+    # ------------------------------------------------------------------
+    @property
+    def is_flat(self) -> bool:
+        """Whether every row is committed-visible (no version metadata).
+
+        Flat tables take the fast read paths: raw ``scan()``, cached
+        columnar images, no per-row visibility checks.
+        """
+        return not self._xmin and not self._xmax
+
+    def bump_data_version(self) -> None:
+        """Advance the mutation counter (called once per commit per table,
+        never mid-statement, so cached plans and column images only ever
+        observe committed states)."""
+        self._data_version += 1
+
+    def attach_mvcc(self, aborted: Set[int]) -> None:
+        """Install the transaction manager's live aborted-txid set."""
+        self._mvcc_aborted = aborted
+
+    def mvcc_insert(self, row: Sequence[Any], txid: int) -> int:
+        """Append a row created by ``txid``; invisible to other snapshots
+        until that transaction commits.  Does NOT bump ``data_version`` --
+        version bumps happen at commit only."""
+        validated = self.schema.validate_row(row)
+        self._rows.append(validated)
+        row_id = len(self._rows) - 1
+        self._xmin[row_id] = txid
+        return row_id
+
+    def mvcc_delete(self, row_id: int, txid: int) -> None:
+        """Mark a row deleted by ``txid`` (first-writer-wins).
+
+        Raises:
+            SerializationError: a concurrent, non-aborted transaction
+                already deleted (or updated) this row version.
+            StorageError: the row id is out of range.
+        """
+        if not 0 <= row_id < len(self._rows):
+            raise StorageError(
+                f"row id {row_id} out of range for table {self.schema.name!r}"
+            )
+        current = self._xmax.get(row_id, 0)
+        if current and current != txid and current not in self._mvcc_aborted:
+            raise SerializationError(
+                f"row {row_id} of {self.schema.name!r} already written by "
+                f"concurrent transaction {current}",
+                table=self.schema.name,
+                row_id=row_id,
+            )
+        self._xmax[row_id] = txid
+
+    def undo_insert(self, row_id: int, txid: int) -> None:
+        """Undo an insert by marking the row self-deleted; with
+        ``xmin == xmax == txid`` the row is invisible to every snapshot
+        (including its creator) and is reclaimed by the next vacuum."""
+        self._xmax[row_id] = txid
+
+    def undo_delete(self, row_id: int) -> None:
+        """Undo a delete mark, releasing the row version for other writers."""
+        self._xmax.pop(row_id, None)
+
+    def row_visible(self, row_id: int, snapshot: Optional[Any] = None) -> bool:
+        """Whether a row version is visible to ``snapshot``.
+
+        With ``snapshot=None`` (legacy direct-execute paths) the check is
+        read-latest: rows from aborted transactions and committed deletes
+        are hidden, everything else is visible.
+        """
+        if not self._xmin and not self._xmax:
+            return True
+        xmin = self._xmin.get(row_id, 0)
+        xmax = self._xmax.get(row_id, 0)
+        if snapshot is None:
+            if xmin and xmin in self._mvcc_aborted:
+                return False
+            return not xmax or xmax in self._mvcc_aborted
+        aborted = snapshot.aborted
+        if xmin and xmin != snapshot.txid:
+            # Created by someone else: must have committed before us.
+            if xmin in aborted or xmin >= snapshot.high or xmin in snapshot.active:
+                return False
+        if not xmax:
+            return True
+        if xmax == snapshot.txid:
+            return False  # our own delete
+        # Deleted by someone else: the delete hides the row only if the
+        # deleter committed before our snapshot.
+        if xmax in aborted or xmax >= snapshot.high or xmax in snapshot.active:
+            return True
+        return False
+
+    def visible_rows(
+        self, snapshot: Optional[Any] = None
+    ) -> Iterator[Tuple[int, Row]]:
+        """Yield visible ``(row_id, row)`` pairs in heap order."""
+        if not self._xmin and not self._xmax:
+            return enumerate(iter(self._rows))
+        return (
+            (row_id, row)
+            for row_id, row in enumerate(self._rows)
+            if self.row_visible(row_id, snapshot)
+        )
+
+    def replace_rows(self, rows: List[Row]) -> None:
+        """Swap in a fully-committed row image (vacuum / crash recovery):
+        clears all version metadata and cached derived images."""
+        self._rows = list(rows)
+        self._xmin.clear()
+        self._xmax.clear()
+        self.runtime_cache.clear()
+        self._data_version += 1
 
     # ------------------------------------------------------------------
     # Access

@@ -516,30 +516,107 @@ def test_nan_round_trips_through_columnar_batches():
     assert math.isnan(out[0][0]) and out[1][0] is None and out[2][0] == 1.0
 
 
+def test_nan_is_one_group_key_in_every_backend(nan_db):
+    """NaN groups with NaN: one group, one distinct value, all backends.
+
+    ``float('nan') != float('nan')`` would make every NaN its own group
+    under naive dict hashing (two Python NaN objects hash alike but
+    compare unequal), silently diverging from SQL semantics where
+    grouping treats values as *distinct-or-not*, not IEEE-equal.  The
+    engines canonicalize NaN key parts to one shared sentinel; this pin
+    holds for group-by, DISTINCT, and join keys alike.
+    """
+    for legacy, interp, compiled, columnar in (
+        _all_engines(
+            nan_db,
+            "SELECT F.x AS x, COUNT(*) AS c FROM Flo F"
+            " WHERE F.x IS NOT NULL GROUP BY F.x",
+        ),
+    ):
+        for rows in (legacy, interp, compiled, columnar):
+            assert len(rows) == 3, f"NaN split into multiple groups: {rows}"
+            nan_groups = [
+                row for row in rows
+                if isinstance(row[0], float) and math.isnan(row[0])
+            ]
+            assert len(nan_groups) == 1
+            assert nan_groups[0][1] == 1
+
+
+def test_nan_is_one_distinct_value_in_every_backend():
+    db = Database()
+    flo = db.catalog.create_table(
+        "Flo", [Column("x", ColumnType.FLOAT), Column("k", ColumnType.INT)]
+    )
+    # Several distinct NaN objects: identity-based dedup would keep all.
+    flo.insert_many(
+        [(float("nan"), 1), (float("nan"), 2), (float("nan"), 3), (1.0, 4)]
+    )
+    db.analyze()
+    for rows in _all_engines(db, "SELECT DISTINCT F.x AS x FROM Flo F"):
+        assert len(rows) == 2, f"NaN deduplicated wrong: {rows}"
+        assert sum(
+            1 for row in rows
+            if isinstance(row[0], float) and math.isnan(row[0])
+        ) == 1
+
+
+def test_nan_join_keys_match_in_every_backend():
+    """A NaN key on both sides of an equijoin produces the match."""
+    db = Database()
+    left = db.catalog.create_table(
+        "L", [Column("x", ColumnType.FLOAT), Column("a", ColumnType.INT)]
+    )
+    right = db.catalog.create_table(
+        "R", [Column("x", ColumnType.FLOAT), Column("b", ColumnType.INT)]
+    )
+    left.insert_many([(float("nan"), 1), (1.0, 2), (None, 3)])
+    right.insert_many([(float("nan"), 10), (1.0, 20), (None, 30)])
+    db.analyze()
+    sql = (
+        "SELECT L.a AS a, R.b AS b FROM L, R WHERE L.x = R.x"
+        " ORDER BY L.a ASC, R.b ASC"
+    )
+    # NaN = NaN joins (grouping semantics of the key extractor); NULL
+    # never joins (three-valued logic filters it before key extraction).
+    expected = [(1, 10), (2, 20)]
+    for rows in _all_engines(db, sql):
+        assert sorted(rows) == expected, f"NaN join keys diverged: {rows}"
+
+
 # ======================================================================
 # Pipeline contracts: the columnar driver honors the declared flags
 # ======================================================================
 _COLUMNAR_OPS = sorted(cls.__name__ for cls in _COLUMNAR_HANDLERS)
 
+# DML handlers are write paths: they have no pull-contract to probe, so
+# the flag-honoring test below skips them.
+_DML_OPS = ("DeleteP", "InsertP", "UpdateP")
+
 
 def test_columnar_handler_set_is_pinned():
     """Adding/removing a columnar handler must be a conscious decision."""
     assert _COLUMNAR_OPS == [
+        "DeleteP",
         "DistinctP",
         "ExchangeP",
         "FilterP",
         "HashAggP",
         "HashJoinP",
+        "InsertP",
         "LimitP",
         "ProjectP",
         "SeqScanP",
         "SortP",
         "StreamAggP",
         "UnionAllP",
+        "UpdateP",
     ]
 
 
-@pytest.mark.parametrize("name", _COLUMNAR_OPS)
+@pytest.mark.parametrize(
+    "name", [name for name in _COLUMNAR_OPS if name not in _DML_OPS]
+)
 def test_columnar_executor_honors_declared_flags(contract_catalog, name):
     """Pull ONE columnar batch; check how much of each child was read."""
     plan, children = _factories(contract_catalog)[name]()

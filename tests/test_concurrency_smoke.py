@@ -325,3 +325,160 @@ def test_admission_stampede_sheds_typed_and_never_hangs():
     assert snapshot["running"] == 0
     assert snapshot["waiting"] == 0
     assert snapshot["peak_running"] <= 4
+
+
+# ----------------------------------------------------------------------
+# Writer stampede: snapshot isolation and first-writer-wins conflicts
+# ----------------------------------------------------------------------
+def test_writer_stampede_conserves_money_and_loses_no_update():
+    """8 writer threads transfer between accounts while readers audit.
+
+    Each transaction moves 1 unit between two accounts inside
+    BEGIN..COMMIT; a write-write collision surfaces as a typed,
+    *retryable* :class:`SerializationError` and the loser retries from
+    the top.  The invariants that any isolation bug would break:
+
+    * readers never observe a torn transaction -- SUM(balance) is
+      constant in every snapshot, even mid-stampede;
+    * zero lost updates -- final per-account balances equal the initial
+      values plus exactly the transfers that reported success;
+    * every failure is the typed retryable conflict, nothing else.
+    """
+    from repro.catalog import Column, ColumnType
+    from repro.errors import SerializationError
+
+    accounts = 4
+    initial = 100
+    transfers_each = 10
+
+    db = Database()
+    table = db.create_table(
+        "Acct",
+        [
+            Column("id", ColumnType.INT, nullable=False),
+            Column("balance", ColumnType.INT, nullable=False),
+        ],
+        primary_key=["id"],
+    )
+    for account in range(accounts):
+        table.insert((account, initial))
+    db.analyze()
+
+    committed = []  # (source, target) per successful transfer
+    failures = []
+    torn_reads = []
+    stop_reading = threading.Event()
+    lock = threading.Lock()
+
+    def writer(client_no: int):
+        rng = random.Random(7000 + client_no)
+        for _ in range(transfers_each):
+            source = rng.randrange(accounts)
+            target = (source + rng.randint(1, accounts - 1)) % accounts
+            while True:
+                try:
+                    db.sql("BEGIN")
+                    db.sql(
+                        "UPDATE Acct SET balance = balance - 1"
+                        f" WHERE id = {source}"
+                    )
+                    db.sql(
+                        "UPDATE Acct SET balance = balance + 1"
+                        f" WHERE id = {target}"
+                    )
+                    db.sql("COMMIT")
+                except SerializationError as exc:
+                    # First-writer-wins burned this snapshot; the whole
+                    # transaction was aborted, so retry from the top.
+                    if not exc.retryable:
+                        with lock:
+                            failures.append((client_no, "non-retryable", exc))
+                        return
+                    continue
+                except Exception as exc:  # pragma: no cover - failure path
+                    with lock:
+                        failures.append((client_no, "untyped", exc))
+                    return
+                with lock:
+                    committed.append((source, target))
+                break
+
+    def reader():
+        while not stop_reading.is_set():
+            rows = db.sql("SELECT SUM(A.balance) AS s FROM Acct A").rows
+            total = rows[0][0]
+            if total != accounts * initial:
+                torn_reads.append(total)
+                return
+
+    writers = [
+        threading.Thread(target=writer, args=(n,), name=f"writer-{n}")
+        for n in range(CLIENTS)
+    ]
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join(timeout=120.0)
+    stop_reading.set()
+    for thread in readers:
+        thread.join(timeout=30.0)
+
+    hung = [thread.name for thread in writers if thread.is_alive()]
+    assert not hung, f"writer threads still alive: {hung}"
+    assert not failures, failures
+    assert not torn_reads, f"reader saw a torn transaction: {torn_reads}"
+    assert len(committed) == CLIENTS * transfers_each
+
+    expected = [initial] * accounts
+    for source, target in committed:
+        expected[source] -= 1
+        expected[target] += 1
+    final = dict(
+        (row[0], row[1])
+        for row in db.sql("SELECT A.id, A.balance FROM Acct A").rows
+    )
+    assert final == {
+        account: expected[account] for account in range(accounts)
+    }, "lost update: committed transfers do not reconcile with balances"
+    assert db.metrics.transactions_committed >= len(committed)
+
+    # The stampede's collisions depend on scheduler timing, so force one
+    # deterministic first-writer-wins overlap: the second writer to touch
+    # a row another live transaction already wrote must get the typed
+    # retryable conflict (and its transaction must abort without a trace).
+    first_wrote = threading.Event()
+    release_first = threading.Event()
+    conflicts = []
+
+    def first_writer():
+        db.sql("BEGIN")
+        db.sql("UPDATE Acct SET balance = balance + 1 WHERE id = 0")
+        first_wrote.set()
+        release_first.wait(timeout=30.0)
+        db.sql("ROLLBACK")
+
+    def second_writer():
+        assert first_wrote.wait(timeout=30.0)
+        try:
+            db.sql("BEGIN")
+            db.sql("UPDATE Acct SET balance = balance + 1 WHERE id = 0")
+        except SerializationError as exc:
+            conflicts.append(exc)
+        finally:
+            release_first.set()
+
+    pair = [
+        threading.Thread(target=first_writer),
+        threading.Thread(target=second_writer),
+    ]
+    for thread in pair:
+        thread.start()
+    for thread in pair:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in pair)
+    assert len(conflicts) == 1
+    assert conflicts[0].retryable
+    assert db.metrics.serialization_conflicts > 0
+    audit = db.sql("SELECT SUM(A.balance) AS s FROM Acct A").rows
+    assert audit[0][0] == accounts * initial

@@ -67,6 +67,7 @@ def test_transient_storage_error_is_the_retryable_one():
         "AdmissionRejected",
         "QueueTimeout",
         "CircuitBreakerOpen",
+        "SerializationError",
     }
 
 

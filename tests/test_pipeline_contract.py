@@ -277,13 +277,36 @@ EXPECTED_FLAGS = {
 }
 
 
+# DML operators are write paths, not pull pipelines: they produce one
+# rows_affected row and (for INSERT ... SELECT) always consume their
+# source fully before mutating.  Their contract is pinned separately in
+# test_dml_ops_declare_write_path_contract, not probed by pulling.
+_WRITE_OPS = {"DmlOp", "InsertP", "UpdateP", "DeleteP"}
+
+
 def test_every_operator_has_declared_expectations():
     """A new PhysicalOp subclass must declare its pipeline behavior here."""
-    names = {cls.__name__ for cls in _all_physical_subclasses()}
+    names = {cls.__name__ for cls in _all_physical_subclasses()} - _WRITE_OPS
     assert names == set(EXPECTED_FLAGS), (
         "operators without a pipeline-contract entry: "
         f"{sorted(names ^ set(EXPECTED_FLAGS))}"
     )
+
+
+def test_dml_ops_declare_write_path_contract():
+    """DML ops: childless except the INSERT source, which is a breaker
+    input (materialized completely before any row is written)."""
+    from repro.physical.plans import DeleteP, InsertP, UpdateP
+
+    insert = InsertP("T", rows=((lit(1),),))
+    assert insert.children() == ()
+    assert insert.consumes_child_fully == ()
+    source = SeqScanP("T", "T", ["a", "v"])
+    insert_select = InsertP("T", source=source, select_positions=[0])
+    assert insert_select.children() == (source,)
+    assert insert_select.consumes_child_fully == (True,)
+    assert UpdateP("T", [(0, lit(1))]).consumes_child_fully == ()
+    assert DeleteP("T").consumes_child_fully == ()
 
 
 @pytest.mark.parametrize("name", sorted(EXPECTED_FLAGS))

@@ -1,0 +1,331 @@
+"""Unit tests for the transaction layer: MVCC visibility, WAL replay,
+statement rollback, first-writer-wins conflicts, vacuum, and the
+commit-driven cache invalidation the upper layers hang off it.
+
+The storage-level tests below drive :class:`TransactionManager` and
+:class:`HeapTable` directly -- no SQL, no planner -- so a failure names
+the broken layer.  The Database-level pins at the bottom then check the
+one rule the whole design leans on: *no version counter moves until
+commit*, and at commit every derived structure (plan cache, columnar
+image cache, feedback store, statistics) is invalidated exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Column, ColumnType
+from repro.catalog.schema import TableSchema
+from repro.core.optimizer import Database
+from repro.errors import SerializationError, TransactionError
+from repro.storage.table import HeapTable
+from repro.storage.txn import TransactionManager
+from repro.storage.wal import COMMIT, INSERT, WalRecord, WriteAheadLog
+
+
+def _table() -> HeapTable:
+    schema = TableSchema(
+        "T", [Column("id", ColumnType.INT), Column("v", ColumnType.STR)]
+    )
+    table = HeapTable(schema)
+    table.insert((1, "seed"))
+    return table
+
+
+def _manager_with_table():
+    manager = TransactionManager()
+    table = _table()
+    return manager, table
+
+
+# ----------------------------------------------------------------------
+# MVCC visibility
+# ----------------------------------------------------------------------
+def test_uncommitted_insert_is_invisible_to_other_snapshots():
+    manager, table = _manager_with_table()
+    writer = manager.begin()
+    manager.register_write(writer, "T", table)
+    manager.begin_statement(writer)
+    row_id = table.mvcc_insert((2, "new"), writer.txid)
+    writer.note_insert("T", table, row_id, (2, "new"))
+    manager.end_statement(writer)
+
+    # The writer sees its own row; a reader snapshot does not.
+    assert table.row_visible(row_id, writer.snapshot)
+    reader = manager.read_snapshot()
+    assert not table.row_visible(row_id, reader)
+    assert [row for _, row in table.visible_rows(reader)] == [(1, "seed")]
+    manager.release_snapshot(reader)
+
+    manager.commit(writer)
+    # Snapshots taken after commit see it; read-latest sees it too.
+    late = manager.read_snapshot()
+    assert table.row_visible(row_id, late)
+    manager.release_snapshot(late)
+    assert table.row_visible(row_id, None)
+
+
+def test_snapshot_taken_before_commit_stays_stable():
+    manager, table = _manager_with_table()
+    reader = manager.read_snapshot()
+    writer = manager.begin()
+    manager.register_write(writer, "T", table)
+    manager.begin_statement(writer)
+    row_id = table.mvcc_insert((2, "new"), writer.txid)
+    writer.note_insert("T", table, row_id, (2, "new"))
+    manager.end_statement(writer)
+    manager.commit(writer)
+    # Committed after the reader's snapshot: still invisible to it.
+    assert not table.row_visible(row_id, reader)
+    assert table.row_visible(row_id, None)
+    manager.release_snapshot(reader)
+
+
+def test_aborted_transaction_rows_never_become_visible():
+    manager, table = _manager_with_table()
+    writer = manager.begin()
+    manager.register_write(writer, "T", table)
+    manager.begin_statement(writer)
+    row_id = table.mvcc_insert((2, "doomed"), writer.txid)
+    writer.note_insert("T", table, row_id, (2, "doomed"))
+    delete_target = 0
+    table.mvcc_delete(delete_target, writer.txid)
+    writer.note_delete("T", table, delete_target, (1, "seed"))
+    # Before end-of-statement the writer sees its own uncommitted world.
+    assert not table.row_visible(delete_target, writer.snapshot)
+    assert table.row_visible(row_id, writer.snapshot)
+    manager.end_statement(writer)
+    manager.abort(writer)
+    # Abort undoes everything, then the quiescent vacuum folds the heap
+    # flat -- contents (not stale row ids) are the abort contract.
+    assert [row for _, row in table.visible_rows(None)] == [(1, "seed")]
+    assert table.is_flat
+
+
+def test_statement_rollback_is_exact_and_leaves_txn_usable():
+    manager, table = _manager_with_table()
+    txn = manager.begin()
+    manager.register_write(txn, "T", table)
+
+    manager.begin_statement(txn)
+    row_id = table.mvcc_insert((2, "a"), txn.txid)
+    txn.note_insert("T", table, row_id, (2, "a"))
+    manager.end_statement(txn)
+
+    # Second statement fails mid-way: only ITS writes unwind.
+    manager.begin_statement(txn)
+    doomed = table.mvcc_insert((3, "b"), txn.txid)
+    txn.note_insert("T", table, doomed, (3, "b"))
+    table.mvcc_delete(0, txn.txid)
+    txn.note_delete("T", table, 0, (1, "seed"))
+    manager.rollback_statement(txn)
+
+    visible = [row for _, row in table.visible_rows(txn.snapshot)]
+    assert sorted(visible) == [(1, "seed"), (2, "a")]
+    manager.commit(txn)
+    assert sorted(row for _, row in table.visible_rows(None)) == [
+        (1, "seed"),
+        (2, "a"),
+    ]
+
+
+def test_first_writer_wins_raises_typed_retryable_conflict():
+    manager, table = _manager_with_table()
+    first = manager.begin()
+    second = manager.begin()
+    manager.register_write(first, "T", table)
+    manager.register_write(second, "T", table)
+    manager.begin_statement(first)
+    table.mvcc_delete(0, first.txid)
+    first.note_delete("T", table, 0, (1, "seed"))
+    manager.end_statement(first)
+
+    manager.begin_statement(second)
+    with pytest.raises(SerializationError) as info:
+        table.mvcc_delete(0, second.txid)
+    assert info.value.retryable is True
+    assert info.value.table == "T"
+    assert info.value.row_id == 0
+    manager.rollback_statement(second)
+    manager.abort(second)
+    manager.commit(first)
+    assert [row for _, row in table.visible_rows(None)] == []
+
+
+def test_double_commit_and_commit_after_abort_are_typed_errors():
+    manager, _table_unused = _manager_with_table()
+    txn = manager.begin()
+    manager.commit(txn)
+    with pytest.raises(TransactionError):
+        manager.commit(txn)
+    other = manager.begin()
+    manager.abort(other)
+    with pytest.raises(TransactionError):
+        manager.commit(other)
+
+
+# ----------------------------------------------------------------------
+# WAL: checkpoints, replay purity, truncation
+# ----------------------------------------------------------------------
+def test_wal_replay_is_a_pure_function_of_the_retained_log():
+    wal = WriteAheadLog()
+    wal.ensure_checkpoint("T", [(1, "seed")])
+    wal.append(WalRecord(INSERT, txid=7, table="T", values=(2, "a")))
+    wal.append(WalRecord(COMMIT, txid=7))
+    wal.append(WalRecord(INSERT, txid=8, table="T", values=(3, "b")))
+    # txid 8 never committed: its record is dead weight.
+    first = wal.replay()
+    second = wal.replay()
+    assert first == second == {"T": [(1, "seed"), (2, "a")]}
+
+
+def test_wal_truncation_drops_commits_past_the_prefix():
+    wal = WriteAheadLog()
+    wal.ensure_checkpoint("T", [])
+    wal.append(WalRecord(INSERT, txid=1, table="T", values=(1, "a")))
+    wal.append(WalRecord(COMMIT, txid=1))
+    wal.append(WalRecord(INSERT, txid=2, table="T", values=(2, "b")))
+    wal.append(WalRecord(COMMIT, txid=2))
+    # Cut between the two commits: only txid 1 survives.  The checkpoint
+    # is out-of-band state and survives any truncation.
+    wal.truncate(2)
+    assert wal.replay() == {"T": [(1, "a")]}
+    wal.truncate(0)
+    assert wal.replay() == {"T": []}
+
+
+def test_checkpoint_is_taken_once_and_never_overwritten():
+    wal = WriteAheadLog()
+    wal.ensure_checkpoint("T", [(1, "original")])
+    wal.ensure_checkpoint("T", [(2, "later")])
+    assert wal.replay() == {"T": [(1, "original")]}
+    assert wal.checkpointed_tables() == ["T"]
+
+
+# ----------------------------------------------------------------------
+# Vacuum
+# ----------------------------------------------------------------------
+def test_vacuum_folds_dead_versions_only_when_quiescent():
+    manager, table = _manager_with_table()
+    txn = manager.begin()
+    manager.register_write(txn, "T", table)
+    manager.begin_statement(txn)
+    row_id = table.mvcc_insert((2, "a"), txn.txid)
+    txn.note_insert("T", table, row_id, (2, "a"))
+    table.mvcc_delete(0, txn.txid)
+    txn.note_delete("T", table, 0, (1, "seed"))
+    manager.end_statement(txn)
+
+    pinned = manager.read_snapshot()
+    manager.commit(txn)  # commit runs maybe_vacuum, but a pin blocks it
+    assert not table.is_flat, "vacuum ran under a pinned snapshot"
+    # The pinned snapshot still reads the pre-commit world.
+    assert [row for _, row in table.visible_rows(pinned)] == [(1, "seed")]
+    manager.release_snapshot(pinned)
+    manager.maybe_vacuum()
+    assert table.is_flat, "vacuum skipped a quiescent fold"
+    assert table.rows() == [(2, "a")]
+
+
+# ----------------------------------------------------------------------
+# Commit-driven invalidation (Database-level regression pins)
+# ----------------------------------------------------------------------
+def _emp_db(**kwargs) -> Database:
+    db = Database(**kwargs)
+    table = db.create_table(
+        "Emp",
+        [
+            Column("emp_no", ColumnType.INT, nullable=False),
+            Column("sal", ColumnType.FLOAT),
+        ],
+        primary_key=["emp_no"],
+    )
+    table.insert_many([(n, 1000.0 * n) for n in range(1, 21)])
+    db.create_table(
+        "Dept", [Column("dept_no", ColumnType.INT, nullable=False)]
+    ).insert_many([(n,) for n in range(1, 4)])
+    db.analyze()
+    return db
+
+
+def test_no_version_counter_moves_before_commit():
+    db = _emp_db()
+    table = db.catalog.table("Emp")
+    db.sql("BEGIN")
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 5.0)")
+    catalog_version = db.catalog.version
+    data_version = table.data_version
+    db.sql("UPDATE Emp SET sal = sal + 1 WHERE emp_no = 1")
+    db.sql("DELETE FROM Emp WHERE emp_no = 2")
+    assert db.catalog.version == catalog_version, "catalog bumped mid-txn"
+    assert table.data_version == data_version, "data version bumped mid-txn"
+    db.sql("COMMIT")
+    assert db.catalog.version > catalog_version
+    assert table.data_version > data_version
+
+
+def test_commit_invalidates_cached_plans():
+    db = _emp_db()
+    sql = "SELECT E.emp_no AS k FROM Emp E WHERE E.sal > 3000"
+    db.sql(sql)
+    assert db.sql(sql).from_plan_cache is True
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 9000.0)")
+    result = db.sql(sql)
+    assert result.from_plan_cache is False, "stale plan survived a commit"
+    assert (100,) in result.rows
+
+
+def test_commit_invalidates_columnar_image_cache():
+    db = _emp_db(columnar_mode=True)
+    sql = "SELECT COUNT(*) AS c FROM Emp E"
+    assert db.sql(sql).rows == [(20,)]
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 1.0)")
+    assert db.sql(sql).rows == [(21,)], "columnar image cache went stale"
+    db.sql("DELETE FROM Emp WHERE emp_no = 100")
+    assert db.sql(sql).rows == [(20,)]
+
+
+def test_commit_invalidates_feedback_for_written_table_only():
+    db = _emp_db()
+    assert db.feedback is not None
+    db.feedback.record("(Emp.sal > 3000)", 0.25)
+    db.feedback.record("(Dept.dept_no > 1)", 0.5)
+    db.sql("UPDATE Emp SET sal = sal + 1 WHERE emp_no = 1")
+    assert db.feedback.observed("(Emp.sal > 3000)") is None, (
+        "stale Emp selectivity survived the commit"
+    )
+    assert db.feedback.observed("(Dept.dept_no > 1)") is not None, (
+        "commit on Emp dropped an unrelated table's feedback"
+    )
+
+
+def test_commit_refreshes_stats_row_counts():
+    db = _emp_db()
+    assert db.catalog.stats("Emp").row_count == 20.0
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 1.0), (101, 2.0)")
+    assert db.catalog.stats("Emp").row_count == 22.0
+    db.sql("DELETE FROM Emp WHERE emp_no >= 100")
+    assert db.catalog.stats("Emp").row_count == 20.0
+
+
+def test_rollback_moves_no_versions_and_invalidates_nothing():
+    db = _emp_db()
+    table = db.catalog.table("Emp")
+    sql = "SELECT COUNT(*) AS c FROM Emp E"
+    db.sql(sql)
+    catalog_version = db.catalog.version
+    data_version = table.data_version
+    db.sql("BEGIN")
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 1.0)")
+    db.sql("ROLLBACK")
+    assert db.catalog.version == catalog_version
+    assert db.sql(sql).from_plan_cache is True, "rollback evicted a plan"
+    assert db.sql(sql).rows == [(20,)]
+
+
+def test_dml_rejects_parameter_markers():
+    from repro.errors import SqlError
+
+    db = _emp_db()
+    with pytest.raises(SqlError):
+        db.sql("INSERT INTO Emp (emp_no, sal) VALUES (?, ?)")
