@@ -624,17 +624,26 @@ class Database:
           the new cardinality incrementally -- no full re-ANALYZE on the
           write path (column distributions refresh at the next ANALYZE).
         """
-        for name, table in txn.written.items():
-            if self.feedback is not None:
-                self.feedback.invalidate_table(name)
-            stats = self.catalog.stats(name)
-            if stats is not None:
-                # Count *visible* rows: at hook time the heap still holds
-                # dead versions (vacuum runs after the hooks).
-                live = sum(1 for _ in table.visible_rows(None))
-                self.catalog.set_stats(
-                    name, replace(stats, row_count=float(live))
-                )
+        # Count rows through a fresh committed-only snapshot: at hook
+        # time the heap still holds dead versions (vacuum runs after the
+        # hooks) and other transactions' in-flight writes, neither of
+        # which may leak into persisted row counts.  The snapshot was
+        # taken after our commit removed us from the active set, so it
+        # sees exactly committed state including this transaction.
+        manager = self.txn_manager
+        snapshot = manager.read_snapshot()
+        try:
+            for name, table in txn.written.items():
+                if self.feedback is not None:
+                    self.feedback.invalidate_table(name)
+                stats = self.catalog.stats(name)
+                if stats is not None:
+                    live = sum(1 for _ in table.visible_rows(snapshot))
+                    self.catalog.set_stats(
+                        name, replace(stats, row_count=float(live))
+                    )
+        finally:
+            manager.release_snapshot(snapshot)
         self.catalog._bump_version()
 
     def _on_recovery(self) -> None:
@@ -730,7 +739,11 @@ class Database:
         start = time.perf_counter()
         try:
             schema, rows = execute(plan, self.catalog, context)
-        except ReproError as error:
+        except BaseException as error:
+            # Catch *everything* (not just ReproError): any failure that
+            # skipped rollback would leave the autocommit transaction in
+            # the active set forever -- blocking vacuum with undoable
+            # partial writes.
             manager.rollback_statement(txn)
             self.metrics.execute_seconds += time.perf_counter() - start
             self.metrics.execution_failures += 1

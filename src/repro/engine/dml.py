@@ -16,7 +16,15 @@ failure at any point leaves the statement cleanly abortable:
    buffer is flushed to the log only at successful statement end);
 4. heap mutation (``mvcc_insert`` / ``mvcc_delete``), which also
    records the undo entry via the transaction;
-5. incremental secondary-index maintenance for inserts.
+5. incremental secondary-index maintenance for inserts (where unique
+   constraints are checked against live versions).
+
+Steps 4-5 run under the table's reentrant mutation lock: with
+concurrent writer threads, the appended row, its assigned row id, its
+version stamps, and its index entries must all describe the same row,
+and the unique-index check must not race another writer inserting the
+same key.  The fault gate stays *outside* the lock -- injected faults
+may sleep through retries and must not serialize unrelated writers.
 
 UPDATE and DELETE materialize the matching row ids from the statement's
 snapshot *before* mutating anything (the classical Halloween-problem
@@ -132,10 +140,11 @@ def _run_insert(op: InsertP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
         # budgets or trip injected faults.
         table.schema.validate_row(values)
         _write_gate(ctx, op.table, table, table.page_of(max(0, len(table.rows()))))
-        row_id = table.mvcc_insert(values, txn.txid)
-        stored = table.fetch(row_id)
-        txn.note_insert(op.table, table, row_id, stored)
-        _index_insert(catalog, op.table, stored, row_id)
+        with table.lock:
+            row_id = table.mvcc_insert(values, txn.txid)
+            stored = table.fetch(row_id)
+            txn.note_insert(op.table, table, row_id, stored)
+            _index_insert(catalog, op.table, stored, row_id)
         ctx.counters.rows_written += 1
         count += 1
     return [(count,)]
@@ -151,8 +160,9 @@ def _run_delete(op: DeleteP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
     matches = _matching_rows(op.table, table, op.predicate, ctx)
     for row_id, row in matches:
         _write_gate(ctx, op.table, table, table.page_of(row_id))
-        table.mvcc_delete(row_id, txn.txid)
-        txn.note_delete(op.table, table, row_id, row)
+        with table.lock:
+            table.mvcc_delete(row_id, txn.txid)
+            txn.note_delete(op.table, table, row_id, row)
         ctx.counters.rows_written += 1
     return [(len(matches),)]
 
@@ -181,11 +191,12 @@ def _run_update(op: UpdateP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
         new_page = table.page_of(max(0, len(table.rows())))
         if new_page != table.page_of(row_id):
             ctx.write_page(op.table, new_page)
-        table.mvcc_delete(row_id, txn.txid)
-        new_row_id = table.mvcc_insert(tuple(new_row), txn.txid)
-        stored = table.fetch(new_row_id)
-        txn.note_update(op.table, table, row_id, new_row_id, row, stored)
-        _index_insert(catalog, op.table, stored, new_row_id)
+        with table.lock:
+            table.mvcc_delete(row_id, txn.txid)
+            new_row_id = table.mvcc_insert(tuple(new_row), txn.txid)
+            stored = table.fetch(new_row_id)
+            txn.note_update(op.table, table, row_id, new_row_id, row, stored)
+            _index_insert(catalog, op.table, stored, new_row_id)
         ctx.counters.rows_written += 1
         count += 1
     return [(count,)]

@@ -74,17 +74,35 @@ class OrderedIndex:
         """Incrementally index one newly inserted row.
 
         Keys with NULL components are skipped, matching :meth:`build`.
-        Uniqueness is *not* enforced here: under MVCC the heap may hold
-        dead versions sharing the key, so duplicate detection is deferred
-        to the next full rebuild (vacuum/recovery).  Dead entries are
-        filtered by visibility checks at read time.
+        Unique indexes are enforced here, at insert time: an existing
+        entry with the same key conflicts iff its heap version is still
+        live (dead versions -- committed deletes, aborted inserts, and
+        the old half of an in-flight UPDATE -- share keys legally and
+        are ignored).  The raise is a statement-level error, so the
+        failing INSERT/UPDATE rolls back cleanly before the duplicate
+        ever commits.
+
+        Raises:
+            StorageError: the key already exists in a unique index.
         """
         key = tuple(row[position] for position in self._column_positions)
         if any(part is None for part in key):
             return
+        if self.definition.unique:
+            self._check_unique(key, row_id)
         position = bisect.bisect_right(self._keys, key)
         self._keys.insert(position, key)
         self._row_ids.insert(position, row_id)
+
+    def _check_unique(self, key: Key, row_id: int) -> None:
+        left = bisect.bisect_left(self._keys, key)
+        right = bisect.bisect_right(self._keys, key)
+        for existing in self._row_ids[left:right]:
+            if existing != row_id and self.table.row_visible(existing, None):
+                raise StorageError(
+                    f"duplicate key {key!r} in unique index "
+                    f"{self.definition.name!r}"
+                )
 
     # ------------------------------------------------------------------
     # Modelled size
@@ -230,10 +248,27 @@ class HashIndex:
         self._buckets = buckets
 
     def insert_entry(self, row: Sequence[Any], row_id: int) -> None:
-        """Incrementally index one newly inserted row (NULL keys skipped)."""
+        """Incrementally index one newly inserted row (NULL keys skipped).
+
+        Unique hash indexes conflict only with *live* heap versions,
+        mirroring :meth:`OrderedIndex.insert_entry`.
+
+        Raises:
+            StorageError: the key already exists in a unique index.
+        """
         key = tuple(row[position] for position in self._column_positions)
         if any(part is None for part in key):
             return
+        bucket = self._buckets.get(key)
+        if self.definition.unique and bucket:
+            for existing in bucket:
+                if existing != row_id and self.table.row_visible(
+                    existing, None
+                ):
+                    raise StorageError(
+                        f"duplicate key {key!r} in unique index "
+                        f"{self.definition.name!r}"
+                    )
         self._buckets.setdefault(key, []).append(row_id)
 
     @property

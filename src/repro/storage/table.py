@@ -10,6 +10,7 @@ model's vocabulary.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.catalog.schema import TableSchema
@@ -59,6 +60,13 @@ class HeapTable:
         # snapshot-free readers (legacy direct-execute paths) skip rows
         # created by aborted transactions.
         self._mvcc_aborted: Set[int] = set()
+        # Guards every heap mutation: append + row-id assignment and the
+        # conflict check + version-stamp write must be atomic under
+        # concurrent writer threads.  Reentrant so the DML executors can
+        # hold it across a whole per-row sequence (heap mutation plus
+        # incremental index maintenance) while the methods below still
+        # lock when called directly.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Mutation
@@ -66,9 +74,10 @@ class HeapTable:
     def insert(self, row: Sequence[Any]) -> int:
         """Validate and append one row; returns its row id (position)."""
         validated = self.schema.validate_row(row)
-        self._rows.append(validated)
-        self._data_version += 1
-        return len(self._rows) - 1
+        with self.lock:
+            self._rows.append(validated)
+            self._data_version += 1
+            return len(self._rows) - 1
 
     def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
         """Insert many rows; returns the number inserted."""
@@ -80,11 +89,12 @@ class HeapTable:
 
     def truncate(self) -> None:
         """Remove all rows."""
-        self._rows.clear()
-        self._xmin.clear()
-        self._xmax.clear()
-        self._data_version += 1
-        self.runtime_cache.clear()
+        with self.lock:
+            self._rows.clear()
+            self._xmin.clear()
+            self._xmax.clear()
+            self._data_version += 1
+            self.runtime_cache.clear()
 
     # ------------------------------------------------------------------
     # MVCC version store
@@ -113,10 +123,11 @@ class HeapTable:
         until that transaction commits.  Does NOT bump ``data_version`` --
         version bumps happen at commit only."""
         validated = self.schema.validate_row(row)
-        self._rows.append(validated)
-        row_id = len(self._rows) - 1
-        self._xmin[row_id] = txid
-        return row_id
+        with self.lock:
+            self._rows.append(validated)
+            row_id = len(self._rows) - 1
+            self._xmin[row_id] = txid
+            return row_id
 
     def mvcc_delete(self, row_id: int, txid: int) -> None:
         """Mark a row deleted by ``txid`` (first-writer-wins).
@@ -126,29 +137,37 @@ class HeapTable:
                 already deleted (or updated) this row version.
             StorageError: the row id is out of range.
         """
-        if not 0 <= row_id < len(self._rows):
-            raise StorageError(
-                f"row id {row_id} out of range for table {self.schema.name!r}"
-            )
-        current = self._xmax.get(row_id, 0)
-        if current and current != txid and current not in self._mvcc_aborted:
-            raise SerializationError(
-                f"row {row_id} of {self.schema.name!r} already written by "
-                f"concurrent transaction {current}",
-                table=self.schema.name,
-                row_id=row_id,
-            )
-        self._xmax[row_id] = txid
+        with self.lock:
+            if not 0 <= row_id < len(self._rows):
+                raise StorageError(
+                    f"row id {row_id} out of range for table "
+                    f"{self.schema.name!r}"
+                )
+            current = self._xmax.get(row_id, 0)
+            if (
+                current
+                and current != txid
+                and current not in self._mvcc_aborted
+            ):
+                raise SerializationError(
+                    f"row {row_id} of {self.schema.name!r} already written "
+                    f"by concurrent transaction {current}",
+                    table=self.schema.name,
+                    row_id=row_id,
+                )
+            self._xmax[row_id] = txid
 
     def undo_insert(self, row_id: int, txid: int) -> None:
         """Undo an insert by marking the row self-deleted; with
         ``xmin == xmax == txid`` the row is invisible to every snapshot
         (including its creator) and is reclaimed by the next vacuum."""
-        self._xmax[row_id] = txid
+        with self.lock:
+            self._xmax[row_id] = txid
 
     def undo_delete(self, row_id: int) -> None:
         """Undo a delete mark, releasing the row version for other writers."""
-        self._xmax.pop(row_id, None)
+        with self.lock:
+            self._xmax.pop(row_id, None)
 
     def row_visible(self, row_id: int, snapshot: Optional[Any] = None) -> bool:
         """Whether a row version is visible to ``snapshot``.
@@ -195,11 +214,12 @@ class HeapTable:
     def replace_rows(self, rows: List[Row]) -> None:
         """Swap in a fully-committed row image (vacuum / crash recovery):
         clears all version metadata and cached derived images."""
-        self._rows = list(rows)
-        self._xmin.clear()
-        self._xmax.clear()
-        self.runtime_cache.clear()
-        self._data_version += 1
+        with self.lock:
+            self._rows = list(rows)
+            self._xmin.clear()
+            self._xmax.clear()
+            self.runtime_cache.clear()
+            self._data_version += 1
 
     # ------------------------------------------------------------------
     # Access

@@ -153,3 +153,51 @@ class TestHashIndex:
         table = small_table([(0, 5), (1, 5)])
         with pytest.raises(StorageError):
             HashIndex(IndexDef("h", "T", ("v",), unique=True), table)
+
+
+class TestIncrementalUniqueEnforcement:
+    """insert_entry enforces unique constraints against *live* versions
+    only: dead MVCC versions legally share keys (old halves of updates,
+    aborted inserts) and must not trigger false positives."""
+
+    def _unique_pair(self, index_cls):
+        table = small_table([(0, 5), (1, 7)])
+        definition = IndexDef("u", "T", ("v",), unique=True)
+        return table, index_cls(definition, table)
+
+    def test_ordered_duplicate_live_key_raises(self):
+        table, index = self._unique_pair(OrderedIndex)
+        row_id = table.insert((2, 5))
+        with pytest.raises(StorageError):
+            index.insert_entry((2, 5), row_id)
+
+    def test_hash_duplicate_live_key_raises(self):
+        table, index = self._unique_pair(HashIndex)
+        row_id = table.insert((2, 7))
+        with pytest.raises(StorageError):
+            index.insert_entry((2, 7), row_id)
+
+    def test_dead_version_does_not_conflict(self):
+        # The old half of an UPDATE: xmax set on the existing version
+        # makes it dead to read-latest, so re-indexing the same key for
+        # the new version is legal.
+        table, index = self._unique_pair(OrderedIndex)
+        table.mvcc_delete(0, txid=42)
+        new_id = table.mvcc_insert((0, 5), txid=42)
+        index.insert_entry((0, 5), new_id)
+        assert sorted(index.seek(5)) == [0, new_id]
+
+    def test_non_unique_index_still_accepts_duplicates(self):
+        table = small_table([(0, 5)])
+        index = OrderedIndex(IndexDef("n", "T", ("v",)), table)
+        row_id = table.insert((1, 5))
+        index.insert_entry((1, 5), row_id)
+        assert sorted(index.seek(5)) == [0, row_id]
+
+    def test_null_keys_never_conflict(self):
+        table, index = self._unique_pair(OrderedIndex)
+        first = table.insert((2, None))
+        second = table.insert((3, None))
+        index.insert_entry((2, None), first)
+        index.insert_entry((3, None), second)
+        assert index.seek(None) == []

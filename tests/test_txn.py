@@ -329,3 +329,188 @@ def test_dml_rejects_parameter_markers():
     db = _emp_db()
     with pytest.raises(SqlError):
         db.sql("INSERT INTO Emp (emp_no, sal) VALUES (?, ?)")
+
+
+# ----------------------------------------------------------------------
+# Review fixes: writer-thread atomicity, unique enforcement, abort paths
+# ----------------------------------------------------------------------
+def test_concurrent_mvcc_inserts_assign_distinct_attributed_row_ids():
+    """Many writer threads appending concurrently: every insert must get
+    a row id that names *its own* row, with xmin stamped on that same
+    row -- the race the per-table mutation lock closes."""
+    import threading
+
+    manager, table = _manager_with_table()
+    per_thread = 200
+    recorded: list = []
+    failures: list = []
+    barrier = threading.Barrier(8)
+
+    def writer(thread_no: int):
+        try:
+            txn = manager.begin()
+            manager.register_write(txn, "T", table)
+            manager.begin_statement(txn)
+            barrier.wait(timeout=10)
+            mine = []
+            for i in range(per_thread):
+                value = (thread_no * 10_000 + i, f"{thread_no}:{i}")
+                row_id = table.mvcc_insert(value, txn.txid)
+                txn.note_insert("T", table, row_id, value)
+                mine.append((row_id, value, txn.txid))
+            manager.end_statement(txn)
+            recorded.append(mine)
+            manager.commit(txn)
+        except Exception as error:  # pragma: no cover - failure reporting
+            failures.append(error)
+
+    threads = [
+        threading.Thread(target=writer, args=(n,), name=f"mvcc-writer-{n}")
+        for n in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    assert not failures, failures
+    flat = [entry for mine in recorded for entry in mine]
+    assert len(flat) == 8 * per_thread
+    row_ids = [row_id for row_id, _value, _txid in flat]
+    assert len(set(row_ids)) == len(row_ids), "row ids were reused"
+    # Every committed row holds exactly the value its inserter recorded.
+    for row_id, value, _txid in flat:
+        assert table.fetch(row_id) == value, "row id attributed to wrong row"
+
+
+def test_concurrent_deletes_of_one_row_lose_exactly_once():
+    """Two racing deleters of the same row version: exactly one wins,
+    the other gets SerializationError -- atomically, over many rounds."""
+    import threading
+
+    for _round in range(50):
+        manager, table = _manager_with_table()
+        outcomes: list = []
+        barrier = threading.Barrier(2)
+
+        def deleter():
+            txn = manager.begin()
+            manager.register_write(txn, "T", table)
+            manager.begin_statement(txn)
+            barrier.wait(timeout=10)
+            try:
+                table.mvcc_delete(0, txn.txid)
+                txn.note_delete("T", table, 0, (1, "seed"))
+                manager.end_statement(txn)
+                outcomes.append("won")
+                manager.commit(txn)
+            except SerializationError:
+                outcomes.append("lost")
+                manager.rollback_statement(txn)
+                manager.abort(txn)
+
+        threads = [threading.Thread(target=deleter) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert sorted(outcomes) == ["lost", "won"], outcomes
+        assert [row for _, row in table.visible_rows(None)] == []
+
+
+def _unique_emp_db() -> Database:
+    db = _emp_db()
+    db.create_index("idx_emp_pk", "Emp", ["emp_no"], unique=True)
+    return db
+
+
+def test_unique_index_rejects_duplicate_insert_at_statement_level():
+    from repro.errors import StorageError
+
+    db = _unique_emp_db()
+    with pytest.raises(StorageError):
+        db.sql("INSERT INTO Emp (emp_no, sal) VALUES (1, 9.0)")
+    # The failed statement aborted cleanly: nothing in the active set,
+    # contents and stats untouched, and fresh keys still insert fine.
+    assert not db.txn_manager.active
+    assert db.sql("SELECT COUNT(*) AS c FROM Emp E").rows == [(20,)]
+    assert db.catalog.stats("Emp").row_count == 20.0
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 9.0)")
+    assert db.sql("SELECT COUNT(*) AS c FROM Emp E").rows == [(21,)]
+
+
+def test_unique_violation_rolls_back_whole_multi_row_insert():
+    from repro.errors import StorageError
+
+    db = _unique_emp_db()
+    with pytest.raises(StorageError):
+        db.sql("INSERT INTO Emp (emp_no, sal) VALUES (200, 1.0), (1, 2.0)")
+    result = db.sql(
+        "SELECT COUNT(*) AS c FROM Emp E WHERE E.emp_no = 200"
+    )
+    assert result.rows == [(0,)], "torn statement: first row survived"
+    assert db.sql("SELECT COUNT(*) AS c FROM Emp E").rows == [(20,)]
+
+
+def test_update_keeping_unique_key_is_not_a_false_positive():
+    db = _unique_emp_db()
+    db.sql("UPDATE Emp SET sal = 123.0 WHERE emp_no = 3")
+    rows = db.sql(
+        "SELECT E.sal AS s FROM Emp E WHERE E.emp_no = 3"
+    ).rows
+    assert rows == [(123.0,)]
+
+
+def test_update_to_existing_unique_key_rolls_back():
+    from repro.errors import StorageError
+
+    db = _unique_emp_db()
+    with pytest.raises(StorageError):
+        db.sql("UPDATE Emp SET emp_no = 2 WHERE emp_no = 1")
+    rows = db.sql(
+        "SELECT E.emp_no AS k, E.sal AS s FROM Emp E "
+        "WHERE E.emp_no <= 2 ORDER BY E.emp_no"
+    ).rows
+    assert rows == [(1, 1000.0), (2, 2000.0)], "update was not rolled back"
+
+
+def test_non_repro_exception_still_aborts_autocommit_txn():
+    """Any failure -- not just ReproError -- must roll the statement
+    back and abort the autocommit transaction, or the txid stays active
+    forever and blocks vacuum."""
+    db = _emp_db()
+    table = db.catalog.table("Emp")
+
+    def boom(row_id, txid):
+        raise RuntimeError("injected non-repro failure")
+
+    table.mvcc_delete = boom
+    try:
+        with pytest.raises(RuntimeError):
+            db.sql("DELETE FROM Emp WHERE emp_no = 1")
+    finally:
+        del table.mvcc_delete
+    assert not db.txn_manager.active, "autocommit txn leaked into active set"
+    assert db.sql("SELECT COUNT(*) AS c FROM Emp E").rows == [(20,)]
+    db.txn_manager.maybe_vacuum()
+    assert table.is_flat
+
+
+def test_commit_stats_ignore_other_transactions_in_flight_writes():
+    """Stats refreshed at commit must not count rows another transaction
+    has inserted but not yet committed."""
+    db = _emp_db()
+    manager = db.txn_manager
+    table = db.catalog.table("Emp")
+    inflight = manager.begin()
+    manager.register_write(inflight, "Emp", table)
+    manager.begin_statement(inflight)
+    row_id = table.mvcc_insert((500, 1.0), inflight.txid)
+    inflight.note_insert("Emp", table, row_id, (500, 1.0))
+    manager.end_statement(inflight)
+
+    db.sql("INSERT INTO Emp (emp_no, sal) VALUES (100, 1.0)")
+    assert db.catalog.stats("Emp").row_count == 21.0, (
+        "uncommitted in-flight row leaked into persisted stats"
+    )
+    manager.commit(inflight)
+    assert db.catalog.stats("Emp").row_count == 22.0
