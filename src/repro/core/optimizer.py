@@ -120,6 +120,8 @@ class Optimizer:
         use_materialized_views: bool = True,
         feedback: Optional[CardinalityFeedback] = None,
         adaptive: Optional[AdaptiveConfig] = None,
+        parallel_mode: bool = False,
+        max_dop: int = 4,
     ) -> None:
         self.catalog = catalog
         self.params = params
@@ -129,7 +131,13 @@ class Optimizer:
         self.rule_engine = rule_engine or default_rule_engine()
         self.feedback = feedback
         self.physicalizer = Physicalizer(
-            catalog, params, config, feedback=feedback, adaptive=adaptive
+            catalog,
+            params,
+            config,
+            feedback=feedback,
+            adaptive=adaptive,
+            parallel_mode=parallel_mode,
+            max_dop=max_dop,
         )
         self.use_materialized_views = use_materialized_views
 
@@ -424,6 +432,8 @@ class Database:
         batch_mode: bool = True,
         compiled_expressions: bool = True,
         columnar_mode: bool = False,
+        parallel_mode: bool = False,
+        max_dop: int = 4,
         admission: Optional[
             "AdmissionConfig | AdmissionController"
         ] = None,
@@ -455,6 +465,12 @@ class Database:
         self.columnar_mode = columnar_mode
         if columnar_mode:
             self.params = params.with_overrides(columnar_execution=True)
+        # Intra-query parallelism: the physicalizer places exchange/
+        # gather regions (see repro.core.parallel.placement) and the
+        # engines fan them out across a worker pool.  Off by default;
+        # parallel_mode=False is the bit-identical serial oracle.
+        self.parallel_mode = parallel_mode
+        self.max_dop = max(1, int(max_dop))
         # Server-wide admission control.  Pass an AdmissionConfig to
         # build a controller owned by this Database, or share one
         # AdmissionController across databases; None (the default)
@@ -537,6 +553,8 @@ class Database:
             use_rewrites=self.use_rewrites,
             feedback=self.feedback,
             adaptive=self.adaptive,
+            parallel_mode=self.parallel_mode,
+            max_dop=self.max_dop,
         )
 
     def optimize(self, sql: str) -> OptimizedQuery:
@@ -886,6 +904,8 @@ class Database:
         context.batch_mode = self.batch_mode
         context.compiled_expressions = self.compiled_expressions
         context.columnar_mode = self.columnar_mode
+        context.parallel_mode = self.parallel_mode
+        context.max_dop = self.max_dop
         context.admission = self.admission
         if self.adaptive is not None and self.adaptive.enabled:
             context.adaptive = AdaptiveState(self.adaptive)

@@ -148,7 +148,11 @@ def schedule_plan(
             right_key = _canonical(list(op.right_keys))
             for child, need in ((op.left, left_key), (op.right, right_key)):
                 if delivered.get(id(child)) != need:
-                    pages = pages_for_rows(child.est_rows, 32.0, params)
+                    # Typed stream width, not a guessed constant: the
+                    # simulated exchange must move the same pages the
+                    # real exchange runtime measures on this plan.
+                    width = child.output_schema().row_width_bytes()
+                    pages = pages_for_rows(child.est_rows, width, params)
                     cost = machine.repartition_cost(pages)
                     comm += cost
                     response += cost
@@ -160,7 +164,12 @@ def schedule_plan(
             # Broadcast the inner side so the outer stays in place.
             inner = op.children()[-1] if isinstance(op, NLJoinP) else None
             rows = inner.est_rows if inner is not None else op.est_rows
-            pages = pages_for_rows(rows, 32.0, params)
+            width = (
+                inner.output_schema().row_width_bytes()
+                if inner is not None
+                else op.output_schema().row_width_bytes()
+            )
+            pages = pages_for_rows(rows, width, params)
             cost = machine.broadcast_cost(pages)
             comm += cost
             response += cost
@@ -269,6 +278,13 @@ class CommAwareOptimizer:
         )
 
     # ------------------------------------------------------------------
+    def _alias_width(self, alias: str) -> int:
+        """Stored row width of one relation, from its schema."""
+        return self.catalog.schema(
+            self.graph.node(alias).table
+        ).row_width_bytes
+
+    # ------------------------------------------------------------------
     def _extend(
         self,
         entry: _ParallelEntry,
@@ -298,12 +314,18 @@ class CommAwareOptimizer:
         left_key = _canonical([l for l, _r in pairs])
         right_key = _canonical([r for _l, r in pairs])
         comm = 0.0
+        # Typed widths from the catalog (joined streams carry every
+        # table's columns), replacing the old guessed 32-byte rows.
+        left_width = float(
+            sum(self._alias_width(member) for member in left_set)
+        )
+        right_width = float(self._alias_width(alias))
         # Left side: already partitioned on the join columns?
         if entry.partitioning != left_key:
-            pages = pages_for_rows(left_rows, 32.0, self.params)
+            pages = pages_for_rows(left_rows, left_width, self.params)
             comm += self.machine.repartition_cost(pages)
         # Right side: scans always need partitioning on the join key.
-        right_pages = pages_for_rows(right_rows, 32.0, self.params)
+        right_pages = pages_for_rows(right_rows, right_width, self.params)
         comm += self.machine.repartition_cost(right_pages)
         heap = self.catalog.table(self.graph.node(alias).table)
         join_work = (

@@ -50,6 +50,7 @@ from repro.physical.plans import (
     DistinctP,
     ExchangeP,
     FilterP,
+    GatherP,
     HashAggP,
     HashJoinP,
     LimitP,
@@ -60,6 +61,7 @@ from repro.physical.plans import (
     StreamAggP,
     UnionAllP,
 )
+from repro.physical.properties import PartitionScheme
 
 Row = Tuple[Any, ...]
 
@@ -509,9 +511,55 @@ def _cstream_union_all(
             child.close()
 
 
+def _cdrain_exchange_input(
+    ex: ExchangeP, catalog: Catalog, ctx: ExecContext
+) -> Tuple[List[Row], Optional[np.ndarray]]:
+    """Drain one distributing exchange's child columnar for stage 1.
+
+    Hash exchanges get their partition hashes computed *vectorized*
+    over the key columns (the shared kernel in
+    :mod:`repro.expr.vector`); the runtime then assigns partitions by
+    ``hash %% dop``, landing each key on the same worker the row
+    engine's scalar hash would pick.
+    """
+    from repro.expr.vector import hash_columns
+
+    cbatch = _cdrain(ex.child, catalog, ctx)
+    hashes: Optional[np.ndarray] = None
+    positions = getattr(ex, "key_positions", None)
+    if ex.target.scheme is PartitionScheme.HASH and positions:
+        hashes = hash_columns(
+            [
+                (cbatch.vcolumns[p].values, cbatch.vcolumns[p].valid)
+                for p in positions
+            ]
+        )
+    return cbatch.rows(), hashes
+
+
 def _cstream_exchange(
     op: ExchangeP, catalog: Catalog, ctx: ExecContext
 ) -> Iterator[ColumnarBatch]:
+    from repro.engine.parallel import exchange_page_count, gather_iterator
+
+    if isinstance(op, GatherP) and ctx.parallel_mode and op.dop > 1:
+        # Fan the region below this gather out across the shared worker
+        # pool; sources are drained columnar (vectorized partition
+        # hashing), workers run the row twins, and the merged output is
+        # re-columnarized here.  Falls through to the serial
+        # pass-through when the region shape is unsupported or
+        # admission degraded it to one worker.
+        region = gather_iterator(
+            op,
+            catalog,
+            ctx,
+            lambda ex: _cdrain_exchange_input(ex, catalog, ctx),
+        )
+        if region is not None:
+            schema = op.output_schema()
+            for rows in region:
+                yield ColumnarBatch.from_rows(rows, schema)
+            return
     width = op.child.output_schema().row_width_bytes()
     total = 0
     child = stream_columns(op.child, catalog, ctx)
@@ -521,8 +569,8 @@ def _cstream_exchange(
             yield cbatch
     finally:
         child.close()
-        ctx.counters.exchange_pages += int(
-            pages_for_rows(total, width, ctx.params)
+        ctx.counters.exchange_pages += exchange_page_count(
+            total, width, op.target.scheme, op.target.degree, ctx.params
         )
 
 
@@ -683,17 +731,35 @@ def _cstream_hash_join(
         yield from _chunks(out, op.output_schema(), ctx.params.batch_size)
         return
 
-    # In-memory vectorized path.  The build table maps key tuples to
-    # build-side *lane indices*; probe output is assembled by gather.
+    # In-memory columnar-native path.  Key columns are hashed
+    # *vectorized* with the canonical value hash (the same kernel that
+    # partitions columnar repartition streams, see
+    # :func:`repro.expr.vector.hash_columns`), candidate pairs come
+    # from a binary search over the hash-sorted build lanes, and only
+    # hash-equal pairs are verified with canonical tuple equality --
+    # so collisions and cross-type keys (2 vs 2.0, NaN-as-key) resolve
+    # exactly like the row engine's dict probe.
+    from repro.expr.vector import hash_columns
+
     build_keys = _key_tuples(
         [build_cb.vcolumns[p] for p in right_positions], build_cb.length
     )
     ctx.counters.rows_compared += build_cb.length
-    build: Dict[Tuple[Any, ...], List[int]] = {}
-    for i, key in enumerate(build_keys):
-        if any(part is None for part in key):
-            continue
-        build.setdefault(key, []).append(i)
+    build_valid = np.ones(build_cb.length, dtype=bool)
+    for p in right_positions:
+        build_valid &= build_cb.vcolumns[p].valid
+    build_lanes = np.nonzero(build_valid)[0]
+    build_hashes = hash_columns(
+        [
+            (build_cb.vcolumns[p].values, build_cb.vcolumns[p].valid)
+            for p in right_positions
+        ]
+    )[build_lanes]
+    # Stable sort keeps equal-hash lanes in build order, so each probe
+    # row's matches surface in the row engine's insertion order.
+    sort_order = np.argsort(build_hashes, kind="stable")
+    sorted_hashes = build_hashes[sort_order]
+    sorted_lanes = build_lanes[sort_order]
 
     probe_seen = 0
     child = stream_columns(op.left, catalog, ctx)
@@ -704,18 +770,35 @@ def _cstream_hash_join(
             probe_keys = _key_tuples(
                 [lcb.vcolumns[p] for p in left_positions], lcb.length
             )
-            lidx: List[int] = []
-            ridx: List[int] = []
-            for i, key in enumerate(probe_keys):
-                if any(part is None for part in key):
-                    continue
-                matches = build.get(key)
-                if matches:
-                    for j in matches:
-                        lidx.append(i)
-                        ridx.append(j)
-            pairs_l = np.asarray(lidx, dtype=np.int64)
-            pairs_r = np.asarray(ridx, dtype=np.int64)
+            probe_valid = np.ones(lcb.length, dtype=bool)
+            for p in left_positions:
+                probe_valid &= lcb.vcolumns[p].valid
+            probe_lanes = np.nonzero(probe_valid)[0]
+            probe_hashes = hash_columns(
+                [
+                    (lcb.vcolumns[p].values, lcb.vcolumns[p].valid)
+                    for p in left_positions
+                ]
+            )[probe_lanes]
+            lo = np.searchsorted(sorted_hashes, probe_hashes, side="left")
+            hi = np.searchsorted(sorted_hashes, probe_hashes, side="right")
+            counts = hi - lo
+            sel = counts > 0
+            sel_counts = counts[sel]
+            total = int(sel_counts.sum())
+            cand_l = np.repeat(probe_lanes[sel], sel_counts)
+            starts = np.concatenate(
+                ([0], np.cumsum(sel_counts)[:-1])
+            ) if len(sel_counts) else np.empty(0, dtype=np.int64)
+            within = np.arange(total) - np.repeat(starts, sel_counts)
+            cand_r = sorted_lanes[np.repeat(lo[sel], sel_counts) + within]
+            keep = [
+                k
+                for k in range(total)
+                if probe_keys[cand_l[k]] == build_keys[cand_r[k]]
+            ]
+            pairs_l = cand_l[keep].astype(np.int64, copy=False)
+            pairs_r = cand_r[keep].astype(np.int64, copy=False)
             if residual_kernel is not None and len(pairs_l):
                 gathered = ColumnarBatch(
                     [
@@ -1030,6 +1113,7 @@ _COLUMNAR_HANDLERS = {
     LimitP: _cstream_limit,
     UnionAllP: _cstream_union_all,
     ExchangeP: _cstream_exchange,
+    GatherP: _cstream_exchange,
     SortP: _cstream_sort,
     DistinctP: _cstream_distinct,
     HashJoinP: _cstream_hash_join,

@@ -61,6 +61,7 @@ from repro.physical.plans import (
     DistinctP,
     ExchangeP,
     FilterP,
+    GatherP,
     HashAggP,
     HashJoinP,
     INLJoinP,
@@ -885,10 +886,13 @@ def _run_apply(op: ApplyP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
 
 
 def _run_exchange(op: ExchangeP, catalog: Catalog, ctx: ExecContext) -> List[Row]:
+    from repro.engine.parallel import exchange_page_count
+
     rows = _run(op.child, catalog, ctx)
     width = _row_width(op.child.output_schema())
-    pages = pages_for_rows(len(rows), width, ctx.params)
-    ctx.counters.exchange_pages += int(pages)
+    ctx.counters.exchange_pages += exchange_page_count(
+        len(rows), width, op.target.scheme, op.target.degree, ctx.params
+    )
     return rows
 
 
@@ -923,6 +927,7 @@ _HANDLERS = {
     LimitP: _run_limit,
     ApplyP: _run_apply,
     ExchangeP: _run_exchange,
+    GatherP: _run_exchange,
 }
 
 
@@ -1855,6 +1860,19 @@ def _stream_apply(
 def _stream_exchange(
     op: ExchangeP, catalog: Catalog, ctx: ExecContext
 ) -> Iterator[Batch]:
+    from repro.engine.parallel import exchange_page_count, gather_iterator
+
+    if isinstance(op, GatherP) and ctx.parallel_mode and op.dop > 1:
+        # The real thing: fan the region below this gather out across a
+        # worker pool and merge deterministically.  Falls through to the
+        # serial pass-through when the region shape is unsupported or
+        # admission degraded it to one worker.
+        region = gather_iterator(
+            op, catalog, ctx, lambda ex: (_drain(ex.child, catalog, ctx), None)
+        )
+        if region is not None:
+            yield from region
+            return
     width = _row_width(op.child.output_schema())
     total = 0
     child = stream_batches(op.child, catalog, ctx)
@@ -1865,8 +1883,13 @@ def _stream_exchange(
     finally:
         child.close()
         # Charged in the finally so an early-closed consumer (LIMIT) still
-        # pays communication for every batch that actually crossed.
-        ctx.counters.exchange_pages += int(pages_for_rows(total, width, ctx.params))
+        # pays communication for every batch that actually crossed.  The
+        # scheme-aware page count is shared with the parallel runtime, so
+        # this simulated account and the real exchange's measured pages
+        # agree on the same plan.
+        ctx.counters.exchange_pages += exchange_page_count(
+            total, width, op.target.scheme, op.target.degree, ctx.params
+        )
 
 
 _STREAM_HANDLERS = {
@@ -1890,6 +1913,7 @@ _STREAM_HANDLERS = {
     LimitP: _stream_limit,
     ApplyP: _stream_apply,
     ExchangeP: _stream_exchange,
+    GatherP: _stream_exchange,
 }
 
 

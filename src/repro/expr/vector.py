@@ -517,3 +517,132 @@ def compile_vector_predicate(
         return vc.valid & truthy(vc)
 
     return predicate
+
+
+# ----------------------------------------------------------------------
+# Canonical key hashing (shared by the partitioned-parallel runtime and
+# the columnar hash-join probe)
+# ----------------------------------------------------------------------
+# One 64-bit value hash with a single invariant: numerically equal key
+# values hash equal regardless of representation -- int 2, float 2.0,
+# and bool-as-int lanes agree; every NaN (including the executor's
+# shared ``_NAN_KEY`` sentinel, which *is* a NaN) maps to one constant;
+# NULL maps to another.  The scalar path (:func:`hash_value` /
+# :func:`hash_key`) and the vectorized path (:func:`hash_column` /
+# :func:`hash_columns`) produce bit-identical results lane for lane, so
+# a query may mix them freely: both sides of a repartitioned join agree
+# on partition assignment even when one side hashed vectorized and the
+# other fell back to per-row hashing.
+#
+# The mixer is the splitmix64 finalizer; numpy uint64 arithmetic wraps
+# silently, matching the explicitly masked Python-int arithmetic.
+_MASK64 = (1 << 64) - 1
+_HASH_NULL = 0x9AE16A3B2F90404F
+_HASH_NAN = 0xC2B2AE3D27D4EB4F
+_HASH_GOLDEN = 0x9E3779B97F4A7C15
+_HASH_SEED = 0x8445D61A4E774912
+# Integral floats convert to exact Python ints only while the exponent
+# keeps them in a range that also fits numpy's int64 cast.
+_HASH_INT_FLOAT_BOUND = float(2**62)
+
+
+def _mix64(x: int) -> int:
+    x &= _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def _mix64_array(x: np.ndarray) -> np.ndarray:
+    x = x.astype(np.uint64, copy=True)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def hash_value(value: Any) -> int:
+    """The canonical 64-bit hash of one key value."""
+    if value is None:
+        return _mix64(_HASH_NULL)
+    if isinstance(value, bool):
+        return _mix64(int(value))
+    if isinstance(value, int):
+        return _mix64(value & _MASK64)
+    if isinstance(value, float):
+        if value != value:
+            return _mix64(_HASH_NAN)
+        if value.is_integer() and abs(value) < _HASH_INT_FLOAT_BOUND:
+            return _mix64(int(value) & _MASK64)
+        bits = np.float64(value).view(np.uint64)
+        return _mix64(int(bits))
+    return _mix64(hash(value) & _MASK64)
+
+
+def hash_key(values: Sequence[Any]) -> int:
+    """The canonical hash of a multi-part key (matches hash_columns)."""
+    h = _HASH_SEED
+    for value in values:
+        h = _mix64(((h + _HASH_GOLDEN) & _MASK64) ^ hash_value(value))
+    return h
+
+
+def hash_column(values: np.ndarray, valid: np.ndarray) -> np.ndarray:
+    """Per-lane canonical hashes for one column (NULL lanes included).
+
+    Bit-identical to ``[hash_value(v) for v in lanes]`` where invalid
+    lanes read as None.  Numeric dtypes hash vectorized; object columns
+    (strings, big ints, mixed) hash lane by lane through the same
+    scalar function.
+    """
+    n = len(values)
+    kind = values.dtype.kind
+    if kind in "iub":
+        out = _mix64_array(values.astype(np.int64).astype(np.uint64))
+    elif kind == "f":
+        lanes = values.astype(np.float64, copy=False)
+        with np.errstate(invalid="ignore"):
+            isnan = np.isnan(lanes)
+            integral = (
+                np.isfinite(lanes)
+                & (np.abs(lanes) < _HASH_INT_FLOAT_BOUND)
+                & (np.floor(lanes) == lanes)
+            )
+        pre = lanes.view(np.uint64).copy()
+        if integral.any():
+            pre[integral] = (
+                lanes[integral].astype(np.int64).astype(np.uint64)
+            )
+        if isnan.any():
+            pre[isnan] = np.uint64(_HASH_NAN)
+        out = _mix64_array(pre)
+    else:
+        out = np.fromiter(
+            (
+                hash_value(v if ok else None)
+                for v, ok in zip(values.tolist(), valid.tolist())
+            ),
+            dtype=np.uint64,
+            count=n,
+        )
+        return out
+    if not valid.all():
+        out[~valid] = np.uint64(_mix64(_HASH_NULL))
+    return out
+
+
+def hash_columns(columns: Sequence[Tuple[np.ndarray, np.ndarray]]) -> np.ndarray:
+    """Combined per-row hashes over (values, valid) key columns.
+
+    Bit-identical to ``[hash_key(row_values) for row in rows]``.
+    """
+    if not columns:
+        return np.zeros(0, dtype=np.uint64)
+    n = len(columns[0][0])
+    h = np.full(n, _HASH_SEED, dtype=np.uint64)
+    golden = np.uint64(_HASH_GOLDEN)
+    for values, valid in columns:
+        h = _mix64_array((h + golden) ^ hash_column(values, valid))
+    return h

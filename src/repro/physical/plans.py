@@ -17,7 +17,12 @@ from repro.expr.aggregates import AggregateCall
 from repro.expr.expressions import ColumnRef, Expr, UdfCall
 from repro.expr.schema import StreamSchema
 from repro.logical.operators import LogicalOp, ProjectItem
-from repro.physical.properties import Partitioning, SortOrder, describe_order
+from repro.physical.properties import (
+    Partitioning,
+    PartitionScheme,
+    SortOrder,
+    describe_order,
+)
 
 
 class PhysicalOp:
@@ -670,6 +675,32 @@ class ExchangeP(PhysicalOp):
 
     def _label(self) -> str:
         return f"Exchange({self.target.scheme.value} x{self.target.degree})"
+
+
+class GatherP(ExchangeP):
+    """Gather a partitioned region back into one stream (Section 7.1).
+
+    The root of a parallel region: the subtree between this gather and
+    the distributing :class:`ExchangeP` operators below it runs across
+    ``dop`` worker threads, and the gather merges their outputs back
+    into the serial stream order (deterministic, bit-identical to the
+    single-threaded oracle).  With ``parallel_mode`` off the region is
+    executed serially and the exchanges only account for simulated
+    communication pages, preserving the oracle pattern of
+    ``batch_mode``/``columnar_mode``.
+    """
+
+    def __init__(self, child: PhysicalOp, dop: int) -> None:
+        super().__init__(
+            child, Partitioning(PartitionScheme.SINGLETON, degree=1)
+        )
+        self.dop = dop
+        self.est_rows = child.est_rows
+        self.est_cost = child.est_cost
+        self.order = child.order
+
+    def _label(self) -> str:
+        return f"Gather(dop={self.dop})"
 
 
 # ----------------------------------------------------------------------

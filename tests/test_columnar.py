@@ -601,6 +601,7 @@ def test_columnar_handler_set_is_pinned():
         "DistinctP",
         "ExchangeP",
         "FilterP",
+        "GatherP",
         "HashAggP",
         "HashJoinP",
         "InsertP",

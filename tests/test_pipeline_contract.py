@@ -48,6 +48,7 @@ from repro.physical.plans import (
     DistinctP,
     ExchangeP,
     FilterP,
+    GatherP,
     HashAggP,
     HashJoinP,
     INLJoinP,
@@ -212,6 +213,13 @@ def _factories(catalog):
         part = Partitioning(PartitionScheme.BROADCAST, degree=2)
         return ExchangeP(child, part), (child,)
 
+    def gather_plan():
+        # Contract probes run with parallel_mode off, where a gather is
+        # the serial pass-through; in parallel mode the region below it
+        # is driven by the exchange runtime instead (test_parallel_exec).
+        child = t()
+        return GatherP(child, 2), (child,)
+
     def check_plan():
         child = t()
         return CheckP(child, 0.0, float(ROWS * 2)), (child,)
@@ -246,6 +254,7 @@ def _factories(catalog):
         "LimitP": limit_plan,
         "ApplyP": apply_plan,
         "ExchangeP": exchange_plan,
+        "GatherP": gather_plan,
         "CheckP": check_plan,
         "CheckpointSourceP": checkpoint_source_plan,
     }
@@ -263,6 +272,7 @@ EXPECTED_FLAGS = {
     "LimitP": (False,),
     "ApplyP": (False,),
     "ExchangeP": (False,),
+    "GatherP": (False,),
     "INLJoinP": (False,),
     "NLJoinP": (False, True),
     "HashJoinP": (False, True),
